@@ -1,0 +1,271 @@
+//! Cache-effectiveness analysis — the paper's §3.2/§6 extension sketch,
+//! made concrete: "the cost of the cache should include only the
+//! instructions executed to create the data structure itself (i.e.,
+//! without the cost of computing the values being cached) and the benefit
+//! should be (re-)defined as a function of the amount of work cached and
+//! the number of times the cached values are used."
+//!
+//! For a heap location used as a cache:
+//!
+//! * **cached work** — the mean work behind each stored value (its RAC);
+//! * **plumbing cost** — the instructions spent on the cache itself: the
+//!   store/load instructions and the owning allocation, *not* the cached
+//!   value's computation;
+//! * **benefit** — `cached_work × reads`: the recomputation the cache
+//!   saved, assuming each read would otherwise recompute;
+//! * **score** — `benefit / (cached_work × writes + plumbing)`: above 1,
+//!   the cache pays for itself; a cache written more than read scores
+//!   below 1 (the derby metadata array), and a cache of trivial values
+//!   never pays regardless of hit rate.
+
+use crate::cost::rac;
+use lowutil_core::{CostGraph, FieldKey, TaggedSite};
+
+/// Cache metrics for one heap location.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheStats {
+    /// The owning object abstraction.
+    pub site: TaggedSite,
+    /// The member acting as the cache slot.
+    pub field: FieldKey,
+    /// Mean work behind each cached value (RAC).
+    pub cached_work: f64,
+    /// Executions of the store instructions (fills).
+    pub writes: u64,
+    /// Executions of the load instructions (hits).
+    pub reads: u64,
+    /// Instructions spent operating the cache itself (fills + hits + its
+    /// share of the allocation).
+    pub plumbing: f64,
+}
+
+impl CacheStats {
+    /// Work the cache saved: every hit avoided recomputing the value.
+    pub fn benefit(&self) -> f64 {
+        self.cached_work * self.reads as f64
+    }
+
+    /// Work the cache consumed: computing each fill, plus plumbing.
+    pub fn cost(&self) -> f64 {
+        self.cached_work * self.writes as f64 + self.plumbing
+    }
+
+    /// `benefit / cost`; above 1.0 the cache pays for itself.
+    pub fn score(&self) -> f64 {
+        let c = self.cost();
+        if c == 0.0 {
+            0.0
+        } else {
+            self.benefit() / c
+        }
+    }
+}
+
+/// Computes cache metrics for every written heap location, sorted by
+/// score (best caches first).
+pub fn cache_effectiveness(gcost: &CostGraph) -> Vec<CacheStats> {
+    let mut out = Vec::new();
+    for site in gcost.objects() {
+        let alloc_freq = gcost
+            .alloc_node(site)
+            .map(|n| gcost.graph().node(n).freq)
+            .unwrap_or(0);
+        let fields = gcost.fields_of(site);
+        let share = if fields.is_empty() {
+            0.0
+        } else {
+            alloc_freq as f64 / fields.len() as f64
+        };
+        for field in fields {
+            let Some(cached_work) = rac(gcost, site, field) else {
+                continue;
+            };
+            let writes: u64 = gcost
+                .writes_of(site, field)
+                .iter()
+                .map(|&n| gcost.graph().node(n).freq)
+                .sum();
+            let reads: u64 = gcost
+                .reads_of(site, field)
+                .iter()
+                .map(|&n| gcost.graph().node(n).freq)
+                .sum();
+            out.push(CacheStats {
+                site,
+                field,
+                cached_work,
+                writes,
+                reads,
+                plumbing: writes as f64 + reads as f64 + share,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    fn profile(src: &str) -> CostGraph {
+        let p = parse_program(src).expect("parse");
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).expect("run");
+        prof.finish()
+    }
+
+    /// A memo cache: one expensive fill, many hits.
+    const GOOD_CACHE: &str = r#"
+native print/1
+class Memo { slot }
+method expensive/1 {
+  s = 0
+  i = 0
+  one = 1
+  lim = 500
+el:
+  if i >= lim goto ed
+  s = s + i
+  s = s + p0
+  i = i + one
+  goto el
+ed:
+  return s
+}
+method main/0 {
+  m = new Memo
+  seed = 3
+  v = call expensive(seed)
+  m.slot = v
+  sum = 0
+  j = 0
+  one = 1
+  reps = 50
+rl:
+  if j >= reps goto rd
+  c = m.slot
+  sum = sum + c
+  j = j + one
+  goto rl
+rd:
+  native print(sum)
+  return
+}
+"#;
+
+    /// An anti-cache: refilled constantly, read once.
+    const BAD_CACHE: &str = r#"
+native print/1
+class Memo { slot }
+method expensive/1 {
+  s = 0
+  i = 0
+  one = 1
+  lim = 100
+el:
+  if i >= lim goto ed
+  s = s + i
+  s = s + p0
+  i = i + one
+  goto el
+ed:
+  return s
+}
+method main/0 {
+  m = new Memo
+  j = 0
+  one = 1
+  reps = 50
+rl:
+  if j >= reps goto rd
+  v = call expensive(j)
+  m.slot = v
+  j = j + one
+  goto rl
+rd:
+  c = m.slot
+  native print(c)
+  return
+}
+"#;
+
+    #[test]
+    fn hot_memo_scores_far_above_one() {
+        let g = profile(GOOD_CACHE);
+        let caches = cache_effectiveness(&g);
+        let top = caches.first().expect("cache found");
+        assert!(top.reads >= 50);
+        assert_eq!(top.writes, 1);
+        assert!(top.cached_work > 1000.0);
+        assert!(top.score() > 10.0, "score {}", top.score());
+    }
+
+    #[test]
+    fn write_mostly_cache_scores_below_one() {
+        let g = profile(BAD_CACHE);
+        let caches = cache_effectiveness(&g);
+        let memo = caches
+            .iter()
+            .find(|c| c.writes >= 50)
+            .expect("refilled cache found");
+        assert_eq!(memo.reads, 1);
+        assert!(memo.score() < 0.1, "score {}", memo.score());
+    }
+
+    #[test]
+    fn scores_rank_good_above_bad_within_one_run() {
+        // Both patterns in one program: the ordering must hold.
+        let src = r#"
+native print/1
+class Memo { good bad }
+method work/1 {
+  s = 0
+  i = 0
+  one = 1
+  lim = 200
+el:
+  if i >= lim goto ed
+  s = s + p0
+  i = i + one
+  goto el
+ed:
+  return s
+}
+method main/0 {
+  m = new Memo
+  seed = 1
+  g = call work(seed)
+  m.good = g
+  j = 0
+  one = 1
+  reps = 30
+rl:
+  if j >= reps goto rd
+  gv = m.good
+  native print(gv)
+  b = call work(j)
+  m.bad = b
+  j = j + one
+  goto rl
+rd:
+  bv = m.bad
+  native print(bv)
+  return
+}
+"#;
+        let g = profile(src);
+        let caches = cache_effectiveness(&g);
+        assert!(caches.len() >= 2);
+        let good = caches.iter().find(|c| c.reads >= 30).unwrap();
+        let bad = caches.iter().find(|c| c.writes >= 30).unwrap();
+        assert!(good.score() > bad.score() * 10.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Abstract cost and relative (heap-bounded) cost/benefit — Definitions
+//! 4, 5, and 6.
+//!
+//! * The **abstract cost** of a node approximates the cumulative work, from
+//!   the beginning of the execution, behind the values it produced.
+//! * The **heap-relative abstract cost** (HRAC) of a node restricts that to
+//!   one *hop*: the stack work since heap locations were last read.
+//! * The **RAC** of a heap location is the mean HRAC of its store nodes;
+//!   the **RAB** is the mean HRAB of its load nodes, with the paper's
+//!   special treatment: a location whose value flows to a predicate or
+//!   native consumer within the hop receives a large benefit (program
+//!   output has infinite weight).
+
+use lowutil_core::slicer::{backward_slice, freq_sum, heap_bounded_backward, heap_bounded_forward};
+use lowutil_core::{CostGraph, FieldKey, NodeId, TaggedSite};
+
+/// Tunables for cost-benefit computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CostBenefitConfig {
+    /// Benefit assigned to a location whose value reaches a consumer
+    /// (predicate or native) within one hop — the paper's stand-in for
+    /// infinite weight.
+    pub consumer_benefit: f64,
+    /// Reference-tree height `n` for n-RAC / n-RAB aggregation
+    /// (Definition 7). The paper uses 4, the depth of `HashSet`.
+    pub tree_height: u32,
+}
+
+impl Default for CostBenefitConfig {
+    fn default() -> Self {
+        CostBenefitConfig {
+            consumer_benefit: 1e9,
+            tree_height: 4,
+        }
+    }
+}
+
+/// Abstract cost of a node (Definition 4): the frequency sum over its full
+/// backward slice (itself included).
+pub fn abstract_cost(gcost: &CostGraph, node: NodeId) -> u64 {
+    let slice = backward_slice(gcost.graph(), node);
+    freq_sum(gcost.graph(), slice)
+}
+
+/// Heap-relative abstract cost of a node (Definition 5): the frequency sum
+/// over the nodes that reach it without crossing a heap read.
+pub fn hrac(gcost: &CostGraph, node: NodeId) -> u64 {
+    let scope = heap_bounded_backward(gcost.graph(), node);
+    freq_sum(gcost.graph(), scope)
+}
+
+/// Heap-relative abstract benefit of a node (Definition 6): the frequency
+/// sum over the nodes it reaches without crossing a heap write.
+pub fn hrab(gcost: &CostGraph, node: NodeId) -> u64 {
+    let scope = heap_bounded_forward(gcost.graph(), node);
+    freq_sum(gcost.graph(), scope)
+}
+
+/// Multi-hop heap-relative abstract cost (§3.2's "multi-hop" design
+/// alternative): like [`hrac`], but the backward traversal may cross up to
+/// `hops - 1` heap reads, widening the inspected data-flow region.
+/// `hops == 1` coincides with [`hrac`].
+pub fn hrac_k(gcost: &CostGraph, node: NodeId, hops: usize) -> u64 {
+    let scope = lowutil_core::slicer::multi_hop_backward(gcost.graph(), node, hops);
+    freq_sum(gcost.graph(), scope)
+}
+
+/// Multi-hop heap-relative abstract benefit, symmetric to [`hrac_k`].
+pub fn hrab_k(gcost: &CostGraph, node: NodeId, hops: usize) -> u64 {
+    let scope = lowutil_core::slicer::multi_hop_forward(gcost.graph(), node, hops);
+    freq_sum(gcost.graph(), scope)
+}
+
+/// Whether the value loaded by `node` flows to a predicate or native
+/// consumer within its hop.
+pub fn reaches_consumer(gcost: &CostGraph, node: NodeId) -> bool {
+    heap_bounded_forward(gcost.graph(), node)
+        .into_iter()
+        .any(|n| gcost.graph().node(n).kind.is_consumer())
+}
+
+/// RAC of a heap location `site.field`: the mean HRAC of its store nodes.
+/// `None` if the location was never written.
+pub fn rac(gcost: &CostGraph, site: TaggedSite, field: FieldKey) -> Option<f64> {
+    let writes = gcost.writes_of(site, field);
+    if writes.is_empty() {
+        return None;
+    }
+    let sum: u64 = writes.iter().map(|&n| hrac(gcost, n)).sum();
+    Some(sum as f64 / writes.len() as f64)
+}
+
+/// RAB of a heap location `site.field`: the mean HRAB of its load nodes,
+/// or [`CostBenefitConfig::consumer_benefit`] if any loaded value reaches a
+/// consumer within its hop. `0.0` if the location is never read.
+pub fn rab(
+    gcost: &CostGraph,
+    site: TaggedSite,
+    field: FieldKey,
+    config: &CostBenefitConfig,
+) -> f64 {
+    let reads = gcost.reads_of(site, field);
+    if reads.is_empty() {
+        return 0.0;
+    }
+    if reads.iter().any(|&n| reaches_consumer(gcost, n)) {
+        return config.consumer_benefit;
+    }
+    let sum: u64 = reads.iter().map(|&n| hrab(gcost, n)).sum();
+    sum as f64 / reads.len() as f64
+}
+
+/// Cost and benefit of one heap location, bundled for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldCostBenefit {
+    /// The owning object abstraction.
+    pub site: TaggedSite,
+    /// The member.
+    pub field: FieldKey,
+    /// Relative abstract cost (`None` if never written).
+    pub rac: Option<f64>,
+    /// Relative abstract benefit.
+    pub rab: f64,
+    /// Number of store nodes.
+    pub writes: usize,
+    /// Number of load nodes.
+    pub reads: usize,
+}
+
+/// Computes cost/benefit for every member of `site`.
+pub fn fields_cost_benefit(
+    gcost: &CostGraph,
+    site: TaggedSite,
+    config: &CostBenefitConfig,
+) -> Vec<FieldCostBenefit> {
+    gcost
+        .fields_of(site)
+        .into_iter()
+        .map(|field| FieldCostBenefit {
+            site,
+            field,
+            rac: rac(gcost, site, field),
+            rab: rab(gcost, site, field, config),
+            writes: gcost.writes_of(site, field).len(),
+            reads: gcost.reads_of(site, field).len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    fn profile(src: &str) -> CostGraph {
+        let p = parse_program(src).expect("parse");
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).expect("run");
+        prof.finish()
+    }
+
+    /// An expensive computation (loop) feeding one field; the field is read
+    /// once and the value copied into another field with no work.
+    const EXPENSIVE_STORE_CHEAP_USE: &str = r#"
+class A { t }
+class B { u }
+method main/0 {
+  a = new A
+  b = new B
+  s = 0
+  i = 0
+  one = 1
+  lim = 1000
+loop:
+  if i >= lim goto done
+  s = s + i
+  i = i + one
+  goto loop
+done:
+  a.t = s
+  v = a.t
+  b.u = v
+  return
+}
+"#;
+
+    #[test]
+    fn rac_captures_loop_work_and_rab_sees_plain_copy() {
+        let g = profile(EXPENSIVE_STORE_CHEAP_USE);
+        let objects = g.objects();
+        assert_eq!(objects.len(), 2);
+        // Identify A's tag: the one whose field has big RAC.
+        let cfg = CostBenefitConfig::default();
+        let mut racs: Vec<(TaggedSite, f64, f64)> = Vec::new();
+        for &o in &objects {
+            for fcb in fields_cost_benefit(&g, o, &cfg) {
+                racs.push((o, fcb.rac.unwrap_or(0.0), fcb.rab));
+            }
+        }
+        racs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // A.t: cost ≈ the whole loop (thousands); benefit = one copy hop
+        // (the load + nothing else before the store into b.u).
+        let (_, top_rac, top_rab) = racs[0];
+        assert!(top_rac > 1000.0, "loop work attributed: {top_rac}");
+        assert!(top_rab < 5.0, "copy-only use has tiny benefit: {top_rab}");
+        // B.u: cheap to produce (one hop from a.t read), never read.
+        let (_, brac, brab) = racs[1];
+        assert!(brac < 10.0, "B.u formation is one hop: {brac}");
+        assert_eq!(brab, 0.0, "B.u never read");
+    }
+
+    #[test]
+    fn consumer_use_grants_large_benefit() {
+        let g = profile(
+            r#"
+native print/1
+class A { t }
+method main/0 {
+  a = new A
+  x = 5
+  a.t = x
+  y = a.t
+  native print(y)
+  return
+}
+"#,
+        );
+        let o = g.objects()[0];
+        let cfg = CostBenefitConfig::default();
+        let fcb = fields_cost_benefit(&g, o, &cfg);
+        assert_eq!(fcb.len(), 1);
+        assert_eq!(fcb[0].rab, cfg.consumer_benefit);
+    }
+
+    #[test]
+    fn predicate_use_grants_large_benefit() {
+        let g = profile(
+            r#"
+class A { t }
+method main/0 {
+  a = new A
+  x = 5
+  a.t = x
+  y = a.t
+  zero = 0
+  if y == zero goto end
+end:
+  return
+}
+"#,
+        );
+        let o = g.objects()[0];
+        let cfg = CostBenefitConfig::default();
+        let fcb = fields_cost_benefit(&g, o, &cfg);
+        assert_eq!(fcb[0].rab, cfg.consumer_benefit);
+    }
+
+    #[test]
+    fn hrac_stops_at_heap_reads() {
+        // b.u's formation cost must NOT include the loop behind a.t,
+        // because the hop starts at the `v = a.t` read.
+        let g = profile(EXPENSIVE_STORE_CHEAP_USE);
+        let mut hracs: Vec<u64> = Vec::new();
+        for &o in &g.objects() {
+            for f in g.fields_of(o) {
+                for &w in g.writes_of(o, f) {
+                    hracs.push(hrac(&g, w));
+                }
+            }
+        }
+        hracs.sort_unstable();
+        assert_eq!(hracs.len(), 2);
+        assert!(hracs[0] <= 3, "cheap store hop: {}", hracs[0]);
+        assert!(hracs[1] > 1000, "expensive store hop: {}", hracs[1]);
+    }
+
+    #[test]
+    fn abstract_cost_is_cumulative_unlike_hrac() {
+        let g = profile(EXPENSIVE_STORE_CHEAP_USE);
+        // The store into b.u has small HRAC but large abstract cost (the
+        // loop transitively feeds it).
+        let mut all_writes = Vec::new();
+        for o in g.objects() {
+            for f in g.fields_of(o) {
+                all_writes.extend_from_slice(g.writes_of(o, f));
+            }
+        }
+        let cheap_store = all_writes.into_iter().min_by_key(|&w| hrac(&g, w)).unwrap();
+        assert!(hrac(&g, cheap_store) <= 3);
+        assert!(abstract_cost(&g, cheap_store) > 1000);
+    }
+
+    #[test]
+    fn multi_hop_cost_interpolates_between_hrac_and_abstract_cost() {
+        let g = profile(EXPENSIVE_STORE_CHEAP_USE);
+        // The cheap store (b.u = v) sits one hop past the expensive one.
+        let mut all_writes = Vec::new();
+        for o in g.objects() {
+            for f in g.fields_of(o) {
+                all_writes.extend_from_slice(g.writes_of(o, f));
+            }
+        }
+        let cheap = all_writes
+            .iter()
+            .copied()
+            .min_by_key(|&w| hrac(&g, w))
+            .unwrap();
+        let one = hrac_k(&g, cheap, 1);
+        let two = hrac_k(&g, cheap, 2);
+        let many = hrac_k(&g, cheap, 16);
+        assert_eq!(one, hrac(&g, cheap));
+        assert!(two > one, "second hop reaches the loop: {two} vs {one}");
+        assert!(many >= two);
+        assert!(many <= abstract_cost(&g, cheap));
+        // With two hops the loop's thousands of instances are visible.
+        assert!(two > 1000);
+    }
+
+    #[test]
+    fn multi_hop_benefit_crosses_heap_writes() {
+        let g = profile(EXPENSIVE_STORE_CHEAP_USE);
+        // The load of a.t: one-hop benefit stops at the store into b.u;
+        // two hops see through it (nothing further reads b.u, so the gain
+        // is just the store itself).
+        let mut all_reads = Vec::new();
+        for o in g.objects() {
+            for f in g.fields_of(o) {
+                all_reads.extend_from_slice(g.reads_of(o, f));
+            }
+        }
+        for &r in &all_reads {
+            assert!(hrab_k(&g, r, 2) >= hrab_k(&g, r, 1));
+        }
+    }
+
+    #[test]
+    fn unwritten_location_has_no_rac() {
+        let g = profile(
+            r#"
+class A { t }
+method main/0 {
+  a = new A
+  x = a.t
+  return
+}
+"#,
+        );
+        let o = g.objects()[0];
+        let f = g.fields_of(o)[0];
+        assert_eq!(rac(&g, o, f), None);
+        assert_eq!(g.reads_of(o, f).len(), 1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Profile-guided dead-structure elimination — the "automatic code
+//! optimization" direction the paper points at in §4.2 ("it is also
+//! possible for the compiler/optimizer designers to take [bloat patterns]
+//! into account and develop optimization techniques that can remove the
+//! bloat").
+//!
+//! Instructions whose abstract nodes are *all* ultimately dead (no path
+//! to a predicate or native consumer in `G_cost`) produced nothing the
+//! program ever used; this pass removes them, with two safety layers:
+//!
+//! 1. **Kind filter** — only value computations and heap accesses are
+//!    candidates; calls, returns, control flow, and potentially trapping
+//!    arithmetic (`/`, `%`) are always kept.
+//! 2. **Static def-use closure** — a candidate whose defined local is
+//!    (statically) read by any surviving instruction in the same method
+//!    is kept, iterated to a fixpoint, so removal never leaves a dangling
+//!    read.
+//! 3. **Heap-location closure** — a candidate *store* survives unless
+//!    every instruction that loads the same abstract location is also
+//!    removed; otherwise a surviving load (alive only for control, say)
+//!    would observe an uninitialized location.
+//!
+//! The pass is *profile-guided*: like the paper's hand fixes, its
+//! correctness contract is "behaviour-preserving on the profiled
+//! behaviour" (it may remove a trap, e.g. a dead load off a null pointer
+//! that the profiled run never hit). The tests run bloated workloads
+//! before and after and require identical output with fewer executed
+//! instructions.
+
+use lowutil_core::slicer::{reachable, Direction};
+use lowutil_core::{CostGraph, NodeId};
+use lowutil_ir::{BinOp, Instr, InstrId, MethodId, Pc, Program, ValidationError};
+use std::collections::{HashMap, HashSet};
+
+/// What the pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElimStats {
+    /// Instructions whose profile showed only dead values.
+    pub candidates: usize,
+    /// Candidates kept because a surviving instruction reads their def.
+    pub kept_for_safety: usize,
+    /// Instructions actually removed.
+    pub removed: usize,
+}
+
+/// Returns whether this instruction kind may be deleted when its values
+/// are dead: value-producing, non-calling, non-trapping-by-construction
+/// control-free instructions. Heap accesses are included — the profile
+/// witnessed them executing safely.
+fn removable(instr: &Instr) -> bool {
+    match instr {
+        Instr::Const { .. }
+        | Instr::Move { .. }
+        | Instr::Unop { .. }
+        | Instr::Cmp { .. }
+        | Instr::New { .. }
+        | Instr::NewArray { .. }
+        | Instr::GetField { .. }
+        | Instr::PutField { .. }
+        | Instr::GetStatic { .. }
+        | Instr::PutStatic { .. }
+        | Instr::ArrayGet { .. }
+        | Instr::ArrayPut { .. }
+        | Instr::ArrayLen { .. } => true,
+        Instr::Binop { op, .. } => !matches!(op, BinOp::Div | BinOp::Rem),
+        Instr::Branch { .. }
+        | Instr::Jump { .. }
+        | Instr::Call { .. }
+        | Instr::CallNative { .. }
+        | Instr::Return { .. } => false,
+    }
+}
+
+/// Computes the set of instructions whose every abstract node is
+/// ultimately dead in `gcost`.
+pub fn dead_instructions(gcost: &CostGraph) -> HashSet<InstrId> {
+    let g = gcost.graph();
+    let consumers: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| n.kind.is_consumer())
+        .map(|(id, _)| id)
+        .collect();
+    let alive = reachable(g, consumers, Direction::Backward, |_| true);
+
+    let mut all_dead: HashMap<InstrId, bool> = HashMap::new();
+    for (id, n) in g.iter() {
+        let e = all_dead.entry(n.instr).or_insert(true);
+        if alive.contains(&id) || n.kind.is_consumer() {
+            *e = false;
+        }
+    }
+    all_dead
+        .into_iter()
+        .filter_map(|(i, dead)| dead.then_some(i))
+        .collect()
+}
+
+/// Removes profiled-dead instructions from `program`, retargeting
+/// branches across the deleted positions.
+///
+/// # Errors
+/// Returns a [`ValidationError`] if the rewritten program fails
+/// validation (indicates a bug in the pass, not in the input).
+pub fn eliminate_dead_instructions(
+    program: &Program,
+    gcost: &CostGraph,
+) -> Result<(Program, ElimStats), ValidationError> {
+    let dead = dead_instructions(gcost);
+    let mut candidates: HashSet<InstrId> = dead
+        .into_iter()
+        .filter(|&id| removable(program.instr(id)))
+        .collect();
+    let n_candidates = candidates.len();
+
+    // Per-instruction node lists and static-load indexes for the
+    // heap-location closure.
+    let g = gcost.graph();
+    let mut nodes_of: HashMap<InstrId, Vec<NodeId>> = HashMap::new();
+    let mut static_loads: HashMap<u32, Vec<InstrId>> = HashMap::new();
+    for (id, n) in g.iter() {
+        nodes_of.entry(n.instr).or_default().push(id);
+        if let Some(lowutil_core::HeapEffect::LoadStatic(s)) = gcost.effect(id) {
+            static_loads.entry(s.0).or_default().push(n.instr);
+        }
+    }
+
+    // Safety fixpoint. A candidate is demoted (kept) when:
+    //  * its defined local is used by a surviving instruction in the same
+    //    method (base pointers count as uses — a kept `o.f = x` needs the
+    //    def of `o`), or
+    //  * it stores to a heap location some surviving instruction loads, or
+    //  * it is a heap store whose location the profiler could not tag.
+    loop {
+        let mut demote: Vec<InstrId> = Vec::new();
+        'cands: for &c in &candidates {
+            if let Some(def) = program.instr(c).def() {
+                let body = program.method(c.method).body();
+                let used_by_survivor = body.iter().enumerate().any(|(pc, instr)| {
+                    let id = InstrId::new(c.method, pc as Pc);
+                    !candidates.contains(&id) && instr.full_uses().contains(&def)
+                });
+                if used_by_survivor {
+                    demote.push(c);
+                    continue;
+                }
+            }
+            if program.instr(c).writes_heap() {
+                for &n in nodes_of.get(&c).into_iter().flatten() {
+                    match gcost.effect(n) {
+                        Some(lowutil_core::HeapEffect::Store { site, field }) => {
+                            for &r in gcost.reads_of(*site, *field) {
+                                if !candidates.contains(&g.node(r).instr) {
+                                    demote.push(c);
+                                    continue 'cands;
+                                }
+                            }
+                        }
+                        Some(lowutil_core::HeapEffect::StoreStatic(s)) => {
+                            for reader in static_loads.get(&s.0).into_iter().flatten() {
+                                if !candidates.contains(reader) {
+                                    demote.push(c);
+                                    continue 'cands;
+                                }
+                            }
+                        }
+                        // An untagged store: no effect record to reason
+                        // about — keep it.
+                        _ => {
+                            demote.push(c);
+                            continue 'cands;
+                        }
+                    }
+                }
+            }
+        }
+        if demote.is_empty() {
+            break;
+        }
+        for d in demote {
+            candidates.remove(&d);
+        }
+    }
+    let kept_for_safety = n_candidates - candidates.len();
+
+    let rewritten = program.with_rewritten_bodies(|mid: MethodId, body: &[Instr]| {
+        // pc remap: old pc → new pc of the next surviving instruction.
+        let keep: Vec<bool> = (0..body.len())
+            .map(|pc| !candidates.contains(&InstrId::new(mid, pc as Pc)))
+            .collect();
+        let mut remap: Vec<Pc> = Vec::with_capacity(body.len());
+        let mut next = 0u32;
+        for &k in &keep {
+            remap.push(next);
+            if k {
+                next += 1;
+            }
+        }
+        body.iter()
+            .enumerate()
+            .filter(|&(pc, _)| keep[pc])
+            .map(|(_, instr)| {
+                let mut instr = instr.clone();
+                match &mut instr {
+                    Instr::Branch { target, .. } | Instr::Jump { target } => {
+                        *target = remap
+                            .get(*target as usize)
+                            .copied()
+                            .unwrap_or(next.saturating_sub(1));
+                    }
+                    _ => {}
+                }
+                instr
+            })
+            .collect()
+    })?;
+
+    let removed = candidates.len();
+    Ok((
+        rewritten,
+        ElimStats {
+            candidates: n_candidates,
+            kept_for_safety,
+            removed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::{NullTracer, Vm};
+
+    fn profile(p: &Program) -> CostGraph {
+        let mut prof = CostProfiler::new(p, CostGraphConfig::default());
+        Vm::new(p).run(&mut prof).expect("profiled run succeeds");
+        prof.finish()
+    }
+
+    fn optimize_and_check(src: &str) -> (u64, u64, ElimStats) {
+        let p = parse_program(src).unwrap();
+        let g = profile(&p);
+        let (opt, stats) = eliminate_dead_instructions(&p, &g).expect("rewrites validate");
+        let before = Vm::new(&p).run(&mut NullTracer).unwrap();
+        let after = Vm::new(&opt).run(&mut NullTracer).unwrap();
+        assert_eq!(before.output, after.output, "behaviour preserved");
+        (
+            before.instructions_executed,
+            after.instructions_executed,
+            stats,
+        )
+    }
+
+    #[test]
+    fn dead_field_chain_is_removed() {
+        let (before, after, stats) = optimize_and_check(
+            r#"
+native print/1
+class Sink { junk }
+method main/0 {
+  s = new Sink
+  a = 21
+  b = a + a
+  c = b + a
+  s.junk = c
+  live = 1
+  native print(live)
+  return
+}
+"#,
+        );
+        assert!(stats.removed >= 4, "{stats:?}");
+        assert!(after < before);
+    }
+
+    #[test]
+    fn dead_loop_body_shrinks_but_control_survives() {
+        let (before, after, stats) = optimize_and_check(
+            r#"
+native print/1
+class Sink { junk }
+method main/0 {
+  s = new Sink
+  i = 0
+  one = 1
+  lim = 100
+loop:
+  if i >= lim goto done
+  d = i * i
+  d = d + i
+  s.junk = d
+  i = i + one
+  goto loop
+done:
+  native print(i)
+  return
+}
+"#,
+        );
+        // The loop still runs 100 times (i feeds the predicate and is
+        // printed), but the three dead body instructions are gone.
+        assert!(stats.removed >= 3, "{stats:?}");
+        assert!(before - after >= 300, "{before} -> {after}");
+    }
+
+    #[test]
+    fn live_values_are_never_touched() {
+        let (before, after, stats) = optimize_and_check(
+            r#"
+native print/1
+method main/0 {
+  a = 1
+  b = 2
+  c = a + b
+  native print(c)
+  return
+}
+"#,
+        );
+        assert_eq!(stats.removed, 0);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn safety_closure_keeps_defs_read_by_survivors() {
+        // `base` looks dead through one use but is also read by the live
+        // print; it must survive.
+        let (_, _, stats) = optimize_and_check(
+            r#"
+native print/1
+class Sink { junk }
+method main/0 {
+  s = new Sink
+  base = 5
+  d = base * base
+  s.junk = d
+  native print(base)
+  return
+}
+"#,
+        );
+        assert!(stats.removed >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn branch_targets_survive_compaction() {
+        // Dead instructions sit between a branch and its target.
+        let (before, after, _) = optimize_and_check(
+            r#"
+native print/1
+class Sink { junk }
+method main/0 {
+  s = new Sink
+  cond = 1
+  one = 1
+  if cond == one goto past
+  x = 9
+  native print(x)
+past:
+  d1 = 3
+  d2 = d1 + d1
+  s.junk = d2
+  fin = 7
+  native print(fin)
+  return
+}
+"#,
+        );
+        assert!(after < before);
+    }
+
+    #[test]
+    fn chart_workload_loses_its_useless_series_work() {
+        let w = lowutil_workloads_shim::chart_small();
+        let g = profile(&w);
+        let (opt, stats) = eliminate_dead_instructions(&w, &g).unwrap();
+        let before = Vm::new(&w).run(&mut NullTracer).unwrap();
+        let after = Vm::new(&opt).run(&mut NullTracer).unwrap();
+        assert_eq!(before.output, after.output);
+        assert!(stats.removed > 0, "{stats:?}");
+        assert!(
+            after.instructions_executed < before.instructions_executed,
+            "{} -> {}",
+            before.instructions_executed,
+            after.instructions_executed
+        );
+    }
+
+    /// A minimal inline stand-in for the chart workload (the workloads
+    /// crate dev-depends on this one, so it cannot be imported here).
+    mod lowutil_workloads_shim {
+        use lowutil_ir::{parse_program, Program};
+
+        pub fn chart_small() -> Program {
+            parse_program(
+                r#"
+native print/1
+class Point { px py }
+class List { arr size }
+method List.init/0 {
+  cap = 64
+  a = newarray cap
+  this.arr = a
+  z = 0
+  this.size = z
+  return
+}
+method List.add/1 {
+  a = this.arr
+  n = this.size
+  a[n] = p0
+  one = 1
+  n = n + one
+  this.size = n
+  return
+}
+method build_series/1 {
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+  lim = 40
+bl:
+  if i >= lim goto bd
+  x = i * p0
+  y = x * x
+  pt = new Point
+  pt.px = x
+  pt.py = y
+  call List.add(l, pt)
+  i = i + one
+  goto bl
+bd:
+  return l
+}
+method main/0 {
+  total = 0
+  s = 1
+  one = 1
+  ns = 4
+sl:
+  if s > ns goto sd
+  ser = call build_series(s)
+  sz = ser.List::size
+  total = total + sz
+  s = s + one
+  goto sl
+sd:
+  native print(total)
+  return
+}
+"#,
+            )
+            .unwrap()
+        }
+    }
+}

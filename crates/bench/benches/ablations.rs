@@ -1,0 +1,112 @@
+//! Ablation benches for the paper's §3.2 design choices: thin vs
+//! traditional slicing, ignoring vs counting control decisions, and the
+//! context slot count — each measured as profiling cost over the same
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowutil_core::{CostGraphConfig, CostProfiler};
+use lowutil_vm::Vm;
+use lowutil_workloads::{workload, WorkloadSize};
+
+fn profile_with(config: CostGraphConfig, p: &lowutil_ir::Program) -> usize {
+    let mut prof = CostProfiler::new(p, config);
+    Vm::new(p).run(&mut prof).expect("runs");
+    prof.finish().graph().num_edges()
+}
+
+fn bench_slicing_discipline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/slicing");
+    let w = workload("hsqldb", WorkloadSize::Small);
+    let base = CostGraphConfig {
+        track_conflicts: false,
+        ..CostGraphConfig::default()
+    };
+    group.bench_function("thin", |b| b.iter(|| profile_with(base, &w.program)));
+    group.bench_function("traditional", |b| {
+        b.iter(|| {
+            profile_with(
+                CostGraphConfig {
+                    traditional_uses: true,
+                    ..base
+                },
+                &w.program,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_control_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/control");
+    let w = workload("pmd", WorkloadSize::Small);
+    let base = CostGraphConfig {
+        track_conflicts: false,
+        ..CostGraphConfig::default()
+    };
+    group.bench_function("data_only", |b| b.iter(|| profile_with(base, &w.program)));
+    group.bench_function("with_control", |b| {
+        b.iter(|| {
+            profile_with(
+                CostGraphConfig {
+                    control_edges: true,
+                    ..base
+                },
+                &w.program,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_slot_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/slots");
+    let w = workload("eclipse", WorkloadSize::Small);
+    for s in [1u32, 8, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                profile_with(
+                    CostGraphConfig {
+                        slots: s,
+                        track_conflicts: false,
+                        ..CostGraphConfig::default()
+                    },
+                    &w.program,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conflict_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/cr_tracking");
+    let w = workload("derby", WorkloadSize::Small);
+    for (name, track) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &track, |b, &track| {
+            b.iter(|| {
+                profile_with(
+                    CostGraphConfig {
+                        track_conflicts: track,
+                        ..CostGraphConfig::default()
+                    },
+                    &w.program,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_slicing_discipline, bench_control_edges, bench_slot_counts, bench_conflict_tracking
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Client-analysis benches: the offline costs of ranking structures,
+//! computing RAC/RAB, and the dead-value metrics over profiled workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowutil_analyses::cost::CostBenefitConfig;
+use lowutil_analyses::dead::dead_value_metrics;
+use lowutil_analyses::structure::rank_structures;
+use lowutil_core::{CostGraph, CostGraphConfig, CostProfiler};
+use lowutil_vm::Vm;
+use lowutil_workloads::{workload, WorkloadSize};
+
+fn profiled(name: &str) -> (CostGraph, u64) {
+    let w = workload(name, WorkloadSize::Small);
+    let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+    let out = Vm::new(&w.program).run(&mut prof).expect("runs");
+    (prof.finish(), out.instructions_executed)
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses/rank_structures");
+    for name in ["chart", "derby", "eclipse"] {
+        let (graph, _) = profiled(name);
+        let cfg = CostBenefitConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| rank_structures(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dead_values(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses/dead_values");
+    for name in ["bloat", "fop"] {
+        let (graph, total) = profiled(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| dead_value_metrics(g, total))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_ranking, bench_dead_values
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the abstract dependence graph: interning, edge
+//! insertion, frequency bumps, and SCC condensation — the per-instruction
+//! costs behind the paper's runtime overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowutil_core::{DepGraph, NodeKind};
+use lowutil_ir::{InstrId, MethodId};
+
+fn at(pc: u32) -> InstrId {
+    InstrId::new(MethodId(0), pc)
+}
+
+fn build_chain_graph(nodes: u32) -> DepGraph<u32> {
+    let mut g: DepGraph<u32> = DepGraph::new();
+    let mut prev = None;
+    for i in 0..nodes {
+        let n = g.intern(at(i % 512), i / 512, NodeKind::Plain);
+        g.bump(n);
+        if let Some(p) = prev {
+            g.add_edge(p, n);
+        }
+        // A back edge every 64 nodes keeps SCCs non-trivial.
+        if i % 64 == 0 {
+            let root = g.find(at(0), &0).expect("root exists");
+            g.add_edge(n, root);
+        }
+        prev = Some(n);
+    }
+    g
+}
+
+fn bench_intern_hot(c: &mut Criterion) {
+    // The common case: the node exists and is only bumped.
+    c.bench_function("graph/intern_hot", |b| {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        let n = g.intern(at(0), 0, NodeKind::Plain);
+        let m = g.intern(at(1), 0, NodeKind::Plain);
+        g.add_edge(n, m);
+        b.iter(|| {
+            let n2 = g.intern(at(1), 0, NodeKind::Plain);
+            g.bump(n2);
+            g.add_edge(n, n2);
+        })
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/build");
+    for &size in &[1_000u32, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| build_chain_graph(s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/scc");
+    for &size in &[1_000u32, 10_000, 50_000] {
+        let g = build_chain_graph(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &g, |b, g| {
+            b.iter(|| g.sccs())
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_intern_hot, bench_build, bench_scc
+}
+criterion_main!(benches);

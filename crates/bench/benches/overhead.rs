@@ -1,0 +1,69 @@
+//! Profiling-overhead bench (the paper's `O` column and the 5–10×
+//! phase-limited reduction): runs representative workloads uninstrumented,
+//! fully tracked, and phase-limited.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowutil_core::{CostGraphConfig, CostProfiler};
+use lowutil_vm::{NullTracer, Vm};
+use lowutil_workloads::{workload, WorkloadSize};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    for name in ["fop", "chart", "tradebeans"] {
+        let w = workload(name, WorkloadSize::Small);
+
+        group.bench_with_input(BenchmarkId::new("untracked", name), &w.program, |b, p| {
+            b.iter(|| {
+                Vm::new(p).run(&mut NullTracer).expect("runs");
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("tracked", name), &w.program, |b, p| {
+            b.iter(|| {
+                let mut prof = CostProfiler::new(
+                    p,
+                    CostGraphConfig {
+                        track_conflicts: false,
+                        ..CostGraphConfig::default()
+                    },
+                );
+                Vm::new(p).run(&mut prof).expect("runs");
+                prof.finish()
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("phase_limited", name),
+            &w.program,
+            |b, p| {
+                b.iter(|| {
+                    let mut prof = CostProfiler::new(
+                        p,
+                        CostGraphConfig {
+                            track_conflicts: false,
+                            phase_limited: true,
+                            ..CostGraphConfig::default()
+                        },
+                    );
+                    Vm::new(p).run(&mut prof).expect("runs");
+                    prof.finish()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_overhead
+}
+criterion_main!(benches);

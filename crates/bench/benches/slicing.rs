@@ -1,0 +1,91 @@
+//! Abstract vs concrete slicing (E17): time and memory of profiling the
+//! same run with the bounded abstract graph and with the unbounded
+//! per-instance graph, as the trace grows — the scalability argument of
+//! the paper's §2.1 and §4.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_core::{ConcreteProfiler, CostGraphConfig, CostProfiler, SlicingMode};
+use lowutil_ir::Program;
+use lowutil_vm::Vm;
+use lowutil_workloads::build_program;
+
+/// A loop-heavy program whose trace length scales with `n` while its
+/// static instruction count stays fixed.
+fn scaled_program(n: u32) -> Program {
+    build_program(&format!(
+        r#"
+class Acc {{ total }}
+method main/0 {{
+  a = new Acc
+  z = 0
+  a.total = z
+  i = 0
+  one = 1
+  lim = {n}
+loop:
+  if i >= lim goto done
+  t = a.total
+  x = i * i
+  t = t + x
+  a.total = t
+  i = i + one
+  goto loop
+done:
+  r = a.total
+  native print(r)
+  return
+}}
+"#
+    ))
+    .expect("scaled program parses")
+}
+
+fn bench_profilers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicing/profile");
+    for &n in &[1_000u32, 10_000, 50_000] {
+        let p = scaled_program(n);
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::new("abstract", n), &p, |b, p| {
+            b.iter(|| {
+                let mut prof = CostProfiler::new(
+                    p,
+                    CostGraphConfig {
+                        track_conflicts: false,
+                        ..CostGraphConfig::default()
+                    },
+                );
+                Vm::new(p).run(&mut prof).expect("runs");
+                prof.finish().graph().num_nodes()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("concrete_thin", n), &p, |b, p| {
+            b.iter(|| {
+                let mut prof = ConcreteProfiler::new(SlicingMode::Thin);
+                Vm::new(p).run(&mut prof).expect("runs");
+                prof.finish().num_instances()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("concrete_traditional", n), &p, |b, p| {
+            b.iter(|| {
+                let mut prof = ConcreteProfiler::new(SlicingMode::Traditional);
+                Vm::new(p).run(&mut prof).expect("runs");
+                prof.finish().num_instances()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_profilers
+}
+criterion_main!(benches);

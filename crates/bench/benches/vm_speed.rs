@@ -1,0 +1,113 @@
+//! Raw interpreter throughput — the denominator of every overhead figure:
+//! instructions per second for arithmetic, call-heavy, and heap-heavy
+//! inner loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_ir::{parse_program, Program};
+use lowutil_vm::{NullTracer, Vm};
+
+fn arith_loop(n: u32) -> Program {
+    parse_program(&format!(
+        r#"
+method main/0 {{
+  s = 0
+  i = 0
+  one = 1
+  lim = {n}
+l:
+  if i >= lim goto d
+  t = i * i
+  s = s + t
+  i = i + one
+  goto l
+d:
+  return s
+}}
+"#
+    ))
+    .unwrap()
+}
+
+fn call_loop(n: u32) -> Program {
+    parse_program(&format!(
+        r#"
+method f/1 {{
+  one = 1
+  r = p0 + one
+  return r
+}}
+method main/0 {{
+  s = 0
+  i = 0
+  one = 1
+  lim = {n}
+l:
+  if i >= lim goto d
+  s = call f(s)
+  i = i + one
+  goto l
+d:
+  return s
+}}
+"#
+    ))
+    .unwrap()
+}
+
+fn heap_loop(n: u32) -> Program {
+    parse_program(&format!(
+        r#"
+class Cell {{ v }}
+method main/0 {{
+  c = new Cell
+  z = 0
+  c.v = z
+  i = 0
+  one = 1
+  lim = {n}
+l:
+  if i >= lim goto d
+  t = c.v
+  t = t + i
+  c.v = t
+  i = i + one
+  goto l
+d:
+  r = c.v
+  return r
+}}
+"#
+    ))
+    .unwrap()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let n = 20_000u32;
+    let mut group = c.benchmark_group("vm/throughput");
+    for (name, p) in [
+        ("arith", arith_loop(n)),
+        ("calls", call_loop(n)),
+        ("heap", heap_loop(n)),
+    ] {
+        // Instruction counts differ per shape; report per-iteration.
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| Vm::new(p).run(&mut NullTracer).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_throughput
+}
+criterion_main!(benches);

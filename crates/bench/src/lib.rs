@@ -1,0 +1,89 @@
+//! Shared harness code for the table generators and Criterion benches.
+//!
+//! Binaries:
+//! * `table1` — regenerates Table 1 (parts a, b, c): `G_cost`
+//!   characteristics per benchmark at `s = 8` and `s = 16`, plus the
+//!   dead-value bloat measurements.
+//! * `case_studies` — regenerates the §4.2 case-study results: bloated vs
+//!   optimized work, and the tool report identifying the planted
+//!   structures.
+//! * `figure_examples` — walks through the paper's explanatory figures
+//!   (1, 2a–c, 3, 6) on their original example programs.
+
+use lowutil_core::{CostGraph, CostGraphConfig, CostProfiler};
+use lowutil_ir::Program;
+use lowutil_vm::{NullTracer, RunOutcome, Trap, Vm};
+use std::time::{Duration, Instant};
+
+/// Runs `program` uninstrumented, returning the outcome and wall time.
+///
+/// # Panics
+/// Panics if the program traps — benchmarks are expected to be correct.
+pub fn run_plain(program: &Program) -> (RunOutcome, Duration) {
+    let start = Instant::now();
+    let out = Vm::new(program)
+        .run(&mut NullTracer)
+        .expect("benchmark runs cleanly");
+    (out, start.elapsed())
+}
+
+/// Runs `program` under the cost profiler, returning the finished graph,
+/// the outcome, and wall time.
+///
+/// # Panics
+/// Panics if the program traps.
+pub fn run_profiled(
+    program: &Program,
+    config: CostGraphConfig,
+) -> (CostGraph, RunOutcome, Duration) {
+    let mut profiler = CostProfiler::new(program, config);
+    let start = Instant::now();
+    let out = Vm::new(program)
+        .run(&mut profiler)
+        .expect("benchmark runs cleanly under profiling");
+    let elapsed = start.elapsed();
+    (profiler.finish(), out, elapsed)
+}
+
+/// Profiles with a safe minimum-duration baseline: overhead factor
+/// `tracked / untracked`, with sub-microsecond baselines clamped.
+pub fn overhead_factor(tracked: Duration, untracked: Duration) -> f64 {
+    let base = untracked.as_secs_f64().max(1e-6);
+    tracked.as_secs_f64() / base
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Propagates a trap into a panic with the workload name attached.
+pub fn expect_run(name: &str, r: Result<RunOutcome, Trap>) -> RunOutcome {
+    r.unwrap_or_else(|e| panic!("workload {name} trapped: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_workloads::{workload, WorkloadSize};
+
+    #[test]
+    fn harness_profiles_a_workload_end_to_end() {
+        let w = workload("fop", WorkloadSize::Small);
+        let (out_plain, _) = run_plain(&w.program);
+        let (graph, out_prof, _) = run_profiled(&w.program, CostGraphConfig::default());
+        assert_eq!(out_plain.output, out_prof.output);
+        assert!(graph.graph().num_nodes() > 0);
+    }
+
+    #[test]
+    fn overhead_factor_is_clamped() {
+        let f = overhead_factor(Duration::from_millis(10), Duration::ZERO);
+        assert!(f.is_finite() && f > 0.0);
+    }
+
+    #[test]
+    fn mib_converts() {
+        assert!((mib(1024 * 1024) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Smoke tests for the table-generator binaries: each must run to
+//! completion at small size and print the sections EXPERIMENTS.md cites.
+
+use std::process::Command;
+
+fn run_bin(exe: &str, args: &[&str]) -> String {
+    let out = Command::new(exe).args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{} failed: {}",
+        exe,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_prints_all_sections_and_every_benchmark() {
+    let text = run_bin(
+        env!("CARGO_BIN_EXE_table1"),
+        &["--size", "small", "--slots", "8"],
+    );
+    assert!(text.contains("G_cost characteristics, s = 8"));
+    assert!(text.contains("bloat measurement"));
+    assert!(text.contains("phase-limited tracking"));
+    assert!(text.contains("abstract graph (N) vs concrete instances (I)"));
+    for name in lowutil_workloads::NAMES {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn table1_phase_limited_reduction_is_large_for_trade_benchmarks() {
+    let text = run_bin(env!("CARGO_BIN_EXE_table1"), &["--size", "small"]);
+    let section = text
+        .split("phase-limited tracking")
+        .nth(1)
+        .expect("section present");
+    for name in ["tradebeans", "tradesoap"] {
+        let line = section
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} row"));
+        let reduction: f64 = line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(
+            (5.0..=12.0).contains(&reduction),
+            "{name}: {reduction}x outside the paper's 5-10x window"
+        );
+    }
+}
+
+#[test]
+fn case_studies_reports_paper_ballpark_and_identical_output() {
+    let text = run_bin(env!("CARGO_BIN_EXE_case_studies"), &["--size", "small"]);
+    assert!(text.contains("bloated vs optimized"));
+    for name in [
+        "bloat",
+        "eclipse",
+        "sunflow",
+        "derby",
+        "tomcat",
+        "tradebeans",
+    ] {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} row"));
+        assert!(line.trim_end().ends_with("yes"), "{line}");
+    }
+    // bloat's reduction column sits at the paper's 37%.
+    let bloat = text.lines().find(|l| l.starts_with("bloat")).unwrap();
+    let red: f64 = bloat.split_whitespace().nth(3).unwrap().parse().unwrap();
+    assert!((35.0..40.0).contains(&red), "bloat reduction {red}");
+}
+
+#[test]
+fn figure_examples_walks_all_figures() {
+    let text = run_bin(env!("CARGO_BIN_EXE_figure_examples"), &[]);
+    for figure in [
+        "Figure 1",
+        "Figure 2(a)",
+        "Figure 2(b)",
+        "Figure 2(c)",
+        "Figure 3",
+        "Figure 6",
+    ] {
+        assert!(text.contains(figure), "missing {figure}");
+    }
+    assert!(text.contains("VIOLATION"), "typestate violation shown");
+    assert!(text.contains("null created at"), "null origin shown");
+}

@@ -1,0 +1,1143 @@
+//! Construction of `G_cost`: the abstract thin dependence graph for
+//! cost-benefit analysis.
+//!
+//! [`CostProfiler`] implements the paper's Figure 4 instrumentation
+//! semantics as a [`Tracer`] over the VM's event stream:
+//!
+//! * every value-producing instruction becomes (or bumps) an abstract node
+//!   annotated with the *context slot* `h(c)` of the current
+//!   receiver-object allocation-site chain `c`;
+//! * predicates and natives become context-free *consumer* nodes;
+//! * def-use edges are discovered online through shadow locations: every
+//!   local, instance field, static field, and array element has a shadow
+//!   slot holding the node that last wrote it;
+//! * the thin-slicing rule is inherited from the VM's events: base
+//!   pointers of heap accesses are not uses, array indices are;
+//! * allocations tag the new object (on the shadow heap) with the
+//!   context-annotated allocation site `(new X)^{h(c)}`, and every store
+//!   into a tagged object adds a *reference edge* from the store node to
+//!   the matching allocation node, plus a points-to record used to build
+//!   object reference trees (Definition 7);
+//! * tracking data for actuals and return values flows through the
+//!   call/return events, mirroring the paper's tracking stack.
+//!
+//! The finished artifact is a [`CostGraph`], the input to every analysis in
+//! `lowutil-analyses`.
+
+use crate::context::{slot_of, ConflictStats, ContextStack};
+use crate::graph::{DepGraph, NodeId, NodeKind};
+use lowutil_ir::{AllocSiteId, FieldId, InstrId, Local, StaticId, Value};
+use lowutil_vm::{Event, FrameInfo, ShadowHeap, ShadowStack, Tracer};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The abstract-domain element of a `G_cost` node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostElem {
+    /// An encoded context slot `h(c) ∈ [0, s)`.
+    Ctx(u32),
+    /// Predicate and native nodes carry no context (the paper's `a°`).
+    NoCtx,
+}
+
+impl fmt::Display for CostElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostElem::Ctx(s) => write!(f, "^{s}"),
+            CostElem::NoCtx => write!(f, "°"),
+        }
+    }
+}
+
+/// A context-annotated allocation site `(new X)^{h(c)}` — the paper's
+/// static object abstraction, refined by the allocation context so that
+/// reference edges connect effects on (probabilistically) the same object
+/// population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaggedSite {
+    /// The allocation site.
+    pub site: AllocSiteId,
+    /// The context slot the allocation executed under.
+    pub slot: u32,
+}
+
+impl fmt::Display for TaggedSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.site, self.slot)
+    }
+}
+
+/// Which member of an object a heap effect touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldKey {
+    /// An instance field.
+    Field(FieldId),
+    /// Any array element (elements are merged, like the paper's `ELM`).
+    Element,
+    /// The array length header.
+    Length,
+}
+
+impl fmt::Display for FieldKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldKey::Field(id) => write!(f, "{id}"),
+            FieldKey::Element => write!(f, "ELM"),
+            FieldKey::Length => write!(f, "LEN"),
+        }
+    }
+}
+
+/// The heap effect recorded for a node (the paper's environment `H`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapEffect {
+    /// `('U', O^h, ·)` — the node allocates.
+    Alloc {
+        /// The context-annotated site.
+        site: TaggedSite,
+    },
+    /// `('C', O^h, f)` — the node reads a member of an object.
+    Load {
+        /// The base object's tag.
+        site: TaggedSite,
+        /// The member read.
+        field: FieldKey,
+    },
+    /// `('B', O^h, f)` — the node writes a member of an object.
+    Store {
+        /// The base object's tag.
+        site: TaggedSite,
+        /// The member written.
+        field: FieldKey,
+    },
+    /// A static-field read.
+    LoadStatic(StaticId),
+    /// A static-field write.
+    StoreStatic(StaticId),
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CostGraphConfig {
+    /// Number of context slots `s` (the paper evaluates 8 and 16).
+    pub slots: u32,
+    /// Record exact chains per slot to compute the CR column. Costs
+    /// memory; disable for overhead benchmarking.
+    pub track_conflicts: bool,
+    /// When `true`, profiling is disarmed until a `phase_begin` native
+    /// fires (the paper's steady-state-only tracking mode).
+    pub phase_limited: bool,
+    /// Ablation switch: when `true`, base pointers of heap accesses are
+    /// treated as uses (traditional dynamic slicing) instead of being
+    /// excluded (thin slicing). The paper argues thin slicing attributes
+    /// data-structure formation costs correctly; this flag lets the
+    /// degradation be measured.
+    pub traditional_uses: bool,
+    /// Ablation switch for §3.2 "considering vs ignoring control decision
+    /// making": when `true`, every value-producing node receives an edge
+    /// from the predicate nodes it is (statically) control-dependent on,
+    /// so control work flows into value costs. The paper ignores control
+    /// (the default) to keep reports precise.
+    pub control_edges: bool,
+}
+
+impl Default for CostGraphConfig {
+    fn default() -> Self {
+        CostGraphConfig {
+            slots: 16,
+            track_conflicts: true,
+            phase_limited: false,
+            traditional_uses: false,
+            control_edges: false,
+        }
+    }
+}
+
+/// Builds `G_cost` online while the VM runs. See the module docs.
+#[derive(Debug)]
+pub struct CostProfiler {
+    config: CostGraphConfig,
+    graph: DepGraph<CostElem>,
+    shadow_stack: ShadowStack<Option<NodeId>>,
+    shadow_heap: ShadowHeap<Option<NodeId>, Option<TaggedSite>>,
+    shadow_statics: Vec<Option<NodeId>>,
+    contexts: ContextStack,
+    conflicts: ConflictStats,
+    pending_args: Vec<Option<NodeId>>,
+    ret_stash: Option<NodeId>,
+    ref_edges: HashSet<(NodeId, NodeId)>,
+    effects: HashMap<NodeId, HeapEffect>,
+    alloc_nodes: HashMap<TaggedSite, NodeId>,
+    points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>>,
+    armed: bool,
+    instr_instances: u64,
+    /// Static control-dependence table (only populated under
+    /// [`CostGraphConfig::control_edges`]): instruction → controlling
+    /// branch instructions.
+    control_deps: HashMap<InstrId, Vec<InstrId>>,
+}
+
+impl CostProfiler {
+    /// Creates a profiler. The `program` is consulted only for static
+    /// control-dependence tables when
+    /// [`CostGraphConfig::control_edges`] is set; the profiler otherwise
+    /// consumes VM events alone.
+    pub fn new(program: &lowutil_ir::Program, config: CostGraphConfig) -> Self {
+        let mut control_deps = HashMap::new();
+        if config.control_edges {
+            for (mi, method) in program.methods().iter().enumerate() {
+                let cfg = lowutil_ir::Cfg::build(method);
+                let deps = cfg.control_dependencies();
+                for (pc, branches) in deps.into_iter().enumerate() {
+                    if branches.is_empty() {
+                        continue;
+                    }
+                    let mid = lowutil_ir::MethodId(mi as u32);
+                    control_deps.insert(
+                        InstrId::new(mid, pc as u32),
+                        branches.into_iter().map(|b| InstrId::new(mid, b)).collect(),
+                    );
+                }
+            }
+        }
+        CostProfiler {
+            config,
+            graph: DepGraph::new(),
+            shadow_stack: ShadowStack::new(),
+            shadow_heap: ShadowHeap::new(None),
+            shadow_statics: Vec::new(),
+            contexts: ContextStack::new(),
+            conflicts: ConflictStats::new(),
+            pending_args: Vec::new(),
+            ret_stash: None,
+            ref_edges: HashSet::new(),
+            effects: HashMap::new(),
+            alloc_nodes: HashMap::new(),
+            points_to: HashMap::new(),
+            armed: !config.phase_limited,
+            instr_instances: 0,
+            control_deps,
+        }
+    }
+
+    fn shadow(&self, l: Local) -> Option<NodeId> {
+        *self.shadow_stack.top().get(l.index())
+    }
+
+    fn set_shadow(&mut self, l: Local, n: Option<NodeId>) {
+        self.shadow_stack.top_mut().set(l.index(), n);
+    }
+
+    /// Interns + bumps the node for `at` under the current context.
+    fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
+        let g = self.contexts.current();
+        let slot = slot_of(g, self.config.slots);
+        if self.config.track_conflicts {
+            self.conflicts.record(at, slot, g);
+        }
+        let n = self.graph.intern(at, CostElem::Ctx(slot), kind);
+        self.graph.bump(n);
+        if self.config.control_edges {
+            if let Some(branches) = self.control_deps.get(&at) {
+                for b in branches.clone() {
+                    let pnode = self.graph.intern(b, CostElem::NoCtx, NodeKind::Predicate);
+                    self.graph.add_edge(pnode, n);
+                }
+            }
+        }
+        n
+    }
+
+    /// Interns + bumps a context-free consumer node.
+    fn consumer_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
+        let n = self.graph.intern(at, CostElem::NoCtx, kind);
+        self.graph.bump(n);
+        n
+    }
+
+    fn edge_from_shadow(&mut self, src: Option<NodeId>, to: NodeId) {
+        if let Some(m) = src {
+            self.graph.add_edge(m, to);
+        }
+    }
+
+    fn store_common(
+        &mut self,
+        n: NodeId,
+        object: lowutil_ir::ObjectId,
+        field: FieldKey,
+        value: Value,
+    ) {
+        if let Some(tag) = self.shadow_heap.tag(object) {
+            self.effects
+                .insert(n, HeapEffect::Store { site: tag, field });
+            if let Some(&alloc) = self.alloc_nodes.get(&tag) {
+                self.ref_edges.insert((n, alloc));
+            }
+            if let Some(target) = value.as_ref_id() {
+                if let Some(tag2) = self.shadow_heap.tag(target) {
+                    self.points_to.entry((tag, field)).or_default().insert(tag2);
+                }
+            }
+        }
+    }
+
+    /// Consumes the profiler, producing the analysis-ready [`CostGraph`].
+    pub fn finish(self) -> CostGraph {
+        let mut field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
+        let mut field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
+        for (&n, eff) in &self.effects {
+            match *eff {
+                HeapEffect::Store { site, field } => {
+                    field_writes.entry((site, field)).or_default().push(n)
+                }
+                HeapEffect::Load { site, field } => {
+                    field_reads.entry((site, field)).or_default().push(n)
+                }
+                _ => {}
+            }
+        }
+        for v in field_writes.values_mut().chain(field_reads.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CostGraph {
+            shadow_heap_bytes: self.shadow_heap.approx_bytes(),
+            graph: self.graph,
+            ref_edges: self.ref_edges,
+            effects: self.effects,
+            alloc_nodes: self.alloc_nodes,
+            points_to: self.points_to,
+            field_writes,
+            field_reads,
+            conflicts: self.conflicts,
+            instr_instances: self.instr_instances,
+        }
+    }
+}
+
+impl Tracer for CostProfiler {
+    fn instr(&mut self, event: &Event) {
+        if let Event::Phase { begin, .. } = event {
+            if self.config.phase_limited {
+                self.armed = *begin;
+            }
+            return;
+        }
+        if !self.armed {
+            // Keep call/return plumbing from leaking stale data across an
+            // armed/disarmed boundary.
+            match event {
+                Event::Call { .. } => self.pending_args.clear(),
+                Event::Return { .. } => self.ret_stash = None,
+                _ => {}
+            }
+            return;
+        }
+        // A call instruction surfaces as two events (Call before the
+        // callee, CallComplete after); count it once.
+        if !matches!(event, Event::CallComplete { .. }) {
+            self.instr_instances += 1;
+        }
+        match event {
+            Event::Compute {
+                at,
+                dst,
+                uses,
+                value: _,
+            } => {
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                for u in uses.iter().flatten() {
+                    self.edge_from_shadow(self.shadow(*u), n);
+                }
+                self.set_shadow(*dst, Some(n));
+            }
+            Event::Predicate { at, uses, .. } => {
+                let n = self.consumer_node(*at, NodeKind::Predicate);
+                for u in uses {
+                    self.edge_from_shadow(self.shadow(*u), n);
+                }
+            }
+            Event::Alloc {
+                at,
+                dst,
+                object,
+                site,
+                len_use,
+            } => {
+                let n = self.ctx_node(*at, NodeKind::Alloc);
+                if let Some(l) = len_use {
+                    self.edge_from_shadow(self.shadow(*l), n);
+                }
+                self.set_shadow(*dst, Some(n));
+                let slot = slot_of(self.contexts.current(), self.config.slots);
+                let tag = TaggedSite { site: *site, slot };
+                self.shadow_heap.on_alloc(*object, 0, Some(tag));
+                self.alloc_nodes.insert(tag, n);
+                self.effects.insert(n, HeapEffect::Alloc { site: tag });
+            }
+            Event::LoadField {
+                at,
+                dst,
+                base,
+                object,
+                field,
+                offset,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                let src = self.shadow_heap.get(*object, *offset as usize);
+                self.edge_from_shadow(src, n);
+                if self.config.traditional_uses {
+                    self.edge_from_shadow(self.shadow(*base), n);
+                }
+                self.set_shadow(*dst, Some(n));
+                if let Some(tag) = self.shadow_heap.tag(*object) {
+                    self.effects.insert(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Field(*field),
+                        },
+                    );
+                }
+            }
+            Event::StoreField {
+                at,
+                base,
+                object,
+                field,
+                offset,
+                src,
+                value,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                self.edge_from_shadow(self.shadow(*src), n);
+                if self.config.traditional_uses {
+                    self.edge_from_shadow(self.shadow(*base), n);
+                }
+                self.shadow_heap.set(*object, *offset as usize, Some(n));
+                self.store_common(n, *object, FieldKey::Field(*field), *value);
+            }
+            Event::LoadStatic { at, dst, field, .. } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                let src = self.shadow_statics.get(field.index()).copied().flatten();
+                self.edge_from_shadow(src, n);
+                self.set_shadow(*dst, Some(n));
+                self.effects.insert(n, HeapEffect::LoadStatic(*field));
+            }
+            Event::StoreStatic { at, field, src, .. } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                self.edge_from_shadow(self.shadow(*src), n);
+                if self.shadow_statics.len() <= field.index() {
+                    self.shadow_statics.resize(field.index() + 1, None);
+                }
+                self.shadow_statics[field.index()] = Some(n);
+                self.effects.insert(n, HeapEffect::StoreStatic(*field));
+            }
+            Event::ArrayLoad {
+                at,
+                dst,
+                base,
+                object,
+                idx,
+                index,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                self.edge_from_shadow(self.shadow(*idx), n);
+                if self.config.traditional_uses {
+                    self.edge_from_shadow(self.shadow(*base), n);
+                }
+                let src = self.shadow_heap.get(*object, *index as usize);
+                self.edge_from_shadow(src, n);
+                self.set_shadow(*dst, Some(n));
+                if let Some(tag) = self.shadow_heap.tag(*object) {
+                    self.effects.insert(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Element,
+                        },
+                    );
+                }
+            }
+            Event::ArrayStore {
+                at,
+                base,
+                object,
+                idx,
+                index,
+                src,
+                value,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                self.edge_from_shadow(self.shadow(*idx), n);
+                if self.config.traditional_uses {
+                    self.edge_from_shadow(self.shadow(*base), n);
+                }
+                self.edge_from_shadow(self.shadow(*src), n);
+                self.shadow_heap.set(*object, *index as usize, Some(n));
+                self.store_common(n, *object, FieldKey::Element, *value);
+            }
+            Event::ArrayLen {
+                at,
+                dst,
+                base,
+                object,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                if self.config.traditional_uses {
+                    self.edge_from_shadow(self.shadow(*base), n);
+                }
+                // The length was produced by the allocation.
+                if let Some(tag) = self.shadow_heap.tag(*object) {
+                    if let Some(&alloc) = self.alloc_nodes.get(&tag) {
+                        self.graph.add_edge(alloc, n);
+                    }
+                    self.effects.insert(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Length,
+                        },
+                    );
+                }
+                self.set_shadow(*dst, Some(n));
+            }
+            Event::Call { args, .. } => {
+                self.pending_args.clear();
+                for a in args {
+                    let s = self.shadow(*a);
+                    self.pending_args.push(s);
+                }
+            }
+            Event::Return { src, .. } => {
+                self.ret_stash = src.and_then(|s| self.shadow(s));
+            }
+            Event::CallComplete { dst, .. } => {
+                let stash = self.ret_stash.take();
+                if let Some(d) = dst {
+                    self.set_shadow(*d, stash);
+                }
+            }
+            Event::Native { at, args, dst, .. } => {
+                let n = self.consumer_node(*at, NodeKind::Native);
+                for a in args {
+                    self.edge_from_shadow(self.shadow(*a), n);
+                }
+                if let Some(d) = dst {
+                    self.set_shadow(*d, Some(n));
+                }
+            }
+            Event::Jump { .. } => {}
+            Event::Phase { .. } => unreachable!("handled above"),
+        }
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        let receiver_site = info
+            .receiver
+            .and_then(|o| self.shadow_heap.tag(o))
+            .map(|t| t.site);
+        self.contexts.push(receiver_site);
+        self.shadow_stack.push(info.num_locals as usize);
+        // Formals receive the tracking data of the actuals (rule METHOD
+        // ENTRY); the entry frame has no actuals.
+        for (i, _) in info.args.iter().enumerate() {
+            let data = self.pending_args.get(i).copied().flatten();
+            self.shadow_stack.top_mut().set(i, data);
+        }
+        self.pending_args.clear();
+    }
+
+    fn frame_pop(&mut self) {
+        self.shadow_stack.pop();
+        self.contexts.pop();
+    }
+}
+
+/// The finished `G_cost`: the abstract thin dependence graph plus the
+/// heap-effect side tables every client analysis consumes.
+#[derive(Debug)]
+pub struct CostGraph {
+    graph: DepGraph<CostElem>,
+    ref_edges: HashSet<(NodeId, NodeId)>,
+    effects: HashMap<NodeId, HeapEffect>,
+    alloc_nodes: HashMap<TaggedSite, NodeId>,
+    points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>>,
+    field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
+    field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
+    conflicts: ConflictStats,
+    instr_instances: u64,
+    shadow_heap_bytes: usize,
+}
+
+impl CostGraph {
+    /// Reassembles a cost graph from its serialized parts (see
+    /// [`crate::export`]); field read/write indexes and the allocation-node
+    /// table are rebuilt from the effects.
+    pub fn from_parts(
+        graph: DepGraph<CostElem>,
+        ref_edges: HashSet<(NodeId, NodeId)>,
+        effects: HashMap<NodeId, HeapEffect>,
+        points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>>,
+        instr_instances: u64,
+        shadow_heap_bytes: usize,
+    ) -> Self {
+        let mut field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
+        let mut field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
+        let mut alloc_nodes: HashMap<TaggedSite, NodeId> = HashMap::new();
+        for (&n, eff) in &effects {
+            match *eff {
+                HeapEffect::Store { site, field } => {
+                    field_writes.entry((site, field)).or_default().push(n)
+                }
+                HeapEffect::Load { site, field } => {
+                    field_reads.entry((site, field)).or_default().push(n)
+                }
+                HeapEffect::Alloc { site } => {
+                    alloc_nodes.insert(site, n);
+                }
+                _ => {}
+            }
+        }
+        for v in field_writes.values_mut().chain(field_reads.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CostGraph {
+            graph,
+            ref_edges,
+            effects,
+            alloc_nodes,
+            points_to,
+            field_writes,
+            field_reads,
+            conflicts: ConflictStats::new(),
+            instr_instances,
+            shadow_heap_bytes,
+        }
+    }
+
+    /// The underlying dependence graph.
+    pub fn graph(&self) -> &DepGraph<CostElem> {
+        &self.graph
+    }
+
+    /// Reference edges: store node → allocation node of the stored-into
+    /// object.
+    pub fn ref_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.ref_edges.iter().copied()
+    }
+
+    /// The heap effect of a node, if it touches the heap.
+    pub fn effect(&self, node: NodeId) -> Option<&HeapEffect> {
+        self.effects.get(&node)
+    }
+
+    /// All context-annotated allocation sites observed, sorted.
+    pub fn objects(&self) -> Vec<TaggedSite> {
+        let mut v: Vec<TaggedSite> = self.alloc_nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The allocation node of a tagged site.
+    pub fn alloc_node(&self, site: TaggedSite) -> Option<NodeId> {
+        self.alloc_nodes.get(&site).copied()
+    }
+
+    /// Store nodes that write `site.field`.
+    pub fn writes_of(&self, site: TaggedSite, field: FieldKey) -> &[NodeId] {
+        self.field_writes
+            .get(&(site, field))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Load nodes that read `site.field`.
+    pub fn reads_of(&self, site: TaggedSite, field: FieldKey) -> &[NodeId] {
+        self.field_reads
+            .get(&(site, field))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Members of `site` that were ever written or read.
+    pub fn fields_of(&self, site: TaggedSite) -> Vec<FieldKey> {
+        let mut v: Vec<FieldKey> = self
+            .field_writes
+            .keys()
+            .chain(self.field_reads.keys())
+            .filter(|(s, _)| *s == site)
+            .map(|(_, f)| *f)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Objects that `site.field` was observed pointing to.
+    pub fn points_to(&self, site: TaggedSite, field: FieldKey) -> Vec<TaggedSite> {
+        let mut v: Vec<TaggedSite> = self
+            .points_to
+            .get(&(site, field))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Context-conflict statistics (empty unless tracking was enabled).
+    pub fn conflicts(&self) -> &ConflictStats {
+        &self.conflicts
+    }
+
+    /// Total instruction instances profiled (the paper's column `I`
+    /// restricted to the armed window).
+    pub fn instr_instances(&self) -> u64 {
+        self.instr_instances
+    }
+
+    /// Approximate dependence-graph memory in bytes (column `M`).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.graph.approx_bytes()
+            + self.ref_edges.len() * (size_of::<(NodeId, NodeId)>() + 16)
+            + self.effects.len() * (size_of::<HeapEffect>() + size_of::<NodeId>() + 16)
+    }
+
+    /// Approximate shadow-heap memory at the end of the run (reported
+    /// separately, as in the paper).
+    pub fn shadow_heap_bytes(&self) -> usize {
+        self.shadow_heap_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    fn profile(src: &str) -> CostGraph {
+        let p = parse_program(src).expect("parse");
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).expect("run");
+        prof.finish()
+    }
+
+    #[test]
+    fn straight_line_graph_has_expected_shape() {
+        // Figure 1's program: a=0; c=f(a); d=c*3; b=c+d with f(e)=e>>2.
+        let g = profile(
+            r#"
+method main/0 {
+  a = 0
+  c = call f(a)
+  three = 3
+  d = c * three
+  b = c + d
+  return
+}
+method f/1 {
+  two = 2
+  r = p0 >> two
+  return r
+}
+"#,
+        );
+        // Nodes: a=0, c gets f's r (via return), three, d, b, two, r.
+        // All execute once under the empty context.
+        assert!(g.graph().num_nodes() >= 6);
+        for (_, n) in g.graph().iter() {
+            assert_eq!(n.freq, 1);
+        }
+    }
+
+    #[test]
+    fn loop_nodes_accumulate_frequency_not_nodes() {
+        let g = profile(
+            r#"
+method main/0 {
+  i = 0
+  one = 1
+  lim = 100
+loop:
+  if i >= lim goto done
+  i = i + one
+  goto loop
+done:
+  return
+}
+"#,
+        );
+        let nodes = g.graph().num_nodes();
+        assert!(nodes <= 6, "abstract graph stays bounded, got {nodes}");
+        // The increment node ran 100 times.
+        let max_freq = g.graph().iter().map(|(_, n)| n.freq).max().unwrap();
+        assert!(max_freq >= 100);
+    }
+
+    #[test]
+    fn heap_flow_connects_store_to_load() {
+        let g = profile(
+            r#"
+native print/1
+class Box { v }
+method main/0 {
+  b = new Box
+  x = 41
+  one = 1
+  y = x + one
+  b.v = y
+  z = b.v
+  native print(z)
+  return
+}
+"#,
+        );
+        let objects = g.objects();
+        assert_eq!(objects.len(), 1);
+        let tag = objects[0];
+        // One write and one read of Box.v.
+        let fields = g.fields_of(tag);
+        assert_eq!(fields.len(), 1);
+        let f = fields[0];
+        assert_eq!(g.writes_of(tag, f).len(), 1);
+        assert_eq!(g.reads_of(tag, f).len(), 1);
+        let store = g.writes_of(tag, f)[0];
+        let load = g.reads_of(tag, f)[0];
+        // Def-use edge store → load exists.
+        assert!(g.graph().succs(store).contains(&load));
+        // Reference edge store → alloc exists.
+        let alloc = g.alloc_node(tag).unwrap();
+        assert!(g.ref_edges().any(|(s, a)| s == store && a == alloc));
+        // Store node is boxed, load circled, alloc underlined.
+        assert_eq!(g.graph().node(store).kind, NodeKind::HeapStore);
+        assert_eq!(g.graph().node(load).kind, NodeKind::HeapLoad);
+        assert_eq!(g.graph().node(alloc).kind, NodeKind::Alloc);
+    }
+
+    #[test]
+    fn predicates_and_natives_are_context_free_consumers() {
+        let g = profile(
+            r#"
+native print/1
+method main/0 {
+  x = 1
+  y = 2
+  if x < y goto l
+l:
+  native print(x)
+  return
+}
+"#,
+        );
+        let consumers: Vec<_> = g
+            .graph()
+            .iter()
+            .filter(|(_, n)| n.kind.is_consumer())
+            .collect();
+        assert_eq!(consumers.len(), 2);
+        for (_, n) in consumers {
+            assert_eq!(n.elem, CostElem::NoCtx);
+        }
+    }
+
+    #[test]
+    fn contexts_split_nodes_by_receiver_chain() {
+        // Two A objects from different sites call the same method `get`;
+        // with enough slots, the body nodes split into two context slots.
+        let g = profile(
+            r#"
+class A { f }
+native print/1
+method main/0 {
+  x = 1
+  a1 = new A
+  a1.f = x
+  a2 = new A
+  a2.f = x
+  r1 = vcall get(a1)
+  r2 = vcall get(a2)
+  native print(r1)
+  native print(r2)
+  return
+}
+method A.get/0 {
+  r = this.f
+  return r
+}
+"#,
+        );
+        // The load `r = this.f` should appear under two distinct contexts.
+        let load_nodes: Vec<_> = g
+            .graph()
+            .iter()
+            .filter(|(_, n)| n.kind == NodeKind::HeapLoad)
+            .collect();
+        assert_eq!(load_nodes.len(), 2, "this.f split by receiver context");
+    }
+
+    #[test]
+    fn points_to_tracks_reference_stores() {
+        let g = profile(
+            r#"
+class Outer { inner }
+class Inner { v }
+method main/0 {
+  o = new Outer
+  i = new Inner
+  o.inner = i
+  return
+}
+"#,
+        );
+        let objects = g.objects();
+        assert_eq!(objects.len(), 2);
+        // Outer's field points to Inner's tag.
+        let with_ptr: Vec<_> = objects
+            .iter()
+            .filter(|&&t| {
+                g.fields_of(t)
+                    .iter()
+                    .any(|&f| !g.points_to(t, f).is_empty())
+            })
+            .collect();
+        assert_eq!(with_ptr.len(), 1);
+    }
+
+    #[test]
+    fn phase_limited_profiling_skips_outside_window() {
+        let src = r#"
+native phase_begin/0
+native phase_end/0
+native print/1
+method main/0 {
+  a = 1
+  b = 2
+  native phase_begin()
+  c = 3
+  native phase_end()
+  d = 4
+  native print(d)
+  return
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let mut prof = CostProfiler::new(
+            &p,
+            CostGraphConfig {
+                phase_limited: true,
+                ..CostGraphConfig::default()
+            },
+        );
+        Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        // Only `c = 3` was profiled.
+        assert_eq!(g.instr_instances(), 1);
+        assert_eq!(g.graph().num_nodes(), 1);
+    }
+
+    #[test]
+    fn traditional_uses_pull_pointer_costs_into_values() {
+        // Under thin slicing the value loaded from b.v depends only on the
+        // stored value; under traditional slicing it also depends on the
+        // expensive computation that produced the *pointer* b.
+        let src = r#"
+native print/1
+class Box { v }
+class Registry { slot }
+method main/0 {
+  # expensive pointer computation: pick a box via a loop
+  reg = new Registry
+  b = new Box
+  reg.slot = b
+  i = 0
+  one = 1
+  lim = 200
+loop:
+  if i >= lim goto done
+  b = reg.slot
+  i = i + one
+  goto loop
+done:
+  x = 7
+  b.v = x
+  y = b.v
+  native print(y)
+  return
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let run = |traditional: bool| {
+            let mut prof = CostProfiler::new(
+                &p,
+                CostGraphConfig {
+                    traditional_uses: traditional,
+                    ..CostGraphConfig::default()
+                },
+            );
+            Vm::new(&p).run(&mut prof).unwrap();
+            prof.finish()
+        };
+        let thin = run(false);
+        let trad = run(true);
+        // Same nodes, strictly more edges under traditional slicing.
+        assert_eq!(thin.graph().num_nodes(), trad.graph().num_nodes());
+        assert!(trad.graph().num_edges() > thin.graph().num_edges());
+
+        // Backward slice size from the load of b.v: thin excludes the
+        // pointer-producing loop, traditional includes it.
+        let load_of = |g: &CostGraph| {
+            g.objects()
+                .into_iter()
+                .flat_map(|o| {
+                    g.fields_of(o)
+                        .into_iter()
+                        .flat_map(move |f| g.reads_of(o, f).to_vec())
+                })
+                .max_by_key(|&n| crate::slicer::backward_slice(g.graph(), n).len())
+                .unwrap()
+        };
+        let thin_n = crate::slicer::backward_slice(thin.graph(), load_of(&thin)).len();
+        let trad_n = crate::slicer::backward_slice(trad.graph(), load_of(&trad)).len();
+        assert!(
+            trad_n > thin_n,
+            "traditional slice ({trad_n}) must exceed thin ({thin_n})"
+        );
+    }
+
+    #[test]
+    fn control_edges_charge_loop_guards_into_value_costs() {
+        // A value computed inside a loop: ignoring control, its backward
+        // slice excludes the loop-condition work; counting control, the
+        // guard's instances flow in (the paper's §3.2 concern that costs
+        // then include "many values that are irrelevant").
+        let src = r#"
+class Box { v }
+method main/0 {
+  b = new Box
+  acc = 0
+  i = 0
+  one = 1
+  lim = 50
+loop:
+  if i >= lim goto done
+  acc = acc + one
+  i = i + one
+  goto loop
+done:
+  b.v = acc
+  return
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let run = |control: bool| {
+            let mut prof = CostProfiler::new(
+                &p,
+                CostGraphConfig {
+                    control_edges: control,
+                    ..CostGraphConfig::default()
+                },
+            );
+            Vm::new(&p).run(&mut prof).unwrap();
+            prof.finish()
+        };
+        let plain = run(false);
+        let ctl = run(true);
+        let store_of = |g: &CostGraph| {
+            g.objects()
+                .into_iter()
+                .flat_map(|o| {
+                    g.fields_of(o)
+                        .into_iter()
+                        .flat_map(move |f| g.writes_of(o, f).to_vec())
+                })
+                .next()
+                .expect("b.v written")
+        };
+        let cost = |g: &CostGraph| {
+            let s = crate::slicer::backward_slice(g.graph(), store_of(g));
+            crate::slicer::freq_sum(g.graph(), s)
+        };
+        let base = cost(&plain);
+        let with_control = cost(&ctl);
+        assert!(
+            with_control > base,
+            "control edges must inflate costs: {with_control} vs {base}"
+        );
+        // The inflation includes the guard's ~51 executions and the i
+        // counter feeding it.
+        assert!(with_control >= base + 50);
+    }
+
+    #[test]
+    fn conflict_stats_are_recorded() {
+        let g = profile(
+            r#"
+method main/0 {
+  x = 1
+  return
+}
+"#,
+        );
+        assert!(g.conflicts().num_instructions() >= 1);
+        assert_eq!(g.conflicts().average_cr(), 0.0);
+    }
+
+    #[test]
+    fn argument_tracking_crosses_calls() {
+        // The value printed flows from `x = 5` through double() and back.
+        let g = profile(
+            r#"
+native print/1
+method main/0 {
+  x = 5
+  y = call double(x)
+  native print(y)
+  return
+}
+method double/1 {
+  r = p0 + p0
+  return r
+}
+"#,
+        );
+        // Find the const node (freq 1, Plain, no preds) and the native
+        // node; the const must reach the native.
+        let native = g
+            .graph()
+            .iter()
+            .find(|(_, n)| n.kind == NodeKind::Native)
+            .map(|(id, _)| id)
+            .unwrap();
+        let const_node = g
+            .graph()
+            .iter()
+            .find(|(_, n)| {
+                n.kind == NodeKind::Plain
+                    && g.graph().preds(NodeId(0)).is_empty()
+                    && n.instr.pc == 0
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        // BFS forward from const.
+        let mut seen = vec![const_node];
+        let mut stack = vec![const_node];
+        while let Some(n) = stack.pop() {
+            for &s in g.graph().succs(n) {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                    stack.push(s);
+                }
+            }
+        }
+        assert!(seen.contains(&native), "x=5 flows into print");
+    }
+}

@@ -1,0 +1,363 @@
+//! Slicing traversals over dependence graphs.
+//!
+//! Backward slices answer "what produced this value" (costs); forward
+//! slices answer "what consumed it" (benefits). The heap-bounded variants
+//! implement the hop semantics of Definitions 5 and 6: a backward traversal
+//! that refuses to continue *through* heap-reading nodes, and a forward
+//! traversal that refuses to continue through heap-writing nodes.
+
+use crate::graph::{DepGraph, NodeId};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow predecessors (def → … → seed).
+    Backward,
+    /// Follow successors (seed → … → use).
+    Forward,
+}
+
+/// Collects the nodes reachable from `seeds` in `dir`, including the seeds
+/// themselves. `enter` decides whether traversal may continue *through* a
+/// non-seed node: if `enter(n)` is `false`, `n` is still included in the
+/// result but its neighbours are not explored from it.
+pub fn reachable<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seeds: impl IntoIterator<Item = NodeId>,
+    dir: Direction,
+    mut enter: impl FnMut(NodeId) -> bool,
+) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for s in seeds {
+        if seen.insert(s) {
+            stack.push(s);
+        }
+    }
+    // Seeds always explore; interior nodes consult `enter`.
+    let seed_set: HashSet<NodeId> = stack.iter().copied().collect();
+    while let Some(n) = stack.pop() {
+        if !seed_set.contains(&n) && !enter(n) {
+            continue;
+        }
+        let neighbours = match dir {
+            Direction::Backward => graph.preds(n),
+            Direction::Forward => graph.succs(n),
+        };
+        for &m in neighbours {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// The full backward (thin) slice from `seed`: every node whose value
+/// transitively flows into it, including `seed`.
+pub fn backward_slice<D: Clone + Eq + Hash>(graph: &DepGraph<D>, seed: NodeId) -> HashSet<NodeId> {
+    reachable(graph, [seed], Direction::Backward, |_| true)
+}
+
+/// The full forward slice from `seed`.
+pub fn forward_slice<D: Clone + Eq + Hash>(graph: &DepGraph<D>, seed: NodeId) -> HashSet<NodeId> {
+    reachable(graph, [seed], Direction::Forward, |_| true)
+}
+
+/// Sum of node frequencies over a node set — the abstract cost of a slice
+/// (Definition 4 when applied to a full backward slice).
+pub fn freq_sum<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    nodes: impl IntoIterator<Item = NodeId>,
+) -> u64 {
+    nodes.into_iter().map(|n| graph.node(n).freq).sum()
+}
+
+/// Heap-bounded backward reachability (Definition 5): nodes that reach
+/// `seed` along paths whose *interior* (and source side) crosses no
+/// heap-reading node. Heap-reading nodes encountered are excluded entirely
+/// — the hop starts where the heap was last read.
+pub fn heap_bounded_backward<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seed: NodeId,
+) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![seed];
+    seen.insert(seed);
+    while let Some(n) = stack.pop() {
+        for &m in graph.preds(n) {
+            if graph.node(m).kind.reads_heap() {
+                continue; // the hop boundary
+            }
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Heap-bounded forward reachability (Definition 6): nodes reachable from
+/// `seed` along paths crossing no heap-writing node; heap-writing nodes are
+/// excluded — the hop ends where the heap is next written.
+pub fn heap_bounded_forward<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seed: NodeId,
+) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![seed];
+    seen.insert(seed);
+    while let Some(n) = stack.pop() {
+        for &m in graph.succs(n) {
+            if graph.node(m).kind.writes_heap() {
+                continue;
+            }
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Multi-hop backward reachability (§3.2 "single-hop vs multi-hop"):
+/// like [`heap_bounded_backward`], but traversal may pass *through* up to
+/// `hops - 1` heap-reading nodes, widening the inspected region of the
+/// data flow. `hops == 1` coincides with the single-hop Definition 5;
+/// `hops == usize::MAX` approaches the full (ab-initio) backward slice.
+pub fn multi_hop_backward<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seed: NodeId,
+    hops: usize,
+) -> HashSet<NodeId> {
+    multi_hop(graph, seed, hops, Direction::Backward)
+}
+
+/// Multi-hop forward reachability, symmetric to [`multi_hop_backward`]:
+/// traversal may pass through up to `hops - 1` heap-writing nodes.
+pub fn multi_hop_forward<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seed: NodeId,
+    hops: usize,
+) -> HashSet<NodeId> {
+    multi_hop(graph, seed, hops, Direction::Forward)
+}
+
+/// Shared worker: `budget` counts the heap boundaries still crossable
+/// (`hops - 1` initially). A boundary node (heap read when walking
+/// backward, heap write when walking forward) consumes one unit and is
+/// included; with no budget left it is excluded, exactly like the
+/// single-hop Definitions 5/6. Nodes keep the best budget they were
+/// reached with, so overlapping paths are handled correctly.
+fn multi_hop<D: Clone + Eq + Hash>(
+    graph: &DepGraph<D>,
+    seed: NodeId,
+    hops: usize,
+    dir: Direction,
+) -> HashSet<NodeId> {
+    let start = hops.saturating_sub(1);
+    let mut best: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut stack = vec![(seed, start)];
+    best.insert(seed, start);
+    while let Some((n, b)) = stack.pop() {
+        let neighbours = match dir {
+            Direction::Backward => graph.preds(n),
+            Direction::Forward => graph.succs(n),
+        };
+        for &m in neighbours {
+            let crossing = match dir {
+                Direction::Backward => graph.node(m).kind.reads_heap(),
+                Direction::Forward => graph.node(m).kind.writes_heap(),
+            };
+            let nb = if crossing {
+                if b == 0 {
+                    continue; // boundary with no budget: excluded
+                }
+                b - 1
+            } else {
+                b
+            };
+            if best.get(&m).is_none_or(|&old| nb > old) {
+                best.insert(m, nb);
+                stack.push((m, nb));
+            }
+        }
+    }
+    best.into_keys().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use lowutil_ir::{InstrId, MethodId};
+
+    fn at(pc: u32) -> InstrId {
+        InstrId::new(MethodId(0), pc)
+    }
+
+    /// Builds a → b → c → d with configurable kinds; returns the graph and
+    /// the four nodes.
+    fn chain(kinds: [NodeKind; 4]) -> (DepGraph<u32>, [NodeId; 4]) {
+        let mut g = DepGraph::new();
+        let ns: Vec<NodeId> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let n = g.intern(at(i as u32), 0, k);
+                g.bump(n);
+                n
+            })
+            .collect();
+        for w in ns.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        (g, [ns[0], ns[1], ns[2], ns[3]])
+    }
+
+    #[test]
+    fn backward_slice_includes_seed_and_ancestors() {
+        let (g, [a, b, c, d]) = chain([NodeKind::Plain; 4]);
+        let s = backward_slice(&g, c);
+        assert!(s.contains(&a) && s.contains(&b) && s.contains(&c));
+        assert!(!s.contains(&d));
+        assert_eq!(freq_sum(&g, s), 3);
+    }
+
+    #[test]
+    fn forward_slice_includes_seed_and_descendants() {
+        let (g, [a, b, _c, d]) = chain([NodeKind::Plain; 4]);
+        let s = forward_slice(&g, b);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&a));
+        assert!(s.contains(&d));
+    }
+
+    #[test]
+    fn heap_bounded_backward_stops_at_loads() {
+        // a(load) → b → c: HRAC scope of c is {b, c}.
+        let (g, [a, b, c, _d]) = chain([
+            NodeKind::HeapLoad,
+            NodeKind::Plain,
+            NodeKind::HeapStore,
+            NodeKind::Plain,
+        ]);
+        let s = heap_bounded_backward(&g, c);
+        assert!(s.contains(&c) && s.contains(&b));
+        assert!(!s.contains(&a), "heap-reading node excluded");
+    }
+
+    #[test]
+    fn heap_bounded_forward_stops_at_stores() {
+        // a → b(store) and the chain continues; from a, only a is in scope
+        // because its sole successor writes the heap.
+        let (g, [a, b, _c, _d]) = chain([
+            NodeKind::HeapLoad,
+            NodeKind::HeapStore,
+            NodeKind::Plain,
+            NodeKind::Plain,
+        ]);
+        let s = heap_bounded_forward(&g, a);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&a) && !s.contains(&b));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        let a = g.intern(at(0), 0, NodeKind::Plain);
+        let b = g.intern(at(1), 0, NodeKind::Plain);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert_eq!(backward_slice(&g, a).len(), 2);
+        assert_eq!(forward_slice(&g, a).len(), 2);
+        assert_eq!(heap_bounded_backward(&g, a).len(), 2);
+        assert_eq!(heap_bounded_forward(&g, a).len(), 2);
+    }
+
+    #[test]
+    fn reachable_with_custom_barrier() {
+        let (g, [a, b, c, d]) = chain([NodeKind::Plain; 4]);
+        // Forward from a, but do not traverse through c.
+        let s = reachable(&g, [a], Direction::Forward, |n| n != c);
+        assert!(s.contains(&a) && s.contains(&b) && s.contains(&c));
+        assert!(!s.contains(&d), "barrier node included but not entered");
+    }
+
+    #[test]
+    fn multi_hop_widens_the_inspected_region() {
+        // load1 → plain1 → store1 → load2 → plain2 → store2 (def-use edges
+        // connect stores to the loads of the same location).
+        let (mut g, _) = chain([NodeKind::Plain; 4]);
+        let mut nodes = Vec::new();
+        for (i, kind) in [
+            NodeKind::HeapLoad,
+            NodeKind::Plain,
+            NodeKind::HeapStore,
+            NodeKind::HeapLoad,
+            NodeKind::Plain,
+            NodeKind::HeapStore,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = g.intern(at(100 + i as u32), 0, kind);
+            g.bump(n);
+            nodes.push(n);
+        }
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let store2 = nodes[5];
+        // One hop: stops at load2 (excluded): {plain2, store2}.
+        let one = multi_hop_backward(&g, store2, 1);
+        assert_eq!(one, heap_bounded_backward(&g, store2));
+        assert_eq!(one.len(), 2);
+        // Two hops: crosses load2, stops at load1: {load2, store1, plain1? no —
+        // plain1 is before store1 and after load1}: {store2, plain2, load2,
+        // store1, plain1}.
+        let two = multi_hop_backward(&g, store2, 2);
+        assert_eq!(two.len(), 5);
+        assert!(two.contains(&nodes[3]) && two.contains(&nodes[1]));
+        assert!(!two.contains(&nodes[0]), "load1 excluded at budget 0");
+        // Three hops: everything.
+        let three = multi_hop_backward(&g, store2, 3);
+        assert_eq!(three.len(), 6);
+    }
+
+    #[test]
+    fn multi_hop_forward_mirrors_backward() {
+        let (mut g, _) = chain([NodeKind::Plain; 4]);
+        let mut nodes = Vec::new();
+        for (i, kind) in [
+            NodeKind::HeapLoad,
+            NodeKind::HeapStore,
+            NodeKind::HeapLoad,
+            NodeKind::HeapStore,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = g.intern(at(200 + i as u32), 0, kind);
+            g.bump(n);
+            nodes.push(n);
+        }
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let load1 = nodes[0];
+        assert_eq!(multi_hop_forward(&g, load1, 1).len(), 1);
+        assert_eq!(multi_hop_forward(&g, load1, 2).len(), 3);
+        assert_eq!(multi_hop_forward(&g, load1, 3).len(), 4);
+    }
+
+    #[test]
+    fn multi_seed_reachability() {
+        let (g, [a, _b, c, d]) = chain([NodeKind::Plain; 4]);
+        let s = reachable(&g, [a, c], Direction::Forward, |_| true);
+        assert_eq!(s.len(), 4);
+        let _ = d;
+    }
+}

@@ -1,0 +1,89 @@
+//! Graph characteristics for the paper's Table 1.
+
+use crate::gcost::CostGraph;
+
+/// The per-benchmark measurements reported in Table 1 parts (a)/(b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of abstract nodes (`#N`).
+    pub nodes: usize,
+    /// Number of def-use edges (`#E`).
+    pub edges: usize,
+    /// Number of reference edges.
+    pub ref_edges: usize,
+    /// Approximate graph memory in bytes (`M`, excluding the shadow heap).
+    pub graph_bytes: usize,
+    /// Approximate shadow-heap memory in bytes (reported separately, like
+    /// the paper's flat 500 MB).
+    pub shadow_heap_bytes: usize,
+    /// Average context-conflict ratio (`CR`).
+    pub avg_cr: f64,
+    /// Total instruction instances profiled (`I`).
+    pub instr_instances: u64,
+    /// Distinct exact contexts observed (the size the unbounded context
+    /// domain would need).
+    pub distinct_contexts: usize,
+}
+
+impl GraphStats {
+    /// Computes the Table 1 characteristics of a finished [`CostGraph`].
+    pub fn of(graph: &CostGraph) -> Self {
+        GraphStats {
+            nodes: graph.graph().num_nodes(),
+            edges: graph.graph().num_edges(),
+            ref_edges: graph.ref_edges().count(),
+            graph_bytes: graph.approx_bytes(),
+            shadow_heap_bytes: graph.shadow_heap_bytes(),
+            avg_cr: graph.conflicts().average_cr(),
+            instr_instances: graph.instr_instances(),
+            distinct_contexts: graph.conflicts().distinct_contexts(),
+        }
+    }
+
+    /// Abstraction ratio `N / I`: how many instruction instances each
+    /// abstract node stands for (smaller is better compression).
+    pub fn abstraction_ratio(&self) -> f64 {
+        if self.instr_instances == 0 {
+            return 0.0;
+        }
+        self.nodes as f64 / self.instr_instances as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcost::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    #[test]
+    fn stats_capture_graph_shape() {
+        let src = r#"
+native print/1
+method main/0 {
+  i = 0
+  one = 1
+  lim = 1000
+loop:
+  if i >= lim goto done
+  i = i + one
+  goto loop
+done:
+  native print(i)
+  return
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let s = GraphStats::of(&g);
+        assert!(s.nodes >= 5 && s.nodes < 20);
+        assert!(s.edges >= 4);
+        assert!(s.instr_instances > 3000);
+        assert!(s.abstraction_ratio() < 0.01, "N ≪ I for hot loops");
+        assert_eq!(s.avg_cr, 0.0);
+        assert!(s.graph_bytes > 0);
+    }
+}

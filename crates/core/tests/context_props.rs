@@ -1,0 +1,94 @@
+//! Property tests for the context machinery: the encoded chain behaves
+//! like a stack, slots stay in range, and conflict bookkeeping is
+//! consistent.
+
+use lowutil_core::{extend_context, slot_of, ConflictStats, ContextStack, EMPTY_CONTEXT};
+use lowutil_ir::{AllocSiteId, InstrId, MethodId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn push_pop_restores_the_previous_chain(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u32..100).prop_map(|s| Some(Some(AllocSiteId(s)))), // instance push
+                Just(Some(None)),                                      // static push
+                Just(None),                                            // pop
+            ],
+            0..200,
+        )
+    ) {
+        let mut cs = ContextStack::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(site) => {
+                    let parent = model.last().copied().unwrap_or(EMPTY_CONTEXT);
+                    let expected = match site {
+                        Some(s) => extend_context(parent, s),
+                        None => parent,
+                    };
+                    cs.push(site);
+                    model.push(expected);
+                    prop_assert_eq!(cs.current(), expected);
+                }
+                None => {
+                    if model.is_empty() {
+                        continue; // popping an empty stack is a caller bug
+                    }
+                    cs.pop();
+                    model.pop();
+                    prop_assert_eq!(
+                        cs.current(),
+                        model.last().copied().unwrap_or(EMPTY_CONTEXT)
+                    );
+                }
+            }
+            prop_assert_eq!(cs.depth(), model.len());
+        }
+    }
+
+    #[test]
+    fn slots_are_always_in_range(g in any::<u64>(), s in 1u32..1024) {
+        prop_assert!(slot_of(g, s) < s);
+    }
+
+    #[test]
+    fn conflict_ratio_is_a_valid_fraction(
+        records in proptest::collection::vec((0u32..4, 0u32..8, 0u64..32), 1..200)
+    ) {
+        let mut cs = ConflictStats::new();
+        for (instr, slot, chain) in records {
+            cs.record(InstrId::new(MethodId(0), instr), slot, chain);
+        }
+        let avg = cs.average_cr();
+        prop_assert!((0.0..=1.0).contains(&avg));
+        for pc in 0..4u32 {
+            if let Some(cr) = cs.cr_of(InstrId::new(MethodId(0), pc)) {
+                prop_assert!((0.0..=1.0).contains(&cr));
+            }
+        }
+        prop_assert!(cs.distinct_contexts() >= cs.num_instructions());
+    }
+
+    #[test]
+    fn more_slots_never_increase_cr(
+        chains in proptest::collection::vec(0u64..1000, 1..50)
+    ) {
+        // For one instruction: conflicts can only stay equal or shrink as
+        // the slot count doubles, because h(c) = c mod s refines.
+        let at = InstrId::new(MethodId(0), 0);
+        let mut coarse = ConflictStats::new();
+        let mut fine = ConflictStats::new();
+        for &c in &chains {
+            coarse.record(at, slot_of(c, 4), c);
+            fine.record(at, slot_of(c, 64), c);
+        }
+        let cr_coarse = coarse.cr_of(at).unwrap();
+        let cr_fine = fine.cr_of(at).unwrap();
+        // Not a theorem for max/total CR in general, but holds for the
+        // mod-based refinement on identical chain sets: a slot under
+        // s=64 is a subset of some slot under s=4 when 4 | 64.
+        prop_assert!(cr_fine <= cr_coarse + 1e-9, "{cr_fine} vs {cr_coarse}");
+    }
+}

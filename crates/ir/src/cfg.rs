@@ -1,0 +1,294 @@
+//! Per-method control-flow graphs, postdominators, and control
+//! dependence.
+//!
+//! The paper's cost analysis deliberately ignores control decisions
+//! (§3.2: including them "could potentially include the costs of
+//! computing many values that are irrelevant"), but names the alternative
+//! as a design-space point worth measuring. This module provides the
+//! static machinery — instruction-granularity CFGs, postdominator trees
+//! (Cooper–Harvey–Kennedy), and Ferrante-style control-dependence sets —
+//! that the profiler's `control_edges` ablation mode consumes.
+
+use crate::instr::Instr;
+use crate::program::Method;
+use crate::types::Pc;
+
+/// A per-method control-flow graph at instruction granularity.
+///
+/// Node `i` is the instruction at pc `i`; a virtual exit node (index
+/// `len`) collects all returns, so every instruction postdominated by
+/// "method exit" has a well-defined immediate postdominator.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    /// Index of the virtual exit node (== number of instructions).
+    exit: u32,
+}
+
+impl Cfg {
+    /// Builds the CFG of a method body.
+    pub fn build(method: &Method) -> Cfg {
+        let n = method.body().len();
+        let exit = n as u32;
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut connect = |from: u32, to: u32| {
+            succs[from as usize].push(to);
+            preds[to as usize].push(from);
+        };
+        for (pc, instr) in method.body().iter().enumerate() {
+            let pc = pc as u32;
+            match instr {
+                Instr::Return { .. } => connect(pc, exit),
+                Instr::Jump { target } => connect(pc, *target),
+                Instr::Branch { target, .. } => {
+                    connect(pc, *target);
+                    if pc < exit {
+                        connect(pc, pc + 1);
+                    }
+                }
+                _ => connect(pc, pc + 1),
+            }
+        }
+        Cfg { succs, preds, exit }
+    }
+
+    /// Number of instruction nodes (excluding the virtual exit).
+    pub fn num_instrs(&self) -> usize {
+        self.exit as usize
+    }
+
+    /// The virtual exit node's index.
+    pub fn exit(&self) -> u32 {
+        self.exit
+    }
+
+    /// Control-flow successors of `pc`.
+    pub fn succs(&self, pc: Pc) -> &[u32] {
+        &self.succs[pc as usize]
+    }
+
+    /// Control-flow predecessors of `pc`.
+    pub fn preds(&self, pc: Pc) -> &[u32] {
+        &self.preds[pc as usize]
+    }
+
+    /// Computes immediate postdominators (Cooper–Harvey–Kennedy on the
+    /// reverse graph, rooted at the virtual exit). `ipdom[exit] == exit`;
+    /// unreachable-from-exit nodes get `None`.
+    pub fn immediate_postdominators(&self) -> Vec<Option<u32>> {
+        let n = self.succs.len();
+        // Reverse postorder of the *reverse* CFG from exit.
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut mark = vec![false; n];
+        // Iterative postorder DFS over preds-of-exit direction (i.e.,
+        // traversing the reverse CFG via `preds` = forward edges reversed).
+        let mut stack: Vec<(u32, usize)> = vec![(self.exit, 0)];
+        mark[self.exit as usize] = true;
+        while let Some(&(v, ci)) = stack.last() {
+            let ps = &self.preds[v as usize];
+            if ci < ps.len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let w = ps[ci];
+                if !mark[w as usize] {
+                    mark[w as usize] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+        order.reverse(); // reverse postorder, exit first
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            rpo_index[v as usize] = i;
+        }
+
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        idom[self.exit as usize] = Some(self.exit);
+
+        let intersect = |idom: &[Option<u32>], rpo: &[usize], mut a: u32, mut b: u32| -> u32 {
+            while a != b {
+                while rpo[a as usize] > rpo[b as usize] {
+                    a = idom[a as usize].expect("processed");
+                }
+                while rpo[b as usize] > rpo[a as usize] {
+                    b = idom[b as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in order.iter().skip(1) {
+                // "Predecessors" in the reverse CFG are CFG successors.
+                let mut new_idom: Option<u32> = None;
+                for &s in &self.succs[v as usize] {
+                    if idom[s as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => s,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, s),
+                    });
+                }
+                if new_idom.is_some() && idom[v as usize] != new_idom {
+                    idom[v as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Computes, for every instruction, the set of branch pcs it is
+    /// control-dependent on (Ferrante–Ottenstein–Warren via the
+    /// postdominator tree): for each CFG edge `a → b` where `b` does not
+    /// postdominate `a`, every node on the postdominator-tree path from
+    /// `b` up to (but excluding) `ipdom(a)` is control-dependent on `a`.
+    pub fn control_dependencies(&self) -> Vec<Vec<Pc>> {
+        let ipdom = self.immediate_postdominators();
+        let n = self.num_instrs();
+        let mut deps: Vec<Vec<Pc>> = vec![Vec::new(); n];
+        for a in 0..n as u32 {
+            if self.succs[a as usize].len() < 2 {
+                continue; // only branches create control dependence
+            }
+            let stop = ipdom[a as usize];
+            for &b in &self.succs[a as usize] {
+                let mut cur = Some(b);
+                while let Some(c) = cur {
+                    if Some(c) == stop {
+                        break;
+                    }
+                    if (c as usize) < n && !deps[c as usize].contains(&a) {
+                        deps[c as usize].push(a);
+                    }
+                    let up = ipdom[c as usize];
+                    if up == Some(c) {
+                        break; // reached the exit's self-loop
+                    }
+                    cur = up;
+                }
+            }
+        }
+        for d in &mut deps {
+            d.sort_unstable();
+        }
+        deps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, ProgramBuilder};
+
+    /// main: 0 i=0; 1 one=1; 2 lim=n; 3 if i>=lim goto 7; 4 i=i+one;
+    /// 5 x=i; 6 goto 3; 7 return
+    fn loop_method() -> crate::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.method("main", 0);
+        let i = m.new_local("i");
+        let one = m.new_local("one");
+        let lim = m.new_local("lim");
+        let x = m.new_local("x");
+        m.iconst(i, 0);
+        m.iconst(one, 1);
+        m.iconst(lim, 5);
+        let head = m.label();
+        let done = m.label();
+        m.bind(head);
+        m.branch(CmpOp::Ge, i, lim, done);
+        m.binop(i, crate::BinOp::Add, i, one);
+        m.mov(x, i);
+        m.jump(head);
+        m.bind(done);
+        m.ret_void();
+        let main = m.finish(&mut pb);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn cfg_edges_follow_semantics() {
+        let p = loop_method();
+        let cfg = Cfg::build(p.method(p.entry()));
+        assert_eq!(cfg.num_instrs(), 8);
+        // Branch at 3 goes to 7 and 4.
+        let mut s = cfg.succs(3).to_vec();
+        s.sort_unstable();
+        assert_eq!(s, vec![4, 7]);
+        // Jump at 6 goes back to 3 only.
+        assert_eq!(cfg.succs(6), &[3]);
+        // Return at 7 reaches the virtual exit.
+        assert_eq!(cfg.succs(7), &[cfg.exit()]);
+    }
+
+    #[test]
+    fn postdominators_point_toward_exit() {
+        let p = loop_method();
+        let cfg = Cfg::build(p.method(p.entry()));
+        let ipdom = cfg.immediate_postdominators();
+        // The return is postdominated only by exit.
+        assert_eq!(ipdom[7], Some(cfg.exit()));
+        // Loop body instructions are postdominated by the loop head
+        // (everything funnels back through the branch).
+        assert_eq!(ipdom[4], Some(5));
+        assert_eq!(ipdom[5], Some(6));
+        assert_eq!(ipdom[6], Some(3));
+        // The branch's postdominator is the loop exit (pc 7).
+        assert_eq!(ipdom[3], Some(7));
+    }
+
+    #[test]
+    fn loop_body_is_control_dependent_on_the_guard() {
+        let p = loop_method();
+        let cfg = Cfg::build(p.method(p.entry()));
+        let deps = cfg.control_dependencies();
+        // Body instructions (4, 5, 6) depend on the branch at 3.
+        for pc in [4u32, 5, 6] {
+            assert_eq!(deps[pc as usize], vec![3], "pc {pc}");
+        }
+        // The branch itself is inside the loop it guards: it depends on
+        // itself (the back edge re-enters through it).
+        assert_eq!(deps[3], vec![3]);
+        // Straight-line prologue depends on nothing.
+        assert!(deps[0].is_empty() && deps[2].is_empty());
+        // The return executes unconditionally.
+        assert!(deps[7].is_empty());
+    }
+
+    #[test]
+    fn diamond_joins_are_not_dependent() {
+        // 0 c=1; 1 if c==c goto 4; 2 x=1; 3 goto 5; 4 x=2; 5 return —
+        // pcs 2,3 and 4 depend on the branch; 5 does not.
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.method("main", 0);
+        let c = m.new_local("c");
+        let x = m.new_local("x");
+        m.iconst(c, 1);
+        let then_l = m.label();
+        let join = m.label();
+        m.branch(CmpOp::Eq, c, c, then_l);
+        m.iconst(x, 1);
+        m.jump(join);
+        m.bind(then_l);
+        m.iconst(x, 2);
+        m.bind(join);
+        m.ret_void();
+        let main = m.finish(&mut pb);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::build(p.method(p.entry()));
+        let deps = cfg.control_dependencies();
+        assert_eq!(deps[2], vec![1]);
+        assert_eq!(deps[3], vec![1]);
+        assert_eq!(deps[4], vec![1]);
+        assert!(deps[5].is_empty(), "join point is branch-independent");
+        assert!(deps[1].is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! The instruction set.
+//!
+//! Every instruction corresponds to one "bytecode" in the paper's sense:
+//! either a copy, or a computation with a single operator, or a heap/array
+//! access, or control flow. The profiler distinguishes instruction kinds
+//! because the instrumentation semantics of Figure 4 differ per kind
+//! (heap loads/stores update the heap-effect environment, allocations tag
+//! objects, predicates and natives become consumer nodes, and so on).
+
+use crate::types::{ClassId, FieldId, Local, MethodId, NativeId, Pc, StaticId};
+use crate::value::ConstValue;
+use std::fmt;
+
+/// A binary arithmetic or bitwise operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Division. Integer division by zero raises a VM trap.
+    Div,
+    /// Remainder. Integer remainder by zero raises a VM trap.
+    Rem,
+    /// Bitwise and (integers only).
+    And,
+    /// Bitwise or (integers only).
+    Or,
+    /// Bitwise xor (integers only).
+    Xor,
+    /// Arithmetic shift left (integers only).
+    Shl,
+    /// Arithmetic shift right (integers only).
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (integers only).
+    Not,
+    /// Integer → float conversion.
+    IntToFloat,
+    /// Float → integer conversion (truncating).
+    FloatToInt,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::IntToFloat => "i2f",
+            UnOp::FloatToInt => "f2i",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A comparison operator used by [`Instr::Branch`] predicates and by
+/// [`Instr::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal. Defined for all value kinds (reference equality for refs).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (numeric operands).
+    Lt,
+    /// Less than or equal (numeric operands).
+    Le,
+    /// Greater than (numeric operands).
+    Gt,
+    /// Greater than or equal (numeric operands).
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator testing the negated condition.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The callee of an [`Instr::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A direct call to a known method (static methods, constructors, and
+    /// calls devirtualized by the front end).
+    Direct(MethodId),
+    /// A virtual call dispatched on the dynamic class of the receiver
+    /// (`args[0]`). The `u32` is an interned method-name index; dispatch
+    /// walks the receiver's superclass chain.
+    Virtual(u32),
+}
+
+/// A single three-address-code instruction.
+///
+/// Design notes for the profiler:
+///
+/// * heap accesses name the base-pointer local explicitly so that thin
+///   slicing can *exclude* it from the used set, per the paper;
+/// * array accesses name the index local, which *is* considered used
+///   (Definition 2's note);
+/// * [`Instr::Branch`] is the paper's *predicate*: a consumer of its
+///   operands that produces no value;
+/// * [`Instr::CallNative`] is the paper's *native node*: a consumer whose
+///   arguments are treated as reaching program output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = constant`.
+    Const {
+        /// Destination local.
+        dst: Local,
+        /// The constant.
+        value: ConstValue,
+    },
+    /// `dst = src` — a stack copy.
+    Move {
+        /// Destination local.
+        dst: Local,
+        /// Source local.
+        src: Local,
+    },
+    /// `dst = lhs op rhs`.
+    Binop {
+        /// Destination local.
+        dst: Local,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Local,
+        /// Right operand.
+        rhs: Local,
+    },
+    /// `dst = op src`.
+    Unop {
+        /// Destination local.
+        dst: Local,
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        src: Local,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0` — a comparison materialized as a value.
+    Cmp {
+        /// Destination local.
+        dst: Local,
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Local,
+        /// Right operand.
+        rhs: Local,
+    },
+    /// `if (lhs op rhs) goto target` — a predicate node.
+    Branch {
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Local,
+        /// Right operand.
+        rhs: Local,
+        /// Branch target when the condition holds.
+        target: Pc,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// `dst = new C` — an allocation site.
+    New {
+        /// Destination local.
+        dst: Local,
+        /// Class to instantiate.
+        class: ClassId,
+    },
+    /// `dst = newarray len` — an array allocation site.
+    NewArray {
+        /// Destination local.
+        dst: Local,
+        /// Local holding the element count.
+        len: Local,
+    },
+    /// `dst = obj.field` — a heap load ("circled" node).
+    GetField {
+        /// Destination local.
+        dst: Local,
+        /// Base-pointer local (not "used" under thin slicing).
+        obj: Local,
+        /// The field.
+        field: FieldId,
+    },
+    /// `obj.field = src` — a heap store ("boxed" node).
+    PutField {
+        /// Base-pointer local (not "used" under thin slicing).
+        obj: Local,
+        /// The field.
+        field: FieldId,
+        /// Local holding the stored value.
+        src: Local,
+    },
+    /// `dst = StaticField`.
+    GetStatic {
+        /// Destination local.
+        dst: Local,
+        /// The static field.
+        field: StaticId,
+    },
+    /// `StaticField = src`.
+    PutStatic {
+        /// The static field.
+        field: StaticId,
+        /// Local holding the stored value.
+        src: Local,
+    },
+    /// `dst = arr[idx]` — a heap load; the index is used, the base is not.
+    ArrayGet {
+        /// Destination local.
+        dst: Local,
+        /// Base-pointer local.
+        arr: Local,
+        /// Index local (used, per the paper).
+        idx: Local,
+    },
+    /// `arr[idx] = src` — a heap store.
+    ArrayPut {
+        /// Base-pointer local.
+        arr: Local,
+        /// Index local (used).
+        idx: Local,
+        /// Local holding the stored value.
+        src: Local,
+    },
+    /// `dst = arr.length`.
+    ArrayLen {
+        /// Destination local.
+        dst: Local,
+        /// Base-pointer local.
+        arr: Local,
+    },
+    /// `dst = call m(args…)` / `call m(args…)`.
+    ///
+    /// For virtual callees, `args[0]` is the receiver.
+    Call {
+        /// Destination local for the return value, if any.
+        dst: Option<Local>,
+        /// Callee resolution strategy.
+        callee: Callee,
+        /// Argument locals (receiver first for virtual calls).
+        args: Vec<Local>,
+    },
+    /// `dst = native n(args…)` — a native node; arguments are consumed.
+    CallNative {
+        /// Destination local for the produced value, if any.
+        dst: Option<Local>,
+        /// The native method.
+        native: NativeId,
+        /// Argument locals.
+        args: Vec<Local>,
+    },
+    /// Return from the current method.
+    Return {
+        /// Local holding the return value, if any.
+        src: Option<Local>,
+    },
+}
+
+impl Instr {
+    /// The local defined (written) by this instruction, if any.
+    pub fn def(&self) -> Option<Local> {
+        match *self {
+            Instr::Const { dst, .. }
+            | Instr::Move { dst, .. }
+            | Instr::Binop { dst, .. }
+            | Instr::Unop { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::New { dst, .. }
+            | Instr::NewArray { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::GetStatic { dst, .. }
+            | Instr::ArrayGet { dst, .. }
+            | Instr::ArrayLen { dst, .. } => Some(dst),
+            Instr::Call { dst, .. } | Instr::CallNative { dst, .. } => dst,
+            Instr::Branch { .. }
+            | Instr::Jump { .. }
+            | Instr::PutField { .. }
+            | Instr::PutStatic { .. }
+            | Instr::ArrayPut { .. }
+            | Instr::Return { .. } => None,
+        }
+    }
+
+    /// The locals whose *values* are used by this instruction under the thin
+    /// slicing rule: base pointers of field/array accesses are excluded,
+    /// array indices are included.
+    pub fn thin_uses(&self) -> Vec<Local> {
+        match self {
+            Instr::Const { .. }
+            | Instr::New { .. }
+            | Instr::Jump { .. }
+            | Instr::GetStatic { .. } => vec![],
+            Instr::Move { src, .. } | Instr::Unop { src, .. } => vec![*src],
+            Instr::Binop { lhs, rhs, .. }
+            | Instr::Cmp { lhs, rhs, .. }
+            | Instr::Branch { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::NewArray { len, .. } => vec![*len],
+            Instr::GetField { .. } => vec![],
+            Instr::PutField { src, .. } | Instr::PutStatic { src, .. } => vec![*src],
+            Instr::ArrayGet { idx, .. } => vec![*idx],
+            Instr::ArrayPut { idx, src, .. } => vec![*idx, *src],
+            Instr::ArrayLen { .. } => vec![],
+            Instr::Call { args, .. } | Instr::CallNative { args, .. } => args.clone(),
+            Instr::Return { src } => src.iter().copied().collect(),
+        }
+    }
+
+    /// The locals used by this instruction under *traditional* slicing,
+    /// which additionally counts base pointers as used.
+    pub fn full_uses(&self) -> Vec<Local> {
+        let mut uses = self.thin_uses();
+        match self {
+            Instr::GetField { obj, .. } | Instr::PutField { obj, .. } => uses.push(*obj),
+            Instr::ArrayGet { arr, .. }
+            | Instr::ArrayPut { arr, .. }
+            | Instr::ArrayLen { arr, .. } => uses.push(*arr),
+            _ => {}
+        }
+        uses
+    }
+
+    /// Returns `true` if this instruction reads a heap location (instance
+    /// field, static field, or array element). Such nodes terminate the
+    /// backward traversal computing heap-relative abstract cost.
+    pub fn reads_heap(&self) -> bool {
+        matches!(
+            self,
+            Instr::GetField { .. }
+                | Instr::GetStatic { .. }
+                | Instr::ArrayGet { .. }
+                | Instr::ArrayLen { .. }
+        )
+    }
+
+    /// Returns `true` if this instruction writes a heap location. Such nodes
+    /// terminate the forward traversal computing heap-relative abstract
+    /// benefit.
+    pub fn writes_heap(&self) -> bool {
+        matches!(
+            self,
+            Instr::PutField { .. } | Instr::PutStatic { .. } | Instr::ArrayPut { .. }
+        )
+    }
+
+    /// Returns `true` if this instruction allocates an object or array (an
+    /// "underlined" node in the paper's Figure 3).
+    pub fn is_alloc(&self) -> bool {
+        matches!(self, Instr::New { .. } | Instr::NewArray { .. })
+    }
+
+    /// Returns `true` for predicates ([`Instr::Branch`]).
+    pub fn is_predicate(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Returns `true` if this instruction can fall through to `pc + 1`.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Instr::Jump { .. } | Instr::Return { .. })
+    }
+
+    /// The explicit branch target, if any.
+    pub fn branch_target(&self) -> Option<Pc> {
+        match *self {
+            Instr::Branch { target, .. } | Instr::Jump { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u16) -> Local {
+        Local(i)
+    }
+
+    #[test]
+    fn thin_uses_exclude_base_pointers() {
+        let get = Instr::GetField {
+            dst: l(0),
+            obj: l(1),
+            field: FieldId(0),
+        };
+        assert!(get.thin_uses().is_empty());
+        assert_eq!(get.full_uses(), vec![l(1)]);
+
+        let put = Instr::PutField {
+            obj: l(1),
+            field: FieldId(0),
+            src: l(2),
+        };
+        assert_eq!(put.thin_uses(), vec![l(2)]);
+        assert_eq!(put.full_uses(), vec![l(2), l(1)]);
+    }
+
+    #[test]
+    fn array_index_is_used_even_under_thin_slicing() {
+        let get = Instr::ArrayGet {
+            dst: l(0),
+            arr: l(1),
+            idx: l(2),
+        };
+        assert_eq!(get.thin_uses(), vec![l(2)]);
+        assert_eq!(get.full_uses(), vec![l(2), l(1)]);
+
+        let put = Instr::ArrayPut {
+            arr: l(1),
+            idx: l(2),
+            src: l(3),
+        };
+        assert_eq!(put.thin_uses(), vec![l(2), l(3)]);
+    }
+
+    #[test]
+    fn def_reports_written_local() {
+        let b = Instr::Binop {
+            dst: l(5),
+            op: BinOp::Add,
+            lhs: l(1),
+            rhs: l(2),
+        };
+        assert_eq!(b.def(), Some(l(5)));
+        let br = Instr::Branch {
+            op: CmpOp::Lt,
+            lhs: l(0),
+            rhs: l(1),
+            target: 3,
+        };
+        assert_eq!(br.def(), None);
+        assert!(br.is_predicate());
+    }
+
+    #[test]
+    fn heap_effect_classification() {
+        let gf = Instr::GetField {
+            dst: l(0),
+            obj: l(1),
+            field: FieldId(0),
+        };
+        assert!(gf.reads_heap() && !gf.writes_heap());
+        let pf = Instr::PutField {
+            obj: l(1),
+            field: FieldId(0),
+            src: l(0),
+        };
+        assert!(pf.writes_heap() && !pf.reads_heap());
+        let al = Instr::New {
+            dst: l(0),
+            class: ClassId(0),
+        };
+        assert!(al.is_alloc() && !al.reads_heap() && !al.writes_heap());
+        let ln = Instr::ArrayLen {
+            dst: l(0),
+            arr: l(1),
+        };
+        assert!(ln.reads_heap());
+    }
+
+    #[test]
+    fn control_flow_helpers() {
+        assert!(!Instr::Jump { target: 0 }.falls_through());
+        assert!(!Instr::Return { src: None }.falls_through());
+        assert!(Instr::Branch {
+            op: CmpOp::Eq,
+            lhs: l(0),
+            rhs: l(1),
+            target: 9
+        }
+        .falls_through());
+        assert_eq!(Instr::Jump { target: 4 }.branch_target(), Some(4));
+        assert_eq!(Instr::Return { src: None }.branch_target(), None);
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn operators_display() {
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(UnOp::FloatToInt.to_string(), "f2i");
+        assert_eq!(CmpOp::Ge.to_string(), ">=");
+    }
+}

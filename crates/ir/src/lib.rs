@@ -1,0 +1,59 @@
+//! Three-address-code intermediate representation for the `lowutil`
+//! profiling toolchain.
+//!
+//! The PLDI'10 paper ("Finding Low-Utility Data Structures") formulates its
+//! analyses over a three-address-code view of Java bytecode in which every
+//! statement is either a copy assignment `a = b` or a computation
+//! `a = b + c` with a single operator. This crate provides exactly that
+//! representation, together with:
+//!
+//! * a program model with classes, instance/static fields, virtual methods
+//!   and single inheritance ([`Program`], [`Class`], [`Method`]),
+//! * an instruction set in which heap reads/writes, allocations, predicates
+//!   and native calls are distinct instruction kinds (the profiler needs to
+//!   tell them apart; see [`Instr`]),
+//! * fluent builders for constructing programs in Rust
+//!   ([`ProgramBuilder`], [`MethodBuilder`]),
+//! * a textual assembly syntax with a parser ([`parse_program`]) and a
+//!   disassembler ([`display_program`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lowutil_ir::{ProgramBuilder, ConstValue};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let print = pb.native("print", 1, false);
+//! let mut main = pb.method("main", 0);
+//! let x = main.new_local("x");
+//! main.constant(x, ConstValue::Int(42));
+//! main.call_native_void(print, &[x]);
+//! main.ret_void();
+//! let main_id = main.finish(&mut pb);
+//! let program = pb.finish(main_id)?;
+//! assert_eq!(program.method(main_id).name(), "main");
+//! # Ok::<(), lowutil_ir::ValidationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod cfg;
+mod instr;
+mod parser;
+mod printer;
+mod program;
+mod types;
+mod value;
+
+pub use builder::{ClassBuilder, Label, MethodBuilder, ProgramBuilder};
+pub use cfg::Cfg;
+pub use instr::{BinOp, Callee, CmpOp, Instr, UnOp};
+pub use parser::{parse_program, ParseError};
+pub use printer::{display_method, display_program, display_program_source};
+pub use program::{
+    AllocKind, AllocSite, Class, Method, NativeDecl, Program, StaticDecl, ValidationError,
+};
+pub use types::{AllocSiteId, ClassId, FieldId, InstrId, Local, MethodId, NativeId, Pc, StaticId};
+pub use value::{ConstValue, ObjectId, Value};

@@ -1,0 +1,882 @@
+//! A line-oriented textual assembly front end for the IR.
+//!
+//! The syntax mirrors the disassembler output of
+//! [`display_program`](crate::display_program):
+//!
+//! ```text
+//! native print/1
+//! native rand/1 -> value
+//! static Counter
+//!
+//! class A { }
+//! class B extends A { f g }
+//!
+//! method main/0 {
+//!   o = new B
+//!   x = 3
+//!   o.f = x
+//!   y = o.f
+//! loop:
+//!   if y == x goto done
+//!   goto loop
+//! done:
+//!   native print(y)
+//!   return
+//! }
+//!
+//! method B.get/0 {
+//!   r = this.f
+//!   return r
+//! }
+//! ```
+//!
+//! Identifiers name locals and are declared on first use; `this` is the
+//! receiver of an instance method and `p0`, `p1`, … are the declared
+//! parameters. Field names are resolved by unqualified name when unique, or
+//! with a `Class::field` qualifier otherwise. The entry method must be named
+//! `main`.
+
+use crate::builder::{Label, MethodBuilder, ProgramBuilder};
+use crate::instr::{BinOp, CmpOp, UnOp};
+use crate::program::Program;
+use crate::types::{ClassId, FieldId, Local, MethodId, NativeId, StaticId};
+use crate::value::ConstValue;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing IR assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Splits a line into tokens. Punctuation characters are their own tokens;
+/// identifiers, numbers, and multi-char operators group.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' {
+            break; // comment
+        } else if c.is_alphanumeric() || c == '_' || c == '$' || c == '@' {
+            let mut tok = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' || c == '$' || c == '@' || c == '.' {
+                    // Allow '.' inside numeric literals only; break for
+                    // identifiers so `o.f` splits into `o` `.` `f`.
+                    if c == '.' && !tok.chars().next().is_some_and(|f| f.is_ascii_digit()) {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(tok);
+        } else {
+            // Multi-char operators.
+            let mut tok = String::from(c);
+            chars.next();
+            if let Some(&next) = chars.peek() {
+                let two: String = [c, next].iter().collect();
+                if matches!(
+                    two.as_str(),
+                    "==" | "!=" | "<=" | ">=" | "<<" | ">>" | "->" | "::"
+                ) {
+                    tok = two;
+                    chars.next();
+                }
+            }
+            tokens.push(tok);
+        }
+    }
+    tokens
+}
+
+fn parse_bin_op(tok: &str) -> Option<BinOp> {
+    Some(match tok {
+        "+" => BinOp::Add,
+        "-" => BinOp::Sub,
+        "*" => BinOp::Mul,
+        "/" => BinOp::Div,
+        "%" => BinOp::Rem,
+        "&" => BinOp::And,
+        "|" => BinOp::Or,
+        "^" => BinOp::Xor,
+        "<<" => BinOp::Shl,
+        ">>" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn parse_un_op(tok: &str) -> Option<UnOp> {
+    Some(match tok {
+        "neg" => UnOp::Neg,
+        "not" => UnOp::Not,
+        "i2f" => UnOp::IntToFloat,
+        "f2i" => UnOp::FloatToInt,
+        _ => return None,
+    })
+}
+
+fn parse_cmp_op(tok: &str) -> Option<CmpOp> {
+    Some(match tok {
+        "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn is_ident(tok: &str) -> bool {
+    tok.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[derive(Debug)]
+struct SymbolTables {
+    classes: HashMap<String, ClassId>,
+    /// field name → declarations (declaring class name, id)
+    fields: HashMap<String, Vec<(String, FieldId)>>,
+    statics: HashMap<String, StaticId>,
+    natives: HashMap<String, NativeId>,
+    /// qualified method name ("Class.m" or "m") → (id, explicit params, has receiver)
+    methods: HashMap<String, (MethodId, u16, bool)>,
+}
+
+struct BodyParser<'t> {
+    tables: &'t SymbolTables,
+    mb: MethodBuilder,
+    locals: HashMap<String, Local>,
+    labels: HashMap<String, Label>,
+    has_receiver: bool,
+    num_params: u16,
+}
+
+impl<'t> BodyParser<'t> {
+    fn lookup_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            l
+        } else {
+            let l = self.mb.label();
+            self.labels.insert(name.to_string(), l);
+            l
+        }
+    }
+
+    fn operand(&mut self, tok: &str, line: usize) -> Result<Local, ParseError> {
+        if tok == "this" {
+            if !self.has_receiver {
+                return err(line, "`this` used in a free function");
+            }
+            return Ok(Local(0));
+        }
+        if let Some(num) = tok.strip_prefix('p') {
+            if let Ok(i) = num.parse::<u16>() {
+                let base = u16::from(self.has_receiver);
+                if base + i < self.num_params + base {
+                    return Ok(Local(base + i));
+                }
+            }
+        }
+        if let Some(&l) = self.locals.get(tok) {
+            return Ok(l);
+        }
+        // Literal operands (e.g. `call f(x, 0)`) materialize as constants
+        // in fresh anonymous locals, emitted just before the instruction
+        // that uses them.
+        if let Some(c) = Self::parse_const(tok) {
+            let l = self.mb.new_local(format!("lit_{tok}"));
+            self.mb.constant(l, c);
+            return Ok(l);
+        }
+        if !is_ident(tok) {
+            return err(line, format!("expected an operand, found `{tok}`"));
+        }
+        let l = self.mb.new_local(tok);
+        self.locals.insert(tok.to_string(), l);
+        Ok(l)
+    }
+
+    fn field(
+        &self,
+        tok: &str,
+        qualifier: Option<&str>,
+        line: usize,
+    ) -> Result<FieldId, ParseError> {
+        let decls = match self.tables.fields.get(tok) {
+            Some(d) => d,
+            None => return err(line, format!("unknown field `{tok}`")),
+        };
+        match qualifier {
+            Some(q) => decls
+                .iter()
+                .find(|(c, _)| c == q)
+                .map(|&(_, f)| f)
+                .ok_or(())
+                .or_else(|_| err(line, format!("class `{q}` has no field `{tok}`"))),
+            None if decls.len() == 1 => Ok(decls[0].1),
+            None => err(
+                line,
+                format!("field `{tok}` is ambiguous; qualify as `Class::{tok}`"),
+            ),
+        }
+    }
+
+    /// Parses `name(arg, arg, …)` starting at `toks[at]`; returns
+    /// (name, args, next index).
+    fn call_args(
+        &mut self,
+        toks: &[String],
+        at: usize,
+        line: usize,
+    ) -> Result<(String, Vec<Local>), ParseError> {
+        let mut name = toks
+            .get(at)
+            .cloned()
+            .ok_or(())
+            .or_else(|_| err(line, "expected callee name"))?;
+        let mut i = at + 1;
+        if toks.get(i).map(String::as_str) == Some(".") {
+            let m = toks
+                .get(i + 1)
+                .ok_or(())
+                .or_else(|_| err(line, "expected method name after `.`"))?;
+            name = format!("{name}.{m}");
+            i += 2;
+        }
+        if toks.get(i).map(String::as_str) != Some("(") {
+            return err(line, "expected `(` after callee name");
+        }
+        i += 1;
+        let mut args = Vec::new();
+        while toks.get(i).map(String::as_str) != Some(")") {
+            let tok = toks
+                .get(i)
+                .ok_or(())
+                .or_else(|_| err(line, "unterminated argument list"))?;
+            if tok == "," {
+                i += 1;
+                continue;
+            }
+            args.push(self.operand(tok, line)?);
+            i += 1;
+        }
+        Ok((name, args))
+    }
+
+    fn parse_call(
+        &mut self,
+        dst: Option<Local>,
+        kind: &str,
+        toks: &[String],
+        at: usize,
+        line: usize,
+    ) -> Result<(), ParseError> {
+        let (name, args) = self.call_args(toks, at, line)?;
+        match kind {
+            "call" => match self.tables.methods.get(&name) {
+                Some(&(mid, _, _)) => self.mb.call(dst, mid, &args),
+                None => self.mb.call_named(dst, name, &args),
+            },
+            "vcall" => self.mb.call_virtual(dst, name, &args),
+            "native" => {
+                let nid = match self.tables.natives.get(&name) {
+                    Some(&n) => n,
+                    None => return err(line, format!("unknown native `{name}`")),
+                };
+                self.mb.call_native(dst, nid, &args);
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn parse_const(tok: &str) -> Option<ConstValue> {
+        if tok == "null" {
+            return Some(ConstValue::Null);
+        }
+        if let Ok(i) = tok.parse::<i64>() {
+            return Some(ConstValue::Int(i));
+        }
+        // Float literals must start with a digit (so identifiers like
+        // `inf` stay identifiers) and may use `.` or exponent notation.
+        if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            if let Ok(f) = tok.parse::<f64>() {
+                return Some(ConstValue::Float(f));
+            }
+        }
+        None
+    }
+
+    fn stmt(&mut self, toks: &[String], line: usize) -> Result<(), ParseError> {
+        let t = |i: usize| toks.get(i).map(String::as_str);
+
+        // Label definition: `name :`
+        if toks.len() == 2 && t(1) == Some(":") && is_ident(&toks[0]) {
+            let l = self.lookup_label(&toks[0]);
+            self.mb.bind(l);
+            return Ok(());
+        }
+
+        match t(0) {
+            Some("return") => {
+                match t(1) {
+                    Some(v) => {
+                        let s = self.operand(v, line)?;
+                        self.mb.ret(s);
+                    }
+                    None => self.mb.ret_void(),
+                }
+                Ok(())
+            }
+            Some("goto") => {
+                let name = t(1)
+                    .ok_or(())
+                    .or_else(|_| err(line, "goto needs a label"))?;
+                let l = self.lookup_label(name);
+                self.mb.jump(l);
+                Ok(())
+            }
+            Some("if") => {
+                // if a OP b goto label
+                let lhs = self.operand(t(1).unwrap_or(""), line)?;
+                let op = t(2)
+                    .and_then(parse_cmp_op)
+                    .ok_or(())
+                    .or_else(|_| err(line, "expected comparison operator"))?;
+                let rhs = self.operand(t(3).unwrap_or(""), line)?;
+                if t(4) != Some("goto") {
+                    return err(line, "expected `goto` in branch");
+                }
+                let name = t(5)
+                    .ok_or(())
+                    .or_else(|_| err(line, "branch needs a label"))?;
+                let l = self.lookup_label(name);
+                self.mb.branch(op, lhs, rhs, l);
+                Ok(())
+            }
+            Some("call") | Some("vcall") | Some("native") => {
+                let kind = toks[0].clone();
+                self.parse_call(None, &kind, toks, 1, line)
+            }
+            Some(first) if first.starts_with('$') && t(1) == Some("=") => {
+                // $Static = src
+                let sid = match self.tables.statics.get(&first[1..]) {
+                    Some(&s) => s,
+                    None => return err(line, format!("unknown static `{first}`")),
+                };
+                let src = self.operand(t(2).unwrap_or(""), line)?;
+                self.mb.put_static(sid, src);
+                Ok(())
+            }
+            Some(first) if is_ident(first) => self.assign_or_store(toks, line),
+            _ => err(line, format!("cannot parse statement: {}", toks.join(" "))),
+        }
+    }
+
+    /// Statements beginning with an identifier: assignments, field stores,
+    /// array stores.
+    fn assign_or_store(&mut self, toks: &[String], line: usize) -> Result<(), ParseError> {
+        let t = |i: usize| toks.get(i).map(String::as_str);
+
+        // obj . field = src      |  obj . Class::field = src
+        if t(1) == Some(".") {
+            let (field_tok, qual, eq_at) = if t(3) == Some("::") {
+                (toks[4].clone(), Some(toks[2].clone()), 5)
+            } else {
+                (toks[2].clone(), None, 3)
+            };
+            if t(eq_at) == Some("=") {
+                let obj = self.operand(&toks[0], line)?;
+                let f = self.field(&field_tok, qual.as_deref(), line)?;
+                let src = self.operand(t(eq_at + 1).unwrap_or(""), line)?;
+                self.mb.put_field(obj, f, src);
+                return Ok(());
+            }
+        }
+
+        // arr [ idx ] = src
+        if t(1) == Some("[") && t(3) == Some("]") && t(4) == Some("=") {
+            let arr = self.operand(&toks[0], line)?;
+            let idx = self.operand(&toks[2], line)?;
+            let src = self.operand(t(5).unwrap_or(""), line)?;
+            self.mb.array_put(arr, idx, src);
+            return Ok(());
+        }
+
+        if t(1) != Some("=") {
+            return err(line, format!("expected `=` in: {}", toks.join(" ")));
+        }
+        let dst = self.operand(&toks[0], line)?;
+        let rest = &toks[2..];
+        let r = |i: usize| rest.get(i).map(String::as_str);
+
+        match r(0) {
+            None => err(line, "missing right-hand side"),
+            Some("new") => {
+                let cname = r(1).ok_or(()).or_else(|_| err(line, "new needs a class"))?;
+                let cid = match self.tables.classes.get(cname) {
+                    Some(&c) => c,
+                    None => return err(line, format!("unknown class `{cname}`")),
+                };
+                self.mb.new_obj(dst, cid);
+                Ok(())
+            }
+            Some("newarray") => {
+                let len = self.operand(r(1).unwrap_or(""), line)?;
+                self.mb.new_array(dst, len);
+                Ok(())
+            }
+            Some("len") => {
+                let arr = self.operand(r(1).unwrap_or(""), line)?;
+                self.mb.array_len(dst, arr);
+                Ok(())
+            }
+            Some("call") | Some("vcall") | Some("native") => {
+                let kind = rest[0].clone();
+                self.parse_call(Some(dst), &kind, toks, 3, line)
+            }
+            Some(u) if parse_un_op(u).is_some() => {
+                let src = self.operand(r(1).unwrap_or(""), line)?;
+                self.mb.unop(dst, parse_un_op(u).unwrap(), src);
+                Ok(())
+            }
+            Some(s) if s.starts_with('$') && rest.len() == 1 => {
+                let sid = match self.tables.statics.get(&s[1..]) {
+                    Some(&st) => st,
+                    None => return err(line, format!("unknown static `{s}`")),
+                };
+                self.mb.get_static(dst, sid);
+                Ok(())
+            }
+            Some(first) => {
+                // Constant?
+                if rest.len() == 1 {
+                    if let Some(c) = Self::parse_const(first) {
+                        self.mb.constant(dst, c);
+                        return Ok(());
+                    }
+                }
+                // Negative literal: `- 3`
+                if rest.len() == 2 && first == "-" {
+                    if let Some(ConstValue::Int(i)) = Self::parse_const(&rest[1]) {
+                        self.mb.constant(dst, ConstValue::Int(-i));
+                        return Ok(());
+                    }
+                    if let Some(ConstValue::Float(f)) = Self::parse_const(&rest[1]) {
+                        self.mb.constant(dst, ConstValue::Float(-f));
+                        return Ok(());
+                    }
+                }
+                if !is_ident(first) {
+                    return err(line, format!("cannot parse expression: {}", rest.join(" ")));
+                }
+                // x = y
+                if rest.len() == 1 {
+                    let src = self.operand(first, line)?;
+                    self.mb.mov(dst, src);
+                    return Ok(());
+                }
+                // x = y . f  |  x = y . C::f
+                if r(1) == Some(".") {
+                    let (field_tok, qual) = if r(3) == Some("::") {
+                        (rest[4].clone(), Some(rest[2].clone()))
+                    } else {
+                        (rest[2].clone(), None)
+                    };
+                    let obj = self.operand(first, line)?;
+                    let f = self.field(&field_tok, qual.as_deref(), line)?;
+                    self.mb.get_field(dst, obj, f);
+                    return Ok(());
+                }
+                // x = y [ z ]
+                if r(1) == Some("[") && r(3) == Some("]") {
+                    let arr = self.operand(first, line)?;
+                    let idx = self.operand(&rest[2], line)?;
+                    self.mb.array_get(dst, arr, idx);
+                    return Ok(());
+                }
+                // x = y OP z  (binary or comparison)
+                if rest.len() == 3 {
+                    let lhs = self.operand(first, line)?;
+                    let rhs = self.operand(&rest[2], line)?;
+                    if let Some(op) = parse_bin_op(&rest[1]) {
+                        self.mb.binop(dst, op, lhs, rhs);
+                        return Ok(());
+                    }
+                    if let Some(op) = parse_cmp_op(&rest[1]) {
+                        self.mb.cmp(dst, op, lhs, rhs);
+                        return Ok(());
+                    }
+                }
+                err(line, format!("cannot parse expression: {}", rest.join(" ")))
+            }
+        }
+    }
+}
+
+/// Parses IR assembly text into a validated [`Program`].
+///
+/// The entry method must be a free function named `main`.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first syntactic or semantic
+/// problem, with its source line.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let lines: Vec<(usize, Vec<String>)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, tokenize(l)))
+        .filter(|(_, toks)| !toks.is_empty())
+        .collect();
+
+    let mut pb = ProgramBuilder::new();
+    let mut tables = SymbolTables {
+        classes: HashMap::new(),
+        fields: HashMap::new(),
+        statics: HashMap::new(),
+        natives: HashMap::new(),
+        methods: HashMap::new(),
+    };
+
+    // Pass 1: declarations.
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, toks) = &lines[i];
+        let t = |k: usize| toks.get(k).map(String::as_str);
+        match t(0) {
+            Some("native") => {
+                // native name / arity [-> value]
+                let name = t(1)
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "native needs a name"))?;
+                if t(2) != Some("/") {
+                    return err(*ln, "native declaration: expected `/arity`");
+                }
+                let arity: u16 = t(3)
+                    .and_then(|a| a.parse().ok())
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "bad native arity"))?;
+                let returns = t(4) == Some("->");
+                let id = pb.native(name, arity, returns);
+                tables.natives.insert(name.to_string(), id);
+                i += 1;
+            }
+            Some("static") => {
+                let name = t(1)
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "static needs a name"))?;
+                let id = pb.static_field(name);
+                tables.statics.insert(name.to_string(), id);
+                i += 1;
+            }
+            Some("class") => {
+                let name = t(1)
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "class needs a name"))?
+                    .to_string();
+                let mut k = 2;
+                let mut cb = pb.class(&name);
+                if t(k) == Some("extends") {
+                    let sup = t(k + 1)
+                        .ok_or(())
+                        .or_else(|_| err(*ln, "extends needs a class"))?;
+                    let sid = match tables.classes.get(sup) {
+                        Some(&s) => s,
+                        None => return err(*ln, format!("unknown superclass `{sup}`")),
+                    };
+                    cb = cb.extends(sid);
+                    k += 2;
+                }
+                if t(k) != Some("{") {
+                    return err(*ln, "class declaration: expected `{`");
+                }
+                k += 1;
+                let cid = cb.finish(&mut pb);
+                tables.classes.insert(name.clone(), cid);
+                while t(k).is_some() && t(k) != Some("}") {
+                    let fname = toks[k].clone();
+                    let fid = pb.field(cid, &fname);
+                    tables
+                        .fields
+                        .entry(fname)
+                        .or_default()
+                        .push((name.clone(), fid));
+                    k += 1;
+                }
+                if t(k) != Some("}") {
+                    return err(*ln, "class declaration: expected `}`");
+                }
+                i += 1;
+            }
+            Some("method") => {
+                // method [Class .] name / params {
+                let (qualified, class, mname, params_at) = if t(2) == Some(".") {
+                    let cname = t(1).unwrap();
+                    let cid = match tables.classes.get(cname) {
+                        Some(&c) => Some(c),
+                        None => return err(*ln, format!("unknown class `{cname}`")),
+                    };
+                    (
+                        format!("{}.{}", cname, t(3).unwrap_or("")),
+                        cid,
+                        t(3).map(str::to_string),
+                        4,
+                    )
+                } else {
+                    (
+                        t(1).unwrap_or("").to_string(),
+                        None,
+                        t(1).map(str::to_string),
+                        2,
+                    )
+                };
+                let mname = mname
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "method needs a name"))?;
+                if t(params_at) != Some("/") {
+                    return err(*ln, "method declaration: expected `/params`");
+                }
+                let params: u16 = t(params_at + 1)
+                    .and_then(|a| a.parse().ok())
+                    .ok_or(())
+                    .or_else(|_| err(*ln, "bad parameter count"))?;
+                let id = pb.declare_method(&mname, class, params);
+                tables
+                    .methods
+                    .insert(qualified, (id, params, class.is_some()));
+                // Skip to matching `}` of the body.
+                i += 1;
+                let mut depth = 1;
+                while i < lines.len() && depth > 0 {
+                    for tok in &lines[i].1 {
+                        if tok == "{" {
+                            depth += 1;
+                        } else if tok == "}" {
+                            depth -= 1;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => return err(*ln, format!("unexpected top-level token `{}`", toks[0])),
+        }
+    }
+
+    // Pass 2: method bodies.
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, toks) = &lines[i];
+        if toks.first().map(String::as_str) != Some("method") {
+            i += 1;
+            continue;
+        }
+        let t = |k: usize| toks.get(k).map(String::as_str);
+        let qualified = if t(2) == Some(".") {
+            format!("{}.{}", t(1).unwrap(), t(3).unwrap_or(""))
+        } else {
+            t(1).unwrap_or("").to_string()
+        };
+        let &(mid, params, has_receiver) =
+            tables.methods.get(&qualified).expect("declared in pass 1");
+        let simple = qualified
+            .split_once('.')
+            .map(|(_, m)| m.to_string())
+            .unwrap_or_else(|| qualified.clone());
+        let class = qualified.split_once('.').map(|(c, _)| tables.classes[c]);
+        let mb = match class {
+            Some(c) => pb.method_on(c, &simple, params),
+            None => pb.method(&simple, params),
+        };
+        let mut bp = BodyParser {
+            tables: &tables,
+            mb,
+            locals: HashMap::new(),
+            labels: HashMap::new(),
+            has_receiver,
+            num_params: params,
+        };
+        i += 1;
+        loop {
+            if i >= lines.len() {
+                return err(*ln, "unterminated method body");
+            }
+            let (sln, stoks) = &lines[i];
+            if stoks.len() == 1 && stoks[0] == "}" {
+                i += 1;
+                break;
+            }
+            bp.stmt(stoks, *sln)?;
+            i += 1;
+        }
+        bp.mb.finish_into(&mut pb, mid);
+    }
+
+    let entry = match tables.methods.get("main") {
+        Some(&(id, _, _)) => id,
+        None => return err(0, "program has no `main` method"),
+    };
+    pb.finish(entry).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display_program;
+
+    const SAMPLE: &str = r#"
+# A small program exercising most constructs.
+native print/1
+native rand/1 -> value
+static Counter
+
+class A { }
+class B extends A { f g }
+
+method main/0 {
+  o = new B
+  x = 3
+  o.f = x
+  y = o.f
+  $Counter = y
+  z = $Counter
+  n = 4
+  a = newarray n
+  a[x] = y
+  w = a[x]
+  m = len a
+  r = call helper(w)
+  v = vcall get(o)
+  q = native rand(r)
+loop:
+  if q == r goto done
+  goto loop
+done:
+  native print(v)
+  return
+}
+
+method helper/1 {
+  one = 1
+  r = p0 + one
+  return r
+}
+
+method B.get/0 {
+  r = this.f
+  return r
+}
+"#;
+
+    #[test]
+    fn sample_program_parses_and_validates() {
+        let p = parse_program(SAMPLE).expect("parse");
+        assert_eq!(p.classes().len(), 2);
+        assert_eq!(p.methods().len(), 3);
+        assert_eq!(p.natives().len(), 2);
+        assert_eq!(p.statics().len(), 1);
+        assert_eq!(p.method(p.entry()).name(), "main");
+    }
+
+    #[test]
+    fn print_then_parse_round_trips_structure() {
+        let p = parse_program(SAMPLE).expect("parse");
+        let text = display_program(&p);
+        // The disassembly uses resolved label/pc syntax (`goto @n`), which
+        // the parser does not accept; verify instead that structure prints.
+        assert!(text.contains("method main/0"));
+        assert!(text.contains("method B.get/0"));
+        assert!(text.contains("class B extends A { f g }"));
+    }
+
+    #[test]
+    fn unknown_field_is_reported_with_line() {
+        let src = "method main/0 {\n  x = y.nosuch\n  return\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nosuch"));
+    }
+
+    #[test]
+    fn ambiguous_field_requires_qualifier() {
+        let src = r#"
+class A { f }
+class B { f }
+method main/0 {
+  o = new A
+  x = o.f
+  return
+}
+"#;
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("ambiguous"), "{}", e.message);
+
+        let qualified = r#"
+class A { f }
+class B { f }
+method main/0 {
+  o = new A
+  x = o.A::f
+  return
+}
+"#;
+        parse_program(qualified).expect("qualified field resolves");
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let src = "method notmain/0 {\n  return\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let src = "method main/0 {\n  x = -5\n  return\n}\n";
+        let p = parse_program(src).expect("parse");
+        assert_eq!(p.method(p.entry()).body().len(), 2);
+    }
+
+    #[test]
+    fn float_literals_parse() {
+        let src = "method main/0 {\n  x = 2.5\n  y = x\n  return\n}\n";
+        parse_program(src).expect("parse");
+    }
+
+    #[test]
+    fn this_in_free_function_is_rejected() {
+        let src = "method main/0 {\n  x = this\n  return\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("this"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Human-readable disassembly of programs and methods.
+//!
+//! The output uses the same surface syntax that [`crate::parse_program`]
+//! accepts, so `parse ∘ print` round-trips (modulo local names).
+
+use crate::instr::{Callee, Instr};
+use crate::program::Program;
+use crate::types::{Local, MethodId};
+use std::fmt::Write;
+
+fn local_name(program: &Program, method: MethodId, l: Local) -> String {
+    let m = program.method(method);
+    if l.index() < m.num_params() as usize {
+        if m.class().is_some() && l.index() == 0 {
+            return "this".to_string();
+        }
+        let base = usize::from(m.class().is_some());
+        return format!("p{}", l.index() - base);
+    }
+    match m.local_name(l.index()) {
+        Some(n) => format!("%{n}"),
+        None => format!("%t{}", l.index()),
+    }
+}
+
+/// Renders one instruction in assembly syntax.
+pub(crate) fn display_instr(program: &Program, method: MethodId, instr: &Instr) -> String {
+    let l = |loc: Local| local_name(program, method, loc);
+    match instr {
+        Instr::Const { dst, value } => format!("{} = {}", l(*dst), value),
+        Instr::Move { dst, src } => format!("{} = {}", l(*dst), l(*src)),
+        Instr::Binop { dst, op, lhs, rhs } => {
+            format!("{} = {} {} {}", l(*dst), l(*lhs), op, l(*rhs))
+        }
+        Instr::Unop { dst, op, src } => format!("{} = {} {}", l(*dst), op, l(*src)),
+        Instr::Cmp { dst, op, lhs, rhs } => {
+            format!("{} = {} {} {}", l(*dst), l(*lhs), op, l(*rhs))
+        }
+        Instr::Branch {
+            op,
+            lhs,
+            rhs,
+            target,
+        } => {
+            format!("if {} {} {} goto @{}", l(*lhs), op, l(*rhs), target)
+        }
+        Instr::Jump { target } => format!("goto @{target}"),
+        Instr::New { dst, class } => {
+            format!("{} = new {}", l(*dst), program.class(*class).name())
+        }
+        Instr::NewArray { dst, len } => format!("{} = newarray {}", l(*dst), l(*len)),
+        Instr::GetField { dst, obj, field } => {
+            format!("{} = {}.{}", l(*dst), l(*obj), program.field_name(*field))
+        }
+        Instr::PutField { obj, field, src } => {
+            format!("{}.{} = {}", l(*obj), program.field_name(*field), l(*src))
+        }
+        Instr::GetStatic { dst, field } => {
+            format!("{} = ${}", l(*dst), program.statics()[field.index()].name())
+        }
+        Instr::PutStatic { field, src } => {
+            format!("${} = {}", program.statics()[field.index()].name(), l(*src))
+        }
+        Instr::ArrayGet { dst, arr, idx } => {
+            format!("{} = {}[{}]", l(*dst), l(*arr), l(*idx))
+        }
+        Instr::ArrayPut { arr, idx, src } => {
+            format!("{}[{}] = {}", l(*arr), l(*idx), l(*src))
+        }
+        Instr::ArrayLen { dst, arr } => format!("{} = len {}", l(*dst), l(*arr)),
+        Instr::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| l(a)).collect();
+            let callee_name = match callee {
+                Callee::Direct(mid) => {
+                    let m = program.method(*mid);
+                    match m.class() {
+                        Some(c) => format!("{}.{}", program.class(c).name(), m.name()),
+                        None => m.name().to_string(),
+                    }
+                }
+                Callee::Virtual(idx) => {
+                    format!("vcall:{}", program.method_names()[*idx as usize])
+                }
+            };
+            match dst {
+                Some(d) => format!("{} = call {}({})", l(*d), callee_name, args.join(", ")),
+                None => format!("call {}({})", callee_name, args.join(", ")),
+            }
+        }
+        Instr::CallNative { dst, native, args } => {
+            let args: Vec<String> = args.iter().map(|&a| l(a)).collect();
+            let name = program.native(*native).name();
+            match dst {
+                Some(d) => format!("{} = native {}({})", l(*d), name, args.join(", ")),
+                None => format!("native {}({})", name, args.join(", ")),
+            }
+        }
+        Instr::Return { src } => match src {
+            Some(s) => format!("return {}", l(*s)),
+            None => "return".to_string(),
+        },
+    }
+}
+
+/// Renders one method as assembly text.
+pub fn display_method(program: &Program, id: MethodId) -> String {
+    let m = program.method(id);
+    let mut out = String::new();
+    let header = match m.class() {
+        Some(c) => format!(
+            "method {}.{}/{}",
+            program.class(c).name(),
+            m.name(),
+            m.num_params() - 1
+        ),
+        None => format!("method {}/{}", m.name(), m.num_params()),
+    };
+    let _ = writeln!(out, "{header} {{");
+    for (pc, instr) in m.body().iter().enumerate() {
+        let _ = writeln!(out, "  @{pc:<3} {}", display_instr(program, id, instr));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders one method as *re-parseable* `.lu` source: branch targets
+/// become labels, locals get stable names, and ambiguous fields are
+/// qualified. `ambiguous` is the set of field names declared by more than
+/// one class.
+fn emit_method_source(
+    program: &Program,
+    id: MethodId,
+    ambiguous: &std::collections::HashSet<&str>,
+    out: &mut String,
+) {
+    use crate::instr::{Callee, Instr};
+    let m = program.method(id);
+    let header = match m.class() {
+        Some(c) => format!(
+            "method {}.{}/{}",
+            program.class(c).name(),
+            m.name(),
+            m.num_params() - 1
+        ),
+        None => format!("method {}/{}", m.name(), m.num_params()),
+    };
+    let _ = writeln!(out, "{header} {{");
+
+    // Label assignment for branch targets.
+    let mut labels: std::collections::HashMap<u32, String> = std::collections::HashMap::new();
+    for instr in m.body() {
+        if let Some(t) = instr.branch_target() {
+            let next = labels.len();
+            labels.entry(t).or_insert_with(|| format!("L{next}"));
+        }
+    }
+
+    let local = |l: crate::Local| -> String {
+        if l.index() < m.num_params() as usize {
+            if m.class().is_some() && l.index() == 0 {
+                "this".to_string()
+            } else {
+                let base = usize::from(m.class().is_some());
+                format!("p{}", l.index() - base)
+            }
+        } else {
+            format!("v{}", l.index())
+        }
+    };
+    let field = |f: crate::FieldId| -> String {
+        let name = program.field_name(f);
+        if ambiguous.contains(name) {
+            format!("{}::{}", program.class(program.field_owner(f)).name(), name)
+        } else {
+            name.to_string()
+        }
+    };
+
+    for (pc, instr) in m.body().iter().enumerate() {
+        if let Some(l) = labels.get(&(pc as u32)) {
+            let _ = writeln!(out, "{l}:");
+        }
+        let line = match instr {
+            Instr::Const { dst, value } => format!("{} = {}", local(*dst), value),
+            Instr::Move { dst, src } => format!("{} = {}", local(*dst), local(*src)),
+            Instr::Binop { dst, op, lhs, rhs } => {
+                format!("{} = {} {} {}", local(*dst), local(*lhs), op, local(*rhs))
+            }
+            Instr::Unop { dst, op, src } => {
+                format!("{} = {} {}", local(*dst), op, local(*src))
+            }
+            Instr::Cmp { dst, op, lhs, rhs } => {
+                format!("{} = {} {} {}", local(*dst), local(*lhs), op, local(*rhs))
+            }
+            Instr::Branch {
+                op,
+                lhs,
+                rhs,
+                target,
+            } => format!(
+                "if {} {} {} goto {}",
+                local(*lhs),
+                op,
+                local(*rhs),
+                labels[target]
+            ),
+            Instr::Jump { target } => format!("goto {}", labels[target]),
+            Instr::New { dst, class } => {
+                format!("{} = new {}", local(*dst), program.class(*class).name())
+            }
+            Instr::NewArray { dst, len } => {
+                format!("{} = newarray {}", local(*dst), local(*len))
+            }
+            Instr::GetField { dst, obj, field: f } => {
+                format!("{} = {}.{}", local(*dst), local(*obj), field(*f))
+            }
+            Instr::PutField { obj, field: f, src } => {
+                format!("{}.{} = {}", local(*obj), field(*f), local(*src))
+            }
+            Instr::GetStatic { dst, field: f } => {
+                format!("{} = ${}", local(*dst), program.statics()[f.index()].name())
+            }
+            Instr::PutStatic { field: f, src } => {
+                format!("${} = {}", program.statics()[f.index()].name(), local(*src))
+            }
+            Instr::ArrayGet { dst, arr, idx } => {
+                format!("{} = {}[{}]", local(*dst), local(*arr), local(*idx))
+            }
+            Instr::ArrayPut { arr, idx, src } => {
+                format!("{}[{}] = {}", local(*arr), local(*idx), local(*src))
+            }
+            Instr::ArrayLen { dst, arr } => format!("{} = len {}", local(*dst), local(*arr)),
+            Instr::Call { dst, callee, args } => {
+                let args_s: Vec<String> = args.iter().map(|&a| local(a)).collect();
+                let (kw, name) = match callee {
+                    Callee::Direct(mid) => {
+                        let callee_m = program.method(*mid);
+                        let name = match callee_m.class() {
+                            Some(c) => {
+                                format!("{}.{}", program.class(c).name(), callee_m.name())
+                            }
+                            None => callee_m.name().to_string(),
+                        };
+                        ("call", name)
+                    }
+                    Callee::Virtual(idx) => {
+                        ("vcall", program.method_names()[*idx as usize].clone())
+                    }
+                };
+                match dst {
+                    Some(d) => format!("{} = {kw} {name}({})", local(*d), args_s.join(", ")),
+                    None => format!("{kw} {name}({})", args_s.join(", ")),
+                }
+            }
+            Instr::CallNative { dst, native, args } => {
+                let args_s: Vec<String> = args.iter().map(|&a| local(a)).collect();
+                let name = program.native(*native).name();
+                match dst {
+                    Some(d) => {
+                        format!("{} = native {name}({})", local(*d), args_s.join(", "))
+                    }
+                    None => format!("native {name}({})", args_s.join(", ")),
+                }
+            }
+            Instr::Return { src } => match src {
+                Some(s) => format!("return {}", local(*s)),
+                None => "return".to_string(),
+            },
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Renders the whole program as **re-parseable** `.lu` source, suitable
+/// for feeding back to [`parse_program`](crate::parse_program) — the
+/// output path of program transformations.
+pub fn display_program_source(program: &Program) -> String {
+    let mut out = String::new();
+    for n in program.natives() {
+        let ret = if n.returns() { " -> value" } else { "" };
+        let _ = writeln!(out, "native {}/{}{}", n.name(), n.arity(), ret);
+    }
+    for s in program.statics() {
+        let _ = writeln!(out, "static {}", s.name());
+    }
+    for c in program.classes() {
+        let ext = match c.super_class() {
+            Some(s) => format!(" extends {}", program.class(s).name()),
+            None => String::new(),
+        };
+        let fields: Vec<&str> = c
+            .own_fields()
+            .iter()
+            .map(|&f| program.field_name(f))
+            .collect();
+        let _ = writeln!(out, "class {}{} {{ {} }}", c.name(), ext, fields.join(" "));
+    }
+    // Ambiguous field names need qualification.
+    let mut seen: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for i in 0..program.num_fields() {
+        *seen
+            .entry(program.field_name(crate::FieldId(i as u32)))
+            .or_insert(0) += 1;
+    }
+    let ambiguous: std::collections::HashSet<&str> = seen
+        .into_iter()
+        .filter_map(|(n, c)| (c > 1).then_some(n))
+        .collect();
+    for (mi, _) in program.methods().iter().enumerate() {
+        out.push('\n');
+        emit_method_source(program, MethodId(mi as u32), &ambiguous, &mut out);
+    }
+    out
+}
+
+/// Renders the whole program as assembly text.
+pub fn display_program(program: &Program) -> String {
+    let mut out = String::new();
+    for n in program.natives() {
+        let ret = if n.returns() { " -> value" } else { "" };
+        let _ = writeln!(out, "native {}/{}{}", n.name(), n.arity(), ret);
+    }
+    for s in program.statics() {
+        let _ = writeln!(out, "static {}", s.name());
+    }
+    for c in program.classes() {
+        let ext = match c.super_class() {
+            Some(s) => format!(" extends {}", program.class(s).name()),
+            None => String::new(),
+        };
+        let fields: Vec<&str> = c
+            .own_fields()
+            .iter()
+            .map(|&f| program.field_name(f))
+            .collect();
+        let _ = writeln!(out, "class {}{} {{ {} }}", c.name(), ext, fields.join(" "));
+    }
+    for (mi, _) in program.methods().iter().enumerate() {
+        out.push('\n');
+        out.push_str(&display_method(program, MethodId(mi as u32)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, ConstValue, ProgramBuilder};
+
+    #[test]
+    fn disassembly_mentions_every_construct() {
+        let mut pb = ProgramBuilder::new();
+        let print = pb.native("print", 1, false);
+        let counter = pb.static_field("Counter");
+        let c = pb.class("C").finish(&mut pb);
+        let f = pb.field(c, "f");
+
+        let mut m = pb.method("main", 0);
+        let o = m.new_local("o");
+        let x = m.new_local("x");
+        let a = m.new_local("a");
+        m.new_obj(o, c);
+        m.constant(x, ConstValue::Int(3));
+        m.put_field(o, f, x);
+        m.get_field(x, o, f);
+        m.put_static(counter, x);
+        m.get_static(x, counter);
+        m.new_array(a, x);
+        m.array_put(a, x, x);
+        m.array_get(x, a, x);
+        m.array_len(x, a);
+        let end = m.label();
+        m.branch(CmpOp::Eq, x, x, end);
+        m.bind(end);
+        m.call_native_void(print, &[x]);
+        m.ret_void();
+        let main = m.finish(&mut pb);
+        let p = pb.finish(main).unwrap();
+
+        let text = display_program(&p);
+        for needle in [
+            "native print/1",
+            "static Counter",
+            "class C",
+            "new C",
+            "%o.f",
+            "$Counter",
+            "newarray",
+            "len %a",
+            "goto @",
+            "native print(%x)",
+            "return",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Identifier newtypes for program entities.
+//!
+//! All identifiers are dense indices into the owning [`Program`]'s tables,
+//! wrapped in newtypes so that, e.g., a [`FieldId`] can never be used where a
+//! [`MethodId`] is expected ([C-NEWTYPE]).
+//!
+//! [`Program`]: crate::Program
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw dense index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a class declared in a [`Program`](crate::Program).
+    ClassId,
+    "C"
+);
+id_type!(
+    /// Identifies a method declared in a [`Program`](crate::Program).
+    MethodId,
+    "M"
+);
+id_type!(
+    /// Identifies an instance field. Field identifiers are global to the
+    /// program (two classes never share a `FieldId`), which lets dependence
+    /// graphs key heap effects by `FieldId` alone.
+    FieldId,
+    "F"
+);
+id_type!(
+    /// Identifies a static (global) field.
+    StaticId,
+    "S"
+);
+id_type!(
+    /// Identifies a native method registered with the program. Native
+    /// methods are the paper's *consumer* endpoints: values flowing into a
+    /// native call are treated as reaching program output.
+    NativeId,
+    "N"
+);
+id_type!(
+    /// Identifies an allocation site (a `new` or `newarray` instruction).
+    /// Allocation sites are the paper's static object abstraction `O_i`.
+    AllocSiteId,
+    "O"
+);
+
+/// A local variable slot within a method frame.
+///
+/// Locals are untyped storage cells, as in JVM bytecode; parameters occupy
+/// the first slots of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Local(pub u16);
+
+impl Local {
+    /// Returns the raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Local {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A program counter: an index into a method body.
+pub type Pc = u32;
+
+/// Globally identifies a static instruction: a `(method, pc)` pair.
+///
+/// This is the paper's domain `I` of static instructions; abstract
+/// dependence-graph nodes are elements of `I × D` for a bounded abstract
+/// domain `D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstrId {
+    /// Method containing the instruction.
+    pub method: MethodId,
+    /// Offset of the instruction within the method body.
+    pub pc: Pc,
+}
+
+impl InstrId {
+    /// Creates an instruction identifier.
+    pub fn new(method: MethodId, pc: Pc) -> Self {
+        InstrId { method, pc }
+    }
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.method, self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_uses_prefixes() {
+        assert_eq!(ClassId(3).to_string(), "C3");
+        assert_eq!(MethodId(0).to_string(), "M0");
+        assert_eq!(FieldId(7).to_string(), "F7");
+        assert_eq!(StaticId(1).to_string(), "S1");
+        assert_eq!(NativeId(2).to_string(), "N2");
+        assert_eq!(AllocSiteId(9).to_string(), "O9");
+        assert_eq!(Local(4).to_string(), "t4");
+    }
+
+    #[test]
+    fn instr_id_ordering_is_method_then_pc() {
+        let a = InstrId::new(MethodId(0), 5);
+        let b = InstrId::new(MethodId(1), 0);
+        let c = InstrId::new(MethodId(1), 2);
+        assert!(a < b && b < c);
+        assert_eq!(b.to_string(), "M1:0");
+    }
+
+    #[test]
+    fn ids_convert_to_usize() {
+        assert_eq!(usize::from(ClassId(5)), 5);
+        assert_eq!(AllocSiteId(8).index(), 8);
+        assert_eq!(Local(3).index(), 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Runtime and constant values.
+
+use std::fmt;
+
+/// A heap object reference.
+///
+/// Object identifiers are dense indices into the VM heap; the IR only ever
+/// mentions them through [`Value::Ref`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Returns the raw heap index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A compile-time constant operand of a [`Const`](crate::Instr::Const)
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstValue {
+    /// The null reference.
+    Null,
+    /// A 64-bit integer (also used for booleans: 0 / 1).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+}
+
+impl From<ConstValue> for Value {
+    fn from(c: ConstValue) -> Value {
+        match c {
+            ConstValue::Null => Value::Null,
+            ConstValue::Int(i) => Value::Int(i),
+            ConstValue::Float(f) => Value::Float(f),
+        }
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Null => write!(f, "null"),
+            ConstValue::Int(i) => write!(f, "{i}"),
+            ConstValue::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// A runtime value: the contents of a local slot, field, or array element.
+///
+/// The VM is dynamically typed, mirroring the paper's treatment of bytecode
+/// (types matter to the verifier, not to the dependence analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Value {
+    /// The null reference. Fresh locals and fields start out null.
+    #[default]
+    Null,
+    /// A 64-bit integer (also used for booleans: 0 / 1).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A reference to a heap object or array.
+    Ref(ObjectId),
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a [`Value::Float`].
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the object reference, if this is a [`Value::Ref`].
+    pub fn as_ref_id(self) -> Option<ObjectId> {
+        match self {
+            Value::Ref(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a branch condition: non-zero integers and
+    /// non-null references are truthy.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Ref(_) => true,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(o: ObjectId) -> Value {
+        Value::Ref(o)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_value_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+        assert!(Value::default().is_null());
+    }
+
+    #[test]
+    fn accessors_return_payloads() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Ref(ObjectId(3)).as_ref_id(), Some(ObjectId(3)));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Int(1).as_float(), None);
+        assert_eq!(Value::Int(1).as_ref_id(), None);
+    }
+
+    #[test]
+    fn truthiness_follows_jvm_conventions() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-2).is_truthy());
+        assert!(Value::Ref(ObjectId(0)).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(Value::Float(0.25).is_truthy());
+    }
+
+    #[test]
+    fn const_value_converts_to_value() {
+        assert_eq!(Value::from(ConstValue::Null), Value::Null);
+        assert_eq!(Value::from(ConstValue::Int(4)), Value::Int(4));
+        assert_eq!(Value::from(ConstValue::Float(0.5)), Value::Float(0.5));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Float(2.0),
+            Value::Ref(ObjectId(1)),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

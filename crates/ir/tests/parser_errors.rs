@@ -1,0 +1,103 @@
+//! Error-path coverage for the `.lu` parser: every malformed construct
+//! must be rejected with the right source line, never panic or
+//! mis-parse.
+
+use lowutil_ir::parse_program;
+
+fn expect_err(src: &str, line: usize, needle: &str) {
+    let e = parse_program(src).expect_err("must not parse");
+    assert!(
+        e.message.contains(needle),
+        "wanted {needle:?} in error `{e}` for:\n{src}"
+    );
+    if line > 0 {
+        assert_eq!(e.line, line, "error `{e}` for:\n{src}");
+    }
+}
+
+#[test]
+fn bad_native_declarations() {
+    expect_err("native\nmethod main/0 {\n  return\n}\n", 1, "name");
+    expect_err("native print\nmethod main/0 {\n  return\n}\n", 1, "arity");
+    expect_err("native print/x\nmethod main/0 {\n  return\n}\n", 1, "arity");
+}
+
+#[test]
+fn bad_class_declarations() {
+    expect_err("class\nmethod main/0 {\n  return\n}\n", 1, "name");
+    expect_err("class A\nmethod main/0 {\n  return\n}\n", 1, "{");
+    expect_err("class A { f\nmethod main/0 {\n  return\n}\n", 1, "}");
+    expect_err(
+        "class B extends Nope { }\nmethod main/0 {\n  return\n}\n",
+        1,
+        "unknown superclass",
+    );
+}
+
+#[test]
+fn bad_method_declarations() {
+    expect_err("method main {\n  return\n}\n", 1, "params");
+    expect_err("method main/zz {\n  return\n}\n", 1, "parameter count");
+    expect_err(
+        "method Nope.m/0 {\n  return\n}\nmethod main/0 {\n  return\n}\n",
+        1,
+        "unknown class",
+    );
+}
+
+#[test]
+fn bad_statements_carry_their_line() {
+    expect_err(
+        "method main/0 {\n  x = new Nope\n  return\n}\n",
+        2,
+        "unknown class",
+    );
+    expect_err("method main/0 {\n  goto\n  return\n}\n", 2, "label");
+    expect_err(
+        "method main/0 {\n  if x ?? y goto l\nl:\n  return\n}\n",
+        2,
+        "comparison",
+    );
+    expect_err(
+        "method main/0 {\n  x = $Nope\n  return\n}\n",
+        2,
+        "unknown static",
+    );
+    expect_err(
+        "method main/0 {\n  native nope(x)\n  return\n}\n",
+        2,
+        "unknown native",
+    );
+    expect_err(
+        "method main/0 {\n  x = y +\n  return\n}\n",
+        2,
+        "cannot parse",
+    );
+    expect_err("method main/0 {\n  ???\n  return\n}\n", 2, "cannot parse");
+}
+
+#[test]
+fn unterminated_bodies_are_reported() {
+    expect_err("method main/0 {\n  x = 1\n", 1, "unterminated");
+}
+
+#[test]
+fn duplicate_free_methods_do_not_panic() {
+    // Two `main` declarations: the second wins the name lookup; parsing
+    // must not panic, and the program must still validate or error
+    // cleanly.
+    let src = "method main/0 {\n  return\n}\nmethod main/0 {\n  return\n}\n";
+    let _ = parse_program(src); // either outcome, but no panic
+}
+
+#[test]
+fn top_level_garbage_is_rejected() {
+    expect_err("banana\n", 1, "unexpected top-level");
+}
+
+#[test]
+fn calls_to_missing_methods_fail_at_finish() {
+    let e = parse_program("method main/0 {\n  call ghost()\n  return\n}\n")
+        .expect_err("unresolved call");
+    assert!(e.message.contains("ghost"), "{e}");
+}

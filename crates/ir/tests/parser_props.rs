@@ -1,0 +1,113 @@
+//! Property tests for the textual front end: randomly generated
+//! straight-line programs must always parse, validate, and agree with the
+//! builder-level view of their structure.
+
+use lowutil_ir::{parse_program, Instr};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Const(u8, i64),
+    Move(u8, u8),
+    Add(u8, u8, u8),
+    Neg(u8, u8),
+    PutField(u8),
+    GetField(u8),
+    ArrPut(u8, u8),
+    ArrGet(u8, u8),
+    Print(u8),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..4u8, -1000..1000i64).prop_map(|(d, v)| Stmt::Const(d, v)),
+        (0..4u8, 0..4u8).prop_map(|(d, s)| Stmt::Move(d, s)),
+        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, l, r)| Stmt::Add(d, l, r)),
+        (0..4u8, 0..4u8).prop_map(|(d, s)| Stmt::Neg(d, s)),
+        (0..4u8).prop_map(Stmt::PutField),
+        (0..4u8).prop_map(Stmt::GetField),
+        (0..4u8, 0..4u8).prop_map(|(i, s)| Stmt::ArrPut(i, s)),
+        (0..4u8, 0..4u8).prop_map(|(d, i)| Stmt::ArrGet(d, i)),
+        (0..4u8).prop_map(Stmt::Print),
+    ]
+}
+
+fn render(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    // Initialization so every generated statement is well-defined.
+    for r in 0..4 {
+        body.push_str(&format!("  x{r} = 0\n"));
+    }
+    body.push_str("  o = new C\n  cap = 4\n  arr = newarray cap\n");
+    for i in 0..4 {
+        body.push_str(&format!("  arr[{i}] = x0\n"));
+    }
+    for s in stmts {
+        let line = match s {
+            Stmt::Const(d, v) => format!("  x{d} = {v}"),
+            Stmt::Move(d, s) => format!("  x{d} = x{s}"),
+            Stmt::Add(d, l, r) => format!("  x{d} = x{l} + x{r}"),
+            Stmt::Neg(d, s) => format!("  x{d} = neg x{s}"),
+            Stmt::PutField(s) => format!("  o.f = x{s}"),
+            Stmt::GetField(d) => format!("  x{d} = o.f"),
+            Stmt::ArrPut(i, s) => format!("  arr[{i}] = x{s}"),
+            Stmt::ArrGet(d, i) => format!("  x{d} = arr[{i}]"),
+            Stmt::Print(s) => format!("  native print(x{s})"),
+        };
+        body.push_str(&line);
+        body.push('\n');
+    }
+    format!("native print/1\nclass C {{ f }}\nmethod main/0 {{\n{body}  return\n}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_programs_parse_and_validate(
+        stmts in proptest::collection::vec(stmt_strategy(), 0..80)
+    ) {
+        let src = render(&stmts);
+        let p = parse_program(&src).expect("generated source parses");
+        prop_assert_eq!(p.method(p.entry()).name(), "main");
+        // At least one instruction per statement (literals may add consts).
+        let body = p.method(p.entry()).body();
+        prop_assert!(body.len() >= stmts.len());
+        // Straight-line: nothing branches.
+        prop_assert!(body.iter().all(|i| i.branch_target().is_none()));
+        // The program ends with return.
+        let ends_with_return = matches!(body.last(), Some(Instr::Return { .. }));
+        prop_assert!(ends_with_return);
+    }
+
+    #[test]
+    fn disassembly_mentions_every_field_store(
+        stmts in proptest::collection::vec(stmt_strategy(), 0..40)
+    ) {
+        let src = render(&stmts);
+        let p = parse_program(&src).expect("parses");
+        let text = lowutil_ir::display_program(&p);
+        let stores = stmts.iter().filter(|s| matches!(s, Stmt::PutField(_))).count();
+        let printed = text.matches(".f =").count();
+        prop_assert!(printed >= stores);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored(
+        stmts in proptest::collection::vec(stmt_strategy(), 0..20)
+    ) {
+        let plain = render(&stmts);
+        // Inject comments and blank lines between every statement.
+        let noisy: String = plain
+            .lines()
+            .flat_map(|l| [l.to_string(), "# comment".to_string(), String::new()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let a = parse_program(&plain).expect("plain parses");
+        let b = parse_program(&noisy).expect("noisy parses");
+        prop_assert_eq!(
+            a.method(a.entry()).body().len(),
+            b.method(b.entry()).body().len()
+        );
+    }
+}

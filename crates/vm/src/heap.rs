@@ -1,0 +1,169 @@
+//! The VM heap: objects and arrays tagged with allocation sites.
+//!
+//! There is no garbage collector — like the paper's shadow-heap setup, the
+//! analyses want stable object identities for the duration of a run, and
+//! the workloads are sized to fit comfortably in memory. (The paper's
+//! tracking data would survive GC because it lives at fixed shadow-heap
+//! offsets; ours survives trivially because objects are never reclaimed.)
+
+use lowutil_ir::{AllocSiteId, ClassId, ObjectId, Value};
+
+/// One heap cell: a class instance or an array.
+///
+/// Arrays reuse the `slots` storage, with one slot per element.
+#[derive(Debug, Clone)]
+pub struct HeapObject {
+    class: Option<ClassId>,
+    site: AllocSiteId,
+    slots: Vec<Value>,
+}
+
+impl HeapObject {
+    /// The dynamic class, or `None` for arrays.
+    pub fn class(&self) -> Option<ClassId> {
+        self.class
+    }
+
+    /// The allocation site that created this object.
+    pub fn site(&self) -> AllocSiteId {
+        self.site
+    }
+
+    /// Returns `true` if this is an array.
+    pub fn is_array(&self) -> bool {
+        self.class.is_none()
+    }
+
+    /// Number of field slots / array elements.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the object has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Reads a slot.
+    pub fn get(&self, slot: usize) -> Option<Value> {
+        self.slots.get(slot).copied()
+    }
+
+    /// Writes a slot. Returns `false` if out of range.
+    pub fn set(&mut self, slot: usize, value: Value) -> bool {
+        match self.slots.get_mut(slot) {
+            Some(s) => {
+                *s = value;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The object store.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a class instance with `num_slots` null-initialized fields.
+    pub fn alloc_object(
+        &mut self,
+        class: ClassId,
+        num_slots: usize,
+        site: AllocSiteId,
+    ) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(HeapObject {
+            class: Some(class),
+            site,
+            slots: vec![Value::Null; num_slots],
+        });
+        id
+    }
+
+    /// Allocates an array of `len` null-initialized elements.
+    pub fn alloc_array(&mut self, len: usize, site: AllocSiteId) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(HeapObject {
+            class: None,
+            site,
+            slots: vec![Value::Null; len],
+        });
+        id
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, id: ObjectId) -> Option<&HeapObject> {
+        self.objects.get(id.index())
+    }
+
+    /// Looks up an object mutably.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut HeapObject> {
+        self.objects.get_mut(id.index())
+    }
+
+    /// Total number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over all objects with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &HeapObject)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_and_arrays_share_the_store() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 2, AllocSiteId(0));
+        let a = h.alloc_array(3, AllocSiteId(1));
+        assert_eq!(h.len(), 2);
+        assert!(!h.get(o).unwrap().is_array());
+        assert!(h.get(a).unwrap().is_array());
+        assert_eq!(h.get(o).unwrap().len(), 2);
+        assert_eq!(h.get(a).unwrap().len(), 3);
+        assert_eq!(h.get(o).unwrap().site(), AllocSiteId(0));
+    }
+
+    #[test]
+    fn slots_initialize_to_null_and_are_writable() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 1, AllocSiteId(0));
+        assert_eq!(h.get(o).unwrap().get(0), Some(Value::Null));
+        assert!(h.get_mut(o).unwrap().set(0, Value::Int(5)));
+        assert_eq!(h.get(o).unwrap().get(0), Some(Value::Int(5)));
+        assert!(!h.get_mut(o).unwrap().set(9, Value::Int(5)));
+        assert_eq!(h.get(o).unwrap().get(9), None);
+    }
+
+    #[test]
+    fn iter_visits_in_allocation_order() {
+        let mut h = Heap::new();
+        let a = h.alloc_array(0, AllocSiteId(0));
+        let b = h.alloc_array(0, AllocSiteId(1));
+        let ids: Vec<ObjectId> = h.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+        assert!(h.get(a).unwrap().is_empty());
+    }
+}

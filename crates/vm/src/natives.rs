@@ -1,0 +1,259 @@
+//! Native methods: the program-output boundary.
+//!
+//! The paper creates a *native node* for every call site that invokes a
+//! native method; values flowing into natives are treated as consumed by
+//! the JVM (program output — infinite benefit weight). Our registry binds
+//! the native names a program declares to a small set of built-in
+//! behaviours. Natives never touch the heap, so their dependence semantics
+//! stay exactly "consume arguments, optionally produce one value".
+
+use lowutil_ir::{NativeId, Program, Value};
+use std::error::Error;
+use std::fmt;
+
+/// The built-in behaviour bound to a declared native method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeKind {
+    /// Consumes its arguments and records them in the run's output log.
+    /// Declared name: `print` / `sink` / `emit` (any arity, no return).
+    Sink,
+    /// Consumes its arguments silently — output that is not captured
+    /// (e.g. logging). Declared name: `blackhole`.
+    Blackhole,
+    /// Deterministic pseudo-random integer in `[0, arg)` (arity 1).
+    /// Declared name: `rand`.
+    Rand,
+    /// Monotonic counter, one tick per call (arity 0). Declared name:
+    /// `time`.
+    Time,
+    /// Reinterprets a float's bits as an integer (arity 1). Declared name:
+    /// `float_to_bits`. (Models `Float.floatToIntBits` from the sunflow
+    /// case study.)
+    FloatToBits,
+    /// Reinterprets an integer as float bits (arity 1). Declared name:
+    /// `bits_to_float`.
+    BitsToFloat,
+    /// Integer square root (arity 1). Declared name: `isqrt`.
+    Isqrt,
+    /// Marks the beginning of a tracked phase (arity 0). Declared name:
+    /// `phase_begin`.
+    PhaseBegin,
+    /// Marks the end of a tracked phase (arity 0). Declared name:
+    /// `phase_end`.
+    PhaseEnd,
+}
+
+impl NativeKind {
+    /// Resolves a declared native name to its behaviour.
+    pub fn from_name(name: &str) -> Option<NativeKind> {
+        Some(match name {
+            "print" | "sink" | "emit" => NativeKind::Sink,
+            "blackhole" => NativeKind::Blackhole,
+            "rand" => NativeKind::Rand,
+            "time" => NativeKind::Time,
+            "float_to_bits" => NativeKind::FloatToBits,
+            "bits_to_float" => NativeKind::BitsToFloat,
+            "isqrt" => NativeKind::Isqrt,
+            "phase_begin" => NativeKind::PhaseBegin,
+            "phase_end" => NativeKind::PhaseEnd,
+            _ => return None,
+        })
+    }
+
+    /// Whether this native produces a value.
+    pub fn produces_value(self) -> bool {
+        matches!(
+            self,
+            NativeKind::Rand
+                | NativeKind::Time
+                | NativeKind::FloatToBits
+                | NativeKind::BitsToFloat
+                | NativeKind::Isqrt
+        )
+    }
+}
+
+/// An unknown native name encountered while constructing a VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNativeError {
+    /// The undeclarable name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownNativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no built-in behaviour for native `{}`", self.name)
+    }
+}
+
+impl Error for UnknownNativeError {}
+
+/// Binds every native a program declares to a [`NativeKind`].
+#[derive(Debug, Clone)]
+pub struct NativeRegistry {
+    kinds: Vec<NativeKind>,
+}
+
+impl NativeRegistry {
+    /// Resolves all natives declared by `program`.
+    ///
+    /// # Errors
+    /// Returns [`UnknownNativeError`] if a declared native name has no
+    /// built-in behaviour.
+    pub fn for_program(program: &Program) -> Result<Self, UnknownNativeError> {
+        let kinds = program
+            .natives()
+            .iter()
+            .map(|n| {
+                NativeKind::from_name(n.name()).ok_or_else(|| UnknownNativeError {
+                    name: n.name().to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NativeRegistry { kinds })
+    }
+
+    /// The behaviour bound to `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not declared by the program this registry was
+    /// built for.
+    pub fn kind(&self, id: NativeId) -> NativeKind {
+        self.kinds[id.index()]
+    }
+}
+
+/// Mutable state shared by native implementations (RNG, clock).
+#[derive(Debug, Clone)]
+pub struct NativeState {
+    rng: u64,
+    clock: i64,
+}
+
+impl NativeState {
+    pub(crate) fn new(seed: u64) -> Self {
+        NativeState {
+            rng: seed.max(1),
+            clock: 0,
+        }
+    }
+
+    /// xorshift64* — deterministic, seedable, good enough for workloads.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Executes a native; returns its produced value, if any.
+    pub(crate) fn invoke(&mut self, kind: NativeKind, args: &[Value]) -> Option<Value> {
+        match kind {
+            NativeKind::Sink | NativeKind::Blackhole => None,
+            NativeKind::Rand => {
+                let bound = args.first().and_then(|v| v.as_int()).unwrap_or(i64::MAX);
+                let bound = bound.max(1) as u64;
+                Some(Value::Int((self.next_rand() % bound) as i64))
+            }
+            NativeKind::Time => {
+                self.clock += 1;
+                Some(Value::Int(self.clock))
+            }
+            NativeKind::FloatToBits => {
+                let f = match args.first() {
+                    Some(Value::Float(f)) => *f,
+                    Some(Value::Int(i)) => *i as f64,
+                    _ => 0.0,
+                };
+                Some(Value::Int(f.to_bits() as i64))
+            }
+            NativeKind::BitsToFloat => {
+                let i = args.first().and_then(|v| v.as_int()).unwrap_or(0);
+                Some(Value::Float(f64::from_bits(i as u64)))
+            }
+            NativeKind::Isqrt => {
+                let i = args.first().and_then(|v| v.as_int()).unwrap_or(0).max(0);
+                Some(Value::Int((i as f64).sqrt().floor() as i64))
+            }
+            NativeKind::PhaseBegin | NativeKind::PhaseEnd => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve_to_kinds() {
+        assert_eq!(NativeKind::from_name("print"), Some(NativeKind::Sink));
+        assert_eq!(NativeKind::from_name("sink"), Some(NativeKind::Sink));
+        assert_eq!(NativeKind::from_name("rand"), Some(NativeKind::Rand));
+        assert_eq!(NativeKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn rand_is_deterministic_and_bounded() {
+        let mut a = NativeState::new(42);
+        let mut b = NativeState::new(42);
+        for _ in 0..100 {
+            let va = a.invoke(NativeKind::Rand, &[Value::Int(10)]);
+            let vb = b.invoke(NativeKind::Rand, &[Value::Int(10)]);
+            assert_eq!(va, vb);
+            let v = va.unwrap().as_int().unwrap();
+            assert!((0..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_bits_round_trip() {
+        let mut s = NativeState::new(1);
+        let bits = s
+            .invoke(NativeKind::FloatToBits, &[Value::Float(2.5)])
+            .unwrap();
+        let back = s.invoke(NativeKind::BitsToFloat, &[bits]).unwrap();
+        assert_eq!(back, Value::Float(2.5));
+    }
+
+    #[test]
+    fn time_ticks_monotonically() {
+        let mut s = NativeState::new(1);
+        let t1 = s.invoke(NativeKind::Time, &[]).unwrap().as_int().unwrap();
+        let t2 = s.invoke(NativeKind::Time, &[]).unwrap().as_int().unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn isqrt_floors() {
+        let mut s = NativeState::new(1);
+        assert_eq!(
+            s.invoke(NativeKind::Isqrt, &[Value::Int(17)]),
+            Some(Value::Int(4))
+        );
+        assert_eq!(
+            s.invoke(NativeKind::Isqrt, &[Value::Int(-5)]),
+            Some(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn produces_value_matches_invoke() {
+        let mut s = NativeState::new(1);
+        for kind in [
+            NativeKind::Sink,
+            NativeKind::Blackhole,
+            NativeKind::Rand,
+            NativeKind::Time,
+            NativeKind::FloatToBits,
+            NativeKind::BitsToFloat,
+            NativeKind::Isqrt,
+            NativeKind::PhaseBegin,
+            NativeKind::PhaseEnd,
+        ] {
+            let out = s.invoke(kind, &[Value::Int(5)]);
+            assert_eq!(out.is_some(), kind.produces_value(), "{kind:?}");
+        }
+    }
+}

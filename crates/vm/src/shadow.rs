@@ -1,0 +1,240 @@
+//! Shadow memory: the paper's tracking-data machinery, generic over the
+//! tracking payload.
+//!
+//! The paper (§2.3) associates a shadow location with every storage
+//! location: shadow locals live on a shadow stack aligned with the call
+//! stack, and heap locations are shadowed by a *shadow heap* of the same
+//! shape as the Java heap. A *tracking stack* passes tracking data for
+//! actual parameters and return values across calls, together with the
+//! caller's receiver-object context chain.
+//!
+//! These structures are generic over the payload `T` (dependence-graph node
+//! references for the cost analyses; origin records for copy profiling) so
+//! every client analysis reuses the same machinery.
+
+use lowutil_ir::ObjectId;
+
+/// Shadow storage for one frame's locals.
+#[derive(Debug, Clone)]
+pub struct ShadowFrame<T> {
+    slots: Vec<T>,
+}
+
+impl<T: Clone + Default> ShadowFrame<T> {
+    /// Creates a frame with `num_locals` default-initialized shadow slots.
+    pub fn new(num_locals: usize) -> Self {
+        ShadowFrame {
+            slots: vec![T::default(); num_locals],
+        }
+    }
+
+    /// Reads a shadow slot.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range (a VM bug, not a program bug).
+    pub fn get(&self, slot: usize) -> &T {
+        &self.slots[slot]
+    }
+
+    /// Writes a shadow slot.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn set(&mut self, slot: usize, value: T) {
+        self.slots[slot] = value;
+    }
+}
+
+/// A stack of [`ShadowFrame`]s aligned with the VM call stack.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowStack<T> {
+    frames: Vec<ShadowFrame<T>>,
+}
+
+impl<T: Clone + Default> ShadowStack<T> {
+    /// Creates an empty shadow stack.
+    pub fn new() -> Self {
+        ShadowStack { frames: Vec::new() }
+    }
+
+    /// Pushes a frame with `num_locals` shadow slots.
+    pub fn push(&mut self, num_locals: usize) {
+        self.frames.push(ShadowFrame::new(num_locals));
+    }
+
+    /// Pops the top frame.
+    ///
+    /// # Panics
+    /// Panics if the stack is empty.
+    pub fn pop(&mut self) {
+        self.frames.pop().expect("shadow stack underflow");
+    }
+
+    /// The current (top) frame.
+    ///
+    /// # Panics
+    /// Panics if the stack is empty.
+    pub fn top(&self) -> &ShadowFrame<T> {
+        self.frames.last().expect("shadow stack empty")
+    }
+
+    /// The current (top) frame, mutably.
+    ///
+    /// # Panics
+    /// Panics if the stack is empty.
+    pub fn top_mut(&mut self) -> &mut ShadowFrame<T> {
+        self.frames.last_mut().expect("shadow stack empty")
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Shadow storage for the heap: one payload per object slot, plus one *tag*
+/// per object (the paper stores allocation-site tags in the shadow heap
+/// because the J9 object header cannot be modified).
+#[derive(Debug, Clone)]
+pub struct ShadowHeap<T, Tag> {
+    slots: Vec<Vec<T>>,
+    tags: Vec<Tag>,
+    default_tag: Tag,
+}
+
+impl<T: Clone + Default, Tag: Clone> ShadowHeap<T, Tag> {
+    /// Creates an empty shadow heap; objects get `default_tag` until
+    /// explicitly tagged.
+    pub fn new(default_tag: Tag) -> Self {
+        ShadowHeap {
+            slots: Vec::new(),
+            tags: Vec::new(),
+            default_tag,
+        }
+    }
+
+    fn ensure(&mut self, obj: ObjectId, min_slots: usize) {
+        while self.slots.len() <= obj.index() {
+            self.slots.push(Vec::new());
+            self.tags.push(self.default_tag.clone());
+        }
+        let v = &mut self.slots[obj.index()];
+        if v.len() < min_slots {
+            v.resize(min_slots, T::default());
+        }
+    }
+
+    /// Registers a fresh object with `num_slots` shadow slots and a tag.
+    pub fn on_alloc(&mut self, obj: ObjectId, num_slots: usize, tag: Tag) {
+        self.ensure(obj, num_slots);
+        self.tags[obj.index()] = tag;
+    }
+
+    /// Reads the shadow of `(obj, slot)`; default if never written.
+    pub fn get(&self, obj: ObjectId, slot: usize) -> T {
+        self.slots
+            .get(obj.index())
+            .and_then(|v| v.get(slot))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Writes the shadow of `(obj, slot)`, growing storage on demand.
+    pub fn set(&mut self, obj: ObjectId, slot: usize, value: T) {
+        self.ensure(obj, slot + 1);
+        self.slots[obj.index()][slot] = value;
+    }
+
+    /// Reads an object's tag (allocation-site tag in the cost analyses).
+    pub fn tag(&self, obj: ObjectId) -> Tag {
+        self.tags
+            .get(obj.index())
+            .cloned()
+            .unwrap_or_else(|| self.default_tag.clone())
+    }
+
+    /// Approximate memory footprint in bytes (for the paper's `M` column).
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<T>();
+        let tag = std::mem::size_of::<Tag>();
+        self.slots.iter().map(|v| v.len() * slot).sum::<usize>() + self.tags.len() * tag
+    }
+}
+
+/// The tracking stack: passes tracking data for actuals/returns across
+/// calls, and the caller's context chain (rule METHOD ENTRY / RETURN).
+#[derive(Debug, Clone, Default)]
+pub struct TrackingStack<T> {
+    items: Vec<T>,
+}
+
+impl<T> TrackingStack<T> {
+    /// Creates an empty tracking stack.
+    pub fn new() -> Self {
+        TrackingStack { items: Vec::new() }
+    }
+
+    /// Pushes tracking data (an actual parameter, a return value, or a
+    /// context word).
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Pops the most recent item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop()
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_stack_aligns_with_frames() {
+        let mut s: ShadowStack<u32> = ShadowStack::new();
+        s.push(2);
+        s.top_mut().set(0, 7);
+        s.push(1);
+        assert_eq!(*s.top().get(0), 0);
+        s.top_mut().set(0, 9);
+        s.pop();
+        assert_eq!(*s.top().get(0), 7);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn shadow_heap_defaults_and_grows() {
+        let mut h: ShadowHeap<u64, &'static str> = ShadowHeap::new("untagged");
+        let o = ObjectId(5);
+        assert_eq!(h.get(o, 3), 0);
+        assert_eq!(h.tag(o), "untagged");
+        h.on_alloc(o, 2, "site0");
+        h.set(o, 3, 42); // grows past declared slots (array-style)
+        assert_eq!(h.get(o, 3), 42);
+        assert_eq!(h.tag(o), "site0");
+        assert!(h.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn tracking_stack_is_lifo() {
+        let mut t = TrackingStack::new();
+        assert!(t.is_empty());
+        t.push(1);
+        t.push(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pop(), Some(2));
+        assert_eq!(t.pop(), Some(1));
+        assert_eq!(t.pop(), None);
+    }
+}

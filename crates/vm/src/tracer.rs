@@ -1,0 +1,106 @@
+//! The [`Tracer`] hook trait.
+
+use crate::event::{Event, FrameInfo};
+
+/// A profiling client attached to the interpreter.
+///
+/// The VM calls [`Tracer::instr`] once per executed instruction, and
+/// [`Tracer::frame_push`] / [`Tracer::frame_pop`] around every call so the
+/// tracer can keep a shadow stack aligned with the VM call stack. The entry
+/// frame is also announced via `frame_push` (with `call_site == None`).
+///
+/// Ordering for a call `r = m(a, b)`:
+///
+/// 1. `instr(Event::Call { … })` — tracking data for `a`, `b` is available
+///    in the caller frame;
+/// 2. `frame_push(…)` — the callee frame exists; formals receive data;
+/// 3. … callee body events …
+/// 4. `instr(Event::Return { … })` — still in the callee frame;
+/// 5. `frame_pop()`;
+/// 6. `instr(Event::CallComplete { … })` — back in the caller frame.
+pub trait Tracer {
+    /// Called for every executed instruction.
+    fn instr(&mut self, event: &Event);
+
+    /// Called when a frame is pushed (including the entry frame).
+    fn frame_push(&mut self, info: &FrameInfo) {
+        let _ = info;
+    }
+
+    /// Called when a frame is popped.
+    fn frame_pop(&mut self) {}
+}
+
+/// A tracer that ignores everything — the uninstrumented baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn instr(&mut self, _event: &Event) {}
+}
+
+/// Counts events without interpreting them; useful for tests and overhead
+/// calibration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingTracer {
+    /// Number of instruction events seen.
+    pub instrs: u64,
+    /// Number of frame pushes seen.
+    pub pushes: u64,
+    /// Number of frame pops seen.
+    pub pops: u64,
+}
+
+impl CountingTracer {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracer for CountingTracer {
+    fn instr(&mut self, _event: &Event) {
+        self.instrs += 1;
+    }
+
+    fn frame_push(&mut self, _info: &FrameInfo) {
+        self.pushes += 1;
+    }
+
+    fn frame_pop(&mut self) {
+        self.pops += 1;
+    }
+}
+
+/// Runs two tracers over the same execution: `(a, b)` forwards every hook
+/// to `a` then `b`. Nest tuples for more, e.g. `((a, b), c)`.
+impl<A: Tracer, B: Tracer> Tracer for (A, B) {
+    fn instr(&mut self, event: &Event) {
+        self.0.instr(event);
+        self.1.instr(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.0.frame_push(info);
+        self.1.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.0.frame_pop();
+        self.1.frame_pop();
+    }
+}
+
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    fn instr(&mut self, event: &Event) {
+        (**self).instr(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        (**self).frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        (**self).frame_pop();
+    }
+}

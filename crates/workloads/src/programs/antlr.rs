@@ -1,0 +1,71 @@
+//! `antlr` — a parser front end: one `Token` object per input symbol.
+//!
+//! Pattern: token objects are short-lived carriers. Their `val` field flows
+//! into the parse result, their `kind` feeds dispatch predicates, but the
+//! `pos` field (source position) is computed and stored for every token and
+//! read by nothing — a modest slice of ultimately-dead work, matching the
+//! paper's low-single-digit IPD for antlr.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let tokens = 500 * n;
+    build_program(&format!(
+        r#"
+class Token {{ kind pos val }}
+
+method main/0 {{
+  n = {tokens}
+  native phase_begin()
+  sum = 0
+  i = 0
+  one = 1
+  five = 5
+  two = 2
+loop:
+  if i >= n goto done
+  t = new Token
+  k = i % five
+  t.kind = k
+  t.pos = i
+  v = i + k
+  t.val = v
+  kk = t.kind
+  if kk >= two goto keyword
+  vv = t.val
+  sum = sum + vv
+  goto next
+keyword:
+  vv = t.val
+  vv = vv * two
+  sum = sum + vv
+next:
+  i = i + one
+  goto loop
+done:
+  native phase_end()
+  native print(sum)
+  return
+}}
+"#
+    ))
+    .expect("antlr workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn output_is_deterministic_and_scales() {
+        let p1 = program(1);
+        let o1 = Vm::new(&p1).run(&mut NullTracer).unwrap();
+        let o1b = Vm::new(&p1).run(&mut NullTracer).unwrap();
+        assert_eq!(o1.output, o1b.output);
+        let o2 = Vm::new(&program(2)).run(&mut NullTracer).unwrap();
+        assert!(o2.instructions_executed > o1.instructions_executed);
+    }
+}

@@ -1,0 +1,96 @@
+//! `batik` — an SVG renderer computing path-segment geometry. Segment
+//! lengths (via integer square roots) feed the rasterized output totals;
+//! only a per-segment debug label is wasted, keeping IPD near the paper's
+//! ~2%.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let paths = 8 * n;
+    let segs = 25;
+    build_program(&format!(
+        r#"
+class Segment {{ x1 y1 x2 y2 seglen label }}
+
+method seg_build/3 {{
+  # p0 = path id, p1 = segment index, p2 = phase
+  s = new Segment
+  three = 3
+  five = 5
+  x1 = p1 * three
+  y1 = p1 * five
+  x2 = x1 + p0
+  y2 = y1 + p2
+  s.x1 = x1
+  s.y1 = y1
+  s.x2 = x2
+  s.y2 = y2
+  # a debug label the renderer never reads
+  lbl = p0 * 1000
+  lbl = lbl + p1
+  s.label = lbl
+  return s
+}}
+
+# compute and cache the segment's length from its stored endpoints
+method seg_measure/1 {{
+  x1 = p0.x1
+  y1 = p0.y1
+  x2 = p0.x2
+  y2 = p0.y2
+  dx = x2 - x1
+  dy = y2 - y1
+  dx2 = dx * dx
+  dy2 = dy * dy
+  d = dx2 + dy2
+  l = native isqrt(d)
+  p0.seglen = l
+  return l
+}}
+
+method main/0 {{
+  native phase_begin()
+  total = 0
+  p = 1
+  one = 1
+  np = {paths}
+pl:
+  if p > np goto pd
+  i = 0
+  ns = {segs}
+sl:
+  if i >= ns goto sd
+  two = 2
+  ph = p % two
+  s = call seg_build(p, i, ph)
+  l = call seg_measure(s)
+  total = total + l
+  i = i + one
+  goto sl
+sd:
+  p = p + one
+  goto pl
+pd:
+  native phase_end()
+  native print(total)
+  return
+}}
+"#
+    ))
+    .expect("batik workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn rasterized_total_is_positive() {
+        let out = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert!(out.output[0].as_int().unwrap() > 0);
+        assert_eq!(out.objects_allocated, 8 * 25);
+    }
+}

@@ -1,0 +1,121 @@
+//! `chart` — the paper's flagship anecdote: "creates many lists and adds
+//! thousands of data structures to them, for the sole purpose of obtaining
+//! list sizes. The actual values stored in the list entries are never
+//! used."
+//!
+//! Most series are built with non-trivial per-point arithmetic and then
+//! only `size()` is taken; one series is genuinely rendered so the workload
+//! also has live data flow.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let series = 4 * n;
+    let points = 60;
+    build_program(&format!(
+        r#"
+class Point {{ px py }}
+
+# build one data series of p1 points, scaled by series index p0
+method build_series/2 {{
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+pl:
+  if i >= p1 goto pd
+  x = i * p0
+  x = x + i
+  y = x * x
+  y = y + p0
+  pt = new Point
+  pt.px = x
+  pt.py = y
+  call List.add(l, pt)
+  i = i + one
+  goto pl
+pd:
+  return l
+}}
+
+# identical construction logic, but for the series the chart actually
+# draws — a distinct allocation site, as in the real code
+method build_plot_series/2 {{
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+ql:
+  if i >= p1 goto qd
+  x = i * p0
+  x = x + i
+  y = x * x
+  y = y + p0
+  pt = new Point
+  pt.px = x
+  pt.py = y
+  call List.add(l, pt)
+  i = i + one
+  goto ql
+qd:
+  return l
+}}
+
+method render/1 {{
+  n = call List.size(p0)
+  sum = 0
+  i = 0
+  one = 1
+rl:
+  if i >= n goto rd
+  pt = call List.get(p0, i)
+  y = pt.py
+  sum = sum + y
+  i = i + one
+  goto rl
+rd:
+  return sum
+}}
+
+method main/0 {{
+  native phase_begin()
+  total = 0
+  s = 1
+  one = 1
+  ns = {series}
+sl:
+  if s > ns goto sd
+  ser = call build_series(s, {points})
+  sz = call List.size(ser)
+  total = total + sz
+  s = s + one
+  goto sl
+sd:
+  real = call build_plot_series(1, {points})
+  rsum = call render(real)
+  total = total + rsum
+  native phase_end()
+  native print(total)
+  return
+}}
+"#
+    ))
+    .expect("chart workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn sizes_plus_rendered_sum_is_printed() {
+        let out = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(out.output.len(), 1);
+        // 4 series of 60 points (sizes) + rendered sum > 240.
+        let total = out.output[0].as_int().unwrap();
+        assert!(total > 240);
+    }
+}

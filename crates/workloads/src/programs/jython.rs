@@ -1,0 +1,98 @@
+//! `jython` — a dynamic-language interpreter boxing every integer. The
+//! workload's inner loop allocates `PyInt` carriers for operands and
+//! results of each bytecode-style operation; the values are live (they
+//! reach the printed result) but each box exists only to ferry one value
+//! between "interpreter" methods — classic temporary-object churn with
+//! large relative costs and copy-shaped benefits.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let ops = 250 * n;
+    build_program(&format!(
+        r#"
+class PyInt {{ ival }}
+
+method box_int/1 {{
+  b = new PyInt
+  b.ival = p0
+  return b
+}}
+
+method unbox/1 {{
+  v = p0.ival
+  return v
+}}
+
+method py_add/2 {{
+  a = call unbox(p0)
+  b = call unbox(p1)
+  c = a + b
+  r = call box_int(c)
+  return r
+}}
+
+method py_mul/2 {{
+  a = call unbox(p0)
+  b = call unbox(p1)
+  c = a * b
+  r = call box_int(c)
+  return r
+}}
+
+method main/0 {{
+  n = {ops}
+  native phase_begin()
+  acc = call box_int(0)
+  i = 0
+  one = 1
+  two = 2
+loop:
+  if i >= n goto done
+  x = call box_int(i)
+  y = call py_mul(x, x)
+  t = call py_add(acc, y)
+  m = i % two
+  zero = 0
+  if m == zero goto keep
+  # odd steps fold in an extra increment box
+  extra = call box_int(one)
+  t = call py_add(t, extra)
+keep:
+  acc = t
+  i = i + one
+  goto loop
+done:
+  r = call unbox(acc)
+  native phase_end()
+  native print(r)
+  return
+}}
+"#
+    ))
+    .expect("jython workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn boxed_arithmetic_matches_direct() {
+        let out = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        let n: i64 = 250;
+        let mut acc = 0i64;
+        for i in 0..n {
+            acc += i * i;
+            if i % 2 != 0 {
+                acc += 1;
+            }
+        }
+        assert_eq!(out.output[0].as_int().unwrap(), acc);
+        // Boxing churn: ≥ 3 allocations per op.
+        assert!(out.objects_allocated as i64 >= 3 * n);
+    }
+}

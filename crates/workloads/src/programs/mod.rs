@@ -1,0 +1,21 @@
+//! One module per synthetic benchmark. See [`crate::suite`] for the
+//! registry and per-benchmark descriptions.
+
+pub mod antlr;
+pub mod avrora;
+pub mod batik;
+pub mod bloat_bench;
+pub mod chart;
+pub mod derby;
+pub mod eclipse;
+pub mod fop;
+pub mod hsqldb;
+pub mod jython;
+pub mod luindex;
+pub mod lusearch;
+pub mod pmd;
+pub mod sunflow;
+pub mod tomcat;
+pub mod tradebeans;
+pub mod tradesoap;
+pub mod xalan;

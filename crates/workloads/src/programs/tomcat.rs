@@ -1,0 +1,281 @@
+//! `tomcat` — the paper's tomcat case study (~2% running-time reduction).
+//! Two reported problems are modelled:
+//!
+//! 1. **Mapper context-array rebuild**: "Once a context is added …, an
+//!    update algorithm … creates a new array, inserts the new context at
+//!    the right position …, copies the old context array to the new one,
+//!    and discards the old array." The fix keeps two arrays and reuses
+//!    them back and forth.
+//! 2. **String comparison for property dispatch**: getProperty
+//!    implementations "obtain the names of the argument classes and
+//!    compare them with the embedded names such as Integer and Boolean".
+//!    The fix compares integer type tags directly.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+const COMMON: &str = r#"
+class Mapper { ctxs backing mcount }
+
+method mapper_init/1 {
+  one = 1
+  a = newarray one
+  p0.ctxs = a
+  b = newarray one
+  p0.backing = b
+  z = 0
+  p0.mcount = z
+  return
+}
+
+# builds an interned type-name Str for tag p0 (65 = 'A' base)
+method type_name/1 {
+  s = new Str
+  call Str.init(s)
+  base = 65
+  c = p0 + base
+  call Str.append(s, c)
+  call Str.append_int(s, p0)
+  tail = 90
+  call Str.append(s, tail)
+  return s
+}
+"#;
+
+fn mapper_add(bloated: bool) -> &'static str {
+    if bloated {
+        // Fresh array per update, sorted insert, discard the old array.
+        r#"
+# insert context p1 keeping the list sorted (fresh array per update)
+method mapper_add/2 {
+  old = p0.ctxs
+  n = p0.mcount
+  one = 1
+  m = n + one
+  fresh = newarray m
+  # copy the prefix that stays below p1
+  i = 0
+cpl:
+  if i >= n goto cpd
+  v = old[i]
+  if v > p1 goto cpd
+  fresh[i] = v
+  i = i + one
+  goto cpl
+cpd:
+  pos = i
+  fresh[pos] = p1
+  # copy the tail shifted by one
+tl:
+  if i >= n goto tld
+  v = old[i]
+  j = i + one
+  fresh[j] = v
+  i = i + one
+  goto tl
+tld:
+  p0.ctxs = fresh
+  p0.mcount = m
+  return
+}
+"#
+    } else {
+        // The fix: flip between the main and backing arrays, growing only
+        // when capacity is exhausted.
+        r#"
+method mapper_add/2 {
+  old = p0.ctxs
+  back = p0.backing
+  n = p0.mcount
+  one = 1
+  m = n + one
+  cap = len back
+  if m <= cap goto roomy
+  ncap = m + m
+  back = newarray ncap
+roomy:
+  i = 0
+cpl:
+  if i >= n goto cpd
+  v = old[i]
+  if v > p1 goto cpd
+  back[i] = v
+  i = i + one
+  goto cpl
+cpd:
+  pos = i
+  back[pos] = p1
+tl:
+  if i >= n goto tld
+  v = old[i]
+  j = i + one
+  back[j] = v
+  i = i + one
+  goto tl
+tld:
+  p0.ctxs = back
+  p0.backing = old
+  p0.mcount = m
+  return
+}
+"#
+    }
+}
+
+fn dispatch(bloated: bool) -> &'static str {
+    if bloated {
+        // Compare the class-name string against each embedded name.
+        r#"
+method property_kind/1 {
+  nm = call type_name(p0)
+  int_tag = 0
+  int_nm = call type_name(int_tag)
+  e = call Str.equals(nm, int_nm)
+  one = 1
+  if e == one goto is_int
+  bool_tag = 1
+  bool_nm = call type_name(bool_tag)
+  e2 = call Str.equals(nm, bool_nm)
+  if e2 == one goto is_bool
+  r = 2
+  return r
+is_int:
+  r = 0
+  return r
+is_bool:
+  r = 1
+  return r
+}
+"#
+    } else {
+        // The fix: compare Class objects (integer tags) directly.
+        r#"
+method property_kind/1 {
+  zero = 0
+  if p0 == zero goto is_int
+  one = 1
+  if p0 == one goto is_bool
+  r = 2
+  return r
+is_int:
+  r = 0
+  return r
+is_bool:
+  r = 1
+  return r
+}
+"#
+    }
+}
+
+fn main_src(contexts: u32, lookups: u32, work: u32) -> String {
+    format!(
+        r#"
+method main/0 {{
+  mp = new Mapper
+  call mapper_init(mp)
+  native phase_begin()
+  units = {work}
+  aw = call app_work(units)
+  # deployment: contexts arrive in shuffled order
+  i = 0
+  one = 1
+  nc = {contexts}
+  seven = 7
+ad:
+  if i >= nc goto add_done
+  v = i * seven
+  v = v % nc
+  call mapper_add(mp, v)
+  i = i + one
+  goto ad
+add_done:
+  # request handling: property dispatch by type
+  ints = 0
+  bools = 0
+  others = 0
+  q = 0
+  nl = {lookups}
+  three = 3
+rq:
+  if q >= nl goto rqd
+  tag = q % three
+  kind = call property_kind(tag)
+  zero = 0
+  if kind == zero goto ci
+  if kind == one goto cb
+  others = others + one
+  goto cn
+ci:
+  ints = ints + one
+  goto cn
+cb:
+  bools = bools + one
+cn:
+  q = q + one
+  goto rq
+rqd:
+  c = mp.mcount
+  native phase_end()
+  native print(c)
+  native print(ints)
+  native print(bools)
+  native print(others)
+  native print(aw)
+  return
+}}
+"#
+    )
+}
+
+/// The bloated benchmark.
+pub fn program(n: u32) -> Program {
+    let src = format!(
+        "{COMMON}\n{}\n{}\n{}",
+        mapper_add(true),
+        dispatch(true),
+        main_src(40 * n, 120 * n, 170000 * n)
+    );
+    build_program(&src).expect("tomcat workload parses")
+}
+
+/// The paper's fixes applied.
+pub fn optimized(n: u32) -> Program {
+    let src = format!(
+        "{COMMON}\n{}\n{}\n{}",
+        mapper_add(false),
+        dispatch(false),
+        main_src(40 * n, 120 * n, 170000 * n)
+    );
+    build_program(&src).expect("tomcat optimized workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn fix_preserves_output_and_saves_work() {
+        let base = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        let fast = Vm::new(&optimized(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(base.output, fast.output);
+        let reduction = 1.0 - fast.instructions_executed as f64 / base.instructions_executed as f64;
+        assert!(
+            reduction > 0.02,
+            "paper reports ~2%; got {:.1}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn dispatch_counts_partition_the_requests() {
+        let out = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(out.output[0].as_int().unwrap(), 40);
+        let ints = out.output[1].as_int().unwrap();
+        let bools = out.output[2].as_int().unwrap();
+        let others = out.output[3].as_int().unwrap();
+        assert_eq!(ints + bools + others, 120);
+        assert_eq!(ints, 40);
+    }
+}

@@ -1,0 +1,111 @@
+//! `xalan` — a document transformer funnelling character data through a
+//! pipeline of string buffers. Each stage copies (and lightly rewrites)
+//! the previous buffer; the consumer reads only the final *length*, so the
+//! transformed character contents are ultimately dead — the paper measures
+//! xalan's IPD at ~25%, much of it copy work.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let docs = 12 * n;
+    let chars = 48;
+    build_program(&format!(
+        r#"
+# stage 1: synthesize a document buffer
+method synth/1 {{
+  s = new Str
+  call Str.init(s)
+  i = 0
+  one = 1
+  lim = {chars}
+  base = 97
+sl:
+  if i >= lim goto sd
+  c = i + p0
+  c = c % 26
+  c = c + base
+  call Str.append(s, c)
+  i = i + one
+  goto sl
+sd:
+  return s
+}}
+
+# stage 2: copy with a character rewrite (+1 mod 26)
+method rewrite/1 {{
+  t = new Str
+  call Str.init(t)
+  n = call Str.length(p0)
+  i = 0
+  one = 1
+  base = 97
+  md = 26
+rl:
+  if i >= n goto rd
+  c = call Str.char_at(p0, i)
+  c = c - base
+  c = c + one
+  c = c % md
+  c = c + base
+  call Str.append(t, c)
+  i = i + one
+  goto rl
+rd:
+  return t
+}}
+
+# stage 3: plain copy into the output representation
+method serialize/1 {{
+  u = new Str
+  call Str.init(u)
+  n = call Str.length(p0)
+  i = 0
+  one = 1
+cl:
+  if i >= n goto cd
+  c = call Str.char_at(p0, i)
+  call Str.append(u, c)
+  i = i + one
+  goto cl
+cd:
+  return u
+}}
+
+method main/0 {{
+  native phase_begin()
+  total = 0
+  d = 0
+  one = 1
+  nd = {docs}
+dl:
+  if d >= nd goto dd
+  doc = call synth(d)
+  mid = call rewrite(doc)
+  out = call serialize(mid)
+  sz = call Str.length(out)
+  total = total + sz
+  d = d + one
+  goto dl
+dd:
+  native phase_end()
+  native print(total)
+  return
+}}
+"#
+    ))
+    .expect("xalan workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn total_length_is_docs_times_chars() {
+        let out = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(out.output[0].as_int().unwrap(), 12 * 48);
+    }
+}

@@ -1,0 +1,606 @@
+//! A mini class library written in `lowutil` IR assembly.
+//!
+//! The DaCapo-style workloads are layered Java-ish programs; they need the
+//! collection and string machinery the real apps lean on. Everything here
+//! is implemented *in the IR itself* (growable list, open-addressing map,
+//! string builder), so its work is visible to the profiler exactly like
+//! application code — crucial for reproducing case studies like eclipse's
+//! rehash-recomputation, whose cost lives inside the library.
+//!
+//! Include [`PRELUDE`] ahead of workload text via [`build_program`].
+
+use lowutil_ir::{parse_program, ParseError, Program};
+
+/// Native declarations + library classes shared by all workloads.
+pub const PRELUDE: &str = r#"
+# ---- natives ----
+native print/1
+native blackhole/1
+native rand/1 -> value
+native float_to_bits/1 -> value
+native bits_to_float/1 -> value
+native isqrt/1 -> value
+native phase_begin/0
+native phase_end/0
+
+# ---- growable list (ArrayList) ----
+class List { arr size }
+
+method List.init/0 {
+  cap = 8
+  a = newarray cap
+  this.arr = a
+  z = 0
+  this.size = z
+  return
+}
+
+method List.add/1 {
+  a = this.arr
+  n = this.size
+  cap = len a
+  if n < cap goto store
+  # grow: double the backing array, copy elements
+  two = 2
+  ncap = cap * two
+  b = newarray ncap
+  i = 0
+  one = 1
+copy:
+  if i >= n goto copied
+  v = a[i]
+  b[i] = v
+  i = i + one
+  goto copy
+copied:
+  this.arr = b
+  a = b
+store:
+  a[n] = p0
+  one2 = 1
+  n2 = n + one2
+  this.size = n2
+  return
+}
+
+method List.get/1 {
+  a = this.arr
+  r = a[p0]
+  return r
+}
+
+method List.set/2 {
+  a = this.arr
+  a[p0] = p1
+  return
+}
+
+method List.size/0 {
+  r = this.size
+  return r
+}
+
+# ---- open-addressing int->int hash map ----
+class Map { keys vals used count }
+
+method Map.init/0 {
+  cap = 16
+  k = newarray cap
+  v = newarray cap
+  u = newarray cap
+  # arrays start as null slots; the probe logic needs integer flags
+  call zero_fill(u)
+  this.keys = k
+  this.vals = v
+  this.used = u
+  z = 0
+  this.count = z
+  return
+}
+
+# generic application payload: p0 iterations of consumed arithmetic.
+# Case-study workloads mix this in so the planted bloat is a realistic
+# fraction of total work, as in the paper's full applications.
+method app_work/1 {
+  s = 0
+  i = 0
+  one = 1
+  three = 3
+wl:
+  if i >= p0 goto wd
+  t = i * three
+  t = t ^ s
+  s = s + t
+  i = i + one
+  goto wl
+wd:
+  return s
+}
+
+class WorkSink { acc }
+
+# like app_work, but the computed chain drains into a field nothing ever
+# reads — the background of transitively-dead computation the paper
+# measures in churn-heavy programs (bloat 91%, sunflow 83% IPD). Same
+# per-iteration instruction count as app_work. Returns 0.
+method app_work_dead/1 {
+  sink = new WorkSink
+  s = 0
+  i = 0
+  one = 1
+wl:
+  if i >= p0 goto wd
+  t = i ^ s
+  s = s + t
+  sink.acc = s
+  i = i + one
+  goto wl
+wd:
+  z = 0
+  return z
+}
+
+# zero every element of the array p0 (Java's implicit int[] zeroing)
+method zero_fill/1 {
+  n = len p0
+  z = 0
+  i = 0
+  one = 1
+zf:
+  if i >= n goto zfd
+  p0[i] = z
+  i = i + one
+  goto zf
+zfd:
+  return
+}
+
+method Map.put/2 {
+  # grow at 75% load
+  c = this.count
+  k = this.keys
+  cap = len k
+  three = 3
+  four = 4
+  thresh = cap * three
+  thresh = thresh / four
+  if c < thresh goto insert
+  call Map.grow(this)
+insert:
+  r = call Map.slot(this, p0)
+  u = this.used
+  flag = u[r]
+  one = 1
+  if flag == one goto overwrite
+  u[r] = one
+  k2 = this.keys
+  k2[r] = p0
+  c2 = this.count
+  c2 = c2 + one
+  this.count = c2
+overwrite:
+  v = this.vals
+  v[r] = p1
+  return
+}
+
+# find the slot for key p0: linear probing
+method Map.slot/1 {
+  k = this.keys
+  u = this.used
+  cap = len k
+  one = 1
+  mask = cap - one
+  h = p0 & mask
+probe:
+  flag = u[h]
+  zero = 0
+  if flag == zero goto found
+  cur = k[h]
+  if cur == p0 goto found
+  h = h + one
+  h = h & mask
+  goto probe
+found:
+  return h
+}
+
+method Map.grow/0 {
+  ok = this.keys
+  ov = this.vals
+  ou = this.used
+  ocap = len ok
+  two = 2
+  ncap = ocap * two
+  nk = newarray ncap
+  nv = newarray ncap
+  nu = newarray ncap
+  call zero_fill(nu)
+  this.keys = nk
+  this.vals = nv
+  this.used = nu
+  z = 0
+  this.count = z
+  # re-insert every live entry
+  i = 0
+  one = 1
+rehash:
+  if i >= ocap goto done
+  flag = ou[i]
+  if flag != one goto next
+  key = ok[i]
+  val = ov[i]
+  call Map.put(this, key, val)
+next:
+  i = i + one
+  goto rehash
+done:
+  return
+}
+
+method Map.get/1 {
+  r = call Map.slot(this, p0)
+  u = this.used
+  flag = u[r]
+  one = 1
+  if flag == one goto hit
+  miss = -1
+  return miss
+hit:
+  v = this.vals
+  rv = v[r]
+  return rv
+}
+
+method Map.contains/1 {
+  r = call Map.slot(this, p0)
+  u = this.used
+  flag = u[r]
+  return flag
+}
+
+method Map.size/0 {
+  r = this.count
+  return r
+}
+
+# ---- string builder: int-array backed character buffer ----
+class Str { buf len }
+
+method Str.init/0 {
+  cap = 16
+  b = newarray cap
+  this.buf = b
+  z = 0
+  this.len = z
+  return
+}
+
+method Str.append/1 {
+  b = this.buf
+  n = this.len
+  cap = len b
+  if n < cap goto put
+  two = 2
+  ncap = cap * two
+  nb = newarray ncap
+  i = 0
+  one = 1
+sc:
+  if i >= n goto scd
+  ch = b[i]
+  nb[i] = ch
+  i = i + one
+  goto sc
+scd:
+  this.buf = nb
+  b = nb
+put:
+  b[n] = p0
+  one2 = 1
+  n2 = n + one2
+  this.len = n2
+  return
+}
+
+# append the decimal digits of p0 (non-negative)
+method Str.append_int/1 {
+  ten = 10
+  zero = 0
+  v = p0
+  if v > zero goto digits
+  d0 = 48
+  call Str.append(this, d0)
+  return
+digits:
+  # emit digits most-significant first via a power-of-ten scan
+  pow = 1
+find:
+  q = v / ten
+  q = q / pow
+  if q == zero goto emit
+  pow = pow * ten
+  goto find
+emit:
+  if pow == zero goto fin
+  d = v / pow
+  d = d % ten
+  base = 48
+  d = d + base
+  call Str.append(this, d)
+  pow = pow / ten
+  goto emit
+fin:
+  return
+}
+
+method Str.length/0 {
+  r = this.len
+  return r
+}
+
+method Str.char_at/1 {
+  b = this.buf
+  r = b[p0]
+  return r
+}
+
+# Java-style 31x+c rolling hash over the contents
+method Str.hash/0 {
+  b = this.buf
+  n = this.len
+  h = 0
+  i = 0
+  one = 1
+  mult = 31
+hl:
+  if i >= n goto hd
+  c = b[i]
+  h = h * mult
+  h = h + c
+  i = i + one
+  goto hl
+hd:
+  return h
+}
+
+# structural equality with another Str
+method Str.equals/1 {
+  n = this.len
+  m = vcall length(p0)
+  if n != m goto no
+  b = this.buf
+  i = 0
+  one = 1
+eq:
+  if i >= n goto yes
+  c1 = b[i]
+  c2 = vcall char_at(p0, i)
+  if c1 != c2 goto no
+  i = i + one
+  goto eq
+yes:
+  r = 1
+  return r
+no:
+  r = 0
+  return r
+}
+
+# copy into a fresh exact-size array (the "toString" allocation)
+method Str.to_chars/0 {
+  n = this.len
+  out = newarray n
+  b = this.buf
+  i = 0
+  one = 1
+tc:
+  if i >= n goto tcd
+  c = b[i]
+  out[i] = c
+  i = i + one
+  goto tc
+tcd:
+  return out
+}
+"#;
+
+/// Parses `PRELUDE + body` into a validated program.
+///
+/// # Errors
+/// Propagates parse/validation errors; line numbers refer to the combined
+/// source (prelude first).
+pub fn build_program(body: &str) -> Result<Program, ParseError> {
+    parse_program(&format!("{PRELUDE}\n{body}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_ir::Value;
+    use lowutil_vm::{NullTracer, Vm};
+
+    fn run(body: &str) -> Vec<Value> {
+        let p = build_program(body).expect("parse");
+        Vm::new(&p).run(&mut NullTracer).expect("run").output
+    }
+
+    #[test]
+    fn list_grows_and_retrieves() {
+        let out = run(r#"
+method main/0 {
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+  lim = 100
+loop:
+  if i >= lim goto done
+  x = i * i
+  call List.add(l, x)
+  i = i + one
+  goto loop
+done:
+  n = call List.size(l)
+  native print(n)
+  probe = 7
+  v = call List.get(l, probe)
+  native print(v)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(100), Value::Int(49)]);
+    }
+
+    #[test]
+    fn map_puts_gets_and_rehashes() {
+        let out = run(r#"
+method main/0 {
+  m = new Map
+  call Map.init(m)
+  i = 0
+  one = 1
+  lim = 100
+loop:
+  if i >= lim goto done
+  v = i * i
+  call Map.put(m, i, v)
+  i = i + one
+  goto loop
+done:
+  n = call Map.size(m)
+  native print(n)
+  k = 31
+  v = call Map.get(m, k)
+  native print(v)
+  nk = 1000
+  miss = call Map.get(m, nk)
+  native print(miss)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(100), Value::Int(961), Value::Int(-1)]);
+    }
+
+    #[test]
+    fn map_overwrite_keeps_one_entry() {
+        let out = run(r#"
+method main/0 {
+  m = new Map
+  call Map.init(m)
+  k = 5
+  a = 10
+  b = 20
+  call Map.put(m, k, a)
+  call Map.put(m, k, b)
+  n = call Map.size(m)
+  native print(n)
+  v = call Map.get(m, k)
+  native print(v)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(1), Value::Int(20)]);
+    }
+
+    #[test]
+    fn str_appends_hashes_and_compares() {
+        let out = run(r#"
+method main/0 {
+  s = new Str
+  call Str.init(s)
+  v = 1234
+  call Str.append_int(s, v)
+  n = call Str.length(s)
+  native print(n)
+  c0 = call Str.char_at(s, 0)
+  native print(c0)
+  t = new Str
+  call Str.init(t)
+  call Str.append_int(t, v)
+  e = call Str.equals(s, t)
+  native print(e)
+  h1 = call Str.hash(s)
+  h2 = call Str.hash(t)
+  same = 0
+  if h1 != h2 goto out
+  same = 1
+out:
+  native print(same)
+  return
+}
+"#);
+        // "1234": length 4, first char '1' = 49, equal, same hash.
+        assert_eq!(
+            out,
+            vec![Value::Int(4), Value::Int(49), Value::Int(1), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn str_append_int_zero() {
+        let out = run(r#"
+method main/0 {
+  s = new Str
+  call Str.init(s)
+  z = 0
+  call Str.append_int(s, z)
+  n = call Str.length(s)
+  native print(n)
+  c = call Str.char_at(s, 0)
+  native print(c)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(1), Value::Int(48)]);
+    }
+
+    #[test]
+    fn str_to_chars_copies_exactly() {
+        let out = run(r#"
+method main/0 {
+  s = new Str
+  call Str.init(s)
+  v = 97
+  call Str.append(s, v)
+  w = 98
+  call Str.append(s, w)
+  a = call Str.to_chars(s)
+  n = len a
+  native print(n)
+  one = 1
+  c = a[one]
+  native print(c)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(2), Value::Int(98)]);
+    }
+
+    #[test]
+    fn list_growth_preserves_prefix() {
+        let out = run(r#"
+method main/0 {
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+  lim = 40
+loop:
+  if i >= lim goto done
+  call List.add(l, i)
+  i = i + one
+  goto loop
+done:
+  zero = 0
+  first = call List.get(l, zero)
+  native print(first)
+  last = 39
+  v = call List.get(l, last)
+  native print(v)
+  return
+}
+"#);
+        assert_eq!(out, vec![Value::Int(0), Value::Int(39)]);
+    }
+}

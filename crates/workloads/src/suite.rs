@@ -1,0 +1,263 @@
+//! The workload registry: 18 synthetic benchmarks named after the DaCapo
+//! programs the paper evaluates, each modelled on the bloat patterns the
+//! paper reports (or implies) for the real application.
+//!
+//! Six of them — `sunflow`, `eclipse`, `bloat`, `derby`, `tomcat`,
+//! `tradebeans` — are the paper's case studies and ship an *optimized*
+//! variant implementing the paper's fix; the harness checks that both
+//! variants produce identical output and measures the executed-instruction
+//! reduction.
+
+use crate::programs;
+use lowutil_ir::Program;
+
+/// Workload sizing, scaling the steady-state iteration counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSize {
+    /// Quick: unit-test scale.
+    Small,
+    /// Default: table-generation scale.
+    Default,
+    /// Large: overhead-measurement scale.
+    Large,
+}
+
+impl WorkloadSize {
+    /// The iteration multiplier for this size.
+    pub fn factor(self) -> u32 {
+        match self {
+            WorkloadSize::Small => 1,
+            WorkloadSize::Default => 8,
+            WorkloadSize::Large => 40,
+        }
+    }
+}
+
+/// One registered benchmark.
+pub struct Workload {
+    /// DaCapo-style name.
+    pub name: &'static str,
+    /// The modelled bloat pattern(s).
+    pub description: &'static str,
+    /// The benchmark program.
+    pub program: Program,
+    /// The case-study fix, when this benchmark is one of the six studies.
+    pub optimized: Option<Program>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("has_optimized", &self.optimized.is_some())
+            .finish()
+    }
+}
+
+/// The names of all 18 benchmarks, in the paper's Table 1 order.
+pub const NAMES: [&str; 18] = [
+    "antlr",
+    "bloat",
+    "chart",
+    "fop",
+    "pmd",
+    "jython",
+    "xalan",
+    "hsqldb",
+    "luindex",
+    "lusearch",
+    "eclipse",
+    "avrora",
+    "batik",
+    "derby",
+    "sunflow",
+    "tomcat",
+    "tradebeans",
+    "tradesoap",
+];
+
+/// Builds one benchmark by name.
+///
+/// # Panics
+/// Panics if `name` is not one of [`NAMES`] — benchmark names are a closed
+/// set.
+pub fn workload(name: &str, size: WorkloadSize) -> Workload {
+    let n = size.factor();
+    match name {
+        "antlr" => Workload {
+            name: "antlr",
+            description: "parser token-object churn; token positions computed but unread",
+            program: programs::antlr::program(n),
+            optimized: None,
+        },
+        "bloat" => Workload {
+            name: "bloat",
+            description:
+                "debug strings built then discarded behind a dead guard; comparator-object churn",
+            program: programs::bloat_bench::program(n),
+            optimized: Some(programs::bloat_bench::optimized(n)),
+        },
+        "chart" => Workload {
+            name: "chart",
+            description: "lists populated with computed points only to read their sizes",
+            program: programs::chart::program(n),
+            optimized: None,
+        },
+        "fop" => Workload {
+            name: "fop",
+            description: "layout arithmetic where nearly every value reaches output",
+            program: programs::fop::program(n),
+            optimized: None,
+        },
+        "pmd" => Workload {
+            name: "pmd",
+            description: "AST traversal with per-node metric objects, some fields unread",
+            program: programs::pmd::program(n),
+            optimized: None,
+        },
+        "jython" => Workload {
+            name: "jython",
+            description: "interpreter-style boxing of every integer into carrier objects",
+            program: programs::jython::program(n),
+            optimized: None,
+        },
+        "xalan" => Workload {
+            name: "xalan",
+            description: "document transform funnelling data through chained string buffers",
+            program: programs::xalan::program(n),
+            optimized: None,
+        },
+        "hsqldb" => Workload {
+            name: "hsqldb",
+            description: "row store where inserted data is read back and aggregated",
+            program: programs::hsqldb::program(n),
+            optimized: None,
+        },
+        "luindex" => Workload {
+            name: "luindex",
+            description: "term-frequency indexing dominated by useful hashing work",
+            program: programs::luindex::program(n),
+            optimized: None,
+        },
+        "lusearch" => Workload {
+            name: "lusearch",
+            description: "query loop allocating temporary result holders per hit",
+            program: programs::lusearch::program(n),
+            optimized: None,
+        },
+        "eclipse" => Workload {
+            name: "eclipse",
+            description: "directoryList built only for a null-check; rehash recomputes key hashes",
+            program: programs::eclipse::program(n),
+            optimized: Some(programs::eclipse::optimized(n)),
+        },
+        "avrora" => Workload {
+            name: "avrora",
+            description: "device simulation with bit-level register updates, mostly consumed",
+            program: programs::avrora::program(n),
+            optimized: None,
+        },
+        "batik" => Workload {
+            name: "batik",
+            description: "path-segment geometry whose results feed the output surface",
+            program: programs::batik::program(n),
+            optimized: None,
+        },
+        "derby" => Workload {
+            name: "derby",
+            description: "container-metadata array rewritten per page; string IDs as map keys",
+            program: programs::derby::program(n),
+            optimized: Some(programs::derby::optimized(n)),
+        },
+        "sunflow" => Workload {
+            name: "sunflow",
+            description:
+                "vector clone per operation; float↔int-bits round-trips through an int array",
+            program: programs::sunflow::program(n),
+            optimized: Some(programs::sunflow::optimized(n)),
+        },
+        "tomcat" => Workload {
+            name: "tomcat",
+            description: "context array rebuilt per update; string comparison for type dispatch",
+            program: programs::tomcat::program(n),
+            optimized: Some(programs::tomcat::optimized(n)),
+        },
+        "tradebeans" => Workload {
+            name: "tradebeans",
+            description: "ID wrappers with redundant store queries per key request",
+            program: programs::tradebeans::program(n),
+            optimized: Some(programs::tradebeans::optimized(n)),
+        },
+        "tradesoap" => Workload {
+            name: "tradesoap",
+            description: "bean data copied across protocol representations per request",
+            program: programs::tradesoap::program(n),
+            optimized: None,
+        },
+        other => panic!("unknown workload `{other}`"),
+    }
+}
+
+/// Builds the whole suite in Table 1 order.
+pub fn suite(size: WorkloadSize) -> Vec<Workload> {
+    NAMES.iter().map(|n| workload(n, size)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, Vm};
+
+    #[test]
+    fn every_workload_builds_and_runs() {
+        for w in suite(WorkloadSize::Small) {
+            let out = Vm::new(&w.program)
+                .run(&mut NullTracer)
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+            assert!(!out.output.is_empty(), "{} produced no output", w.name);
+            assert!(
+                out.instructions_in_phase > 0,
+                "{} has no phase window",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_variants_preserve_output_and_save_work() {
+        for w in suite(WorkloadSize::Small) {
+            let Some(opt) = &w.optimized else { continue };
+            let base = Vm::new(&w.program).run(&mut NullTracer).unwrap();
+            let fast = Vm::new(opt)
+                .run(&mut NullTracer)
+                .unwrap_or_else(|e| panic!("{} optimized trapped: {e}", w.name));
+            assert_eq!(
+                base.output, fast.output,
+                "{}: fix must be behaviour-preserving",
+                w.name
+            );
+            assert!(
+                fast.instructions_executed < base.instructions_executed,
+                "{}: fix must reduce work ({} vs {})",
+                w.name,
+                fast.instructions_executed,
+                base.instructions_executed
+            );
+        }
+    }
+
+    #[test]
+    fn workload_sizes_scale_work() {
+        let small = workload("chart", WorkloadSize::Small);
+        let big = workload("chart", WorkloadSize::Default);
+        let s = Vm::new(&small.program).run(&mut NullTracer).unwrap();
+        let b = Vm::new(&big.program).run(&mut NullTracer).unwrap();
+        assert!(b.instructions_executed > 2 * s.instructions_executed);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_names_panic() {
+        let _ = workload("nope", WorkloadSize::Small);
+    }
+}

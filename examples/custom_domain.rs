@@ -1,0 +1,184 @@
+//! Formulating a *new* backward-dynamic-flow analysis in the abstract
+//! slicing framework — the paper's generality claim (§2.1: "many BDF
+//! problems exhibit bounded-domain properties; their analysis-specific
+//! dependence graphs can be obtained by defining the appropriate
+//! abstraction functions").
+//!
+//! Here the client is a **taint tracker**: values originating from the
+//! `rand` native are tainted; the bounded domain is `{Tainted, Clean}`,
+//! and the abstraction function marks an instance tainted iff any of its
+//! inputs were. The finished graph answers "which stores put
+//! attacker-influenced data into the heap, and from where?" — all in
+//! ~40 lines of client code.
+//!
+//! Run with: `cargo run --example custom_domain`
+
+use lowutil::core::{AbstractDomain, AbstractProfiler, NodeKind};
+use lowutil::ir::parse_program;
+use lowutil::vm::{Event, Vm};
+
+/// The two-point taint domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Taint {
+    Tainted,
+    Clean,
+}
+
+/// Taint propagation state: a shadow of taint bits per local, maintained
+/// by the domain itself (the framework handles the dependence edges).
+#[derive(Debug, Default)]
+struct TaintDomain {
+    locals: Vec<Vec<bool>>, // shadow stack of taint bits
+    heap: std::collections::HashMap<(lowutil::ir::ObjectId, u32), bool>,
+    pending: Vec<bool>,
+    ret: bool,
+}
+
+impl TaintDomain {
+    fn get(&self, l: lowutil::ir::Local) -> bool {
+        self.locals
+            .last()
+            .and_then(|f| f.get(l.index()))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn set(&mut self, l: lowutil::ir::Local, t: bool) {
+        if let Some(f) = self.locals.last_mut() {
+            if f.len() <= l.index() {
+                f.resize(l.index() + 1, false);
+            }
+            f[l.index()] = t;
+        }
+    }
+}
+
+impl AbstractDomain for TaintDomain {
+    type Elem = Taint;
+
+    fn classify(&mut self, event: &Event) -> Option<Taint> {
+        let wrap = |t: bool| if t { Taint::Tainted } else { Taint::Clean };
+        match event {
+            Event::Native { dst, args, .. } => {
+                // `rand` is the taint source; sinks have no dst.
+                let t = true;
+                let _ = args;
+                if let Some(d) = dst {
+                    self.set(*d, t);
+                    Some(Taint::Tainted)
+                } else {
+                    None
+                }
+            }
+            Event::Compute { dst, uses, .. } => {
+                let t = uses.iter().flatten().any(|&u| self.get(u));
+                self.set(*dst, t);
+                Some(wrap(t))
+            }
+            Event::Alloc { dst, .. } => {
+                self.set(*dst, false);
+                Some(Taint::Clean)
+            }
+            Event::StoreField {
+                object,
+                offset,
+                src,
+                ..
+            } => {
+                let t = self.get(*src);
+                self.heap.insert((*object, *offset), t);
+                Some(wrap(t))
+            }
+            Event::LoadField {
+                dst,
+                object,
+                offset,
+                ..
+            } => {
+                let t = self.heap.get(&(*object, *offset)).copied().unwrap_or(false);
+                self.set(*dst, t);
+                Some(wrap(t))
+            }
+            Event::Call { args, .. } => {
+                self.pending = args.iter().map(|&a| self.get(a)).collect();
+                None
+            }
+            Event::Return { src, .. } => {
+                self.ret = src.map(|s| self.get(s)).unwrap_or(false);
+                None
+            }
+            Event::CallComplete { dst, .. } => {
+                if let Some(d) = dst {
+                    let r = self.ret;
+                    self.set(*d, r);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn frame_push(&mut self, info: &lowutil::vm::FrameInfo) {
+        let mut frame = vec![false; info.num_locals as usize];
+        for (i, &t) in self.pending.iter().enumerate() {
+            if i < frame.len() {
+                frame[i] = t;
+            }
+        }
+        self.pending.clear();
+        self.locals.push(frame);
+    }
+
+    fn frame_pop(&mut self) {
+        self.locals.pop();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(
+        r#"
+native rand/1 -> value
+native print/1
+class Config { threshold }
+class Audit { entry }
+method main/0 {
+  cfg = new Config
+  fixed = 100
+  cfg.threshold = fixed
+  # attacker-influenced value
+  bound = 1000
+  user = native rand(bound)
+  two = 2
+  scaled = user * two
+  audit = new Audit
+  audit.entry = scaled
+  t = cfg.threshold
+  native print(t)
+  return
+}
+"#,
+    )?;
+
+    let mut profiler = AbstractProfiler::new(TaintDomain::default());
+    Vm::new(&program).run(&mut profiler)?;
+    let (graph, _) = profiler.finish();
+
+    println!("tainted heap stores:");
+    for (_, n) in graph.iter() {
+        if n.kind == NodeKind::HeapStore && n.elem == Taint::Tainted {
+            println!("  {}  (x{})", program.instr_label(n.instr), n.freq);
+        }
+    }
+    println!("clean heap stores:");
+    for (_, n) in graph.iter() {
+        if n.kind == NodeKind::HeapStore && n.elem == Taint::Clean {
+            println!("  {}  (x{})", program.instr_label(n.instr), n.freq);
+        }
+    }
+    println!(
+        "\ngraph: {} nodes, {} edges — bounded by instructions × 2, not by the trace",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The full diagnosis pipeline on any suite benchmark: structure ranking,
+//! dead-value metrics, wasted stores, constant predicates, and method
+//! costs — everything a tuner would look at.
+//!
+//! Run with: `cargo run --example dacapo_report -- [workload] [small|default|large]`
+//! (defaults to `derby default`).
+
+use lowutil::analyses::cost::CostBenefitConfig;
+use lowutil::analyses::dead::dead_value_metrics;
+use lowutil::analyses::extras::{method_self_costs, DeadStoreTracer, PredicateOutcomeTracer};
+use lowutil::analyses::report::low_utility_report;
+use lowutil::core::{CostGraphConfig, CostProfiler};
+use lowutil::vm::Vm;
+use lowutil::workloads::{workload, WorkloadSize, NAMES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "derby".to_string());
+    let size = match args.next().as_deref() {
+        Some("small") => WorkloadSize::Small,
+        Some("large") => WorkloadSize::Large,
+        _ => WorkloadSize::Default,
+    };
+    if !NAMES.contains(&name.as_str()) {
+        eprintln!("unknown workload `{name}`; choose one of {NAMES:?}");
+        std::process::exit(2);
+    }
+
+    let w = workload(&name, size);
+    println!("workload: {} — {}\n", w.name, w.description);
+
+    // One run, four tracers: G_cost + dead stores + predicate outcomes.
+    let mut cost = CostProfiler::new(&w.program, CostGraphConfig::default());
+    let mut stores = DeadStoreTracer::new();
+    let mut preds = PredicateOutcomeTracer::new();
+    let mut combined = ((&mut cost, &mut stores), &mut preds);
+    let outcome = Vm::new(&w.program).run(&mut combined)?;
+    let gcost = cost.finish();
+
+    let dead = dead_value_metrics(&gcost, outcome.instructions_executed);
+    println!(
+        "{}",
+        low_utility_report(
+            &w.program,
+            &gcost,
+            &CostBenefitConfig::default(),
+            5,
+            Some(&dead)
+        )
+    );
+
+    println!("--- wasted stores (rewritten before read) ---");
+    for (at, over, hits) in stores.wasted_stores(8).into_iter().take(5) {
+        println!(
+            "  {}: {over}/{hits} stores overwritten unread",
+            w.program.instr_label(at)
+        );
+    }
+
+    println!("--- constant predicates (hot, never vary) ---");
+    for (at, outcome, hits) in preds.constant_predicates(16).into_iter().take(5) {
+        println!(
+            "  {}: always {outcome} over {hits} executions",
+            w.program.instr_label(at)
+        );
+    }
+
+    println!("--- hottest methods by attributed instances ---");
+    for (mid, cost) in method_self_costs(&gcost, &w.program).into_iter().take(5) {
+        let m = w.program.method(mid);
+        let label = match m.class() {
+            Some(c) => format!("{}.{}", w.program.class(c).name(), m.name()),
+            None => m.name().to_string(),
+        };
+        println!("  {label}: {cost}");
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `lowutil` — find low-utility data structures via cost-benefit profiling.
+//!
+//! This is the facade crate of the `lowutil` workspace, a from-scratch Rust
+//! reproduction of *"Finding Low-Utility Data Structures"* (Xu, Mitchell,
+//! Arnold, Rountev, Schonberg, Sevitsky — PLDI 2010). It re-exports the
+//! sub-crates:
+//!
+//! * [`ir`] — three-address-code intermediate representation;
+//! * [`vm`] — the instrumentable interpreter substrate (the stand-in for
+//!   the paper's modified IBM J9 JVM);
+//! * [`core`] — abstract dynamic thin slicing and the `G_cost` dependence
+//!   graph;
+//! * [`analyses`] — client analyses: relative object cost-benefit, dead
+//!   values, null-origin tracking, typestate history, copy profiling;
+//! * [`workloads`] — the synthetic DaCapo-style benchmark suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lowutil::ir::{ProgramBuilder, ConstValue};
+//! use lowutil::vm::Vm;
+//! use lowutil::core::{CostProfiler, CostGraphConfig};
+//!
+//! // Build a program: main() { x = 42; print(x); }
+//! let mut pb = ProgramBuilder::new();
+//! let print = pb.native("print", 1, false);
+//! let mut main = pb.method("main", 0);
+//! let x = main.new_local("x");
+//! main.constant(x, ConstValue::Int(42));
+//! main.call_native_void(print, &[x]);
+//! main.ret_void();
+//! let main_id = main.finish(&mut pb);
+//! let program = pb.finish(main_id)?;
+//!
+//! // Run it under the cost profiler.
+//! let mut profiler = CostProfiler::new(&program, CostGraphConfig::default());
+//! let outcome = Vm::new(&program).run(&mut profiler)?;
+//! assert_eq!(outcome.instructions_executed, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lowutil_analyses as analyses;
+pub use lowutil_core as core;
+pub use lowutil_ir as ir;
+pub use lowutil_vm as vm;
+pub use lowutil_workloads as workloads;

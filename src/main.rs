@@ -1,0 +1,332 @@
+//! The `lowutil` command-line tool: run IR assembly files under the
+//! profilers and print diagnosis reports, the way a tuner would use the
+//! paper's tool.
+//!
+//! ```text
+//! lowutil run <file.lu>              execute and print output + run stats
+//! lowutil report <file.lu> [--top N] [--slots S] [--control] [--traditional]
+//!                                    cost-benefit structure ranking
+//! lowutil dead <file.lu>             ultimately-dead / predicate-only metrics
+//! lowutil copies <file.lu>           heap-to-heap copy chains
+//! lowutil methods <file.lu>          dynamic call-graph method costs
+//! lowutil caches <file.lu>           cache-effectiveness scores
+//! lowutil alloc <file.lu>            lightweight allocation-site profile
+//! lowutil stale <file.lu>            object-staleness leak suspects
+//! lowutil disasm <file.lu>           round-trip through the disassembler
+//! lowutil optimize <file.lu>         profile-guided dead-code elimination
+//! lowutil export <file.lu>           serialize G_cost to stdout
+//! lowutil dot <file.lu>              G_cost as Graphviz DOT on stdout
+//! lowutil suite <name> [--size S]    run a built-in DaCapo-style workload
+//! ```
+
+use lowutil::analyses::cache::cache_effectiveness;
+use lowutil::analyses::copy::{copy_chains, copy_profiler, copy_ratio};
+use lowutil::analyses::cost::CostBenefitConfig;
+use lowutil::analyses::dead::dead_value_metrics;
+use lowutil::analyses::methods::{method_costs, CallGraphTracer};
+use lowutil::analyses::report::{describe_field, describe_site, low_utility_report};
+use lowutil::core::{CostGraphConfig, CostProfiler};
+use lowutil::ir::{display_program, parse_program, Program};
+use lowutil::vm::{NullTracer, Vm};
+use lowutil::workloads::{workload, WorkloadSize, NAMES};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite> <file.lu|name> [flags]"
+    );
+    eprintln!(
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large"
+    );
+    ExitCode::from(2)
+}
+
+struct Flags {
+    top: usize,
+    slots: u32,
+    control: bool,
+    traditional: bool,
+    size: WorkloadSize,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags {
+        top: 10,
+        slots: 16,
+        control: false,
+        traditional: false,
+        size: WorkloadSize::Default,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    f.top = v;
+                }
+            }
+            "--slots" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    f.slots = v;
+                }
+            }
+            "--control" => f.control = true,
+            "--traditional" => f.traditional = true,
+            "--size" => {
+                f.size = match it.next().map(String::as_str) {
+                    Some("small") => WorkloadSize::Small,
+                    Some("large") => WorkloadSize::Large,
+                    _ => WorkloadSize::Default,
+                }
+            }
+            other => eprintln!("ignoring unknown flag `{other}`"),
+        }
+    }
+    f
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn profile(
+    program: &Program,
+    flags: &Flags,
+) -> Result<(lowutil::core::CostGraph, lowutil::vm::RunOutcome), String> {
+    let mut prof = CostProfiler::new(
+        program,
+        CostGraphConfig {
+            slots: flags.slots,
+            traditional_uses: flags.traditional,
+            control_edges: flags.control,
+            ..CostGraphConfig::default()
+        },
+    );
+    let out = Vm::new(program).run(&mut prof).map_err(|e| e.to_string())?;
+    Ok((prof.finish(), out))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, target) = match (args.first(), args.get(1)) {
+        (Some(c), Some(t)) => (c.as_str(), t.as_str()),
+        _ => return usage(),
+    };
+    let flags = parse_flags(&args[2..]);
+
+    let result = (|| -> Result<(), String> {
+        match cmd {
+            "run" => {
+                let p = load(target)?;
+                let out = Vm::new(&p)
+                    .run(&mut NullTracer)
+                    .map_err(|e| e.to_string())?;
+                for v in &out.output {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "-- {} instructions, {} objects",
+                    out.instructions_executed, out.objects_allocated
+                );
+                Ok(())
+            }
+            "report" => {
+                let p = load(target)?;
+                let (g, out) = profile(&p, &flags)?;
+                let dead = dead_value_metrics(&g, out.instructions_executed);
+                print!(
+                    "{}",
+                    low_utility_report(
+                        &p,
+                        &g,
+                        &CostBenefitConfig::default(),
+                        flags.top,
+                        Some(&dead)
+                    )
+                );
+                Ok(())
+            }
+            "dead" => {
+                let p = load(target)?;
+                let (g, out) = profile(&p, &flags)?;
+                let m = dead_value_metrics(&g, out.instructions_executed);
+                println!(
+                    "I = {}  IPD = {:.1}%  IPP = {:.1}%  NLD = {:.1}%",
+                    m.total_instances,
+                    m.ipd * 100.0,
+                    m.ipp * 100.0,
+                    m.nld * 100.0
+                );
+                for n in m.dead_nodes.iter().take(flags.top) {
+                    println!("  dead: {}", p.instr_label(g.graph().node(*n).instr));
+                }
+                Ok(())
+            }
+            "copies" => {
+                let p = load(target)?;
+                let mut prof = copy_profiler();
+                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
+                let (g, _) = prof.finish();
+                println!("copy ratio: {:.1}%", copy_ratio(&g) * 100.0);
+                for c in copy_chains(&g).into_iter().take(flags.top) {
+                    println!(
+                        "  {}x {} -> {} via {} hops (store {})",
+                        c.count,
+                        c.source,
+                        c.dest,
+                        c.hops.len(),
+                        p.instr_label(c.store)
+                    );
+                }
+                Ok(())
+            }
+            "methods" => {
+                let p = load(target)?;
+                let mut calls = CallGraphTracer::new();
+                let mut cost = CostProfiler::new(&p, CostGraphConfig::default());
+                let mut both = (&mut calls, &mut cost);
+                Vm::new(&p).run(&mut both).map_err(|e| e.to_string())?;
+                let gcost = cost.finish();
+                let rel: std::collections::HashMap<_, _> =
+                    lowutil::analyses::method_return_costs(&gcost, &p)
+                        .into_iter()
+                        .collect();
+                println!(
+                    "{:<30} {:>10} {:>10} {:>8} {:>10}",
+                    "method", "self", "total", "calls", "ret-cost"
+                );
+                for c in method_costs(&calls, &p).into_iter().take(flags.top) {
+                    let m = p.method(c.method);
+                    let label = match m.class() {
+                        Some(cl) => format!("{}.{}", p.class(cl).name(), m.name()),
+                        None => m.name().to_string(),
+                    };
+                    println!(
+                        "{:<30} {:>10} {:>10} {:>8} {:>10}",
+                        label,
+                        c.self_cost,
+                        c.total_cost,
+                        c.invocations,
+                        rel.get(&c.method).copied().unwrap_or(0)
+                    );
+                }
+                Ok(())
+            }
+            "caches" => {
+                let p = load(target)?;
+                let (g, _) = profile(&p, &flags)?;
+                println!(
+                    "{:<40} {:>9} {:>7} {:>7} {:>9}",
+                    "location", "cached", "fills", "hits", "score"
+                );
+                for c in cache_effectiveness(&g).into_iter().take(flags.top) {
+                    println!(
+                        "{:<40} {:>9.1} {:>7} {:>7} {:>9.2}",
+                        format!(
+                            "{}.{}",
+                            describe_site(&p, c.site),
+                            describe_field(&p, c.field)
+                        ),
+                        c.cached_work,
+                        c.writes,
+                        c.reads,
+                        c.score()
+                    );
+                }
+                Ok(())
+            }
+            "stale" => {
+                let p = load(target)?;
+                let mut prof = lowutil::analyses::StalenessTracer::new();
+                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
+                print!("{}", prof.report(&p, flags.top));
+                Ok(())
+            }
+            "alloc" => {
+                let p = load(target)?;
+                let mut prof = lowutil::analyses::AllocationProfiler::new();
+                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
+                print!("{}", prof.report(&p, flags.top));
+                Ok(())
+            }
+            "disasm" => {
+                let p = load(target)?;
+                print!("{}", display_program(&p));
+                Ok(())
+            }
+            "optimize" => {
+                let p = load(target)?;
+                let (g, before) = profile(&p, &flags)?;
+                let (opt, stats) = lowutil::analyses::eliminate_dead_instructions(&p, &g)
+                    .map_err(|e| e.to_string())?;
+                let after = Vm::new(&opt)
+                    .run(&mut NullTracer)
+                    .map_err(|e| e.to_string())?;
+                if after.output != before.output {
+                    return Err("optimization changed program output".to_string());
+                }
+                eprintln!(
+                    "removed {} of {} dead candidates ({} kept for safety)",
+                    stats.removed, stats.candidates, stats.kept_for_safety
+                );
+                eprintln!(
+                    "instructions: {} -> {} ({:.1}% less)",
+                    before.instructions_executed,
+                    after.instructions_executed,
+                    100.0
+                        * (1.0
+                            - after.instructions_executed as f64
+                                / before.instructions_executed.max(1) as f64)
+                );
+                // Emit re-parseable source: `lowutil optimize a.lu > b.lu`
+                // produces a runnable program.
+                print!("{}", lowutil::ir::display_program_source(&opt));
+                Ok(())
+            }
+            "export" => {
+                let p = load(target)?;
+                let (g, _) = profile(&p, &flags)?;
+                lowutil::core::write_cost_graph(&g, std::io::stdout().lock())
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            }
+            "dot" => {
+                let p = load(target)?;
+                let (g, _) = profile(&p, &flags)?;
+                lowutil::core::write_dot(&g, Some(&p), std::io::stdout().lock())
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            }
+            "suite" => {
+                if !NAMES.contains(&target) {
+                    return Err(format!("unknown workload `{target}`; one of {NAMES:?}"));
+                }
+                let w = workload(target, flags.size);
+                println!("{}: {}", w.name, w.description);
+                let (g, out) = profile(&w.program, &flags)?;
+                let dead = dead_value_metrics(&g, out.instructions_executed);
+                print!(
+                    "{}",
+                    low_utility_report(
+                        &w.program,
+                        &g,
+                        &CostBenefitConfig::default(),
+                        flags.top,
+                        Some(&dead)
+                    )
+                );
+                Ok(())
+            }
+            _ => Err("unknown command".to_string()),
+        }
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lowutil: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

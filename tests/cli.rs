@@ -1,0 +1,150 @@
+//! Smoke tests for the `lowutil` command-line tool, driving the real
+//! binary against the shipped sample program.
+
+use std::process::Command;
+
+fn lowutil(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lowutil"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const SAMPLE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/wasteful.lu");
+const COPYCHAIN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/copychain.lu");
+const LEAK: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/leak.lu");
+
+#[test]
+fn run_executes_and_prints_output() {
+    let (stdout, stderr, ok) = lowutil(&["run", SAMPLE]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "1");
+    assert!(stderr.contains("instructions"));
+}
+
+#[test]
+fn report_ranks_the_wasteful_structure() {
+    let (stdout, _, ok) = lowutil(&["report", SAMPLE, "--top", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("new Report"), "{stdout}");
+    assert!(stdout.contains("RAB 0.0"), "{stdout}");
+    assert!(stdout.contains("IPD"), "{stdout}");
+}
+
+#[test]
+fn methods_attributes_cost_to_the_hot_callee() {
+    let (stdout, _, ok) = lowutil(&["methods", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.contains("expensive_summary"), "{stdout}");
+}
+
+#[test]
+fn disasm_round_trips_structure() {
+    let (stdout, _, ok) = lowutil(&["disasm", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.contains("method main/0"));
+    assert!(stdout.contains("class Report"));
+}
+
+#[test]
+fn control_flag_inflates_costs() {
+    let (plain, _, ok1) = lowutil(&["report", SAMPLE, "--top", "1"]);
+    let (control, _, ok2) = lowutil(&["report", SAMPLE, "--top", "1", "--control"]);
+    assert!(ok1 && ok2);
+    let rac = |s: &str| -> f64 {
+        s.lines()
+            .find(|l| l.contains("n-RAC"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0)
+    };
+    assert!(
+        rac(&control) > rac(&plain),
+        "control: {control}\nplain: {plain}"
+    );
+}
+
+#[test]
+fn alloc_profiles_sites() {
+    let (stdout, _, ok) = lowutil(&["alloc", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.contains("total allocations: 1"), "{stdout}");
+    assert!(stdout.contains("new Report"), "{stdout}");
+}
+
+#[test]
+fn export_emits_a_parseable_graph() {
+    let (stdout, _, ok) = lowutil(&["export", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.starts_with("gcost 1"), "{stdout}");
+    let reloaded = lowutil::core::read_cost_graph(stdout.as_bytes()).expect("round trip");
+    assert!(reloaded.graph().num_nodes() > 0);
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (stdout, _, ok) = lowutil(&["dot", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph gcost"));
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn copies_finds_the_relay_chain() {
+    let (stdout, _, ok) = lowutil(&["copies", COPYCHAIN]);
+    assert!(ok);
+    assert!(stdout.contains("25x"), "{stdout}");
+    assert!(stdout.contains("via 2 hops"), "{stdout}");
+}
+
+#[test]
+fn stale_flags_the_session_leak() {
+    let (stdout, _, ok) = lowutil(&["stale", LEAK, "--top", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("new Session"), "{stdout}");
+    assert!(stdout.contains("100% of lifetime"), "{stdout}");
+}
+
+#[test]
+fn stale_reports_site_staleness() {
+    let (stdout, _, ok) = lowutil(&["stale", SAMPLE]);
+    assert!(ok);
+    assert!(stdout.contains("new Report"), "{stdout}");
+    assert!(stdout.contains("% of lifetime"), "{stdout}");
+}
+
+#[test]
+fn optimize_removes_the_dead_chain_and_prints_the_program() {
+    let (stdout, stderr, ok) = lowutil(&["optimize", SAMPLE]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("removed"), "{stderr}");
+    assert!(stderr.contains("% less"), "{stderr}");
+    // The optimized program is valid assembly-ish output.
+    assert!(stdout.contains("method main/0"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = lowutil(&["run", "/nonexistent.lu"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let (_, stderr, ok) = lowutil(&["frobnicate", SAMPLE]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command") || stderr.contains("usage"));
+}
+
+#[test]
+fn suite_command_runs_a_builtin_workload() {
+    let (stdout, _, ok) = lowutil(&["suite", "chart", "--size", "small", "--top", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("low-utility data structures"), "{stdout}");
+}

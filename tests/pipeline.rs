@@ -1,0 +1,138 @@
+//! End-to-end integration: every suite workload runs identically with and
+//! without profiling, and the resulting `G_cost` satisfies its structural
+//! invariants.
+
+use lowutil::analyses::dead::dead_value_metrics;
+use lowutil::core::{CostGraphConfig, CostProfiler, GraphStats, NodeKind};
+use lowutil::vm::{NullTracer, Vm};
+use lowutil::workloads::{suite, WorkloadSize};
+
+#[test]
+fn profiling_never_perturbs_execution() {
+    for w in suite(WorkloadSize::Small) {
+        let plain = Vm::new(&w.program).run(&mut NullTracer).expect(w.name);
+        let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+        let tracked = Vm::new(&w.program).run(&mut prof).expect(w.name);
+        assert_eq!(plain.output, tracked.output, "{}", w.name);
+        assert_eq!(
+            plain.instructions_executed, tracked.instructions_executed,
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn gcost_structural_invariants_hold_on_every_workload() {
+    for w in suite(WorkloadSize::Small) {
+        let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+        let out = Vm::new(&w.program).run(&mut prof).expect(w.name);
+        let g = prof.finish();
+
+        // Node/edge counts are bounded and non-trivial.
+        let stats = GraphStats::of(&g);
+        assert!(stats.nodes > 0, "{}", w.name);
+        assert!(
+            stats.instr_instances <= out.instructions_executed,
+            "{}",
+            w.name
+        );
+
+        // Abstraction: total node frequency never exceeds profiled
+        // instances (control transfers — jumps, call/return plumbing —
+        // are counted as instances but produce no nodes).
+        let freq_sum: u64 = g.graph().iter().map(|(_, n)| n.freq).sum();
+        assert!(freq_sum <= g.instr_instances(), "{}", w.name);
+        assert!(freq_sum > 0, "{}", w.name);
+
+        // Reference edges always connect a store to an allocation.
+        for (s, a) in g.ref_edges() {
+            assert_eq!(g.graph().node(s).kind, NodeKind::HeapStore, "{}", w.name);
+            assert_eq!(g.graph().node(a).kind, NodeKind::Alloc, "{}", w.name);
+        }
+
+        // Every tagged object's alloc node exists and is an Alloc.
+        for site in g.objects() {
+            let n = g.alloc_node(site).expect("tag has alloc node");
+            assert_eq!(g.graph().node(n).kind, NodeKind::Alloc, "{}", w.name);
+        }
+
+        // Consumers never carry context.
+        for (_, n) in g.graph().iter() {
+            if n.kind.is_consumer() {
+                assert_eq!(n.elem, lowutil::core::CostElem::NoCtx, "{}", w.name);
+            }
+        }
+
+        // Dead-value metrics are well-formed fractions.
+        let m = dead_value_metrics(&g, out.instructions_executed);
+        for v in [m.ipd, m.ipp, m.nld] {
+            assert!((0.0..=1.0).contains(&v), "{}: {v}", w.name);
+        }
+        assert!(m.ipd + m.ipp <= 1.0 + 1e-9, "{}", w.name);
+    }
+}
+
+#[test]
+fn slot_count_bounds_context_splitting() {
+    // More slots can only split nodes further: N(s=8) ≤ N(s=16) ≤ N(s=32),
+    // and all stay bounded by |I| × (s + consumers).
+    let w = lowutil::workloads::workload("eclipse", WorkloadSize::Small);
+    let mut prev = 0usize;
+    for s in [1u32, 8, 16, 32] {
+        let mut prof = CostProfiler::new(
+            &w.program,
+            CostGraphConfig {
+                slots: s,
+                ..CostGraphConfig::default()
+            },
+        );
+        Vm::new(&w.program).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let n = g.graph().num_nodes();
+        assert!(n >= prev, "node count monotone in s: {n} < {prev}");
+        let statics = w.program.num_instrs();
+        assert!(n <= statics * (s as usize + 1));
+        prev = n;
+    }
+}
+
+#[test]
+fn phase_limited_profiles_are_subsets() {
+    for name in ["tradebeans", "eclipse", "derby"] {
+        let w = lowutil::workloads::workload(name, WorkloadSize::Small);
+        let mut full = CostProfiler::new(&w.program, CostGraphConfig::default());
+        Vm::new(&w.program).run(&mut full).unwrap();
+        let full = full.finish();
+
+        let mut phased = CostProfiler::new(
+            &w.program,
+            CostGraphConfig {
+                phase_limited: true,
+                ..CostGraphConfig::default()
+            },
+        );
+        Vm::new(&w.program).run(&mut phased).unwrap();
+        let phased = phased.finish();
+
+        assert!(
+            phased.instr_instances() < full.instr_instances(),
+            "{name}: phase window must shrink profiled instances"
+        );
+        assert!(
+            phased.graph().num_nodes() <= full.graph().num_nodes(),
+            "{name}"
+        );
+        assert!(phased.instr_instances() > 0, "{name}: window not empty");
+    }
+}
+
+#[test]
+fn shadow_heap_memory_is_reported() {
+    let w = lowutil::workloads::workload("chart", WorkloadSize::Small);
+    let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+    Vm::new(&w.program).run(&mut prof).unwrap();
+    let g = prof.finish();
+    assert!(g.shadow_heap_bytes() > 0);
+    assert!(g.approx_bytes() > 0);
+}

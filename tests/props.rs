@@ -1,0 +1,269 @@
+//! Property-based tests over randomly generated straight-line programs:
+//! the whole pipeline (VM → profilers → analyses) must satisfy its
+//! invariants on arbitrary data flow, not just on the hand-written
+//! workloads.
+
+use lowutil::core::{ConcreteProfiler, CostGraphConfig, CostProfiler, SlicingMode};
+use lowutil::ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
+use lowutil::vm::{NullTracer, Vm};
+use proptest::prelude::*;
+
+/// One randomly chosen instruction over a fixed register/heap shape.
+#[derive(Debug, Clone)]
+enum Op {
+    Const(u8, i64),
+    Move(u8, u8),
+    Bin(u8, u8, u8, u8), // dst, op-index, lhs, rhs
+    Cmp(u8, u8, u8),
+    PutField(u8, u8), // field-index, src
+    GetField(u8, u8), // dst, field-index
+    ArrPut(u8, u8),   // idx (0..8), src
+    ArrGet(u8, u8),   // dst, idx
+    Native(u8),       // consume a local
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4u8, -100..100i64).prop_map(|(d, v)| Op::Const(d, v)),
+        (0..4u8, 0..4u8).prop_map(|(d, s)| Op::Move(d, s)),
+        (0..4u8, 0..4u8, 0..4u8, 0..4u8).prop_map(|(d, o, l, r)| Op::Bin(d, o, l, r)),
+        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, l, r)| Op::Cmp(d, l, r)),
+        (0..2u8, 0..4u8).prop_map(|(f, s)| Op::PutField(f, s)),
+        (0..4u8, 0..2u8).prop_map(|(d, f)| Op::GetField(d, f)),
+        (0..8u8, 0..4u8).prop_map(|(i, s)| Op::ArrPut(i, s)),
+        (0..4u8, 0..8u8).prop_map(|(d, i)| Op::ArrGet(d, i)),
+        (0..4u8).prop_map(Op::Native),
+    ]
+}
+
+/// Builds a valid straight-line program from the op list.
+fn build(ops: &[Op]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let print = pb.native("print", 1, false);
+    let cls = pb.class("C").finish(&mut pb);
+    let f0 = pb.field(cls, "f0");
+    let f1 = pb.field(cls, "f1");
+    let fields = [f0, f1];
+    // Safe binops only (no division traps).
+    let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
+
+    let mut m = pb.method("main", 0);
+    let regs: Vec<Local> = (0..4).map(|i| m.new_local(format!("r{i}"))).collect();
+    let obj = m.new_local("obj");
+    let arr = m.new_local("arr");
+    let len = m.new_local("len");
+    let idx = m.new_local("idx");
+
+    // Initialize: registers to 0, one object, one 8-element zeroed array.
+    for &r in &regs {
+        m.iconst(r, 0);
+    }
+    m.new_obj(obj, cls);
+    m.iconst(len, 8);
+    m.new_array(arr, len);
+    for i in 0..8 {
+        m.iconst(idx, i);
+        m.array_put(arr, idx, regs[0]);
+    }
+    m.iconst(regs[0], 0);
+    // Fields start initialized too.
+    m.put_field(obj, f0, regs[0]);
+    m.put_field(obj, f1, regs[0]);
+
+    for op in ops {
+        match *op {
+            Op::Const(d, v) => m.constant(regs[d as usize], ConstValue::Int(v)),
+            Op::Move(d, s) => m.mov(regs[d as usize], regs[s as usize]),
+            Op::Bin(d, o, l, r) => m.binop(
+                regs[d as usize],
+                bin_ops[o as usize],
+                regs[l as usize],
+                regs[r as usize],
+            ),
+            Op::Cmp(d, l, r) => m.cmp(
+                regs[d as usize],
+                CmpOp::Lt,
+                regs[l as usize],
+                regs[r as usize],
+            ),
+            Op::PutField(f, s) => m.put_field(obj, fields[f as usize], regs[s as usize]),
+            Op::GetField(d, f) => m.get_field(regs[d as usize], obj, fields[f as usize]),
+            Op::ArrPut(i, s) => {
+                m.iconst(idx, i64::from(i));
+                m.array_put(arr, idx, regs[s as usize]);
+            }
+            Op::ArrGet(d, i) => {
+                m.iconst(idx, i64::from(i));
+                m.array_get(regs[d as usize], arr, idx);
+            }
+            Op::Native(s) => m.call_native_void(print, &[regs[s as usize]]),
+        }
+    }
+    m.call_native_void(print, &[regs[0]]);
+    m.ret_void();
+    let main = m.finish(&mut pb);
+    pb.finish(main).expect("generated program validates")
+}
+
+/// A direct Rust model of the generated programs' semantics, used as a
+/// differential oracle for the interpreter: whatever the VM prints, this
+/// straightforward evaluation must print too.
+fn oracle(ops: &[Op]) -> Vec<i64> {
+    let mut regs = [0i64; 4];
+    let mut fields = [0i64; 2];
+    let mut arr = [0i64; 8];
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Const(d, v) => regs[d as usize] = v,
+            Op::Move(d, s) => regs[d as usize] = regs[s as usize],
+            Op::Bin(d, o, l, r) => {
+                let (x, y) = (regs[l as usize], regs[r as usize]);
+                regs[d as usize] = match o {
+                    0 => x.wrapping_add(y),
+                    1 => x.wrapping_sub(y),
+                    2 => x.wrapping_mul(y),
+                    _ => x ^ y,
+                };
+            }
+            Op::Cmp(d, l, r) => regs[d as usize] = i64::from(regs[l as usize] < regs[r as usize]),
+            Op::PutField(f, s) => fields[f as usize] = regs[s as usize],
+            Op::GetField(d, f) => regs[d as usize] = fields[f as usize],
+            Op::ArrPut(i, s) => arr[i as usize] = regs[s as usize],
+            Op::ArrGet(d, i) => regs[d as usize] = arr[i as usize],
+            Op::Native(s) => out.push(regs[s as usize]),
+        }
+    }
+    out.push(regs[0]);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vm_matches_a_direct_semantic_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let run = Vm::new(&p).run(&mut NullTracer).unwrap();
+        let got: Vec<i64> = run
+            .output
+            .iter()
+            .map(|v| v.as_int().expect("generated programs print ints"))
+            .collect();
+        prop_assert_eq!(got, oracle(&ops));
+    }
+
+    #[test]
+    fn vm_is_deterministic(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let p = build(&ops);
+        let a = Vm::new(&p).run(&mut NullTracer).unwrap();
+        let b = Vm::new(&p).run(&mut NullTracer).unwrap();
+        prop_assert_eq!(a.output.len(), b.output.len());
+        prop_assert_eq!(a.instructions_executed, b.instructions_executed);
+        for (x, y) in a.output.iter().zip(b.output.iter()) {
+            prop_assert_eq!(x.as_int(), y.as_int());
+        }
+    }
+
+    #[test]
+    fn profiling_is_transparent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let p = build(&ops);
+        let plain = Vm::new(&p).run(&mut NullTracer).unwrap();
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        let tracked = Vm::new(&p).run(&mut prof).unwrap();
+        prop_assert_eq!(plain.instructions_executed, tracked.instructions_executed);
+        prop_assert_eq!(plain.output, tracked.output);
+    }
+
+    #[test]
+    fn abstract_graph_invariants(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let p = build(&ops);
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        let out = Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        // Frequencies sum to profiled instances.
+        let freq: u64 = g.graph().iter().map(|(_, n)| n.freq).sum();
+        prop_assert!(freq <= g.instr_instances());
+        // Straight-line code: every node has frequency exactly 1, so the
+        // abstract and concrete graphs coincide in size.
+        for (_, n) in g.graph().iter() {
+            prop_assert_eq!(n.freq, 1);
+        }
+        // Node count bounded by static instructions (one context).
+        prop_assert!(g.graph().num_nodes() <= p.num_instrs());
+        prop_assert!(g.instr_instances() <= out.instructions_executed);
+    }
+
+    #[test]
+    fn thin_slices_never_exceed_traditional(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let mut thin = ConcreteProfiler::new(SlicingMode::Thin);
+        Vm::new(&p).run(&mut thin).unwrap();
+        let thin = thin.finish();
+        let mut trad = ConcreteProfiler::new(SlicingMode::Traditional);
+        Vm::new(&p).run(&mut trad).unwrap();
+        let trad = trad.finish();
+        prop_assert_eq!(thin.num_instances(), trad.num_instances());
+        // Same seed instance in both graphs (identical traces): the thin
+        // backward slice is a subset of the traditional one.
+        let n = thin.num_instances() as u32;
+        for i in (0..n).step_by(7) {
+            let seed = lowutil::core::InstanceId(i);
+            let ts = thin.backward_slice(seed);
+            let rs = trad.backward_slice(seed);
+            prop_assert!(ts.len() <= rs.len());
+            prop_assert!(ts.iter().all(|x| rs.contains(x)));
+        }
+    }
+
+    #[test]
+    fn export_round_trips_on_random_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let mut buf = Vec::new();
+        lowutil::core::write_cost_graph(&g, &mut buf).unwrap();
+        let g2 = lowutil::core::read_cost_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.graph().num_nodes(), g2.graph().num_nodes());
+        prop_assert_eq!(g.graph().num_edges(), g2.graph().num_edges());
+        prop_assert_eq!(g.objects(), g2.objects());
+        for (_, n) in g.graph().iter() {
+            let id2 = g2.graph().find(n.instr, &n.elem).expect("node survives");
+            prop_assert_eq!(g2.graph().node(id2).freq, n.freq);
+        }
+    }
+
+    #[test]
+    fn auto_elimination_is_safe_on_random_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        let before = Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let (opt, _) = lowutil::analyses::eliminate_dead_instructions(&p, &g)
+            .expect("rewrite validates");
+        let after = Vm::new(&opt).run(&mut NullTracer).expect("optimized runs");
+        prop_assert_eq!(before.output, after.output);
+        prop_assert!(after.instructions_executed <= before.instructions_executed);
+    }
+
+    #[test]
+    fn dead_metrics_are_fractions(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let p = build(&ops);
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        let out = Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let m = lowutil::analyses::dead::dead_value_metrics(&g, out.instructions_executed);
+        prop_assert!((0.0..=1.0).contains(&m.ipd));
+        prop_assert!((0.0..=1.0).contains(&m.ipp));
+        prop_assert!((0.0..=1.0).contains(&m.nld));
+    }
+}
