@@ -172,7 +172,7 @@ impl AbstractDomain for CopyDomain {
 
     fn frame_push(&mut self, info: &FrameInfo) {
         self.origins.push(info.num_locals as usize);
-        for (i, _) in info.args.iter().enumerate() {
+        for i in 0..info.num_args as usize {
             let o = self.pending_args.get(i).copied().unwrap_or_default();
             self.origins.top_mut().set(i, o);
         }

@@ -2,9 +2,10 @@
 //! insertion, frequency bumps, and SCC condensation — the per-instruction
 //! costs behind the paper's runtime overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lowutil_core::{DepGraph, NodeKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_core::{CostElem, DenseInterner, DepGraph, InstrIndexer, NodeKind};
 use lowutil_ir::{InstrId, MethodId};
+use lowutil_workloads::{workload, WorkloadSize};
 
 fn at(pc: u32) -> InstrId {
     InstrId::new(MethodId(0), pc)
@@ -65,6 +66,55 @@ fn bench_scc(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-event lookup the profiler performs, over a real workload's
+/// instruction set: hashed `(InstrId, CostElem)` probe vs the dense
+/// `|I| × |D|` table. Both paths re-visit every pair after the graph is
+/// fully built — the profiler's steady-state access pattern.
+fn bench_intern_paths(c: &mut Criterion) {
+    let slots = 8u32;
+    let program = workload("pmd", WorkloadSize::Small).program;
+    let indexer = InstrIndexer::new(&program);
+    let mut pairs: Vec<(InstrId, CostElem)> = Vec::new();
+    for (m, method) in program.methods().iter().enumerate() {
+        for pc in 0..method.body().len() as u32 {
+            let at = InstrId::new(MethodId(m as u32), pc);
+            pairs.push((at, CostElem::NoCtx));
+            pairs.push((at, CostElem::Ctx(pc % slots)));
+        }
+    }
+
+    let mut group = c.benchmark_group("graph/intern_path");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("hashed", |b| {
+        let mut g: DepGraph<CostElem> = DepGraph::new();
+        for &(at, elem) in &pairs {
+            g.intern(at, elem, NodeKind::Plain);
+        }
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(at, elem) in &pairs {
+                acc = acc.wrapping_add(g.intern(at, elem, NodeKind::Plain).0);
+            }
+            acc
+        })
+    });
+    group.bench_function("dense", |b| {
+        let mut g: DepGraph<CostElem> = DepGraph::new();
+        let mut table = DenseInterner::new(indexer.num_instrs(), slots as usize + 1);
+        for &(at, elem) in &pairs {
+            table.intern(&mut g, &indexer, at, elem, NodeKind::Plain);
+        }
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(at, elem) in &pairs {
+                acc = acc.wrapping_add(table.intern(&mut g, &indexer, at, elem, NodeKind::Plain).0);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
@@ -75,6 +125,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_intern_hot, bench_build, bench_scc
+    targets = bench_intern_hot, bench_intern_paths, bench_build, bench_scc
 }
 criterion_main!(benches);

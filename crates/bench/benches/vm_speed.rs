@@ -3,6 +3,7 @@
 //! inner loops.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_core::{CostGraphConfig, CostProfiler};
 use lowutil_ir::{parse_program, Program};
 use lowutil_vm::{NullTracer, Vm};
 
@@ -98,6 +99,29 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same inner loops with the full cost profiler attached — the
+/// numerator of the overhead factor. Each iteration builds a fresh
+/// profiler (dense interning on by default) and discards the graph.
+fn bench_profiled_throughput(c: &mut Criterion) {
+    let n = 20_000u32;
+    let mut group = c.benchmark_group("vm/throughput_profiled");
+    for (name, p) in [
+        ("arith", arith_loop(n)),
+        ("calls", call_loop(n)),
+        ("heap", heap_loop(n)),
+    ] {
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| {
+                let mut prof = CostProfiler::new(p, CostGraphConfig::default());
+                Vm::new(p).run(&mut prof).expect("runs");
+                prof.finish()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn fast() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
@@ -108,6 +132,6 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_throughput
+    targets = bench_throughput, bench_profiled_throughput
 }
 criterion_main!(benches);

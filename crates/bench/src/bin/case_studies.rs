@@ -5,7 +5,11 @@
 //! bloated variant, showing that the planted low-utility structure is what
 //! the ranking surfaces.
 //!
-//! Usage: `case_studies [--size small|default|large] [--report]`
+//! The six studies run on a thread pool (`--jobs N`); each pool task owns
+//! every VM and profiler it runs, and results print in the fixed study
+//! order, so output is identical to a sequential `--jobs 1` run.
+//!
+//! Usage: `case_studies [--size small|default|large] [--report] [--jobs N]`
 
 use lowutil_analyses::cost::CostBenefitConfig;
 use lowutil_analyses::dead::dead_value_metrics;
@@ -24,9 +28,28 @@ const STUDIES: [(&str, f64); 6] = [
     ("tradebeans", 2.5),
 ];
 
+/// Everything both report sections need for one study, computed by one
+/// pool task.
+struct StudyRow {
+    name: &'static str,
+    paper_pct: f64,
+    base_instrs: u64,
+    fast_instrs: u64,
+    work_red: f64,
+    obj_red: f64,
+    auto_red: f64,
+    same_output: bool,
+    ipd: f64,
+    ipp: f64,
+    nld: f64,
+    graph_nodes: usize,
+    report: Option<String>,
+}
+
 fn main() {
     let mut size = WorkloadSize::Default;
     let mut show_report = false;
+    let mut jobs = lowutil_par::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -38,35 +61,28 @@ fn main() {
                 }
             }
             "--report" => show_report = true,
+            "--jobs" => {
+                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                    jobs = n;
+                }
+            }
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
 
-    println!("=== case studies (paper §4.2): bloated vs optimized ===");
-    println!(
-        "{:<12} {:>14} {:>14} {:>10} {:>10} {:>12} {:>9} {:>9}",
-        "program",
-        "I(bloated)",
-        "I(fixed)",
-        "work-red%",
-        "paper%",
-        "objs-red%",
-        "auto%",
-        "output=="
-    );
-    for (name, paper_pct) in STUDIES {
+    let rows = lowutil_par::par_map(jobs, STUDIES.to_vec(), |(name, paper_pct)| {
         let w = workload(name, size);
         let opt = w.optimized.as_ref().expect("case study has a fix");
         let (base, _) = run_plain(&w.program);
         let (fast, _) = run_plain(opt);
-        let same = base.output == fast.output;
+        let same_output = base.output == fast.output;
         let work_red =
             100.0 * (1.0 - fast.instructions_executed as f64 / base.instructions_executed as f64);
         let obj_red =
             100.0 * (1.0 - fast.objects_allocated as f64 / base.objects_allocated.max(1) as f64);
         // What the automatic dead-structure elimination pass recovers,
         // without any of the paper's restructuring.
-        let (graph, _, _) = run_profiled(&w.program, CostGraphConfig::default());
+        let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
         let auto_red = match lowutil_analyses::eliminate_dead_instructions(&w.program, &graph) {
             Ok((auto_prog, _)) => {
                 let (auto_out, _) = run_plain(&auto_prog);
@@ -80,41 +96,76 @@ fn main() {
             }
             Err(_) => 0.0,
         };
-        println!(
-            "{:<12} {:>14} {:>14} {:>9.1} {:>10.1} {:>11.1} {:>9.1} {:>9}",
-            name,
-            base.instructions_executed,
-            fast.instructions_executed,
-            work_red,
-            paper_pct,
-            obj_red,
-            auto_red,
-            if same { "yes" } else { "NO" },
-        );
-        assert!(same, "{name}: the fix changed observable output");
-    }
-
-    println!();
-    println!("=== what the tool report shows for each bloated variant ===");
-    for (name, _) in STUDIES {
-        let w = workload(name, size);
-        let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
         let dead = dead_value_metrics(&graph, out.instructions_executed);
-        println!(
-            "{name}: IPD {:.1}%  IPP {:.1}%  NLD {:.1}%  (graph: {} nodes)",
-            dead.ipd * 100.0,
-            dead.ipp * 100.0,
-            dead.nld * 100.0,
-            graph.graph().num_nodes(),
-        );
-        if show_report {
-            let report = low_utility_report(
+        let report = show_report.then(|| {
+            low_utility_report(
                 &w.program,
                 &graph,
                 &CostBenefitConfig::default(),
                 3,
                 Some(&dead),
-            );
+            )
+        });
+        StudyRow {
+            name,
+            paper_pct,
+            base_instrs: base.instructions_executed,
+            fast_instrs: fast.instructions_executed,
+            work_red,
+            obj_red,
+            auto_red,
+            same_output,
+            ipd: dead.ipd,
+            ipp: dead.ipp,
+            nld: dead.nld,
+            graph_nodes: graph.graph().num_nodes(),
+            report,
+        }
+    });
+
+    println!("=== case studies (paper §4.2): bloated vs optimized ===");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10} {:>12} {:>9} {:>9}",
+        "program",
+        "I(bloated)",
+        "I(fixed)",
+        "work-red%",
+        "paper%",
+        "objs-red%",
+        "auto%",
+        "output=="
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>14} {:>14} {:>9.1} {:>10.1} {:>11.1} {:>9.1} {:>9}",
+            row.name,
+            row.base_instrs,
+            row.fast_instrs,
+            row.work_red,
+            row.paper_pct,
+            row.obj_red,
+            row.auto_red,
+            if row.same_output { "yes" } else { "NO" },
+        );
+        assert!(
+            row.same_output,
+            "{}: the fix changed observable output",
+            row.name
+        );
+    }
+
+    println!();
+    println!("=== what the tool report shows for each bloated variant ===");
+    for row in &rows {
+        println!(
+            "{}: IPD {:.1}%  IPP {:.1}%  NLD {:.1}%  (graph: {} nodes)",
+            row.name,
+            row.ipd * 100.0,
+            row.ipp * 100.0,
+            row.nld * 100.0,
+            row.graph_nodes,
+        );
+        if let Some(report) = &row.report {
             for line in report.lines() {
                 println!("    {line}");
             }

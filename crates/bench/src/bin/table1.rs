@@ -3,74 +3,155 @@
 //! measurements (part c), plus the phase-limited-tracking overhead
 //! comparison for the two trade benchmarks.
 //!
-//! Usage: `table1 [--size small|default|large] [--slots N ...]`
+//! All per-workload measurements run on a thread pool (`--jobs N`,
+//! defaulting to the machine's parallelism); each run owns its VM and
+//! profiler, so runs never share state and the printed tables are
+//! byte-identical to a sequential `--jobs 1` run apart from the timing
+//! columns.
+//!
+//! Usage: `table1 [--size small|default|large] [--slots N ...] [--jobs N]
+//!         [--json PATH]`
+//!
+//! `--json PATH` additionally writes a machine-readable perf baseline
+//! (wall-clock and profiled events/sec per workload) to `PATH`.
 
 use lowutil_analyses::dead::dead_value_metrics;
 use lowutil_bench::{overhead_factor, run_plain, run_profiled};
 use lowutil_core::{CostGraphConfig, GraphStats};
-use lowutil_workloads::{suite, WorkloadSize};
+use lowutil_workloads::{map_suite, WorkloadSize};
+use std::time::{Duration, Instant};
 
-fn parse_args() -> (WorkloadSize, Vec<u32>) {
-    let mut size = WorkloadSize::Default;
-    let mut slots = vec![8, 16];
-    let mut args = std::env::args().skip(1);
+struct Args {
+    size: WorkloadSize,
+    slots: Vec<u32>,
+    jobs: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        size: WorkloadSize::Default,
+        slots: vec![8, 16],
+        jobs: lowutil_par::default_jobs(),
+        json: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--size" => {
-                size = match args.next().as_deref() {
+                parsed.size = match args.next().as_deref() {
                     Some("small") => WorkloadSize::Small,
                     Some("large") => WorkloadSize::Large,
                     _ => WorkloadSize::Default,
                 }
             }
             "--slots" => {
-                slots = args
-                    .by_ref()
-                    .take_while(|s| !s.starts_with("--"))
-                    .filter_map(|s| s.parse().ok())
-                    .collect();
-                if slots.is_empty() {
-                    slots = vec![8, 16];
+                // Peek so a following `--flag` is left for the main loop,
+                // and drop 0 (the context reduction is `g mod s`).
+                let mut slots = Vec::new();
+                while let Some(v) = args.peek() {
+                    if v.starts_with("--") {
+                        break;
+                    }
+                    if let Ok(s) = v.parse::<u32>() {
+                        if s > 0 {
+                            slots.push(s);
+                        }
+                    }
+                    args.next();
+                }
+                if !slots.is_empty() {
+                    parsed.slots = slots;
                 }
             }
+            "--jobs" => {
+                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                    parsed.jobs = n;
+                }
+            }
+            "--json" => parsed.json = args.next(),
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
-    (size, slots)
+    parsed
+}
+
+/// Everything Table 1 needs for one benchmark, computed by one pool task.
+struct Row {
+    name: &'static str,
+    t_plain: Duration,
+    /// One `(stats, profiled wall-clock)` per requested slot setting.
+    per_slot: Vec<(GraphStats, Duration)>,
+    /// Default-config profiled run, reused for part (c) and the JSON
+    /// baseline.
+    t_profiled: Duration,
+    instructions: u64,
+    ipd: f64,
+    ipp: f64,
+    nld: f64,
+}
+
+fn size_name(size: WorkloadSize) -> &'static str {
+    match size {
+        WorkloadSize::Small => "small",
+        WorkloadSize::Default => "default",
+        WorkloadSize::Large => "large",
+    }
 }
 
 fn main() {
-    let (size, slot_settings) = parse_args();
-    let workloads = suite(size);
+    let args = parse_args();
+    let wall = Instant::now();
 
-    for &s in &slot_settings {
+    // One pool task per benchmark computes every measurement Table 1
+    // needs for it: the plain-run baseline, one profiled run per slot
+    // setting, and the default-config run behind part (c).
+    let slot_settings = args.slots.clone();
+    let rows: Vec<Row> = map_suite(args.size, args.jobs, |w| {
+        let (_, t_plain) = run_plain(&w.program);
+        let per_slot = slot_settings
+            .iter()
+            .map(|&s| {
+                let config = CostGraphConfig {
+                    slots: s,
+                    ..CostGraphConfig::default()
+                };
+                let (graph, _, t_prof) = run_profiled(&w.program, config);
+                (GraphStats::of(&graph), t_prof)
+            })
+            .collect();
+        let (graph, out, t_profiled) = run_profiled(&w.program, CostGraphConfig::default());
+        let m = dead_value_metrics(&graph, out.instructions_executed);
+        Row {
+            name: w.name,
+            t_plain,
+            per_slot,
+            t_profiled,
+            instructions: out.instructions_executed,
+            ipd: m.ipd,
+            ipp: m.ipp,
+            nld: m.nld,
+        }
+    });
+
+    for (si, &s) in args.slots.iter().enumerate() {
         println!(
             "=== Table 1 ({}) — G_cost characteristics, s = {s} ===",
-            match size {
-                WorkloadSize::Small => "small",
-                WorkloadSize::Default => "default",
-                WorkloadSize::Large => "large",
-            }
+            size_name(args.size)
         );
         println!(
             "{:<12} {:>8} {:>8} {:>9} {:>8} {:>8}",
             "program", "#N", "#E", "M(KiB)", "O(x)", "CR"
         );
-        for w in &workloads {
-            let (_, t_plain) = run_plain(&w.program);
-            let config = CostGraphConfig {
-                slots: s,
-                ..CostGraphConfig::default()
-            };
-            let (graph, _, t_prof) = run_profiled(&w.program, config);
-            let stats = GraphStats::of(&graph);
+        for row in &rows {
+            let (stats, t_prof) = &row.per_slot[si];
             println!(
                 "{:<12} {:>8} {:>8} {:>9.1} {:>8.1} {:>8.3}",
-                w.name,
+                row.name,
                 stats.nodes,
                 stats.edges,
                 stats.graph_bytes as f64 / 1024.0,
-                overhead_factor(t_prof, t_plain),
+                overhead_factor(*t_prof, row.t_plain),
                 stats.avg_cr,
             );
         }
@@ -83,29 +164,23 @@ fn main() {
         "{:<12} {:>12} {:>8} {:>8} {:>8}",
         "program", "#I", "IPD%", "IPP%", "NLD%"
     );
-    for w in &workloads {
-        let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
-        let m = dead_value_metrics(&graph, out.instructions_executed);
+    for row in &rows {
         println!(
             "{:<12} {:>12} {:>8.1} {:>8.1} {:>8.1}",
-            w.name,
-            out.instructions_executed,
-            m.ipd * 100.0,
-            m.ipp * 100.0,
-            m.nld * 100.0,
+            row.name,
+            row.instructions,
+            row.ipd * 100.0,
+            row.ipp * 100.0,
+            row.nld * 100.0,
         );
     }
     println!();
 
     // Phase-limited tracking: the paper reports 5–10× overhead reduction
     // for the trade benchmarks when only the load phase is tracked.
-    println!("=== phase-limited tracking (steady-state only) ===");
-    println!(
-        "{:<12} {:>14} {:>14} {:>10}",
-        "program", "I(full)", "I(phase)", "reduction"
-    );
-    for name in ["tradebeans", "tradesoap", "eclipse", "derby"] {
-        let w = lowutil_workloads::workload(name, size);
+    let phase_names = vec!["tradebeans", "tradesoap", "eclipse", "derby"];
+    let phase_rows = lowutil_par::par_map(args.jobs, phase_names, |name| {
+        let w = lowutil_workloads::workload(name, args.size);
         let full = run_profiled(&w.program, CostGraphConfig::default());
         let phased = run_profiled(
             &w.program,
@@ -114,8 +189,18 @@ fn main() {
                 ..CostGraphConfig::default()
             },
         );
-        let fi = full.0.instr_instances().max(1);
-        let pi = phased.0.instr_instances().max(1);
+        (
+            name,
+            full.0.instr_instances().max(1),
+            phased.0.instr_instances().max(1),
+        )
+    });
+    println!("=== phase-limited tracking (steady-state only) ===");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "program", "I(full)", "I(phase)", "reduction"
+    );
+    for (name, fi, pi) in phase_rows {
         println!(
             "{:<12} {:>14} {:>14} {:>9.1}x",
             name,
@@ -126,14 +211,9 @@ fn main() {
     }
 
     // Abstract vs concrete graph growth (the §4.1 N-vs-I discussion).
-    println!();
-    println!("=== abstract graph (N) vs concrete instances (I) ===");
-    println!(
-        "{:<12} {:>8} {:>12} {:>12} {:>14}",
-        "program", "N", "I", "N/I", "concrete(KiB)"
-    );
-    for name in ["chart", "jython", "sunflow"] {
-        let w = lowutil_workloads::workload(name, size);
+    let nvi_names = vec!["chart", "jython", "sunflow"];
+    let nvi_rows = lowutil_par::par_map(args.jobs, nvi_names, |name| {
+        let w = lowutil_workloads::workload(name, args.size);
         let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
         let mut conc = lowutil_core::ConcreteProfiler::new(lowutil_core::SlicingMode::Thin);
         lowutil_vm::Vm::new(&w.program)
@@ -141,13 +221,68 @@ fn main() {
             .expect("concrete profiling runs");
         let cg = conc.finish();
         let stats = GraphStats::of(&graph);
-        println!(
-            "{:<12} {:>8} {:>12} {:>12.6} {:>14.1}",
+        (
             name,
             stats.nodes,
             out.instructions_executed,
             stats.abstraction_ratio(),
-            cg.approx_bytes() as f64 / 1024.0,
+            cg.approx_bytes(),
+        )
+    });
+    println!();
+    println!("=== abstract graph (N) vs concrete instances (I) ===");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>14}",
+        "program", "N", "I", "N/I", "concrete(KiB)"
+    );
+    for (name, nodes, instances, ratio, conc_bytes) in nvi_rows {
+        println!(
+            "{:<12} {:>8} {:>12} {:>12.6} {:>14.1}",
+            name,
+            nodes,
+            instances,
+            ratio,
+            conc_bytes as f64 / 1024.0,
         );
     }
+
+    if let Some(path) = &args.json {
+        let json = baseline_json(&args, &rows, wall.elapsed());
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote perf baseline to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Renders the machine-readable perf baseline. Serde is not available
+/// offline, so the (flat, fixed-shape) document is formatted by hand.
+fn baseline_json(args: &Args, rows: &[Row], total: Duration) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"size\": \"{}\",\n", size_name(args.size)));
+    s.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    s.push_str(&format!(
+        "  \"total_wall_ms\": {:.3},\n",
+        total.as_secs_f64() * 1e3
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let events_per_sec = row.instructions as f64 / row.t_profiled.as_secs_f64().max(1e-9);
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"plain_ms\": {:.3}, \"profiled_ms\": {:.3}, \
+             \"instructions\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            row.name,
+            row.t_plain.as_secs_f64() * 1e3,
+            row.t_profiled.as_secs_f64() * 1e3,
+            row.instructions,
+            events_per_sec,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

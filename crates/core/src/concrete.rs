@@ -334,7 +334,7 @@ impl Tracer for ConcreteProfiler {
 
     fn frame_push(&mut self, info: &FrameInfo) {
         self.shadow_stack.push(info.num_locals as usize);
-        for (i, _) in info.args.iter().enumerate() {
+        for i in 0..info.num_args as usize {
             let data = self.pending_args.get(i).copied().flatten();
             self.shadow_stack.top_mut().set(i, data);
         }

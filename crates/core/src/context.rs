@@ -10,8 +10,8 @@
 //! [`ConflictStats`] measures the paper's CR column: for each instruction,
 //! the degree to which distinct exact chains collide in the same slot.
 
+use crate::fx::{FxHashMap, FxHashSet};
 use lowutil_ir::{AllocSiteId, InstrId};
-use std::collections::{HashMap, HashSet};
 
 /// The encoded probabilistic context value for the empty chain.
 pub const EMPTY_CONTEXT: u64 = 0;
@@ -88,7 +88,11 @@ impl ContextStack {
 #[derive(Debug, Clone, Default)]
 pub struct ConflictStats {
     /// instruction → slot → set of distinct encoded chains.
-    seen: HashMap<InstrId, HashMap<u32, HashSet<u64>>>,
+    seen: FxHashMap<InstrId, FxHashMap<u32, FxHashSet<u64>>>,
+    /// The most recent `(instr, slot, g)` record: straight-line code and
+    /// loop bodies re-record the same triple on every iteration, so one
+    /// cached entry removes the double map probe from the common case.
+    last: Option<(InstrId, u32, u64)>,
 }
 
 impl ConflictStats {
@@ -98,7 +102,12 @@ impl ConflictStats {
     }
 
     /// Records that `instr` executed under chain `g` mapped to `slot`.
+    #[inline]
     pub fn record(&mut self, instr: InstrId, slot: u32, g: u64) {
+        if self.last == Some((instr, slot, g)) {
+            return;
+        }
+        self.last = Some((instr, slot, g));
         self.seen
             .entry(instr)
             .or_default()
@@ -110,11 +119,11 @@ impl ConflictStats {
     /// CR for one instruction, if it was ever recorded.
     pub fn cr_of(&self, instr: InstrId) -> Option<f64> {
         let slots = self.seen.get(&instr)?;
-        let max = slots.values().map(HashSet::len).max().unwrap_or(0);
+        let max = slots.values().map(|s| s.len()).max().unwrap_or(0);
         if max <= 1 {
             return Some(0.0);
         }
-        let total: usize = slots.values().map(HashSet::len).sum();
+        let total: usize = slots.values().map(|s| s.len()).sum();
         Some(max as f64 / total as f64)
     }
 
@@ -137,7 +146,7 @@ impl ConflictStats {
     pub fn distinct_contexts(&self) -> usize {
         self.seen
             .values()
-            .map(|slots| slots.values().map(HashSet::len).sum::<usize>())
+            .map(|slots| slots.values().map(|s| s.len()).sum::<usize>())
             .sum()
     }
 }

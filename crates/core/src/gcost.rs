@@ -25,6 +25,8 @@
 //! `lowutil-analyses`.
 
 use crate::context::{slot_of, ConflictStats, ContextStack};
+use crate::dense::{DenseDomain, DenseInterner, InstrIndexer};
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::graph::{DepGraph, NodeId, NodeKind};
 use lowutil_ir::{AllocSiteId, FieldId, InstrId, Local, StaticId, Value};
 use lowutil_vm::{Event, FrameInfo, ShadowHeap, ShadowStack, Tracer};
@@ -45,6 +47,18 @@ impl fmt::Display for CostElem {
         match self {
             CostElem::Ctx(s) => write!(f, "^{s}"),
             CostElem::NoCtx => write!(f, "°"),
+        }
+    }
+}
+
+impl DenseDomain for CostElem {
+    /// `NoCtx` is 0 and slot `k` is `k + 1`; with `s` context slots the
+    /// domain cardinality is exactly `s + 1`.
+    #[inline]
+    fn dense_index(&self) -> usize {
+        match *self {
+            CostElem::NoCtx => 0,
+            CostElem::Ctx(k) => k as usize + 1,
         }
     }
 }
@@ -139,6 +153,11 @@ pub struct CostGraphConfig {
     /// so control work flows into value costs. The paper ignores control
     /// (the default) to keep reports precise.
     pub control_edges: bool,
+    /// Use the flat `|I| × |D|` interning table ([`DenseInterner`])
+    /// instead of hashing `(InstrId, CostElem)` per event. Produces a
+    /// structurally identical graph; the switch exists for benchmarking
+    /// the two paths against each other.
+    pub dense_interning: bool,
 }
 
 impl Default for CostGraphConfig {
@@ -149,6 +168,7 @@ impl Default for CostGraphConfig {
             phase_limited: false,
             traditional_uses: false,
             control_edges: false,
+            dense_interning: true,
         }
     }
 }
@@ -165,16 +185,24 @@ pub struct CostProfiler {
     conflicts: ConflictStats,
     pending_args: Vec<Option<NodeId>>,
     ret_stash: Option<NodeId>,
-    ref_edges: HashSet<(NodeId, NodeId)>,
-    effects: HashMap<NodeId, HeapEffect>,
-    alloc_nodes: HashMap<TaggedSite, NodeId>,
-    points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>>,
+    ref_edges: FxHashSet<(NodeId, NodeId)>,
+    /// Heap effect per node, indexed densely by [`NodeId`] (at most one
+    /// effect per node, and node ids are small and dense — no map
+    /// needed on the per-event store/load path).
+    effects: Vec<Option<HeapEffect>>,
+    alloc_nodes: FxHashMap<TaggedSite, NodeId>,
+    points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
     armed: bool,
     instr_instances: u64,
     /// Static control-dependence table (only populated under
     /// [`CostGraphConfig::control_edges`]): instruction → controlling
     /// branch instructions.
-    control_deps: HashMap<InstrId, Vec<InstrId>>,
+    control_deps: FxHashMap<InstrId, Vec<InstrId>>,
+    /// Global dense index per static instruction (for the dense table).
+    indexer: InstrIndexer,
+    /// The flat `|I| × |D|` interning table, when
+    /// [`CostGraphConfig::dense_interning`] is on.
+    dense: Option<DenseInterner>,
 }
 
 impl CostProfiler {
@@ -183,7 +211,7 @@ impl CostProfiler {
     /// [`CostGraphConfig::control_edges`] is set; the profiler otherwise
     /// consumes VM events alone.
     pub fn new(program: &lowutil_ir::Program, config: CostGraphConfig) -> Self {
-        let mut control_deps = HashMap::new();
+        let mut control_deps = FxHashMap::default();
         if config.control_edges {
             for (mi, method) in program.methods().iter().enumerate() {
                 let cfg = lowutil_ir::Cfg::build(method);
@@ -200,6 +228,11 @@ impl CostProfiler {
                 }
             }
         }
+        let indexer = InstrIndexer::new(program);
+        let dense = config.dense_interning.then(|| {
+            // |D| = s context slots + NoCtx.
+            DenseInterner::new(indexer.num_instrs(), config.slots as usize + 1)
+        });
         CostProfiler {
             config,
             graph: DepGraph::new(),
@@ -210,13 +243,15 @@ impl CostProfiler {
             conflicts: ConflictStats::new(),
             pending_args: Vec::new(),
             ret_stash: None,
-            ref_edges: HashSet::new(),
-            effects: HashMap::new(),
-            alloc_nodes: HashMap::new(),
-            points_to: HashMap::new(),
+            ref_edges: FxHashSet::default(),
+            effects: Vec::new(),
+            alloc_nodes: FxHashMap::default(),
+            points_to: FxHashMap::default(),
             armed: !config.phase_limited,
             instr_instances: 0,
             control_deps,
+            indexer,
+            dense,
         }
     }
 
@@ -228,6 +263,17 @@ impl CostProfiler {
         self.shadow_stack.top_mut().set(l.index(), n);
     }
 
+    /// Interns `(at, elem)` through the dense table when enabled, the
+    /// hashed graph index otherwise. Both paths produce identical
+    /// graphs (the dense table only fronts [`DepGraph::intern`]).
+    #[inline]
+    fn intern(&mut self, at: InstrId, elem: CostElem, kind: NodeKind) -> NodeId {
+        match &mut self.dense {
+            Some(table) => table.intern(&mut self.graph, &self.indexer, at, elem, kind),
+            None => self.graph.intern(at, elem, kind),
+        }
+    }
+
     /// Interns + bumps the node for `at` under the current context.
     fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
         let g = self.contexts.current();
@@ -235,12 +281,12 @@ impl CostProfiler {
         if self.config.track_conflicts {
             self.conflicts.record(at, slot, g);
         }
-        let n = self.graph.intern(at, CostElem::Ctx(slot), kind);
+        let n = self.intern(at, CostElem::Ctx(slot), kind);
         self.graph.bump(n);
         if self.config.control_edges {
             if let Some(branches) = self.control_deps.get(&at) {
                 for b in branches.clone() {
-                    let pnode = self.graph.intern(b, CostElem::NoCtx, NodeKind::Predicate);
+                    let pnode = self.intern(b, CostElem::NoCtx, NodeKind::Predicate);
                     self.graph.add_edge(pnode, n);
                 }
             }
@@ -250,9 +296,19 @@ impl CostProfiler {
 
     /// Interns + bumps a context-free consumer node.
     fn consumer_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
-        let n = self.graph.intern(at, CostElem::NoCtx, kind);
+        let n = self.intern(at, CostElem::NoCtx, kind);
         self.graph.bump(n);
         n
+    }
+
+    /// Records a node's heap effect in the dense per-node table.
+    #[inline]
+    fn set_effect(&mut self, n: NodeId, eff: HeapEffect) {
+        let i = n.index();
+        if self.effects.len() <= i {
+            self.effects.resize(i + 1, None);
+        }
+        self.effects[i] = Some(eff);
     }
 
     fn edge_from_shadow(&mut self, src: Option<NodeId>, to: NodeId) {
@@ -269,8 +325,7 @@ impl CostProfiler {
         value: Value,
     ) {
         if let Some(tag) = self.shadow_heap.tag(object) {
-            self.effects
-                .insert(n, HeapEffect::Store { site: tag, field });
+            self.set_effect(n, HeapEffect::Store { site: tag, field });
             if let Some(&alloc) = self.alloc_nodes.get(&tag) {
                 self.ref_edges.insert((n, alloc));
             }
@@ -284,14 +339,15 @@ impl CostProfiler {
 
     /// Consumes the profiler, producing the analysis-ready [`CostGraph`].
     pub fn finish(self) -> CostGraph {
-        let mut field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
-        let mut field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
-        for (&n, eff) in &self.effects {
+        let mut field_writes: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        let mut field_reads: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        for (i, eff) in self.effects.iter().enumerate() {
+            let n = NodeId(i as u32);
             match *eff {
-                HeapEffect::Store { site, field } => {
+                Some(HeapEffect::Store { site, field }) => {
                     field_writes.entry((site, field)).or_default().push(n)
                 }
-                HeapEffect::Load { site, field } => {
+                Some(HeapEffect::Load { site, field }) => {
                     field_reads.entry((site, field)).or_default().push(n)
                 }
                 _ => {}
@@ -374,7 +430,7 @@ impl Tracer for CostProfiler {
                 let tag = TaggedSite { site: *site, slot };
                 self.shadow_heap.on_alloc(*object, 0, Some(tag));
                 self.alloc_nodes.insert(tag, n);
-                self.effects.insert(n, HeapEffect::Alloc { site: tag });
+                self.set_effect(n, HeapEffect::Alloc { site: tag });
             }
             Event::LoadField {
                 at,
@@ -393,7 +449,7 @@ impl Tracer for CostProfiler {
                 }
                 self.set_shadow(*dst, Some(n));
                 if let Some(tag) = self.shadow_heap.tag(*object) {
-                    self.effects.insert(
+                    self.set_effect(
                         n,
                         HeapEffect::Load {
                             site: tag,
@@ -425,7 +481,7 @@ impl Tracer for CostProfiler {
                 let src = self.shadow_statics.get(field.index()).copied().flatten();
                 self.edge_from_shadow(src, n);
                 self.set_shadow(*dst, Some(n));
-                self.effects.insert(n, HeapEffect::LoadStatic(*field));
+                self.set_effect(n, HeapEffect::LoadStatic(*field));
             }
             Event::StoreStatic { at, field, src, .. } => {
                 let n = self.ctx_node(*at, NodeKind::HeapStore);
@@ -434,7 +490,7 @@ impl Tracer for CostProfiler {
                     self.shadow_statics.resize(field.index() + 1, None);
                 }
                 self.shadow_statics[field.index()] = Some(n);
-                self.effects.insert(n, HeapEffect::StoreStatic(*field));
+                self.set_effect(n, HeapEffect::StoreStatic(*field));
             }
             Event::ArrayLoad {
                 at,
@@ -454,7 +510,7 @@ impl Tracer for CostProfiler {
                 self.edge_from_shadow(src, n);
                 self.set_shadow(*dst, Some(n));
                 if let Some(tag) = self.shadow_heap.tag(*object) {
-                    self.effects.insert(
+                    self.set_effect(
                         n,
                         HeapEffect::Load {
                             site: tag,
@@ -498,7 +554,7 @@ impl Tracer for CostProfiler {
                     if let Some(&alloc) = self.alloc_nodes.get(&tag) {
                         self.graph.add_edge(alloc, n);
                     }
-                    self.effects.insert(
+                    self.set_effect(
                         n,
                         HeapEffect::Load {
                             site: tag,
@@ -547,7 +603,7 @@ impl Tracer for CostProfiler {
         self.shadow_stack.push(info.num_locals as usize);
         // Formals receive the tracking data of the actuals (rule METHOD
         // ENTRY); the entry frame has no actuals.
-        for (i, _) in info.args.iter().enumerate() {
+        for i in 0..info.num_args as usize {
             let data = self.pending_args.get(i).copied().flatten();
             self.shadow_stack.top_mut().set(i, data);
         }
@@ -565,12 +621,13 @@ impl Tracer for CostProfiler {
 #[derive(Debug)]
 pub struct CostGraph {
     graph: DepGraph<CostElem>,
-    ref_edges: HashSet<(NodeId, NodeId)>,
-    effects: HashMap<NodeId, HeapEffect>,
-    alloc_nodes: HashMap<TaggedSite, NodeId>,
-    points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>>,
-    field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
-    field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
+    ref_edges: FxHashSet<(NodeId, NodeId)>,
+    /// Heap effect per node, indexed densely by [`NodeId`].
+    effects: Vec<Option<HeapEffect>>,
+    alloc_nodes: FxHashMap<TaggedSite, NodeId>,
+    points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
+    field_writes: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
+    field_reads: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>>,
     conflicts: ConflictStats,
     instr_instances: u64,
     shadow_heap_bytes: usize,
@@ -579,7 +636,9 @@ pub struct CostGraph {
 impl CostGraph {
     /// Reassembles a cost graph from its serialized parts (see
     /// [`crate::export`]); field read/write indexes and the allocation-node
-    /// table are rebuilt from the effects.
+    /// table are rebuilt from the effects. The std-hashed parameter types
+    /// keep the deserialization interface independent of the profiler's
+    /// internal hashers.
     pub fn from_parts(
         graph: DepGraph<CostElem>,
         ref_edges: HashSet<(NodeId, NodeId)>,
@@ -588,10 +647,15 @@ impl CostGraph {
         instr_instances: u64,
         shadow_heap_bytes: usize,
     ) -> Self {
-        let mut field_writes: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
-        let mut field_reads: HashMap<(TaggedSite, FieldKey), Vec<NodeId>> = HashMap::new();
-        let mut alloc_nodes: HashMap<TaggedSite, NodeId> = HashMap::new();
+        let mut field_writes: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        let mut field_reads: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        let mut alloc_nodes: FxHashMap<TaggedSite, NodeId> = FxHashMap::default();
+        let mut effect_table: Vec<Option<HeapEffect>> = vec![None; graph.num_nodes()];
         for (&n, eff) in &effects {
+            if effect_table.len() <= n.index() {
+                effect_table.resize(n.index() + 1, None);
+            }
+            effect_table[n.index()] = Some(*eff);
             match *eff {
                 HeapEffect::Store { site, field } => {
                     field_writes.entry((site, field)).or_default().push(n)
@@ -611,10 +675,13 @@ impl CostGraph {
         }
         CostGraph {
             graph,
-            ref_edges,
-            effects,
+            ref_edges: ref_edges.into_iter().collect(),
+            effects: effect_table,
             alloc_nodes,
-            points_to,
+            points_to: points_to
+                .into_iter()
+                .map(|(k, v)| (k, v.into_iter().collect()))
+                .collect(),
             field_writes,
             field_reads,
             conflicts: ConflictStats::new(),
@@ -636,7 +703,7 @@ impl CostGraph {
 
     /// The heap effect of a node, if it touches the heap.
     pub fn effect(&self, node: NodeId) -> Option<&HeapEffect> {
-        self.effects.get(&node)
+        self.effects.get(node.index()).and_then(Option::as_ref)
     }
 
     /// All context-annotated allocation sites observed, sorted.
@@ -708,7 +775,7 @@ impl CostGraph {
         use std::mem::size_of;
         self.graph.approx_bytes()
             + self.ref_edges.len() * (size_of::<(NodeId, NodeId)>() + 16)
-            + self.effects.len() * (size_of::<HeapEffect>() + size_of::<NodeId>() + 16)
+            + self.effects.capacity() * size_of::<Option<HeapEffect>>()
     }
 
     /// Approximate shadow-heap memory at the end of the run (reported

@@ -12,9 +12,9 @@
 //! traditional dynamic slicing (see [`crate::concrete`]); its memory growth
 //! versus the abstract graph is one of the reproduction's experiments.
 
+use crate::fx::{FxHashMap, FxHashSet};
 use lowutil_ir::InstrId;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
 
@@ -96,10 +96,10 @@ pub struct Node<D> {
 #[derive(Debug, Clone)]
 pub struct DepGraph<D> {
     nodes: Vec<Node<D>>,
-    index: HashMap<(InstrId, D), NodeId>,
+    index: FxHashMap<(InstrId, D), NodeId>,
     succs: Vec<Vec<NodeId>>,
     preds: Vec<Vec<NodeId>>,
-    edge_set: HashSet<(NodeId, NodeId)>,
+    edge_set: FxHashSet<(NodeId, NodeId)>,
     /// Fast path for the profiler's hot loops, which re-add the same edge
     /// on every iteration: the most recently added edge skips the set
     /// lookup.
@@ -117,10 +117,10 @@ impl<D: Clone + Eq + Hash> DepGraph<D> {
     pub fn new() -> Self {
         DepGraph {
             nodes: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             succs: Vec::new(),
             preds: Vec::new(),
-            edge_set: HashSet::new(),
+            edge_set: FxHashSet::default(),
             last_edge: None,
         }
     }

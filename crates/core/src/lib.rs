@@ -51,8 +51,10 @@
 
 pub mod concrete;
 pub mod context;
+pub mod dense;
 pub mod domain;
 pub mod export;
+pub mod fx;
 pub mod gcost;
 pub mod graph;
 pub mod slicer;
@@ -60,8 +62,10 @@ pub mod stats;
 
 pub use concrete::{ConcreteGraph, ConcreteProfiler, InstanceId, SlicingMode};
 pub use context::{extend_context, slot_of, ConflictStats, ContextStack, EMPTY_CONTEXT};
+pub use dense::{DenseDomain, DenseInterner, InstrIndexer};
 pub use domain::{AbstractDomain, AbstractProfiler};
 pub use export::{read_cost_graph, write_cost_graph, write_dot};
+pub use fx::{FxHashMap, FxHashSet};
 pub use gcost::{
     CostElem, CostGraph, CostGraphConfig, CostProfiler, FieldKey, HeapEffect, TaggedSite,
 };

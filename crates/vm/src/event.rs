@@ -28,12 +28,16 @@ pub struct FrameInfo {
     pub num_params: u16,
     /// Total local slots in the new frame.
     pub num_locals: u16,
-    /// The receiver object for instance methods (`args[0]` when it is a
-    /// reference), used to extend the object-sensitive context chain.
+    /// The receiver object for instance methods (the first argument when
+    /// it is a reference), used to extend the object-sensitive context
+    /// chain.
     pub receiver: Option<ObjectId>,
-    /// Argument locals in the *caller* frame, in order. Empty for the entry
-    /// frame.
-    pub args: Vec<Local>,
+    /// Number of arguments passed at the call site (0 for the entry
+    /// frame). Formals `0..num_args` receive the actuals' tracking data;
+    /// the actual locals themselves were already reported in the
+    /// preceding [`Event::Call`], so carrying just the count keeps this
+    /// per-call struct allocation-free.
+    pub num_args: u16,
 }
 
 /// One executed instruction, as seen by a [`Tracer`](crate::Tracer).

@@ -258,7 +258,6 @@ impl<'p> Interp<'p> {
         arg_values: &[Value],
         ret_dst: Option<Local>,
         call_site: Option<InstrId>,
-        caller_args: Vec<Local>,
         tracer: &mut T,
     ) -> Result<(), TrapKind> {
         if self.stack.len() >= self.config.max_stack {
@@ -285,7 +284,7 @@ impl<'p> Interp<'p> {
             num_params: m.num_params(),
             num_locals: m.num_locals(),
             receiver,
-            args: caller_args,
+            num_args: arg_values.len() as u16,
         });
         Ok(())
     }
@@ -297,7 +296,7 @@ impl<'p> Interp<'p> {
         tracer: &mut T,
     ) -> Result<RunOutcome, Trap> {
         let entry_at = InstrId::new(entry, 0);
-        self.push_frame(entry, args, None, None, Vec::new(), tracer)
+        self.push_frame(entry, args, None, None, tracer)
             .map_err(|k| self.trap(entry_at, k))?;
 
         let mut final_return: Option<Value> = None;
@@ -314,11 +313,13 @@ impl<'p> Interp<'p> {
             if self.phase_depth > 0 {
                 self.in_phase += 1;
             }
-            // Clone is cheap for all instruction kinds except calls (Vec of
-            // args); calls are comparatively rare and the clone keeps the
-            // borrow checker out of the hot match below.
-            let instr = self.program.instr(at).clone();
-            match self.step(at, &instr, tracer) {
+            // `self.program` is `&'p Program`, so the instruction can be
+            // borrowed for 'p through a copy of the reference — no
+            // per-instruction clone, and no conflict with the `&mut self`
+            // borrow in `step`.
+            let program: &'p Program = self.program;
+            let instr = program.instr(at);
+            match self.step(at, instr, tracer) {
                 Ok(Step::Next) => {
                     self.stack.last_mut().expect("frame").pc = pc + 1;
                 }
@@ -673,7 +674,7 @@ impl<'p> Interp<'p> {
                     callee: target,
                     args: args.clone(),
                 });
-                self.push_frame(target, &arg_values, *dst, Some(at), args.clone(), tracer)?;
+                self.push_frame(target, &arg_values, *dst, Some(at), tracer)?;
                 Ok(Step::Enter)
             }
             Instr::CallNative { dst, native, args } => {

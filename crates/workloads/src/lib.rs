@@ -35,4 +35,4 @@ pub mod stdlib;
 mod suite;
 
 pub use stdlib::{build_program, PRELUDE};
-pub use suite::{suite, workload, Workload, WorkloadSize, NAMES};
+pub use suite::{map_suite, suite, suite_parallel, workload, Workload, WorkloadSize, NAMES};

@@ -203,6 +203,27 @@ pub fn suite(size: WorkloadSize) -> Vec<Workload> {
     NAMES.iter().map(|n| workload(n, size)).collect()
 }
 
+/// Builds the whole suite on up to `jobs` worker threads. The returned
+/// vector is in Table 1 order regardless of completion order.
+pub fn suite_parallel(size: WorkloadSize, jobs: usize) -> Vec<Workload> {
+    lowutil_par::par_map(jobs, NAMES.to_vec(), |n| workload(n, size))
+}
+
+/// Builds and maps every workload through `f` on up to `jobs` worker
+/// threads, returning the results in Table 1 order.
+///
+/// Each invocation of `f` owns its workload (program + optimized
+/// variant), so profiling runs — each with its own VM and profiler —
+/// are embarrassingly parallel. Pass `jobs = 1` for a fully sequential
+/// run; the results are identical either way, only wall-clock differs.
+pub fn map_suite<R, F>(size: WorkloadSize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Workload) -> R + Sync,
+{
+    lowutil_par::par_map(jobs, NAMES.to_vec(), |n| f(workload(n, size)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +280,38 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_names_panic() {
         let _ = workload("nope", WorkloadSize::Small);
+    }
+
+    #[test]
+    fn parallel_builders_preserve_table1_order() {
+        let sequential: Vec<_> = suite(WorkloadSize::Small).iter().map(|w| w.name).collect();
+        let parallel: Vec<_> = suite_parallel(WorkloadSize::Small, 4)
+            .iter()
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(sequential, parallel);
+        let mapped = map_suite(WorkloadSize::Small, 4, |w| w.name);
+        assert_eq!(sequential, mapped);
+    }
+
+    #[test]
+    fn parallel_profiling_runs_are_independent() {
+        use lowutil_vm::Vm;
+        let counts = map_suite(WorkloadSize::Small, 4, |w| {
+            Vm::new(&w.program)
+                .run(&mut NullTracer)
+                .map(|o| o.instructions_executed)
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name))
+        });
+        let sequential: Vec<_> = suite(WorkloadSize::Small)
+            .iter()
+            .map(|w| {
+                Vm::new(&w.program)
+                    .run(&mut NullTracer)
+                    .unwrap()
+                    .instructions_executed
+            })
+            .collect();
+        assert_eq!(counts, sequential);
     }
 }

@@ -12,7 +12,9 @@
 //!   graph;
 //! * [`analyses`] — client analyses: relative object cost-benefit, dead
 //!   values, null-origin tracking, typestate history, copy profiling;
-//! * [`workloads`] — the synthetic DaCapo-style benchmark suite.
+//! * [`workloads`] — the synthetic DaCapo-style benchmark suite;
+//! * [`par`] — the small order-preserving thread-pool used to run the
+//!   suite (each run owns its VM + profiler) on `--jobs` workers.
 //!
 //! # Quickstart
 //!
@@ -44,5 +46,6 @@
 pub use lowutil_analyses as analyses;
 pub use lowutil_core as core;
 pub use lowutil_ir as ir;
+pub use lowutil_par as par;
 pub use lowutil_vm as vm;
 pub use lowutil_workloads as workloads;

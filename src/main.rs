@@ -17,6 +17,8 @@
 //! lowutil export <file.lu>           serialize G_cost to stdout
 //! lowutil dot <file.lu>              G_cost as Graphviz DOT on stdout
 //! lowutil suite <name> [--size S]    run a built-in DaCapo-style workload
+//! lowutil suite all [--size S] [--jobs N]
+//!                                    profile the whole suite on N workers
 //! ```
 
 use lowutil::analyses::cache::cache_effectiveness;
@@ -33,10 +35,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite> <file.lu|name> [flags]"
+        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite> <file.lu|name|all> [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N"
     );
     ExitCode::from(2)
 }
@@ -47,6 +49,7 @@ struct Flags {
     control: bool,
     traditional: bool,
     size: WorkloadSize,
+    jobs: usize,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -56,6 +59,7 @@ fn parse_flags(args: &[String]) -> Flags {
         control: false,
         traditional: false,
         size: WorkloadSize::Default,
+        jobs: lowutil::par::default_jobs(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,8 +70,15 @@ fn parse_flags(args: &[String]) -> Flags {
                 }
             }
             "--slots" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<u32>().ok()) {
+                    // The context reduction is `g mod s`; 0 slots is
+                    // meaningless and would divide by zero.
+                    f.slots = v.max(1);
+                }
+            }
+            "--jobs" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    f.slots = v;
+                    f.jobs = v;
                 }
             }
             "--control" => f.control = true,
@@ -299,6 +310,31 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "suite" => {
+                if target == "all" {
+                    // Profile all 18 workloads on the pool; each task owns
+                    // its VM + profiler. Rows print in Table 1 order.
+                    let rows = lowutil::workloads::map_suite(flags.size, flags.jobs, |w| {
+                        let (g, out) = profile(&w.program, &flags)?;
+                        let dead = dead_value_metrics(&g, out.instructions_executed);
+                        Ok::<String, String>(format!(
+                            "{:<12} {:>14} {:>8} {:>7.1} {:>7.1} {:>7.1}",
+                            w.name,
+                            out.instructions_executed,
+                            g.graph().num_nodes(),
+                            dead.ipd * 100.0,
+                            dead.ipp * 100.0,
+                            dead.nld * 100.0,
+                        ))
+                    });
+                    println!(
+                        "{:<12} {:>14} {:>8} {:>7} {:>7} {:>7}",
+                        "program", "I", "N", "IPD%", "IPP%", "NLD%"
+                    );
+                    for row in rows {
+                        println!("{}", row?);
+                    }
+                    return Ok(());
+                }
                 if !NAMES.contains(&target) {
                     return Err(format!("unknown workload `{target}`; one of {NAMES:?}"));
                 }

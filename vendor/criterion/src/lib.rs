@@ -1,0 +1,368 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` cannot be fetched. This stand-in keeps the bench sources
+//! compiling unchanged (`criterion_group!`/`criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `Bencher::iter`) and produces wall-clock measurements:
+//! each benchmark is warmed up, then sampled, and the median ns/iter is
+//! printed (plus throughput when configured).
+//!
+//! Not statistics-grade — no outlier analysis, no saved baselines — but
+//! the relative numbers between two benchmarks in one run are meaningful,
+//! which is what the hashed-vs-dense and tracked-vs-untracked comparisons
+//! need.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs the closure under timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    /// Filled by `iter`: per-sample mean ns/iter.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording samples for the report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates how many iterations fill one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measure.as_secs_f64() / self.samples.max(1) as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.sample_ns.clear();
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut v = self.sample_ns.clone();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        v[v.len() / 2]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.median_ns();
+    let mut line = format!("{name:<48} {:>12}/iter", human_time(ns));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (ns / 1e9);
+        line.push_str(&format!("  {per_sec:>14.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measure: Duration::from_secs(2),
+            samples: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Applies CLI arguments: `--quick` shortens runs; a bare string
+    /// filters benchmark names; everything else (cargo-bench plumbing
+    /// like `--bench`) is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => {
+                    self.warm_up = Duration::from_millis(50);
+                    self.measure = Duration::from_millis(200);
+                    self.samples = 5;
+                }
+                "--bench" | "--test" => {}
+                a if a.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => !name.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            samples: self.samples,
+            sample_ns: Vec::new(),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into_id();
+        if !self.skip(&name) {
+            let mut b = self.bencher();
+            f(&mut b);
+            report(&name, &b, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if !self.criterion.skip(&full) {
+            let mut b = self.criterion.bencher();
+            f(&mut b);
+            report(&full, &b, self.throughput);
+        }
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if !self.criterion.skip(&full) {
+            let mut b = self.criterion.bencher();
+            f(&mut b, input);
+            report(&full, &b, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = quick();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    #[test]
+    fn groups_support_inputs_and_throughput() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("smoke/group");
+        g.throughput(Throughput::Elements(128));
+        g.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
