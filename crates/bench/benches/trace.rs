@@ -1,0 +1,59 @@
+//! Event-trace pipeline benches: trace recording and parsing throughput,
+//! and sequential vs sharded graph construction from the same trace.
+//!
+//! `write` measures the full record run (VM + varint encoder into memory);
+//! `read` measures decoding an already-recorded trace into a counting
+//! sink; `build_seq`/`build_shard4` measure rebuilding `G_cost` from the
+//! trace on one vs four workers, which is the replay-side speedup the
+//! sharded pipeline exists to provide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_bench::{run_recorded, run_replayed};
+use lowutil_core::CostGraphConfig;
+use lowutil_vm::{CountingSink, TraceReader};
+use lowutil_workloads::{workload, WorkloadSize};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    for name in ["fop", "chart"] {
+        let w = workload(name, WorkloadSize::Small);
+        let (_, trace, stats, _) = run_recorded(&w.program);
+
+        group.throughput(Throughput::Bytes(stats.bytes));
+        group.bench_with_input(BenchmarkId::new("write", name), &w.program, |b, p| {
+            b.iter(|| run_recorded(p))
+        });
+
+        group.bench_with_input(BenchmarkId::new("read", name), &trace, |b, t| {
+            b.iter(|| {
+                let reader = TraceReader::new(t).expect("trace parses");
+                let mut sink = CountingSink::new();
+                reader.replay(&mut sink).expect("trace replays");
+                sink.events
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("build_seq", name), &trace, |b, t| {
+            b.iter(|| run_replayed(&w.program, CostGraphConfig::default(), t, 1))
+        });
+
+        group.bench_with_input(BenchmarkId::new("build_shard4", name), &trace, |b, t| {
+            b.iter(|| run_replayed(&w.program, CostGraphConfig::default(), t, 4))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_trace
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Shared command-line parsing helpers for the table generators.
+//!
+//! Every value-taking flag must *peek* before consuming: `--size --jobs 3`
+//! means "`--size` is missing its value", not "the size is `--jobs`".
+//! These helpers encode that rule once so `table1` and `case_studies`
+//! cannot drift apart (an earlier revision of both binaries swallowed the
+//! following flag).
+
+use lowutil_workloads::WorkloadSize;
+use std::iter::Peekable;
+use std::str::FromStr;
+
+/// Consumes and returns the next argument only when it is a value (does
+/// not start with `--`). A following flag is left in the stream.
+pub fn take_value<I: Iterator<Item = String>>(args: &mut Peekable<I>) -> Option<String> {
+    if args.peek().is_some_and(|a| !a.starts_with("--")) {
+        args.next()
+    } else {
+        None
+    }
+}
+
+/// [`take_value`] + parse. A value that fails to parse is still consumed
+/// (it was clearly intended as this flag's value) but yields `None`.
+pub fn take_parsed<T: FromStr, I: Iterator<Item = String>>(args: &mut Peekable<I>) -> Option<T> {
+    take_value(args)?.parse().ok()
+}
+
+/// Parses a `--jobs` value: missing/unparsable yields `None`, and 0 (which
+/// could make no progress) clamps to 1.
+pub fn take_jobs<I: Iterator<Item = String>>(args: &mut Peekable<I>) -> Option<usize> {
+    take_parsed::<usize, _>(args).map(|j| j.max(1))
+}
+
+/// Parses a `--size` value; unknown or missing sizes yield `None`.
+pub fn take_size<I: Iterator<Item = String>>(args: &mut Peekable<I>) -> Option<WorkloadSize> {
+    match take_value(args).as_deref() {
+        Some("small") => Some(WorkloadSize::Small),
+        Some("default") => Some(WorkloadSize::Default),
+        Some("large") => Some(WorkloadSize::Large),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(args: &[&str]) -> Peekable<std::vec::IntoIter<String>> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .peekable()
+    }
+
+    #[test]
+    fn take_value_consumes_plain_values() {
+        let mut it = stream(&["8", "--next"]);
+        assert_eq!(take_value(&mut it).as_deref(), Some("8"));
+        assert_eq!(it.next().as_deref(), Some("--next"));
+    }
+
+    #[test]
+    fn take_value_leaves_flags_in_place() {
+        let mut it = stream(&["--jobs", "3"]);
+        assert_eq!(take_value(&mut it), None);
+        // The flag is still there for the caller's main loop.
+        assert_eq!(it.next().as_deref(), Some("--jobs"));
+    }
+
+    #[test]
+    fn take_value_handles_end_of_stream() {
+        let mut it = stream(&[]);
+        assert_eq!(take_value(&mut it), None);
+    }
+
+    #[test]
+    fn take_parsed_consumes_bad_values_without_yielding() {
+        let mut it = stream(&["lots", "4"]);
+        assert_eq!(take_parsed::<usize, _>(&mut it), None);
+        // "lots" was consumed as the (bad) value; "4" is a fresh argument.
+        assert_eq!(it.next().as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn take_jobs_clamps_zero() {
+        assert_eq!(take_jobs(&mut stream(&["0"])), Some(1));
+        assert_eq!(take_jobs(&mut stream(&["5"])), Some(5));
+        assert_eq!(take_jobs(&mut stream(&["--top"])), None);
+    }
+
+    #[test]
+    fn take_size_accepts_the_three_names_only() {
+        assert!(matches!(
+            take_size(&mut stream(&["small"])),
+            Some(WorkloadSize::Small)
+        ));
+        assert!(matches!(
+            take_size(&mut stream(&["default"])),
+            Some(WorkloadSize::Default)
+        ));
+        assert!(matches!(
+            take_size(&mut stream(&["large"])),
+            Some(WorkloadSize::Large)
+        ));
+        assert_eq!(take_size(&mut stream(&["tiny"])), None);
+        assert_eq!(take_size(&mut stream(&["--jobs"])), None);
+    }
+}

@@ -50,22 +50,18 @@ fn main() {
     let mut size = WorkloadSize::Default;
     let mut show_report = false;
     let mut jobs = lowutil_par::default_jobs();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--size" => {
-                size = match args.next().as_deref() {
-                    Some("small") => WorkloadSize::Small,
-                    Some("large") => WorkloadSize::Large,
-                    _ => WorkloadSize::Default,
-                }
-            }
+            "--size" => match lowutil_bench::args::take_size(&mut args) {
+                Some(s) => size = s,
+                None => eprintln!("--size needs small|default|large"),
+            },
             "--report" => show_report = true,
-            "--jobs" => {
-                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
-                    jobs = n;
-                }
-            }
+            "--jobs" => match lowutil_bench::args::take_jobs(&mut args) {
+                Some(n) => jobs = n,
+                None => eprintln!("--jobs needs a number"),
+            },
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }

@@ -9,23 +9,44 @@
 //! byte-identical to a sequential `--jobs 1` run apart from the timing
 //! columns.
 //!
+//! Three data sources produce the same tables (only the timing-derived
+//! `O(x)` column differs):
+//!
+//! * live (default) — profile while the VM runs, as the paper does;
+//! * `--record DIR` — run each workload once writing its event trace to
+//!   `DIR/<name>.trace`, then build every graph by replaying the trace;
+//! * `--replay DIR` — never run the VM at all: rebuild every graph from
+//!   the traces a previous `--record` left in `DIR`.
+//!
 //! Usage: `table1 [--size small|default|large] [--slots N ...] [--jobs N]
-//!         [--json PATH]`
+//!         [--json PATH] [--record DIR | --replay DIR]`
 //!
 //! `--json PATH` additionally writes a machine-readable perf baseline
-//! (wall-clock and profiled events/sec per workload) to `PATH`.
+//! (wall-clock and profiled events/sec per workload; in record/replay
+//! modes also record overhead and sequential/sharded replay times) to
+//! `PATH`.
 
 use lowutil_analyses::dead::dead_value_metrics;
-use lowutil_bench::{overhead_factor, run_plain, run_profiled};
+use lowutil_bench::args::{take_jobs, take_size, take_value};
+use lowutil_bench::{overhead_factor, run_plain, run_profiled, run_recorded, run_replayed};
 use lowutil_core::{CostGraphConfig, GraphStats};
-use lowutil_workloads::{map_suite, WorkloadSize};
+use lowutil_vm::TraceReader;
+use lowutil_workloads::{map_suite, Workload, WorkloadSize, NAMES};
 use std::time::{Duration, Instant};
+
+#[derive(Clone, PartialEq)]
+enum Mode {
+    Live,
+    Record(String),
+    Replay(String),
+}
 
 struct Args {
     size: WorkloadSize,
     slots: Vec<u32>,
     jobs: usize,
     json: Option<String>,
+    mode: Mode,
 }
 
 fn parse_args() -> Args {
@@ -34,42 +55,46 @@ fn parse_args() -> Args {
         slots: vec![8, 16],
         jobs: lowutil_par::default_jobs(),
         json: None,
+        mode: Mode::Live,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--size" => {
-                parsed.size = match args.next().as_deref() {
-                    Some("small") => WorkloadSize::Small,
-                    Some("large") => WorkloadSize::Large,
-                    _ => WorkloadSize::Default,
-                }
-            }
+            "--size" => match take_size(&mut args) {
+                Some(s) => parsed.size = s,
+                None => eprintln!("--size needs small|default|large"),
+            },
             "--slots" => {
-                // Peek so a following `--flag` is left for the main loop,
-                // and drop 0 (the context reduction is `g mod s`).
+                // Take every following value (drop 0: the context
+                // reduction is `g mod s`).
                 let mut slots = Vec::new();
-                while let Some(v) = args.peek() {
-                    if v.starts_with("--") {
-                        break;
-                    }
+                while let Some(v) = take_value(&mut args) {
                     if let Ok(s) = v.parse::<u32>() {
                         if s > 0 {
                             slots.push(s);
                         }
                     }
-                    args.next();
                 }
                 if !slots.is_empty() {
                     parsed.slots = slots;
                 }
             }
-            "--jobs" => {
-                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
-                    parsed.jobs = n;
-                }
-            }
-            "--json" => parsed.json = args.next(),
+            "--jobs" => match take_jobs(&mut args) {
+                Some(n) => parsed.jobs = n,
+                None => eprintln!("--jobs needs a number"),
+            },
+            "--json" => match take_value(&mut args) {
+                Some(p) => parsed.json = Some(p),
+                None => eprintln!("--json needs a path"),
+            },
+            "--record" => match take_value(&mut args) {
+                Some(d) => parsed.mode = Mode::Record(d),
+                None => eprintln!("--record needs a directory"),
+            },
+            "--replay" => match take_value(&mut args) {
+                Some(d) => parsed.mode = Mode::Replay(d),
+                None => eprintln!("--replay needs a directory"),
+            },
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
@@ -80,11 +105,14 @@ fn parse_args() -> Args {
 struct Row {
     name: &'static str,
     t_plain: Duration,
-    /// One `(stats, profiled wall-clock)` per requested slot setting.
+    /// One `(stats, wall-clock)` per requested slot setting: profiled
+    /// runs in live mode, sequential replays otherwise.
     per_slot: Vec<(GraphStats, Duration)>,
-    /// Default-config profiled run, reused for part (c) and the JSON
-    /// baseline.
+    /// Time to produce the default-config graph in the current mode
+    /// (profiled run, or sequential replay).
     t_profiled: Duration,
+    /// Recording overhead run (record mode only).
+    t_record: Option<Duration>,
     instructions: u64,
     ipd: f64,
     ipp: f64,
@@ -99,40 +127,118 @@ fn size_name(size: WorkloadSize) -> &'static str {
     }
 }
 
+fn trace_path(dir: &str, name: &str) -> String {
+    format!("{dir}/{name}.trace")
+}
+
+fn slot_config(s: u32) -> CostGraphConfig {
+    CostGraphConfig {
+        slots: s,
+        ..CostGraphConfig::default()
+    }
+}
+
+/// Live-mode row: the paper's methodology, profiling while the VM runs.
+fn live_row(w: &Workload, slot_settings: &[u32]) -> Row {
+    let (_, t_plain) = run_plain(&w.program);
+    let per_slot = slot_settings
+        .iter()
+        .map(|&s| {
+            let (graph, _, t_prof) = run_profiled(&w.program, slot_config(s));
+            (GraphStats::of(&graph), t_prof)
+        })
+        .collect();
+    let (graph, out, t_profiled) = run_profiled(&w.program, CostGraphConfig::default());
+    let m = dead_value_metrics(&graph, out.instructions_executed);
+    Row {
+        name: w.name,
+        t_plain,
+        per_slot,
+        t_profiled,
+        t_record: None,
+        instructions: out.instructions_executed,
+        ipd: m.ipd,
+        ipp: m.ipp,
+        nld: m.nld,
+    }
+}
+
+/// Replay-backed row: every graph is rebuilt from `trace` by sequential
+/// replay. The graphs (and hence every non-timing column) are identical
+/// to the live row's.
+fn trace_row(w: &Workload, trace: &[u8], slot_settings: &[u32], t_record: Option<Duration>) -> Row {
+    let (_, t_plain) = run_plain(&w.program);
+    let per_slot = slot_settings
+        .iter()
+        .map(|&s| {
+            let (graph, t) = run_replayed(&w.program, slot_config(s), trace, 1);
+            (GraphStats::of(&graph), t)
+        })
+        .collect();
+    let (graph, t_profiled) = run_replayed(&w.program, CostGraphConfig::default(), trace, 1);
+    let instructions = TraceReader::new(trace)
+        .expect("recorded trace parses")
+        .trailer()
+        .instructions;
+    let m = dead_value_metrics(&graph, instructions);
+    Row {
+        name: w.name,
+        t_plain,
+        per_slot,
+        t_profiled,
+        t_record,
+        instructions,
+        ipd: m.ipd,
+        ipp: m.ipp,
+        nld: m.nld,
+    }
+}
+
+fn read_trace(dir: &str, name: &str) -> Vec<u8> {
+    let path = trace_path(dir, name);
+    std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path} (did a --record run create it?): {e}"))
+}
+
 fn main() {
     let args = parse_args();
     let wall = Instant::now();
 
+    if let Mode::Record(dir) = &args.mode {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    }
+
     // One pool task per benchmark computes every measurement Table 1
-    // needs for it: the plain-run baseline, one profiled run per slot
-    // setting, and the default-config run behind part (c).
+    // needs for it: the plain-run baseline, one graph per slot setting,
+    // and the default-config graph behind part (c).
     let slot_settings = args.slots.clone();
-    let rows: Vec<Row> = map_suite(args.size, args.jobs, |w| {
-        let (_, t_plain) = run_plain(&w.program);
-        let per_slot = slot_settings
-            .iter()
-            .map(|&s| {
-                let config = CostGraphConfig {
-                    slots: s,
-                    ..CostGraphConfig::default()
-                };
-                let (graph, _, t_prof) = run_profiled(&w.program, config);
-                (GraphStats::of(&graph), t_prof)
-            })
-            .collect();
-        let (graph, out, t_profiled) = run_profiled(&w.program, CostGraphConfig::default());
-        let m = dead_value_metrics(&graph, out.instructions_executed);
-        Row {
-            name: w.name,
-            t_plain,
-            per_slot,
-            t_profiled,
-            instructions: out.instructions_executed,
-            ipd: m.ipd,
-            ipp: m.ipp,
-            nld: m.nld,
+    let mode = args.mode.clone();
+    let rows: Vec<Row> = map_suite(args.size, args.jobs, |w| match &mode {
+        Mode::Live => live_row(&w, &slot_settings),
+        Mode::Record(dir) => {
+            let (_, trace, _, t_record) = run_recorded(&w.program);
+            let path = trace_path(dir, w.name);
+            std::fs::write(&path, &trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            trace_row(&w, &trace, &slot_settings, Some(t_record))
         }
+        Mode::Replay(dir) => trace_row(&w, &read_trace(dir, w.name), &slot_settings, None),
     });
+
+    // Sharded replay timing: sequential post-pass so the measurement is
+    // not perturbed by the suite pool's own workers.
+    let shard_times: Vec<(&'static str, Duration)> = match &args.mode {
+        Mode::Live => Vec::new(),
+        Mode::Record(dir) | Mode::Replay(dir) => NAMES
+            .iter()
+            .map(|&name| {
+                let trace = read_trace(dir, name);
+                let w = lowutil_workloads::workload(name, args.size);
+                let (_, t) =
+                    run_replayed(&w.program, CostGraphConfig::default(), &trace, args.jobs);
+                (name, t)
+            })
+            .collect(),
+    };
 
     for (si, &s) in args.slots.iter().enumerate() {
         println!(
@@ -179,21 +285,27 @@ fn main() {
     // Phase-limited tracking: the paper reports 5–10× overhead reduction
     // for the trade benchmarks when only the load phase is tracked.
     let phase_names = vec!["tradebeans", "tradesoap", "eclipse", "derby"];
+    let phase_mode = args.mode.clone();
     let phase_rows = lowutil_par::par_map(args.jobs, phase_names, |name| {
         let w = lowutil_workloads::workload(name, args.size);
-        let full = run_profiled(&w.program, CostGraphConfig::default());
-        let phased = run_profiled(
-            &w.program,
-            CostGraphConfig {
-                phase_limited: true,
-                ..CostGraphConfig::default()
-            },
-        );
-        (
-            name,
-            full.0.instr_instances().max(1),
-            phased.0.instr_instances().max(1),
-        )
+        let phased_config = CostGraphConfig {
+            phase_limited: true,
+            ..CostGraphConfig::default()
+        };
+        let (full_i, phased_i) = match &phase_mode {
+            Mode::Live => {
+                let full = run_profiled(&w.program, CostGraphConfig::default());
+                let phased = run_profiled(&w.program, phased_config);
+                (full.0.instr_instances(), phased.0.instr_instances())
+            }
+            Mode::Record(dir) | Mode::Replay(dir) => {
+                let trace = read_trace(dir, name);
+                let full = run_replayed(&w.program, CostGraphConfig::default(), &trace, 1);
+                let phased = run_replayed(&w.program, phased_config, &trace, 1);
+                (full.0.instr_instances(), phased.0.instr_instances())
+            }
+        };
+        (name, full_i.max(1), phased_i.max(1))
     });
     println!("=== phase-limited tracking (steady-state only) ===");
     println!(
@@ -212,19 +324,32 @@ fn main() {
 
     // Abstract vs concrete graph growth (the §4.1 N-vs-I discussion).
     let nvi_names = vec!["chart", "jython", "sunflow"];
+    let nvi_mode = args.mode.clone();
     let nvi_rows = lowutil_par::par_map(args.jobs, nvi_names, |name| {
         let w = lowutil_workloads::workload(name, args.size);
-        let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
         let mut conc = lowutil_core::ConcreteProfiler::new(lowutil_core::SlicingMode::Thin);
-        lowutil_vm::Vm::new(&w.program)
-            .run(&mut conc)
-            .expect("concrete profiling runs");
+        let (stats, instructions) = match &nvi_mode {
+            Mode::Live => {
+                let (graph, out, _) = run_profiled(&w.program, CostGraphConfig::default());
+                lowutil_vm::Vm::new(&w.program)
+                    .run(&mut conc)
+                    .expect("concrete profiling runs");
+                (GraphStats::of(&graph), out.instructions_executed)
+            }
+            Mode::Record(dir) | Mode::Replay(dir) => {
+                let trace = read_trace(dir, name);
+                let (graph, _) = run_replayed(&w.program, CostGraphConfig::default(), &trace, 1);
+                let reader = TraceReader::new(&trace).expect("recorded trace parses");
+                let mut sink = lowutil_vm::TracerSink(&mut conc);
+                reader.replay(&mut sink).expect("recorded trace replays");
+                (GraphStats::of(&graph), reader.trailer().instructions)
+            }
+        };
         let cg = conc.finish();
-        let stats = GraphStats::of(&graph);
         (
             name,
             stats.nodes,
-            out.instructions_executed,
+            instructions,
             stats.abstraction_ratio(),
             cg.approx_bytes(),
         )
@@ -247,7 +372,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let json = baseline_json(&args, &rows, wall.elapsed());
+        let json = baseline_json(&args, &rows, &shard_times, wall.elapsed());
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote perf baseline to {path}"),
             Err(e) => {
@@ -258,28 +383,52 @@ fn main() {
     }
 }
 
+fn mode_name(mode: &Mode) -> &'static str {
+    match mode {
+        Mode::Live => "live",
+        Mode::Record(_) => "record",
+        Mode::Replay(_) => "replay",
+    }
+}
+
 /// Renders the machine-readable perf baseline. Serde is not available
 /// offline, so the (flat, fixed-shape) document is formatted by hand.
-fn baseline_json(args: &Args, rows: &[Row], total: Duration) -> String {
+fn baseline_json(
+    args: &Args,
+    rows: &[Row],
+    shard_times: &[(&'static str, Duration)],
+    total: Duration,
+) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"size\": \"{}\",\n", size_name(args.size)));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", mode_name(&args.mode)));
     s.push_str(&format!("  \"jobs\": {},\n", args.jobs));
-    s.push_str(&format!(
-        "  \"total_wall_ms\": {:.3},\n",
-        total.as_secs_f64() * 1e3
-    ));
+    s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", ms(total)));
     s.push_str("  \"workloads\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let events_per_sec = row.instructions as f64 / row.t_profiled.as_secs_f64().max(1e-9);
+        let mut extra = String::new();
+        if let Some(t) = row.t_record {
+            extra.push_str(&format!(", \"record_ms\": {:.3}", ms(t)));
+        }
+        if args.mode != Mode::Live {
+            // t_profiled is the sequential replay in record/replay mode.
+            extra.push_str(&format!(", \"replay_ms\": {:.3}", ms(row.t_profiled)));
+        }
+        if let Some((_, t)) = shard_times.iter().find(|(n, _)| *n == row.name) {
+            extra.push_str(&format!(", \"shard_replay_ms\": {:.3}", ms(*t)));
+        }
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"plain_ms\": {:.3}, \"profiled_ms\": {:.3}, \
-             \"instructions\": {}, \"events_per_sec\": {:.0}}}{}\n",
+             \"instructions\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
             row.name,
-            row.t_plain.as_secs_f64() * 1e3,
-            row.t_profiled.as_secs_f64() * 1e3,
+            ms(row.t_plain),
+            ms(row.t_profiled),
             row.instructions,
             events_per_sec,
+            extra,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

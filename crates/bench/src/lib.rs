@@ -10,9 +10,12 @@
 //! * `figure_examples` — walks through the paper's explanatory figures
 //!   (1, 2a–c, 3, 6) on their original example programs.
 
+pub mod args;
+
 use lowutil_core::{CostGraph, CostGraphConfig, CostProfiler};
 use lowutil_ir::Program;
-use lowutil_vm::{NullTracer, RunOutcome, Trap, Vm};
+use lowutil_vm::trace::TraceStats;
+use lowutil_vm::{NullTracer, RunOutcome, SinkTracer, TraceReader, TraceWriter, Trap, Vm};
 use std::time::{Duration, Instant};
 
 /// Runs `program` uninstrumented, returning the outcome and wall time.
@@ -45,6 +48,44 @@ pub fn run_profiled(
     (profiler.finish(), out, elapsed)
 }
 
+/// Runs `program` while recording its event trace to memory, returning
+/// the outcome, the trace bytes, the writer's statistics, and wall time.
+/// The wall time measures *recording* overhead (no profiler attached).
+///
+/// # Panics
+/// Panics if the program traps or the in-memory writer fails.
+pub fn run_recorded(program: &Program) -> (RunOutcome, Vec<u8>, TraceStats, Duration) {
+    let mut tracer = SinkTracer(TraceWriter::new(Vec::new()));
+    let start = Instant::now();
+    let out = Vm::new(program)
+        .run(&mut tracer)
+        .expect("benchmark runs cleanly while recording");
+    let elapsed = start.elapsed();
+    let (bytes, stats) = tracer.0.finish().expect("in-memory trace write succeeds");
+    (out, bytes, stats, elapsed)
+}
+
+/// Rebuilds `G_cost` from recorded trace bytes on `jobs` workers (1 =
+/// sequential replay), returning the graph and wall time. The timing
+/// includes trace parsing, so it is comparable to "profile this recorded
+/// run from scratch".
+///
+/// # Panics
+/// Panics on a malformed trace — recorded benches are expected to be
+/// well-formed.
+pub fn run_replayed(
+    program: &Program,
+    config: CostGraphConfig,
+    trace: &[u8],
+    jobs: usize,
+) -> (CostGraph, Duration) {
+    let start = Instant::now();
+    let reader = TraceReader::new(trace).expect("recorded trace parses");
+    let graph =
+        lowutil_par::replay_gcost(program, config, &reader, jobs).expect("recorded trace replays");
+    (graph, start.elapsed())
+}
+
 /// Profiles with a safe minimum-duration baseline: overhead factor
 /// `tracked / untracked`, with sub-microsecond baselines clamped.
 pub fn overhead_factor(tracked: Duration, untracked: Duration) -> f64 {
@@ -74,6 +115,22 @@ mod tests {
         let (graph, out_prof, _) = run_profiled(&w.program, CostGraphConfig::default());
         assert_eq!(out_plain.output, out_prof.output);
         assert!(graph.graph().num_nodes() > 0);
+    }
+
+    #[test]
+    fn record_replay_round_trip_matches_live() {
+        let w = workload("fop", WorkloadSize::Small);
+        let (graph_live, out_live, _) = run_profiled(&w.program, CostGraphConfig::default());
+        let (out_rec, trace, stats, _) = run_recorded(&w.program);
+        assert_eq!(out_live.output, out_rec.output);
+        assert_eq!(stats.instructions, out_rec.instructions_executed);
+        let (graph_replay, _) = run_replayed(&w.program, CostGraphConfig::default(), &trace, 4);
+        let bytes = |g: &CostGraph| {
+            let mut buf = Vec::new();
+            lowutil_core::write_cost_graph(g, &mut buf).unwrap();
+            buf
+        };
+        assert_eq!(bytes(&graph_live), bytes(&graph_replay));
     }
 
     #[test]

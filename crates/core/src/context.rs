@@ -116,6 +116,20 @@ impl ConflictStats {
             .insert(g);
     }
 
+    /// Unions another statistics table into this one (used when merging
+    /// replay shards). The distinct-chain sets per `(instr, slot)` union,
+    /// so the result is identical to having recorded both streams into
+    /// one table, in any order.
+    pub fn merge(&mut self, other: ConflictStats) {
+        for (instr, slots) in other.seen {
+            let entry = self.seen.entry(instr).or_default();
+            for (slot, gs) in slots {
+                entry.entry(slot).or_default().extend(gs);
+            }
+        }
+        self.last = None;
+    }
+
     /// CR for one instruction, if it was ever recorded.
     pub fn cr_of(&self, instr: InstrId) -> Option<f64> {
         let slots = self.seen.get(&instr)?;

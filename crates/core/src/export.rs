@@ -88,7 +88,22 @@ fn parse_kind(tok: &str) -> Option<NodeKind> {
     })
 }
 
+/// The total order serialization uses: nodes sort by `(instr, elem)`,
+/// with `NoCtx` ranking before any context slot.
+fn elem_rank(e: CostElem) -> u64 {
+    match e {
+        CostElem::NoCtx => 0,
+        CostElem::Ctx(s) => u64::from(s) + 1,
+    }
+}
+
 /// Writes a finished graph to the compact text format.
+///
+/// The output is *canonical*: nodes are sorted by `(method, pc, elem)`
+/// and renumbered, and edge/reference-edge records are sorted, so two
+/// graphs with the same abstract content serialize to identical bytes
+/// regardless of construction order. This is what makes "live == replayed
+/// == shard-merged" checkable by byte comparison.
 ///
 /// # Errors
 /// Propagates I/O errors from the writer.
@@ -101,7 +116,18 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
         gcost.shadow_heap_bytes()
     )?;
     let g = gcost.graph();
-    for (id, n) in g.iter() {
+    let mut order: Vec<NodeId> = g.node_ids().collect();
+    order.sort_unstable_by_key(|&id| {
+        let n = g.node(id);
+        (n.instr.method.0, n.instr.pc, elem_rank(n.elem))
+    });
+    // old id -> canonical id
+    let mut canon = vec![0u32; g.num_nodes()];
+    for (new, &old) in order.iter().enumerate() {
+        canon[old.index()] = new as u32;
+    }
+    for (new, &old) in order.iter().enumerate() {
+        let n = g.node(old);
         let elem = match n.elem {
             CostElem::Ctx(s) => format!("c{s}"),
             CostElem::NoCtx => "-".to_string(),
@@ -109,7 +135,7 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
         writeln!(
             w,
             "node {} {} {} {} {} {}",
-            id.0,
+            new,
             n.instr.method.0,
             n.instr.pc,
             elem,
@@ -117,16 +143,30 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
             n.freq
         )?;
     }
-    for id in g.node_ids() {
-        for &s in g.succs(id) {
-            writeln!(w, "edge {} {}", id.0, s.0)?;
-        }
+    let canon = &canon;
+    let mut edges: Vec<(u32, u32)> = g
+        .node_ids()
+        .flat_map(|id| {
+            g.succs(id)
+                .iter()
+                .map(move |&s| (canon[id.index()], canon[s.index()]))
+        })
+        .collect();
+    edges.sort_unstable();
+    for (a, b) in edges {
+        writeln!(w, "edge {a} {b}")?;
     }
-    for (s, a) in gcost.ref_edges() {
-        writeln!(w, "refedge {} {}", s.0, a.0)?;
+    let mut ref_edges: Vec<(u32, u32)> = gcost
+        .ref_edges()
+        .map(|(s, a)| (canon[s.index()], canon[a.index()]))
+        .collect();
+    ref_edges.sort_unstable();
+    for (s, a) in ref_edges {
+        writeln!(w, "refedge {s} {a}")?;
     }
-    for id in g.node_ids() {
-        if let Some(e) = gcost.effect(id) {
+    for &old in &order {
+        let id = NodeId(canon[old.index()]);
+        if let Some(e) = gcost.effect(old) {
             match e {
                 HeapEffect::Alloc { site } => {
                     writeln!(w, "effect {} alloc {} {}", id.0, site.site.0, site.slot)?

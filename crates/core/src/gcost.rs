@@ -29,7 +29,7 @@ use crate::dense::{DenseDomain, DenseInterner, InstrIndexer};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::graph::{DepGraph, NodeId, NodeKind};
 use lowutil_ir::{AllocSiteId, FieldId, InstrId, Local, StaticId, Value};
-use lowutil_vm::{Event, FrameInfo, ShadowHeap, ShadowStack, Tracer};
+use lowutil_vm::{Event, EventSink, FrameInfo, ShadowHeap, ShadowStack, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -173,9 +173,15 @@ impl Default for CostGraphConfig {
     }
 }
 
-/// Builds `G_cost` online while the VM runs. See the module docs.
+/// Builds `G_cost` from an instruction-event *stream* — it does not care
+/// whether events come from a live VM run or from a replayed trace.
+///
+/// This is the pure pipeline stage behind [`CostProfiler`]: it implements
+/// [`EventSink`], so it can terminate a replay pipeline directly
+/// (`TraceReader::replay(&mut builder)`), while [`CostProfiler`] adapts it
+/// to the VM's [`Tracer`] hook for live profiling.
 #[derive(Debug)]
-pub struct CostProfiler {
+pub struct GraphBuilder {
     config: CostGraphConfig,
     graph: DepGraph<CostElem>,
     shadow_stack: ShadowStack<Option<NodeId>>,
@@ -205,35 +211,47 @@ pub struct CostProfiler {
     dense: Option<DenseInterner>,
 }
 
-impl CostProfiler {
-    /// Creates a profiler. The `program` is consulted only for static
-    /// control-dependence tables when
-    /// [`CostGraphConfig::control_edges`] is set; the profiler otherwise
-    /// consumes VM events alone.
-    pub fn new(program: &lowutil_ir::Program, config: CostGraphConfig) -> Self {
-        let mut control_deps = FxHashMap::default();
-        if config.control_edges {
-            for (mi, method) in program.methods().iter().enumerate() {
-                let cfg = lowutil_ir::Cfg::build(method);
-                let deps = cfg.control_dependencies();
-                for (pc, branches) in deps.into_iter().enumerate() {
-                    if branches.is_empty() {
-                        continue;
-                    }
-                    let mid = lowutil_ir::MethodId(mi as u32);
-                    control_deps.insert(
-                        InstrId::new(mid, pc as u32),
-                        branches.into_iter().map(|b| InstrId::new(mid, b)).collect(),
-                    );
+/// Builds the static control-dependence table consulted under
+/// [`CostGraphConfig::control_edges`]. Shared by the live builder and the
+/// per-shard replay builders so every construction path sees identical
+/// control edges.
+pub(crate) fn build_control_deps(
+    program: &lowutil_ir::Program,
+    config: &CostGraphConfig,
+) -> FxHashMap<InstrId, Vec<InstrId>> {
+    let mut control_deps = FxHashMap::default();
+    if config.control_edges {
+        for (mi, method) in program.methods().iter().enumerate() {
+            let cfg = lowutil_ir::Cfg::build(method);
+            let deps = cfg.control_dependencies();
+            for (pc, branches) in deps.into_iter().enumerate() {
+                if branches.is_empty() {
+                    continue;
                 }
+                let mid = lowutil_ir::MethodId(mi as u32);
+                control_deps.insert(
+                    InstrId::new(mid, pc as u32),
+                    branches.into_iter().map(|b| InstrId::new(mid, b)).collect(),
+                );
             }
         }
+    }
+    control_deps
+}
+
+impl GraphBuilder {
+    /// Creates a builder. The `program` is consulted only for static
+    /// control-dependence tables when
+    /// [`CostGraphConfig::control_edges`] is set; the builder otherwise
+    /// consumes the event stream alone.
+    pub fn new(program: &lowutil_ir::Program, config: CostGraphConfig) -> Self {
+        let control_deps = build_control_deps(program, &config);
         let indexer = InstrIndexer::new(program);
         let dense = config.dense_interning.then(|| {
             // |D| = s context slots + NoCtx.
             DenseInterner::new(indexer.num_instrs(), config.slots as usize + 1)
         });
-        CostProfiler {
+        GraphBuilder {
             config,
             graph: DepGraph::new(),
             shadow_stack: ShadowStack::new(),
@@ -337,43 +355,22 @@ impl CostProfiler {
         }
     }
 
-    /// Consumes the profiler, producing the analysis-ready [`CostGraph`].
+    /// Consumes the builder, producing the analysis-ready [`CostGraph`].
     pub fn finish(self) -> CostGraph {
-        let mut field_writes: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
-        let mut field_reads: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
-        for (i, eff) in self.effects.iter().enumerate() {
-            let n = NodeId(i as u32);
-            match *eff {
-                Some(HeapEffect::Store { site, field }) => {
-                    field_writes.entry((site, field)).or_default().push(n)
-                }
-                Some(HeapEffect::Load { site, field }) => {
-                    field_reads.entry((site, field)).or_default().push(n)
-                }
-                _ => {}
-            }
-        }
-        for v in field_writes.values_mut().chain(field_reads.values_mut()) {
-            v.sort_unstable();
-            v.dedup();
-        }
-        CostGraph {
-            shadow_heap_bytes: self.shadow_heap.approx_bytes(),
-            graph: self.graph,
-            ref_edges: self.ref_edges,
-            effects: self.effects,
-            alloc_nodes: self.alloc_nodes,
-            points_to: self.points_to,
-            field_writes,
-            field_reads,
-            conflicts: self.conflicts,
-            instr_instances: self.instr_instances,
-        }
+        CostGraph::assemble(
+            self.graph,
+            self.ref_edges,
+            self.effects,
+            self.alloc_nodes,
+            self.points_to,
+            self.conflicts,
+            self.instr_instances,
+            self.shadow_heap.approx_bytes(),
+        )
     }
-}
 
-impl Tracer for CostProfiler {
-    fn instr(&mut self, event: &Event) {
+    /// Consumes one instruction event (the Figure 4 semantics).
+    pub fn event(&mut self, event: &Event) {
         if let Event::Phase { begin, .. } = event {
             if self.config.phase_limited {
                 self.armed = *begin;
@@ -594,7 +591,8 @@ impl Tracer for CostProfiler {
         }
     }
 
-    fn frame_push(&mut self, info: &FrameInfo) {
+    /// Consumes a frame push (rule METHOD ENTRY).
+    pub fn frame_push(&mut self, info: &FrameInfo) {
         let receiver_site = info
             .receiver
             .and_then(|o| self.shadow_heap.tag(o))
@@ -610,9 +608,59 @@ impl Tracer for CostProfiler {
         self.pending_args.clear();
     }
 
-    fn frame_pop(&mut self) {
+    /// Consumes a frame pop.
+    pub fn frame_pop(&mut self) {
         self.shadow_stack.pop();
         self.contexts.pop();
+    }
+}
+
+impl EventSink for GraphBuilder {
+    fn event(&mut self, event: &Event) {
+        GraphBuilder::event(self, event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        GraphBuilder::frame_push(self, info);
+    }
+
+    fn frame_pop(&mut self) {
+        GraphBuilder::frame_pop(self);
+    }
+}
+
+/// Builds `G_cost` online while the VM runs: the [`Tracer`]-facing
+/// adapter over [`GraphBuilder`]. See the module docs.
+#[derive(Debug)]
+pub struct CostProfiler {
+    builder: GraphBuilder,
+}
+
+impl CostProfiler {
+    /// Creates a profiler; see [`GraphBuilder::new`].
+    pub fn new(program: &lowutil_ir::Program, config: CostGraphConfig) -> Self {
+        CostProfiler {
+            builder: GraphBuilder::new(program, config),
+        }
+    }
+
+    /// Consumes the profiler, producing the analysis-ready [`CostGraph`].
+    pub fn finish(self) -> CostGraph {
+        self.builder.finish()
+    }
+}
+
+impl Tracer for CostProfiler {
+    fn instr(&mut self, event: &Event) {
+        self.builder.event(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.builder.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.builder.frame_pop();
     }
 }
 
@@ -634,6 +682,53 @@ pub struct CostGraph {
 }
 
 impl CostGraph {
+    /// Assembles the finished artifact from builder state, deriving the
+    /// field read/write indexes from the effects table. Used by both the
+    /// sequential [`GraphBuilder::finish`] and the shard merge, so every
+    /// construction path produces structurally identical results.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        graph: DepGraph<CostElem>,
+        ref_edges: FxHashSet<(NodeId, NodeId)>,
+        effects: Vec<Option<HeapEffect>>,
+        alloc_nodes: FxHashMap<TaggedSite, NodeId>,
+        points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
+        conflicts: ConflictStats,
+        instr_instances: u64,
+        shadow_heap_bytes: usize,
+    ) -> CostGraph {
+        let mut field_writes: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        let mut field_reads: FxHashMap<(TaggedSite, FieldKey), Vec<NodeId>> = FxHashMap::default();
+        for (i, eff) in effects.iter().enumerate() {
+            let n = NodeId(i as u32);
+            match *eff {
+                Some(HeapEffect::Store { site, field }) => {
+                    field_writes.entry((site, field)).or_default().push(n)
+                }
+                Some(HeapEffect::Load { site, field }) => {
+                    field_reads.entry((site, field)).or_default().push(n)
+                }
+                _ => {}
+            }
+        }
+        for v in field_writes.values_mut().chain(field_reads.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CostGraph {
+            graph,
+            ref_edges,
+            effects,
+            alloc_nodes,
+            points_to,
+            field_writes,
+            field_reads,
+            conflicts,
+            instr_instances,
+            shadow_heap_bytes,
+        }
+    }
+
     /// Reassembles a cost graph from its serialized parts (see
     /// [`crate::export`]); field read/write indexes and the allocation-node
     /// table are rebuilt from the effects. The std-hashed parameter types
@@ -771,11 +866,16 @@ impl CostGraph {
     }
 
     /// Approximate dependence-graph memory in bytes (column `M`).
+    ///
+    /// Computed from graph *content* (node/edge/effect counts), never
+    /// from allocation capacities, so the number is identical however the
+    /// graph was built — live, replayed, or merged from shards.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
+        let effect_count = self.effects.iter().flatten().count();
         self.graph.approx_bytes()
             + self.ref_edges.len() * (size_of::<(NodeId, NodeId)>() + 16)
-            + self.effects.capacity() * size_of::<Option<HeapEffect>>()
+            + effect_count * size_of::<Option<HeapEffect>>()
     }
 
     /// Approximate shadow-heap memory at the end of the run (reported

@@ -163,6 +163,12 @@ impl<D: Clone + Eq + Hash> DepGraph<D> {
         self.nodes[node.index()].freq = freq;
     }
 
+    /// Adds `delta` to a node's execution frequency (used when merging
+    /// shard graphs: frequencies of the same abstract node sum).
+    pub fn add_freq(&mut self, node: NodeId, delta: u64) {
+        self.nodes[node.index()].freq += delta;
+    }
+
     /// Adds a def-use edge `from → to` (idempotent).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
         if self.last_edge == Some((from, to)) {
@@ -220,13 +226,16 @@ impl<D: Clone + Eq + Hash> DepGraph<D> {
     /// column reports graph memory, excluding the shadow heap).
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        let node_bytes = self.nodes.capacity() * size_of::<Node<D>>();
+        // Count content (lengths), not allocation capacities: the figure
+        // must not depend on construction history, so a graph merged from
+        // replay shards reports exactly what a live-built one does.
+        let node_bytes = self.nodes.len() * size_of::<Node<D>>();
         let index_bytes = self.index.len() * (size_of::<(InstrId, D)>() + size_of::<NodeId>() + 16);
         let adj_bytes: usize = self
             .succs
             .iter()
             .chain(self.preds.iter())
-            .map(|v| v.capacity() * size_of::<NodeId>())
+            .map(|v| v.len() * size_of::<NodeId>())
             .sum();
         let edge_bytes = self.edge_set.len() * (size_of::<(NodeId, NodeId)>() + 16);
         node_bytes + index_bytes + adj_bytes + edge_bytes

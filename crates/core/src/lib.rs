@@ -57,6 +57,7 @@ pub mod export;
 pub mod fx;
 pub mod gcost;
 pub mod graph;
+pub mod shard;
 pub mod slicer;
 pub mod stats;
 
@@ -67,7 +68,9 @@ pub use domain::{AbstractDomain, AbstractProfiler};
 pub use export::{read_cost_graph, write_cost_graph, write_dot};
 pub use fx::{FxHashMap, FxHashSet};
 pub use gcost::{
-    CostElem, CostGraph, CostGraphConfig, CostProfiler, FieldKey, HeapEffect, TaggedSite,
+    CostElem, CostGraph, CostGraphConfig, CostProfiler, FieldKey, GraphBuilder, HeapEffect,
+    TaggedSite,
 };
 pub use graph::{DepGraph, Node, NodeId, NodeKind};
+pub use shard::{replay_cost_graph, sharded_replay_sequential, ShardContext, ShardGraph};
 pub use stats::GraphStats;

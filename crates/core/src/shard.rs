@@ -1,0 +1,1210 @@
+//! Segment-parallel construction of `G_cost` from a recorded trace.
+//!
+//! A trace (see `lowutil_vm::trace`) is framed into segments at
+//! frame-push boundaries, each carrying a prologue describing the live
+//! shadow stack. This module builds one *shard graph* per segment,
+//! independently and in parallel, then merges the shards into a
+//! [`CostGraph`] that is **byte-identical** (under the canonical
+//! serialization in [`crate::export`]) to the graph a sequential
+//! [`GraphBuilder`](crate::GraphBuilder) run produces. Determinism falls out of the abstract
+//! domain: nodes are keyed by `(InstrId, CostElem)`, not arrival order,
+//! so shard union is just intern + frequency-sum + edge-union.
+//!
+//! The only cross-segment information a shard cannot reconstruct locally
+//! is (a) the allocation-site tag and allocation-time context of objects
+//! allocated in *earlier* segments, and (b) the defining node of shadow
+//! locations last written in earlier segments. (a) is solved by two cheap
+//! parallel prescan passes that build a global object table
+//! ([`scan_alloc_sites`] / [`scan_alloc_contexts`]); (b) is solved
+//! *symbolically*: a shard records a read of a location it never wrote as
+//! [`Loc`]-labelled external edge, and records its final write to every
+//! location, so the sequential merge can resolve each shard's external
+//! reads against the accumulated writes of all earlier shards.
+
+use crate::context::{extend_context, slot_of, ConflictStats, EMPTY_CONTEXT};
+use crate::dense::{DenseInterner, InstrIndexer};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::gcost::{
+    build_control_deps, CostElem, CostGraph, CostGraphConfig, FieldKey, HeapEffect, TaggedSite,
+};
+use crate::graph::{DepGraph, NodeId, NodeKind};
+use lowutil_ir::{AllocSiteId, InstrId, Local, ObjectId, Program, StaticId};
+use lowutil_vm::trace::{PrologueFrame, Segment, TraceError, TraceReader};
+use lowutil_vm::{Event, EventSink, FrameInfo};
+
+/// What the prescan learns about one heap object: everything a shard
+/// needs to reconstruct `shadow_heap.tag(o)` without having seen the
+/// allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectInfo {
+    /// The allocation site.
+    pub site: AllocSiteId,
+    /// The encoded context chain `g` at allocation time.
+    pub g: u64,
+    /// Whether the allocation executed inside a phase window. Under
+    /// [`CostGraphConfig::phase_limited`] an out-of-phase allocation is
+    /// untagged, exactly as the live profiler leaves it.
+    pub in_phase: bool,
+}
+
+/// Sequentially replays a whole trace through a fresh [`GraphBuilder`](crate::GraphBuilder) —
+/// the single-threaded replay path, and the reference the sharded path
+/// is tested against.
+///
+/// # Errors
+/// Fails on a malformed trace.
+pub fn replay_cost_graph(
+    program: &Program,
+    config: CostGraphConfig,
+    reader: &TraceReader<'_>,
+) -> Result<CostGraph, TraceError> {
+    let mut builder = crate::gcost::GraphBuilder::new(program, config);
+    reader.replay(&mut builder)?;
+    Ok(builder.finish())
+}
+
+// ---------------------------------------------------------------------------
+// prescan passes
+// ---------------------------------------------------------------------------
+
+/// Prescan pass A (config-independent, parallel per segment): which
+/// object ids were allocated at which site, and whether the allocation
+/// was inside a phase window.
+///
+/// # Errors
+/// Fails on a malformed segment.
+pub fn scan_alloc_sites(
+    seg: &Segment<'_>,
+) -> Result<Vec<(ObjectId, AllocSiteId, bool)>, TraceError> {
+    struct Scan {
+        in_phase: bool,
+        out: Vec<(ObjectId, AllocSiteId, bool)>,
+    }
+    impl EventSink for Scan {
+        fn event(&mut self, e: &Event) {
+            match e {
+                Event::Phase { begin, .. } => self.in_phase = *begin,
+                Event::Alloc { object, site, .. } => self.out.push((*object, *site, self.in_phase)),
+                _ => {}
+            }
+        }
+    }
+    let mut s = Scan {
+        in_phase: seg.prologue().in_phase,
+        out: Vec::new(),
+    };
+    seg.replay(&mut s)?;
+    Ok(s.out)
+}
+
+/// Assembles pass A's per-segment results into a dense
+/// `object → (site, in_phase)` table.
+pub fn build_site_table(
+    per_segment: &[Vec<(ObjectId, AllocSiteId, bool)>],
+) -> Vec<Option<(AllocSiteId, bool)>> {
+    let max = per_segment
+        .iter()
+        .flatten()
+        .map(|(o, ..)| o.index())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut table = vec![None; max];
+    for &(o, site, in_phase) in per_segment.iter().flatten() {
+        table[o.index()] = Some((site, in_phase));
+    }
+    table
+}
+
+/// The tag the live profiler's shadow heap carries for `o`: its site,
+/// but only if the allocation was armed when it executed.
+fn site_of(
+    table: &[Option<(AllocSiteId, bool)>],
+    phase_limited: bool,
+    o: ObjectId,
+) -> Option<AllocSiteId> {
+    let (site, in_phase) = (*table.get(o.index())?)?;
+    if phase_limited && !in_phase {
+        return None;
+    }
+    Some(site)
+}
+
+/// Rebuilds the context stack a segment starts under by folding the
+/// prologue's receiver chain, outermost frame first.
+fn seed_contexts(
+    frames: &[PrologueFrame],
+    mut receiver_site: impl FnMut(ObjectId) -> Option<AllocSiteId>,
+) -> Vec<u64> {
+    let mut gs: Vec<u64> = Vec::with_capacity(frames.len());
+    for f in frames {
+        let parent = gs.last().copied().unwrap_or(EMPTY_CONTEXT);
+        let g = match f.receiver.and_then(&mut receiver_site) {
+            Some(site) => extend_context(parent, site),
+            None => parent,
+        };
+        gs.push(g);
+    }
+    gs
+}
+
+/// Prescan pass B (parallel per segment, given pass A's global site
+/// table): the encoded context chain `g` in force at each allocation.
+/// Needs the *global* table because a receiver may have been allocated
+/// in an earlier segment.
+///
+/// # Errors
+/// Fails on a malformed segment.
+pub fn scan_alloc_contexts(
+    seg: &Segment<'_>,
+    phase_limited: bool,
+    site_table: &[Option<(AllocSiteId, bool)>],
+) -> Result<Vec<(ObjectId, u64)>, TraceError> {
+    struct Scan<'t> {
+        contexts: Vec<u64>,
+        table: &'t [Option<(AllocSiteId, bool)>],
+        phase_limited: bool,
+        out: Vec<(ObjectId, u64)>,
+    }
+    impl EventSink for Scan<'_> {
+        fn event(&mut self, e: &Event) {
+            if let Event::Alloc { object, .. } = e {
+                let g = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+                self.out.push((*object, g));
+            }
+        }
+
+        fn frame_push(&mut self, info: &FrameInfo) {
+            let parent = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+            let site = info
+                .receiver
+                .and_then(|o| site_of(self.table, self.phase_limited, o));
+            let g = match site {
+                Some(site) => extend_context(parent, site),
+                None => parent,
+            };
+            self.contexts.push(g);
+        }
+
+        fn frame_pop(&mut self) {
+            self.contexts.pop();
+        }
+    }
+    let mut s = Scan {
+        contexts: seed_contexts(&seg.prologue().frames, |o| {
+            site_of(site_table, phase_limited, o)
+        }),
+        table: site_table,
+        phase_limited,
+        out: Vec::new(),
+    };
+    seg.replay(&mut s)?;
+    Ok(s.out)
+}
+
+/// Zips the two prescan passes into the final object table.
+pub fn build_object_table(
+    site_table: &[Option<(AllocSiteId, bool)>],
+    per_segment_gs: &[Vec<(ObjectId, u64)>],
+) -> Vec<Option<ObjectInfo>> {
+    let mut table: Vec<Option<ObjectInfo>> = site_table
+        .iter()
+        .map(|e| {
+            e.map(|(site, in_phase)| ObjectInfo {
+                site,
+                g: EMPTY_CONTEXT,
+                in_phase,
+            })
+        })
+        .collect();
+    for &(o, g) in per_segment_gs.iter().flatten() {
+        if let Some(Some(info)) = table.get_mut(o.index()) {
+            info.g = g;
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// shard building
+// ---------------------------------------------------------------------------
+
+/// A shadow *location* in the global run, used to name cross-segment
+/// data flow symbolically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A local slot of a specific dynamic frame (`frame` is the global
+    /// push index the trace writer assigned).
+    Local {
+        /// Global frame id.
+        frame: u64,
+        /// Local slot.
+        local: u16,
+    },
+    /// A heap slot (field offset or array index) of an object.
+    Heap {
+        /// The object.
+        object: ObjectId,
+        /// The slot within the object.
+        slot: u32,
+    },
+    /// A static field.
+    Static(u32),
+    /// The `i`-th pending call argument at the segment boundary (a
+    /// `Call` event at the very end of a segment whose `frame_push`
+    /// opens the next segment).
+    Arg(u16),
+}
+
+/// The symbolic value of a shadow location inside one shard.
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    /// Known empty (either never written, in a frame/object this shard
+    /// created, or explicitly overwritten with "no data").
+    None,
+    /// Written by this shard's node.
+    Node(NodeId),
+    /// Whatever value the location held when the segment started.
+    Init(Loc),
+}
+
+/// Shared, immutable context for building every shard of one replay.
+#[derive(Debug)]
+pub struct ShardContext {
+    config: CostGraphConfig,
+    indexer: InstrIndexer,
+    control_deps: FxHashMap<InstrId, Vec<InstrId>>,
+}
+
+impl ShardContext {
+    /// Prepares the per-replay tables (instruction indexer and, under
+    /// `control_edges`, the static control-dependence table).
+    pub fn new(program: &Program, config: CostGraphConfig) -> Self {
+        ShardContext {
+            config,
+            indexer: InstrIndexer::new(program),
+            control_deps: build_control_deps(program, &config),
+        }
+    }
+
+    /// The configuration shards are built under.
+    pub fn config(&self) -> &CostGraphConfig {
+        &self.config
+    }
+}
+
+#[derive(Debug)]
+struct SymFrame {
+    /// Global frame id.
+    gid: u64,
+    /// `true` for frames inherited from the prologue: reads of unwritten
+    /// locals refer to pre-segment state instead of being empty.
+    outer: bool,
+    vals: FxHashMap<u16, Sym>,
+}
+
+#[derive(Debug, Default)]
+struct SymObj {
+    /// `true` when this shard saw the allocation, so unwritten slots are
+    /// known-empty rather than external.
+    in_shard: bool,
+    vals: FxHashMap<u32, Sym>,
+}
+
+/// One segment's contribution to the merged graph.
+#[derive(Debug)]
+pub struct ShardGraph {
+    graph: DepGraph<CostElem>,
+    /// Reads of pre-segment shadow state: `(location, consuming node)`.
+    ext_edges: Vec<(Loc, NodeId)>,
+    /// The value every written location holds at segment end.
+    final_locs: Vec<(Loc, Sym)>,
+    /// Pending call arguments at segment end (`None` = untouched, so the
+    /// boundary arguments carried into this segment are still pending).
+    final_args: Option<Vec<Sym>>,
+    ref_edges: FxHashSet<(NodeId, NodeId)>,
+    /// Store-to-allocation reference edges whose allocation node lives in
+    /// an earlier segment.
+    ext_ref_edges: Vec<(NodeId, TaggedSite)>,
+    /// Alloc-to-length def-use edges whose allocation node lives in an
+    /// earlier segment.
+    ext_len_edges: Vec<(TaggedSite, NodeId)>,
+    effects: Vec<Option<HeapEffect>>,
+    alloc_nodes: FxHashMap<TaggedSite, NodeId>,
+    points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
+    conflicts: ConflictStats,
+    instr_instances: u64,
+    /// Shadow-heap occupancy this shard caused: object → minimum slot
+    /// count (0 for a bare armed allocation). Reproduces the live
+    /// shadow heap's memory accounting.
+    heap_touch: FxHashMap<ObjectId, u32>,
+}
+
+/// Replays one segment into a fresh shard graph.
+///
+/// # Errors
+/// Fails on a malformed segment.
+pub fn build_shard(
+    ctx: &ShardContext,
+    objects: &[Option<ObjectInfo>],
+    seg: &Segment<'_>,
+) -> Result<ShardGraph, TraceError> {
+    let mut b = ShardBuilder::new(ctx, objects, seg);
+    seg.replay(&mut b)?;
+    Ok(b.finish())
+}
+
+struct ShardBuilder<'c> {
+    ctx: &'c ShardContext,
+    objects: &'c [Option<ObjectInfo>],
+    graph: DepGraph<CostElem>,
+    dense: Option<DenseInterner>,
+    frames: Vec<SymFrame>,
+    contexts: Vec<u64>,
+    heap: FxHashMap<ObjectId, SymObj>,
+    statics: FxHashMap<u32, Sym>,
+    pending_args: Option<Vec<Sym>>,
+    ret_stash: Sym,
+    ext_edges: Vec<(Loc, NodeId)>,
+    ref_edges: FxHashSet<(NodeId, NodeId)>,
+    ext_ref_edges: Vec<(NodeId, TaggedSite)>,
+    ext_len_edges: Vec<(TaggedSite, NodeId)>,
+    effects: Vec<Option<HeapEffect>>,
+    alloc_nodes: FxHashMap<TaggedSite, NodeId>,
+    points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
+    conflicts: ConflictStats,
+    instr_instances: u64,
+    heap_touch: FxHashMap<ObjectId, u32>,
+    armed: bool,
+    next_gid: u64,
+}
+
+impl<'c> ShardBuilder<'c> {
+    fn new(ctx: &'c ShardContext, objects: &'c [Option<ObjectInfo>], seg: &Segment<'_>) -> Self {
+        let prologue = seg.prologue();
+        let config = &ctx.config;
+        let contexts = seed_contexts(&prologue.frames, |o| {
+            objects
+                .get(o.index())
+                .copied()
+                .flatten()
+                .filter(|info| !config.phase_limited || info.in_phase)
+                .map(|info| info.site)
+        });
+        let frames = prologue
+            .frames
+            .iter()
+            .map(|f| SymFrame {
+                gid: f.gid,
+                outer: true,
+                vals: FxHashMap::default(),
+            })
+            .collect();
+        let dense = config
+            .dense_interning
+            .then(|| DenseInterner::new(ctx.indexer.num_instrs(), config.slots as usize + 1));
+        ShardBuilder {
+            ctx,
+            objects,
+            graph: DepGraph::new(),
+            dense,
+            frames,
+            contexts,
+            heap: FxHashMap::default(),
+            statics: FxHashMap::default(),
+            pending_args: None,
+            ret_stash: Sym::None,
+            ext_edges: Vec::new(),
+            ref_edges: FxHashSet::default(),
+            ext_ref_edges: Vec::new(),
+            ext_len_edges: Vec::new(),
+            effects: Vec::new(),
+            alloc_nodes: FxHashMap::default(),
+            points_to: FxHashMap::default(),
+            conflicts: ConflictStats::new(),
+            instr_instances: 0,
+            heap_touch: FxHashMap::default(),
+            armed: !config.phase_limited || prologue.in_phase,
+            next_gid: prologue.first_gid,
+        }
+    }
+
+    /// The live profiler's `shadow_heap.tag(o)`, reconstructed from the
+    /// prescan object table.
+    fn tag_of(&self, o: ObjectId) -> Option<TaggedSite> {
+        let info = self.objects.get(o.index()).copied().flatten()?;
+        if self.ctx.config.phase_limited && !info.in_phase {
+            return None;
+        }
+        Some(TaggedSite {
+            site: info.site,
+            slot: slot_of(info.g, self.ctx.config.slots),
+        })
+    }
+
+    fn current_g(&self) -> u64 {
+        self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT)
+    }
+
+    fn read_local(&self, l: Local) -> Sym {
+        let f = self.frames.last().expect("shadow frame present");
+        match f.vals.get(&l.0) {
+            Some(&s) => s,
+            None if f.outer => Sym::Init(Loc::Local {
+                frame: f.gid,
+                local: l.0,
+            }),
+            None => Sym::None,
+        }
+    }
+
+    fn write_local(&mut self, l: Local, s: Sym) {
+        self.frames
+            .last_mut()
+            .expect("shadow frame present")
+            .vals
+            .insert(l.0, s);
+    }
+
+    fn heap_read(&mut self, o: ObjectId, slot: u32) -> Sym {
+        let e = self.heap.entry(o).or_default();
+        match e.vals.get(&slot) {
+            Some(&s) => s,
+            None if e.in_shard => Sym::None,
+            None => Sym::Init(Loc::Heap { object: o, slot }),
+        }
+    }
+
+    fn heap_write(&mut self, o: ObjectId, slot: u32, s: Sym) {
+        self.heap.entry(o).or_default().vals.insert(slot, s);
+        let touch = self.heap_touch.entry(o).or_insert(0);
+        *touch = (*touch).max(slot + 1);
+    }
+
+    fn static_read(&self, f: StaticId) -> Sym {
+        match self.statics.get(&f.0) {
+            Some(&s) => s,
+            None => Sym::Init(Loc::Static(f.0)),
+        }
+    }
+
+    fn intern(&mut self, at: InstrId, elem: CostElem, kind: NodeKind) -> NodeId {
+        match &mut self.dense {
+            Some(table) => table.intern(&mut self.graph, &self.ctx.indexer, at, elem, kind),
+            None => self.graph.intern(at, elem, kind),
+        }
+    }
+
+    fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
+        let g = self.current_g();
+        let slot = slot_of(g, self.ctx.config.slots);
+        if self.ctx.config.track_conflicts {
+            self.conflicts.record(at, slot, g);
+        }
+        let n = self.intern(at, CostElem::Ctx(slot), kind);
+        self.graph.bump(n);
+        if self.ctx.config.control_edges {
+            if let Some(branches) = self.ctx.control_deps.get(&at) {
+                for b in branches.clone() {
+                    let pnode = self.intern(b, CostElem::NoCtx, NodeKind::Predicate);
+                    self.graph.add_edge(pnode, n);
+                }
+            }
+        }
+        n
+    }
+
+    fn consumer_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
+        let n = self.intern(at, CostElem::NoCtx, kind);
+        self.graph.bump(n);
+        n
+    }
+
+    fn set_effect(&mut self, n: NodeId, eff: HeapEffect) {
+        let i = n.index();
+        if self.effects.len() <= i {
+            self.effects.resize(i + 1, None);
+        }
+        self.effects[i] = Some(eff);
+    }
+
+    fn edge_from(&mut self, src: Sym, to: NodeId) {
+        match src {
+            Sym::None => {}
+            Sym::Node(m) => self.graph.add_edge(m, to),
+            Sym::Init(loc) => self.ext_edges.push((loc, to)),
+        }
+    }
+
+    fn store_common(
+        &mut self,
+        n: NodeId,
+        object: ObjectId,
+        field: FieldKey,
+        value: lowutil_ir::Value,
+    ) {
+        if let Some(tag) = self.tag_of(object) {
+            self.set_effect(n, HeapEffect::Store { site: tag, field });
+            match self.alloc_nodes.get(&tag) {
+                Some(&alloc) => {
+                    self.ref_edges.insert((n, alloc));
+                }
+                None => self.ext_ref_edges.push((n, tag)),
+            }
+            if let Some(target) = value.as_ref_id() {
+                if let Some(tag2) = self.tag_of(target) {
+                    self.points_to.entry((tag, field)).or_default().insert(tag2);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ShardGraph {
+        let mut final_locs: Vec<(Loc, Sym)> = Vec::new();
+        for f in &self.frames {
+            for (&l, &s) in &f.vals {
+                final_locs.push((
+                    Loc::Local {
+                        frame: f.gid,
+                        local: l,
+                    },
+                    s,
+                ));
+            }
+        }
+        for (&o, so) in &self.heap {
+            for (&slot, &s) in &so.vals {
+                final_locs.push((Loc::Heap { object: o, slot }, s));
+            }
+        }
+        for (&f, &s) in &self.statics {
+            final_locs.push((Loc::Static(f), s));
+        }
+        ShardGraph {
+            graph: self.graph,
+            ext_edges: self.ext_edges,
+            final_locs,
+            final_args: self.pending_args,
+            ref_edges: self.ref_edges,
+            ext_ref_edges: self.ext_ref_edges,
+            ext_len_edges: self.ext_len_edges,
+            effects: self.effects,
+            alloc_nodes: self.alloc_nodes,
+            points_to: self.points_to,
+            conflicts: self.conflicts,
+            instr_instances: self.instr_instances,
+            heap_touch: self.heap_touch,
+        }
+    }
+}
+
+impl EventSink for ShardBuilder<'_> {
+    fn event(&mut self, event: &Event) {
+        if let Event::Phase { begin, .. } = event {
+            if self.ctx.config.phase_limited {
+                self.armed = *begin;
+            }
+            return;
+        }
+        if !self.armed {
+            match event {
+                Event::Call { .. } => self.pending_args = Some(Vec::new()),
+                Event::Return { .. } => self.ret_stash = Sym::None,
+                _ => {}
+            }
+            return;
+        }
+        if !matches!(event, Event::CallComplete { .. }) {
+            self.instr_instances += 1;
+        }
+        match event {
+            Event::Compute { at, dst, uses, .. } => {
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                for u in uses.iter().flatten() {
+                    let s = self.read_local(*u);
+                    self.edge_from(s, n);
+                }
+                self.write_local(*dst, Sym::Node(n));
+            }
+            Event::Predicate { at, uses, .. } => {
+                let n = self.consumer_node(*at, NodeKind::Predicate);
+                for u in uses {
+                    let s = self.read_local(*u);
+                    self.edge_from(s, n);
+                }
+            }
+            Event::Alloc {
+                at,
+                dst,
+                object,
+                site,
+                len_use,
+            } => {
+                let n = self.ctx_node(*at, NodeKind::Alloc);
+                if let Some(l) = len_use {
+                    let s = self.read_local(*l);
+                    self.edge_from(s, n);
+                }
+                self.write_local(*dst, Sym::Node(n));
+                let slot = slot_of(self.current_g(), self.ctx.config.slots);
+                let tag = TaggedSite { site: *site, slot };
+                self.heap.insert(
+                    *object,
+                    SymObj {
+                        in_shard: true,
+                        vals: FxHashMap::default(),
+                    },
+                );
+                self.heap_touch.entry(*object).or_insert(0);
+                self.alloc_nodes.insert(tag, n);
+                self.set_effect(n, HeapEffect::Alloc { site: tag });
+            }
+            Event::LoadField {
+                at,
+                dst,
+                base,
+                object,
+                field,
+                offset,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                let src = self.heap_read(*object, *offset);
+                self.edge_from(src, n);
+                if self.ctx.config.traditional_uses {
+                    let b = self.read_local(*base);
+                    self.edge_from(b, n);
+                }
+                self.write_local(*dst, Sym::Node(n));
+                if let Some(tag) = self.tag_of(*object) {
+                    self.set_effect(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Field(*field),
+                        },
+                    );
+                }
+            }
+            Event::StoreField {
+                at,
+                base,
+                object,
+                field,
+                offset,
+                src,
+                value,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                let s = self.read_local(*src);
+                self.edge_from(s, n);
+                if self.ctx.config.traditional_uses {
+                    let b = self.read_local(*base);
+                    self.edge_from(b, n);
+                }
+                self.heap_write(*object, *offset, Sym::Node(n));
+                self.store_common(n, *object, FieldKey::Field(*field), *value);
+            }
+            Event::LoadStatic { at, dst, field, .. } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                let src = self.static_read(*field);
+                self.edge_from(src, n);
+                self.write_local(*dst, Sym::Node(n));
+                self.set_effect(n, HeapEffect::LoadStatic(*field));
+            }
+            Event::StoreStatic { at, field, src, .. } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                let s = self.read_local(*src);
+                self.edge_from(s, n);
+                self.statics.insert(field.0, Sym::Node(n));
+                self.set_effect(n, HeapEffect::StoreStatic(*field));
+            }
+            Event::ArrayLoad {
+                at,
+                dst,
+                base,
+                object,
+                idx,
+                index,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                let i = self.read_local(*idx);
+                self.edge_from(i, n);
+                if self.ctx.config.traditional_uses {
+                    let b = self.read_local(*base);
+                    self.edge_from(b, n);
+                }
+                let src = self.heap_read(*object, *index);
+                self.edge_from(src, n);
+                self.write_local(*dst, Sym::Node(n));
+                if let Some(tag) = self.tag_of(*object) {
+                    self.set_effect(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Element,
+                        },
+                    );
+                }
+            }
+            Event::ArrayStore {
+                at,
+                base,
+                object,
+                idx,
+                index,
+                src,
+                value,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapStore);
+                let i = self.read_local(*idx);
+                self.edge_from(i, n);
+                if self.ctx.config.traditional_uses {
+                    let b = self.read_local(*base);
+                    self.edge_from(b, n);
+                }
+                let s = self.read_local(*src);
+                self.edge_from(s, n);
+                self.heap_write(*object, *index, Sym::Node(n));
+                self.store_common(n, *object, FieldKey::Element, *value);
+            }
+            Event::ArrayLen {
+                at,
+                dst,
+                base,
+                object,
+                ..
+            } => {
+                let n = self.ctx_node(*at, NodeKind::HeapLoad);
+                if self.ctx.config.traditional_uses {
+                    let b = self.read_local(*base);
+                    self.edge_from(b, n);
+                }
+                // The length was produced by the allocation.
+                if let Some(tag) = self.tag_of(*object) {
+                    match self.alloc_nodes.get(&tag) {
+                        Some(&alloc) => self.graph.add_edge(alloc, n),
+                        None => self.ext_len_edges.push((tag, n)),
+                    }
+                    self.set_effect(
+                        n,
+                        HeapEffect::Load {
+                            site: tag,
+                            field: FieldKey::Length,
+                        },
+                    );
+                }
+                self.write_local(*dst, Sym::Node(n));
+            }
+            Event::Call { args, .. } => {
+                let syms: Vec<Sym> = args.iter().map(|a| self.read_local(*a)).collect();
+                self.pending_args = Some(syms);
+            }
+            Event::Return { src, .. } => {
+                self.ret_stash = match src {
+                    Some(s) => self.read_local(*s),
+                    None => Sym::None,
+                };
+            }
+            Event::CallComplete { dst, .. } => {
+                let stash = std::mem::replace(&mut self.ret_stash, Sym::None);
+                if let Some(d) = dst {
+                    self.write_local(*d, stash);
+                }
+            }
+            Event::Native { at, args, dst, .. } => {
+                let n = self.consumer_node(*at, NodeKind::Native);
+                for a in args {
+                    let s = self.read_local(*a);
+                    self.edge_from(s, n);
+                }
+                if let Some(d) = dst {
+                    self.write_local(*d, Sym::Node(n));
+                }
+            }
+            Event::Jump { .. } => {}
+            Event::Phase { .. } => unreachable!("handled above"),
+        }
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        let parent = self.current_g();
+        let site = info.receiver.and_then(|o| self.tag_of(o)).map(|t| t.site);
+        let g = match site {
+            Some(site) => extend_context(parent, site),
+            None => parent,
+        };
+        self.contexts.push(g);
+        let mut vals = FxHashMap::default();
+        for i in 0..info.num_args {
+            let s = match &self.pending_args {
+                // Boundary push: the actuals were read by the `Call`
+                // event at the end of the previous segment.
+                None => Sym::Init(Loc::Arg(i)),
+                Some(v) => v.get(i as usize).copied().unwrap_or(Sym::None),
+            };
+            vals.insert(i, s);
+        }
+        self.frames.push(SymFrame {
+            gid: self.next_gid,
+            outer: false,
+            vals,
+        });
+        self.next_gid += 1;
+        self.pending_args = Some(Vec::new());
+    }
+
+    fn frame_pop(&mut self) {
+        self.frames.pop();
+        self.contexts.pop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------------
+
+fn resolve(
+    sym: Sym,
+    remap: &[NodeId],
+    locs: &FxHashMap<Loc, Option<NodeId>>,
+    args: &[Option<NodeId>],
+) -> Option<NodeId> {
+    match sym {
+        Sym::None => None,
+        Sym::Node(n) => Some(remap[n.index()]),
+        Sym::Init(Loc::Arg(i)) => args.get(usize::from(i)).copied().flatten(),
+        Sym::Init(loc) => locs.get(&loc).copied().flatten(),
+    }
+}
+
+fn lookup_loc(
+    loc: Loc,
+    locs: &FxHashMap<Loc, Option<NodeId>>,
+    args: &[Option<NodeId>],
+) -> Option<NodeId> {
+    match loc {
+        Loc::Arg(i) => args.get(usize::from(i)).copied().flatten(),
+        _ => locs.get(&loc).copied().flatten(),
+    }
+}
+
+/// Merges shard graphs (in segment order) into the final [`CostGraph`].
+///
+/// Nodes unite by their abstract key `(InstrId, CostElem)`: frequencies
+/// sum, edges union, effects apply last-writer-wins in time order, and
+/// each shard's external reads resolve against the accumulated
+/// final-writes of all earlier shards. The result is identical to a
+/// sequential build over the concatenated event stream.
+pub fn merge_shards(shards: Vec<ShardGraph>) -> CostGraph {
+    let mut merged: DepGraph<CostElem> = DepGraph::new();
+    let mut effects: Vec<Option<HeapEffect>> = Vec::new();
+    let mut ref_edges: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+    let mut alloc_nodes: FxHashMap<TaggedSite, NodeId> = FxHashMap::default();
+    let mut points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>> =
+        FxHashMap::default();
+    let mut conflicts = ConflictStats::new();
+    let mut instr_instances = 0u64;
+    // Cumulative cross-shard shadow state: location → defining node.
+    let mut locs: FxHashMap<Loc, Option<NodeId>> = FxHashMap::default();
+    let mut args: Vec<Option<NodeId>> = Vec::new();
+    let mut touched: FxHashMap<ObjectId, u32> = FxHashMap::default();
+
+    for shard in shards {
+        // 1. Intern this shard's nodes; frequencies of shared abstract
+        //    nodes sum.
+        let remap: Vec<NodeId> = shard
+            .graph
+            .iter()
+            .map(|(_, n)| {
+                let m = merged.intern(n.instr, n.elem, n.kind);
+                merged.add_freq(m, n.freq);
+                m
+            })
+            .collect();
+        // 2. In-shard edges.
+        for id in shard.graph.node_ids() {
+            for &s in shard.graph.succs(id) {
+                merged.add_edge(remap[id.index()], remap[s.index()]);
+            }
+        }
+        // 3. External def-use edges resolve against pre-shard state.
+        for &(loc, n) in &shard.ext_edges {
+            if let Some(src) = lookup_loc(loc, &locs, &args) {
+                merged.add_edge(src, remap[n.index()]);
+            }
+        }
+        // 4. Reference and length edges.
+        for (s, a) in shard.ref_edges {
+            ref_edges.insert((remap[s.index()], remap[a.index()]));
+        }
+        for (n, tag) in shard.ext_ref_edges {
+            if let Some(&alloc) = alloc_nodes.get(&tag) {
+                ref_edges.insert((remap[n.index()], alloc));
+            }
+        }
+        for (tag, n) in shard.ext_len_edges {
+            if let Some(&alloc) = alloc_nodes.get(&tag) {
+                merged.add_edge(alloc, remap[n.index()]);
+            }
+        }
+        // 5. Allocation nodes become visible to later shards.
+        for (tag, n) in shard.alloc_nodes {
+            alloc_nodes.insert(tag, remap[n.index()]);
+        }
+        // 6. Effects: last Some in time order wins, exactly like the
+        //    live profiler's overwriting `set_effect`.
+        for (i, eff) in shard.effects.iter().enumerate() {
+            if let Some(e) = eff {
+                let m = remap[i];
+                if effects.len() <= m.index() {
+                    effects.resize(m.index() + 1, None);
+                }
+                effects[m.index()] = Some(*e);
+            }
+        }
+        // 7. Order-insensitive unions.
+        for (k, v) in shard.points_to {
+            points_to.entry(k).or_default().extend(v);
+        }
+        conflicts.merge(shard.conflicts);
+        instr_instances += shard.instr_instances;
+        for (o, slots) in shard.heap_touch {
+            let t = touched.entry(o).or_insert(0);
+            *t = (*t).max(slots);
+        }
+        // 8. Advance the cumulative shadow state: resolve this shard's
+        //    final writes against the *pre-shard* state, then apply.
+        let updates: Vec<(Loc, Option<NodeId>)> = shard
+            .final_locs
+            .iter()
+            .map(|&(loc, sym)| (loc, resolve(sym, &remap, &locs, &args)))
+            .collect();
+        let new_args = shard.final_args.map(|fa| {
+            fa.iter()
+                .map(|&s| resolve(s, &remap, &locs, &args))
+                .collect()
+        });
+        for (loc, v) in updates {
+            locs.insert(loc, v);
+        }
+        if let Some(a) = new_args {
+            args = a;
+        }
+    }
+
+    // Reproduce `ShadowHeap::approx_bytes` from the touch records: per
+    // tracked object its slot-vector length, plus one tag per index up
+    // to the highest tracked object.
+    let slot_sz = std::mem::size_of::<Option<NodeId>>();
+    let tag_sz = std::mem::size_of::<Option<TaggedSite>>();
+    let max_idx = touched.keys().map(|o| o.index()).max();
+    let shadow_heap_bytes = touched.values().map(|&l| l as usize).sum::<usize>() * slot_sz
+        + max_idx.map_or(0, |m| (m + 1) * tag_sz);
+
+    CostGraph::assemble(
+        merged,
+        ref_edges,
+        effects,
+        alloc_nodes,
+        points_to,
+        conflicts,
+        instr_instances,
+        shadow_heap_bytes,
+    )
+}
+
+/// Builds the object table and every shard sequentially, then merges —
+/// the single-threaded reference for the parallel driver in
+/// `lowutil-par`, and the easiest way to replay shard-style in tests.
+///
+/// # Errors
+/// Fails on a malformed trace.
+pub fn sharded_replay_sequential(
+    program: &Program,
+    config: CostGraphConfig,
+    reader: &TraceReader<'_>,
+) -> Result<CostGraph, TraceError> {
+    let ctx = ShardContext::new(program, config);
+    let sites: Vec<_> = reader
+        .segments()
+        .iter()
+        .map(scan_alloc_sites)
+        .collect::<Result<_, _>>()?;
+    let site_table = build_site_table(&sites);
+    let gs: Vec<_> = reader
+        .segments()
+        .iter()
+        .map(|s| scan_alloc_contexts(s, config.phase_limited, &site_table))
+        .collect::<Result<_, _>>()?;
+    let objects = build_object_table(&site_table, &gs);
+    let shards: Vec<_> = reader
+        .segments()
+        .iter()
+        .map(|s| build_shard(&ctx, &objects, s))
+        .collect::<Result<_, _>>()?;
+    Ok(merge_shards(shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::write_cost_graph;
+    use crate::gcost::GraphBuilder;
+    use lowutil_ir::parse_program;
+    use lowutil_vm::trace::TraceWriter;
+    use lowutil_vm::{SinkTracer, Vm};
+
+    /// Serializes canonically for byte comparison.
+    fn bytes_of(g: &CostGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_cost_graph(g, &mut buf).unwrap();
+        buf
+    }
+
+    /// Runs live (profiling + recording simultaneously), then checks the
+    /// sequential replay and the sharded replay against the live graph,
+    /// byte for byte, at the given segment limit.
+    fn assert_identity(src: &str, config: CostGraphConfig, limit: usize) -> usize {
+        let p = parse_program(src).expect("parse");
+        let mut builder = GraphBuilder::new(&p, config);
+        let mut writer = TraceWriter::with_segment_limit(Vec::new(), limit);
+        {
+            let mut tracer = SinkTracer((&mut builder, &mut writer));
+            Vm::new(&p).run(&mut tracer).expect("program runs");
+        }
+        let live = bytes_of(&builder.finish());
+        let (trace, _) = writer.finish().unwrap();
+
+        let reader = TraceReader::new(&trace).expect("trace parses");
+        let seq = bytes_of(&replay_cost_graph(&p, config, &reader).unwrap());
+        assert_eq!(
+            String::from_utf8_lossy(&live),
+            String::from_utf8_lossy(&seq),
+            "sequential replay != live"
+        );
+        let sharded = bytes_of(&sharded_replay_sequential(&p, config, &reader).unwrap());
+        assert_eq!(
+            String::from_utf8_lossy(&live),
+            String::from_utf8_lossy(&sharded),
+            "sharded replay != live"
+        );
+        reader.segments().len()
+    }
+
+    const CROSS_SEGMENT_SRC: &str = r#"
+native print/1
+class A { f }
+class Box { v }
+method main/0 {
+  x = 1
+  a1 = new A
+  a1.f = x
+  a2 = new A
+  a2.f = x
+  i = 0
+  one = 1
+  lim = 6
+loop:
+  if i >= lim goto done
+  r1 = vcall get(a1)
+  r2 = vcall get(a2)
+  b = new Box
+  b.v = r1
+  t = b.v
+  s = call sum(r1, t)
+  i = i + one
+  goto loop
+done:
+  native print(s)
+  return
+}
+method A.get/0 {
+  r = this.f
+  return r
+}
+method sum/2 {
+  r = p0 + p1
+  return r
+}
+"#;
+
+    #[test]
+    fn sharded_build_matches_live_across_segment_limits() {
+        for limit in [2, 5, 16, 4096] {
+            let segs = assert_identity(CROSS_SEGMENT_SRC, CostGraphConfig::default(), limit);
+            if limit == 2 {
+                assert!(segs > 4, "tiny limit must produce many segments");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_live_with_ablation_configs() {
+        for config in [
+            CostGraphConfig {
+                slots: 8,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                traditional_uses: true,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                control_edges: true,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                dense_interning: false,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                track_conflicts: false,
+                ..CostGraphConfig::default()
+            },
+        ] {
+            assert_identity(CROSS_SEGMENT_SRC, config, 3);
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_live_under_phase_limiting() {
+        let src = r#"
+native phase_begin/0
+native phase_end/0
+native print/1
+class Box { v }
+method main/0 {
+  warm = 10
+  b = new Box
+  b.v = warm
+  native phase_begin()
+  x = 1
+  c = new Box
+  c.v = x
+  y = c.v
+  z = call double(y)
+  native phase_end()
+  dead = 5
+  native phase_begin()
+  w = call double(z)
+  native phase_end()
+  native print(w)
+  return
+}
+method double/1 {
+  r = p0 + p0
+  return r
+}
+"#;
+        let config = CostGraphConfig {
+            phase_limited: true,
+            ..CostGraphConfig::default()
+        };
+        for limit in [1, 2, 64] {
+            assert_identity(src, config, limit);
+        }
+    }
+}

@@ -15,6 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod replay;
+
+pub use replay::replay_gcost;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

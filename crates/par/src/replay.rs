@@ -1,0 +1,142 @@
+//! Segment-parallel trace replay: fan the trace's segments across
+//! workers, build one shard graph per segment, and merge.
+//!
+//! The heavy lifting (prescan passes, shard building, deterministic
+//! merge) lives in `lowutil_core::shard`; this module only supplies the
+//! fan-out via [`par_map`]. Three parallel stages mirror the sequential
+//! reference `sharded_replay_sequential`:
+//!
+//! 1. scan allocation sites per segment (config-independent),
+//! 2. scan allocation-time contexts per segment (needs the global site
+//!    table from stage 1),
+//! 3. build the per-segment shard graphs (needs the object table from
+//!    stage 2).
+//!
+//! The final merge is sequential and cheap: shards are united
+//! node-by-abstract-node, so its cost is proportional to the *abstract*
+//! graph size, not the trace length.
+
+use crate::par_map;
+use lowutil_core::shard::{
+    build_object_table, build_shard, build_site_table, replay_cost_graph, scan_alloc_contexts,
+    scan_alloc_sites, ShardContext,
+};
+use lowutil_core::{CostGraph, CostGraphConfig};
+use lowutil_ir::Program;
+use lowutil_vm::trace::{TraceError, TraceReader};
+
+/// Rebuilds `G_cost` from a recorded trace using up to `jobs` worker
+/// threads, one shard per trace segment.
+///
+/// The result is identical — byte-for-byte under the canonical
+/// serialization — to a live profiling run and to a sequential replay,
+/// at every worker count. `jobs <= 1` (or a single-segment trace) takes
+/// the plain sequential path with no sharding overhead.
+///
+/// # Errors
+/// Fails on a malformed trace.
+pub fn replay_gcost(
+    program: &Program,
+    config: CostGraphConfig,
+    reader: &TraceReader<'_>,
+    jobs: usize,
+) -> Result<CostGraph, TraceError> {
+    let segments = reader.segments();
+    if jobs <= 1 || segments.len() <= 1 {
+        return replay_cost_graph(program, config, reader);
+    }
+
+    let sites = par_map(jobs, segments.iter().collect(), scan_alloc_sites)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let site_table = build_site_table(&sites);
+
+    let gs = par_map(jobs, segments.iter().collect(), |seg| {
+        scan_alloc_contexts(seg, config.phase_limited, &site_table)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    let objects = build_object_table(&site_table, &gs);
+
+    let ctx = ShardContext::new(program, config);
+    let shards = par_map(jobs, segments.iter().collect(), |seg| {
+        build_shard(&ctx, &objects, seg)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(lowutil_core::shard::merge_shards(shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{write_cost_graph, GraphBuilder};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::trace::TraceWriter;
+    use lowutil_vm::{SinkTracer, Vm};
+
+    fn bytes_of(g: &CostGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_cost_graph(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn parallel_replay_matches_live_at_every_job_count() {
+        let p = parse_program(
+            r#"
+native print/1
+class A { f }
+method main/0 {
+  x = 2
+  a1 = new A
+  a1.f = x
+  a2 = new A
+  a2.f = x
+  i = 0
+  one = 1
+  lim = 8
+loop:
+  if i >= lim goto done
+  r1 = vcall get(a1)
+  r2 = vcall get(a2)
+  s = call sum(r1, r2)
+  i = i + one
+  goto loop
+done:
+  native print(s)
+  return
+}
+method A.get/0 {
+  r = this.f
+  return r
+}
+method sum/2 {
+  r = p0 + p1
+  return r
+}
+"#,
+        )
+        .unwrap();
+        let config = CostGraphConfig::default();
+        let mut builder = GraphBuilder::new(&p, config);
+        let mut writer = TraceWriter::with_segment_limit(Vec::new(), 4);
+        {
+            let mut tracer = SinkTracer((&mut builder, &mut writer));
+            Vm::new(&p).run(&mut tracer).unwrap();
+        }
+        let live = bytes_of(&builder.finish());
+        let (trace, stats) = writer.finish().unwrap();
+        assert!(stats.segments > 2, "test must exercise multiple segments");
+
+        let reader = TraceReader::new(&trace).unwrap();
+        for jobs in [1, 2, 3, 7, 16] {
+            let replayed = bytes_of(&replay_gcost(&p, config, &reader, jobs).unwrap());
+            assert_eq!(
+                String::from_utf8_lossy(&live),
+                String::from_utf8_lossy(&replayed),
+                "jobs={jobs}"
+            );
+        }
+    }
+}

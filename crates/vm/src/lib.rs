@@ -45,6 +45,8 @@ mod heap;
 mod interp;
 mod natives;
 mod shadow;
+mod sink;
+pub mod trace;
 mod tracer;
 
 pub use event::{Event, FrameInfo};
@@ -52,4 +54,6 @@ pub use heap::{Heap, HeapObject};
 pub use interp::{RunConfig, RunOutcome, Trap, TrapKind, Vm};
 pub use natives::{NativeKind, NativeRegistry, UnknownNativeError};
 pub use shadow::{ShadowFrame, ShadowHeap, ShadowStack, TrackingStack};
+pub use sink::{CountingSink, EventSink, SinkTracer, TracerSink};
+pub use trace::{TraceError, TraceReader, TraceStats, TraceWriter};
 pub use tracer::{CountingTracer, NullTracer, Tracer};

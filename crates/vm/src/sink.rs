@@ -1,0 +1,260 @@
+//! The [`EventSink`] abstraction: consumers of an event *stream*.
+//!
+//! [`Tracer`](crate::Tracer) is the VM-facing hook; [`EventSink`] is the
+//! pipeline-facing one. The two are intentionally isomorphic (instruction
+//! events plus frame push/pop), and the adapters here convert in both
+//! directions:
+//!
+//! * [`SinkTracer`] drives an `EventSink` from a live VM run — e.g. a
+//!   [`TraceWriter`](crate::trace::TraceWriter) recording the execution,
+//!   possibly tupled with a live profiler so one run both profiles and
+//!   records;
+//! * [`TracerSink`] drives a `Tracer` from a replayed stream — e.g.
+//!   feeding a recorded trace back into any existing profiler without the
+//!   profiler knowing it is not attached to a VM.
+//!
+//! Sinks observe the same ordering contract as tracers (documented on
+//! [`Tracer`](crate::Tracer)): for a call, `Call` event → `frame_push` →
+//! callee body → `Return` event → `frame_pop` → `CallComplete` event.
+
+use crate::event::{Event, FrameInfo};
+use crate::tracer::Tracer;
+
+/// A consumer of an instruction-event stream, live or replayed.
+///
+/// Like [`Tracer`](crate::Tracer), the frame hooks default to no-ops so
+/// stateless consumers only implement [`EventSink::event`].
+pub trait EventSink {
+    /// Called for every instruction event.
+    fn event(&mut self, event: &Event);
+
+    /// Called when a frame is pushed (including the entry frame).
+    fn frame_push(&mut self, info: &FrameInfo) {
+        let _ = info;
+    }
+
+    /// Called when a frame is popped.
+    fn frame_pop(&mut self) {}
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn event(&mut self, event: &Event) {
+        (**self).event(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        (**self).frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        (**self).frame_pop();
+    }
+}
+
+/// Broadcasts to two sinks: `(a, b)` forwards every hook to `a` then `b`.
+impl<A: EventSink, B: EventSink> EventSink for (A, B) {
+    fn event(&mut self, event: &Event) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.0.frame_push(info);
+        self.1.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.0.frame_pop();
+        self.1.frame_pop();
+    }
+}
+
+/// Adapts an [`EventSink`] into a [`Tracer`] so it can be attached to a
+/// live VM run. The inner sink is public so callers can recover it (e.g.
+/// to finish a trace writer) after the run.
+#[derive(Debug)]
+pub struct SinkTracer<S: EventSink>(pub S);
+
+impl<S: EventSink> Tracer for SinkTracer<S> {
+    fn instr(&mut self, event: &Event) {
+        self.0.event(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.0.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.0.frame_pop();
+    }
+}
+
+/// Adapts a [`Tracer`] into an [`EventSink`] so existing profilers can be
+/// driven from a replayed trace.
+#[derive(Debug)]
+pub struct TracerSink<T: Tracer>(pub T);
+
+impl<T: Tracer> EventSink for TracerSink<T> {
+    fn event(&mut self, event: &Event) {
+        self.0.instr(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.0.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.0.frame_pop();
+    }
+}
+
+/// Counts stream items without interpreting them — the sink-side analogue
+/// of [`CountingTracer`](crate::CountingTracer), with the frame hooks
+/// counted via the overridden default methods.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    /// Number of instruction events seen.
+    pub events: u64,
+    /// Number of frame pushes seen.
+    pub pushes: u64,
+    /// Number of frame pops seen.
+    pub pops: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for CountingSink {
+    fn event(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+
+    fn frame_push(&mut self, _info: &FrameInfo) {
+        self.pushes += 1;
+    }
+
+    fn frame_pop(&mut self) {
+        self.pops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingTracer, Vm};
+    use lowutil_ir::{ConstValue, ProgramBuilder};
+
+    /// A two-method program: `main` computes, calls `twice`, and prints.
+    fn call_program() -> lowutil_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let print = pb.native("print", 1, false);
+        let mut twice = pb.method("twice", 1);
+        let p0 = twice.param(0);
+        let r = twice.new_local("r");
+        twice.binop(r, lowutil_ir::BinOp::Add, p0, p0);
+        twice.ret(r);
+        let twice_id = twice.finish(&mut pb);
+        let mut main = pb.method("main", 0);
+        let x = main.new_local("x");
+        let y = main.new_local("y");
+        main.constant(x, ConstValue::Int(21));
+        main.call(Some(y), twice_id, &[x]);
+        main.call_native_void(print, &[y]);
+        main.ret_void();
+        let main_id = main.finish(&mut pb);
+        pb.finish(main_id).expect("valid program")
+    }
+
+    /// Records the interleaving of instruction events and frame hooks.
+    #[derive(Default)]
+    struct OrderLog(Vec<String>);
+
+    impl Tracer for OrderLog {
+        fn instr(&mut self, event: &Event) {
+            let tag = match event {
+                Event::Compute { .. } => "compute",
+                Event::Call { .. } => "call",
+                Event::Return { .. } => "return",
+                Event::CallComplete { .. } => "complete",
+                Event::Native { .. } => "native",
+                _ => "other",
+            };
+            self.0.push(tag.to_string());
+        }
+
+        fn frame_push(&mut self, _info: &FrameInfo) {
+            self.0.push("push".to_string());
+        }
+
+        fn frame_pop(&mut self) {
+            self.0.push("pop".to_string());
+        }
+    }
+
+    /// Pins the ordering contract documented on `Tracer`: for a call,
+    /// `Call` → `frame_push` → body → `Return` → `frame_pop` →
+    /// `CallComplete`, with the entry frame announced via `frame_push`
+    /// and the final `Return` popped without a `CallComplete`.
+    #[test]
+    fn call_ordering_contract() {
+        let program = call_program();
+        let mut log = OrderLog::default();
+        Vm::new(&program).run(&mut log).expect("program runs");
+        assert_eq!(
+            log.0,
+            vec![
+                "push",     // entry frame
+                "compute",  // x = 21
+                "call",     // y = twice(x): uses available in caller
+                "push",     // callee frame exists, formals receive data
+                "compute",  // r = p0 + p0
+                "return",   // still in the callee frame
+                "pop",      // callee frame gone
+                "complete", // back in the caller frame
+                "native",   // print(y)
+                "return",   // main's return
+                "pop",      // entry frame popped, no CallComplete
+            ]
+        );
+    }
+
+    /// The counting adapters agree with each other and with the ordering
+    /// log, exercising the overridden frame-hook defaults on both the
+    /// tracer and sink sides.
+    #[test]
+    fn counting_adapters_count_frames() {
+        let program = call_program();
+        let mut ct = CountingTracer::new();
+        Vm::new(&program).run(&mut ct).expect("program runs");
+        let mut cs = SinkTracer(CountingSink::new());
+        Vm::new(&program).run(&mut cs).expect("program runs");
+        let cs = cs.0;
+        assert_eq!(ct.instrs, cs.events);
+        assert_eq!((ct.pushes, ct.pops), (cs.pushes, cs.pops));
+        assert_eq!(ct.pushes, 2); // entry + one call
+        assert_eq!(ct.pops, 2);
+        assert_eq!(ct.instrs, 7); // 2 computes, call, return×2, complete, native
+    }
+
+    /// `TracerSink` round-trips a tracer through the sink interface.
+    #[test]
+    fn tracer_sink_forwards_all_hooks() {
+        let mut s = TracerSink(CountingTracer::new());
+        let at = lowutil_ir::InstrId::new(lowutil_ir::MethodId(0), 0);
+        s.event(&Event::Jump { at });
+        s.frame_push(&FrameInfo {
+            method: lowutil_ir::MethodId(0),
+            call_site: None,
+            num_params: 0,
+            num_locals: 0,
+            receiver: None,
+            num_args: 0,
+        });
+        s.frame_pop();
+        assert_eq!((s.0.instrs, s.0.pushes, s.0.pops), (1, 1, 1));
+    }
+}

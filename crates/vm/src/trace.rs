@@ -1,0 +1,1270 @@
+//! Compact binary execution traces: record once, analyze many times.
+//!
+//! A trace is a byte stream with three layers:
+//!
+//! * **Header** — magic `LUTR` plus a varint format version.
+//! * **Segments** — the event stream, chopped into independently
+//!   replayable chunks. Segment boundaries are only ever placed at
+//!   *frame-push* records, and every segment opens with a **prologue**
+//!   describing the live shadow-stack at that point (method, local count,
+//!   a globally unique frame id, and the receiver object of each live
+//!   frame, plus the phase flag). A consumer can therefore start mid-run:
+//!   the prologue is exactly the state a shadow stack needs to be seeded
+//!   with, which is what makes segment-parallel graph construction
+//!   (`lowutil-par`) possible.
+//! * **Trailer** — event/instruction/allocation/push totals, so replay
+//!   clients get the [`RunOutcome`](crate::RunOutcome)-level counts
+//!   without re-deriving them.
+//!
+//! All integers are LEB128 varints (zigzag for signed); floats are stored
+//! as their IEEE-754 bit pattern. The encoding is byte-exact: replaying a
+//! trace produces the identical event sequence, in order, that the live
+//! run produced, so any [`EventSink`] (including a full
+//! profiler behind a [`TracerSink`](crate::TracerSink)) sees no
+//! difference between live and recorded executions.
+
+use crate::event::{Event, FrameInfo};
+use crate::sink::EventSink;
+use lowutil_ir::{
+    AllocSiteId, CmpOp, FieldId, InstrId, Local, MethodId, NativeId, ObjectId, StaticId, Value,
+};
+use std::fmt;
+use std::io::{self, Write};
+
+/// The four magic bytes opening every trace.
+pub const TRACE_MAGIC: [u8; 4] = *b"LUTR";
+/// The trace format version this crate reads and writes.
+pub const TRACE_VERSION: u64 = 1;
+
+const TAG_SEGMENT: u8 = 0x01;
+const TAG_TRAILER: u8 = 0x02;
+
+/// Default maximum number of records per segment. Segments only split at
+/// frame-push boundaries, so real segments may run longer than this.
+pub const DEFAULT_SEGMENT_LIMIT: usize = 16 * 1024;
+
+// Record opcodes. 0..=15 mirror the `Event` variants in declaration
+// order; 16/17 are the frame hooks.
+const OP_COMPUTE: u8 = 0;
+const OP_PREDICATE: u8 = 1;
+const OP_ALLOC: u8 = 2;
+const OP_LOAD_FIELD: u8 = 3;
+const OP_STORE_FIELD: u8 = 4;
+const OP_LOAD_STATIC: u8 = 5;
+const OP_STORE_STATIC: u8 = 6;
+const OP_ARRAY_LOAD: u8 = 7;
+const OP_ARRAY_STORE: u8 = 8;
+const OP_ARRAY_LEN: u8 = 9;
+const OP_CALL: u8 = 10;
+const OP_RETURN: u8 = 11;
+const OP_CALL_COMPLETE: u8 = 12;
+const OP_NATIVE: u8 = 13;
+const OP_PHASE: u8 = 14;
+const OP_JUMP: u8 = 15;
+const OP_FRAME_PUSH: u8 = 16;
+const OP_FRAME_POP: u8 = 17;
+
+/// A malformed or truncated trace.
+#[derive(Debug, Clone)]
+pub struct TraceError {
+    /// Byte offset (within the parsed buffer) where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------------
+// varint codec
+// ---------------------------------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    put_u64(buf, u64::from(v));
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A decoding cursor over a byte slice. `base` is the slice's offset in
+/// the overall trace so error positions are absolute.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8], base: usize) -> Self {
+        Cur { buf, pos: 0, base }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TraceError {
+        TraceError {
+            offset: self.base + self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of trace"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(self.err("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| self.err("varint overflows u32"))
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        let v = self.u64()?;
+        u16::try_from(v).map_err(|_| self.err("varint overflows u16"))
+    }
+
+    fn bool(&mut self) -> Result<bool, TraceError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.err(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.err("length runs past end of trace"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// field codecs
+// ---------------------------------------------------------------------------
+
+fn put_instr(buf: &mut Vec<u8>, at: InstrId) {
+    put_u32(buf, at.method.0);
+    put_u32(buf, at.pc);
+}
+
+fn get_instr(c: &mut Cur) -> Result<InstrId, TraceError> {
+    let method = MethodId(c.u32()?);
+    let pc = c.u32()?;
+    Ok(InstrId::new(method, pc))
+}
+
+fn put_local(buf: &mut Vec<u8>, l: Local) {
+    put_u32(buf, u32::from(l.0));
+}
+
+fn get_local(c: &mut Cur) -> Result<Local, TraceError> {
+    Ok(Local(c.u16()?))
+}
+
+fn put_opt_local(buf: &mut Vec<u8>, l: Option<Local>) {
+    match l {
+        None => put_u32(buf, 0),
+        Some(l) => put_u32(buf, u32::from(l.0) + 1),
+    }
+}
+
+fn get_opt_local(c: &mut Cur) -> Result<Option<Local>, TraceError> {
+    let v = c.u32()?;
+    if v == 0 {
+        return Ok(None);
+    }
+    let raw = u16::try_from(v - 1).map_err(|_| c.err("local index overflows u16"))?;
+    Ok(Some(Local(raw)))
+}
+
+fn put_opt_object(buf: &mut Vec<u8>, o: Option<ObjectId>) {
+    match o {
+        None => put_u64(buf, 0),
+        Some(o) => put_u64(buf, u64::from(o.0) + 1),
+    }
+}
+
+fn get_opt_object(c: &mut Cur) -> Result<Option<ObjectId>, TraceError> {
+    let v = c.u64()?;
+    if v == 0 {
+        return Ok(None);
+    }
+    let raw = u32::try_from(v - 1).map_err(|_| c.err("object id overflows u32"))?;
+    Ok(Some(ObjectId(raw)))
+}
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_REF: u8 = 3;
+const VAL_ABSENT: u8 = 4;
+
+fn put_value(buf: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Null => buf.push(VAL_NULL),
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            put_u64(buf, zigzag(i));
+        }
+        Value::Float(f) => {
+            buf.push(VAL_FLOAT);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Ref(o) => {
+            buf.push(VAL_REF);
+            put_u32(buf, o.0);
+        }
+    }
+}
+
+fn get_value_tag(c: &mut Cur, tag: u8) -> Result<Value, TraceError> {
+    match tag {
+        VAL_NULL => Ok(Value::Null),
+        VAL_INT => Ok(Value::Int(unzigzag(c.u64()?))),
+        VAL_FLOAT => Ok(Value::Float(f64::from_bits(c.u64()?))),
+        VAL_REF => Ok(Value::Ref(ObjectId(c.u32()?))),
+        t => Err(c.err(format!("invalid value tag {t}"))),
+    }
+}
+
+fn get_value(c: &mut Cur) -> Result<Value, TraceError> {
+    let tag = c.u8()?;
+    get_value_tag(c, tag)
+}
+
+fn put_opt_value(buf: &mut Vec<u8>, v: Option<Value>) {
+    match v {
+        None => buf.push(VAL_ABSENT),
+        Some(v) => put_value(buf, v),
+    }
+}
+
+fn get_opt_value(c: &mut Cur) -> Result<Option<Value>, TraceError> {
+    let tag = c.u8()?;
+    if tag == VAL_ABSENT {
+        return Ok(None);
+    }
+    get_value_tag(c, tag).map(Some)
+}
+
+fn put_locals(buf: &mut Vec<u8>, ls: &[Local]) {
+    put_u64(buf, ls.len() as u64);
+    for &l in ls {
+        put_local(buf, l);
+    }
+}
+
+fn get_locals(c: &mut Cur) -> Result<Vec<Local>, TraceError> {
+    let n = c.u32()? as usize;
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(get_local(c)?);
+    }
+    Ok(v)
+}
+
+fn cmp_op_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_op_from(code: u8, c: &Cur) -> Result<CmpOp, TraceError> {
+    Ok(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return Err(c.err(format!("invalid cmp op {code}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// record codecs
+// ---------------------------------------------------------------------------
+
+fn put_event(buf: &mut Vec<u8>, e: &Event) {
+    match e {
+        Event::Compute {
+            at,
+            dst,
+            uses,
+            value,
+        } => {
+            buf.push(OP_COMPUTE);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_opt_local(buf, uses[0]);
+            put_opt_local(buf, uses[1]);
+            put_value(buf, *value);
+        }
+        Event::Predicate {
+            at,
+            op,
+            uses,
+            taken,
+        } => {
+            buf.push(OP_PREDICATE);
+            put_instr(buf, *at);
+            buf.push(cmp_op_code(*op));
+            put_local(buf, uses[0]);
+            put_local(buf, uses[1]);
+            buf.push(u8::from(*taken));
+        }
+        Event::Alloc {
+            at,
+            dst,
+            object,
+            site,
+            len_use,
+        } => {
+            buf.push(OP_ALLOC);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_u32(buf, object.0);
+            put_u32(buf, site.0);
+            put_opt_local(buf, *len_use);
+        }
+        Event::LoadField {
+            at,
+            dst,
+            base,
+            object,
+            field,
+            offset,
+            value,
+        } => {
+            buf.push(OP_LOAD_FIELD);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_local(buf, *base);
+            put_u32(buf, object.0);
+            put_u32(buf, field.0);
+            put_u32(buf, *offset);
+            put_value(buf, *value);
+        }
+        Event::StoreField {
+            at,
+            base,
+            object,
+            field,
+            offset,
+            src,
+            value,
+        } => {
+            buf.push(OP_STORE_FIELD);
+            put_instr(buf, *at);
+            put_local(buf, *base);
+            put_u32(buf, object.0);
+            put_u32(buf, field.0);
+            put_u32(buf, *offset);
+            put_local(buf, *src);
+            put_value(buf, *value);
+        }
+        Event::LoadStatic {
+            at,
+            dst,
+            field,
+            value,
+        } => {
+            buf.push(OP_LOAD_STATIC);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_u32(buf, field.0);
+            put_value(buf, *value);
+        }
+        Event::StoreStatic {
+            at,
+            field,
+            src,
+            value,
+        } => {
+            buf.push(OP_STORE_STATIC);
+            put_instr(buf, *at);
+            put_u32(buf, field.0);
+            put_local(buf, *src);
+            put_value(buf, *value);
+        }
+        Event::ArrayLoad {
+            at,
+            dst,
+            base,
+            object,
+            idx,
+            index,
+            value,
+        } => {
+            buf.push(OP_ARRAY_LOAD);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_local(buf, *base);
+            put_u32(buf, object.0);
+            put_local(buf, *idx);
+            put_u32(buf, *index);
+            put_value(buf, *value);
+        }
+        Event::ArrayStore {
+            at,
+            base,
+            object,
+            idx,
+            index,
+            src,
+            value,
+        } => {
+            buf.push(OP_ARRAY_STORE);
+            put_instr(buf, *at);
+            put_local(buf, *base);
+            put_u32(buf, object.0);
+            put_local(buf, *idx);
+            put_u32(buf, *index);
+            put_local(buf, *src);
+            put_value(buf, *value);
+        }
+        Event::ArrayLen {
+            at,
+            dst,
+            base,
+            object,
+            value,
+        } => {
+            buf.push(OP_ARRAY_LEN);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_local(buf, *base);
+            put_u32(buf, object.0);
+            put_value(buf, *value);
+        }
+        Event::Call { at, callee, args } => {
+            buf.push(OP_CALL);
+            put_instr(buf, *at);
+            put_u32(buf, callee.0);
+            put_locals(buf, args);
+        }
+        Event::Return { at, src, value } => {
+            buf.push(OP_RETURN);
+            put_instr(buf, *at);
+            put_opt_local(buf, *src);
+            put_opt_value(buf, *value);
+        }
+        Event::CallComplete { at, dst, value } => {
+            buf.push(OP_CALL_COMPLETE);
+            put_instr(buf, *at);
+            put_opt_local(buf, *dst);
+            put_opt_value(buf, *value);
+        }
+        Event::Native {
+            at,
+            native,
+            args,
+            dst,
+            value,
+        } => {
+            buf.push(OP_NATIVE);
+            put_instr(buf, *at);
+            put_u32(buf, native.0);
+            put_locals(buf, args);
+            put_opt_local(buf, *dst);
+            put_opt_value(buf, *value);
+        }
+        Event::Phase { at, begin } => {
+            buf.push(OP_PHASE);
+            put_instr(buf, *at);
+            buf.push(u8::from(*begin));
+        }
+        Event::Jump { at } => {
+            buf.push(OP_JUMP);
+            put_instr(buf, *at);
+        }
+    }
+}
+
+fn get_event(c: &mut Cur, op: u8) -> Result<Event, TraceError> {
+    Ok(match op {
+        OP_COMPUTE => Event::Compute {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            uses: [get_opt_local(c)?, get_opt_local(c)?],
+            value: get_value(c)?,
+        },
+        OP_PREDICATE => {
+            let at = get_instr(c)?;
+            let code = c.u8()?;
+            Event::Predicate {
+                at,
+                op: cmp_op_from(code, c)?,
+                uses: [get_local(c)?, get_local(c)?],
+                taken: c.bool()?,
+            }
+        }
+        OP_ALLOC => Event::Alloc {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            site: AllocSiteId(c.u32()?),
+            len_use: get_opt_local(c)?,
+        },
+        OP_LOAD_FIELD => Event::LoadField {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            base: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            field: FieldId(c.u32()?),
+            offset: c.u32()?,
+            value: get_value(c)?,
+        },
+        OP_STORE_FIELD => Event::StoreField {
+            at: get_instr(c)?,
+            base: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            field: FieldId(c.u32()?),
+            offset: c.u32()?,
+            src: get_local(c)?,
+            value: get_value(c)?,
+        },
+        OP_LOAD_STATIC => Event::LoadStatic {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            field: StaticId(c.u32()?),
+            value: get_value(c)?,
+        },
+        OP_STORE_STATIC => Event::StoreStatic {
+            at: get_instr(c)?,
+            field: StaticId(c.u32()?),
+            src: get_local(c)?,
+            value: get_value(c)?,
+        },
+        OP_ARRAY_LOAD => Event::ArrayLoad {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            base: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            idx: get_local(c)?,
+            index: c.u32()?,
+            value: get_value(c)?,
+        },
+        OP_ARRAY_STORE => Event::ArrayStore {
+            at: get_instr(c)?,
+            base: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            idx: get_local(c)?,
+            index: c.u32()?,
+            src: get_local(c)?,
+            value: get_value(c)?,
+        },
+        OP_ARRAY_LEN => Event::ArrayLen {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            base: get_local(c)?,
+            object: ObjectId(c.u32()?),
+            value: get_value(c)?,
+        },
+        OP_CALL => Event::Call {
+            at: get_instr(c)?,
+            callee: MethodId(c.u32()?),
+            args: get_locals(c)?,
+        },
+        OP_RETURN => Event::Return {
+            at: get_instr(c)?,
+            src: get_opt_local(c)?,
+            value: get_opt_value(c)?,
+        },
+        OP_CALL_COMPLETE => Event::CallComplete {
+            at: get_instr(c)?,
+            dst: get_opt_local(c)?,
+            value: get_opt_value(c)?,
+        },
+        OP_NATIVE => Event::Native {
+            at: get_instr(c)?,
+            native: NativeId(c.u32()?),
+            args: get_locals(c)?,
+            dst: get_opt_local(c)?,
+            value: get_opt_value(c)?,
+        },
+        OP_PHASE => Event::Phase {
+            at: get_instr(c)?,
+            begin: c.bool()?,
+        },
+        OP_JUMP => Event::Jump { at: get_instr(c)? },
+        _ => return Err(c.err(format!("invalid record opcode {op}"))),
+    })
+}
+
+fn put_frame_info(buf: &mut Vec<u8>, info: &FrameInfo) {
+    put_u32(buf, info.method.0);
+    match info.call_site {
+        None => buf.push(0),
+        Some(at) => {
+            buf.push(1);
+            put_instr(buf, at);
+        }
+    }
+    put_u64(buf, u64::from(info.num_params));
+    put_u64(buf, u64::from(info.num_locals));
+    put_opt_object(buf, info.receiver);
+    put_u64(buf, u64::from(info.num_args));
+}
+
+fn get_frame_info(c: &mut Cur) -> Result<FrameInfo, TraceError> {
+    let method = MethodId(c.u32()?);
+    let call_site = match c.u8()? {
+        0 => None,
+        1 => Some(get_instr(c)?),
+        b => return Err(c.err(format!("invalid call-site tag {b}"))),
+    };
+    Ok(FrameInfo {
+        method,
+        call_site,
+        num_params: c.u16()?,
+        num_locals: c.u16()?,
+        receiver: get_opt_object(c)?,
+        num_args: c.u16()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------------
+
+/// Totals reported by [`TraceWriter::finish`], mirroring the trailer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceStats {
+    /// Instruction events recorded (including `CallComplete`).
+    pub events: u64,
+    /// Executed instructions (events excluding `CallComplete`), matching
+    /// [`RunOutcome::instructions_executed`](crate::RunOutcome).
+    pub instructions: u64,
+    /// Objects allocated.
+    pub objects_allocated: u64,
+    /// Frame pushes recorded.
+    pub frame_pushes: u64,
+    /// Number of segments written.
+    pub segments: u64,
+    /// Total bytes written, including header and trailer.
+    pub bytes: u64,
+}
+
+/// A live frame as the writer tracks it for prologue capture.
+#[derive(Debug, Clone, Copy)]
+struct WriterFrame {
+    method: MethodId,
+    num_locals: u16,
+    /// Global frame id: the index of this frame's push among all pushes.
+    gid: u64,
+    receiver: Option<ObjectId>,
+}
+
+/// An [`EventSink`] that serializes the stream to a [`Write`] target.
+///
+/// Attach it to a live run via [`SinkTracer`](crate::SinkTracer) —
+/// optionally tupled with a profiler so one execution both profiles and
+/// records — then call [`TraceWriter::finish`] to flush the final segment
+/// and trailer. I/O errors are deferred: the sink hooks are infallible,
+/// so a failed write latches the error and `finish` reports it.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    started: bool,
+    io_error: Option<io::Error>,
+    /// Prologue captured at the current segment's start.
+    prologue: Vec<u8>,
+    /// Encoded records of the current segment.
+    seg: Vec<u8>,
+    seg_records: usize,
+    segment_limit: usize,
+    frames: Vec<WriterFrame>,
+    push_count: u64,
+    in_phase: bool,
+    stats: TraceStats,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer with the [`DEFAULT_SEGMENT_LIMIT`].
+    pub fn new(out: W) -> Self {
+        Self::with_segment_limit(out, DEFAULT_SEGMENT_LIMIT)
+    }
+
+    /// Creates a writer that targets `limit` records per segment. Smaller
+    /// limits produce more (and more parallelizable) segments at the cost
+    /// of prologue overhead; tests use tiny limits to force segmentation
+    /// on small programs.
+    pub fn with_segment_limit(out: W, limit: usize) -> Self {
+        let mut w = TraceWriter {
+            out,
+            started: false,
+            io_error: None,
+            prologue: Vec::new(),
+            seg: Vec::new(),
+            seg_records: 0,
+            segment_limit: limit.max(1),
+            frames: Vec::new(),
+            push_count: 0,
+            in_phase: false,
+            stats: TraceStats::default(),
+        };
+        w.capture_prologue();
+        w
+    }
+
+    /// Encodes the current shadow-stack state as the prologue of the
+    /// segment that starts *now*.
+    fn capture_prologue(&mut self) {
+        self.prologue.clear();
+        put_u64(&mut self.prologue, self.frames.len() as u64);
+        for f in &self.frames {
+            put_u32(&mut self.prologue, f.method.0);
+            put_u64(&mut self.prologue, u64::from(f.num_locals));
+            put_u64(&mut self.prologue, f.gid);
+            put_opt_object(&mut self.prologue, f.receiver);
+        }
+        self.prologue.push(u8::from(self.in_phase));
+        put_u64(&mut self.prologue, self.push_count);
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(bytes) {
+            self.io_error = Some(e);
+            return;
+        }
+        self.stats.bytes += bytes.len() as u64;
+    }
+
+    /// Writes the current segment (prologue + payload) and begins a new
+    /// one whose prologue reflects the state as of now.
+    fn flush_segment(&mut self) {
+        if !self.started {
+            self.started = true;
+            let mut header = Vec::with_capacity(8);
+            header.extend_from_slice(&TRACE_MAGIC);
+            put_u64(&mut header, TRACE_VERSION);
+            self.write_all(&header);
+        }
+        let mut framing = Vec::with_capacity(16);
+        framing.push(TAG_SEGMENT);
+        put_u64(&mut framing, self.prologue.len() as u64);
+        self.write_all(&framing);
+        let prologue = std::mem::take(&mut self.prologue);
+        self.write_all(&prologue);
+        let mut len = Vec::with_capacity(8);
+        put_u64(&mut len, self.seg.len() as u64);
+        self.write_all(&len);
+        let seg = std::mem::take(&mut self.seg);
+        self.write_all(&seg);
+        self.stats.segments += 1;
+        self.seg_records = 0;
+        self.capture_prologue();
+    }
+
+    /// Flushes the final segment, writes the trailer, and returns the
+    /// underlying writer together with the totals. Reports any I/O error
+    /// encountered during the run.
+    pub fn finish(mut self) -> io::Result<(W, TraceStats)> {
+        if !self.seg.is_empty() || self.stats.segments == 0 {
+            self.flush_segment();
+        }
+        let mut trailer = Vec::with_capacity(24);
+        trailer.push(TAG_TRAILER);
+        put_u64(&mut trailer, self.stats.events);
+        put_u64(&mut trailer, self.stats.instructions);
+        put_u64(&mut trailer, self.stats.objects_allocated);
+        put_u64(&mut trailer, self.stats.frame_pushes);
+        self.write_all(&trailer);
+        if self.io_error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.io_error = Some(e);
+            }
+        }
+        match self.io_error {
+            Some(e) => Err(e),
+            None => Ok((self.out, self.stats)),
+        }
+    }
+}
+
+impl<W: Write> EventSink for TraceWriter<W> {
+    fn event(&mut self, event: &Event) {
+        match event {
+            Event::Phase { begin, .. } => self.in_phase = *begin,
+            Event::Alloc { .. } => self.stats.objects_allocated += 1,
+            _ => {}
+        }
+        self.stats.events += 1;
+        if !matches!(event, Event::CallComplete { .. }) {
+            self.stats.instructions += 1;
+        }
+        put_event(&mut self.seg, event);
+        self.seg_records += 1;
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        // Segments may only split here: flushing *before* encoding the
+        // push guarantees every non-first segment begins with a
+        // frame-push record, so a replay shard always enters a frame it
+        // saw being created.
+        if self.seg_records >= self.segment_limit {
+            self.flush_segment();
+        }
+        self.frames.push(WriterFrame {
+            method: info.method,
+            num_locals: info.num_locals,
+            gid: self.push_count,
+            receiver: info.receiver,
+        });
+        self.push_count += 1;
+        self.stats.frame_pushes += 1;
+        self.seg.push(OP_FRAME_PUSH);
+        put_frame_info(&mut self.seg, info);
+        self.seg_records += 1;
+    }
+
+    fn frame_pop(&mut self) {
+        self.frames.pop();
+        self.seg.push(OP_FRAME_POP);
+        self.seg_records += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reader
+// ---------------------------------------------------------------------------
+
+/// One live frame described by a segment prologue.
+#[derive(Debug, Clone, Copy)]
+pub struct PrologueFrame {
+    /// The frame's method.
+    pub method: MethodId,
+    /// Total local slots in the frame.
+    pub num_locals: u16,
+    /// Global frame id (index of its push among all pushes in the run).
+    pub gid: u64,
+    /// The receiver object the frame was entered with, if any. Consumers
+    /// reconstruct the object-sensitive context chain from these.
+    pub receiver: Option<ObjectId>,
+}
+
+/// The shadow-stack state at a segment boundary.
+#[derive(Debug, Clone, Default)]
+pub struct Prologue {
+    /// Live frames, outermost first.
+    pub frames: Vec<PrologueFrame>,
+    /// Whether execution was inside a `phase_begin`/`phase_end` window.
+    pub in_phase: bool,
+    /// The global frame id the segment's first in-segment push receives.
+    pub first_gid: u64,
+}
+
+/// Run totals recorded in the trace trailer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trailer {
+    /// Instruction events (including `CallComplete`).
+    pub events: u64,
+    /// Executed instructions, matching
+    /// [`RunOutcome::instructions_executed`](crate::RunOutcome).
+    pub instructions: u64,
+    /// Objects allocated during the run.
+    pub objects_allocated: u64,
+    /// Total frame pushes.
+    pub frame_pushes: u64,
+}
+
+/// One independently replayable chunk of the trace.
+#[derive(Debug, Clone)]
+pub struct Segment<'a> {
+    prologue: Prologue,
+    payload: &'a [u8],
+    /// Absolute offset of the payload in the trace, for error reporting.
+    payload_offset: usize,
+}
+
+impl<'a> Segment<'a> {
+    /// The shadow-stack state this segment starts from.
+    pub fn prologue(&self) -> &Prologue {
+        &self.prologue
+    }
+
+    /// Replays the segment's records into `sink`, in recorded order.
+    pub fn replay<S: EventSink>(&self, sink: &mut S) -> Result<(), TraceError> {
+        let mut c = Cur::new(self.payload, self.payload_offset);
+        while !c.done() {
+            let op = c.u8()?;
+            match op {
+                OP_FRAME_PUSH => {
+                    let info = get_frame_info(&mut c)?;
+                    sink.frame_push(&info);
+                }
+                OP_FRAME_POP => sink.frame_pop(),
+                _ => {
+                    let e = get_event(&mut c, op)?;
+                    sink.event(&e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed in-memory trace. Parsing decodes segment framing and
+/// prologues eagerly (they are tiny) but leaves record payloads as byte
+/// slices, so handing segments to parallel workers costs nothing.
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    segments: Vec<Segment<'a>>,
+    trailer: Trailer,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Parses a trace buffer. Fails on bad magic, unknown version,
+    /// truncation, or a missing trailer.
+    pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
+        let mut c = Cur::new(buf, 0);
+        let magic = c.bytes(4)?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError {
+                offset: 0,
+                message: "not a lowutil trace (bad magic)".to_string(),
+            });
+        }
+        let version = c.u64()?;
+        if version != TRACE_VERSION {
+            return Err(c.err(format!(
+                "unsupported trace version {version} (expected {TRACE_VERSION})"
+            )));
+        }
+        let mut segments = Vec::new();
+        loop {
+            match c.u8()? {
+                TAG_SEGMENT => {
+                    let plen = c.u64()? as usize;
+                    let pstart = c.pos;
+                    let pbytes = c.bytes(plen)?;
+                    let mut pc = Cur::new(pbytes, pstart);
+                    let depth = pc.u32()? as usize;
+                    let mut frames = Vec::with_capacity(depth.min(4096));
+                    for _ in 0..depth {
+                        frames.push(PrologueFrame {
+                            method: MethodId(pc.u32()?),
+                            num_locals: pc.u16()?,
+                            gid: pc.u64()?,
+                            receiver: get_opt_object(&mut pc)?,
+                        });
+                    }
+                    let in_phase = pc.bool()?;
+                    let first_gid = pc.u64()?;
+                    if !pc.done() {
+                        return Err(pc.err("trailing bytes in segment prologue"));
+                    }
+                    let len = c.u64()? as usize;
+                    let payload_offset = c.pos;
+                    let payload = c.bytes(len)?;
+                    segments.push(Segment {
+                        prologue: Prologue {
+                            frames,
+                            in_phase,
+                            first_gid,
+                        },
+                        payload,
+                        payload_offset,
+                    });
+                }
+                TAG_TRAILER => {
+                    let trailer = Trailer {
+                        events: c.u64()?,
+                        instructions: c.u64()?,
+                        objects_allocated: c.u64()?,
+                        frame_pushes: c.u64()?,
+                    };
+                    if !c.done() {
+                        return Err(c.err("trailing bytes after trace trailer"));
+                    }
+                    return Ok(TraceReader { segments, trailer });
+                }
+                t => return Err(c.err(format!("invalid frame tag {t}"))),
+            }
+        }
+    }
+
+    /// The trace's segments, in execution order.
+    pub fn segments(&self) -> &[Segment<'a>] {
+        &self.segments
+    }
+
+    /// The run totals from the trailer.
+    pub fn trailer(&self) -> &Trailer {
+        &self.trailer
+    }
+
+    /// Replays the entire trace into `sink`, segment by segment.
+    pub fn replay<S: EventSink>(&self, sink: &mut S) -> Result<(), TraceError> {
+        for seg in &self.segments {
+            seg.replay(sink)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, SinkTracer};
+    use crate::tracer::Tracer;
+    use crate::Vm;
+    use lowutil_ir::{BinOp, Program, ProgramBuilder};
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u64::MAX];
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        let mut c = Cur::new(&buf, 0);
+        for &v in &values {
+            assert_eq!(c.u64().unwrap(), v);
+        }
+        assert!(c.done());
+        for v in [0i64, 1, -1, 63, -64, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    /// A program exercising every event kind: heap, arrays, statics,
+    /// calls, predicates, natives, and phases.
+    fn kitchen_sink_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let print = pb.native("print", 1, false);
+        let begin = pb.native("phase_begin", 0, false);
+        let end = pb.native("phase_end", 0, false);
+        let cls = pb.class("C").finish(&mut pb);
+        let f = pb.field(cls, "f");
+        let s = pb.static_field("S");
+
+        let mut twice = pb.method("twice", 1);
+        let p0 = twice.param(0);
+        let r = twice.new_local("r");
+        twice.binop(r, BinOp::Add, p0, p0);
+        twice.ret(r);
+        let twice_id = twice.finish(&mut pb);
+
+        let mut m = pb.method("main", 0);
+        let x = m.new_local("x");
+        let y = m.new_local("y");
+        let obj = m.new_local("obj");
+        let arr = m.new_local("arr");
+        let len = m.new_local("len");
+        let i = m.new_local("i");
+        m.call_native_void(begin, &[]);
+        m.iconst(x, 21);
+        m.call(Some(y), twice_id, &[x]);
+        m.new_obj(obj, cls);
+        m.put_field(obj, f, y);
+        m.get_field(x, obj, f);
+        m.put_static(s, x);
+        m.get_static(y, s);
+        m.iconst(len, 3);
+        m.new_array(arr, len);
+        m.iconst(i, 0);
+        let loop_top = m.label();
+        m.bind(loop_top);
+        m.array_put(arr, i, y);
+        m.array_get(x, arr, i);
+        m.iconst(y, 1);
+        m.binop(i, BinOp::Add, i, y);
+        m.iconst(y, 3);
+        m.branch(lowutil_ir::CmpOp::Lt, i, y, loop_top);
+        m.array_len(len, arr);
+        m.call_native_void(end, &[]);
+        m.call_native_void(print, &[len]);
+        m.ret_void();
+        let main_id = m.finish(&mut pb);
+        pb.finish(main_id).expect("valid program")
+    }
+
+    /// Collects a Debug rendering of the full stream for comparison
+    /// (Event does not implement PartialEq).
+    #[derive(Default)]
+    struct StreamLog(Vec<String>);
+
+    impl EventSink for StreamLog {
+        fn event(&mut self, e: &Event) {
+            self.0.push(format!("{e:?}"));
+        }
+
+        fn frame_push(&mut self, info: &FrameInfo) {
+            self.0.push(format!("push {info:?}"));
+        }
+
+        fn frame_pop(&mut self) {
+            self.0.push("pop".to_string());
+        }
+    }
+
+    impl Tracer for StreamLog {
+        fn instr(&mut self, e: &Event) {
+            EventSink::event(self, e);
+        }
+
+        fn frame_push(&mut self, info: &FrameInfo) {
+            EventSink::frame_push(self, info);
+        }
+
+        fn frame_pop(&mut self) {
+            EventSink::frame_pop(self);
+        }
+    }
+
+    fn record(program: &Program, limit: usize) -> (Vec<u8>, TraceStats, crate::RunOutcome) {
+        let writer = TraceWriter::with_segment_limit(Vec::new(), limit);
+        let mut t = SinkTracer(writer);
+        let out = Vm::new(program).run(&mut t).expect("program runs");
+        let (bytes, stats) = t.0.finish().expect("in-memory write cannot fail");
+        (bytes, stats, out)
+    }
+
+    #[test]
+    fn record_replay_reproduces_the_exact_stream() {
+        let program = kitchen_sink_program();
+        let mut live = StreamLog::default();
+        let out_live = Vm::new(&program).run(&mut live).expect("program runs");
+        let (bytes, stats, out_rec) = record(&program, DEFAULT_SEGMENT_LIMIT);
+        assert_eq!(
+            out_live.instructions_executed,
+            out_rec.instructions_executed
+        );
+
+        let reader = TraceReader::new(&bytes).expect("trace parses");
+        let mut replayed = StreamLog::default();
+        reader.replay(&mut replayed).expect("trace replays");
+        assert_eq!(live.0, replayed.0);
+
+        let trailer = reader.trailer();
+        assert_eq!(trailer.instructions, out_rec.instructions_executed);
+        assert_eq!(trailer.objects_allocated, out_rec.objects_allocated as u64);
+        assert_eq!(stats.instructions, trailer.instructions);
+        assert_eq!(stats.events, trailer.events);
+    }
+
+    #[test]
+    fn tiny_segment_limit_splits_at_frame_pushes_only() {
+        let program = kitchen_sink_program();
+        let (big, ..) = record(&program, DEFAULT_SEGMENT_LIMIT);
+        let (small, stats, _) = record(&program, 4);
+        assert!(stats.segments > 1, "limit 4 must force segmentation");
+
+        let rb = TraceReader::new(&big).expect("trace parses");
+        let rs = TraceReader::new(&small).expect("trace parses");
+        assert_eq!(rb.segments().len(), 1);
+        assert_eq!(rs.segments().len() as u64, stats.segments);
+
+        // Identical replayed stream regardless of segmentation.
+        let (mut a, mut b) = (StreamLog::default(), StreamLog::default());
+        rb.replay(&mut a).unwrap();
+        rs.replay(&mut b).unwrap();
+        assert_eq!(a.0, b.0);
+
+        // Every non-first segment begins with a frame push, and its
+        // prologue is consistent: the first in-segment push gets
+        // `first_gid`, which grows monotonically.
+        let mut prev_first = 0;
+        for (i, seg) in rs.segments().iter().enumerate() {
+            if i > 0 {
+                assert_eq!(seg.payload[0], OP_FRAME_PUSH);
+                assert!(seg.prologue().first_gid >= prev_first);
+                assert!(!seg.prologue().frames.is_empty());
+                for w in seg.prologue().frames.windows(2) {
+                    assert!(w[0].gid < w[1].gid, "frame gids increase inward");
+                }
+            }
+            prev_first = seg.prologue().first_gid;
+        }
+    }
+
+    #[test]
+    fn counting_sink_matches_trailer() {
+        let program = kitchen_sink_program();
+        let (bytes, ..) = record(&program, 8);
+        let reader = TraceReader::new(&bytes).unwrap();
+        let mut count = CountingSink::new();
+        reader.replay(&mut count).unwrap();
+        assert_eq!(count.events, reader.trailer().events);
+        assert_eq!(count.pushes, reader.trailer().frame_pushes);
+        assert_eq!(count.pushes, count.pops);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(TraceReader::new(b"").is_err());
+        assert!(TraceReader::new(b"NOPE").is_err());
+        assert!(TraceReader::new(b"LUTR\x63").is_err()); // bad version
+        let program = kitchen_sink_program();
+        let (bytes, ..) = record(&program, DEFAULT_SEGMENT_LIMIT);
+        // Truncations anywhere must error, never panic.
+        for cut in [5, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TraceReader::new(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flipping the trailer tag leaves the trace without a trailer.
+        let mut no_trailer = bytes.clone();
+        let pos = no_trailer.len() - 33.min(no_trailer.len());
+        no_trailer.truncate(pos);
+        assert!(TraceReader::new(&no_trailer).is_err());
+    }
+}

@@ -19,6 +19,12 @@
 //! lowutil suite <name> [--size S]    run a built-in DaCapo-style workload
 //! lowutil suite all [--size S] [--jobs N]
 //!                                    profile the whole suite on N workers
+//! lowutil record <file.lu> <out.trace>
+//!                                    execute once, writing the event trace
+//! lowutil replay <file.lu> <trace> [--jobs N]
+//!                                    rebuild G_cost from a trace (sharded
+//!                                    across N workers) and print the same
+//!                                    report as `report`
 //! ```
 
 use lowutil::analyses::cache::cache_effectiveness;
@@ -29,13 +35,13 @@ use lowutil::analyses::methods::{method_costs, CallGraphTracer};
 use lowutil::analyses::report::{describe_field, describe_site, low_utility_report};
 use lowutil::core::{CostGraphConfig, CostProfiler};
 use lowutil::ir::{display_program, parse_program, Program};
-use lowutil::vm::{NullTracer, Vm};
+use lowutil::vm::{NullTracer, SinkTracer, TraceReader, TraceWriter, Vm};
 use lowutil::workloads::{workload, WorkloadSize, NAMES};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite> <file.lu|name|all> [flags]"
+        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
     );
     eprintln!(
         "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N"
@@ -52,6 +58,17 @@ struct Flags {
     jobs: usize,
 }
 
+/// Consumes the next argument as a flag value only when one is actually
+/// present: a following `--flag` is *not* a value, so a flag with a
+/// missing value never swallows the next flag.
+fn take_value<'a>(it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>) -> Option<&'a str> {
+    let next = it.peek()?.as_str();
+    if next.starts_with("--") {
+        return None;
+    }
+    it.next().map(String::as_str)
+}
+
 fn parse_flags(args: &[String]) -> Flags {
     let mut f = Flags {
         top: 10,
@@ -61,35 +78,41 @@ fn parse_flags(args: &[String]) -> Flags {
         size: WorkloadSize::Default,
         jobs: lowutil::par::default_jobs(),
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--top" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse().ok()) {
                     f.top = v;
+                } else {
+                    eprintln!("--top needs a number; keeping {}", f.top);
                 }
             }
             "--slots" => {
-                if let Some(v) = it.next().and_then(|s| s.parse::<u32>().ok()) {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<u32>().ok()) {
                     // The context reduction is `g mod s`; 0 slots is
                     // meaningless and would divide by zero.
                     f.slots = v.max(1);
+                } else {
+                    eprintln!("--slots needs a number; keeping {}", f.slots);
                 }
             }
             "--jobs" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    f.jobs = v;
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<usize>().ok()) {
+                    // 0 workers cannot make progress; treat it as 1.
+                    f.jobs = v.max(1);
+                } else {
+                    eprintln!("--jobs needs a number; keeping {}", f.jobs);
                 }
             }
             "--control" => f.control = true,
             "--traditional" => f.traditional = true,
-            "--size" => {
-                f.size = match it.next().map(String::as_str) {
-                    Some("small") => WorkloadSize::Small,
-                    Some("large") => WorkloadSize::Large,
-                    _ => WorkloadSize::Default,
-                }
-            }
+            "--size" => match take_value(&mut it) {
+                Some("small") => f.size = WorkloadSize::Small,
+                Some("large") => f.size = WorkloadSize::Large,
+                Some("default") => f.size = WorkloadSize::Default,
+                _ => eprintln!("--size needs small|default|large; keeping default"),
+            },
             other => eprintln!("ignoring unknown flag `{other}`"),
         }
     }
@@ -124,7 +147,12 @@ fn main() -> ExitCode {
         (Some(c), Some(t)) => (c.as_str(), t.as_str()),
         _ => return usage(),
     };
-    let flags = parse_flags(&args[2..]);
+    // record/replay take a trace path as a third positional argument.
+    let flag_start = match cmd {
+        "record" | "replay" => 3,
+        _ => 2,
+    };
+    let flags = parse_flags(args.get(flag_start..).unwrap_or(&[]));
 
     let result = (|| -> Result<(), String> {
         match cmd {
@@ -309,6 +337,55 @@ fn main() -> ExitCode {
                     .map_err(|e| e.to_string())?;
                 Ok(())
             }
+            "record" => {
+                let p = load(target)?;
+                let out_path = args
+                    .get(2)
+                    .ok_or("record needs <file.lu> <out.trace>".to_string())?;
+                let file = std::fs::File::create(out_path)
+                    .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+                let mut tracer = SinkTracer(TraceWriter::new(std::io::BufWriter::new(file)));
+                let out = Vm::new(&p).run(&mut tracer).map_err(|e| e.to_string())?;
+                let (w, stats) = tracer.0.finish().map_err(|e| e.to_string())?;
+                w.into_inner().map_err(|e| format!("flush failed: {e}"))?;
+                for v in &out.output {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "-- recorded {} events ({} instructions) in {} segments, {} bytes",
+                    stats.events, stats.instructions, stats.segments, stats.bytes
+                );
+                Ok(())
+            }
+            "replay" => {
+                let p = load(target)?;
+                let trace_path = args
+                    .get(2)
+                    .ok_or("replay needs <file.lu> <trace>".to_string())?;
+                let bytes = std::fs::read(trace_path)
+                    .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+                let reader = TraceReader::new(&bytes).map_err(|e| e.to_string())?;
+                let config = CostGraphConfig {
+                    slots: flags.slots,
+                    traditional_uses: flags.traditional,
+                    control_edges: flags.control,
+                    ..CostGraphConfig::default()
+                };
+                let g = lowutil::par::replay_gcost(&p, config, &reader, flags.jobs)
+                    .map_err(|e| e.to_string())?;
+                let dead = dead_value_metrics(&g, reader.trailer().instructions);
+                print!(
+                    "{}",
+                    low_utility_report(
+                        &p,
+                        &g,
+                        &CostBenefitConfig::default(),
+                        flags.top,
+                        Some(&dead)
+                    )
+                );
+                Ok(())
+            }
             "suite" => {
                 if target == "all" {
                     // Profile all 18 workloads on the pool; each task owns
@@ -364,5 +441,66 @@ fn main() -> ExitCode {
             eprintln!("lowutil: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> Flags {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn value_flags_parse_their_values() {
+        let f = flags_of(&[
+            "--top", "3", "--slots", "8", "--jobs", "2", "--size", "small",
+        ]);
+        assert_eq!(f.top, 3);
+        assert_eq!(f.slots, 8);
+        assert_eq!(f.jobs, 2);
+        assert!(matches!(f.size, WorkloadSize::Small));
+    }
+
+    #[test]
+    fn value_flag_with_missing_value_does_not_swallow_next_flag() {
+        // `--top` at the end of `--top --control` must not eat `--control`.
+        let f = flags_of(&["--top", "--control"]);
+        assert_eq!(f.top, 10);
+        assert!(f.control);
+        let f = flags_of(&["--size", "--traditional"]);
+        assert!(matches!(f.size, WorkloadSize::Default));
+        assert!(f.traditional);
+        let f = flags_of(&["--slots", "--jobs", "3"]);
+        assert_eq!(f.slots, 16);
+        assert_eq!(f.jobs, 3);
+        let f = flags_of(&["--jobs", "--top", "5"]);
+        assert_eq!(f.top, 5);
+    }
+
+    #[test]
+    fn zero_values_are_clamped() {
+        let f = flags_of(&["--jobs", "0"]);
+        assert_eq!(f.jobs, 1);
+        let f = flags_of(&["--slots", "0"]);
+        assert_eq!(f.slots, 1);
+    }
+
+    #[test]
+    fn trailing_value_flag_keeps_defaults() {
+        let f = flags_of(&["--top"]);
+        assert_eq!(f.top, 10);
+        let f = flags_of(&["--size"]);
+        assert!(matches!(f.size, WorkloadSize::Default));
+    }
+
+    #[test]
+    fn unparsable_values_keep_defaults() {
+        let f = flags_of(&["--top", "many", "--jobs", "-1"]);
+        assert_eq!(f.top, 10);
+        // "many" and "-1" are consumed as (bad) values, not re-parsed as
+        // positional arguments.
+        assert!(f.jobs >= 1);
     }
 }

@@ -143,6 +143,55 @@ fn unknown_command_shows_usage() {
 }
 
 #[test]
+fn record_then_replay_matches_the_live_report() {
+    let trace = std::env::temp_dir().join(format!("lowutil-cli-{}.trace", std::process::id()));
+    let trace = trace.to_str().expect("temp path is UTF-8");
+
+    let (live, _, ok) = lowutil(&["report", SAMPLE, "--top", "3"]);
+    assert!(ok);
+
+    let (run_out, stderr, ok) = lowutil(&["record", SAMPLE, trace]);
+    assert!(ok, "{stderr}");
+    assert_eq!(run_out.trim(), "1", "record still executes the program");
+    assert!(stderr.contains("recorded"), "{stderr}");
+
+    for jobs in ["1", "4"] {
+        let (replayed, stderr, ok) =
+            lowutil(&["replay", SAMPLE, trace, "--jobs", jobs, "--top", "3"]);
+        assert!(ok, "{stderr}");
+        assert_eq!(
+            replayed, live,
+            "replay at --jobs {jobs} diverged from live report"
+        );
+    }
+
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn record_requires_an_output_path() {
+    let (_, stderr, ok) = lowutil(&["record", SAMPLE]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("usage") || stderr.contains("trace"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn value_flags_do_not_swallow_following_flags() {
+    // `--top` missing its value must not consume `--control`; the report
+    // should still come out (with a warning), not crash or misparse.
+    let (stdout, stderr, ok) = lowutil(&["report", SAMPLE, "--top", "--control"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("low-utility data structures"), "{stdout}");
+    assert!(
+        stderr.contains("--top"),
+        "warns about the missing value: {stderr}"
+    );
+}
+
+#[test]
 fn suite_command_runs_a_builtin_workload() {
     let (stdout, _, ok) = lowutil(&["suite", "chart", "--size", "small", "--top", "2"]);
     assert!(ok);

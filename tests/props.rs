@@ -3,9 +3,11 @@
 //! invariants on arbitrary data flow, not just on the hand-written
 //! workloads.
 
-use lowutil::core::{ConcreteProfiler, CostGraphConfig, CostProfiler, SlicingMode};
+use lowutil::core::{
+    ConcreteProfiler, CostGraph, CostGraphConfig, CostProfiler, GraphBuilder, SlicingMode,
+};
 use lowutil::ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
-use lowutil::vm::{NullTracer, Vm};
+use lowutil::vm::{NullTracer, SinkTracer, TraceReader, TraceWriter, Vm};
 use proptest::prelude::*;
 
 /// One randomly chosen instruction over a fixed register/heap shape.
@@ -20,6 +22,7 @@ enum Op {
     ArrPut(u8, u8),   // idx (0..8), src
     ArrGet(u8, u8),   // dst, idx
     Native(u8),       // consume a local
+    Call(u8, u8),     // dst, src: dst = double(src), exercising frames
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -33,6 +36,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0..8u8, 0..4u8).prop_map(|(i, s)| Op::ArrPut(i, s)),
         (0..4u8, 0..8u8).prop_map(|(d, i)| Op::ArrGet(d, i)),
         (0..4u8).prop_map(Op::Native),
+        (0..4u8, 0..4u8).prop_map(|(d, s)| Op::Call(d, s)),
     ]
 }
 
@@ -46,6 +50,15 @@ fn build(ops: &[Op]) -> Program {
     let fields = [f0, f1];
     // Safe binops only (no division traps).
     let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
+
+    // A tiny callee so generated programs also exercise frame pushes
+    // (which is where trace segments may split).
+    let mut dm = pb.method("double", 1);
+    let p0 = dm.param(0);
+    let dr = dm.new_local("dr");
+    dm.binop(dr, BinOp::Add, p0, p0);
+    dm.ret(dr);
+    let double_id = dm.finish(&mut pb);
 
     let mut m = pb.method("main", 0);
     let regs: Vec<Local> = (0..4).map(|i| m.new_local(format!("r{i}"))).collect();
@@ -97,6 +110,7 @@ fn build(ops: &[Op]) -> Program {
                 m.array_get(regs[d as usize], arr, idx);
             }
             Op::Native(s) => m.call_native_void(print, &[regs[s as usize]]),
+            Op::Call(d, s) => m.call(Some(regs[d as usize]), double_id, &[regs[s as usize]]),
         }
     }
     m.call_native_void(print, &[regs[0]]);
@@ -132,6 +146,9 @@ fn oracle(ops: &[Op]) -> Vec<i64> {
             Op::ArrPut(i, s) => arr[i as usize] = regs[s as usize],
             Op::ArrGet(d, i) => regs[d as usize] = arr[i as usize],
             Op::Native(s) => out.push(regs[s as usize]),
+            Op::Call(d, s) => {
+                regs[d as usize] = regs[s as usize].wrapping_add(regs[s as usize]);
+            }
         }
     }
     out.push(regs[0]);
@@ -186,10 +203,17 @@ proptest! {
         // Frequencies sum to profiled instances.
         let freq: u64 = g.graph().iter().map(|(_, n)| n.freq).sum();
         prop_assert!(freq <= g.instr_instances());
-        // Straight-line code: every node has frequency exactly 1, so the
-        // abstract and concrete graphs coincide in size.
+        // Straight-line code: main's nodes fire once; the shared `double`
+        // callee runs once per Call op under the same (empty) context, so
+        // its nodes accumulate exactly that frequency.
+        let calls = ops.iter().filter(|o| matches!(o, Op::Call(..))).count() as u64;
         for (_, n) in g.graph().iter() {
-            prop_assert_eq!(n.freq, 1);
+            prop_assert!(
+                n.freq == 1 || n.freq == calls,
+                "unexpected node frequency {} with {} calls",
+                n.freq,
+                calls
+            );
         }
         // Node count bounded by static instructions (one context).
         prop_assert!(g.graph().num_nodes() <= p.num_instrs());
@@ -253,6 +277,34 @@ proptest! {
         let after = Vm::new(&opt).run(&mut NullTracer).expect("optimized runs");
         prop_assert_eq!(before.output, after.output);
         prop_assert!(after.instructions_executed <= before.instructions_executed);
+    }
+
+    #[test]
+    fn replay_and_sharded_merge_match_live(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let config = CostGraphConfig::default();
+        let mut builder = GraphBuilder::new(&p, config);
+        // A tiny segment limit so any generated call splits the trace.
+        let mut writer = TraceWriter::with_segment_limit(Vec::new(), 8);
+        {
+            let mut tracer = SinkTracer((&mut builder, &mut writer));
+            Vm::new(&p).run(&mut tracer).unwrap();
+        }
+        let (bytes, _) = writer.finish().unwrap();
+        let live = builder.finish();
+        let canon = |g: &CostGraph| {
+            let mut buf = Vec::new();
+            lowutil::core::write_cost_graph(g, &mut buf).unwrap();
+            buf
+        };
+        let live_bytes = canon(&live);
+        let reader = TraceReader::new(&bytes).unwrap();
+        for jobs in [1usize, 2, 7] {
+            let g = lowutil::par::replay_gcost(&p, config, &reader, jobs).unwrap();
+            prop_assert!(canon(&g) == live_bytes, "replay diverged at jobs = {}", jobs);
+        }
     }
 
     #[test]

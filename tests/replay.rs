@@ -1,0 +1,78 @@
+//! End-to-end record/replay identity over the full workload suite: for
+//! every benchmark, a trace recorded during a live profiled run must
+//! rebuild — by sequential replay and by sharded merge at several worker
+//! counts — a `G_cost` byte-identical (under the canonical serialization)
+//! to the one the live profiler produced in the same run.
+
+use lowutil::core::{CostGraph, CostGraphConfig, GraphBuilder};
+use lowutil::vm::{SinkTracer, TraceReader, TraceWriter, Vm};
+use lowutil::workloads::{map_suite, WorkloadSize};
+
+fn canon(g: &CostGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    lowutil::core::write_cost_graph(g, &mut buf).unwrap();
+    buf
+}
+
+/// Records a trace while live-profiling in the same run (one VM pass,
+/// two sinks), then checks every replay path against the live graph.
+fn check_workload(program: &lowutil::ir::Program, config: CostGraphConfig, name: &str) {
+    let mut builder = GraphBuilder::new(program, config);
+    // Small segment limit so every workload produces several segments
+    // and the sharded path actually shards.
+    let mut writer = TraceWriter::with_segment_limit(Vec::new(), 256);
+    let out = {
+        let mut tracer = SinkTracer((&mut builder, &mut writer));
+        Vm::new(program)
+            .run(&mut tracer)
+            .unwrap_or_else(|e| panic!("{name} trapped: {e}"))
+    };
+    let (bytes, stats) = writer.finish().expect("in-memory trace write succeeds");
+    let live = canon(&builder.finish());
+
+    let reader = TraceReader::new(&bytes).unwrap_or_else(|e| panic!("{name}: bad trace: {e}"));
+    let trailer = reader.trailer();
+    assert_eq!(trailer.instructions, out.instructions_executed, "{name}");
+    assert_eq!(
+        trailer.objects_allocated, out.objects_allocated as u64,
+        "{name}"
+    );
+    assert_eq!(trailer.events, stats.events, "{name}");
+
+    for jobs in [1usize, 2, 7] {
+        let g = lowutil::par::replay_gcost(program, config, &reader, jobs)
+            .unwrap_or_else(|e| panic!("{name} at jobs={jobs}: {e}"));
+        assert_eq!(canon(&g), live, "{name}: replay diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn suite_replays_identically_at_every_job_count() {
+    map_suite(WorkloadSize::Small, lowutil::par::default_jobs(), |w| {
+        check_workload(&w.program, CostGraphConfig::default(), w.name);
+    });
+}
+
+#[test]
+fn suite_replays_identically_under_ablation_configs() {
+    // The configs the ablation study cares about; phase limiting and
+    // traditional uses change which events matter, so the shard builder
+    // must agree with the live builder under both.
+    let configs = [
+        CostGraphConfig {
+            phase_limited: true,
+            ..CostGraphConfig::default()
+        },
+        CostGraphConfig {
+            traditional_uses: true,
+            control_edges: true,
+            ..CostGraphConfig::default()
+        },
+    ];
+    for config in configs {
+        for name in ["tradebeans", "derby", "chart", "bloat"] {
+            let w = lowutil::workloads::workload(name, WorkloadSize::Small);
+            check_workload(&w.program, config, name);
+        }
+    }
+}
