@@ -1,0 +1,313 @@
+//! The batch cost-benefit analysis engine.
+//!
+//! The ranking of §3.1 asks one HRAC query per store node and one HRAB +
+//! consumer-reachability query per load node of every field of every
+//! site. The per-seed functions in [`crate::cost`] answer each query
+//! with a fresh `HashSet` BFS over [`DepGraph`](lowutil_core::DepGraph)
+//! adjacency — correct, but O(sites × fields × nodes × edges) with
+//! hashing on every visit. The abstract domain bounds the graph to
+//! `|I| × |D|` nodes, so the batch engine instead:
+//!
+//! 1. snapshots the finished graph once into a flat [`CsrGraph`];
+//! 2. answers every HRAC/HRAB with the bitset traversal kernel, reusing
+//!    one [`TraversalScratch`] per worker thread;
+//! 3. replaces the per-read forward BFS of
+//!    [`reaches_consumer`](crate::cost::reaches_consumer) with one
+//!    O(V+E) reverse pass from all consumer nodes
+//!    ([`CsrGraph::mark_consumer_reach`]);
+//! 4. fans the per-seed computations across the `lowutil-par` worker
+//!    pool — the snapshot is read-only, so seeds shard trivially.
+//!
+//! Both engines implement [`CostEngine`], and the aggregation layers
+//! ([`crate::cost`], [`crate::structure`], [`crate::report`]) are
+//! parameterized over it: the per-seed [`ReferenceEngine`] stays as the
+//! oracle the batch engine is property-tested against, and because the
+//! hop sums are exact `u64`s aggregated by shared code in identical
+//! order, batch reports are byte-identical to reference reports.
+
+use crate::cost;
+use lowutil_core::csr::{Bitset, CsrGraph, TraversalScratch};
+use lowutil_core::{CostGraph, NodeId};
+
+/// Answers the three per-node queries behind every cost-benefit
+/// aggregate. Implementations must agree exactly — sums are `u64`, so
+/// any divergence is a bug, not a rounding artifact.
+pub trait CostEngine: Sync {
+    /// Heap-relative abstract cost of a node (Definition 5).
+    fn hrac(&self, node: NodeId) -> u64;
+    /// Heap-relative abstract benefit of a node (Definition 6).
+    fn hrab(&self, node: NodeId) -> u64;
+    /// Whether the node's value reaches a predicate or native consumer
+    /// within its hop.
+    fn reaches_consumer(&self, node: NodeId) -> bool;
+}
+
+/// The per-seed oracle: every query re-runs the original `HashSet`
+/// slicer from [`crate::cost`]. Slow, obviously correct, and the
+/// baseline the batch engine is measured and tested against.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceEngine<'a> {
+    gcost: &'a CostGraph,
+}
+
+impl<'a> ReferenceEngine<'a> {
+    /// Wraps a finished cost graph.
+    pub fn new(gcost: &'a CostGraph) -> Self {
+        ReferenceEngine { gcost }
+    }
+}
+
+impl CostEngine for ReferenceEngine<'_> {
+    fn hrac(&self, node: NodeId) -> u64 {
+        cost::hrac(self.gcost, node)
+    }
+
+    fn hrab(&self, node: NodeId) -> u64 {
+        cost::hrab(self.gcost, node)
+    }
+
+    fn reaches_consumer(&self, node: NodeId) -> bool {
+        cost::reaches_consumer(self.gcost, node)
+    }
+}
+
+/// Sentinel for "not precomputed" in the batch engine's per-node sum
+/// arrays. A real hop sum of `u64::MAX` would require ~1.8e19
+/// instruction instances, far beyond what a `u64` frequency counter can
+/// accumulate from a real run.
+const UNCOMPUTED: u64 = u64::MAX;
+
+/// The batch engine: a CSR snapshot plus precomputed per-node answers.
+///
+/// Construction does all the work: HRAC for every heap-store node and
+/// HRAB for every heap-store and heap-load node are computed by sharding
+/// the seeds across the worker pool (each worker reusing one traversal
+/// scratch), and consumer reachability for *all* nodes comes from the
+/// single reverse marking pass. Queries are then array lookups; a query
+/// for a node outside the precomputed kinds falls back to a one-off
+/// kernel run on the snapshot.
+#[derive(Debug)]
+pub struct BatchAnalyzer {
+    csr: CsrGraph,
+    consumer_reach: Bitset,
+    hrac: Vec<u64>,
+    hrab: Vec<u64>,
+}
+
+impl BatchAnalyzer {
+    /// Builds the snapshot and precomputes all per-seed answers on up to
+    /// `jobs` worker threads (`0`/`1` = inline).
+    pub fn new(gcost: &CostGraph, jobs: usize) -> Self {
+        let csr = CsrGraph::build(gcost.graph());
+        let consumer_reach = csr.mark_consumer_reach();
+        let n = csr.num_nodes();
+
+        let back_seeds: Vec<u32> = (0..n as u32)
+            .filter(|&i| csr.kind(NodeId(i)).writes_heap())
+            .collect();
+        let fwd_seeds: Vec<u32> = (0..n as u32)
+            .filter(|&i| {
+                let k = csr.kind(NodeId(i));
+                k.writes_heap() || k.reads_heap()
+            })
+            .collect();
+
+        let mut hrac = vec![UNCOMPUTED; n];
+        for (seed, sum) in batch_sums(&csr, &back_seeds, jobs, false) {
+            hrac[seed as usize] = sum;
+        }
+        let mut hrab = vec![UNCOMPUTED; n];
+        for (seed, sum) in batch_sums(&csr, &fwd_seeds, jobs, true) {
+            hrab[seed as usize] = sum;
+        }
+
+        BatchAnalyzer {
+            csr,
+            consumer_reach,
+            hrac,
+            hrab,
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The precomputed consumer-reachability bitmap (bit = node index).
+    pub fn consumer_reach(&self) -> &Bitset {
+        &self.consumer_reach
+    }
+}
+
+/// Shards `seeds` into chunks across the pool, each worker reusing one
+/// scratch, and returns `(seed, hop sum)` pairs.
+fn batch_sums(csr: &CsrGraph, seeds: &[u32], jobs: usize, forward: bool) -> Vec<(u32, u64)> {
+    // A bounded traversal visits a few dozen nodes on typical abstract
+    // graphs while a worker spawn costs ~100µs, so fanning out only pays
+    // past thousands of seeds; below that, run inline.
+    let jobs = if seeds.len() < 4096 { 1 } else { jobs };
+    // Chunks are the unit of dynamic load balancing: several per worker
+    // so an expensive region does not serialize a whole stripe, but big
+    // enough that cursor traffic is negligible.
+    let chunk = (seeds.len() / (jobs.max(1) * 8)).max(32);
+    let chunks: Vec<Vec<u32>> = seeds.chunks(chunk).map(<[u32]>::to_vec).collect();
+    let sums = lowutil_par::par_map_init(
+        jobs,
+        chunks,
+        || TraversalScratch::for_graph(csr),
+        |scratch, chunk| {
+            chunk
+                .into_iter()
+                .map(|s| {
+                    let sum = if forward {
+                        csr.heap_bounded_forward_sum(scratch, NodeId(s))
+                    } else {
+                        csr.heap_bounded_backward_sum(scratch, NodeId(s))
+                    };
+                    (s, sum)
+                })
+                .collect::<Vec<(u32, u64)>>()
+        },
+    );
+    sums.concat()
+}
+
+impl CostEngine for BatchAnalyzer {
+    fn hrac(&self, node: NodeId) -> u64 {
+        let v = self.hrac[node.index()];
+        if v != UNCOMPUTED {
+            return v;
+        }
+        // Cold path: a seed kind not precomputed (ad-hoc query on a
+        // plain node). Run the kernel once with throwaway scratch.
+        let mut scratch = TraversalScratch::for_graph(&self.csr);
+        self.csr.heap_bounded_backward_sum(&mut scratch, node)
+    }
+
+    fn hrab(&self, node: NodeId) -> u64 {
+        let v = self.hrab[node.index()];
+        if v != UNCOMPUTED {
+            return v;
+        }
+        let mut scratch = TraversalScratch::for_graph(&self.csr);
+        self.csr.heap_bounded_forward_sum(&mut scratch, node)
+    }
+
+    fn reaches_consumer(&self, node: NodeId) -> bool {
+        self.consumer_reach.contains(node.index())
+    }
+}
+
+/// Which cost-benefit engine a front end should run — CLI/bench flag
+/// value for `--analysis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// The batch engine (CSR + bitset kernels + precomputation).
+    #[default]
+    Batch,
+    /// The per-seed reference oracle.
+    Reference,
+}
+
+impl EngineChoice {
+    /// Parses a `--analysis` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "batch" => Some(EngineChoice::Batch),
+            "reference" => Some(EngineChoice::Reference),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Batch => "batch",
+            EngineChoice::Reference => "reference",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    fn profile(src: &str) -> CostGraph {
+        let p = parse_program(src).expect("parse");
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        Vm::new(&p).run(&mut prof).expect("run");
+        prof.finish()
+    }
+
+    const MIXED: &str = r#"
+native print/1
+class List { arr n }
+class Used { v }
+method main/0 {
+  l = new List
+  cap = 16
+  a = newarray cap
+  l.arr = a
+  i = 0
+  one = 1
+  lim = 12
+loop:
+  if i >= lim goto done
+  x = i * i
+  arr = l.arr
+  arr[i] = x
+  i = i + one
+  goto loop
+done:
+  u = new Used
+  y = 7
+  u.v = y
+  z = u.v
+  native print(z)
+  return
+}
+"#;
+
+    #[test]
+    fn batch_agrees_with_reference_on_every_query() {
+        let g = profile(MIXED);
+        let batch = BatchAnalyzer::new(&g, 2);
+        let reference = ReferenceEngine::new(&g);
+        for id in g.graph().node_ids() {
+            assert_eq!(batch.hrac(id), reference.hrac(id), "hrac at {id}");
+            assert_eq!(batch.hrab(id), reference.hrab(id), "hrab at {id}");
+            assert_eq!(
+                batch.reaches_consumer(id),
+                reference.reaches_consumer(id),
+                "consumer flag at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let g = profile(MIXED);
+        let one = BatchAnalyzer::new(&g, 1);
+        let many = BatchAnalyzer::new(&g, 7);
+        for id in g.graph().node_ids() {
+            assert_eq!(one.hrac(id), many.hrac(id));
+            assert_eq!(one.hrab(id), many.hrab(id));
+            assert_eq!(one.reaches_consumer(id), many.reaches_consumer(id));
+        }
+    }
+
+    #[test]
+    fn engine_choice_parses_flag_values() {
+        assert_eq!(EngineChoice::parse("batch"), Some(EngineChoice::Batch));
+        assert_eq!(
+            EngineChoice::parse("reference"),
+            Some(EngineChoice::Reference)
+        );
+        assert_eq!(EngineChoice::parse("fast"), None);
+        assert_eq!(EngineChoice::default().name(), "batch");
+    }
+}

@@ -11,6 +11,7 @@
 //!   native consumer within the hop receives a large benefit (program
 //!   output has infinite weight).
 
+use crate::batch::{CostEngine, ReferenceEngine};
 use lowutil_core::slicer::{backward_slice, freq_sum, heap_bounded_backward, heap_bounded_forward};
 use lowutil_core::{CostGraph, FieldKey, NodeId, TaggedSite};
 
@@ -82,11 +83,24 @@ pub fn reaches_consumer(gcost: &CostGraph, node: NodeId) -> bool {
 /// RAC of a heap location `site.field`: the mean HRAC of its store nodes.
 /// `None` if the location was never written.
 pub fn rac(gcost: &CostGraph, site: TaggedSite, field: FieldKey) -> Option<f64> {
+    rac_with(gcost, site, field, &ReferenceEngine::new(gcost))
+}
+
+/// [`rac`] with the per-node queries answered by `engine`. The store
+/// list and the aggregation (an exact `u64` sum, then one division) are
+/// shared by every engine, so agreeing engines produce bit-identical
+/// results.
+pub fn rac_with(
+    gcost: &CostGraph,
+    site: TaggedSite,
+    field: FieldKey,
+    engine: &impl CostEngine,
+) -> Option<f64> {
     let writes = gcost.writes_of(site, field);
     if writes.is_empty() {
         return None;
     }
-    let sum: u64 = writes.iter().map(|&n| hrac(gcost, n)).sum();
+    let sum: u64 = writes.iter().map(|&n| engine.hrac(n)).sum();
     Some(sum as f64 / writes.len() as f64)
 }
 
@@ -99,14 +113,25 @@ pub fn rab(
     field: FieldKey,
     config: &CostBenefitConfig,
 ) -> f64 {
+    rab_with(gcost, site, field, config, &ReferenceEngine::new(gcost))
+}
+
+/// [`rab`] with the per-node queries answered by `engine`.
+pub fn rab_with(
+    gcost: &CostGraph,
+    site: TaggedSite,
+    field: FieldKey,
+    config: &CostBenefitConfig,
+    engine: &impl CostEngine,
+) -> f64 {
     let reads = gcost.reads_of(site, field);
     if reads.is_empty() {
         return 0.0;
     }
-    if reads.iter().any(|&n| reaches_consumer(gcost, n)) {
+    if reads.iter().any(|&n| engine.reaches_consumer(n)) {
         return config.consumer_benefit;
     }
-    let sum: u64 = reads.iter().map(|&n| hrab(gcost, n)).sum();
+    let sum: u64 = reads.iter().map(|&n| engine.hrab(n)).sum();
     sum as f64 / reads.len() as f64
 }
 
@@ -133,14 +158,25 @@ pub fn fields_cost_benefit(
     site: TaggedSite,
     config: &CostBenefitConfig,
 ) -> Vec<FieldCostBenefit> {
+    fields_cost_benefit_with(gcost, site, config, &ReferenceEngine::new(gcost))
+}
+
+/// [`fields_cost_benefit`] with the per-node queries answered by
+/// `engine`.
+pub fn fields_cost_benefit_with(
+    gcost: &CostGraph,
+    site: TaggedSite,
+    config: &CostBenefitConfig,
+    engine: &impl CostEngine,
+) -> Vec<FieldCostBenefit> {
     gcost
         .fields_of(site)
         .into_iter()
         .map(|field| FieldCostBenefit {
             site,
             field,
-            rac: rac(gcost, site, field),
-            rab: rab(gcost, site, field, config),
+            rac: rac_with(gcost, site, field, engine),
+            rab: rab_with(gcost, site, field, config, engine),
             writes: gcost.writes_of(site, field).len(),
             reads: gcost.reads_of(site, field).len(),
         })

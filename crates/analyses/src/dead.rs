@@ -11,7 +11,7 @@
 //!   (program output): work spent purely on control decisions. **IPP** is
 //!   the corresponding instance fraction.
 
-use lowutil_core::slicer::{reachable, Direction};
+use lowutil_core::csr::CsrGraph;
 use lowutil_core::{CostGraph, NodeId, NodeKind};
 
 /// The Table 1(c) measurements for one profiled run.
@@ -40,43 +40,47 @@ pub struct DeadValueMetrics {
 /// `instructions_executed`); the paper's `I` column. Consumer nodes produce
 /// no values and are excluded from `D*`/`P*` by construction.
 pub fn dead_value_metrics(gcost: &CostGraph, total_instances: u64) -> DeadValueMetrics {
-    let g = gcost.graph();
+    dead_value_metrics_csr(&CsrGraph::build(gcost.graph()), total_instances)
+}
 
-    let consumers: Vec<NodeId> = g
-        .iter()
-        .filter(|(_, n)| n.kind.is_consumer())
-        .map(|(id, _)| id)
-        .collect();
+/// [`dead_value_metrics`] over an already-built CSR snapshot. The two
+/// reachability passes (from all consumers, from all natives) run as
+/// multi-source bitset traversals; callers that already hold a
+/// [`BatchAnalyzer`](crate::batch::BatchAnalyzer) snapshot avoid a
+/// rebuild by passing [`csr()`](crate::batch::BatchAnalyzer::csr).
+pub fn dead_value_metrics_csr(csr: &CsrGraph, total_instances: u64) -> DeadValueMetrics {
+    let ids = (0..csr.num_nodes() as u32).map(NodeId);
+    let consumers: Vec<NodeId> = ids.clone().filter(|&n| csr.kind(n).is_consumer()).collect();
     let natives: Vec<NodeId> = consumers
         .iter()
         .copied()
-        .filter(|&id| g.node(id).kind == NodeKind::Native)
+        .filter(|&n| csr.kind(n) == NodeKind::Native)
         .collect();
 
     // Nodes that reach any consumer.
-    let alive = reachable(g, consumers.iter().copied(), Direction::Backward, |_| true);
+    let alive = csr.reach_backward(consumers.iter().copied());
     // Nodes that reach a native (program output).
-    let reaches_output = reachable(g, natives.iter().copied(), Direction::Backward, |_| true);
+    let reaches_output = csr.reach_backward(natives.iter().copied());
 
     let mut dead_nodes = Vec::new();
     let mut predicate_only_nodes = Vec::new();
     let mut dead_freq = 0u64;
     let mut pred_freq = 0u64;
-    for (id, n) in g.iter() {
-        if n.kind.is_consumer() {
+    for id in ids {
+        if csr.kind(id).is_consumer() {
             continue;
         }
-        if !alive.contains(&id) {
+        if !alive.contains(id.index()) {
             dead_nodes.push(id);
-            dead_freq += n.freq;
-        } else if !reaches_output.contains(&id) {
+            dead_freq += csr.freq(id);
+        } else if !reaches_output.contains(id.index()) {
             predicate_only_nodes.push(id);
-            pred_freq += n.freq;
+            pred_freq += csr.freq(id);
         }
     }
 
     let total = total_instances.max(1) as f64;
-    let nodes = g.num_nodes().max(1) as f64;
+    let nodes = csr.num_nodes().max(1) as f64;
     DeadValueMetrics {
         ipd: dead_freq as f64 / total,
         ipp: pred_freq as f64 / total,
@@ -197,6 +201,32 @@ method main/0 {
         let m = dead_value_metrics(&g, total);
         // Everything is dead (no consumer in the program).
         assert!(m.nld > 0.9, "all value nodes dead: {}", m.nld);
+    }
+
+    #[test]
+    fn prebuilt_snapshot_matches_fresh_build() {
+        let (g, total) = profile(
+            r#"
+native print/1
+class Sink { dead }
+method main/0 {
+  s = new Sink
+  d1 = 10
+  s.dead = d1
+  u = 42
+  native print(u)
+  return
+}
+"#,
+        );
+        let fresh = dead_value_metrics(&g, total);
+        let csr = CsrGraph::build(g.graph());
+        let reused = dead_value_metrics_csr(&csr, total);
+        assert_eq!(fresh.dead_nodes, reused.dead_nodes);
+        assert_eq!(fresh.predicate_only_nodes, reused.predicate_only_nodes);
+        assert_eq!(fresh.ipd, reused.ipd);
+        assert_eq!(fresh.ipp, reused.ipp);
+        assert_eq!(fresh.nld, reused.nld);
     }
 
     #[test]

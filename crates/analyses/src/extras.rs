@@ -162,14 +162,24 @@ pub fn collection_imbalances(
     gcost: &CostGraph,
     config: &crate::cost::CostBenefitConfig,
 ) -> Vec<(lowutil_core::TaggedSite, f64)> {
+    collection_imbalances_with(gcost, config, &crate::batch::ReferenceEngine::new(gcost))
+}
+
+/// [`collection_imbalances`] with the per-node queries answered by
+/// `engine`.
+pub fn collection_imbalances_with(
+    gcost: &CostGraph,
+    config: &crate::cost::CostBenefitConfig,
+    engine: &impl crate::batch::CostEngine,
+) -> Vec<(lowutil_core::TaggedSite, f64)> {
     use lowutil_core::FieldKey;
     let mut v: Vec<(lowutil_core::TaggedSite, f64)> = gcost
         .objects()
         .into_iter()
         .filter(|&o| gcost.fields_of(o).contains(&FieldKey::Element))
         .map(|o| {
-            let rac = crate::cost::rac(gcost, o, FieldKey::Element).unwrap_or(0.0);
-            let rab = crate::cost::rab(gcost, o, FieldKey::Element, config);
+            let rac = crate::cost::rac_with(gcost, o, FieldKey::Element, engine).unwrap_or(0.0);
+            let rab = crate::cost::rab_with(gcost, o, FieldKey::Element, config, engine);
             (o, rac / rab.max(1.0))
         })
         .collect();
@@ -180,11 +190,22 @@ pub fn collection_imbalances(
 /// A node-level utility record used by reports: nodes whose HRAC is large
 /// relative to their HRAB.
 pub fn hot_imbalanced_nodes(gcost: &CostGraph, top: usize) -> Vec<(NodeId, u64, u64)> {
+    hot_imbalanced_nodes_with(gcost, top, &crate::batch::ReferenceEngine::new(gcost))
+}
+
+/// [`hot_imbalanced_nodes`] with the per-node queries answered by
+/// `engine` — with a [`BatchAnalyzer`](crate::batch::BatchAnalyzer) the
+/// per-writer HRAC/HRAB pairs are precomputed array lookups.
+pub fn hot_imbalanced_nodes_with(
+    gcost: &CostGraph,
+    top: usize,
+    engine: &impl crate::batch::CostEngine,
+) -> Vec<(NodeId, u64, u64)> {
     let mut v: Vec<(NodeId, u64, u64)> = gcost
         .graph()
         .node_ids()
         .filter(|&n| gcost.graph().node(n).kind.writes_heap())
-        .map(|n| (n, crate::cost::hrac(gcost, n), crate::cost::hrab(gcost, n)))
+        .map(|n| (n, engine.hrac(n), engine.hrab(n)))
         .collect();
     v.sort_by(|a, b| {
         let ra = a.1 as f64 / (a.2.max(1)) as f64;

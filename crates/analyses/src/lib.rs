@@ -5,6 +5,9 @@
 //!
 //! * [`cost`] — abstract cost and relative abstract cost/benefit of heap
 //!   locations (Definitions 4–6);
+//! * [`batch`] — the batch cost-benefit engine: CSR snapshot, bitset
+//!   slice kernels, one-pass consumer marking, parallel per-seed
+//!   precomputation — byte-identical to the per-seed reference;
 //! * [`structure`] — object reference trees, n-RAC/n-RAB aggregation, and
 //!   the low-utility structure ranking (Definition 7, §3.1);
 //! * [`dead`] — ultimately-dead and predicate-only value metrics (IPD,
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod allocsites;
+pub mod batch;
 pub mod cache;
 pub mod copy;
 pub mod cost;
@@ -68,6 +72,7 @@ pub mod structure;
 pub mod typestate;
 
 pub use allocsites::AllocationProfiler;
+pub use batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine};
 pub use cache::{cache_effectiveness, CacheStats};
 pub use copy::{copy_chains, copy_profiler, CopyChain, CopyDomain, CopySource};
 pub use cost::{abstract_cost, hrab, hrac, rab, rac, CostBenefitConfig, FieldCostBenefit};
@@ -77,7 +82,10 @@ pub use nullprop::{
     null_tracking_profiler, trace_null_origin, NullDomain, NullOriginReport, Nullness,
 };
 pub use optimize::{dead_instructions, eliminate_dead_instructions, ElimStats};
-pub use report::low_utility_report;
+pub use report::{low_utility_report, low_utility_report_batch, low_utility_report_with};
 pub use staleness::{SiteStaleness, StalenessTracer};
-pub use structure::{rank_structures, reference_tree, StructureCostBenefit};
+pub use structure::{
+    rank_structures, rank_structures_batch, rank_structures_with, reference_tree,
+    StructureCostBenefit,
+};
 pub use typestate::{Protocol, TypestateEvent, TypestateTracer, Violation};

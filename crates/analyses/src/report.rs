@@ -1,9 +1,10 @@
 //! Human-readable diagnosis reports — the "tool report" a programmer
 //! inspects in the paper's case studies.
 
+use crate::batch::{BatchAnalyzer, CostEngine, ReferenceEngine};
 use crate::cost::CostBenefitConfig;
 use crate::dead::DeadValueMetrics;
-use crate::structure::{rank_structures, StructureCostBenefit};
+use crate::structure::{batch_rank_jobs, rank_structures_with, StructureCostBenefit};
 use lowutil_core::{CostGraph, FieldKey, TaggedSite};
 use lowutil_ir::{AllocKind, Program};
 use std::fmt::Write;
@@ -58,7 +59,9 @@ pub fn format_structure(program: &Program, s: &StructureCostBenefit, rank: usize
 }
 
 /// The full low-utility report: the top `top_n` structures by cost-benefit
-/// imbalance, plus the dead-value metrics when supplied.
+/// imbalance, plus the dead-value metrics when supplied. Runs on the
+/// per-seed reference engine; [`low_utility_report_batch`] produces the
+/// identical bytes faster.
 pub fn low_utility_report(
     program: &Program,
     gcost: &CostGraph,
@@ -66,7 +69,53 @@ pub fn low_utility_report(
     top_n: usize,
     dead: Option<&DeadValueMetrics>,
 ) -> String {
-    let ranked = rank_structures(gcost, config);
+    low_utility_report_with(
+        program,
+        gcost,
+        config,
+        top_n,
+        dead,
+        &ReferenceEngine::new(gcost),
+        1,
+    )
+}
+
+/// [`low_utility_report`] ranked by the batch engine with up to `jobs`
+/// worker threads. The report text is byte-identical to the reference
+/// engine's.
+pub fn low_utility_report_batch(
+    program: &Program,
+    gcost: &CostGraph,
+    config: &CostBenefitConfig,
+    top_n: usize,
+    dead: Option<&DeadValueMetrics>,
+    jobs: usize,
+) -> String {
+    let engine = BatchAnalyzer::new(gcost, jobs);
+    low_utility_report_with(
+        program,
+        gcost,
+        config,
+        top_n,
+        dead,
+        &engine,
+        batch_rank_jobs(gcost, jobs),
+    )
+}
+
+/// [`low_utility_report`] with the ranking computed by `engine` on up to
+/// `jobs` worker threads.
+#[allow(clippy::too_many_arguments)]
+pub fn low_utility_report_with<E: CostEngine>(
+    program: &Program,
+    gcost: &CostGraph,
+    config: &CostBenefitConfig,
+    top_n: usize,
+    dead: Option<&DeadValueMetrics>,
+    engine: &E,
+    jobs: usize,
+) -> String {
+    let ranked = rank_structures_with(gcost, config, engine, jobs);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -123,5 +172,18 @@ method main/0 {
         assert!(report.contains("junk"), "{report}");
         assert!(report.contains("IPD"), "{report}");
         assert!(report.contains("n-RAC"), "{report}");
+        // The batch engine must render the identical bytes, at any
+        // worker count.
+        for jobs in [1, 3] {
+            let batch = low_utility_report_batch(
+                &p,
+                &g,
+                &CostBenefitConfig::default(),
+                5,
+                Some(&dead),
+                jobs,
+            );
+            assert_eq!(report, batch);
+        }
     }
 }

@@ -9,6 +9,9 @@
 //! end of run is how long ago it was last touched. Allocation sites whose
 //! objects are stale for most of their lifetime are leak suspects.
 
+use crate::batch::CostEngine;
+use crate::cost::{rab_with, rac_with, CostBenefitConfig};
+use lowutil_core::CostGraph;
 use lowutil_ir::{AllocKind, AllocSiteId, ObjectId, Program};
 use lowutil_vm::{Event, Tracer};
 use std::collections::HashMap;
@@ -120,6 +123,48 @@ impl StalenessTracer {
         }
         out
     }
+
+    /// Like [`report`](Self::report), but cross-referenced against a
+    /// profiled `G_cost`: each staleness line carries the site's summed
+    /// RAC/RAB over all its tagged abstractions and fields, answered by
+    /// `engine` — staleness says an object sits untouched, the
+    /// cost-benefit columns say how much work built it and whether any
+    /// of it was ever worth consuming.
+    pub fn cost_report(
+        &self,
+        program: &Program,
+        gcost: &CostGraph,
+        config: &CostBenefitConfig,
+        engine: &impl CostEngine,
+        top: usize,
+    ) -> String {
+        use std::fmt::Write;
+        let objects = gcost.objects();
+        let mut out = String::new();
+        for s in self.by_site().into_iter().take(top) {
+            let site = program.alloc_sites()[s.site.index()];
+            let what = match site.kind {
+                AllocKind::Class(c) => format!("new {}", program.class(c).name()),
+                AllocKind::Array => "newarray".to_string(),
+            };
+            let mut rac_sum = 0.0;
+            let mut rab_sum = 0.0;
+            for &tagged in objects.iter().filter(|t| t.site == s.site) {
+                for field in gcost.fields_of(tagged) {
+                    rac_sum += rac_with(gcost, tagged, field, engine).unwrap_or(0.0);
+                    rab_sum += rab_with(gcost, tagged, field, config, engine);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {what} @ {}: {} objects, stale {:.0}% of lifetime, RAC {rac_sum:.1}, RAB {rab_sum:.1}",
+                program.instr_label(site.instr),
+                s.count,
+                s.mean_stale_fraction * 100.0,
+            );
+        }
+        out
+    }
 }
 
 impl Tracer for StalenessTracer {
@@ -192,6 +237,43 @@ done:
         assert_eq!(suspects.len(), 1);
         let report = t.report(&p, 2);
         assert!(report.contains("new Leak"), "{report}");
+    }
+
+    #[test]
+    fn cost_report_cross_references_both_engines_identically() {
+        let src = r#"
+native print/1
+class Leak { l }
+method main/0 {
+  k = new Leak
+  x = 1
+  k.l = x
+  i = 0
+  one = 1
+  lim = 500
+busy:
+  if i >= lim goto done
+  i = i + one
+  goto busy
+done:
+  y = 2
+  native print(y)
+  return
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let mut stale = StalenessTracer::new();
+        let mut prof =
+            lowutil_core::CostProfiler::new(&p, lowutil_core::CostGraphConfig::default());
+        Vm::new(&p).run(&mut stale).unwrap();
+        Vm::new(&p).run(&mut prof).unwrap();
+        let g = prof.finish();
+        let cfg = CostBenefitConfig::default();
+        let batch = stale.cost_report(&p, &g, &cfg, &crate::batch::BatchAnalyzer::new(&g, 2), 5);
+        let reference = stale.cost_report(&p, &g, &cfg, &crate::batch::ReferenceEngine::new(&g), 5);
+        assert_eq!(batch, reference);
+        assert!(batch.contains("new Leak"), "{batch}");
+        assert!(batch.contains("RAC"), "{batch}");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! length of `HashSet`). Structures are then ranked by their
 //! cost-to-benefit imbalance.
 
-use crate::cost::{fields_cost_benefit, CostBenefitConfig, FieldCostBenefit};
+use crate::batch::{BatchAnalyzer, CostEngine, ReferenceEngine};
+use crate::cost::{fields_cost_benefit_with, CostBenefitConfig, FieldCostBenefit};
 use lowutil_core::{CostGraph, TaggedSite};
 use std::collections::HashSet;
 
@@ -75,13 +76,25 @@ pub fn structure_cost_benefit(
     root: TaggedSite,
     config: &CostBenefitConfig,
 ) -> StructureCostBenefit {
+    structure_cost_benefit_with(gcost, root, config, &ReferenceEngine::new(gcost))
+}
+
+/// [`structure_cost_benefit`] with the per-node queries answered by
+/// `engine`. The tree walk and the aggregation order are engine-
+/// independent, so agreeing engines produce bit-identical aggregates.
+pub fn structure_cost_benefit_with(
+    gcost: &CostGraph,
+    root: TaggedSite,
+    config: &CostBenefitConfig,
+    engine: &impl CostEngine,
+) -> StructureCostBenefit {
     let members = reference_tree(gcost, root, config.tree_height);
     let member_set: HashSet<TaggedSite> = members.iter().copied().collect();
     let mut n_rac = 0.0;
     let mut n_rab = 0.0;
     let mut fields = Vec::new();
     for &obj in &members {
-        for fcb in fields_cost_benefit(gcost, obj, config) {
+        for fcb in fields_cost_benefit_with(gcost, obj, config, engine) {
             let pointees = gcost.points_to(obj, fcb.field);
             let include = pointees.is_empty() || pointees.iter().any(|t| member_set.contains(t));
             if !include {
@@ -107,13 +120,26 @@ pub fn structure_cost_benefit(
 }
 
 /// Ranks every allocated structure by cost-benefit imbalance, highest
-/// first — the tool report a programmer reads (§3.1).
+/// first — the tool report a programmer reads (§3.1). Uses the per-seed
+/// reference engine sequentially; front ends wanting speed use
+/// [`rank_structures_batch`].
 pub fn rank_structures(gcost: &CostGraph, config: &CostBenefitConfig) -> Vec<StructureCostBenefit> {
-    let mut out: Vec<StructureCostBenefit> = gcost
-        .objects()
-        .into_iter()
-        .map(|root| structure_cost_benefit(gcost, root, config))
-        .collect();
+    rank_structures_with(gcost, config, &ReferenceEngine::new(gcost), 1)
+}
+
+/// [`rank_structures`] with the per-node queries answered by `engine`
+/// and the per-root aggregation fanned over up to `jobs` worker threads.
+/// `par_map` preserves input order and the final sort is stable, so the
+/// ranking is identical for every engine/job combination.
+pub fn rank_structures_with<E: CostEngine>(
+    gcost: &CostGraph,
+    config: &CostBenefitConfig,
+    engine: &E,
+    jobs: usize,
+) -> Vec<StructureCostBenefit> {
+    let mut out: Vec<StructureCostBenefit> = lowutil_par::par_map(jobs, gcost.objects(), |root| {
+        structure_cost_benefit_with(gcost, root, config, engine)
+    });
     out.sort_by(|a, b| {
         b.imbalance()
             .partial_cmp(&a.imbalance())
@@ -121,6 +147,30 @@ pub fn rank_structures(gcost: &CostGraph, config: &CostBenefitConfig) -> Vec<Str
             .then(b.root.cmp(&a.root).reverse())
     });
     out
+}
+
+/// Worker count for aggregating roots over a batch engine. Its queries
+/// are array lookups, so fanning the aggregation out only pays past
+/// thousands of roots; below that, worker spawns would dominate.
+pub(crate) fn batch_rank_jobs(gcost: &CostGraph, jobs: usize) -> usize {
+    if gcost.objects().len() < 4096 {
+        1
+    } else {
+        jobs
+    }
+}
+
+/// The fast path front ends use: builds a [`BatchAnalyzer`] (its
+/// precomputation already sharded over `jobs` workers) and ranks with
+/// it, aggregating roots on the same pool. Output is byte-identical to
+/// [`rank_structures`].
+pub fn rank_structures_batch(
+    gcost: &CostGraph,
+    config: &CostBenefitConfig,
+    jobs: usize,
+) -> Vec<StructureCostBenefit> {
+    let engine = BatchAnalyzer::new(gcost, jobs);
+    rank_structures_with(gcost, config, &engine, batch_rank_jobs(gcost, jobs))
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use lowutil_analyses::cost::CostBenefitConfig;
 use lowutil_analyses::dead::dead_value_metrics;
-use lowutil_analyses::report::low_utility_report;
+use lowutil_analyses::report::low_utility_report_batch;
 use lowutil_bench::{run_plain, run_profiled};
 use lowutil_core::CostGraphConfig;
 use lowutil_workloads::{workload, WorkloadSize};
@@ -93,13 +93,16 @@ fn main() {
             Err(_) => 0.0,
         };
         let dead = dead_value_metrics(&graph, out.instructions_executed);
+        // Batch engine, sequential: the study pool already runs one task
+        // per study, and the engine choice cannot change the bytes.
         let report = show_report.then(|| {
-            low_utility_report(
+            low_utility_report_batch(
                 &w.program,
                 &graph,
                 &CostBenefitConfig::default(),
                 3,
                 Some(&dead),
+                1,
             )
         });
         StudyRow {

@@ -19,17 +19,30 @@
 //!   the traces a previous `--record` left in `DIR`.
 //!
 //! Usage: `table1 [--size small|default|large] [--slots N ...] [--jobs N]
-//!         [--json PATH] [--record DIR | --replay DIR]`
+//!         [--json PATH] [--record DIR | --replay DIR]
+//!         [--analysis batch|reference]`
+//!
+//! `--analysis` selects the cost-benefit engine behind the structure
+//! ranking summary (default `batch`); both engines print identical
+//! bytes, which CI asserts by diffing the two outputs.
 //!
 //! `--json PATH` additionally writes a machine-readable perf baseline
 //! (wall-clock and profiled events/sec per workload; in record/replay
-//! modes also record overhead and sequential/sharded replay times) to
-//! `PATH`.
+//! modes also record overhead and sequential/sharded replay times; plus
+//! the analysis-phase timings — per-seed reference vs batch engine —
+//! separated from graph-build time) to `PATH`.
 
+use lowutil_analyses::batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine};
+use lowutil_analyses::cost::CostBenefitConfig;
 use lowutil_analyses::dead::dead_value_metrics;
+use lowutil_analyses::report::describe_site;
+use lowutil_analyses::structure::{
+    rank_structures, rank_structures_batch, rank_structures_with, StructureCostBenefit,
+};
 use lowutil_bench::args::{take_jobs, take_size, take_value};
 use lowutil_bench::{overhead_factor, run_plain, run_profiled, run_recorded, run_replayed};
-use lowutil_core::{CostGraphConfig, GraphStats};
+use lowutil_core::{CostGraph, CostGraphConfig, GraphStats};
+use lowutil_ir::Program;
 use lowutil_vm::TraceReader;
 use lowutil_workloads::{map_suite, Workload, WorkloadSize, NAMES};
 use std::time::{Duration, Instant};
@@ -47,6 +60,7 @@ struct Args {
     jobs: usize,
     json: Option<String>,
     mode: Mode,
+    analysis: EngineChoice,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +70,7 @@ fn parse_args() -> Args {
         jobs: lowutil_par::default_jobs(),
         json: None,
         mode: Mode::Live,
+        analysis: EngineChoice::default(),
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -95,6 +110,10 @@ fn parse_args() -> Args {
                 Some(d) => parsed.mode = Mode::Replay(d),
                 None => eprintln!("--replay needs a directory"),
             },
+            "--analysis" => match take_value(&mut args).and_then(|v| EngineChoice::parse(&v)) {
+                Some(e) => parsed.analysis = e,
+                None => eprintln!("--analysis needs batch|reference"),
+            },
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
@@ -117,6 +136,54 @@ struct Row {
     ipd: f64,
     ipp: f64,
     nld: f64,
+    rank: RankSummary,
+}
+
+/// Structure-ranking digest of the default-config graph. Every field is
+/// engine-independent data — the batch and reference engines fill it
+/// with identical values, which CI checks by diffing the two outputs.
+struct RankSummary {
+    /// Ranked structures (= tagged allocation sites in `G_cost`).
+    structs: usize,
+    /// Top-ranked structure, in source terms.
+    top_desc: String,
+    /// Its n-RAC / n-RAB imbalance.
+    top_imbalance: f64,
+    /// Heap loads whose value reaches a consumer within its hop.
+    consumer_reads: usize,
+}
+
+fn summarize<E: CostEngine>(program: &Program, gcost: &CostGraph, engine: &E) -> RankSummary {
+    let ranked = rank_structures_with(gcost, &CostBenefitConfig::default(), engine, 1);
+    let mut consumer_reads = 0;
+    for obj in gcost.objects() {
+        for field in gcost.fields_of(obj) {
+            consumer_reads += gcost
+                .reads_of(obj, field)
+                .iter()
+                .filter(|&&r| engine.reaches_consumer(r))
+                .count();
+        }
+    }
+    let (top_desc, top_imbalance) = match ranked.first() {
+        Some(top) => (describe_site(program, top.root), top.imbalance()),
+        None => ("-".to_string(), 0.0),
+    };
+    RankSummary {
+        structs: ranked.len(),
+        top_desc,
+        top_imbalance,
+        consumer_reads,
+    }
+}
+
+/// Runs the selected engine over the row's default-config graph. Always
+/// sequential: the suite pool already runs one task per workload.
+fn ranking_summary(program: &Program, gcost: &CostGraph, analysis: EngineChoice) -> RankSummary {
+    match analysis {
+        EngineChoice::Batch => summarize(program, gcost, &BatchAnalyzer::new(gcost, 1)),
+        EngineChoice::Reference => summarize(program, gcost, &ReferenceEngine::new(gcost)),
+    }
 }
 
 fn size_name(size: WorkloadSize) -> &'static str {
@@ -139,7 +206,7 @@ fn slot_config(s: u32) -> CostGraphConfig {
 }
 
 /// Live-mode row: the paper's methodology, profiling while the VM runs.
-fn live_row(w: &Workload, slot_settings: &[u32]) -> Row {
+fn live_row(w: &Workload, slot_settings: &[u32], analysis: EngineChoice) -> Row {
     let (_, t_plain) = run_plain(&w.program);
     let per_slot = slot_settings
         .iter()
@@ -150,6 +217,7 @@ fn live_row(w: &Workload, slot_settings: &[u32]) -> Row {
         .collect();
     let (graph, out, t_profiled) = run_profiled(&w.program, CostGraphConfig::default());
     let m = dead_value_metrics(&graph, out.instructions_executed);
+    let rank = ranking_summary(&w.program, &graph, analysis);
     Row {
         name: w.name,
         t_plain,
@@ -160,13 +228,20 @@ fn live_row(w: &Workload, slot_settings: &[u32]) -> Row {
         ipd: m.ipd,
         ipp: m.ipp,
         nld: m.nld,
+        rank,
     }
 }
 
 /// Replay-backed row: every graph is rebuilt from `trace` by sequential
 /// replay. The graphs (and hence every non-timing column) are identical
 /// to the live row's.
-fn trace_row(w: &Workload, trace: &[u8], slot_settings: &[u32], t_record: Option<Duration>) -> Row {
+fn trace_row(
+    w: &Workload,
+    trace: &[u8],
+    slot_settings: &[u32],
+    t_record: Option<Duration>,
+    analysis: EngineChoice,
+) -> Row {
     let (_, t_plain) = run_plain(&w.program);
     let per_slot = slot_settings
         .iter()
@@ -181,6 +256,7 @@ fn trace_row(w: &Workload, trace: &[u8], slot_settings: &[u32], t_record: Option
         .trailer()
         .instructions;
     let m = dead_value_metrics(&graph, instructions);
+    let rank = ranking_summary(&w.program, &graph, analysis);
     Row {
         name: w.name,
         t_plain,
@@ -191,6 +267,7 @@ fn trace_row(w: &Workload, trace: &[u8], slot_settings: &[u32], t_record: Option
         ipd: m.ipd,
         ipp: m.ipp,
         nld: m.nld,
+        rank,
     }
 }
 
@@ -213,15 +290,18 @@ fn main() {
     // and the default-config graph behind part (c).
     let slot_settings = args.slots.clone();
     let mode = args.mode.clone();
+    let analysis = args.analysis;
     let rows: Vec<Row> = map_suite(args.size, args.jobs, |w| match &mode {
-        Mode::Live => live_row(&w, &slot_settings),
+        Mode::Live => live_row(&w, &slot_settings, analysis),
         Mode::Record(dir) => {
             let (_, trace, _, t_record) = run_recorded(&w.program);
             let path = trace_path(dir, w.name);
             std::fs::write(&path, &trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-            trace_row(&w, &trace, &slot_settings, Some(t_record))
+            trace_row(&w, &trace, &slot_settings, Some(t_record), analysis)
         }
-        Mode::Replay(dir) => trace_row(&w, &read_trace(dir, w.name), &slot_settings, None),
+        Mode::Replay(dir) => {
+            trace_row(&w, &read_trace(dir, w.name), &slot_settings, None, analysis)
+        }
     });
 
     // Sharded replay timing: sequential post-pass so the measurement is
@@ -278,6 +358,27 @@ fn main() {
             row.ipd * 100.0,
             row.ipp * 100.0,
             row.nld * 100.0,
+        );
+    }
+    println!();
+
+    // Structure ranking summary: what the cost-benefit analysis says
+    // about each workload's default-config graph. No timing columns, so
+    // CI diffs this section verbatim across `--analysis batch` and
+    // `--analysis reference`.
+    println!("=== structure ranking summary (default config) ===");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10}  top-structure",
+        "program", "structs", "top-imb", "cons-reads"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>8} {:>12.1} {:>10}  {}",
+            row.name,
+            row.rank.structs,
+            row.rank.top_imbalance,
+            row.rank.consumer_reads,
+            row.rank.top_desc,
         );
     }
     println!();
@@ -371,8 +472,46 @@ fn main() {
         );
     }
 
+    // Analysis-phase timing: per-seed reference vs batch engine on the
+    // same finished graph, so ranking time is split from build time.
+    // Sequential post-pass (baseline runs only) so the comparison is not
+    // perturbed by the suite pool's own workers.
+    let analysis_times: Vec<(&'static str, Duration, Duration, Duration)> = if args.json.is_some() {
+        NAMES
+            .iter()
+            .map(|&name| {
+                let w = lowutil_workloads::workload(name, args.size);
+                let graph = match &args.mode {
+                    Mode::Live => run_profiled(&w.program, CostGraphConfig::default()).0,
+                    Mode::Record(dir) | Mode::Replay(dir) => {
+                        run_replayed(
+                            &w.program,
+                            CostGraphConfig::default(),
+                            &read_trace(dir, name),
+                            1,
+                        )
+                        .0
+                    }
+                };
+                let cfg = CostBenefitConfig::default();
+                let (reference, t_ref) = time_ranking(|| rank_structures(&graph, &cfg));
+                let (batch_seq, t_seq) = time_ranking(|| rank_structures_batch(&graph, &cfg, 1));
+                let (batch_par, t_par) =
+                    time_ranking(|| rank_structures_batch(&graph, &cfg, args.jobs));
+                assert!(
+                    rankings_agree(&reference, &batch_seq)
+                        && rankings_agree(&reference, &batch_par),
+                    "batch ranking diverged from reference on {name}"
+                );
+                (name, t_ref, t_seq, t_par)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = &args.json {
-        let json = baseline_json(&args, &rows, &shard_times, wall.elapsed());
+        let json = baseline_json(&args, &rows, &shard_times, &analysis_times, wall.elapsed());
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote perf baseline to {path}"),
             Err(e) => {
@@ -381,6 +520,31 @@ fn main() {
             }
         }
     }
+}
+
+/// One warm-up call (whose result feeds the agreement check), then the
+/// mean over a fixed iteration count — the rankings take microseconds
+/// to low milliseconds, so a single-shot timing would mostly measure
+/// cache state.
+fn time_ranking<F: FnMut() -> Vec<StructureCostBenefit>>(
+    mut f: F,
+) -> (Vec<StructureCostBenefit>, Duration) {
+    const ITERS: u32 = 10;
+    let first = f();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(f());
+    }
+    (first, t0.elapsed() / ITERS)
+}
+
+/// Engine-agreement guard for the timing post-pass: same structures in
+/// the same order with bit-identical aggregates.
+fn rankings_agree(a: &[StructureCostBenefit], b: &[StructureCostBenefit]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.root == y.root && x.n_rac == y.n_rac && x.n_rab == y.n_rab)
 }
 
 fn mode_name(mode: &Mode) -> &'static str {
@@ -397,6 +561,7 @@ fn baseline_json(
     args: &Args,
     rows: &[Row],
     shard_times: &[(&'static str, Duration)],
+    analysis_times: &[(&'static str, Duration, Duration, Duration)],
     total: Duration,
 ) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
@@ -405,6 +570,10 @@ fn baseline_json(
     s.push_str(&format!("  \"size\": \"{}\",\n", size_name(args.size)));
     s.push_str(&format!("  \"mode\": \"{}\",\n", mode_name(&args.mode)));
     s.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    s.push_str(&format!(
+        "  \"analysis_engine\": \"{}\",\n",
+        args.analysis.name()
+    ));
     s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", ms(total)));
     s.push_str("  \"workloads\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -430,6 +599,27 @@ fn baseline_json(
             events_per_sec,
             extra,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    // Ranking time on the finished default-config graph — the analysis
+    // phase alone, split from the graph-build times above.
+    s.push_str("  \"analysis\": [\n");
+    for (i, (name, t_ref, t_seq, t_par)) in analysis_times.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reference_ms\": {:.3}, \"batch_seq_ms\": {:.3}, \
+             \"batch_par_ms\": {:.3}, \"speedup_seq\": {:.2}, \"speedup_par\": {:.2}}}{}\n",
+            name,
+            ms(*t_ref),
+            ms(*t_seq),
+            ms(*t_par),
+            t_ref.as_secs_f64() / t_seq.as_secs_f64().max(1e-9),
+            t_ref.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+            if i + 1 == analysis_times.len() {
+                ""
+            } else {
+                ","
+            },
         ));
     }
     s.push_str("  ]\n}\n");

@@ -1,0 +1,447 @@
+//! Flat CSR snapshot of a dependence graph plus bitset traversal kernels
+//! — the batch-analysis substrate.
+//!
+//! The analysis phase of the tool asks thousands of slice queries against
+//! one *finished*, read-only graph (an HRAC per store node, an HRAB per
+//! load node, a consumer-reachability flag per read; Definitions 5 and 6).
+//! The paper's abstract domain bounds that graph to `|I| × |D|` nodes —
+//! small and dense — so the pointer-chasing `Vec<Vec<NodeId>>` adjacency
+//! and `HashSet<NodeId>` visited sets of the construction-side
+//! [`DepGraph`] are the wrong shape for it.
+//! [`CsrGraph`] snapshots a finished graph into flat offset/edge arrays
+//! (both directions) with frequency and kind side arrays; traversals run
+//! with a reusable dense `u64`-word visited bitset and an explicit stack,
+//! and fuse the frequency sum of Definition 4 into the visit loop.
+//!
+//! [`CsrGraph::mark_consumer_reach`] additionally replaces the per-read
+//! forward BFS of `reaches_consumer` with a *single* reverse pass from
+//! every consumer node: one O(V+E) sweep computes, for every node at
+//! once, whether its value reaches a predicate or native consumer without
+//! crossing a heap write.
+
+use crate::graph::{DepGraph, NodeId, NodeKind};
+use std::hash::Hash;
+
+/// A dense bitset over `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// Creates an empty bitset able to hold `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        Bitset {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`; returns `true` when the bit was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Reusable traversal state: a dense visited bitset, an explicit stack,
+/// and the list of touched bits so a finished traversal resets in
+/// O(|slice|), not O(V). One scratch serves any number of sequential
+/// queries against graphs of at most the constructed size; per-seed
+/// batch analysis gives each worker thread its own.
+#[derive(Debug)]
+pub struct TraversalScratch {
+    visited: Bitset,
+    stack: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl TraversalScratch {
+    /// Creates scratch for graphs of up to `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        TraversalScratch {
+            visited: Bitset::new(nodes),
+            stack: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Creates scratch sized for `csr`.
+    pub fn for_graph(csr: &CsrGraph) -> Self {
+        Self::new(csr.num_nodes())
+    }
+
+    /// Clears only the bits the last traversal set.
+    #[inline]
+    fn reset(&mut self) {
+        for &t in &self.touched {
+            self.visited.remove(t as usize);
+        }
+        self.touched.clear();
+        self.stack.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, n: u32) -> bool {
+        if self.visited.insert(n as usize) {
+            self.touched.push(n);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// An immutable compressed-sparse-row snapshot of a finished dependence
+/// graph: flat predecessor/successor adjacency plus per-node frequency
+/// and kind side arrays. Node ids coincide with the source graph's
+/// [`NodeId`] indices.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    kind: Vec<NodeKind>,
+    freq: Vec<u64>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Snapshots `g`. Adjacency lists keep the source graph's edge order,
+    /// so traversal results are deterministic however the snapshot is
+    /// consumed.
+    pub fn build<D: Clone + Eq + Hash>(g: &DepGraph<D>) -> CsrGraph {
+        let n = g.num_nodes();
+        debug_assert!(n <= u32::MAX as usize, "node count exceeds CSR index width");
+        let mut kind = Vec::with_capacity(n);
+        let mut freq = Vec::with_capacity(n);
+        for (_, node) in g.iter() {
+            kind.push(node.kind);
+            freq.push(node.freq);
+        }
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_adj = Vec::with_capacity(g.num_edges());
+        let mut pred_off = Vec::with_capacity(n + 1);
+        let mut pred_adj = Vec::with_capacity(g.num_edges());
+        succ_off.push(0);
+        pred_off.push(0);
+        for id in g.node_ids() {
+            succ_adj.extend(g.succs(id).iter().map(|m| m.0));
+            succ_off.push(succ_adj.len() as u32);
+            pred_adj.extend(g.preds(id).iter().map(|m| m.0));
+            pred_off.push(pred_adj.len() as u32);
+        }
+        CsrGraph {
+            kind,
+            freq,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ_adj.len()
+    }
+
+    /// A node's execution frequency.
+    #[inline]
+    pub fn freq(&self, n: NodeId) -> u64 {
+        self.freq[n.index()]
+    }
+
+    /// A node's kind decoration.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kind[n.index()]
+    }
+
+    #[inline]
+    fn succs(&self, n: u32) -> &[u32] {
+        &self.succ_adj[self.succ_off[n as usize] as usize..self.succ_off[n as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn preds(&self, n: u32) -> &[u32] {
+        &self.pred_adj[self.pred_off[n as usize] as usize..self.pred_off[n as usize + 1] as usize]
+    }
+
+    /// Heap-relative abstract cost of `seed` (Definition 5): the
+    /// frequency sum over the nodes that reach it without crossing a
+    /// heap-reading node, computed with the bitset kernel and the sum
+    /// fused into the visit loop. Equals
+    /// `freq_sum(heap_bounded_backward(seed))` on the source graph.
+    pub fn heap_bounded_backward_sum(&self, s: &mut TraversalScratch, seed: NodeId) -> u64 {
+        self.bounded_sum(s, seed, false)
+    }
+
+    /// Heap-relative abstract benefit of `seed` (Definition 6): the
+    /// frequency sum over the nodes it reaches without crossing a
+    /// heap-writing node. Equals `freq_sum(heap_bounded_forward(seed))`.
+    pub fn heap_bounded_forward_sum(&self, s: &mut TraversalScratch, seed: NodeId) -> u64 {
+        self.bounded_sum(s, seed, true)
+    }
+
+    fn bounded_sum(&self, s: &mut TraversalScratch, seed: NodeId, forward: bool) -> u64 {
+        let seed = seed.0;
+        let mut sum = self.freq[seed as usize];
+        s.visit(seed);
+        s.stack.push(seed);
+        while let Some(n) = s.stack.pop() {
+            let neighbours = if forward {
+                self.succs(n)
+            } else {
+                self.preds(n)
+            };
+            for &m in neighbours {
+                // The hop boundary: heap reads bound the backward
+                // traversal, heap writes the forward one.
+                let crossing = if forward {
+                    self.kind[m as usize].writes_heap()
+                } else {
+                    self.kind[m as usize].reads_heap()
+                };
+                if crossing {
+                    continue;
+                }
+                if s.visit(m) {
+                    sum += self.freq[m as usize];
+                    s.stack.push(m);
+                }
+            }
+        }
+        s.reset();
+        sum
+    }
+
+    /// One reverse pass from every consumer node, marking for each node
+    /// whether its value reaches a predicate or native consumer without
+    /// crossing a heap write — bit `n` of the result equals
+    /// `heap_bounded_forward(n)` containing a consumer. O(V+E) total,
+    /// replacing one forward BFS per queried node.
+    ///
+    /// The propagation rule mirrors Definition 6 in reverse: a marked
+    /// node extends the mark to its predecessors only if it does not
+    /// itself write the heap (a path through it would cross that write);
+    /// heap-writing nodes can be marked — their *own* hop starts after
+    /// the write — but are never traversed through.
+    pub fn mark_consumer_reach(&self) -> Bitset {
+        let n = self.num_nodes();
+        let mut marked = Bitset::new(n);
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if self.kind[i].is_consumer() {
+                marked.insert(i);
+                stack.push(i as u32);
+            }
+        }
+        while let Some(m) = stack.pop() {
+            if self.kind[m as usize].writes_heap() {
+                continue;
+            }
+            for &p in self.preds(m) {
+                if marked.insert(p as usize) {
+                    stack.push(p);
+                }
+            }
+        }
+        marked
+    }
+
+    /// Full (unbounded) backward reachability from `seeds`, seeds
+    /// included — the multi-source query behind the dead-value metrics.
+    pub fn reach_backward(&self, seeds: impl IntoIterator<Item = NodeId>) -> Bitset {
+        let mut seen = Bitset::new(self.num_nodes());
+        let mut stack: Vec<u32> = Vec::new();
+        for s in seeds {
+            if seen.insert(s.index()) {
+                stack.push(s.0);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for &p in self.preds(n) {
+                if seen.insert(p as usize) {
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicer::{
+        freq_sum, heap_bounded_backward, heap_bounded_forward, reachable, Direction,
+    };
+    use lowutil_ir::{InstrId, MethodId};
+
+    fn at(pc: u32) -> InstrId {
+        InstrId::new(MethodId(0), pc)
+    }
+
+    /// load → plain → store → consumer, with a dead side branch.
+    fn sample() -> DepGraph<u32> {
+        let mut g: DepGraph<u32> = DepGraph::new();
+        let kinds = [
+            NodeKind::HeapLoad,
+            NodeKind::Plain,
+            NodeKind::HeapStore,
+            NodeKind::Predicate,
+            NodeKind::Plain,
+        ];
+        let ns: Vec<NodeId> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let n = g.intern(at(i as u32), 0, k);
+                g.set_freq(n, i as u64 + 1);
+                n
+            })
+            .collect();
+        g.add_edge(ns[0], ns[1]);
+        g.add_edge(ns[1], ns[2]);
+        g.add_edge(ns[1], ns[3]);
+        g.add_edge(ns[2], ns[4]);
+        g
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = Bitset::new(130);
+        assert!(b.insert(0));
+        assert!(!b.insert(0));
+        assert!(b.insert(129));
+        assert!(b.contains(129) && !b.contains(64));
+        assert_eq!(b.count(), 2);
+        b.remove(0);
+        assert!(!b.contains(0));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_and_side_arrays() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for id in g.node_ids() {
+            assert_eq!(csr.freq(id), g.node(id).freq);
+            assert_eq!(csr.kind(id), g.node(id).kind);
+            let succs: Vec<u32> = g.succs(id).iter().map(|m| m.0).collect();
+            assert_eq!(csr.succs(id.0), succs.as_slice());
+            let preds: Vec<u32> = g.preds(id).iter().map(|m| m.0).collect();
+            assert_eq!(csr.preds(id.0), preds.as_slice());
+        }
+    }
+
+    #[test]
+    fn bounded_sums_match_the_hashset_slicers() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let mut s = TraversalScratch::for_graph(&csr);
+        for id in g.node_ids() {
+            assert_eq!(
+                csr.heap_bounded_backward_sum(&mut s, id),
+                freq_sum(&g, heap_bounded_backward(&g, id)),
+                "hrac mismatch at {id}"
+            );
+            assert_eq!(
+                csr.heap_bounded_forward_sum(&mut s, id),
+                freq_sum(&g, heap_bounded_forward(&g, id)),
+                "hrab mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_queries() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let mut s = TraversalScratch::for_graph(&csr);
+        let first: Vec<u64> = g
+            .node_ids()
+            .map(|id| csr.heap_bounded_backward_sum(&mut s, id))
+            .collect();
+        let second: Vec<u64> = g
+            .node_ids()
+            .map(|id| csr.heap_bounded_backward_sum(&mut s, id))
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn consumer_mark_matches_per_node_forward_queries() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let marked = csr.mark_consumer_reach();
+        for id in g.node_ids() {
+            let expect = heap_bounded_forward(&g, id)
+                .into_iter()
+                .any(|n| g.node(n).kind.is_consumer());
+            assert_eq!(marked.contains(id.index()), expect, "flag mismatch at {id}");
+        }
+    }
+
+    #[test]
+    fn consumer_mark_stops_at_heap_writes() {
+        // plain → store → predicate: the store reaches the consumer, but
+        // the plain node's path crosses the store's heap write.
+        let mut g: DepGraph<u32> = DepGraph::new();
+        let a = g.intern(at(0), 0, NodeKind::Plain);
+        let w = g.intern(at(1), 0, NodeKind::HeapStore);
+        let c = g.intern(at(2), 0, NodeKind::Predicate);
+        g.add_edge(a, w);
+        g.add_edge(w, c);
+        let marked = CsrGraph::build(&g).mark_consumer_reach();
+        assert!(marked.contains(c.index()));
+        assert!(
+            marked.contains(w.index()),
+            "store's own hop starts after it"
+        );
+        assert!(!marked.contains(a.index()), "path from a crosses the write");
+    }
+
+    #[test]
+    fn reach_backward_matches_reachable() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let seeds: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&n| g.node(n).kind.is_consumer())
+            .collect();
+        let bits = csr.reach_backward(seeds.iter().copied());
+        let set = reachable(&g, seeds, Direction::Backward, |_| true);
+        for id in g.node_ids() {
+            assert_eq!(bits.contains(id.index()), set.contains(&id));
+        }
+        assert_eq!(bits.count(), set.len());
+    }
+}

@@ -15,7 +15,9 @@
 //! 3. **`G_cost`** instantiates the framework with encoded object-sensitive
 //!    calling contexts ([`context`]), heap effects, reference edges, and
 //!    consumer nodes ([`gcost`]); client analyses (cost-benefit, dead
-//!    values, …) live in the `lowutil-analyses` crate.
+//!    values, …) live in the `lowutil-analyses` crate. For the repeated
+//!    slice queries of the analysis phase, [`csr`] snapshots a finished
+//!    graph into a flat CSR form with bitset traversal kernels.
 //!
 //! # Example: profile a program and inspect `G_cost`
 //!
@@ -51,6 +53,7 @@
 
 pub mod concrete;
 pub mod context;
+pub mod csr;
 pub mod dense;
 pub mod domain;
 pub mod export;
@@ -63,6 +66,7 @@ pub mod stats;
 
 pub use concrete::{ConcreteGraph, ConcreteProfiler, InstanceId, SlicingMode};
 pub use context::{extend_context, slot_of, ConflictStats, ContextStack, EMPTY_CONTEXT};
+pub use csr::{Bitset, CsrGraph, TraversalScratch};
 pub use dense::{DenseDomain, DenseInterner, InstrIndexer};
 pub use domain::{AbstractDomain, AbstractProfiler};
 pub use export::{read_cost_graph, write_cost_graph, write_dot};

@@ -29,24 +29,34 @@ pub fn reachable<D: Clone + Eq + Hash>(
     dir: Direction,
     mut enter: impl FnMut(NodeId) -> bool,
 ) -> HashSet<NodeId> {
+    let neighbours = |n: NodeId| match dir {
+        Direction::Backward => graph.preds(n),
+        Direction::Forward => graph.succs(n),
+    };
     let mut seen: HashSet<NodeId> = HashSet::new();
-    let mut stack: Vec<NodeId> = Vec::new();
+    let mut roots: Vec<NodeId> = Vec::new();
     for s in seeds {
         if seen.insert(s) {
-            stack.push(s);
+            roots.push(s);
         }
     }
-    // Seeds always explore; interior nodes consult `enter`.
-    let seed_set: HashSet<NodeId> = stack.iter().copied().collect();
+    // Seeds always explore, so expand them up front; the work stack then
+    // holds interior nodes only and `enter` needs no seed-membership test.
+    // (A seed reached again as a neighbour is already in `seen`, so it can
+    // never re-enter the stack as an interior node.)
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in &roots {
+        for &m in neighbours(s) {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
     while let Some(n) = stack.pop() {
-        if !seed_set.contains(&n) && !enter(n) {
+        if !enter(n) {
             continue;
         }
-        let neighbours = match dir {
-            Direction::Backward => graph.preds(n),
-            Direction::Forward => graph.succs(n),
-        };
-        for &m in neighbours {
+        for &m in neighbours(n) {
             if seen.insert(m) {
                 stack.push(m);
             }
@@ -150,17 +160,21 @@ pub fn multi_hop_forward<D: Clone + Eq + Hash>(
 /// backward, heap write when walking forward) consumes one unit and is
 /// included; with no budget left it is excluded, exactly like the
 /// single-hop Definitions 5/6. Nodes keep the best budget they were
-/// reached with, so overlapping paths are handled correctly.
+/// reached with, so overlapping paths are handled correctly. `NodeId`s
+/// are dense indices, so the budgets live in a flat `Vec` (with
+/// `usize::MAX` as the unvisited sentinel — budgets never exceed
+/// `hops - 1`, so the sentinel is unambiguous) instead of a `HashMap`.
 fn multi_hop<D: Clone + Eq + Hash>(
     graph: &DepGraph<D>,
     seed: NodeId,
     hops: usize,
     dir: Direction,
 ) -> HashSet<NodeId> {
-    let start = hops.saturating_sub(1);
-    let mut best: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    const UNVISITED: usize = usize::MAX;
+    let start = hops.saturating_sub(1).min(UNVISITED - 1);
+    let mut best: Vec<usize> = vec![UNVISITED; graph.num_nodes()];
     let mut stack = vec![(seed, start)];
-    best.insert(seed, start);
+    best[seed.index()] = start;
     while let Some((n, b)) = stack.pop() {
         let neighbours = match dir {
             Direction::Backward => graph.preds(n),
@@ -179,13 +193,18 @@ fn multi_hop<D: Clone + Eq + Hash>(
             } else {
                 b
             };
-            if best.get(&m).is_none_or(|&old| nb > old) {
-                best.insert(m, nb);
+            let old = best[m.index()];
+            if old == UNVISITED || nb > old {
+                best[m.index()] = nb;
                 stack.push((m, nb));
             }
         }
     }
-    best.into_keys().collect()
+    best.iter()
+        .enumerate()
+        .filter(|&(_, &b)| b != UNVISITED)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! lowutil methods <file.lu>          dynamic call-graph method costs
 //! lowutil caches <file.lu>           cache-effectiveness scores
 //! lowutil alloc <file.lu>            lightweight allocation-site profile
-//! lowutil stale <file.lu>            object-staleness leak suspects
+//! lowutil stale <file.lu>            staleness suspects + cost cross-reference
 //! lowutil disasm <file.lu>           round-trip through the disassembler
 //! lowutil optimize <file.lu>         profile-guided dead-code elimination
 //! lowutil export <file.lu>           serialize G_cost to stdout
@@ -26,13 +26,19 @@
 //!                                    across N workers) and print the same
 //!                                    report as `report`
 //! ```
+//!
+//! Report-producing commands take `--analysis batch|reference` to select
+//! the cost-benefit engine (default `batch`; both emit identical bytes).
 
+use lowutil::analyses::batch::{BatchAnalyzer, EngineChoice, ReferenceEngine};
 use lowutil::analyses::cache::cache_effectiveness;
 use lowutil::analyses::copy::{copy_chains, copy_profiler, copy_ratio};
 use lowutil::analyses::cost::CostBenefitConfig;
-use lowutil::analyses::dead::dead_value_metrics;
+use lowutil::analyses::dead::{dead_value_metrics, DeadValueMetrics};
 use lowutil::analyses::methods::{method_costs, CallGraphTracer};
-use lowutil::analyses::report::{describe_field, describe_site, low_utility_report};
+use lowutil::analyses::report::{
+    describe_field, describe_site, low_utility_report, low_utility_report_batch,
+};
 use lowutil::core::{CostGraphConfig, CostProfiler};
 use lowutil::ir::{display_program, parse_program, Program};
 use lowutil::vm::{NullTracer, SinkTracer, TraceReader, TraceWriter, Vm};
@@ -44,7 +50,7 @@ fn usage() -> ExitCode {
         "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference"
     );
     ExitCode::from(2)
 }
@@ -56,6 +62,7 @@ struct Flags {
     traditional: bool,
     size: WorkloadSize,
     jobs: usize,
+    analysis: EngineChoice,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -77,6 +84,7 @@ fn parse_flags(args: &[String]) -> Flags {
         traditional: false,
         size: WorkloadSize::Default,
         jobs: lowutil::par::default_jobs(),
+        analysis: EngineChoice::default(),
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -103,6 +111,16 @@ fn parse_flags(args: &[String]) -> Flags {
                     f.jobs = v.max(1);
                 } else {
                     eprintln!("--jobs needs a number; keeping {}", f.jobs);
+                }
+            }
+            "--analysis" => {
+                if let Some(v) = take_value(&mut it).and_then(EngineChoice::parse) {
+                    f.analysis = v;
+                } else {
+                    eprintln!(
+                        "--analysis needs batch|reference; keeping {}",
+                        f.analysis.name()
+                    );
                 }
             }
             "--control" => f.control = true,
@@ -141,6 +159,26 @@ fn profile(
     Ok((prof.finish(), out))
 }
 
+/// Renders the low-utility report with the engine selected by
+/// `--analysis`. The two engines emit byte-identical reports; the flag
+/// exists so the per-seed reference stays reachable as an oracle.
+fn render_report(
+    program: &Program,
+    gcost: &lowutil::core::CostGraph,
+    flags: &Flags,
+    dead: &DeadValueMetrics,
+) -> String {
+    let config = CostBenefitConfig::default();
+    match flags.analysis {
+        EngineChoice::Batch => {
+            low_utility_report_batch(program, gcost, &config, flags.top, Some(dead), flags.jobs)
+        }
+        EngineChoice::Reference => {
+            low_utility_report(program, gcost, &config, flags.top, Some(dead))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, target) = match (args.first(), args.get(1)) {
@@ -174,16 +212,7 @@ fn main() -> ExitCode {
                 let p = load(target)?;
                 let (g, out) = profile(&p, &flags)?;
                 let dead = dead_value_metrics(&g, out.instructions_executed);
-                print!(
-                    "{}",
-                    low_utility_report(
-                        &p,
-                        &g,
-                        &CostBenefitConfig::default(),
-                        flags.top,
-                        Some(&dead)
-                    )
-                );
+                print!("{}", render_report(&p, &g, &flags, &dead));
                 Ok(())
             }
             "dead" => {
@@ -277,9 +306,28 @@ fn main() -> ExitCode {
             }
             "stale" => {
                 let p = load(target)?;
-                let mut prof = lowutil::analyses::StalenessTracer::new();
-                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
-                print!("{}", prof.report(&p, flags.top));
+                let mut stale = lowutil::analyses::StalenessTracer::new();
+                Vm::new(&p).run(&mut stale).map_err(|e| e.to_string())?;
+                print!("{}", stale.report(&p, flags.top));
+                // Cross-reference the leak suspects against G_cost: how
+                // much work built each stale site, and whether anything
+                // read from it was worth it.
+                let (g, _) = profile(&p, &flags)?;
+                let config = CostBenefitConfig::default();
+                println!("--- cost-benefit cross-reference ---");
+                let cross = match flags.analysis {
+                    EngineChoice::Batch => stale.cost_report(
+                        &p,
+                        &g,
+                        &config,
+                        &BatchAnalyzer::new(&g, flags.jobs),
+                        flags.top,
+                    ),
+                    EngineChoice::Reference => {
+                        stale.cost_report(&p, &g, &config, &ReferenceEngine::new(&g), flags.top)
+                    }
+                };
+                print!("{cross}");
                 Ok(())
             }
             "alloc" => {
@@ -374,16 +422,7 @@ fn main() -> ExitCode {
                 let g = lowutil::par::replay_gcost(&p, config, &reader, flags.jobs)
                     .map_err(|e| e.to_string())?;
                 let dead = dead_value_metrics(&g, reader.trailer().instructions);
-                print!(
-                    "{}",
-                    low_utility_report(
-                        &p,
-                        &g,
-                        &CostBenefitConfig::default(),
-                        flags.top,
-                        Some(&dead)
-                    )
-                );
+                print!("{}", render_report(&p, &g, &flags, &dead));
                 Ok(())
             }
             "suite" => {
@@ -419,16 +458,7 @@ fn main() -> ExitCode {
                 println!("{}: {}", w.name, w.description);
                 let (g, out) = profile(&w.program, &flags)?;
                 let dead = dead_value_metrics(&g, out.instructions_executed);
-                print!(
-                    "{}",
-                    low_utility_report(
-                        &w.program,
-                        &g,
-                        &CostBenefitConfig::default(),
-                        flags.top,
-                        Some(&dead)
-                    )
-                );
+                print!("{}", render_report(&w.program, &g, &flags, &dead));
                 Ok(())
             }
             _ => Err("unknown command".to_string()),
@@ -477,6 +507,21 @@ mod tests {
         assert_eq!(f.jobs, 3);
         let f = flags_of(&["--jobs", "--top", "5"]);
         assert_eq!(f.top, 5);
+    }
+
+    #[test]
+    fn analysis_flag_selects_engine() {
+        let f = flags_of(&["--analysis", "reference"]);
+        assert_eq!(f.analysis, EngineChoice::Reference);
+        let f = flags_of(&["--analysis", "batch"]);
+        assert_eq!(f.analysis, EngineChoice::Batch);
+        // Bad or missing values keep the default without swallowing the
+        // next flag.
+        let f = flags_of(&["--analysis", "fast"]);
+        assert_eq!(f.analysis, EngineChoice::Batch);
+        let f = flags_of(&["--analysis", "--control"]);
+        assert_eq!(f.analysis, EngineChoice::Batch);
+        assert!(f.control);
     }
 
     #[test]

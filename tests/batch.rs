@@ -1,0 +1,192 @@
+//! The batch cost-benefit engine must be indistinguishable from the
+//! per-seed reference: identical per-node HRAC/HRAB and consumer flags,
+//! identical per-location RAC/RAB, and byte-identical reports — on
+//! random programs and on the whole workload suite, at any worker count.
+
+use lowutil::analyses::batch::{BatchAnalyzer, CostEngine, ReferenceEngine};
+use lowutil::analyses::cost::{rab_with, rac_with, CostBenefitConfig};
+use lowutil::analyses::dead::dead_value_metrics;
+use lowutil::analyses::report::{low_utility_report, low_utility_report_batch};
+use lowutil::core::{CostGraph, CostGraphConfig, CostProfiler};
+use lowutil::ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
+use lowutil::vm::Vm;
+use proptest::prelude::*;
+
+/// One randomly chosen instruction over a fixed register/heap shape
+/// (the same generator shape as `tests/props.rs`, leaning on heap
+/// traffic and consumers so the engines' boundary cases get exercised).
+#[derive(Debug, Clone)]
+enum Op {
+    Const(u8, i64),
+    Bin(u8, u8, u8, u8), // dst, op-index, lhs, rhs
+    Cmp(u8, u8, u8),
+    PutField(u8, u8), // field-index, src
+    GetField(u8, u8), // dst, field-index
+    ArrPut(u8, u8),   // idx (0..4), src
+    ArrGet(u8, u8),   // dst, idx
+    Native(u8),       // consume a local
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4u8, -100..100i64).prop_map(|(d, v)| Op::Const(d, v)),
+        (0..4u8, 0..4u8, 0..4u8, 0..4u8).prop_map(|(d, o, l, r)| Op::Bin(d, o, l, r)),
+        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, l, r)| Op::Cmp(d, l, r)),
+        (0..2u8, 0..4u8).prop_map(|(f, s)| Op::PutField(f, s)),
+        (0..4u8, 0..2u8).prop_map(|(d, f)| Op::GetField(d, f)),
+        (0..4u8, 0..4u8).prop_map(|(i, s)| Op::ArrPut(i, s)),
+        (0..4u8, 0..4u8).prop_map(|(d, i)| Op::ArrGet(d, i)),
+        (0..4u8).prop_map(Op::Native),
+    ]
+}
+
+/// Builds a valid straight-line program from the op list.
+fn build(ops: &[Op]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let print = pb.native("print", 1, false);
+    let cls = pb.class("C").finish(&mut pb);
+    let f0 = pb.field(cls, "f0");
+    let f1 = pb.field(cls, "f1");
+    let fields = [f0, f1];
+    let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
+
+    let mut m = pb.method("main", 0);
+    let regs: Vec<Local> = (0..4).map(|i| m.new_local(format!("r{i}"))).collect();
+    let obj = m.new_local("obj");
+    let arr = m.new_local("arr");
+    let len = m.new_local("len");
+    let idx = m.new_local("idx");
+
+    for &r in &regs {
+        m.iconst(r, 0);
+    }
+    m.new_obj(obj, cls);
+    m.iconst(len, 4);
+    m.new_array(arr, len);
+    for i in 0..4 {
+        m.iconst(idx, i);
+        m.array_put(arr, idx, regs[0]);
+    }
+    m.iconst(regs[0], 0);
+    m.put_field(obj, f0, regs[0]);
+    m.put_field(obj, f1, regs[0]);
+
+    for op in ops {
+        match *op {
+            Op::Const(d, v) => m.constant(regs[d as usize], ConstValue::Int(v)),
+            Op::Bin(d, o, l, r) => m.binop(
+                regs[d as usize],
+                bin_ops[o as usize],
+                regs[l as usize],
+                regs[r as usize],
+            ),
+            Op::Cmp(d, l, r) => m.cmp(
+                regs[d as usize],
+                CmpOp::Lt,
+                regs[l as usize],
+                regs[r as usize],
+            ),
+            Op::PutField(f, s) => m.put_field(obj, fields[f as usize], regs[s as usize]),
+            Op::GetField(d, f) => m.get_field(regs[d as usize], obj, fields[f as usize]),
+            Op::ArrPut(i, s) => {
+                m.iconst(idx, i64::from(i));
+                m.array_put(arr, idx, regs[s as usize]);
+            }
+            Op::ArrGet(d, i) => {
+                m.iconst(idx, i64::from(i));
+                m.array_get(regs[d as usize], arr, idx);
+            }
+            Op::Native(s) => m.call_native_void(print, &[regs[s as usize]]),
+        }
+    }
+    m.ret_void();
+    let main = m.finish(&mut pb);
+    pb.finish(main).expect("generated program validates")
+}
+
+fn profile(p: &Program) -> CostGraph {
+    let mut prof = CostProfiler::new(p, CostGraphConfig::default());
+    Vm::new(p).run(&mut prof).expect("generated program runs");
+    prof.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_engine_matches_reference_per_node(
+        ops in proptest::collection::vec(op_strategy(), 1..50)
+    ) {
+        let p = build(&ops);
+        let g = profile(&p);
+        let reference = ReferenceEngine::new(&g);
+        let batch = BatchAnalyzer::new(&g, 2);
+        for (id, _) in g.graph().iter() {
+            prop_assert_eq!(batch.hrac(id), reference.hrac(id));
+            prop_assert_eq!(batch.hrab(id), reference.hrab(id));
+            prop_assert_eq!(batch.reaches_consumer(id), reference.reaches_consumer(id));
+        }
+    }
+
+    #[test]
+    fn batch_engine_matches_reference_per_location(
+        ops in proptest::collection::vec(op_strategy(), 1..50)
+    ) {
+        let p = build(&ops);
+        let g = profile(&p);
+        let cfg = CostBenefitConfig::default();
+        let reference = ReferenceEngine::new(&g);
+        let batch = BatchAnalyzer::new(&g, 2);
+        for obj in g.objects() {
+            for field in g.fields_of(obj) {
+                // Bit-identical f64s: both engines feed the same exact
+                // u64 sums through the same aggregation.
+                prop_assert_eq!(
+                    rac_with(&g, obj, field, &batch),
+                    rac_with(&g, obj, field, &reference)
+                );
+                prop_assert_eq!(
+                    rab_with(&g, obj, field, &cfg, &batch).to_bits(),
+                    rab_with(&g, obj, field, &cfg, &reference).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_report_is_byte_identical_on_random_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..50)
+    ) {
+        let p = build(&ops);
+        let g = profile(&p);
+        let cfg = CostBenefitConfig::default();
+        let reference = low_utility_report(&p, &g, &cfg, 10, None);
+        for jobs in [1usize, 2, 7] {
+            let batch = low_utility_report_batch(&p, &g, &cfg, 10, None, jobs);
+            prop_assert_eq!(&reference, &batch);
+        }
+    }
+}
+
+/// The whole workload suite: the canonical report export (ranking plus
+/// dead-value metrics) must be byte-identical across engines at every
+/// worker count.
+#[test]
+fn batch_report_matches_reference_on_the_suite() {
+    for w in lowutil::workloads::suite(lowutil::workloads::WorkloadSize::Small) {
+        let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+        let out = Vm::new(&w.program).run(&mut prof).expect("workload runs");
+        let g = prof.finish();
+        let dead = dead_value_metrics(&g, out.instructions_executed);
+        let cfg = CostBenefitConfig::default();
+        let reference = low_utility_report(&w.program, &g, &cfg, 10, Some(&dead));
+        for jobs in [1usize, 2, 7] {
+            let batch = low_utility_report_batch(&w.program, &g, &cfg, 10, Some(&dead), jobs);
+            assert_eq!(
+                reference, batch,
+                "{}: report diverged at jobs = {jobs}",
+                w.name
+            );
+        }
+    }
+}
