@@ -5,10 +5,14 @@
 //! `read` measures decoding an already-recorded trace into a counting
 //! sink; `build_seq`/`build_shard4` measure rebuilding `G_cost` from the
 //! trace on one vs four workers, which is the replay-side speedup the
-//! sharded pipeline exists to provide.
+//! sharded pipeline exists to provide. `salvage_clean` measures the
+//! salvage scan (per-segment CRC verification plus a trial decode of
+//! every segment) on an undamaged trace — the worst-case cost of asking
+//! for recovery you did not need — and `salvage_cut` the same on a
+//! half-truncated file.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lowutil_bench::{run_recorded, run_replayed};
+use lowutil_bench::{run_recorded, run_replayed, run_salvage_replayed};
 use lowutil_core::CostGraphConfig;
 use lowutil_vm::{CountingSink, TraceReader};
 use lowutil_workloads::{workload, WorkloadSize};
@@ -39,6 +43,15 @@ fn bench_trace(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("build_shard4", name), &trace, |b, t| {
             b.iter(|| run_replayed(&w.program, CostGraphConfig::default(), t, 4))
+        });
+
+        group.bench_with_input(BenchmarkId::new("salvage_clean", name), &trace, |b, t| {
+            b.iter(|| run_salvage_replayed(&w.program, CostGraphConfig::default(), t, 1))
+        });
+
+        let cut = &trace[..trace.len() / 2];
+        group.bench_with_input(BenchmarkId::new("salvage_cut", name), &cut, |b, t| {
+            b.iter(|| run_salvage_replayed(&w.program, CostGraphConfig::default(), t, 1))
         });
     }
     group.finish();

@@ -9,12 +9,18 @@
 //! every VM and profiler it runs, and results print in the fixed study
 //! order, so output is identical to a sequential `--jobs 1` run.
 //!
-//! Usage: `case_studies [--size small|default|large] [--report] [--jobs N]`
+//! Usage: `case_studies [--size small|default|large] [--report] [--jobs N]
+//! [--verify-replay]`
+//!
+//! `--verify-replay` additionally records each bloated run's event trace
+//! and checks that the salvage-replay path rebuilds the very graph the
+//! numbers came from — the case-study results are then certified
+//! reproducible from a trace artifact alone.
 
 use lowutil_analyses::cost::CostBenefitConfig;
 use lowutil_analyses::dead::dead_value_metrics;
 use lowutil_analyses::report::low_utility_report_batch;
-use lowutil_bench::{run_plain, run_profiled};
+use lowutil_bench::{run_plain, run_profiled, run_recorded, run_salvage_replayed};
 use lowutil_core::CostGraphConfig;
 use lowutil_workloads::{workload, WorkloadSize};
 
@@ -49,6 +55,7 @@ struct StudyRow {
 fn main() {
     let mut size = WorkloadSize::Default;
     let mut show_report = false;
+    let mut verify_replay = false;
     let mut jobs = lowutil_par::default_jobs();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -58,6 +65,7 @@ fn main() {
                 None => eprintln!("--size needs small|default|large"),
             },
             "--report" => show_report = true,
+            "--verify-replay" => verify_replay = true,
             "--jobs" => match lowutil_bench::args::take_jobs(&mut args) {
                 Some(n) => jobs = n,
                 None => eprintln!("--jobs needs a number"),
@@ -92,6 +100,24 @@ fn main() {
             }
             Err(_) => 0.0,
         };
+        // Optionally certify the graph is reproducible from a recorded
+        // trace alone, through the hardened salvage-replay path.
+        if verify_replay {
+            let (_, trace, _, _) = run_recorded(&w.program);
+            let (replayed, stats, _) =
+                run_salvage_replayed(&w.program, CostGraphConfig::default(), &trace, 1);
+            assert!(stats.is_clean(), "{name}: fresh recording flagged damaged");
+            let canon = |g: &lowutil_core::CostGraph| {
+                let mut buf = Vec::new();
+                lowutil_core::write_cost_graph(g, &mut buf).expect("in-memory write");
+                buf
+            };
+            assert_eq!(
+                canon(&graph),
+                canon(&replayed),
+                "{name}: trace replay diverged from the live graph"
+            );
+        }
         let dead = dead_value_metrics(&graph, out.instructions_executed);
         // Batch engine, sequential: the study pool already runs one task
         // per study, and the engine choice cannot change the bytes.
@@ -151,6 +177,10 @@ fn main() {
             "{}: the fix changed observable output",
             row.name
         );
+    }
+
+    if verify_replay {
+        println!("(replay-verified: every study graph was rebuilt byte-identically from its recorded trace)");
     }
 
     println!();

@@ -273,8 +273,23 @@ fn trace_row(
 
 fn read_trace(dir: &str, name: &str) -> Vec<u8> {
     let path = trace_path(dir, name);
-    std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path} (did a --record run create it?): {e}"))
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path} (did a --record run create it?): {e}"));
+    // Benchmarks need the full recording — a salvaged prefix would skew
+    // every column — so damage is fatal here; but diagnose it, so the
+    // user knows whether the file is worth `lowutil replay --salvage`.
+    if let Err(e) = TraceReader::new(&bytes) {
+        match TraceReader::salvage(&bytes) {
+            Ok((_, stats)) => panic!(
+                "{path} is damaged ({e}); salvage would keep {} segments \
+                 (dropping {}) — re-record, or inspect the remains with \
+                 `lowutil replay --salvage`",
+                stats.segments_kept, stats.segments_dropped
+            ),
+            Err(_) => panic!("{path} is not a lowutil trace: {e}"),
+        }
+    }
+    bytes
 }
 
 fn main() {

@@ -86,6 +86,29 @@ pub fn run_replayed(
     (graph, start.elapsed())
 }
 
+/// Rebuilds `G_cost` from possibly damaged trace bytes via the salvage
+/// path, returning the graph, the salvage statistics, and wall time.
+/// On a clean trace this measures the v2 checksum-verification overhead
+/// relative to [`run_replayed`]; on a damaged one it benchmarks recovery.
+/// Unlike `lowutil_par::salvage_replay_gcost` this emits no stderr
+/// warning — benches iterate it thousands of times.
+///
+/// # Panics
+/// Panics only when the trace header is unusable — there is nothing to
+/// salvage without knowing the format.
+pub fn run_salvage_replayed(
+    program: &Program,
+    config: CostGraphConfig,
+    trace: &[u8],
+    jobs: usize,
+) -> (CostGraph, lowutil_vm::SalvageStats, Duration) {
+    let start = Instant::now();
+    let (reader, stats) = TraceReader::salvage(trace).expect("trace header is usable");
+    let graph = lowutil_par::replay_gcost(program, config, &reader, jobs)
+        .expect("salvaged segments replay");
+    (graph, stats, start.elapsed())
+}
+
 /// Profiles with a safe minimum-duration baseline: overhead factor
 /// `tracked / untracked`, with sub-microsecond baselines clamped.
 pub fn overhead_factor(tracked: Duration, untracked: Duration) -> f64 {
@@ -131,6 +154,27 @@ mod tests {
             buf
         };
         assert_eq!(bytes(&graph_live), bytes(&graph_replay));
+    }
+
+    #[test]
+    fn salvage_replay_matches_plain_replay_on_clean_and_cut_traces() {
+        let w = workload("fop", WorkloadSize::Small);
+        let config = CostGraphConfig::default();
+        let (_, trace, ..) = run_recorded(&w.program);
+        let bytes = |g: &CostGraph| {
+            let mut buf = Vec::new();
+            lowutil_core::write_cost_graph(g, &mut buf).unwrap();
+            buf
+        };
+        // Clean trace: salvage is a no-op and the graphs agree.
+        let (plain, _) = run_replayed(&w.program, config, &trace, 2);
+        let (salvaged, stats, _) = run_salvage_replayed(&w.program, config, &trace, 2);
+        assert!(stats.is_clean());
+        assert_eq!(bytes(&plain), bytes(&salvaged));
+        // Truncated trace: the salvage path still produces a graph.
+        let (g, stats, _) = run_salvage_replayed(&w.program, config, &trace[..trace.len() / 2], 2);
+        assert!(!stats.is_clean());
+        assert!(g.graph().num_nodes() > 0 || stats.segments_kept == 0);
     }
 
     #[test]

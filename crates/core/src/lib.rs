@@ -76,5 +76,7 @@ pub use gcost::{
     TaggedSite,
 };
 pub use graph::{DepGraph, Node, NodeId, NodeKind};
-pub use shard::{replay_cost_graph, sharded_replay_sequential, ShardContext, ShardGraph};
+pub use shard::{
+    replay_cost_graph, replay_segments, sharded_replay_sequential, ShardContext, ShardGraph,
+};
 pub use stats::GraphStats;

@@ -58,8 +58,28 @@ pub fn replay_cost_graph(
     config: CostGraphConfig,
     reader: &TraceReader<'_>,
 ) -> Result<CostGraph, TraceError> {
+    replay_segments(program, config, reader.segments())
+}
+
+/// Sequentially replays an explicit segment slice — any prefix (or other
+/// subsequence) of a trace — through a fresh [`GraphBuilder`](crate::GraphBuilder).
+///
+/// This is what makes salvage differential testing possible: the graph of
+/// a salvaged reader must be byte-identical (under canonical export) to
+/// the graph of the *original* trace restricted to the kept prefix, and
+/// this function computes that restriction.
+///
+/// # Errors
+/// Fails on a malformed segment.
+pub fn replay_segments(
+    program: &Program,
+    config: CostGraphConfig,
+    segments: &[Segment<'_>],
+) -> Result<CostGraph, TraceError> {
     let mut builder = crate::gcost::GraphBuilder::new(program, config);
-    reader.replay(&mut builder)?;
+    for seg in segments {
+        seg.replay(&mut builder)?;
+    }
     Ok(builder.finish())
 }
 

@@ -17,7 +17,7 @@
 
 mod replay;
 
-pub use replay::replay_gcost;
+pub use replay::{replay_gcost, salvage_replay_gcost};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

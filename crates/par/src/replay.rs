@@ -23,7 +23,7 @@ use lowutil_core::shard::{
 };
 use lowutil_core::{CostGraph, CostGraphConfig};
 use lowutil_ir::Program;
-use lowutil_vm::trace::{TraceError, TraceReader};
+use lowutil_vm::trace::{SalvageStats, TraceError, TraceReader};
 
 /// Rebuilds `G_cost` from a recorded trace using up to `jobs` worker
 /// threads, one shard per trace segment.
@@ -65,6 +65,33 @@ pub fn replay_gcost(
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
     Ok(lowutil_core::shard::merge_shards(shards))
+}
+
+/// Like [`replay_gcost`], but on a possibly damaged trace: salvages the
+/// longest checksum-valid segment prefix, warns on stderr about anything
+/// it had to skip, and fans the kept segments across `jobs` workers.
+///
+/// The graph is byte-identical (canonical export) to a live run of the
+/// original program stopped at the salvage boundary, at every worker
+/// count — the sharded pipeline sees a kept prefix exactly as it would a
+/// shorter clean trace.
+///
+/// # Errors
+/// Fails only when the header is unusable (nothing to salvage) or — a
+/// bug, given salvage trial-decodes every kept segment — a kept segment
+/// fails to replay.
+pub fn salvage_replay_gcost(
+    program: &Program,
+    config: CostGraphConfig,
+    bytes: &[u8],
+    jobs: usize,
+) -> Result<(CostGraph, SalvageStats), TraceError> {
+    let (reader, stats) = TraceReader::salvage(bytes)?;
+    if !stats.is_clean() {
+        eprintln!("warning: trace damaged; {}", stats.summary());
+    }
+    let graph = replay_gcost(program, config, &reader, jobs)?;
+    Ok((graph, stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+//! A global-allocator wrapper that tracks current and peak heap use.
+//!
+//! The corruption suite's no-panic property has a quieter sibling: a
+//! malformed trace must not make the reader *allocate* absurdly either
+//! (a corrupt varint claiming a four-billion-element vector). Failing
+//! allocations from inside a `GlobalAlloc` would abort the process, so
+//! the guard never refuses memory — it only counts, and tests assert
+//! that the peak stayed under a sanity cap.
+//!
+//! Install it per test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lowutil_testkit::alloc_guard::GuardedAlloc =
+//!     lowutil_testkit::alloc_guard::GuardedAlloc;
+//! ```
+//!
+//! The counters are process-global and tests run concurrently, so
+//! assertions must be phrased as "peak never exceeded the cap", not as
+//! exact per-operation deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator. Delegates every operation to [`System`].
+pub struct GuardedAlloc;
+
+fn on_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: pure delegation to `System`; the counters are side tables that
+// never influence which pointer is returned.
+unsafe impl GlobalAlloc for GuardedAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now (as seen by this allocator).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// The high-water mark since process start or the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restarts peak tracking from the current live size. Returns the live
+/// size, convenient as the baseline for a subsequent delta assertion.
+pub fn reset_peak() -> usize {
+    let now = current_bytes();
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}

@@ -55,5 +55,8 @@ pub use interp::{RunConfig, RunOutcome, Trap, TrapKind, Vm};
 pub use natives::{NativeKind, NativeRegistry, UnknownNativeError};
 pub use shadow::{ShadowFrame, ShadowHeap, ShadowStack, TrackingStack};
 pub use sink::{CountingSink, EventSink, SinkTracer, TracerSink};
-pub use trace::{TraceError, TraceReader, TraceStats, TraceWriter};
+pub use trace::{
+    SalvageStats, TraceError, TraceReader, TraceStats, TraceWriter, Trailer, TRACE_VERSION,
+    TRACE_VERSION_V1,
+};
 pub use tracer::{CountingTracer, NullTracer, Tracer};

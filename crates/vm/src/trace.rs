@@ -12,8 +12,8 @@
 //!   the prologue is exactly the state a shadow stack needs to be seeded
 //!   with, which is what makes segment-parallel graph construction
 //!   (`lowutil-par`) possible.
-//! * **Trailer** — event/instruction/allocation/push totals, so replay
-//!   clients get the [`RunOutcome`](crate::RunOutcome)-level counts
+//! * **Trailer** — event/instruction/allocation/push/segment totals, so
+//!   replay clients get the [`RunOutcome`](crate::RunOutcome)-level counts
 //!   without re-deriving them.
 //!
 //! All integers are LEB128 varints (zigzag for signed); floats are stored
@@ -22,6 +22,30 @@
 //! run produced, so any [`EventSink`] (including a full
 //! profiler behind a [`TracerSink`](crate::TracerSink)) sees no
 //! difference between live and recorded executions.
+//!
+//! # Format versions
+//!
+//! Traces cross machines and disks, so corrupt input is a tested,
+//! recoverable condition rather than UB. Two wire versions exist:
+//!
+//! * **v1** (legacy, read-only by default) — segments are
+//!   `tag, prologue-len, prologue, payload-len, payload` with no
+//!   integrity protection; the trailer is four bare varints.
+//! * **v2** (current) — every record is length-framed and checksummed:
+//!   `tag, body-len, body, crc32(body)`, where a segment body is
+//!   `segment-index, prologue-len, prologue, payload-len, payload` and
+//!   the trailer body adds a fifth varint carrying the segment count.
+//!   The explicit index pins each segment to its position, so a spliced
+//!   or reordered (but internally intact) segment is detected; the body
+//!   length lets readers skip a corrupt segment structurally, which is
+//!   what makes [`TraceReader::salvage`] able to count what it dropped.
+//!
+//! [`TraceReader::new`] negotiates the version from the header and reads
+//! both; [`TraceWriter`] writes v2 (v1 stays writable through
+//! [`TraceWriter::with_format`] for compatibility fixtures). All declared
+//! lengths are validated against the remaining buffer *before* any
+//! allocation, so a corrupt length yields a [`TraceError`], never an
+//! over-allocation.
 
 use crate::event::{Event, FrameInfo};
 use crate::sink::EventSink;
@@ -33,8 +57,10 @@ use std::io::{self, Write};
 
 /// The four magic bytes opening every trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"LUTR";
-/// The trace format version this crate reads and writes.
-pub const TRACE_VERSION: u64 = 1;
+/// The trace format version this crate writes by default.
+pub const TRACE_VERSION: u64 = 2;
+/// The legacy checksum-free format, still accepted by [`TraceReader`].
+pub const TRACE_VERSION_V1: u64 = 1;
 
 const TAG_SEGMENT: u8 = 0x01;
 const TAG_TRAILER: u8 = 0x02;
@@ -80,6 +106,60 @@ impl fmt::Display for TraceError {
 }
 
 impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------------
+// crc32 (IEEE 802.3, reflected, poly 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC32: `update` over any number of slices, then `finish`.
+#[derive(Debug, Clone, Copy)]
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
 
 // ---------------------------------------------------------------------------
 // varint codec
@@ -185,6 +265,46 @@ impl<'a> Cur<'a> {
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A raw (non-varint) little-endian u32 — the wire form of checksums.
+    fn u32_raw(&mut self) -> Result<u32, TraceError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a declared byte length and validates it against the bytes
+    /// actually remaining, so corrupt lengths fail here — *before* any
+    /// allocation or slicing is attempted.
+    fn declared_len(&mut self, what: &str) -> Result<usize, TraceError> {
+        let v = self.u64()?;
+        let n = usize::try_from(v).map_err(|_| self.err(format!("{what} length overflows")))?;
+        if n > self.remaining() {
+            return Err(self.err(format!(
+                "declared {what} length {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a declared element count whose encoding needs at least
+    /// `min_bytes` bytes per element; bounds any follow-up
+    /// `Vec::with_capacity(count)` by the remaining buffer size.
+    fn declared_count(&mut self, what: &str, min_bytes: usize) -> Result<usize, TraceError> {
+        let v = self.u64()?;
+        let n = usize::try_from(v).map_err(|_| self.err(format!("{what} count overflows")))?;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(self.err(format!(
+                "declared {what} count {n} cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
     }
 }
 
@@ -305,8 +425,10 @@ fn put_locals(buf: &mut Vec<u8>, ls: &[Local]) {
 }
 
 fn get_locals(c: &mut Cur) -> Result<Vec<Local>, TraceError> {
-    let n = c.u32()? as usize;
-    let mut v = Vec::with_capacity(n.min(1024));
+    // Each local is at least one byte on the wire, so a count exceeding
+    // the remaining buffer is corrupt; checked before allocating.
+    let n = c.declared_count("locals", 1)?;
+    let mut v = Vec::with_capacity(n);
     for _ in 0..n {
         v.push(get_local(c)?);
     }
@@ -723,6 +845,8 @@ pub struct TraceWriter<W: Write> {
     out: W,
     started: bool,
     io_error: Option<io::Error>,
+    /// Wire format version being written ([`TRACE_VERSION`] by default).
+    version: u64,
     /// Prologue captured at the current segment's start.
     prologue: Vec<u8>,
     /// Encoded records of the current segment.
@@ -746,10 +870,26 @@ impl<W: Write> TraceWriter<W> {
     /// of prologue overhead; tests use tiny limits to force segmentation
     /// on small programs.
     pub fn with_segment_limit(out: W, limit: usize) -> Self {
+        Self::with_format(out, limit, TRACE_VERSION)
+    }
+
+    /// Creates a writer emitting a specific wire version — either
+    /// [`TRACE_VERSION`] or [`TRACE_VERSION_V1`]. The v1 path exists so
+    /// compatibility fixtures (and their no-drift tests) can regenerate
+    /// legacy traces; new recordings should use [`TraceWriter::new`].
+    ///
+    /// # Panics
+    /// Panics if `version` is not a version this crate can write.
+    pub fn with_format(out: W, limit: usize, version: u64) -> Self {
+        assert!(
+            version == TRACE_VERSION || version == TRACE_VERSION_V1,
+            "unwritable trace version {version}"
+        );
         let mut w = TraceWriter {
             out,
             started: false,
             io_error: None,
+            version,
             prologue: Vec::new(),
             seg: Vec::new(),
             seg_records: 0,
@@ -796,20 +936,48 @@ impl<W: Write> TraceWriter<W> {
             self.started = true;
             let mut header = Vec::with_capacity(8);
             header.extend_from_slice(&TRACE_MAGIC);
-            put_u64(&mut header, TRACE_VERSION);
+            put_u64(&mut header, self.version);
             self.write_all(&header);
         }
-        let mut framing = Vec::with_capacity(16);
-        framing.push(TAG_SEGMENT);
-        put_u64(&mut framing, self.prologue.len() as u64);
-        self.write_all(&framing);
-        let prologue = std::mem::take(&mut self.prologue);
-        self.write_all(&prologue);
-        let mut len = Vec::with_capacity(8);
-        put_u64(&mut len, self.seg.len() as u64);
-        self.write_all(&len);
-        let seg = std::mem::take(&mut self.seg);
-        self.write_all(&seg);
+        if self.version == TRACE_VERSION_V1 {
+            // Legacy framing: no index, no length envelope, no checksum.
+            let mut framing = Vec::with_capacity(16);
+            framing.push(TAG_SEGMENT);
+            put_u64(&mut framing, self.prologue.len() as u64);
+            self.write_all(&framing);
+            let prologue = std::mem::take(&mut self.prologue);
+            self.write_all(&prologue);
+            let mut len = Vec::with_capacity(8);
+            put_u64(&mut len, self.seg.len() as u64);
+            self.write_all(&len);
+            let seg = std::mem::take(&mut self.seg);
+            self.write_all(&seg);
+        } else {
+            // v2 body: index, prologue-len, prologue, payload-len, payload;
+            // CRC over the body, streamed part by part to avoid a copy.
+            let mut head = Vec::with_capacity(16);
+            put_u64(&mut head, self.stats.segments);
+            put_u64(&mut head, self.prologue.len() as u64);
+            let mut mid = Vec::with_capacity(8);
+            put_u64(&mut mid, self.seg.len() as u64);
+            let body_len = head.len() + self.prologue.len() + mid.len() + self.seg.len();
+            let mut crc = Crc32::new();
+            crc.update(&head);
+            crc.update(&self.prologue);
+            crc.update(&mid);
+            crc.update(&self.seg);
+            let mut framing = Vec::with_capacity(16);
+            framing.push(TAG_SEGMENT);
+            put_u64(&mut framing, body_len as u64);
+            self.write_all(&framing);
+            self.write_all(&head);
+            let prologue = std::mem::take(&mut self.prologue);
+            self.write_all(&prologue);
+            self.write_all(&mid);
+            let seg = std::mem::take(&mut self.seg);
+            self.write_all(&seg);
+            self.write_all(&crc.finish().to_le_bytes());
+        }
         self.stats.segments += 1;
         self.seg_records = 0;
         self.capture_prologue();
@@ -822,13 +990,28 @@ impl<W: Write> TraceWriter<W> {
         if !self.seg.is_empty() || self.stats.segments == 0 {
             self.flush_segment();
         }
-        let mut trailer = Vec::with_capacity(24);
-        trailer.push(TAG_TRAILER);
-        put_u64(&mut trailer, self.stats.events);
-        put_u64(&mut trailer, self.stats.instructions);
-        put_u64(&mut trailer, self.stats.objects_allocated);
-        put_u64(&mut trailer, self.stats.frame_pushes);
-        self.write_all(&trailer);
+        if self.version == TRACE_VERSION_V1 {
+            let mut trailer = Vec::with_capacity(24);
+            trailer.push(TAG_TRAILER);
+            put_u64(&mut trailer, self.stats.events);
+            put_u64(&mut trailer, self.stats.instructions);
+            put_u64(&mut trailer, self.stats.objects_allocated);
+            put_u64(&mut trailer, self.stats.frame_pushes);
+            self.write_all(&trailer);
+        } else {
+            let mut body = Vec::with_capacity(40);
+            put_u64(&mut body, self.stats.events);
+            put_u64(&mut body, self.stats.instructions);
+            put_u64(&mut body, self.stats.objects_allocated);
+            put_u64(&mut body, self.stats.frame_pushes);
+            put_u64(&mut body, self.stats.segments);
+            let mut framing = Vec::with_capacity(8);
+            framing.push(TAG_TRAILER);
+            put_u64(&mut framing, body.len() as u64);
+            self.write_all(&framing);
+            self.write_all(&body);
+            self.write_all(&crc32(&body).to_le_bytes());
+        }
         if self.io_error.is_none() {
             if let Err(e) = self.out.flush() {
                 self.io_error = Some(e);
@@ -889,7 +1072,7 @@ impl<W: Write> EventSink for TraceWriter<W> {
 // ---------------------------------------------------------------------------
 
 /// One live frame described by a segment prologue.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrologueFrame {
     /// The frame's method.
     pub method: MethodId,
@@ -903,7 +1086,7 @@ pub struct PrologueFrame {
 }
 
 /// The shadow-stack state at a segment boundary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Prologue {
     /// Live frames, outermost first.
     pub frames: Vec<PrologueFrame>,
@@ -914,7 +1097,7 @@ pub struct Prologue {
 }
 
 /// Run totals recorded in the trace trailer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Trailer {
     /// Instruction events (including `CallComplete`).
     pub events: u64,
@@ -925,6 +1108,9 @@ pub struct Trailer {
     pub objects_allocated: u64,
     /// Total frame pushes.
     pub frame_pushes: u64,
+    /// Number of segments in the trace. Recorded on the wire by v2; for
+    /// v1 traces the reader fills it in from the parsed segment count.
+    pub segments: u64,
 }
 
 /// One independently replayable chunk of the trace.
@@ -940,6 +1126,12 @@ impl<'a> Segment<'a> {
     /// The shadow-stack state this segment starts from.
     pub fn prologue(&self) -> &Prologue {
         &self.prologue
+    }
+
+    /// The segment's raw event payload — what a checksum protects, and
+    /// what prefix-identity tests compare byte-for-byte.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
     }
 
     /// Replays the segment's records into `sink`, in recorded order.
@@ -963,84 +1155,459 @@ impl<'a> Segment<'a> {
     }
 }
 
+/// Decodes a segment prologue from its carved-out byte range.
+fn decode_prologue(pbytes: &[u8], base: usize) -> Result<Prologue, TraceError> {
+    let mut pc = Cur::new(pbytes, base);
+    // Each encoded frame needs at least 4 bytes (method, locals, gid,
+    // receiver), so the depth is bounded before the Vec is sized.
+    let depth = pc.declared_count("prologue frame", 4)?;
+    let mut frames = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        frames.push(PrologueFrame {
+            method: MethodId(pc.u32()?),
+            num_locals: pc.u16()?,
+            gid: pc.u64()?,
+            receiver: get_opt_object(&mut pc)?,
+        });
+    }
+    let in_phase = pc.bool()?;
+    let first_gid = pc.u64()?;
+    if !pc.done() {
+        return Err(pc.err("trailing bytes in segment prologue"));
+    }
+    Ok(Prologue {
+        frames,
+        in_phase,
+        first_gid,
+    })
+}
+
+/// Carves a segment's prologue and payload ranges off `c`, then decodes
+/// the prologue. Shared by the v1 and v2 record parsers.
+fn parse_segment_body<'a>(c: &mut Cur<'a>) -> Result<Segment<'a>, TraceError> {
+    let plen = c.declared_len("segment prologue")?;
+    let pstart = c.base + c.pos;
+    let pbytes = c.bytes(plen)?;
+    let len = c.declared_len("segment payload")?;
+    let payload_offset = c.base + c.pos;
+    let payload = c.bytes(len)?;
+    Ok(Segment {
+        prologue: decode_prologue(pbytes, pstart)?,
+        payload,
+        payload_offset,
+    })
+}
+
+/// One parsed top-level record. The `Corrupt*` variants mean the record's
+/// *extent* was recovered (scanning can continue past it) but its content
+/// failed validation — a checksum mismatch or an undecodable body.
+enum Record<'a> {
+    Segment {
+        /// The segment's self-declared position (v2 only).
+        index: Option<u64>,
+        seg: Segment<'a>,
+    },
+    CorruptSegment {
+        error: TraceError,
+    },
+    Trailer(Trailer),
+    CorruptTrailer {
+        error: TraceError,
+    },
+}
+
+/// Parses the next top-level record. `Err` means framing-level corruption
+/// (bad tag, bad length, truncation): the scan cannot continue past it.
+fn next_record<'a>(c: &mut Cur<'a>, version: u64) -> Result<Record<'a>, TraceError> {
+    let tag = c.u8()?;
+    if version == TRACE_VERSION_V1 {
+        return match tag {
+            TAG_SEGMENT => {
+                // v1 has no envelope: the prologue/payload lengths *are*
+                // the framing, so a decode failure inside the carved
+                // ranges is still skippable.
+                let plen = c.declared_len("segment prologue")?;
+                let pstart = c.base + c.pos;
+                let pbytes = c.bytes(plen)?;
+                let len = c.declared_len("segment payload")?;
+                let payload_offset = c.base + c.pos;
+                let payload = c.bytes(len)?;
+                match decode_prologue(pbytes, pstart) {
+                    Ok(prologue) => Ok(Record::Segment {
+                        index: None,
+                        seg: Segment {
+                            prologue,
+                            payload,
+                            payload_offset,
+                        },
+                    }),
+                    Err(error) => Ok(Record::CorruptSegment { error }),
+                }
+            }
+            TAG_TRAILER => Ok(Record::Trailer(Trailer {
+                events: c.u64()?,
+                instructions: c.u64()?,
+                objects_allocated: c.u64()?,
+                frame_pushes: c.u64()?,
+                segments: 0, // filled in by the caller for v1
+            })),
+            t => Err(c.err(format!("invalid frame tag {t}"))),
+        };
+    }
+    match tag {
+        TAG_SEGMENT => {
+            let blen = c.declared_len("segment body")?;
+            let bstart = c.base + c.pos;
+            let body = c.bytes(blen)?;
+            let stored = c.u32_raw()?;
+            if crc32(body) != stored {
+                return Ok(Record::CorruptSegment {
+                    error: TraceError {
+                        offset: bstart,
+                        message: "segment checksum mismatch".to_string(),
+                    },
+                });
+            }
+            let mut bc = Cur::new(body, bstart);
+            let parsed = (|| {
+                let index = bc.u64()?;
+                let seg = parse_segment_body(&mut bc)?;
+                if !bc.done() {
+                    return Err(bc.err("trailing bytes in segment body"));
+                }
+                Ok((index, seg))
+            })();
+            match parsed {
+                Ok((index, seg)) => Ok(Record::Segment {
+                    index: Some(index),
+                    seg,
+                }),
+                Err(error) => Ok(Record::CorruptSegment { error }),
+            }
+        }
+        TAG_TRAILER => {
+            let blen = c.declared_len("trailer body")?;
+            let bstart = c.base + c.pos;
+            let body = c.bytes(blen)?;
+            let stored = c.u32_raw()?;
+            if crc32(body) != stored {
+                return Ok(Record::CorruptTrailer {
+                    error: TraceError {
+                        offset: bstart,
+                        message: "trailer checksum mismatch".to_string(),
+                    },
+                });
+            }
+            let mut bc = Cur::new(body, bstart);
+            let parsed = (|| {
+                let t = Trailer {
+                    events: bc.u64()?,
+                    instructions: bc.u64()?,
+                    objects_allocated: bc.u64()?,
+                    frame_pushes: bc.u64()?,
+                    segments: bc.u64()?,
+                };
+                if !bc.done() {
+                    return Err(bc.err("trailing bytes in trailer body"));
+                }
+                Ok(t)
+            })();
+            match parsed {
+                Ok(t) => Ok(Record::Trailer(t)),
+                Err(error) => Ok(Record::CorruptTrailer { error }),
+            }
+        }
+        t => Err(c.err(format!("invalid frame tag {t}"))),
+    }
+}
+
+/// Parses the `LUTR` magic and version, rejecting versions this crate
+/// cannot read.
+fn parse_header(c: &mut Cur) -> Result<u64, TraceError> {
+    let magic = c.bytes(4)?;
+    if magic != TRACE_MAGIC {
+        return Err(TraceError {
+            offset: 0,
+            message: "not a lowutil trace (bad magic)".to_string(),
+        });
+    }
+    let version = c.u64()?;
+    if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
+        return Err(c.err(format!(
+            "unsupported trace version {version} (this reader handles {TRACE_VERSION_V1} and {TRACE_VERSION})"
+        )));
+    }
+    Ok(version)
+}
+
+/// Counts a replayed stream the way the writer counts it, so a trailer
+/// can be synthesized for a salvaged prefix.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrefixCounts {
+    events: u64,
+    instructions: u64,
+    objects_allocated: u64,
+    frame_pushes: u64,
+}
+
+impl PrefixCounts {
+    fn trailer(&self, segments: u64) -> Trailer {
+        Trailer {
+            events: self.events,
+            instructions: self.instructions,
+            objects_allocated: self.objects_allocated,
+            frame_pushes: self.frame_pushes,
+            segments,
+        }
+    }
+}
+
+impl EventSink for PrefixCounts {
+    fn event(&mut self, event: &Event) {
+        self.events += 1;
+        if !matches!(event, Event::CallComplete { .. }) {
+            self.instructions += 1;
+        }
+        if matches!(event, Event::Alloc { .. }) {
+            self.objects_allocated += 1;
+        }
+    }
+
+    fn frame_push(&mut self, _info: &FrameInfo) {
+        self.frame_pushes += 1;
+    }
+}
+
+/// What [`TraceReader::salvage`] recovered and what it had to give up.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageStats {
+    /// Checksum-valid, decodable segments kept (always a prefix of the
+    /// original recording, in order).
+    pub segments_kept: usize,
+    /// Segments whose extent was recovered but which were dropped — the
+    /// corrupt segment itself plus any structurally scannable segments
+    /// after it (prefix semantics: nothing after the first failure is
+    /// replayed). Segments lost to framing-level corruption cannot be
+    /// counted and are covered by `bytes_dropped` instead.
+    pub segments_dropped: usize,
+    /// Bytes not represented by the kept segments (from the first
+    /// failure to end of buffer). Zero for a clean trace.
+    pub bytes_dropped: usize,
+    /// Whether the file's own trailer record was found intact. The
+    /// salvaged reader's trailer is always synthesized from the kept
+    /// prefix so it matches what `replay` will actually deliver.
+    pub trailer_recovered: bool,
+    /// The first validation or framing error encountered, if any.
+    pub first_error: Option<TraceError>,
+}
+
+impl SalvageStats {
+    /// True when the whole trace was intact (nothing dropped).
+    pub fn is_clean(&self) -> bool {
+        self.first_error.is_none()
+    }
+
+    /// One-line human summary for warnings.
+    pub fn summary(&self) -> String {
+        match &self.first_error {
+            None => format!("trace intact ({} segments)", self.segments_kept),
+            Some(e) => format!(
+                "kept {} segments, dropped {} segments / {} bytes (trailer {}): {}",
+                self.segments_kept,
+                self.segments_dropped,
+                self.bytes_dropped,
+                if self.trailer_recovered {
+                    "recovered"
+                } else {
+                    "lost"
+                },
+                e
+            ),
+        }
+    }
+
+    fn note(&mut self, e: TraceError) {
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+}
+
 /// A parsed in-memory trace. Parsing decodes segment framing and
 /// prologues eagerly (they are tiny) but leaves record payloads as byte
 /// slices, so handing segments to parallel workers costs nothing.
 #[derive(Debug)]
 pub struct TraceReader<'a> {
+    version: u64,
     segments: Vec<Segment<'a>>,
     trailer: Trailer,
 }
 
 impl<'a> TraceReader<'a> {
-    /// Parses a trace buffer. Fails on bad magic, unknown version,
-    /// truncation, or a missing trailer.
+    /// Parses a trace buffer, negotiating the format version from the
+    /// header (v1 and v2 both replay). Fails on bad magic, unknown
+    /// version, truncation, a checksum mismatch, an out-of-sequence
+    /// segment, or a missing trailer.
     pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
         let mut c = Cur::new(buf, 0);
-        let magic = c.bytes(4)?;
-        if magic != TRACE_MAGIC {
-            return Err(TraceError {
-                offset: 0,
-                message: "not a lowutil trace (bad magic)".to_string(),
-            });
-        }
-        let version = c.u64()?;
-        if version != TRACE_VERSION {
-            return Err(c.err(format!(
-                "unsupported trace version {version} (expected {TRACE_VERSION})"
-            )));
-        }
+        let version = parse_header(&mut c)?;
         let mut segments = Vec::new();
         loop {
-            match c.u8()? {
-                TAG_SEGMENT => {
-                    let plen = c.u64()? as usize;
-                    let pstart = c.pos;
-                    let pbytes = c.bytes(plen)?;
-                    let mut pc = Cur::new(pbytes, pstart);
-                    let depth = pc.u32()? as usize;
-                    let mut frames = Vec::with_capacity(depth.min(4096));
-                    for _ in 0..depth {
-                        frames.push(PrologueFrame {
-                            method: MethodId(pc.u32()?),
-                            num_locals: pc.u16()?,
-                            gid: pc.u64()?,
-                            receiver: get_opt_object(&mut pc)?,
-                        });
+            match next_record(&mut c, version)? {
+                Record::Segment { index, seg } => {
+                    if let Some(i) = index {
+                        if i != segments.len() as u64 {
+                            return Err(TraceError {
+                                offset: seg.payload_offset,
+                                message: format!(
+                                    "segment declares index {i} but is at position {}",
+                                    segments.len()
+                                ),
+                            });
+                        }
                     }
-                    let in_phase = pc.bool()?;
-                    let first_gid = pc.u64()?;
-                    if !pc.done() {
-                        return Err(pc.err("trailing bytes in segment prologue"));
-                    }
-                    let len = c.u64()? as usize;
-                    let payload_offset = c.pos;
-                    let payload = c.bytes(len)?;
-                    segments.push(Segment {
-                        prologue: Prologue {
-                            frames,
-                            in_phase,
-                            first_gid,
-                        },
-                        payload,
-                        payload_offset,
-                    });
+                    segments.push(seg);
                 }
-                TAG_TRAILER => {
-                    let trailer = Trailer {
-                        events: c.u64()?,
-                        instructions: c.u64()?,
-                        objects_allocated: c.u64()?,
-                        frame_pushes: c.u64()?,
-                    };
+                Record::CorruptSegment { error } | Record::CorruptTrailer { error } => {
+                    return Err(error)
+                }
+                Record::Trailer(mut trailer) => {
+                    if version == TRACE_VERSION_V1 {
+                        trailer.segments = segments.len() as u64;
+                    } else if trailer.segments != segments.len() as u64 {
+                        return Err(c.err(format!(
+                            "trailer records {} segments but {} were present",
+                            trailer.segments,
+                            segments.len()
+                        )));
+                    }
                     if !c.done() {
                         return Err(c.err("trailing bytes after trace trailer"));
                     }
-                    return Ok(TraceReader { segments, trailer });
+                    return Ok(TraceReader {
+                        version,
+                        segments,
+                        trailer,
+                    });
                 }
-                t => return Err(c.err(format!("invalid frame tag {t}"))),
             }
         }
+    }
+
+    /// Recovers the longest replayable prefix of a damaged trace.
+    ///
+    /// Keeps segments from the front as long as each one is
+    /// checksum-valid (v2), in sequence, and fully decodable; the first
+    /// failure ends the kept prefix, and everything after it — even
+    /// segments that would validate — is dropped, so the result is always
+    /// a true prefix of the original recording. The returned reader's
+    /// trailer is synthesized from the kept prefix, so totals agree with
+    /// what [`TraceReader::replay`] will deliver, and every kept segment
+    /// is guaranteed to replay without error.
+    ///
+    /// # Errors
+    /// Fails only when the header itself is unusable (bad magic or an
+    /// unknown version) — there is nothing to salvage without knowing the
+    /// format.
+    pub fn salvage(buf: &'a [u8]) -> Result<(Self, SalvageStats), TraceError> {
+        let mut c = Cur::new(buf, 0);
+        let version = parse_header(&mut c)?;
+        let mut segments: Vec<Segment<'a>> = Vec::new();
+        let mut stats = SalvageStats::default();
+        let mut counts = PrefixCounts::default();
+        let mut kept_end = c.pos;
+        let mut file_trailer: Option<Trailer> = None;
+        loop {
+            if c.done() {
+                if file_trailer.is_none() {
+                    stats.note(c.err("trace ends without a trailer"));
+                }
+                break;
+            }
+            match next_record(&mut c, version) {
+                Ok(Record::Segment { index, seg }) => {
+                    if stats.first_error.is_some() {
+                        stats.segments_dropped += 1;
+                        continue;
+                    }
+                    if index.is_some_and(|i| i != segments.len() as u64) {
+                        stats.note(TraceError {
+                            offset: seg.payload_offset,
+                            message: format!(
+                                "segment declares index {} but is at position {}",
+                                index.unwrap_or_default(),
+                                segments.len()
+                            ),
+                        });
+                        stats.segments_dropped += 1;
+                        continue;
+                    }
+                    // Trial-decode so a kept segment can never fail a
+                    // later replay, and so the prefix totals are known.
+                    match seg.replay(&mut counts) {
+                        Ok(()) => {
+                            segments.push(seg);
+                            stats.segments_kept += 1;
+                            kept_end = c.pos;
+                        }
+                        Err(e) => {
+                            stats.note(e);
+                            stats.segments_dropped += 1;
+                        }
+                    }
+                }
+                Ok(Record::CorruptSegment { error }) => {
+                    stats.note(error);
+                    stats.segments_dropped += 1;
+                }
+                Ok(Record::Trailer(t)) => {
+                    file_trailer = Some(t);
+                    if !c.done() {
+                        stats.note(c.err("trailing bytes after trace trailer"));
+                    }
+                    break;
+                }
+                Ok(Record::CorruptTrailer { error }) => {
+                    stats.note(error);
+                    break;
+                }
+                Err(e) => {
+                    // Framing-level corruption: the scan cannot continue.
+                    stats.note(e);
+                    break;
+                }
+            }
+        }
+        let trailer = counts.trailer(segments.len() as u64);
+        stats.trailer_recovered = file_trailer.is_some();
+        if let Some(t) = file_trailer {
+            // A structurally clean trace whose trailer disagrees with its
+            // own contents is still damaged — surface that.
+            if stats.first_error.is_none() && t != trailer {
+                stats.note(TraceError {
+                    offset: kept_end,
+                    message: "trailer totals disagree with segment contents".to_string(),
+                });
+            }
+        }
+        stats.bytes_dropped = if stats.first_error.is_some() {
+            buf.len().saturating_sub(kept_end)
+        } else {
+            0
+        };
+        Ok((
+            TraceReader {
+                version,
+                segments,
+                trailer,
+            },
+            stats,
+        ))
+    }
+
+    /// The wire format version the trace was recorded with.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The trace's segments, in execution order.
@@ -1134,6 +1701,42 @@ mod tests {
         m.array_len(len, arr);
         m.call_native_void(end, &[]);
         m.call_native_void(print, &[len]);
+        m.ret_void();
+        let main_id = m.finish(&mut pb);
+        pb.finish(main_id).expect("valid program")
+    }
+
+    /// A loop making `n` calls: segments split only at frame pushes, so
+    /// a small segment limit yields roughly `n` segments — the shape the
+    /// salvage tests need.
+    fn call_heavy_program(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let print = pb.native("print", 1, false);
+
+        let mut twice = pb.method("twice", 1);
+        let p0 = twice.param(0);
+        let r = twice.new_local("r");
+        twice.binop(r, BinOp::Add, p0, p0);
+        twice.ret(r);
+        let twice_id = twice.finish(&mut pb);
+
+        let mut m = pb.method("main", 0);
+        let i = m.new_local("i");
+        let one = m.new_local("one");
+        let lim = m.new_local("lim");
+        let acc = m.new_local("acc");
+        let t = m.new_local("t");
+        m.iconst(i, 0);
+        m.iconst(one, 1);
+        m.iconst(lim, n);
+        m.iconst(acc, 0);
+        let top = m.label();
+        m.bind(top);
+        m.call(Some(t), twice_id, &[i]);
+        m.binop(acc, BinOp::Add, acc, t);
+        m.binop(i, BinOp::Add, i, one);
+        m.branch(lowutil_ir::CmpOp::Lt, i, lim, top);
+        m.call_native_void(print, &[acc]);
         m.ret_void();
         let main_id = m.finish(&mut pb);
         pb.finish(main_id).expect("valid program")
@@ -1258,13 +1861,227 @@ mod tests {
         let program = kitchen_sink_program();
         let (bytes, ..) = record(&program, DEFAULT_SEGMENT_LIMIT);
         // Truncations anywhere must error, never panic.
-        for cut in [5, 8, bytes.len() / 2, bytes.len() - 1] {
+        for cut in 0..bytes.len() {
             assert!(TraceReader::new(&bytes[..cut]).is_err(), "cut at {cut}");
         }
-        // Flipping the trailer tag leaves the trace without a trailer.
-        let mut no_trailer = bytes.clone();
-        let pos = no_trailer.len() - 33.min(no_trailer.len());
-        no_trailer.truncate(pos);
-        assert!(TraceReader::new(&no_trailer).is_err());
+    }
+
+    #[test]
+    fn v1_traces_still_replay_through_the_v2_reader() {
+        let program = kitchen_sink_program();
+        let (v2, stats2, _) = record(&program, 8);
+        let writer = TraceWriter::with_format(Vec::new(), 8, TRACE_VERSION_V1);
+        let mut t = SinkTracer(writer);
+        Vm::new(&program).run(&mut t).expect("program runs");
+        let (v1, stats1) = t.0.finish().expect("in-memory write cannot fail");
+        assert!(v1.len() < v2.len(), "v1 lacks indices and checksums");
+        assert_eq!(stats1.segments, stats2.segments);
+
+        let r1 = TraceReader::new(&v1).expect("v1 parses");
+        let r2 = TraceReader::new(&v2).expect("v2 parses");
+        assert_eq!(r1.version(), TRACE_VERSION_V1);
+        assert_eq!(r2.version(), TRACE_VERSION);
+        assert_eq!(r1.trailer(), r2.trailer());
+        assert_eq!(r1.trailer().segments, r1.segments().len() as u64);
+        let (mut a, mut b) = (StreamLog::default(), StreamLog::default());
+        r1.replay(&mut a).unwrap();
+        r2.replay(&mut b).unwrap();
+        assert_eq!(a.0, b.0, "identical stream across wire versions");
+    }
+
+    /// Every single-bit flip anywhere in a v2 trace must be rejected by
+    /// the full parse: CRC32 detects all 1-bit errors in record bodies,
+    /// and flips in the header, tags, lengths, or stored checksums break
+    /// framing or verification.
+    #[test]
+    fn v2_parse_rejects_every_single_bit_flip() {
+        let program = kitchen_sink_program();
+        let (bytes, ..) = record(&program, 8);
+        for bit in 0..bytes.len() * 8 {
+            let mut m = bytes.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                TraceReader::new(&m).is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn salvage_of_truncations_keeps_a_replayable_prefix() {
+        let program = call_heavy_program(12);
+        let (bytes, stats, _) = record(&program, 4);
+        assert!(stats.segments > 2);
+        let full = TraceReader::new(&bytes).unwrap();
+        let mut live = StreamLog::default();
+        full.replay(&mut live).unwrap();
+
+        for cut in 0..bytes.len() {
+            let (reader, st) = match TraceReader::salvage(&bytes[..cut]) {
+                Ok(r) => r,
+                // Cuts inside the header leave nothing to salvage.
+                Err(_) => continue,
+            };
+            assert!(!st.is_clean(), "cut at {cut} must not look clean");
+            // A cut exactly at a record boundary drops whole records and
+            // zero partial bytes; anywhere else leaves a damaged tail.
+            assert!(st.bytes_dropped <= cut);
+            assert!(st.segments_kept <= full.segments().len());
+            let mut replayed = StreamLog::default();
+            reader.replay(&mut replayed).unwrap();
+            assert!(
+                replayed.0.len() <= live.0.len() && live.0[..replayed.0.len()] == replayed.0[..],
+                "cut at {cut}: salvaged stream is not a prefix of the live stream"
+            );
+            // The synthesized trailer matches the kept prefix.
+            assert_eq!(reader.trailer().segments, st.segments_kept as u64);
+            let mut count = CountingSink::new();
+            reader.replay(&mut count).unwrap();
+            assert_eq!(count.events, reader.trailer().events);
+            assert_eq!(count.pushes, reader.trailer().frame_pushes);
+        }
+        // A clean trace salvages to itself.
+        let (reader, st) = TraceReader::salvage(&bytes).unwrap();
+        assert!(st.is_clean());
+        assert!(st.trailer_recovered);
+        assert_eq!(st.segments_kept, full.segments().len());
+        assert_eq!(st.bytes_dropped, 0);
+        assert_eq!(reader.trailer(), full.trailer());
+    }
+
+    #[test]
+    fn salvage_of_bit_flips_drops_from_the_damaged_segment_on() {
+        let program = call_heavy_program(12);
+        let (bytes, stats, _) = record(&program, 4);
+        let total = stats.segments as usize;
+        for bit in (0..bytes.len() * 8).step_by(41) {
+            let mut m = bytes.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            let Ok((reader, st)) = TraceReader::salvage(&m) else {
+                continue; // header flip: nothing to salvage
+            };
+            assert!(!st.is_clean(), "flip of bit {bit} must not look clean");
+            // A flip in the trailer region keeps every segment; anywhere
+            // else it ends the kept prefix early.
+            assert!(st.segments_kept <= total);
+            // Whatever was kept replays cleanly and matches the
+            // synthesized trailer.
+            let mut count = CountingSink::new();
+            reader.replay(&mut count).unwrap();
+            assert_eq!(count.events, reader.trailer().events);
+        }
+    }
+
+    /// A spliced-in duplicate of another segment is internally intact
+    /// (its checksum matches) but self-declares the wrong index, so both
+    /// the strict parse and salvage refuse to treat it as segment k.
+    #[test]
+    fn duplicated_segment_records_are_rejected_by_index() {
+        let program = call_heavy_program(6);
+        let (bytes, stats, _) = record(&program, 4);
+        assert!(stats.segments >= 2);
+        // Recover the record boundaries with a raw scan.
+        let mut c = Cur::new(&bytes, 0);
+        parse_header(&mut c).unwrap();
+        let first_record_start = c.pos;
+        assert_eq!(c.u8().unwrap(), TAG_SEGMENT);
+        let blen = c.declared_len("body").unwrap();
+        c.bytes(blen).unwrap();
+        c.u32_raw().unwrap();
+        let first_record_end = c.pos;
+
+        // header + seg0 + seg0 + rest: the duplicate claims index 0 at
+        // position 1.
+        let mut spliced = bytes[..first_record_end].to_vec();
+        spliced.extend_from_slice(&bytes[first_record_start..]);
+        assert!(TraceReader::new(&spliced).is_err());
+        let (reader, st) = TraceReader::salvage(&spliced).unwrap();
+        assert_eq!(st.segments_kept, 1);
+        assert!(!st.is_clean());
+        assert!(st
+            .first_error
+            .as_ref()
+            .is_some_and(|e| e.message.contains("index")));
+        let mut count = CountingSink::new();
+        reader.replay(&mut count).unwrap();
+    }
+
+    /// A writer whose target runs out of space latches the error and
+    /// reports it from `finish` instead of panicking mid-run.
+    #[derive(Debug)]
+    struct FailingWriter {
+        written: usize,
+        cap: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written + buf.len() > self.cap {
+                return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disk_full_is_reported_by_finish_not_a_panic() {
+        let program = kitchen_sink_program();
+        // Small caps fail mid-run; larger ones fail at the trailer. All
+        // must surface the error at finish() without panicking.
+        for cap in [0, 10, 100, 300] {
+            let writer = TraceWriter::with_segment_limit(FailingWriter { written: 0, cap }, 4);
+            let mut t = SinkTracer(writer);
+            Vm::new(&program).run(&mut t).expect("program runs");
+            let err = t.0.finish().expect_err("write must fail");
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull, "cap {cap}");
+        }
+        // And a cap with headroom succeeds outright.
+        let writer = TraceWriter::with_segment_limit(
+            FailingWriter {
+                written: 0,
+                cap: 1 << 20,
+            },
+            4,
+        );
+        let mut t = SinkTracer(writer);
+        Vm::new(&program).run(&mut t).expect("program runs");
+        t.0.finish().expect("roomy write succeeds");
+    }
+
+    /// Corrupt declared lengths and counts are rejected against the
+    /// remaining buffer before anything is allocated or sliced.
+    #[test]
+    fn huge_declared_lengths_are_rejected_before_allocation() {
+        // A locals list claiming u32::MAX entries in a 3-byte buffer.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::from(u32::MAX));
+        buf.push(0);
+        let mut c = Cur::new(&buf, 0);
+        let err = get_locals(&mut c).expect_err("count must be rejected");
+        assert!(err.message.contains("count"), "{}", err.message);
+
+        // A prologue claiming an absurd frame depth.
+        let mut p = Vec::new();
+        put_u64(&mut p, u64::MAX / 2);
+        let err = decode_prologue(&p, 0).expect_err("depth must be rejected");
+        assert!(err.message.contains("count"), "{}", err.message);
+
+        // A segment record declaring a body far past end-of-file.
+        let mut t = Vec::new();
+        t.extend_from_slice(&TRACE_MAGIC);
+        put_u64(&mut t, TRACE_VERSION);
+        t.push(TAG_SEGMENT);
+        put_u64(&mut t, u64::MAX);
+        let err = TraceReader::new(&t).expect_err("body length must be rejected");
+        assert!(
+            err.message.contains("length") || err.message.contains("overflows"),
+            "{}",
+            err.message
+        );
     }
 }

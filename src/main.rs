@@ -19,12 +19,17 @@
 //! lowutil suite <name> [--size S]    run a built-in DaCapo-style workload
 //! lowutil suite all [--size S] [--jobs N]
 //!                                    profile the whole suite on N workers
-//! lowutil record <file.lu> <out.trace>
+//! lowutil record <file.lu> <out.trace> [--segment-limit N]
 //!                                    execute once, writing the event trace
-//! lowutil replay <file.lu> <trace> [--jobs N]
+//!                                    (N records per segment; smaller
+//!                                    segments salvage at a finer grain)
+//! lowutil replay <file.lu> <trace> [--jobs N] [--salvage]
 //!                                    rebuild G_cost from a trace (sharded
 //!                                    across N workers) and print the same
-//!                                    report as `report`
+//!                                    report as `report`; with --salvage a
+//!                                    truncated or corrupt trace replays its
+//!                                    longest checksum-valid prefix instead
+//!                                    of erroring out
 //! ```
 //!
 //! Report-producing commands take `--analysis batch|reference` to select
@@ -50,7 +55,7 @@ fn usage() -> ExitCode {
         "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N"
     );
     ExitCode::from(2)
 }
@@ -63,6 +68,8 @@ struct Flags {
     size: WorkloadSize,
     jobs: usize,
     analysis: EngineChoice,
+    salvage: bool,
+    segment_limit: Option<usize>,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -85,6 +92,8 @@ fn parse_flags(args: &[String]) -> Flags {
         size: WorkloadSize::Default,
         jobs: lowutil::par::default_jobs(),
         analysis: EngineChoice::default(),
+        salvage: false,
+        segment_limit: None,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -123,8 +132,17 @@ fn parse_flags(args: &[String]) -> Flags {
                     );
                 }
             }
+            "--segment-limit" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<usize>().ok()) {
+                    // A 0-record segment cannot hold its own prologue.
+                    f.segment_limit = Some(v.max(1));
+                } else {
+                    eprintln!("--segment-limit needs a number; keeping the default");
+                }
+            }
             "--control" => f.control = true,
             "--traditional" => f.traditional = true,
+            "--salvage" => f.salvage = true,
             "--size" => match take_value(&mut it) {
                 Some("small") => f.size = WorkloadSize::Small,
                 Some("large") => f.size = WorkloadSize::Large,
@@ -392,7 +410,12 @@ fn main() -> ExitCode {
                     .ok_or("record needs <file.lu> <out.trace>".to_string())?;
                 let file = std::fs::File::create(out_path)
                     .map_err(|e| format!("cannot create {out_path}: {e}"))?;
-                let mut tracer = SinkTracer(TraceWriter::new(std::io::BufWriter::new(file)));
+                let buf = std::io::BufWriter::new(file);
+                let writer = match flags.segment_limit {
+                    Some(limit) => TraceWriter::with_segment_limit(buf, limit),
+                    None => TraceWriter::new(buf),
+                };
+                let mut tracer = SinkTracer(writer);
                 let out = Vm::new(&p).run(&mut tracer).map_err(|e| e.to_string())?;
                 let (w, stats) = tracer.0.finish().map_err(|e| e.to_string())?;
                 w.into_inner().map_err(|e| format!("flush failed: {e}"))?;
@@ -412,16 +435,33 @@ fn main() -> ExitCode {
                     .ok_or("replay needs <file.lu> <trace>".to_string())?;
                 let bytes = std::fs::read(trace_path)
                     .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-                let reader = TraceReader::new(&bytes).map_err(|e| e.to_string())?;
                 let config = CostGraphConfig {
                     slots: flags.slots,
                     traditional_uses: flags.traditional,
                     control_edges: flags.control,
                     ..CostGraphConfig::default()
                 };
-                let g = lowutil::par::replay_gcost(&p, config, &reader, flags.jobs)
-                    .map_err(|e| e.to_string())?;
-                let dead = dead_value_metrics(&g, reader.trailer().instructions);
+                let (g, instructions) = if flags.salvage {
+                    // Damaged traces replay their longest checksum-valid
+                    // prefix; the skip warning goes to stderr so report
+                    // output stays diffable.
+                    let (reader, stats) =
+                        TraceReader::salvage(&bytes).map_err(|e| e.to_string())?;
+                    if !stats.is_clean() {
+                        eprintln!("-- salvage: {}", stats.summary());
+                    }
+                    let g = lowutil::par::replay_gcost(&p, config, &reader, flags.jobs)
+                        .map_err(|e| e.to_string())?;
+                    // The salvaged reader's trailer is synthesized from
+                    // the kept prefix, so totals match what was replayed.
+                    (g, reader.trailer().instructions)
+                } else {
+                    let reader = TraceReader::new(&bytes).map_err(|e| e.to_string())?;
+                    let g = lowutil::par::replay_gcost(&p, config, &reader, flags.jobs)
+                        .map_err(|e| e.to_string())?;
+                    (g, reader.trailer().instructions)
+                };
+                let dead = dead_value_metrics(&g, instructions);
                 print!("{}", render_report(&p, &g, &flags, &dead));
                 Ok(())
             }
@@ -525,11 +565,40 @@ mod tests {
     }
 
     #[test]
+    fn salvage_flag_parses_and_composes() {
+        let f = flags_of(&["--salvage"]);
+        assert!(f.salvage);
+        let f = flags_of(&["--salvage", "--jobs", "3"]);
+        assert!(f.salvage);
+        assert_eq!(f.jobs, 3);
+        // A value flag with a missing value must not swallow --salvage.
+        let f = flags_of(&["--top", "--salvage"]);
+        assert_eq!(f.top, 10);
+        assert!(f.salvage);
+        let f = flags_of(&[]);
+        assert!(!f.salvage);
+    }
+
+    #[test]
+    fn segment_limit_flag_parses() {
+        let f = flags_of(&["--segment-limit", "64"]);
+        assert_eq!(f.segment_limit, Some(64));
+        let f = flags_of(&[]);
+        assert_eq!(f.segment_limit, None);
+        // Missing value keeps the default without swallowing the next flag.
+        let f = flags_of(&["--segment-limit", "--salvage"]);
+        assert_eq!(f.segment_limit, None);
+        assert!(f.salvage);
+    }
+
+    #[test]
     fn zero_values_are_clamped() {
         let f = flags_of(&["--jobs", "0"]);
         assert_eq!(f.jobs, 1);
         let f = flags_of(&["--slots", "0"]);
         assert_eq!(f.slots, 1);
+        let f = flags_of(&["--segment-limit", "0"]);
+        assert_eq!(f.segment_limit, Some(1));
     }
 
     #[test]

@@ -8,101 +8,14 @@ use lowutil::analyses::cost::{rab_with, rac_with, CostBenefitConfig};
 use lowutil::analyses::dead::dead_value_metrics;
 use lowutil::analyses::report::{low_utility_report, low_utility_report_batch};
 use lowutil::core::{CostGraph, CostGraphConfig, CostProfiler};
-use lowutil::ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
+use lowutil::ir::Program;
 use lowutil::vm::Vm;
+// The shared generator from `lowutil-testkit` — the same grammar as
+// `tests/props.rs` (heap traffic, consumers, interprocedural `Call`s,
+// and forward branches), so the engines' boundary cases get exercised
+// on non-straight-line flow too.
+use lowutil_testkit::gen::{build, op_strategy};
 use proptest::prelude::*;
-
-/// One randomly chosen instruction over a fixed register/heap shape
-/// (the same generator shape as `tests/props.rs`, leaning on heap
-/// traffic and consumers so the engines' boundary cases get exercised).
-#[derive(Debug, Clone)]
-enum Op {
-    Const(u8, i64),
-    Bin(u8, u8, u8, u8), // dst, op-index, lhs, rhs
-    Cmp(u8, u8, u8),
-    PutField(u8, u8), // field-index, src
-    GetField(u8, u8), // dst, field-index
-    ArrPut(u8, u8),   // idx (0..4), src
-    ArrGet(u8, u8),   // dst, idx
-    Native(u8),       // consume a local
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..4u8, -100..100i64).prop_map(|(d, v)| Op::Const(d, v)),
-        (0..4u8, 0..4u8, 0..4u8, 0..4u8).prop_map(|(d, o, l, r)| Op::Bin(d, o, l, r)),
-        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, l, r)| Op::Cmp(d, l, r)),
-        (0..2u8, 0..4u8).prop_map(|(f, s)| Op::PutField(f, s)),
-        (0..4u8, 0..2u8).prop_map(|(d, f)| Op::GetField(d, f)),
-        (0..4u8, 0..4u8).prop_map(|(i, s)| Op::ArrPut(i, s)),
-        (0..4u8, 0..4u8).prop_map(|(d, i)| Op::ArrGet(d, i)),
-        (0..4u8).prop_map(Op::Native),
-    ]
-}
-
-/// Builds a valid straight-line program from the op list.
-fn build(ops: &[Op]) -> Program {
-    let mut pb = ProgramBuilder::new();
-    let print = pb.native("print", 1, false);
-    let cls = pb.class("C").finish(&mut pb);
-    let f0 = pb.field(cls, "f0");
-    let f1 = pb.field(cls, "f1");
-    let fields = [f0, f1];
-    let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
-
-    let mut m = pb.method("main", 0);
-    let regs: Vec<Local> = (0..4).map(|i| m.new_local(format!("r{i}"))).collect();
-    let obj = m.new_local("obj");
-    let arr = m.new_local("arr");
-    let len = m.new_local("len");
-    let idx = m.new_local("idx");
-
-    for &r in &regs {
-        m.iconst(r, 0);
-    }
-    m.new_obj(obj, cls);
-    m.iconst(len, 4);
-    m.new_array(arr, len);
-    for i in 0..4 {
-        m.iconst(idx, i);
-        m.array_put(arr, idx, regs[0]);
-    }
-    m.iconst(regs[0], 0);
-    m.put_field(obj, f0, regs[0]);
-    m.put_field(obj, f1, regs[0]);
-
-    for op in ops {
-        match *op {
-            Op::Const(d, v) => m.constant(regs[d as usize], ConstValue::Int(v)),
-            Op::Bin(d, o, l, r) => m.binop(
-                regs[d as usize],
-                bin_ops[o as usize],
-                regs[l as usize],
-                regs[r as usize],
-            ),
-            Op::Cmp(d, l, r) => m.cmp(
-                regs[d as usize],
-                CmpOp::Lt,
-                regs[l as usize],
-                regs[r as usize],
-            ),
-            Op::PutField(f, s) => m.put_field(obj, fields[f as usize], regs[s as usize]),
-            Op::GetField(d, f) => m.get_field(regs[d as usize], obj, fields[f as usize]),
-            Op::ArrPut(i, s) => {
-                m.iconst(idx, i64::from(i));
-                m.array_put(arr, idx, regs[s as usize]);
-            }
-            Op::ArrGet(d, i) => {
-                m.iconst(idx, i64::from(i));
-                m.array_get(regs[d as usize], arr, idx);
-            }
-            Op::Native(s) => m.call_native_void(print, &[regs[s as usize]]),
-        }
-    }
-    m.ret_void();
-    let main = m.finish(&mut pb);
-    pb.finish(main).expect("generated program validates")
-}
 
 fn profile(p: &Program) -> CostGraph {
     let mut prof = CostProfiler::new(p, CostGraphConfig::default());

@@ -18,6 +18,7 @@ fn lowutil(args: &[&str]) -> (String, String, bool) {
 const SAMPLE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/wasteful.lu");
 const COPYCHAIN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/copychain.lu");
 const LEAK: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/leak.lu");
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/samples/golden.lu");
 
 #[test]
 fn run_executes_and_prints_output() {
@@ -166,6 +167,55 @@ fn record_then_replay_matches_the_live_report() {
     }
 
     let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn salvage_replays_a_truncated_trace() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("lowutil-cli-salvage-{}.trace", std::process::id()));
+    let cut = dir.join(format!("lowutil-cli-salvage-{}.cut", std::process::id()));
+    let trace_s = trace.to_str().expect("temp path is UTF-8");
+    let cut_s = cut.to_str().expect("temp path is UTF-8");
+
+    // The golden sample calls in a loop, so a small segment limit makes
+    // the recording genuinely multi-segment and truncation leaves a
+    // non-trivial salvageable prefix (wasteful.lu makes a single call
+    // and can never split).
+    let (_, stderr, ok) = lowutil(&["record", GOLDEN, trace_s, "--segment-limit", "64"]);
+    assert!(ok, "{stderr}");
+    assert!(!stderr.contains("in 1 segments"), "{stderr}");
+    let bytes = std::fs::read(&trace).expect("trace written");
+    std::fs::write(&cut, &bytes[..bytes.len() * 2 / 3]).expect("truncated copy written");
+
+    // Without --salvage a damaged trace is a hard error…
+    let (_, stderr, ok) = lowutil(&["replay", GOLDEN, cut_s]);
+    assert!(!ok, "truncated replay must fail without --salvage");
+    assert!(!stderr.is_empty());
+
+    // …with it, the prefix replays, deterministically at any job count.
+    let (first, stderr, ok) = lowutil(&["replay", GOLDEN, cut_s, "--salvage", "--jobs", "1"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("salvage"), "{stderr}");
+    assert!(!stderr.contains("kept 0 segments"), "{stderr}");
+    assert!(first.contains("low-utility data structures"), "{first}");
+    for jobs in ["2", "7"] {
+        let (out, stderr, ok) = lowutil(&["replay", GOLDEN, cut_s, "--salvage", "--jobs", jobs]);
+        assert!(ok, "{stderr}");
+        assert_eq!(out, first, "salvage replay diverged at --jobs {jobs}");
+    }
+
+    // A clean trace under --salvage matches the plain replay exactly.
+    let (plain, _, ok1) = lowutil(&["replay", GOLDEN, trace_s]);
+    let (salv, stderr, ok2) = lowutil(&["replay", GOLDEN, trace_s, "--salvage"]);
+    assert!(ok1 && ok2);
+    assert_eq!(plain, salv);
+    assert!(
+        !stderr.contains("salvage"),
+        "clean trace must not warn: {stderr}"
+    );
+
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(cut);
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Wire-format compatibility: the checked-in v1 golden trace
+//! (`samples/golden_v1.trace`, recorded by the PR-2-era writer from
+//! `samples/golden.lu`) must keep replaying byte-for-byte under every
+//! future reader, and the writer's v1 compatibility path must keep
+//! producing exactly those bytes. Any silent format drift — in varint
+//! encoding, segment framing, prologue layout, or event tags — fails
+//! loudly here before it can corrupt anyone's archived traces.
+
+use lowutil::core::{CostGraphConfig, GraphBuilder};
+use lowutil::ir::parse_program;
+use lowutil::vm::{SinkTracer, TraceReader, TraceWriter, Vm, TRACE_VERSION, TRACE_VERSION_V1};
+use lowutil_testkit::diff::canon;
+
+const GOLDEN_TRACE: &[u8] = include_bytes!("../samples/golden_v1.trace");
+const GOLDEN_SOURCE: &str = include_str!("../samples/golden.lu");
+/// The segment limit the fixture was recorded with.
+const GOLDEN_SEGMENT_LIMIT: usize = 64;
+
+fn golden_program() -> lowutil::ir::Program {
+    parse_program(GOLDEN_SOURCE).expect("golden source parses")
+}
+
+#[test]
+fn golden_v1_fixture_replays_under_the_v2_reader() {
+    let program = golden_program();
+    let reader = TraceReader::new(GOLDEN_TRACE).expect("golden v1 trace parses");
+    assert_eq!(reader.version(), TRACE_VERSION_V1);
+    assert!(
+        reader.segments().len() > 10,
+        "fixture must be multi-segment to cover v1 framing"
+    );
+    assert_eq!(reader.trailer().segments, reader.segments().len() as u64);
+
+    // The replayed graph equals a live profile of the same program.
+    let config = CostGraphConfig::default();
+    let mut builder = SinkTracer(GraphBuilder::new(&program, config));
+    let out = Vm::new(&program)
+        .run(&mut builder)
+        .expect("golden program runs");
+    let live = builder.0.finish();
+    assert_eq!(reader.trailer().instructions, out.instructions_executed);
+    assert_eq!(
+        reader.trailer().objects_allocated,
+        out.objects_allocated as u64
+    );
+    let replayed =
+        lowutil::core::replay_cost_graph(&program, config, &reader).expect("golden trace replays");
+    assert_eq!(
+        canon(&replayed),
+        canon(&live),
+        "v1 fixture no longer rebuilds the live graph"
+    );
+}
+
+#[test]
+fn v1_writer_path_reproduces_the_fixture_bit_for_bit() {
+    let program = golden_program();
+    let writer = TraceWriter::with_format(Vec::new(), GOLDEN_SEGMENT_LIMIT, TRACE_VERSION_V1);
+    let mut t = SinkTracer(writer);
+    Vm::new(&program).run(&mut t).expect("golden program runs");
+    let (bytes, _) = t.0.finish().expect("in-memory write succeeds");
+    assert!(
+        bytes == GOLDEN_TRACE,
+        "the v1 compatibility writer drifted from the checked-in fixture \
+         ({} bytes vs {})",
+        bytes.len(),
+        GOLDEN_TRACE.len()
+    );
+}
+
+#[test]
+fn v2_recording_of_the_golden_program_differs_only_in_envelope() {
+    // Same program, current writer: parses as v2, replays to the same
+    // stream totals. Guards the version negotiation itself.
+    let program = golden_program();
+    let writer = TraceWriter::with_segment_limit(Vec::new(), GOLDEN_SEGMENT_LIMIT);
+    let mut t = SinkTracer(writer);
+    Vm::new(&program).run(&mut t).expect("golden program runs");
+    let (bytes, _) = t.0.finish().expect("in-memory write succeeds");
+    let v2 = TraceReader::new(&bytes).expect("v2 trace parses");
+    let v1 = TraceReader::new(GOLDEN_TRACE).expect("v1 trace parses");
+    assert_eq!(v2.version(), TRACE_VERSION);
+    assert_eq!(v2.trailer(), v1.trailer());
+    assert_eq!(v2.segments().len(), v1.segments().len());
+}
+
+#[test]
+fn v1_traces_salvage_too() {
+    // v1 has no checksums, so salvage can only lean on framing — but it
+    // must still recover cleanly-truncated prefixes without panicking.
+    let program = golden_program();
+    let full = TraceReader::new(GOLDEN_TRACE).expect("golden trace parses");
+    for cut in [GOLDEN_TRACE.len() / 3, GOLDEN_TRACE.len() / 2] {
+        let (reader, stats) =
+            TraceReader::salvage(&GOLDEN_TRACE[..cut]).expect("v1 header salvages");
+        assert!(!stats.is_clean());
+        assert!(stats.segments_kept < full.segments().len());
+        let config = CostGraphConfig::default();
+        let salvaged = lowutil::core::replay_cost_graph(&program, config, &reader)
+            .expect("salvaged v1 prefix replays");
+        let prefix = lowutil::core::replay_segments(
+            &program,
+            config,
+            &full.segments()[..stats.segments_kept],
+        )
+        .expect("prefix replays");
+        assert_eq!(canon(&salvaged), canon(&prefix), "cut at {cut}");
+    }
+}

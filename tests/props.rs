@@ -1,159 +1,17 @@
-//! Property-based tests over randomly generated straight-line programs:
-//! the whole pipeline (VM → profilers → analyses) must satisfy its
-//! invariants on arbitrary data flow, not just on the hand-written
-//! workloads.
+//! Property-based tests over randomly generated programs: the whole
+//! pipeline (VM → profilers → analyses) must satisfy its invariants on
+//! arbitrary data flow — including interprocedural calls and forward
+//! branches — not just on the hand-written workloads.
+//!
+//! The program grammar, builder, and differential oracle live in
+//! `lowutil-testkit` (`gen::op_strategy` is defined exactly once in the
+//! workspace); this file only states pipeline properties.
 
-use lowutil::core::{
-    ConcreteProfiler, CostGraph, CostGraphConfig, CostProfiler, GraphBuilder, SlicingMode,
-};
-use lowutil::ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
-use lowutil::vm::{NullTracer, SinkTracer, TraceReader, TraceWriter, Vm};
+use lowutil::core::{ConcreteProfiler, CostGraphConfig, CostProfiler, SlicingMode};
+use lowutil::vm::{NullTracer, Vm};
+use lowutil_testkit::diff::assert_live_replay_sharded_identical;
+use lowutil_testkit::gen::{build, op_strategy, oracle, Op};
 use proptest::prelude::*;
-
-/// One randomly chosen instruction over a fixed register/heap shape.
-#[derive(Debug, Clone)]
-enum Op {
-    Const(u8, i64),
-    Move(u8, u8),
-    Bin(u8, u8, u8, u8), // dst, op-index, lhs, rhs
-    Cmp(u8, u8, u8),
-    PutField(u8, u8), // field-index, src
-    GetField(u8, u8), // dst, field-index
-    ArrPut(u8, u8),   // idx (0..8), src
-    ArrGet(u8, u8),   // dst, idx
-    Native(u8),       // consume a local
-    Call(u8, u8),     // dst, src: dst = double(src), exercising frames
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..4u8, -100..100i64).prop_map(|(d, v)| Op::Const(d, v)),
-        (0..4u8, 0..4u8).prop_map(|(d, s)| Op::Move(d, s)),
-        (0..4u8, 0..4u8, 0..4u8, 0..4u8).prop_map(|(d, o, l, r)| Op::Bin(d, o, l, r)),
-        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, l, r)| Op::Cmp(d, l, r)),
-        (0..2u8, 0..4u8).prop_map(|(f, s)| Op::PutField(f, s)),
-        (0..4u8, 0..2u8).prop_map(|(d, f)| Op::GetField(d, f)),
-        (0..8u8, 0..4u8).prop_map(|(i, s)| Op::ArrPut(i, s)),
-        (0..4u8, 0..8u8).prop_map(|(d, i)| Op::ArrGet(d, i)),
-        (0..4u8).prop_map(Op::Native),
-        (0..4u8, 0..4u8).prop_map(|(d, s)| Op::Call(d, s)),
-    ]
-}
-
-/// Builds a valid straight-line program from the op list.
-fn build(ops: &[Op]) -> Program {
-    let mut pb = ProgramBuilder::new();
-    let print = pb.native("print", 1, false);
-    let cls = pb.class("C").finish(&mut pb);
-    let f0 = pb.field(cls, "f0");
-    let f1 = pb.field(cls, "f1");
-    let fields = [f0, f1];
-    // Safe binops only (no division traps).
-    let bin_ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
-
-    // A tiny callee so generated programs also exercise frame pushes
-    // (which is where trace segments may split).
-    let mut dm = pb.method("double", 1);
-    let p0 = dm.param(0);
-    let dr = dm.new_local("dr");
-    dm.binop(dr, BinOp::Add, p0, p0);
-    dm.ret(dr);
-    let double_id = dm.finish(&mut pb);
-
-    let mut m = pb.method("main", 0);
-    let regs: Vec<Local> = (0..4).map(|i| m.new_local(format!("r{i}"))).collect();
-    let obj = m.new_local("obj");
-    let arr = m.new_local("arr");
-    let len = m.new_local("len");
-    let idx = m.new_local("idx");
-
-    // Initialize: registers to 0, one object, one 8-element zeroed array.
-    for &r in &regs {
-        m.iconst(r, 0);
-    }
-    m.new_obj(obj, cls);
-    m.iconst(len, 8);
-    m.new_array(arr, len);
-    for i in 0..8 {
-        m.iconst(idx, i);
-        m.array_put(arr, idx, regs[0]);
-    }
-    m.iconst(regs[0], 0);
-    // Fields start initialized too.
-    m.put_field(obj, f0, regs[0]);
-    m.put_field(obj, f1, regs[0]);
-
-    for op in ops {
-        match *op {
-            Op::Const(d, v) => m.constant(regs[d as usize], ConstValue::Int(v)),
-            Op::Move(d, s) => m.mov(regs[d as usize], regs[s as usize]),
-            Op::Bin(d, o, l, r) => m.binop(
-                regs[d as usize],
-                bin_ops[o as usize],
-                regs[l as usize],
-                regs[r as usize],
-            ),
-            Op::Cmp(d, l, r) => m.cmp(
-                regs[d as usize],
-                CmpOp::Lt,
-                regs[l as usize],
-                regs[r as usize],
-            ),
-            Op::PutField(f, s) => m.put_field(obj, fields[f as usize], regs[s as usize]),
-            Op::GetField(d, f) => m.get_field(regs[d as usize], obj, fields[f as usize]),
-            Op::ArrPut(i, s) => {
-                m.iconst(idx, i64::from(i));
-                m.array_put(arr, idx, regs[s as usize]);
-            }
-            Op::ArrGet(d, i) => {
-                m.iconst(idx, i64::from(i));
-                m.array_get(regs[d as usize], arr, idx);
-            }
-            Op::Native(s) => m.call_native_void(print, &[regs[s as usize]]),
-            Op::Call(d, s) => m.call(Some(regs[d as usize]), double_id, &[regs[s as usize]]),
-        }
-    }
-    m.call_native_void(print, &[regs[0]]);
-    m.ret_void();
-    let main = m.finish(&mut pb);
-    pb.finish(main).expect("generated program validates")
-}
-
-/// A direct Rust model of the generated programs' semantics, used as a
-/// differential oracle for the interpreter: whatever the VM prints, this
-/// straightforward evaluation must print too.
-fn oracle(ops: &[Op]) -> Vec<i64> {
-    let mut regs = [0i64; 4];
-    let mut fields = [0i64; 2];
-    let mut arr = [0i64; 8];
-    let mut out = Vec::new();
-    for op in ops {
-        match *op {
-            Op::Const(d, v) => regs[d as usize] = v,
-            Op::Move(d, s) => regs[d as usize] = regs[s as usize],
-            Op::Bin(d, o, l, r) => {
-                let (x, y) = (regs[l as usize], regs[r as usize]);
-                regs[d as usize] = match o {
-                    0 => x.wrapping_add(y),
-                    1 => x.wrapping_sub(y),
-                    2 => x.wrapping_mul(y),
-                    _ => x ^ y,
-                };
-            }
-            Op::Cmp(d, l, r) => regs[d as usize] = i64::from(regs[l as usize] < regs[r as usize]),
-            Op::PutField(f, s) => fields[f as usize] = regs[s as usize],
-            Op::GetField(d, f) => regs[d as usize] = fields[f as usize],
-            Op::ArrPut(i, s) => arr[i as usize] = regs[s as usize],
-            Op::ArrGet(d, i) => regs[d as usize] = arr[i as usize],
-            Op::Native(s) => out.push(regs[s as usize]),
-            Op::Call(d, s) => {
-                regs[d as usize] = regs[s as usize].wrapping_add(regs[s as usize]);
-            }
-        }
-    }
-    out.push(regs[0]);
-    out
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -169,7 +27,7 @@ proptest! {
             .iter()
             .map(|v| v.as_int().expect("generated programs print ints"))
             .collect();
-        prop_assert_eq!(got, oracle(&ops));
+        prop_assert_eq!(got, oracle(&ops).output);
     }
 
     #[test]
@@ -203,14 +61,16 @@ proptest! {
         // Frequencies sum to profiled instances.
         let freq: u64 = g.graph().iter().map(|(_, n)| n.freq).sum();
         prop_assert!(freq <= g.instr_instances());
-        // Straight-line code: main's nodes fire once; the shared `double`
-        // callee runs once per Call op under the same (empty) context, so
-        // its nodes accumulate exactly that frequency.
-        let calls = ops.iter().filter(|o| matches!(o, Op::Call(..))).count() as u64;
+        // Forward-only branches: main's nodes fire at most once; the
+        // shared `double` callee runs once per *executed* Call op under
+        // the same (empty) context, so its nodes accumulate exactly that
+        // frequency. (Skipped calls must not count — the oracle reports
+        // how many actually ran.)
+        let calls = oracle(&ops).executed_calls;
         for (_, n) in g.graph().iter() {
             prop_assert!(
                 n.freq == 1 || n.freq == calls,
-                "unexpected node frequency {} with {} calls",
+                "unexpected node frequency {} with {} executed calls",
                 n.freq,
                 calls
             );
@@ -284,27 +144,38 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..60)
     ) {
         let p = build(&ops);
-        let config = CostGraphConfig::default();
-        let mut builder = GraphBuilder::new(&p, config);
-        // A tiny segment limit so any generated call splits the trace.
-        let mut writer = TraceWriter::with_segment_limit(Vec::new(), 8);
-        {
-            let mut tracer = SinkTracer((&mut builder, &mut writer));
-            Vm::new(&p).run(&mut tracer).unwrap();
-        }
-        let (bytes, _) = writer.finish().unwrap();
-        let live = builder.finish();
-        let canon = |g: &CostGraph| {
-            let mut buf = Vec::new();
-            lowutil::core::write_cost_graph(g, &mut buf).unwrap();
-            buf
-        };
-        let live_bytes = canon(&live);
-        let reader = TraceReader::new(&bytes).unwrap();
-        for jobs in [1usize, 2, 7] {
-            let g = lowutil::par::replay_gcost(&p, config, &reader, jobs).unwrap();
-            prop_assert!(canon(&g) == live_bytes, "replay diverged at jobs = {}", jobs);
-        }
+        // A tiny segment limit so any generated call splits the trace;
+        // the helper asserts live == sequential == sharded, canonically.
+        assert_live_replay_sharded_identical(
+            &p,
+            CostGraphConfig::default(),
+            8,
+            &[1, 2, 7],
+            "props::replay_and_sharded_merge_match_live",
+        );
+    }
+
+    #[test]
+    fn branches_actually_branch(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        // The grammar's Skip ops must be live: when a program contains
+        // one, the VM may execute fewer instructions than a skip-free
+        // rewrite of the same list. This guards the generator itself —
+        // if Skip silently became a no-op, interprocedural coverage
+        // claims would rot.
+        let p = build(&ops);
+        let run = Vm::new(&p).run(&mut NullTracer).unwrap();
+        let straight: Vec<Op> = ops
+            .iter()
+            .filter(|o| !matches!(o, Op::Skip(..)))
+            .cloned()
+            .collect();
+        let ps = build(&straight);
+        let runs = Vm::new(&ps).run(&mut NullTracer).unwrap();
+        // Skips only remove work, never add it: the branching program
+        // executes at most the straight-line instruction count plus one
+        // branch instruction per Skip op.
+        let skips = (ops.len() - straight.len()) as u64;
+        prop_assert!(run.instructions_executed <= runs.instructions_executed + skips);
     }
 
     #[test]
