@@ -77,6 +77,34 @@ impl CostEngine for ReferenceEngine<'_> {
 /// accumulate from a real run.
 const UNCOMPUTED: u64 = u64::MAX;
 
+/// Below this many graph nodes the snapshot does not pay for itself:
+/// CSR construction + full precomputation costs more than just running
+/// the per-seed reference slicer over the whole (tiny) graph. The
+/// `jython`-style workloads — large event streams collapsing onto small
+/// abstract graphs — sit squarely below this line; BENCH_PR3.json shows
+/// the batch engine 4× *slower* than the reference there, while every
+/// above-threshold workload keeps its multi-× speedup.
+pub const SNAPSHOT_CROSSOVER: usize = 512;
+
+/// How the analyzer is answering queries.
+// One `Inner` exists per analyzer (never in collections), so the size
+// gap between the variants costs nothing; boxing the snapshot would
+// just add an indirection to every query.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Inner<'a> {
+    /// The real batch machinery: CSR snapshot + precomputed answers.
+    Snapshot {
+        csr: CsrGraph,
+        consumer_reach: Bitset,
+        hrac: Vec<u64>,
+        hrab: Vec<u64>,
+    },
+    /// Small-graph fallback: per-seed slicing is already cheap below
+    /// the crossover, so skip the snapshot entirely.
+    Reference(ReferenceEngine<'a>),
+}
+
 /// The batch engine: a CSR snapshot plus precomputed per-node answers.
 ///
 /// Construction does all the work: HRAC for every heap-store node and
@@ -86,18 +114,32 @@ const UNCOMPUTED: u64 = u64::MAX;
 /// single reverse marking pass. Queries are then array lookups; a query
 /// for a node outside the precomputed kinds falls back to a one-off
 /// kernel run on the snapshot.
+///
+/// Graphs below [`SNAPSHOT_CROSSOVER`] nodes skip the snapshot and
+/// answer through the [`ReferenceEngine`] instead — the engines agree
+/// exactly, so this is invisible except in construction time.
 #[derive(Debug)]
-pub struct BatchAnalyzer {
-    csr: CsrGraph,
-    consumer_reach: Bitset,
-    hrac: Vec<u64>,
-    hrab: Vec<u64>,
+pub struct BatchAnalyzer<'a> {
+    inner: Inner<'a>,
 }
 
-impl BatchAnalyzer {
-    /// Builds the snapshot and precomputes all per-seed answers on up to
-    /// `jobs` worker threads (`0`/`1` = inline).
-    pub fn new(gcost: &CostGraph, jobs: usize) -> Self {
+impl<'a> BatchAnalyzer<'a> {
+    /// Builds an engine for `gcost`, choosing snapshot or per-seed
+    /// fallback by graph size; precomputation runs on up to `jobs`
+    /// worker threads (`0`/`1` = inline).
+    pub fn new(gcost: &'a CostGraph, jobs: usize) -> Self {
+        if gcost.graph().num_nodes() < SNAPSHOT_CROSSOVER {
+            return BatchAnalyzer {
+                inner: Inner::Reference(ReferenceEngine::new(gcost)),
+            };
+        }
+        Self::with_snapshot(gcost, jobs)
+    }
+
+    /// Builds the snapshot engine unconditionally, ignoring the size
+    /// gate — the constructor tests and benches use to exercise the
+    /// batch machinery on graphs of any size.
+    pub fn with_snapshot(gcost: &CostGraph, jobs: usize) -> Self {
         let csr = CsrGraph::build(gcost.graph());
         let consumer_reach = csr.mark_consumer_reach();
         let n = csr.num_nodes();
@@ -122,21 +164,36 @@ impl BatchAnalyzer {
         }
 
         BatchAnalyzer {
-            csr,
-            consumer_reach,
-            hrac,
-            hrab,
+            inner: Inner::Snapshot {
+                csr,
+                consumer_reach,
+                hrac,
+                hrab,
+            },
         }
     }
 
-    /// The underlying snapshot.
-    pub fn csr(&self) -> &CsrGraph {
-        &self.csr
+    /// `true` when this analyzer built the CSR snapshot (as opposed to
+    /// taking the small-graph reference fallback).
+    pub fn uses_snapshot(&self) -> bool {
+        matches!(self.inner, Inner::Snapshot { .. })
     }
 
-    /// The precomputed consumer-reachability bitmap (bit = node index).
-    pub fn consumer_reach(&self) -> &Bitset {
-        &self.consumer_reach
+    /// The underlying snapshot, when one was built.
+    pub fn csr(&self) -> Option<&CsrGraph> {
+        match &self.inner {
+            Inner::Snapshot { csr, .. } => Some(csr),
+            Inner::Reference(_) => None,
+        }
+    }
+
+    /// The precomputed consumer-reachability bitmap (bit = node index),
+    /// when a snapshot was built.
+    pub fn consumer_reach(&self) -> Option<&Bitset> {
+        match &self.inner {
+            Inner::Snapshot { consumer_reach, .. } => Some(consumer_reach),
+            Inner::Reference(_) => None,
+        }
     }
 }
 
@@ -173,29 +230,43 @@ fn batch_sums(csr: &CsrGraph, seeds: &[u32], jobs: usize, forward: bool) -> Vec<
     sums.concat()
 }
 
-impl CostEngine for BatchAnalyzer {
+impl CostEngine for BatchAnalyzer<'_> {
     fn hrac(&self, node: NodeId) -> u64 {
-        let v = self.hrac[node.index()];
-        if v != UNCOMPUTED {
-            return v;
+        match &self.inner {
+            Inner::Snapshot { csr, hrac, .. } => {
+                let v = hrac[node.index()];
+                if v != UNCOMPUTED {
+                    return v;
+                }
+                // Cold path: a seed kind not precomputed (ad-hoc query
+                // on a plain node). Run the kernel once with throwaway
+                // scratch.
+                let mut scratch = TraversalScratch::for_graph(csr);
+                csr.heap_bounded_backward_sum(&mut scratch, node)
+            }
+            Inner::Reference(r) => r.hrac(node),
         }
-        // Cold path: a seed kind not precomputed (ad-hoc query on a
-        // plain node). Run the kernel once with throwaway scratch.
-        let mut scratch = TraversalScratch::for_graph(&self.csr);
-        self.csr.heap_bounded_backward_sum(&mut scratch, node)
     }
 
     fn hrab(&self, node: NodeId) -> u64 {
-        let v = self.hrab[node.index()];
-        if v != UNCOMPUTED {
-            return v;
+        match &self.inner {
+            Inner::Snapshot { csr, hrab, .. } => {
+                let v = hrab[node.index()];
+                if v != UNCOMPUTED {
+                    return v;
+                }
+                let mut scratch = TraversalScratch::for_graph(csr);
+                csr.heap_bounded_forward_sum(&mut scratch, node)
+            }
+            Inner::Reference(r) => r.hrab(node),
         }
-        let mut scratch = TraversalScratch::for_graph(&self.csr);
-        self.csr.heap_bounded_forward_sum(&mut scratch, node)
     }
 
     fn reaches_consumer(&self, node: NodeId) -> bool {
-        self.consumer_reach.contains(node.index())
+        match &self.inner {
+            Inner::Snapshot { consumer_reach, .. } => consumer_reach.contains(node.index()),
+            Inner::Reference(r) => r.reaches_consumer(node),
+        }
     }
 }
 
@@ -275,7 +346,10 @@ done:
     #[test]
     fn batch_agrees_with_reference_on_every_query() {
         let g = profile(MIXED);
-        let batch = BatchAnalyzer::new(&g, 2);
+        // Force the snapshot path: the test graph is far below the
+        // crossover, and `new` would silently test reference-vs-itself.
+        let batch = BatchAnalyzer::with_snapshot(&g, 2);
+        assert!(batch.uses_snapshot());
         let reference = ReferenceEngine::new(&g);
         for id in g.graph().node_ids() {
             assert_eq!(batch.hrac(id), reference.hrac(id), "hrac at {id}");
@@ -289,10 +363,28 @@ done:
     }
 
     #[test]
+    fn small_graphs_take_the_reference_fallback() {
+        let g = profile(MIXED);
+        assert!(g.graph().num_nodes() < SNAPSHOT_CROSSOVER);
+        let auto = BatchAnalyzer::new(&g, 2);
+        assert!(!auto.uses_snapshot(), "tiny graph must skip the snapshot");
+        assert!(auto.csr().is_none());
+        assert!(auto.consumer_reach().is_none());
+        // The fallback still answers every query exactly like the
+        // snapshot engine would.
+        let forced = BatchAnalyzer::with_snapshot(&g, 2);
+        for id in g.graph().node_ids() {
+            assert_eq!(auto.hrac(id), forced.hrac(id));
+            assert_eq!(auto.hrab(id), forced.hrab(id));
+            assert_eq!(auto.reaches_consumer(id), forced.reaches_consumer(id));
+        }
+    }
+
+    #[test]
     fn worker_count_does_not_change_answers() {
         let g = profile(MIXED);
-        let one = BatchAnalyzer::new(&g, 1);
-        let many = BatchAnalyzer::new(&g, 7);
+        let one = BatchAnalyzer::with_snapshot(&g, 1);
+        let many = BatchAnalyzer::with_snapshot(&g, 7);
         for id in g.graph().node_ids() {
             assert_eq!(one.hrac(id), many.hrac(id));
             assert_eq!(one.hrab(id), many.hrab(id));

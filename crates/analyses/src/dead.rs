@@ -45,9 +45,10 @@ pub fn dead_value_metrics(gcost: &CostGraph, total_instances: u64) -> DeadValueM
 
 /// [`dead_value_metrics`] over an already-built CSR snapshot. The two
 /// reachability passes (from all consumers, from all natives) run as
-/// multi-source bitset traversals; callers that already hold a
-/// [`BatchAnalyzer`](crate::batch::BatchAnalyzer) snapshot avoid a
-/// rebuild by passing [`csr()`](crate::batch::BatchAnalyzer::csr).
+/// multi-source bitset traversals; callers whose
+/// [`BatchAnalyzer`](crate::batch::BatchAnalyzer) built a snapshot
+/// avoid a rebuild by passing
+/// [`csr()`](crate::batch::BatchAnalyzer::csr)'s value.
 pub fn dead_value_metrics_csr(csr: &CsrGraph, total_instances: u64) -> DeadValueMetrics {
     let ids = (0..csr.num_nodes() as u32).map(NodeId);
     let consumers: Vec<NodeId> = ids.clone().filter(|&n| csr.kind(n).is_consumer()).collect();

@@ -72,7 +72,7 @@ pub mod structure;
 pub mod typestate;
 
 pub use allocsites::AllocationProfiler;
-pub use batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine};
+pub use batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine, SNAPSHOT_CROSSOVER};
 pub use cache::{cache_effectiveness, CacheStats};
 pub use copy::{copy_chains, copy_profiler, CopyChain, CopyDomain, CopySource};
 pub use cost::{abstract_cost, hrab, hrac, rab, rac, CostBenefitConfig, FieldCostBenefit};

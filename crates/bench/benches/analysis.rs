@@ -70,7 +70,9 @@ fn bench_engine_build(c: &mut Criterion) {
     for name in ["chart", "eclipse"] {
         let graph = profiled(name);
         group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
-            b.iter(|| BatchAnalyzer::new(g, 1))
+            // Forced snapshot so the bench measures CSR build +
+            // precomputation regardless of the small-graph gate.
+            b.iter(|| BatchAnalyzer::with_snapshot(g, 1))
         });
     }
     group.finish();

@@ -1,0 +1,105 @@
+//! The pipelined profiler's moving parts in isolation: raw SPSC ring
+//! throughput, the inline-cache effect on sequential graph construction,
+//! and end-to-end pipelined vs sequential profiling on a workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowutil_core::{CostGraphConfig, CostProfiler};
+use lowutil_par::{ring, PipelineOptions};
+use lowutil_vm::Vm;
+use lowutil_workloads::{workload, WorkloadSize};
+
+/// Items per second through the ring with both ends spinning — the
+/// pipeline's hard ceiling on batch handoff rate.
+fn bench_ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/ring");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for cap in [2usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("push_pop", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let (mut tx, mut rx) = ring::<u64>(cap);
+                std::thread::scope(|s| {
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Some(v) = rx.pop() {
+                            sum = sum.wrapping_add(v);
+                        }
+                        sum
+                    });
+                    for i in 0..N {
+                        tx.push(i).expect("consumer alive");
+                    }
+                    drop(tx);
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sequential profiling with and without the per-instruction inline
+/// caches — the hot intern path the caches short-circuit.
+fn bench_inline_caches(c: &mut Criterion) {
+    let w = workload("fop", WorkloadSize::Small);
+    let mut group = c.benchmark_group("pipeline/inline_caches");
+    for (name, enabled) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enabled, |b, &on| {
+            b.iter(|| {
+                let config = CostGraphConfig {
+                    inline_caches: on,
+                    ..CostGraphConfig::default()
+                };
+                let mut prof = CostProfiler::new(&w.program, config);
+                Vm::new(&w.program).run(&mut prof).expect("runs");
+                prof.finish()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: sequential profiled run vs the pipelined profiler at a
+/// few worker counts on the same workload.
+fn bench_pipelined_profile(c: &mut Criterion) {
+    let w = workload("fop", WorkloadSize::Small);
+    let mut group = c.benchmark_group("pipeline/profile");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut prof = CostProfiler::new(&w.program, CostGraphConfig::default());
+            Vm::new(&w.program).run(&mut prof).expect("runs");
+            prof.finish()
+        })
+    });
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("pipelined", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let opts = PipelineOptions {
+                    jobs,
+                    ..PipelineOptions::default()
+                };
+                let (_, g) = lowutil_par::run_pipelined(
+                    &w.program,
+                    CostGraphConfig::default(),
+                    &opts,
+                    |t| Vm::new(&w.program).run(t).expect("runs"),
+                );
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_ring_throughput, bench_inline_caches, bench_pipelined_profile
+}
+criterion_main!(benches);

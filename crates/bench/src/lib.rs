@@ -14,6 +14,7 @@ pub mod args;
 
 use lowutil_core::{CostGraph, CostGraphConfig, CostProfiler};
 use lowutil_ir::Program;
+use lowutil_par::PipelineOptions;
 use lowutil_vm::trace::TraceStats;
 use lowutil_vm::{NullTracer, RunOutcome, SinkTracer, TraceReader, TraceWriter, Trap, Vm};
 use std::time::{Duration, Instant};
@@ -109,6 +110,52 @@ pub fn run_salvage_replayed(
     (graph, stats, start.elapsed())
 }
 
+/// Runs `program` under the pipelined profiler (graph construction off
+/// the VM thread, `jobs` shard workers), returning the graph, the
+/// outcome, and wall time. The timing covers the full pipeline —
+/// execution, construction, and the final merge — so it is directly
+/// comparable to [`run_profiled`].
+///
+/// # Panics
+/// Panics if the program traps.
+pub fn run_pipelined(
+    program: &Program,
+    config: CostGraphConfig,
+    jobs: usize,
+    batch_limit: usize,
+) -> (CostGraph, RunOutcome, Duration) {
+    let opts = PipelineOptions {
+        jobs,
+        batch_limit,
+        ..PipelineOptions::default()
+    };
+    let start = Instant::now();
+    let (out, graph) = lowutil_par::run_pipelined(program, config, &opts, |tracer| {
+        Vm::new(program)
+            .run(tracer)
+            .expect("benchmark runs cleanly under pipelined profiling")
+    });
+    let elapsed = start.elapsed();
+    (graph, out, elapsed)
+}
+
+/// Timing methodology for live numbers: one untimed warmup run, then the
+/// median of `runs` timed samples of `f` (clamped to at least 1). The
+/// warmup pages in code and warms allocator caches; the median discards
+/// scheduler outliers that make single-shot timings report profiled runs
+/// as faster than plain ones.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> (T, Duration)) -> (T, Duration) {
+    let (mut last, _) = f();
+    let mut samples = Vec::with_capacity(runs.max(1));
+    for _ in 0..runs.max(1) {
+        let (v, d) = f();
+        last = v;
+        samples.push(d);
+    }
+    samples.sort();
+    (last, samples[samples.len() / 2])
+}
+
 /// Profiles with a safe minimum-duration baseline: overhead factor
 /// `tracked / untracked`, with sub-microsecond baselines clamped.
 pub fn overhead_factor(tracked: Duration, untracked: Duration) -> f64 {
@@ -175,6 +222,37 @@ mod tests {
         let (g, stats, _) = run_salvage_replayed(&w.program, config, &trace[..trace.len() / 2], 2);
         assert!(!stats.is_clean());
         assert!(g.graph().num_nodes() > 0 || stats.segments_kept == 0);
+    }
+
+    #[test]
+    fn pipelined_profile_matches_sequential() {
+        let w = workload("fop", WorkloadSize::Small);
+        let (graph_seq, out_seq, _) = run_profiled(&w.program, CostGraphConfig::default());
+        let (graph_pipe, out_pipe, _) =
+            run_pipelined(&w.program, CostGraphConfig::default(), 2, 256);
+        assert_eq!(out_seq.output, out_pipe.output);
+        let bytes = |g: &CostGraph| {
+            let mut buf = Vec::new();
+            lowutil_core::write_cost_graph(g, &mut buf).unwrap();
+            buf
+        };
+        assert_eq!(bytes(&graph_seq), bytes(&graph_pipe));
+    }
+
+    #[test]
+    fn median_time_takes_the_middle_sample() {
+        let mut call = 0u64;
+        let (v, d) = median_time(3, || {
+            call += 1;
+            // Warmup 0ms, then samples 30ms / 10ms / 20ms: median 20ms.
+            (
+                call,
+                Duration::from_millis([0, 30, 10, 20][call as usize - 1]),
+            )
+        });
+        assert_eq!(call, 4, "one warmup + three samples");
+        assert_eq!(v, 4);
+        assert_eq!(d, Duration::from_millis(20));
     }
 
     #[test]

@@ -158,6 +158,13 @@ pub struct CostGraphConfig {
     /// structurally identical graph; the switch exists for benchmarking
     /// the two paths against each other.
     pub dense_interning: bool,
+    /// Per-instruction inline caches on the hot context-node path: each
+    /// static instruction remembers the last `(g, NodeId)` it resolved
+    /// to, so the common monomorphic case (an instruction re-executing
+    /// under the same encoded context) skips slot hashing, conflict
+    /// recording, and the interning table entirely. Produces an
+    /// identical graph; the switch exists for benchmarking the cache.
+    pub inline_caches: bool,
 }
 
 impl Default for CostGraphConfig {
@@ -169,6 +176,7 @@ impl Default for CostGraphConfig {
             traditional_uses: false,
             control_edges: false,
             dense_interning: true,
+            inline_caches: true,
         }
     }
 }
@@ -209,6 +217,24 @@ pub struct GraphBuilder {
     /// The flat `|I| × |D|` interning table, when
     /// [`CostGraphConfig::dense_interning`] is on.
     dense: Option<DenseInterner>,
+    /// Per-instruction inline cache (`(g, node)` indexed by the dense
+    /// instruction index), when [`CostGraphConfig::inline_caches`] is on.
+    icache: Vec<(u64, NodeId)>,
+}
+
+/// Empty inline-cache entry. `g = 0` is the valid empty context, so the
+/// node component is the sentinel; node ids are dense from 0 and a graph
+/// would need 2³²−1 nodes before colliding with it.
+pub(crate) const IC_EMPTY: NodeId = NodeId(u32::MAX);
+
+/// A fresh inline-cache table: one empty entry per static instruction
+/// when the cache is enabled, zero-length (never consulted) otherwise.
+pub(crate) fn new_icache(enabled: bool, num_instrs: usize) -> Vec<(u64, NodeId)> {
+    if enabled {
+        vec![(0, IC_EMPTY); num_instrs]
+    } else {
+        Vec::new()
+    }
 }
 
 /// Builds the static control-dependence table consulted under
@@ -251,6 +277,7 @@ impl GraphBuilder {
             // |D| = s context slots + NoCtx.
             DenseInterner::new(indexer.num_instrs(), config.slots as usize + 1)
         });
+        let icache = new_icache(config.inline_caches, indexer.num_instrs());
         GraphBuilder {
             config,
             graph: DepGraph::new(),
@@ -270,6 +297,7 @@ impl GraphBuilder {
             control_deps,
             indexer,
             dense,
+            icache,
         }
     }
 
@@ -293,8 +321,32 @@ impl GraphBuilder {
     }
 
     /// Interns + bumps the node for `at` under the current context.
+    ///
+    /// The inline cache short-circuits the monomorphic case: when `at`
+    /// re-executes under the same encoded context `g` as last time, the
+    /// resolved node, its conflict record (set-idempotent per
+    /// `(at, slot, g)`), and its control-dependence edges (idempotent in
+    /// [`DepGraph::add_edge`]) are all unchanged from the previous miss,
+    /// so only the frequency bump remains. Entries are never
+    /// invalidated — nodes are append-only and a stale `g` just misses.
+    #[inline]
     fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
         let g = self.contexts.current();
+        if self.config.inline_caches {
+            let idx = self.indexer.index(at);
+            let (cached_g, cached_n) = self.icache[idx];
+            if cached_n != IC_EMPTY && cached_g == g {
+                self.graph.bump(cached_n);
+                return cached_n;
+            }
+            let n = self.ctx_node_slow(at, kind, g);
+            self.icache[idx] = (g, n);
+            return n;
+        }
+        self.ctx_node_slow(at, kind, g)
+    }
+
+    fn ctx_node_slow(&mut self, at: InstrId, kind: NodeKind, g: u64) -> NodeId {
         let slot = slot_of(g, self.config.slots);
         if self.config.track_conflicts {
             self.conflicts.record(at, slot, g);

@@ -77,6 +77,7 @@ pub use gcost::{
 };
 pub use graph::{DepGraph, Node, NodeId, NodeKind};
 pub use shard::{
-    replay_cost_graph, replay_segments, sharded_replay_sequential, ShardContext, ShardGraph,
+    apply_object_delta, build_shard, merge_shards, replay_cost_graph, replay_segments, shard_sink,
+    sharded_replay_sequential, ObjectInfo, ObjectTableScan, ShardContext, ShardGraph, ShardSink,
 };
 pub use stats::GraphStats;

@@ -25,11 +25,12 @@ use crate::context::{extend_context, slot_of, ConflictStats, EMPTY_CONTEXT};
 use crate::dense::{DenseInterner, InstrIndexer};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::gcost::{
-    build_control_deps, CostElem, CostGraph, CostGraphConfig, FieldKey, HeapEffect, TaggedSite,
+    build_control_deps, new_icache, CostElem, CostGraph, CostGraphConfig, FieldKey, HeapEffect,
+    TaggedSite, IC_EMPTY,
 };
 use crate::graph::{DepGraph, NodeId, NodeKind};
 use lowutil_ir::{AllocSiteId, InstrId, Local, ObjectId, Program, StaticId};
-use lowutil_vm::trace::{PrologueFrame, Segment, TraceError, TraceReader};
+use lowutil_vm::trace::{Prologue, PrologueFrame, Segment, TraceError, TraceReader};
 use lowutil_vm::{Event, EventSink, FrameInfo};
 
 /// What the prescan learns about one heap object: everything a shard
@@ -368,11 +369,144 @@ pub fn build_shard(
     objects: &[Option<ObjectInfo>],
     seg: &Segment<'_>,
 ) -> Result<ShardGraph, TraceError> {
-    let mut b = ShardBuilder::new(ctx, objects, seg);
+    let mut b = ShardBuilder::new(ctx, objects, seg.prologue());
     seg.replay(&mut b)?;
     Ok(b.finish())
 }
 
+/// An incrementally fed shard builder — the same construction as
+/// [`build_shard`], but driven by an in-memory event stream (a live
+/// pipelined batch) instead of a decoded trace segment. Feed it the
+/// batch's records through the [`EventSink`] hooks, then call
+/// [`ShardSink::finish`].
+#[derive(Debug)]
+pub struct ShardSink<'c>(ShardBuilder<'c>);
+
+/// Starts a shard for a live batch beginning at `prologue`. `objects`
+/// must describe (at least) every object allocated before or inside the
+/// batch — the streaming [`ObjectTableScan`] produces exactly that.
+pub fn shard_sink<'c>(
+    ctx: &'c ShardContext,
+    objects: &'c [Option<ObjectInfo>],
+    prologue: &Prologue,
+) -> ShardSink<'c> {
+    ShardSink(ShardBuilder::new(ctx, objects, prologue))
+}
+
+impl ShardSink<'_> {
+    /// Finalizes the shard's contribution for [`merge_shards`].
+    pub fn finish(self) -> ShardGraph {
+        self.0.finish()
+    }
+}
+
+impl EventSink for ShardSink<'_> {
+    fn event(&mut self, event: &Event) {
+        self.0.event(event);
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        self.0.frame_push(info);
+    }
+
+    fn frame_pop(&mut self) {
+        self.0.frame_pop();
+    }
+}
+
+/// Streaming, in-run replacement for the two offline prescan passes
+/// ([`scan_alloc_sites`] + [`scan_alloc_contexts`]): fed the run's
+/// batches in order, it maintains the growing object table and reports
+/// each batch's newly allocated objects as a delta.
+///
+/// The fusion into one in-order pass is valid because any object a
+/// frame push or store references must already exist — i.e. was
+/// allocated earlier in the same stream — so the prefix table answers
+/// every lookup the offline passes answer with the global table.
+#[derive(Debug)]
+pub struct ObjectTableScan {
+    phase_limited: bool,
+    contexts: Vec<u64>,
+    in_phase: bool,
+    table: Vec<Option<ObjectInfo>>,
+    delta: Vec<(ObjectId, ObjectInfo)>,
+}
+
+impl ObjectTableScan {
+    /// A scanner for a run starting outside any frame and any phase.
+    pub fn new(phase_limited: bool) -> Self {
+        ObjectTableScan {
+            phase_limited,
+            contexts: Vec::new(),
+            in_phase: false,
+            table: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// The object table over everything scanned so far.
+    pub fn table(&self) -> &[Option<ObjectInfo>] {
+        &self.table
+    }
+
+    /// Drains the entries recorded since the last call — what a worker
+    /// thread needs to bring its private table copy up to date.
+    pub fn take_delta(&mut self) -> Vec<(ObjectId, ObjectInfo)> {
+        std::mem::take(&mut self.delta)
+    }
+}
+
+impl EventSink for ObjectTableScan {
+    fn event(&mut self, e: &Event) {
+        match e {
+            Event::Phase { begin, .. } => self.in_phase = *begin,
+            Event::Alloc { object, site, .. } => {
+                let info = ObjectInfo {
+                    site: *site,
+                    g: self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT),
+                    in_phase: self.in_phase,
+                };
+                apply_object_delta(&mut self.table, &[(*object, info)]);
+                self.delta.push((*object, info));
+            }
+            _ => {}
+        }
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        let parent = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+        let site = info.receiver.and_then(|o| {
+            self.table
+                .get(o.index())
+                .copied()
+                .flatten()
+                .filter(|i| !self.phase_limited || i.in_phase)
+                .map(|i| i.site)
+        });
+        let g = match site {
+            Some(site) => extend_context(parent, site),
+            None => parent,
+        };
+        self.contexts.push(g);
+    }
+
+    fn frame_pop(&mut self) {
+        self.contexts.pop();
+    }
+}
+
+/// Applies an [`ObjectTableScan`] delta to a (possibly shorter) table
+/// copy, growing it as needed.
+pub fn apply_object_delta(table: &mut Vec<Option<ObjectInfo>>, delta: &[(ObjectId, ObjectInfo)]) {
+    for &(o, info) in delta {
+        if table.len() <= o.index() {
+            table.resize(o.index() + 1, None);
+        }
+        table[o.index()] = Some(info);
+    }
+}
+
+#[derive(Debug)]
 struct ShardBuilder<'c> {
     ctx: &'c ShardContext,
     objects: &'c [Option<ObjectInfo>],
@@ -396,11 +530,11 @@ struct ShardBuilder<'c> {
     heap_touch: FxHashMap<ObjectId, u32>,
     armed: bool,
     next_gid: u64,
+    icache: Vec<(u64, NodeId)>,
 }
 
 impl<'c> ShardBuilder<'c> {
-    fn new(ctx: &'c ShardContext, objects: &'c [Option<ObjectInfo>], seg: &Segment<'_>) -> Self {
-        let prologue = seg.prologue();
+    fn new(ctx: &'c ShardContext, objects: &'c [Option<ObjectInfo>], prologue: &Prologue) -> Self {
         let config = &ctx.config;
         let contexts = seed_contexts(&prologue.frames, |o| {
             objects
@@ -445,6 +579,7 @@ impl<'c> ShardBuilder<'c> {
             heap_touch: FxHashMap::default(),
             armed: !config.phase_limited || prologue.in_phase,
             next_gid: prologue.first_gid,
+            icache: new_icache(config.inline_caches, ctx.indexer.num_instrs()),
         }
     }
 
@@ -514,8 +649,27 @@ impl<'c> ShardBuilder<'c> {
         }
     }
 
+    /// Same inline-cache fast path as the live `GraphBuilder` (see the
+    /// correctness notes there); the cache is per-shard, so a hit can
+    /// only repeat work this shard already did.
+    #[inline]
     fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
         let g = self.current_g();
+        if self.ctx.config.inline_caches {
+            let idx = self.ctx.indexer.index(at);
+            let (cached_g, cached_n) = self.icache[idx];
+            if cached_n != IC_EMPTY && cached_g == g {
+                self.graph.bump(cached_n);
+                return cached_n;
+            }
+            let n = self.ctx_node_slow(at, kind, g);
+            self.icache[idx] = (g, n);
+            return n;
+        }
+        self.ctx_node_slow(at, kind, g)
+    }
+
+    fn ctx_node_slow(&mut self, at: InstrId, kind: NodeKind, g: u64) -> NodeId {
         let slot = slot_of(g, self.ctx.config.slots);
         if self.ctx.config.track_conflicts {
             self.conflicts.record(at, slot, g);
@@ -1182,6 +1336,10 @@ method sum/2 {
             },
             CostGraphConfig {
                 track_conflicts: false,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                inline_caches: false,
                 ..CostGraphConfig::default()
             },
         ] {

@@ -11,13 +11,25 @@
 //! Work is distributed dynamically: workers pull the next unclaimed
 //! index from a shared cursor, so a slow item (e.g. the `eclipse`
 //! workload) does not serialize the rest of its stripe.
+//!
+//! The crate also hosts the *within-run* parallelism of the pipelined
+//! live profiler: a bounded SPSC [`ring`](mod@ring) carries event
+//! batches from the VM thread to [`run_pipelined`]'s shard workers.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so `ring` can carve out the one audited unsafe
+// module; everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pipeline;
 mod replay;
+pub mod ring;
 
+pub use pipeline::{
+    auto_pipeline_jobs, run_pipelined, PipeProducer, PipelineOptions, PipelineSink, PipelineTracer,
+};
 pub use replay::{replay_gcost, salvage_replay_gcost};
+pub use ring::{ring, RingReceiver, RingSender};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,417 @@
+//! The pipelined live profiler: execution decoupled from `G_cost`
+//! construction.
+//!
+//! A sequential profiled run interleaves graph construction with every
+//! executed instruction, which is where the 2–15× live overhead comes
+//! from. [`run_pipelined`] moves construction off the VM thread:
+//!
+//! ```text
+//! VM thread ──BatchSink──► SPSC ring ──► coordinator ──► shard workers
+//!   (runs ~plain speed)    (bounded)     (object scan)    (build shards)
+//!                                              │               │
+//!                                              └── deltas ─────┘
+//!                                                        merge_shards
+//! ```
+//!
+//! The VM thread packs events into [`EventBatch`]es (split only at
+//! frame-push boundaries, like trace segments) and pushes them into a
+//! bounded ring — backpressure blocks the producer, so memory stays
+//! flat no matter how far construction falls behind. With `jobs = 1`
+//! the consumer replays batches in order straight into the sequential
+//! [`GraphBuilder`](lowutil_core::GraphBuilder) — the exact sequential
+//! build cost, just moved off the VM thread. With `jobs ≥ 2` the
+//! coordinator pops batches in order, runs the streaming
+//! [`ObjectTableScan`] (the in-run fusion of the offline
+//! prescan passes), and hands each batch round-robin to one of `jobs`
+//! shard workers, broadcasting each batch's object-table delta to *all*
+//! workers so every private table copy stays current in batch order.
+//! Workers rebuild each batch with the exact per-segment construction
+//! of `lowutil_core::shard`, and the shards merge in batch order —
+//! so the canonical export is **byte-identical** to a sequential
+//! [`GraphBuilder`](lowutil_core::GraphBuilder) run at any job count:
+//! batch boundaries are fixed by the producer, shard contents by the
+//! batch, and the merge by batch order; nothing depends on worker
+//! scheduling.
+//!
+//! Shutdown is symmetric: the run closure returning (or unwinding)
+//! drops the producer, which ends the stream; a crashed consumer makes
+//! the producer's pushes fail, the sink discard quietly, and the panic
+//! resurface when the scope joins.
+
+use crate::ring::{ring, RingReceiver, RingSender};
+use lowutil_core::shard::{
+    apply_object_delta, merge_shards, shard_sink, ObjectInfo, ObjectTableScan, ShardContext,
+    ShardGraph,
+};
+use lowutil_core::{CostGraph, CostGraphConfig, GraphBuilder};
+use lowutil_ir::{ObjectId, Program};
+use lowutil_vm::{
+    BatchRecord, BatchSink, BatchTarget, Event, EventBatch, EventSink, FrameInfo, SinkTracer,
+    DEFAULT_BATCH_LIMIT,
+};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Tuning knobs for [`run_pipelined`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Graph-construction worker threads. `0` is the adaptive
+    /// fallback: no pipeline thread at all — events feed the
+    /// sequential [`GraphBuilder`] directly on the VM thread (what
+    /// [`auto_pipeline_jobs`] picks on a single-core machine, where a
+    /// second thread only adds handoff cost). `1` replays batches in
+    /// order into the `GraphBuilder` on a consumer thread — pure
+    /// overlap, no shard machinery; higher values fan per-batch shard
+    /// construction out round-robin and merge.
+    pub jobs: usize,
+    /// Records per batch (the analogue of the trace segment limit).
+    /// Smaller batches pipeline sooner but pay more prologue/merge
+    /// overhead.
+    pub batch_limit: usize,
+    /// Ring capacity in batches. The producer blocks when construction
+    /// falls this many batches behind, bounding pipeline memory at
+    /// roughly `ring_capacity × batch_limit` records.
+    pub ring_capacity: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            jobs: auto_pipeline_jobs(),
+            batch_limit: DEFAULT_BATCH_LIMIT,
+            ring_capacity: 8,
+        }
+    }
+}
+
+/// The worker count `--pipeline` should use when the user did not pick
+/// one: every available core when there is real parallelism to win,
+/// and the in-thread fallback (`0`) on a single-core machine — there,
+/// shipping events to a consumer thread that shares the one core
+/// costs strictly more than building the graph in place.
+pub fn auto_pipeline_jobs() -> usize {
+    match crate::default_jobs() {
+        0 | 1 => 0,
+        n => n,
+    }
+}
+
+/// The producer end the `BatchSink` targets: finished batches go out
+/// through the batch ring, and spent record buffers come back from the
+/// consumer through the recycle ring, so steady-state packing reuses
+/// warm allocations instead of growing a fresh `Vec` per batch.
+pub struct PipeProducer {
+    tx: RingSender<EventBatch>,
+    spent: RingReceiver<Vec<BatchRecord>>,
+}
+
+impl BatchTarget for PipeProducer {
+    fn accept(&mut self, batch: EventBatch) -> bool {
+        self.tx.push(batch).is_ok()
+    }
+
+    fn recycle(&mut self) -> Option<Vec<BatchRecord>> {
+        self.spent.try_pop()
+    }
+}
+
+/// The sink behind [`PipelineTracer`]: batching into the ring in
+/// threaded mode, or the sequential [`GraphBuilder`] itself in the
+/// `jobs = 0` fallback.
+pub enum PipelineSink {
+    /// Threaded: pack events into batches and push them into the ring.
+    Ring(BatchSink<PipeProducer>),
+    /// In-thread fallback: build `G_cost` right here, sequentially.
+    Inline(Box<GraphBuilder>),
+}
+
+impl EventSink for PipelineSink {
+    fn event(&mut self, event: &Event) {
+        match self {
+            PipelineSink::Ring(s) => s.event(event),
+            PipelineSink::Inline(b) => b.event(event),
+        }
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        match self {
+            PipelineSink::Ring(s) => s.frame_push(info),
+            PipelineSink::Inline(b) => b.frame_push(info),
+        }
+    }
+
+    fn frame_pop(&mut self) {
+        match self {
+            PipelineSink::Ring(s) => s.frame_pop(),
+            PipelineSink::Inline(b) => b.frame_pop(),
+        }
+    }
+}
+
+/// The tracer [`run_pipelined`] hands to its run closure: attach it to
+/// a [`Vm::run`](lowutil_vm::Vm::run) call.
+pub type PipelineTracer = SinkTracer<PipelineSink>;
+
+/// One unit of coordinator→worker traffic: the batch's object-table
+/// delta (broadcast to every worker) plus, for exactly one worker, the
+/// batch itself with its position in the run.
+struct WorkItem {
+    delta: Arc<Vec<(ObjectId, ObjectInfo)>>,
+    batch: Option<(usize, EventBatch)>,
+}
+
+/// Profiles a run with graph construction pipelined off the VM thread.
+///
+/// Calls `run` with a tracer on the current thread while a coordinator
+/// (plus `opts.jobs` shard workers when `jobs > 1`) builds `G_cost`
+/// concurrently; returns the closure's result and the finished graph.
+/// The graph is byte-identical under canonical export to a sequential
+/// [`GraphBuilder`](lowutil_core::GraphBuilder) profile of the same
+/// run, at any `jobs` and any `batch_limit`.
+///
+/// # Panics
+/// Re-raises panics from the construction threads.
+pub fn run_pipelined<R>(
+    program: &Program,
+    config: CostGraphConfig,
+    opts: &PipelineOptions,
+    run: impl FnOnce(&mut PipelineTracer) -> R,
+) -> (R, CostGraph) {
+    if opts.jobs == 0 {
+        // Adaptive fallback: no spare core, no pipeline — the VM
+        // thread feeds the sequential GraphBuilder directly, exactly
+        // as a sequential profiled run would.
+        let builder = Box::new(GraphBuilder::new(program, config));
+        let mut tracer = SinkTracer(PipelineSink::Inline(builder));
+        let r = run(&mut tracer);
+        let graph = match tracer.0 {
+            PipelineSink::Inline(b) => b.finish(),
+            PipelineSink::Ring(_) => unreachable!("inline mode never builds a ring"),
+        };
+        return (r, graph);
+    }
+    let ctx = ShardContext::new(program, config);
+    let jobs = opts.jobs;
+    let (tx, mut rx) = ring::<EventBatch>(opts.ring_capacity);
+    // The reverse lane: the consumer returns spent record buffers so
+    // the producer packs into warm allocations. A little extra slack
+    // means a momentarily full lane drops a buffer instead of stalling.
+    let (ret_tx, ret_rx) = ring::<Vec<BatchRecord>>(opts.ring_capacity.max(1) + 2);
+    std::thread::scope(|s| {
+        let ctx = &ctx;
+        let builder = s.spawn(move || {
+            let mut ret_tx = ret_tx;
+            if jobs == 1 {
+                // A single worker sees every batch in order, which is
+                // the whole event stream in order — so it feeds the
+                // sequential GraphBuilder directly. No prescan, no
+                // shards, no merge: the consumer does exactly the work
+                // a sequential profiled run does, just off the VM
+                // thread, and the graph is byte-identical because it
+                // is the same sink reading the same stream.
+                let mut b = GraphBuilder::new(program, config);
+                while let Some(batch) = rx.pop() {
+                    batch.replay(&mut b);
+                    let mut spent = batch.records;
+                    spent.clear();
+                    // Full lane (or a gone producer): drop the buffer.
+                    let _ = ret_tx.try_push(spent);
+                }
+                b.finish()
+            } else {
+                // Batches move to shard workers, so their buffers
+                // cannot come back through this (SPSC) lane; close it
+                // and let the producer allocate per batch.
+                drop(ret_tx);
+                coordinate(ctx, &mut rx, jobs)
+            }
+        });
+        let sink = BatchSink::new(PipeProducer { tx, spent: ret_rx }, opts.batch_limit.max(1));
+        let mut tracer = SinkTracer(PipelineSink::Ring(sink));
+        let r = run(&mut tracer);
+        // Flush the tail batch and drop the producer: end-of-stream.
+        match tracer.0 {
+            PipelineSink::Ring(sink) => drop(sink.finish()),
+            PipelineSink::Inline(_) => unreachable!("threaded mode never builds inline"),
+        }
+        let graph = match builder.join() {
+            Ok(g) => g,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (r, graph)
+    })
+}
+
+/// The multi-worker coordinator: scans batches in order, broadcasts
+/// table deltas, deals batches round-robin, then merges in batch order.
+fn coordinate(
+    ctx: &ShardContext,
+    rx: &mut crate::ring::RingReceiver<EventBatch>,
+    jobs: usize,
+) -> CostGraph {
+    std::thread::scope(|s| {
+        let mut txs = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            // A small bound per worker keeps total buffered batches
+            // (and so memory) proportional to the worker count.
+            let (wtx, wrx) = mpsc::sync_channel::<WorkItem>(2);
+            txs.push(wtx);
+            handles.push(s.spawn(move || worker(ctx, &wrx)));
+        }
+        let mut scan = ObjectTableScan::new(ctx.config().phase_limited);
+        let mut idx = 0usize;
+        'feed: while let Some(batch) = rx.pop() {
+            batch.replay(&mut scan);
+            let delta = Arc::new(scan.take_delta());
+            let home = idx % jobs;
+            let mut batch = Some(batch);
+            for (w, wtx) in txs.iter().enumerate() {
+                let item = WorkItem {
+                    delta: Arc::clone(&delta),
+                    // `home` occurs exactly once, so the batch moves out
+                    // (without cloning) to exactly one worker.
+                    batch: if w == home {
+                        batch.take().map(|b| (idx, b))
+                    } else {
+                        None
+                    },
+                };
+                if wtx.send(item).is_err() {
+                    // A worker died; drain the ring so the producer is
+                    // never left blocking, then surface the panic below.
+                    while rx.pop().is_some() {}
+                    break 'feed;
+                }
+            }
+            idx += 1;
+        }
+        drop(txs);
+        let mut indexed: Vec<(usize, ShardGraph)> = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(shards) => indexed.extend(shards),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        merge_shards(indexed.into_iter().map(|(_, sh)| sh).collect())
+    })
+}
+
+/// A shard worker: applies every delta in batch order to its private
+/// object table and builds the batches dealt to it.
+fn worker(ctx: &ShardContext, rx: &mpsc::Receiver<WorkItem>) -> Vec<(usize, ShardGraph)> {
+    let mut table: Vec<Option<ObjectInfo>> = Vec::new();
+    let mut out = Vec::new();
+    while let Ok(item) = rx.recv() {
+        apply_object_delta(&mut table, &item.delta);
+        if let Some((i, batch)) = item.batch {
+            let mut b = shard_sink(ctx, &table, &batch.prologue);
+            batch.replay(&mut b);
+            out.push((i, b.finish()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_core::{write_cost_graph, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    const SRC: &str = r#"
+native print/1
+class A { f }
+class Box { v }
+method main/0 {
+  x = 1
+  a1 = new A
+  a1.f = x
+  a2 = new A
+  a2.f = x
+  i = 0
+  one = 1
+  lim = 6
+loop:
+  if i >= lim goto done
+  r1 = vcall get(a1)
+  r2 = vcall get(a2)
+  b = new Box
+  b.v = r1
+  t = b.v
+  s = call sum(r1, t)
+  i = i + one
+  goto loop
+done:
+  native print(s)
+  return
+}
+method A.get/0 {
+  r = this.f
+  return r
+}
+method sum/2 {
+  r = p0 + p1
+  return r
+}
+"#;
+
+    fn bytes_of(g: &CostGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_cost_graph(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_at_any_jobs_and_batch() {
+        let p = parse_program(SRC).expect("parse");
+        let config = CostGraphConfig::default();
+        let mut prof = CostProfiler::new(&p, config);
+        let out_seq = Vm::new(&p).run(&mut prof).expect("runs");
+        let seq = bytes_of(&prof.finish());
+
+        for jobs in [0, 1, 2, 7] {
+            for batch in [1, 64, 4096] {
+                let opts = PipelineOptions {
+                    jobs,
+                    batch_limit: batch,
+                    ring_capacity: 4,
+                };
+                let (out, graph) =
+                    run_pipelined(&p, config, &opts, |t| Vm::new(&p).run(t).expect("runs"));
+                assert_eq!(out.output, out_seq.output);
+                assert_eq!(
+                    bytes_of(&graph),
+                    seq,
+                    "jobs={jobs} batch={batch} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_hanging() {
+        let p = parse_program(SRC).expect("parse");
+        // A panic inside the run closure must unwind cleanly through
+        // the scope (consumer sees end-of-stream and finishes).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pipelined(
+                &p,
+                CostGraphConfig::default(),
+                &PipelineOptions {
+                    jobs: 2,
+                    batch_limit: 4,
+                    ring_capacity: 2,
+                },
+                |t| {
+                    let _ = Vm::new(&p).run(t);
+                    panic!("vm thread dies");
+                },
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

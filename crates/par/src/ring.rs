@@ -1,0 +1,469 @@
+//! A bounded single-producer single-consumer ring buffer.
+//!
+//! The pipelined profiler needs exactly one channel shape: the VM
+//! thread pushes event batches, one consumer thread pops them, and the
+//! buffer must be *bounded* so a fast producer blocks instead of
+//! ballooning memory (backpressure is the pipeline's memory guarantee).
+//! The build environment has no registry access, so this is hand-rolled
+//! on `std` atomics: a fixed slot array plus monotonically increasing
+//! head/tail counters (slot = index mod capacity), with the classic
+//! acquire/release pairing — the producer's release store of `tail`
+//! publishes the slot write, the consumer's release store of `head`
+//! returns the slot to the producer.
+//!
+//! Both halves carry an alive flag set by their `Drop` impl, so
+//! shutdown needs no separate signal: a dropped producer turns `pop`
+//! into drain-then-`None`, a dropped consumer (including one dropped by
+//! a panic unwinding through the consumer thread) makes `push` return
+//! the rejected value instead of blocking forever. Items still in the
+//! buffer when both halves are gone are dropped with the shared state.
+//!
+//! Blocking is spin-then-park: a blocked side spins briefly (the
+//! pipeline's steady state has the ring neither full nor empty, so
+//! most waits end within the spin), then registers itself in a
+//! parker and sleeps in [`std::thread::park`] until the other side
+//! makes progress and unparks it. Yield-looping instead would burn
+//! whole scheduler quanta whenever one side stalls — on a single core
+//! that alone can double the wall time of a pipelined run.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+/// Park/unpark handshake for one side of the ring.
+///
+/// The lost-wakeup race is closed by the classic fence pairing: the
+/// waiter publishes `parked` *before* re-checking the blocking
+/// condition, and the waker makes progress *before* checking `parked`,
+/// with `SeqCst` ordering on both sides — so either the waiter sees
+/// the progress and skips the park, or the waker sees the flag and
+/// unparks. A stale unpark token at worst makes one `park` return
+/// early, and the caller's loop re-checks the condition anyway.
+#[derive(Default)]
+struct Parker {
+    parked: AtomicBool,
+    thread: Mutex<Option<Thread>>,
+}
+
+impl Parker {
+    /// Parks the calling thread if `should_park` still holds after the
+    /// flag is published. `should_park` must re-read the blocking
+    /// condition with `SeqCst` loads.
+    fn wait(&self, should_park: impl FnOnce() -> bool) {
+        *self.thread.lock().unwrap() = Some(std::thread::current());
+        self.parked.store(true, Ordering::SeqCst);
+        if should_park() {
+            std::thread::park();
+        }
+        self.parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Unparks the owning side if it is (or is about to be) parked.
+    /// Call only after the progress that unblocks it is published.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.swap(false, Ordering::SeqCst) {
+            let t = self.thread.lock().unwrap().clone();
+            if let Some(t) = t {
+                t.unpark();
+            }
+        }
+    }
+}
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Index of the next slot to pop. Monotonic; wraps modulo capacity.
+    head: AtomicUsize,
+    /// Index of the next slot to push. Monotonic; wraps modulo capacity.
+    tail: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+    /// Where the producer sleeps when the ring is full.
+    producer_parker: Parker,
+    /// Where the consumer sleeps when the ring is empty.
+    consumer_parker: Parker,
+}
+
+// SAFETY: the slot array is only accessed according to the SPSC
+// protocol — the unique producer writes a slot before publishing it via
+// `tail`, the unique consumer takes ownership of a slot's value before
+// releasing it via `head` — so `&Shared` can cross threads whenever the
+// item type itself can.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both halves are gone; drop whatever was pushed but not popped.
+        let mut i = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let cap = self.buf.len();
+        while i != tail {
+            // SAFETY: slots in [head, tail) hold initialized values, and
+            // `&mut self` proves no other accessor exists.
+            unsafe { (*self.buf[i % cap].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The producer half: blocking [`push`](RingSender::push).
+pub struct RingSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consumer half: blocking [`pop`](RingReceiver::pop).
+pub struct RingReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` items
+/// (clamped to at least 1).
+pub fn ring<T: Send>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let cap = capacity.max(1);
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        buf,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+        producer_parker: Parker::default(),
+        consumer_parker: Parker::default(),
+    });
+    (
+        RingSender {
+            shared: Arc::clone(&shared),
+        },
+        RingReceiver { shared },
+    )
+}
+
+/// Spins briefly before the caller falls back to parking.
+const SPINS_BEFORE_PARK: u32 = 64;
+
+impl<T> RingSender<T> {
+    /// Pushes `value`, blocking while the ring is full — the bounded
+    /// backpressure that keeps pipeline memory flat. Returns the value
+    /// back if the consumer is gone (it will never be popped).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let cap = s.buf.len();
+        let tail = s.tail.load(Ordering::Relaxed);
+        let mut spins = 0;
+        loop {
+            if !s.consumer_alive.load(Ordering::Acquire) {
+                return Err(value);
+            }
+            if tail.wrapping_sub(s.head.load(Ordering::Acquire)) < cap {
+                break;
+            }
+            if spins < SPINS_BEFORE_PARK {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // Park until the consumer frees a slot (or dies); the
+                // outer loop re-checks both either way.
+                s.producer_parker.wait(|| {
+                    s.consumer_alive.load(Ordering::SeqCst)
+                        && tail.wrapping_sub(s.head.load(Ordering::SeqCst)) >= cap
+                });
+            }
+        }
+        // SAFETY: `tail - head < cap` means this slot is free, and only
+        // this (unique) producer writes slots.
+        unsafe { (*s.buf[tail % cap].get()).write(value) };
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        s.consumer_parker.wake();
+        Ok(())
+    }
+
+    /// Non-blocking push: returns the value back immediately if the
+    /// ring is full or the consumer is gone. Used where losing the
+    /// item is acceptable (e.g. returning a spent buffer for reuse).
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let cap = s.buf.len();
+        let tail = s.tail.load(Ordering::Relaxed);
+        if !s.consumer_alive.load(Ordering::Acquire)
+            || tail.wrapping_sub(s.head.load(Ordering::Acquire)) >= cap
+        {
+            return Err(value);
+        }
+        // SAFETY: `tail - head < cap` means this slot is free, and only
+        // this (unique) producer writes slots.
+        unsafe { (*s.buf[tail % cap].get()).write(value) };
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        s.consumer_parker.wake();
+        Ok(())
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+        // A consumer parked on an empty ring must see end-of-stream.
+        self.shared.consumer_parker.wake();
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Pops the next item, blocking while the ring is empty. Returns
+    /// `None` once the producer is gone *and* the ring is drained.
+    pub fn pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let mut spins = 0;
+        loop {
+            if s.tail.load(Ordering::Acquire) != head {
+                break;
+            }
+            if !s.producer_alive.load(Ordering::Acquire) {
+                // The producer publishes before dying, so one re-check
+                // after seeing it dead observes any final push.
+                if s.tail.load(Ordering::Acquire) == head {
+                    return None;
+                }
+                break;
+            }
+            if spins < SPINS_BEFORE_PARK {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // Park until the producer publishes a slot (or dies);
+                // the outer loop re-checks both either way.
+                s.consumer_parker.wait(|| {
+                    s.producer_alive.load(Ordering::SeqCst) && s.tail.load(Ordering::SeqCst) == head
+                });
+            }
+        }
+        // SAFETY: `tail != head` means this slot was published by the
+        // producer's release store of `tail`, which our acquire load
+        // synchronized with; only this (unique) consumer reads it out.
+        let value = unsafe { (*s.buf[head % s.buf.len()].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        s.producer_parker.wake();
+        Some(value)
+    }
+
+    /// Non-blocking pop: returns `None` immediately when the ring is
+    /// empty, whether or not the producer is still alive (so unlike
+    /// [`pop`](RingReceiver::pop), `None` does not mean end-of-stream).
+    pub fn try_pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        if s.tail.load(Ordering::Acquire) == head {
+            return None;
+        }
+        // SAFETY: as in `pop` — the slot was published by the
+        // producer's release store of `tail`.
+        let value = unsafe { (*s.buf[head % s.buf.len()].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        s.producer_parker.wake();
+        Some(value)
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+        // A producer parked on a full ring must see the rejection.
+        self.shared.producer_parker.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Count;
+
+    /// Many items through a tiny ring: order preserved, nothing lost,
+    /// indices forced to wrap many times.
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = ring::<u64>(3);
+        let n = 10_000u64;
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..n {
+            tx.push(i).expect("consumer alive");
+        }
+        drop(tx);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// A slow consumer bounds the producer: the in-flight count can
+    /// never exceed the ring capacity.
+    #[test]
+    fn backpressure_bounds_in_flight_items() {
+        static LIVE: Count = Count::new(0);
+        static PEAK: Count = Count::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let (mut tx, mut rx) = ring::<Tracked>(2);
+        let consumer = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Some(v) = rx.pop() {
+                // Hold each item briefly so the producer hits the wall.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                drop(v);
+                n += 1;
+            }
+            n
+        });
+        for _ in 0..100 {
+            tx.push(Tracked::new()).expect("consumer alive");
+        }
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), 100);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+        // Capacity 2 in the ring + 1 held by the consumer + 1 on the
+        // producer's stack while its push blocks.
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 4,
+            "peak {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    /// A consumer parked on an empty ring is woken by a (much) later
+    /// push — the park/unpark handshake, not the spin, delivers it.
+    #[test]
+    fn parked_consumer_wakes_on_push() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx.pop() {
+                got.push(v);
+            }
+            got
+        });
+        // Far longer than the spin budget: the consumer is parked.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tx.push(7).expect("consumer alive");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.push(8).expect("consumer alive");
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), vec![7, 8]);
+    }
+
+    /// A consumer dropped by a panic stops the producer instead of
+    /// blocking it forever, and buffered items are not leaked.
+    #[test]
+    fn consumer_panic_rejects_pushes_and_drops_buffer() {
+        static DROPS: Count = Count::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let (mut tx, mut rx) = ring::<D>(4);
+        let consumer = std::thread::spawn(move || {
+            let _one = rx.pop();
+            panic!("consumer dies mid-stream");
+        });
+        let mut pushed = 0usize;
+        let mut rejected = false;
+        for _ in 0..1000 {
+            match tx.push(D) {
+                Ok(()) => pushed += 1,
+                Err(v) => {
+                    drop(v);
+                    rejected = true;
+                    break;
+                }
+            }
+        }
+        assert!(consumer.join().is_err(), "consumer must have panicked");
+        assert!(rejected, "push must fail after the consumer dies");
+        assert!(pushed >= 1);
+        drop(tx);
+        // Everything constructed was dropped: the popped one, the
+        // rejected one, and the buffered remainder freed with the ring.
+        assert_eq!(DROPS.load(Ordering::SeqCst), pushed + 1);
+    }
+
+    /// Dropping the producer lets the consumer drain the remainder and
+    /// then observe end-of-stream.
+    #[test]
+    fn producer_drop_drains_then_ends() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None, "end-of-stream is sticky");
+    }
+
+    /// `try_push` fails on a full ring without blocking; `try_pop`
+    /// returns `None` on an empty ring even with a live producer.
+    #[test]
+    fn try_ops_never_block() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        assert_eq!(rx.try_pop(), None, "empty + live producer: None");
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(3), "full ring rejects");
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), None);
+        drop(rx);
+        assert_eq!(tx.try_push(9), Err(9), "dead consumer rejects");
+    }
+
+    /// Zero capacity is clamped to one so the ring stays usable.
+    #[test]
+    fn zero_capacity_clamps() {
+        let (mut tx, mut rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 1);
+        tx.push(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(9));
+        assert_eq!(rx.pop(), None);
+    }
+}

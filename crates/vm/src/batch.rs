@@ -1,0 +1,338 @@
+//! In-memory event batching for pipelined live profiling.
+//!
+//! [`BatchSink`] is the live-run sibling of
+//! [`TraceWriter`](crate::trace::TraceWriter): it consumes the same
+//! [`EventSink`] stream, but instead of serializing records to bytes it
+//! packs them into flat in-memory [`EventBatch`]es and hands each one to
+//! a [`BatchTarget`] (in the pipelined profiler, the producer half of a
+//! bounded ring buffer). Batches observe the exact segment-boundary
+//! invariant of the trace writer: a batch may only end immediately
+//! before a frame push, so every non-first batch begins with a
+//! frame-push record and carries a [`Prologue`] describing the live
+//! shadow stack — which is precisely what a per-segment shard builder
+//! needs to start mid-run.
+//!
+//! The hooks are infallible (mirroring the writer's deferred-I/O-error
+//! idiom): when the target reports that the consumer is gone, the sink
+//! latches a dead flag and silently discards the rest of the stream, so
+//! a crashed pipeline never takes the VM down with it mid-run.
+
+use crate::event::{Event, FrameInfo};
+use crate::sink::EventSink;
+use crate::trace::{Prologue, PrologueFrame};
+
+/// Default records-per-batch target, matching the trace writer's
+/// [`DEFAULT_SEGMENT_LIMIT`](crate::trace::DEFAULT_SEGMENT_LIMIT).
+pub const DEFAULT_BATCH_LIMIT: usize = 16 * 1024;
+
+/// One record of an [`EventBatch`] — the in-memory form of the three
+/// [`EventSink`] hooks.
+#[derive(Debug, Clone)]
+pub enum BatchRecord {
+    /// An instruction event.
+    Event(Event),
+    /// A frame push.
+    Push(FrameInfo),
+    /// A frame pop.
+    Pop,
+}
+
+/// A contiguous chunk of the event stream, with the shadow-stack state
+/// it starts from — the in-memory analogue of a trace segment.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    /// The shadow-stack state at the batch's first record.
+    pub prologue: Prologue,
+    /// The records, in execution order.
+    pub records: Vec<BatchRecord>,
+}
+
+impl EventBatch {
+    /// Replays the batch's records into `sink`, in recorded order.
+    pub fn replay<S: EventSink>(&self, sink: &mut S) {
+        for r in &self.records {
+            match r {
+                BatchRecord::Event(e) => sink.event(e),
+                BatchRecord::Push(info) => sink.frame_push(info),
+                BatchRecord::Pop => sink.frame_pop(),
+            }
+        }
+    }
+}
+
+/// Where a [`BatchSink`] delivers finished batches.
+pub trait BatchTarget {
+    /// Accepts the next batch. Returning `false` means the consumer is
+    /// gone; the sink stops batching and discards the rest of the run.
+    fn accept(&mut self, batch: EventBatch) -> bool;
+
+    /// Hands back a spent record buffer for the sink to refill, if the
+    /// target has one (e.g. a pipeline consumer returning buffers it
+    /// has replayed). Reusing warm buffers makes steady-state packing
+    /// allocation-free. The default has none.
+    fn recycle(&mut self) -> Option<Vec<BatchRecord>> {
+        None
+    }
+}
+
+/// Collects batches in memory — the testing target.
+impl BatchTarget for Vec<EventBatch> {
+    fn accept(&mut self, batch: EventBatch) -> bool {
+        self.push(batch);
+        true
+    }
+}
+
+/// An [`EventSink`] that packs the stream into [`EventBatch`]es of
+/// roughly `limit` records, split only at frame-push boundaries.
+#[derive(Debug)]
+pub struct BatchSink<T: BatchTarget> {
+    target: T,
+    limit: usize,
+    records: Vec<BatchRecord>,
+    /// Prologue of the batch currently being filled (captured when the
+    /// previous batch was flushed).
+    prologue: Prologue,
+    /// Live-frame mirror for prologue capture, as in the trace writer.
+    frames: Vec<PrologueFrame>,
+    push_count: u64,
+    in_phase: bool,
+    batches: u64,
+    dead: bool,
+}
+
+impl<T: BatchTarget> BatchSink<T> {
+    /// Creates a sink targeting `limit` records per batch (clamped to at
+    /// least 1). Like trace segments, batches can exceed the limit when
+    /// the program runs long stretches without a frame push.
+    pub fn new(target: T, limit: usize) -> Self {
+        BatchSink {
+            target,
+            limit: limit.max(1),
+            records: Vec::new(),
+            // The run starts outside any frame and any phase, with the
+            // first push receiving gid 0 — exactly `Prologue::default()`.
+            prologue: Prologue::default(),
+            frames: Vec::new(),
+            push_count: 0,
+            in_phase: false,
+            batches: 0,
+            dead: false,
+        }
+    }
+
+    /// `true` once the target rejected a batch; the rest of the stream
+    /// is being discarded.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn flush(&mut self) {
+        // Refill from a recycled buffer when the target has one (its
+        // capacity is warm from a previous batch of this very run);
+        // otherwise size the fresh buffer by the batch just packed, so
+        // long push-free stretches don't re-pay the realloc-and-copy
+        // growth chain on every batch.
+        let next = match self.target.recycle() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::with_capacity(self.records.len()),
+        };
+        let records = std::mem::replace(&mut self.records, next);
+        let next = Prologue {
+            frames: self.frames.clone(),
+            in_phase: self.in_phase,
+            first_gid: self.push_count,
+        };
+        let prologue = std::mem::replace(&mut self.prologue, next);
+        self.batches += 1;
+        if !self.target.accept(EventBatch { prologue, records }) {
+            self.dead = true;
+        }
+    }
+
+    /// Flushes the final batch and returns the target. An empty run
+    /// still produces one (empty) batch, mirroring the trace writer's
+    /// at-least-one-segment guarantee.
+    pub fn finish(mut self) -> T {
+        if !self.dead && (!self.records.is_empty() || self.batches == 0) {
+            self.flush();
+        }
+        self.target
+    }
+}
+
+impl<T: BatchTarget> EventSink for BatchSink<T> {
+    fn event(&mut self, event: &Event) {
+        if self.dead {
+            return;
+        }
+        if let Event::Phase { begin, .. } = event {
+            self.in_phase = *begin;
+        }
+        self.records.push(BatchRecord::Event(event.clone()));
+    }
+
+    fn frame_push(&mut self, info: &FrameInfo) {
+        if self.dead {
+            return;
+        }
+        // Batches may only split here: flushing *before* recording the
+        // push guarantees every non-first batch begins with a
+        // frame-push record, so a shard builder always enters a frame
+        // it saw being created.
+        if self.records.len() >= self.limit {
+            self.flush();
+            if self.dead {
+                return;
+            }
+        }
+        self.frames.push(PrologueFrame {
+            method: info.method,
+            num_locals: info.num_locals,
+            gid: self.push_count,
+            receiver: info.receiver,
+        });
+        self.push_count += 1;
+        self.records.push(BatchRecord::Push(info.clone()));
+    }
+
+    fn frame_pop(&mut self) {
+        if self.dead {
+            return;
+        }
+        self.frames.pop();
+        self.records.push(BatchRecord::Pop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, SinkTracer, Vm};
+    use lowutil_ir::{BinOp, ConstValue, ProgramBuilder};
+
+    /// A program with enough calls that small batch limits force splits.
+    fn call_heavy_program(iters: i64) -> lowutil_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let print = pb.native("print", 1, false);
+        let mut twice = pb.method("twice", 1);
+        let p0 = twice.param(0);
+        let r = twice.new_local("r");
+        twice.binop(r, BinOp::Add, p0, p0);
+        twice.ret(r);
+        let twice_id = twice.finish(&mut pb);
+        let mut main = pb.method("main", 0);
+        let i = main.new_local("i");
+        let one = main.new_local("one");
+        let lim = main.new_local("lim");
+        let acc = main.new_local("acc");
+        main.constant(i, ConstValue::Int(0));
+        main.constant(one, ConstValue::Int(1));
+        main.constant(lim, ConstValue::Int(iters));
+        let loop_top = main.label();
+        let done = main.label();
+        main.bind(loop_top);
+        main.branch(lowutil_ir::CmpOp::Ge, i, lim, done);
+        main.call(Some(acc), twice_id, &[i]);
+        main.binop(i, BinOp::Add, i, one);
+        main.jump(loop_top);
+        main.bind(done);
+        main.call_native_void(print, &[acc]);
+        main.ret_void();
+        let main_id = main.finish(&mut pb);
+        pb.finish(main_id).expect("valid program")
+    }
+
+    /// Collect batches at a tiny limit and replay them back-to-back:
+    /// the stream must be lossless and in order.
+    #[test]
+    fn batched_stream_replays_losslessly() {
+        let p = call_heavy_program(20);
+        let mut direct = SinkTracer(CountingSink::new());
+        Vm::new(&p).run(&mut direct).expect("runs");
+
+        let mut tracer = SinkTracer(BatchSink::new(Vec::new(), 4));
+        Vm::new(&p).run(&mut tracer).expect("runs");
+        let batches = tracer.0.finish();
+        assert!(batches.len() > 3, "tiny limit must split the run");
+
+        let mut replayed = CountingSink::new();
+        for b in &batches {
+            b.replay(&mut replayed);
+        }
+        assert_eq!(direct.0.events, replayed.events);
+        assert_eq!(direct.0.pushes, replayed.pushes);
+        assert_eq!(direct.0.pops, replayed.pops);
+    }
+
+    /// Every non-first batch starts with a frame push, and its prologue
+    /// gids chain consistently with the pushes seen so far.
+    #[test]
+    fn batches_split_only_at_frame_pushes() {
+        let p = call_heavy_program(20);
+        let mut tracer = SinkTracer(BatchSink::new(Vec::new(), 4));
+        Vm::new(&p).run(&mut tracer).expect("runs");
+        let batches = tracer.0.finish();
+
+        let mut pushes_seen = 0u64;
+        for (i, b) in batches.iter().enumerate() {
+            if i == 0 {
+                assert_eq!(b.prologue.frames.len(), 0);
+                assert_eq!(b.prologue.first_gid, 0);
+            } else {
+                assert!(
+                    matches!(b.records.first(), Some(BatchRecord::Push(_))),
+                    "batch {i} does not start with a push"
+                );
+                assert_eq!(b.prologue.first_gid, pushes_seen);
+                // The prologue's live frames are a stack of previously
+                // assigned gids.
+                for f in &b.prologue.frames {
+                    assert!(f.gid < pushes_seen);
+                }
+            }
+            pushes_seen += b
+                .records
+                .iter()
+                .filter(|r| matches!(r, BatchRecord::Push(_)))
+                .count() as u64;
+        }
+    }
+
+    /// A target that rejects after `n` batches kills the sink without
+    /// disturbing the run.
+    #[test]
+    fn dead_target_discards_quietly() {
+        struct Flaky {
+            left: usize,
+        }
+        impl BatchTarget for Flaky {
+            fn accept(&mut self, _b: EventBatch) -> bool {
+                if self.left == 0 {
+                    return false;
+                }
+                self.left -= 1;
+                true
+            }
+        }
+        let p = call_heavy_program(50);
+        let mut tracer = SinkTracer(BatchSink::new(Flaky { left: 2 }, 4));
+        Vm::new(&p)
+            .run(&mut tracer)
+            .expect("run unaffected by dead consumer");
+        assert!(tracer.0.is_dead());
+    }
+
+    /// An empty run still yields exactly one (empty) batch.
+    #[test]
+    fn empty_run_produces_one_batch() {
+        let sink: BatchSink<Vec<EventBatch>> = BatchSink::new(Vec::new(), 8);
+        let batches = sink.finish();
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].records.is_empty());
+        assert_eq!(batches[0].prologue, Prologue::default());
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod event;
 mod heap;
 mod interp;
@@ -49,6 +50,7 @@ mod sink;
 pub mod trace;
 mod tracer;
 
+pub use batch::{BatchRecord, BatchSink, BatchTarget, EventBatch, DEFAULT_BATCH_LIMIT};
 pub use event::{Event, FrameInfo};
 pub use heap::{Heap, HeapObject};
 pub use interp::{RunConfig, RunOutcome, Trap, TrapKind, Vm};

@@ -34,6 +34,11 @@
 //!
 //! Report-producing commands take `--analysis batch|reference` to select
 //! the cost-benefit engine (default `batch`; both emit identical bytes).
+//!
+//! Profiling commands take `--pipeline` to build `G_cost` off the VM
+//! thread (batches flow through a bounded SPSC ring to `--jobs` shard
+//! workers; `--pipeline-batch N` sets records per batch). The resulting
+//! graph is byte-identical to the sequential profile at any job count.
 
 use lowutil::analyses::batch::{BatchAnalyzer, EngineChoice, ReferenceEngine};
 use lowutil::analyses::cache::cache_effectiveness;
@@ -55,7 +60,7 @@ fn usage() -> ExitCode {
         "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N"
     );
     ExitCode::from(2)
 }
@@ -70,6 +75,11 @@ struct Flags {
     analysis: EngineChoice,
     salvage: bool,
     segment_limit: Option<usize>,
+    pipeline: bool,
+    pipeline_batch: Option<usize>,
+    /// Whether `--jobs` was given explicitly. `--pipeline` without it
+    /// picks its worker count adaptively (in-thread on one core).
+    jobs_set: bool,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -94,6 +104,9 @@ fn parse_flags(args: &[String]) -> Flags {
         analysis: EngineChoice::default(),
         salvage: false,
         segment_limit: None,
+        pipeline: false,
+        pipeline_batch: None,
+        jobs_set: false,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -118,6 +131,7 @@ fn parse_flags(args: &[String]) -> Flags {
                 if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<usize>().ok()) {
                     // 0 workers cannot make progress; treat it as 1.
                     f.jobs = v.max(1);
+                    f.jobs_set = true;
                 } else {
                     eprintln!("--jobs needs a number; keeping {}", f.jobs);
                 }
@@ -140,9 +154,18 @@ fn parse_flags(args: &[String]) -> Flags {
                     eprintln!("--segment-limit needs a number; keeping the default");
                 }
             }
+            "--pipeline-batch" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<usize>().ok()) {
+                    // A 0-record batch cannot make progress.
+                    f.pipeline_batch = Some(v.max(1));
+                } else {
+                    eprintln!("--pipeline-batch needs a number; keeping the default");
+                }
+            }
             "--control" => f.control = true,
             "--traditional" => f.traditional = true,
             "--salvage" => f.salvage = true,
+            "--pipeline" => f.pipeline = true,
             "--size" => match take_value(&mut it) {
                 Some("small") => f.size = WorkloadSize::Small,
                 Some("large") => f.size = WorkloadSize::Large,
@@ -164,15 +187,35 @@ fn profile(
     program: &Program,
     flags: &Flags,
 ) -> Result<(lowutil::core::CostGraph, lowutil::vm::RunOutcome), String> {
-    let mut prof = CostProfiler::new(
-        program,
-        CostGraphConfig {
-            slots: flags.slots,
-            traditional_uses: flags.traditional,
-            control_edges: flags.control,
-            ..CostGraphConfig::default()
-        },
-    );
+    let config = CostGraphConfig {
+        slots: flags.slots,
+        traditional_uses: flags.traditional,
+        control_edges: flags.control,
+        ..CostGraphConfig::default()
+    };
+    if flags.pipeline {
+        // Graph construction runs off the VM thread; the export is
+        // byte-identical to the sequential profile below.
+        let opts = lowutil::par::PipelineOptions {
+            // An explicit --jobs N always pipelines onto N workers;
+            // otherwise pick adaptively (in-thread on a single core,
+            // where a consumer thread only adds handoff cost).
+            jobs: if flags.jobs_set {
+                flags.jobs
+            } else {
+                lowutil::par::auto_pipeline_jobs()
+            },
+            batch_limit: flags
+                .pipeline_batch
+                .unwrap_or(lowutil::vm::DEFAULT_BATCH_LIMIT),
+            ..lowutil::par::PipelineOptions::default()
+        };
+        let (out, g) = lowutil::par::run_pipelined(program, config, &opts, |tracer| {
+            Vm::new(program).run(tracer)
+        });
+        return Ok((g, out.map_err(|e| e.to_string())?));
+    }
+    let mut prof = CostProfiler::new(program, config);
     let out = Vm::new(program).run(&mut prof).map_err(|e| e.to_string())?;
     Ok((prof.finish(), out))
 }
@@ -599,6 +642,25 @@ mod tests {
         assert_eq!(f.slots, 1);
         let f = flags_of(&["--segment-limit", "0"]);
         assert_eq!(f.segment_limit, Some(1));
+        let f = flags_of(&["--pipeline-batch", "0"]);
+        assert_eq!(f.pipeline_batch, Some(1));
+    }
+
+    #[test]
+    fn pipeline_flags_parse_and_compose() {
+        let f = flags_of(&["--pipeline"]);
+        assert!(f.pipeline);
+        assert_eq!(f.pipeline_batch, None);
+        let f = flags_of(&["--pipeline", "--pipeline-batch", "256", "--jobs", "4"]);
+        assert!(f.pipeline);
+        assert_eq!(f.pipeline_batch, Some(256));
+        assert_eq!(f.jobs, 4);
+        // Missing value keeps the default without swallowing the next flag.
+        let f = flags_of(&["--pipeline-batch", "--pipeline"]);
+        assert_eq!(f.pipeline_batch, None);
+        assert!(f.pipeline);
+        let f = flags_of(&[]);
+        assert!(!f.pipeline);
     }
 
     #[test]

@@ -33,7 +33,9 @@ proptest! {
         let p = build(&ops);
         let g = profile(&p);
         let reference = ReferenceEngine::new(&g);
-        let batch = BatchAnalyzer::new(&g, 2);
+        // Forced snapshot: generated graphs sit below the size gate, and
+        // `new` would compare the reference against itself.
+        let batch = BatchAnalyzer::with_snapshot(&g, 2);
         for (id, _) in g.graph().iter() {
             prop_assert_eq!(batch.hrac(id), reference.hrac(id));
             prop_assert_eq!(batch.hrab(id), reference.hrab(id));
@@ -49,7 +51,7 @@ proptest! {
         let g = profile(&p);
         let cfg = CostBenefitConfig::default();
         let reference = ReferenceEngine::new(&g);
-        let batch = BatchAnalyzer::new(&g, 2);
+        let batch = BatchAnalyzer::with_snapshot(&g, 2);
         for obj in g.objects() {
             for field in g.fields_of(obj) {
                 // Bit-identical f64s: both engines feed the same exact

@@ -1,0 +1,115 @@
+//! The pipelined profiler must be indistinguishable from the sequential
+//! one: byte-identical canonical exports at every worker count and
+//! batch size — on random programs (with calls, heap traffic, and
+//! forward branches) and on the whole workload suite.
+
+use lowutil::core::{write_cost_graph, CostGraph, CostGraphConfig, CostProfiler};
+use lowutil::ir::Program;
+use lowutil::par::{run_pipelined, PipelineOptions};
+use lowutil::vm::Vm;
+use lowutil_testkit::gen::{build, op_strategy};
+use proptest::prelude::*;
+
+fn export(g: &CostGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_cost_graph(g, &mut buf).expect("in-memory export succeeds");
+    buf
+}
+
+fn sequential(p: &Program, config: CostGraphConfig) -> (Vec<u8>, Vec<lowutil::ir::Value>) {
+    let mut prof = CostProfiler::new(p, config);
+    let out = Vm::new(p).run(&mut prof).expect("program runs");
+    (export(&prof.finish()), out.output)
+}
+
+fn pipelined(
+    p: &Program,
+    config: CostGraphConfig,
+    jobs: usize,
+    batch_limit: usize,
+) -> (Vec<u8>, Vec<lowutil::ir::Value>) {
+    let opts = PipelineOptions {
+        jobs,
+        batch_limit,
+        ring_capacity: 4,
+    };
+    let (out, g) = run_pipelined(p, config, &opts, |t| {
+        Vm::new(p).run(t).expect("program runs pipelined")
+    });
+    (export(&g), out.output)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random programs: every (jobs, batch) combination reproduces the
+    /// sequential export exactly. Batch 1 forces a split at every
+    /// frame-push boundary; 4096 usually keeps the whole run in one
+    /// batch — both ends of the splitting spectrum must agree.
+    #[test]
+    fn pipelined_export_matches_sequential_on_random_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let config = CostGraphConfig::default();
+        let (seq, out_seq) = sequential(&p, config);
+        for jobs in [0usize, 1, 2, 7] {
+            for batch in [1usize, 64, 4096] {
+                let (pipe, out_pipe) = pipelined(&p, config, jobs, batch);
+                prop_assert_eq!(&out_seq, &out_pipe);
+                prop_assert!(seq == pipe, "export diverged at jobs={} batch={}", jobs, batch);
+            }
+        }
+    }
+
+    /// Non-default graph configs flow through the pipeline unchanged:
+    /// slot counts, traditional uses, and control edges all reach the
+    /// shard builders.
+    #[test]
+    fn pipelined_respects_graph_config(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let p = build(&ops);
+        let config = CostGraphConfig {
+            slots: 4,
+            traditional_uses: true,
+            control_edges: true,
+            ..CostGraphConfig::default()
+        };
+        let (seq, _) = sequential(&p, config);
+        let (pipe, _) = pipelined(&p, config, 3, 16);
+        prop_assert_eq!(seq, pipe);
+    }
+}
+
+/// The whole workload suite at every worker count: the canonical export
+/// must match the sequential profiler byte for byte.
+#[test]
+fn pipelined_export_matches_sequential_on_the_suite() {
+    for w in lowutil::workloads::suite(lowutil::workloads::WorkloadSize::Small) {
+        let config = CostGraphConfig::default();
+        let (seq, out_seq) = sequential(&w.program, config);
+        for jobs in [0usize, 1, 2, 7] {
+            let (pipe, out_pipe) = pipelined(&w.program, config, jobs, 256);
+            assert_eq!(
+                out_seq, out_pipe,
+                "{}: output diverged at jobs={jobs}",
+                w.name
+            );
+            assert_eq!(seq, pipe, "{}: export diverged at jobs={jobs}", w.name);
+        }
+    }
+}
+
+/// Tiny batch limits on a real workload: the maximum number of batch
+/// boundaries a run can have, across the jobs range.
+#[test]
+fn pipelined_survives_batch_limit_one_on_a_workload() {
+    let w = lowutil::workloads::workload("fop", lowutil::workloads::WorkloadSize::Small);
+    let config = CostGraphConfig::default();
+    let (seq, _) = sequential(&w.program, config);
+    for jobs in [1usize, 3] {
+        let (pipe, _) = pipelined(&w.program, config, jobs, 1);
+        assert_eq!(seq, pipe, "batch=1 diverged at jobs={jobs}");
+    }
+}
