@@ -1,10 +1,11 @@
 //! The pipelined profiler's moving parts in isolation: raw SPSC ring
-//! throughput, the inline-cache effect on sequential graph construction,
-//! and end-to-end pipelined vs sequential profiling on a workload.
+//! and N-lane fan-out throughput, the inline-cache effect on sequential
+//! graph construction, and end-to-end pipelined vs sequential profiling
+//! on a workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lowutil_core::{CostGraphConfig, CostProfiler};
-use lowutil_par::{ring, PipelineOptions};
+use lowutil_par::{lanes, ring, PipelineOptions};
 use lowutil_vm::Vm;
 use lowutil_workloads::{workload, WorkloadSize};
 
@@ -33,6 +34,42 @@ fn bench_ring_throughput(c: &mut Criterion) {
                 });
             })
         });
+    }
+    group.finish();
+}
+
+/// Items per second through an N-lane fan-out, dealt round-robin with
+/// spill, one consumer thread per lane — the deal-rate ceiling of the
+/// multi-worker coordinator at each lane count.
+fn bench_lane_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/lanes");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for n_lanes in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("push_spill_pop", n_lanes),
+            &n_lanes,
+            |b, &n| {
+                b.iter(|| {
+                    let (mut tx, rxs) = lanes::<u64>(n, 2);
+                    std::thread::scope(|s| {
+                        for mut rx in rxs {
+                            s.spawn(move || {
+                                let mut sum = 0u64;
+                                while let Some(v) = rx.pop() {
+                                    sum = sum.wrapping_add(v);
+                                }
+                                sum
+                            });
+                        }
+                        for i in 0..N {
+                            tx.push_spill(i as usize % n, i).expect("consumers alive");
+                        }
+                        drop(tx);
+                    });
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -100,6 +137,7 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_ring_throughput, bench_inline_caches, bench_pipelined_profile
+    targets = bench_ring_throughput, bench_lane_throughput, bench_inline_caches,
+        bench_pipelined_profile
 }
 criterion_main!(benches);

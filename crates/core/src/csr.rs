@@ -57,22 +57,47 @@ impl Bitset {
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
-    /// Number of set bits.
+    /// Number of set bits — one `count_ones` per word, no per-bit work.
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing word at index `w` (64 bits per word).
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Calls `f` with the index of every set bit, in increasing order.
+    /// Word-parallel sweep: zero words cost one load and one test; set
+    /// bits are extracted with `trailing_zeros` and a clear-lowest-bit
+    /// step, so the cost is O(words + set bits), never O(bits).
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut rest = word;
+            while rest != 0 {
+                f(w * 64 + rest.trailing_zeros() as usize);
+                rest &= rest - 1;
+            }
+        }
     }
 }
 
 /// Reusable traversal state: a dense visited bitset, an explicit stack,
-/// and the list of touched bits so a finished traversal resets in
-/// O(|slice|), not O(V). One scratch serves any number of sequential
+/// and the list of touched *words* so a finished traversal resets (and
+/// its fused frequency sum sweeps) word-at-a-time in O(|slice|/64 +
+/// |slice|), not O(V). One scratch serves any number of sequential
 /// queries against graphs of at most the constructed size; per-seed
 /// batch analysis gives each worker thread its own.
 #[derive(Debug)]
 pub struct TraversalScratch {
     visited: Bitset,
     stack: Vec<u32>,
-    touched: Vec<u32>,
+    /// Indices of the visited words the current traversal made nonzero.
+    /// Invariant between traversals: every word of `visited` is zero, so
+    /// "word is nonzero" ⇔ "word is already listed here".
+    touched_words: Vec<u32>,
 }
 
 impl TraversalScratch {
@@ -81,7 +106,7 @@ impl TraversalScratch {
         TraversalScratch {
             visited: Bitset::new(nodes),
             stack: Vec::new(),
-            touched: Vec::new(),
+            touched_words: Vec::new(),
         }
     }
 
@@ -90,24 +115,29 @@ impl TraversalScratch {
         Self::new(csr.num_nodes())
     }
 
-    /// Clears only the bits the last traversal set.
+    /// Zeroes only the words the last traversal touched.
     #[inline]
     fn reset(&mut self) {
-        for &t in &self.touched {
-            self.visited.remove(t as usize);
+        for &w in &self.touched_words {
+            self.visited.words[w as usize] = 0;
         }
-        self.touched.clear();
+        self.touched_words.clear();
         self.stack.clear();
     }
 
     #[inline]
     fn visit(&mut self, n: u32) -> bool {
-        if self.visited.insert(n as usize) {
-            self.touched.push(n);
-            true
-        } else {
-            false
+        let w = (n / 64) as usize;
+        let bit = 1u64 << (n % 64);
+        let word = self.visited.words[w];
+        if word & bit != 0 {
+            return false;
         }
+        if word == 0 {
+            self.touched_words.push(w as u32);
+        }
+        self.visited.words[w] = word | bit;
+        true
     }
 }
 
@@ -123,6 +153,16 @@ pub struct CsrGraph {
     succ_adj: Vec<u32>,
     pred_off: Vec<u32>,
     pred_adj: Vec<u32>,
+    /// Bit `n` set ⇔ `kind[n].reads_heap()` — the backward-hop boundary,
+    /// precomputed so the traversal's crossing test is one load + mask
+    /// on a dense side array instead of a kind decode per edge.
+    reads_heap: Bitset,
+    /// Bit `n` set ⇔ `kind[n].writes_heap()` — the forward-hop boundary.
+    writes_heap: Bitset,
+    /// Bit `n` set ⇔ `kind[n].is_consumer()` — the seed set of
+    /// [`mark_consumer_reach`](CsrGraph::mark_consumer_reach), swept
+    /// word-parallel instead of re-deriving it from `kind`.
+    consumer: Bitset,
 }
 
 impl CsrGraph {
@@ -134,9 +174,21 @@ impl CsrGraph {
         debug_assert!(n <= u32::MAX as usize, "node count exceeds CSR index width");
         let mut kind = Vec::with_capacity(n);
         let mut freq = Vec::with_capacity(n);
-        for (_, node) in g.iter() {
+        let mut reads_heap = Bitset::new(n);
+        let mut writes_heap = Bitset::new(n);
+        let mut consumer = Bitset::new(n);
+        for (i, (_, node)) in g.iter().enumerate() {
             kind.push(node.kind);
             freq.push(node.freq);
+            if node.kind.reads_heap() {
+                reads_heap.insert(i);
+            }
+            if node.kind.writes_heap() {
+                writes_heap.insert(i);
+            }
+            if node.kind.is_consumer() {
+                consumer.insert(i);
+            }
         }
         let mut succ_off = Vec::with_capacity(n + 1);
         let mut succ_adj = Vec::with_capacity(g.num_edges());
@@ -157,6 +209,9 @@ impl CsrGraph {
             succ_adj,
             pred_off,
             pred_adj,
+            reads_heap,
+            writes_heap,
+            consumer,
         }
     }
 
@@ -208,9 +263,21 @@ impl CsrGraph {
         self.bounded_sum(s, seed, true)
     }
 
+    /// The shared HRAC/HRAB kernel: mark the bounded slice with the
+    /// bitset DFS, then sum frequencies in a word-parallel mask sweep
+    /// over the touched visited words. Splitting the sum out of the
+    /// visit loop keeps the DFS free of a loop-carried add and turns
+    /// the sum into dense sequential reads of the `freq` side array,
+    /// 64 candidates per word test.
     fn bounded_sum(&self, s: &mut TraversalScratch, seed: NodeId, forward: bool) -> u64 {
         let seed = seed.0;
-        let mut sum = self.freq[seed as usize];
+        // The hop boundary: heap reads bound the backward traversal,
+        // heap writes the forward one.
+        let boundary = if forward {
+            &self.writes_heap
+        } else {
+            &self.reads_heap
+        };
         s.visit(seed);
         s.stack.push(seed);
         while let Some(n) = s.stack.pop() {
@@ -220,20 +287,21 @@ impl CsrGraph {
                 self.preds(n)
             };
             for &m in neighbours {
-                // The hop boundary: heap reads bound the backward
-                // traversal, heap writes the forward one.
-                let crossing = if forward {
-                    self.kind[m as usize].writes_heap()
-                } else {
-                    self.kind[m as usize].reads_heap()
-                };
-                if crossing {
+                if boundary.contains(m as usize) {
                     continue;
                 }
                 if s.visit(m) {
-                    sum += self.freq[m as usize];
                     s.stack.push(m);
                 }
+            }
+        }
+        let mut sum = 0u64;
+        for &w in &s.touched_words {
+            let base = w as usize * 64;
+            let mut rest = s.visited.word(w as usize);
+            while rest != 0 {
+                sum += self.freq[base + rest.trailing_zeros() as usize];
+                rest &= rest - 1;
             }
         }
         s.reset();
@@ -253,16 +321,13 @@ impl CsrGraph {
     /// the write — but are never traversed through.
     pub fn mark_consumer_reach(&self) -> Bitset {
         let n = self.num_nodes();
-        let mut marked = Bitset::new(n);
+        let mut marked = self.consumer.clone();
         let mut stack: Vec<u32> = Vec::new();
-        for i in 0..n {
-            if self.kind[i].is_consumer() {
-                marked.insert(i);
-                stack.push(i as u32);
-            }
-        }
+        // Seed from the precomputed consumer bitset: a word-parallel
+        // sweep instead of a kind decode per node.
+        self.consumer.for_each_set(|i| stack.push(i as u32));
         while let Some(m) = stack.pop() {
-            if self.kind[m as usize].writes_heap() {
+            if self.writes_heap.contains(m as usize) {
                 continue;
             }
             for &p in self.preds(m) {
@@ -271,6 +336,7 @@ impl CsrGraph {
                 }
             }
         }
+        debug_assert_eq!(marked.words.len(), n.div_ceil(64));
         marked
     }
 
@@ -344,6 +410,20 @@ mod tests {
         b.remove(0);
         assert!(!b.contains(0));
         assert_eq!(b.count(), 1);
+    }
+
+    /// The word-sweep iterator visits exactly the set bits, in order,
+    /// including bits on word boundaries.
+    #[test]
+    fn for_each_set_matches_contains() {
+        let mut b = Bitset::new(200);
+        let set = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &set {
+            b.insert(i);
+        }
+        let mut seen = Vec::new();
+        b.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, set);
     }
 
     #[test]

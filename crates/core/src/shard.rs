@@ -360,6 +360,68 @@ pub struct ShardGraph {
     heap_touch: FxHashMap<ObjectId, u32>,
 }
 
+/// Reusable allocation arena for the shard builder's big side tables —
+/// the dense `|I| × |D|` interning table and the per-instruction
+/// inline-cache array, both sized by the static instruction count and
+/// so by far the largest per-shard allocations. A worker thread keeps
+/// one scratch and threads it through every shard it builds
+/// ([`build_shard_reusing`] / [`shard_sink_reusing`]): construction
+/// reuses the warm tables and the between-shards reset clears only the
+/// entries actually written (O(nodes interned), not O(|I| × |D|)), so
+/// steady-state shard building stops paying the allocator per batch.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    dense: Option<DenseInterner>,
+    icache: Vec<(u64, NodeId)>,
+    /// Inline-cache slots first-written this shard; the reset list.
+    icache_touched: Vec<u32>,
+}
+
+impl ShardScratch {
+    /// Allocates scratch sized for `ctx`.
+    pub fn new(ctx: &ShardContext) -> Self {
+        let mut s = ShardScratch::default();
+        s.ensure(ctx);
+        s
+    }
+
+    /// (Re)allocates the tables when absent or mis-sized for `ctx`; a
+    /// clean scratch carried between shards of one replay is a no-op.
+    fn ensure(&mut self, ctx: &ShardContext) {
+        let config = &ctx.config;
+        let n = ctx.indexer.num_instrs();
+        let card = config.slots as usize + 1;
+        let dense_ok = matches!(
+            &self.dense,
+            Some(t) if t.num_slots() == n * card && t.cardinality() == card
+        );
+        if config.dense_interning {
+            if !dense_ok {
+                self.dense = Some(DenseInterner::new(n, card));
+            }
+        } else {
+            self.dense = None;
+        }
+        let want = if config.inline_caches { n } else { 0 };
+        if self.icache.len() != want {
+            self.icache = new_icache(config.inline_caches, n);
+            self.icache_touched.clear();
+        }
+    }
+
+    /// Returns the tables to their empty state by undoing only the
+    /// writes of the shard just finished.
+    fn reset(&mut self) {
+        if let Some(d) = &mut self.dense {
+            d.reset();
+        }
+        for &i in &self.icache_touched {
+            self.icache[i as usize] = (0, IC_EMPTY);
+        }
+        self.icache_touched.clear();
+    }
+}
+
 /// Replays one segment into a fresh shard graph.
 ///
 /// # Errors
@@ -372,6 +434,27 @@ pub fn build_shard(
     let mut b = ShardBuilder::new(ctx, objects, seg.prologue());
     seg.replay(&mut b)?;
     Ok(b.finish())
+}
+
+/// [`build_shard`] with arena reuse: builds the segment's shard using
+/// (and afterwards resetting and restoring) `scratch`'s side tables.
+/// The graph is identical to [`build_shard`]'s — the tables start every
+/// shard empty either way; only the allocations are shared.
+///
+/// # Errors
+/// Fails on a malformed segment. The scratch is replaced by a fresh
+/// (empty) one on error, so a caller retrying stays correct.
+pub fn build_shard_reusing(
+    ctx: &ShardContext,
+    objects: &[Option<ObjectInfo>],
+    seg: &Segment<'_>,
+    scratch: &mut ShardScratch,
+) -> Result<ShardGraph, TraceError> {
+    let mut b = ShardBuilder::with_scratch(ctx, objects, seg.prologue(), std::mem::take(scratch));
+    seg.replay(&mut b)?;
+    let (graph, sc) = b.finish_parts();
+    *scratch = sc;
+    Ok(graph)
 }
 
 /// An incrementally fed shard builder — the same construction as
@@ -393,10 +476,29 @@ pub fn shard_sink<'c>(
     ShardSink(ShardBuilder::new(ctx, objects, prologue))
 }
 
+/// [`shard_sink`] with arena reuse: the builder borrows `scratch`'s
+/// side tables instead of allocating fresh ones; reclaim the scratch
+/// with [`ShardSink::finish_reusing`]. Graphs are identical to the
+/// allocating path's.
+pub fn shard_sink_reusing<'c>(
+    ctx: &'c ShardContext,
+    objects: &'c [Option<ObjectInfo>],
+    prologue: &Prologue,
+    scratch: ShardScratch,
+) -> ShardSink<'c> {
+    ShardSink(ShardBuilder::with_scratch(ctx, objects, prologue, scratch))
+}
+
 impl ShardSink<'_> {
     /// Finalizes the shard's contribution for [`merge_shards`].
     pub fn finish(self) -> ShardGraph {
         self.0.finish()
+    }
+
+    /// Like [`finish`](ShardSink::finish), but also hands back the
+    /// (reset) scratch for the caller's next shard.
+    pub fn finish_reusing(self) -> (ShardGraph, ShardScratch) {
+        self.0.finish_parts()
     }
 }
 
@@ -511,7 +613,9 @@ struct ShardBuilder<'c> {
     ctx: &'c ShardContext,
     objects: &'c [Option<ObjectInfo>],
     graph: DepGraph<CostElem>,
-    dense: Option<DenseInterner>,
+    /// The two |I|-sized side tables (dense interner + inline caches),
+    /// owned here but possibly on loan from a worker's reusable arena.
+    scratch: ShardScratch,
     frames: Vec<SymFrame>,
     contexts: Vec<u64>,
     heap: FxHashMap<ObjectId, SymObj>,
@@ -530,11 +634,20 @@ struct ShardBuilder<'c> {
     heap_touch: FxHashMap<ObjectId, u32>,
     armed: bool,
     next_gid: u64,
-    icache: Vec<(u64, NodeId)>,
 }
 
 impl<'c> ShardBuilder<'c> {
     fn new(ctx: &'c ShardContext, objects: &'c [Option<ObjectInfo>], prologue: &Prologue) -> Self {
+        Self::with_scratch(ctx, objects, prologue, ShardScratch::default())
+    }
+
+    fn with_scratch(
+        ctx: &'c ShardContext,
+        objects: &'c [Option<ObjectInfo>],
+        prologue: &Prologue,
+        mut scratch: ShardScratch,
+    ) -> Self {
+        scratch.ensure(ctx);
         let config = &ctx.config;
         let contexts = seed_contexts(&prologue.frames, |o| {
             objects
@@ -553,14 +666,11 @@ impl<'c> ShardBuilder<'c> {
                 vals: FxHashMap::default(),
             })
             .collect();
-        let dense = config
-            .dense_interning
-            .then(|| DenseInterner::new(ctx.indexer.num_instrs(), config.slots as usize + 1));
         ShardBuilder {
             ctx,
             objects,
             graph: DepGraph::new(),
-            dense,
+            scratch,
             frames,
             contexts,
             heap: FxHashMap::default(),
@@ -579,7 +689,6 @@ impl<'c> ShardBuilder<'c> {
             heap_touch: FxHashMap::default(),
             armed: !config.phase_limited || prologue.in_phase,
             next_gid: prologue.first_gid,
-            icache: new_icache(config.inline_caches, ctx.indexer.num_instrs()),
         }
     }
 
@@ -643,27 +752,33 @@ impl<'c> ShardBuilder<'c> {
     }
 
     fn intern(&mut self, at: InstrId, elem: CostElem, kind: NodeKind) -> NodeId {
-        match &mut self.dense {
+        match &mut self.scratch.dense {
             Some(table) => table.intern(&mut self.graph, &self.ctx.indexer, at, elem, kind),
             None => self.graph.intern(at, elem, kind),
         }
     }
 
     /// Same inline-cache fast path as the live `GraphBuilder` (see the
-    /// correctness notes there); the cache is per-shard, so a hit can
-    /// only repeat work this shard already did.
+    /// correctness notes there); the cache is per-shard (reset between
+    /// shards when the scratch is reused), so a hit can only repeat
+    /// work this shard already did.
     #[inline]
     fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
         let g = self.current_g();
         if self.ctx.config.inline_caches {
             let idx = self.ctx.indexer.index(at);
-            let (cached_g, cached_n) = self.icache[idx];
+            let (cached_g, cached_n) = self.scratch.icache[idx];
             if cached_n != IC_EMPTY && cached_g == g {
                 self.graph.bump(cached_n);
                 return cached_n;
             }
             let n = self.ctx_node_slow(at, kind, g);
-            self.icache[idx] = (g, n);
+            if cached_n == IC_EMPTY {
+                // First write to this slot this shard: remember it for
+                // the O(entries-used) scratch reset.
+                self.scratch.icache_touched.push(idx as u32);
+            }
+            self.scratch.icache[idx] = (g, n);
             return n;
         }
         self.ctx_node_slow(at, kind, g)
@@ -733,6 +848,12 @@ impl<'c> ShardBuilder<'c> {
     }
 
     fn finish(self) -> ShardGraph {
+        self.finish_parts().0
+    }
+
+    /// Finalizes the shard and returns the reset scratch for reuse.
+    fn finish_parts(mut self) -> (ShardGraph, ShardScratch) {
+        self.scratch.reset();
         let mut final_locs: Vec<(Loc, Sym)> = Vec::new();
         for f in &self.frames {
             for (&l, &s) in &f.vals {
@@ -753,7 +874,7 @@ impl<'c> ShardBuilder<'c> {
         for (&f, &s) in &self.statics {
             final_locs.push((Loc::Static(f), s));
         }
-        ShardGraph {
+        let graph = ShardGraph {
             graph: self.graph,
             ext_edges: self.ext_edges,
             final_locs,
@@ -767,7 +888,8 @@ impl<'c> ShardBuilder<'c> {
             conflicts: self.conflicts,
             instr_instances: self.instr_instances,
             heap_touch: self.heap_touch,
-        }
+        };
+        (graph, self.scratch)
     }
 }
 

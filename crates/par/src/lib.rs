@@ -29,7 +29,7 @@ pub use pipeline::{
     auto_pipeline_jobs, run_pipelined, PipeProducer, PipelineOptions, PipelineSink, PipelineTracer,
 };
 pub use replay::{replay_gcost, salvage_replay_gcost};
-pub use ring::{ring, RingReceiver, RingSender};
+pub use ring::{lanes, ring, Lanes, RingReceiver, RingSender};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -6,10 +6,10 @@
 //! from. [`run_pipelined`] moves construction off the VM thread:
 //!
 //! ```text
-//! VM thread ──BatchSink──► SPSC ring ──► coordinator ──► shard workers
-//!   (runs ~plain speed)    (bounded)     (object scan)    (build shards)
-//!                                              │               │
-//!                                              └── deltas ─────┘
+//! VM thread ──BatchSink──► SPSC ring ──► coordinator ──┬─lane─► worker
+//!   (runs ~plain speed)    (bounded)     (object scan)  ├─lane─► worker
+//!                                              │        └─lane─► worker
+//!                                              └─ deltas (all lanes) ┘
 //!                                                        merge_shards
 //! ```
 //!
@@ -21,27 +21,36 @@
 //! [`GraphBuilder`](lowutil_core::GraphBuilder) — the exact sequential
 //! build cost, just moved off the VM thread. With `jobs ≥ 2` the
 //! coordinator pops batches in order, runs the streaming
-//! [`ObjectTableScan`] (the in-run fusion of the offline
-//! prescan passes), and hands each batch round-robin to one of `jobs`
-//! shard workers, broadcasting each batch's object-table delta to *all*
-//! workers so every private table copy stays current in batch order.
-//! Workers rebuild each batch with the exact per-segment construction
-//! of `lowutil_core::shard`, and the shards merge in batch order —
-//! so the canonical export is **byte-identical** to a sequential
-//! [`GraphBuilder`](lowutil_core::GraphBuilder) run at any job count:
-//! batch boundaries are fixed by the producer, shard contents by the
-//! batch, and the merge by batch order; nothing depends on worker
-//! scheduling.
+//! [`ObjectTableScan`] (the in-run fusion of the offline prescan
+//! passes), and deals each batch into one of `jobs` per-worker SPSC
+//! [`Lanes`] — routed by a shard key (the method the batch enters, for
+//! construction-table locality) with overflow to any lane with room,
+//! so a slow worker never serializes the deal. Non-empty object-table
+//! deltas are broadcast down every lane *before* the batch that
+//! produced them, so each worker's private table copy is current in
+//! batch order wherever the batch lands. Workers pull from their own
+//! lane — the coordinator never blocks on a worker that has room —
+//! rebuild each batch with the exact per-segment construction of
+//! `lowutil_core::shard` (reusing one [`ShardScratch`] arena across
+//! all their batches), and the shards merge in batch order. The
+//! canonical export is therefore **byte-identical** to a sequential
+//! [`GraphBuilder`](lowutil_core::GraphBuilder) run at any job count
+//! and any routing: batch boundaries are fixed by the producer, shard
+//! contents by the batch and the (order-broadcast) object table, and
+//! the merge by batch index; neither worker scheduling nor lane
+//! assignment can reach the output.
 //!
 //! Shutdown is symmetric: the run closure returning (or unwinding)
-//! drops the producer, which ends the stream; a crashed consumer makes
-//! the producer's pushes fail, the sink discard quietly, and the panic
-//! resurface when the scope joins.
+//! drops the producer, which ends the stream; dropping the lane array
+//! ends every worker's stream in turn. A crashed worker makes lane
+//! pushes fail, the coordinator drains the main ring (so the VM is
+//! never left blocking), and the panic resurfaces when the scope
+//! joins.
 
-use crate::ring::{ring, RingReceiver, RingSender};
+use crate::ring::{lanes, ring, RingReceiver, RingSender};
 use lowutil_core::shard::{
-    apply_object_delta, merge_shards, shard_sink, ObjectInfo, ObjectTableScan, ShardContext,
-    ShardGraph,
+    apply_object_delta, merge_shards, shard_sink_reusing, ObjectInfo, ObjectTableScan,
+    ShardContext, ShardGraph, ShardScratch,
 };
 use lowutil_core::{CostGraph, CostGraphConfig, GraphBuilder};
 use lowutil_ir::{ObjectId, Program};
@@ -49,7 +58,6 @@ use lowutil_vm::{
     BatchRecord, BatchSink, BatchTarget, Event, EventBatch, EventSink, FrameInfo, SinkTracer,
     DEFAULT_BATCH_LIMIT,
 };
-use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Tuning knobs for [`run_pipelined`].
@@ -85,15 +93,17 @@ impl Default for PipelineOptions {
 }
 
 /// The worker count `--pipeline` should use when the user did not pick
-/// one: every available core when there is real parallelism to win,
-/// and the in-thread fallback (`0`) on a single-core machine — there,
-/// shipping events to a consumer thread that shares the one core
-/// costs strictly more than building the graph in place.
+/// one: the available cores *minus the one the VM thread occupies* —
+/// the producer runs flat out for the whole pipeline's lifetime, so
+/// spawning a construction worker for its core just makes the two
+/// time-slice against each other. On a single-core machine that leaves
+/// nothing, which is the in-thread fallback (`0`): shipping events to
+/// a consumer thread sharing the one core costs strictly more than
+/// building the graph in place. An explicit `--jobs` is passed through
+/// unclamped — deliberate oversubscription is how the determinism
+/// tests exercise high worker counts on small machines.
 pub fn auto_pipeline_jobs() -> usize {
-    match crate::default_jobs() {
-        0 | 1 => 0,
-        n => n,
-    }
+    crate::default_jobs().saturating_sub(1)
 }
 
 /// The producer end the `BatchSink` targets: finished batches go out
@@ -152,12 +162,36 @@ impl EventSink for PipelineSink {
 /// a [`Vm::run`](lowutil_vm::Vm::run) call.
 pub type PipelineTracer = SinkTracer<PipelineSink>;
 
-/// One unit of coordinator→worker traffic: the batch's object-table
-/// delta (broadcast to every worker) plus, for exactly one worker, the
-/// batch itself with its position in the run.
+/// One unit of coordinator→worker lane traffic: an object-table delta
+/// to apply (broadcast down every lane, possibly empty), plus at most
+/// one batch to build with its position in the run. Deltas commute
+/// with batches from other lanes (each `ObjectId` is allocated exactly
+/// once, so applies target distinct slots); per-lane FIFO order keeps
+/// each worker's table current before any batch it builds.
 struct WorkItem {
     delta: Arc<Vec<(ObjectId, ObjectInfo)>>,
     batch: Option<(usize, EventBatch)>,
+}
+
+/// The lane a batch is routed to first: batches shard by the method
+/// they enter (the first record's pushed method when the batch starts
+/// with a frame push — every non-first batch does — else the innermost
+/// live frame), so consecutive batches running the same code land on
+/// the worker whose interner and inline-cache entries for that code
+/// are warm. Purely a performance hint: the output is invariant under
+/// routing (see [`WorkItem`]), which is what lets `push_spill`
+/// overflow to another lane when the home worker is behind.
+fn home_lane(batch: &EventBatch, jobs: usize) -> usize {
+    let key = match batch.records.first() {
+        Some(BatchRecord::Push(info)) => u64::from(info.method.0),
+        _ => batch
+            .prologue
+            .frames
+            .last()
+            .map_or(0, |f| u64::from(f.method.0)),
+    };
+    // Fibonacci mix so consecutive method ids spread across lanes.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % jobs
 }
 
 /// Profiles a run with graph construction pipelined off the VM thread.
@@ -243,50 +277,61 @@ pub fn run_pipelined<R>(
 }
 
 /// The multi-worker coordinator: scans batches in order, broadcasts
-/// table deltas, deals batches round-robin, then merges in batch order.
+/// non-empty table deltas down every lane, deals each batch into its
+/// home lane (spilling to any lane with room), then merges in batch
+/// order.
 fn coordinate(
     ctx: &ShardContext,
     rx: &mut crate::ring::RingReceiver<EventBatch>,
     jobs: usize,
 ) -> CostGraph {
     std::thread::scope(|s| {
-        let mut txs = Vec::with_capacity(jobs);
+        // A small per-lane bound keeps total buffered batches (and so
+        // memory) proportional to the worker count.
+        let (mut lanes, lane_rxs) = lanes::<WorkItem>(jobs, 2);
         let mut handles = Vec::with_capacity(jobs);
-        for _ in 0..jobs {
-            // A small bound per worker keeps total buffered batches
-            // (and so memory) proportional to the worker count.
-            let (wtx, wrx) = mpsc::sync_channel::<WorkItem>(2);
-            txs.push(wtx);
-            handles.push(s.spawn(move || worker(ctx, &wrx)));
+        for wrx in lane_rxs {
+            handles.push(s.spawn(move || worker(ctx, wrx)));
         }
+        let empty_delta: Arc<Vec<(ObjectId, ObjectInfo)>> = Arc::new(Vec::new());
         let mut scan = ObjectTableScan::new(ctx.config().phase_limited);
         let mut idx = 0usize;
         'feed: while let Some(batch) = rx.pop() {
             batch.replay(&mut scan);
-            let delta = Arc::new(scan.take_delta());
-            let home = idx % jobs;
-            let mut batch = Some(batch);
-            for (w, wtx) in txs.iter().enumerate() {
-                let item = WorkItem {
-                    delta: Arc::clone(&delta),
-                    // `home` occurs exactly once, so the batch moves out
-                    // (without cloning) to exactly one worker.
-                    batch: if w == home {
-                        batch.take().map(|b| (idx, b))
-                    } else {
-                        None
-                    },
-                };
-                if wtx.send(item).is_err() {
-                    // A worker died; drain the ring so the producer is
-                    // never left blocking, then surface the panic below.
-                    while rx.pop().is_some() {}
-                    break 'feed;
+            let delta = scan.take_delta();
+            // An allocating batch: its delta goes down *every* lane
+            // before the batch itself, so whichever lane the batch (or
+            // any later batch) lands on has the table entries it needs.
+            // Most batches allocate nothing and skip this entirely —
+            // one lane push per batch, not `jobs`.
+            if !delta.is_empty() {
+                let delta = Arc::new(delta);
+                for lane in 0..jobs {
+                    let item = WorkItem {
+                        delta: Arc::clone(&delta),
+                        batch: None,
+                    };
+                    if lanes.push(lane, item).is_err() {
+                        // The worker died; drain the ring so the
+                        // producer is never left blocking, then surface
+                        // the panic below.
+                        while rx.pop().is_some() {}
+                        break 'feed;
+                    }
                 }
+            }
+            let home = home_lane(&batch, jobs);
+            let item = WorkItem {
+                delta: Arc::clone(&empty_delta),
+                batch: Some((idx, batch)),
+            };
+            if lanes.push_spill(home, item).is_err() {
+                while rx.pop().is_some() {}
+                break 'feed;
             }
             idx += 1;
         }
-        drop(txs);
+        drop(lanes);
         let mut indexed: Vec<(usize, ShardGraph)> = Vec::new();
         for h in handles {
             match h.join() {
@@ -299,17 +344,23 @@ fn coordinate(
     })
 }
 
-/// A shard worker: applies every delta in batch order to its private
-/// object table and builds the batches dealt to it.
-fn worker(ctx: &ShardContext, rx: &mpsc::Receiver<WorkItem>) -> Vec<(usize, ShardGraph)> {
+/// A shard worker: pulls from its own lane, applies every delta in
+/// arrival (= batch) order to its private object table, and builds the
+/// batches dealt to it — reusing one [`ShardScratch`] arena across all
+/// of them, so the |I|-sized construction tables are allocated once
+/// per worker instead of once per batch.
+fn worker(ctx: &ShardContext, mut rx: RingReceiver<WorkItem>) -> Vec<(usize, ShardGraph)> {
     let mut table: Vec<Option<ObjectInfo>> = Vec::new();
+    let mut scratch = ShardScratch::new(ctx);
     let mut out = Vec::new();
-    while let Ok(item) = rx.recv() {
+    while let Some(item) = rx.pop() {
         apply_object_delta(&mut table, &item.delta);
         if let Some((i, batch)) = item.batch {
-            let mut b = shard_sink(ctx, &table, &batch.prologue);
+            let mut b = shard_sink_reusing(ctx, &table, &batch.prologue, scratch);
             batch.replay(&mut b);
-            out.push((i, b.finish()));
+            let (shard, sc) = b.finish_reusing();
+            scratch = sc;
+            out.push((i, shard));
         }
     }
     out
@@ -390,6 +441,17 @@ method sum/2 {
                 );
             }
         }
+    }
+
+    /// Auto mode reserves one core for the VM thread: construction
+    /// workers plus the producer never exceed available parallelism,
+    /// and a single core falls back to the in-thread path.
+    #[test]
+    fn auto_jobs_reserves_the_vm_core() {
+        let cores = crate::default_jobs();
+        let auto = auto_pipeline_jobs();
+        assert_eq!(auto, cores.saturating_sub(1));
+        assert!(auto < cores.max(1), "would oversubscribe {cores} cores");
     }
 
     #[test]

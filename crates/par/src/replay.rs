@@ -16,10 +16,10 @@
 //! node-by-abstract-node, so its cost is proportional to the *abstract*
 //! graph size, not the trace length.
 
-use crate::par_map;
+use crate::{par_map, par_map_init};
 use lowutil_core::shard::{
-    build_object_table, build_shard, build_site_table, replay_cost_graph, scan_alloc_contexts,
-    scan_alloc_sites, ShardContext,
+    build_object_table, build_shard_reusing, build_site_table, replay_cost_graph,
+    scan_alloc_contexts, scan_alloc_sites, ShardContext, ShardScratch,
 };
 use lowutil_core::{CostGraph, CostGraphConfig};
 use lowutil_ir::Program;
@@ -59,9 +59,15 @@ pub fn replay_gcost(
     let objects = build_object_table(&site_table, &gs);
 
     let ctx = ShardContext::new(program, config);
-    let shards = par_map(jobs, segments.iter().collect(), |seg| {
-        build_shard(&ctx, &objects, seg)
-    })
+    // Each worker allocates one ShardScratch (the |I|-sized dense
+    // interner and inline-cache tables) and reuses it across every
+    // segment it claims, instead of reallocating both per segment.
+    let shards = par_map_init(
+        jobs,
+        segments.iter().collect(),
+        || ShardScratch::new(&ctx),
+        |scratch, seg| build_shard_reusing(&ctx, &objects, seg, scratch),
+    )
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
     Ok(lowutil_core::shard::merge_shards(shards))

@@ -25,6 +25,11 @@
 //! makes progress and unparks it. Yield-looping instead would burn
 //! whole scheduler quanta whenever one side stalls — on a single core
 //! that alone can double the wall time of a pipelined run.
+//!
+//! [`Lanes`] composes N of these rings into a one-producer,
+//! N-consumer fan-out (one ring per consumer) for the multi-worker
+//! pipeline; the SPSC invariant holds per lane, so no new unsafe code
+//! is involved.
 
 #![allow(unsafe_code)]
 
@@ -210,6 +215,12 @@ impl<T> RingSender<T> {
     pub fn capacity(&self) -> usize {
         self.shared.buf.len()
     }
+
+    /// `true` while the consumer half is alive — i.e. a push could
+    /// still succeed. A `false` is permanent.
+    pub fn is_open(&self) -> bool {
+        self.shared.consumer_alive.load(Ordering::Acquire)
+    }
 }
 
 impl<T> Drop for RingSender<T> {
@@ -287,6 +298,90 @@ impl<T> Drop for RingReceiver<T> {
         self.shared.consumer_alive.store(false, Ordering::Release);
         // A producer parked on a full ring must see the rejection.
         self.shared.producer_parker.wake();
+    }
+}
+
+/// The producer side of an N-lane fan-out: one SPSC ring per lane,
+/// all senders held by the single producer, each receiver owned by one
+/// consumer thread. The audited SPSC ring above stays the primitive —
+/// every lane is an independent ring with its own slot array and
+/// park/wake pair, so the per-lane protocol (and its safety argument)
+/// is exactly the single-ring one. What the lane array adds is
+/// *routing*: [`push`](Lanes::push) addresses one lane, and
+/// [`push_spill`](Lanes::push_spill) prefers a home lane but overflows
+/// to whichever lane has room before it agrees to block, so one slow
+/// consumer does not stall the producer while other lanes sit idle.
+///
+/// Shutdown composes from the per-ring flags: dropping `Lanes` drops
+/// every sender, which wakes every parked consumer into
+/// drain-then-end-of-stream — including when the drop happens by a
+/// panic unwinding through the producer thread. A dead consumer makes
+/// its lane's pushes fail, and [`push_spill`](Lanes::push_spill)
+/// reports *any* dead lane as an error so a coordinator notices a
+/// crashed worker on the next batch instead of silently routing around
+/// it.
+pub struct Lanes<T> {
+    senders: Vec<RingSender<T>>,
+}
+
+/// Creates `n` lanes (clamped to at least 1) of `capacity`-item SPSC
+/// rings, returning the producer-side lane array and one receiver per
+/// lane.
+pub fn lanes<T: Send>(n: usize, capacity: usize) -> (Lanes<T>, Vec<RingReceiver<T>>) {
+    let (senders, receivers) = (0..n.max(1)).map(|_| ring(capacity)).unzip();
+    (Lanes { senders }, receivers)
+}
+
+impl<T> Lanes<T> {
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Always `false`: construction clamps to at least one lane.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Blocking push into one lane; the single-ring contract applies
+    /// (returns the value if that lane's consumer is gone).
+    pub fn push(&mut self, lane: usize, value: T) -> Result<(), T> {
+        self.senders[lane].push(value)
+    }
+
+    /// Non-blocking push into one lane.
+    pub fn try_push(&mut self, lane: usize, value: T) -> Result<(), T> {
+        self.senders[lane].try_push(value)
+    }
+
+    /// `true` while `lane`'s consumer is alive.
+    pub fn is_open(&self, lane: usize) -> bool {
+        self.senders[lane].is_open()
+    }
+
+    /// Pushes `value` preferring `home`, spilling to any lane with room
+    /// rather than blocking, and blocking on `home` only when every
+    /// lane is full. Returns the lane that accepted the item.
+    ///
+    /// Fails (returning the value) when *any* lane's consumer is gone,
+    /// even one the item would not have been routed to: lanes back
+    /// worker threads, a dead worker means its already-accepted items
+    /// are lost, so the producer must stop rather than keep feeding
+    /// the survivors.
+    pub fn push_spill(&mut self, home: usize, value: T) -> Result<usize, T> {
+        if !self.senders.iter().all(RingSender::is_open) {
+            return Err(value);
+        }
+        let n = self.senders.len();
+        let mut value = value;
+        for i in 0..n {
+            let lane = (home + i) % n;
+            match self.senders[lane].try_push(value) {
+                Ok(()) => return Ok(lane),
+                Err(v) => value = v,
+            }
+        }
+        self.senders[home % n].push(value).map(|()| home % n)
     }
 }
 
@@ -465,5 +560,95 @@ mod tests {
         drop(tx);
         assert_eq!(rx.pop(), Some(9));
         assert_eq!(rx.pop(), None);
+    }
+
+    /// Items dealt to addressed lanes arrive on those lanes, in order,
+    /// and each lane ends independently when the producer goes away.
+    #[test]
+    fn lanes_route_and_preserve_per_lane_order() {
+        let (mut tx, rxs) = lanes::<u64>(3, 2);
+        assert_eq!(tx.len(), 3);
+        assert!(!tx.is_empty());
+        let consumers: Vec<_> = rxs
+            .into_iter()
+            .map(|mut rx| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = rx.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for v in 0..300u64 {
+            tx.push((v % 3) as usize, v).expect("consumers alive");
+        }
+        drop(tx);
+        for (lane, c) in consumers.into_iter().enumerate() {
+            let got = c.join().unwrap();
+            let want: Vec<u64> = (0..300).filter(|v| (v % 3) as usize == lane).collect();
+            assert_eq!(got, want, "lane {lane}");
+        }
+    }
+
+    /// `push_spill` prefers the home lane and overflows to a lane with
+    /// room instead of blocking on a full home.
+    #[test]
+    fn push_spill_overflows_a_full_home_lane() {
+        let (mut tx, mut rxs) = lanes::<u32>(2, 1);
+        assert_eq!(tx.push_spill(0, 10), Ok(0), "home has room");
+        assert_eq!(tx.push_spill(0, 11), Ok(1), "home full, lane 1 free");
+        assert_eq!(rxs[0].try_pop(), Some(10));
+        assert_eq!(tx.push_spill(0, 12), Ok(0), "home drained");
+        assert_eq!(rxs[1].try_pop(), Some(11));
+        assert_eq!(rxs[0].try_pop(), Some(12));
+    }
+
+    /// Any dead lane fails `push_spill`, even when the home lane is
+    /// alive and has room — a crashed worker must stop the producer.
+    #[test]
+    fn push_spill_reports_any_dead_lane() {
+        let (mut tx, mut rxs) = lanes::<u32>(3, 4);
+        assert!(tx.is_open(2));
+        drop(rxs.remove(2));
+        assert!(!tx.is_open(2));
+        assert_eq!(tx.push_spill(0, 5), Err(5));
+        assert_eq!(tx.push(2, 6), Err(6), "direct push to dead lane fails");
+        assert_eq!(tx.push(0, 7), Ok(()), "live lanes still addressable");
+    }
+
+    /// The multi-lane shutdown path: a producer thread that panics
+    /// mid-stream drops the whole lane array during unwind, and every
+    /// parked consumer wakes into drain-then-end-of-stream — nobody is
+    /// left parked forever.
+    #[test]
+    fn producer_panic_mid_stream_leaves_no_parked_consumer() {
+        let (mut tx, rxs) = lanes::<u32>(3, 4);
+        let consumers: Vec<_> = rxs
+            .into_iter()
+            .map(|mut rx| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = rx.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producer = std::thread::spawn(move || {
+            for lane in 0..3 {
+                tx.push(lane, lane as u32).expect("consumers alive");
+            }
+            // Far longer than the spin budget: all three consumers are
+            // parked on their empty lanes when the panic hits.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            panic!("producer dies mid-stream");
+        });
+        assert!(producer.join().is_err(), "producer must have panicked");
+        for (lane, c) in consumers.into_iter().enumerate() {
+            assert_eq!(c.join().unwrap(), vec![lane as u32], "lane {lane}");
+        }
     }
 }

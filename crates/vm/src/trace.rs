@@ -165,7 +165,25 @@ fn crc32(bytes: &[u8]) -> u32 {
 // varint codec
 // ---------------------------------------------------------------------------
 
-fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+/// LEB128 encode. Event streams are dominated by 1–2 byte varints
+/// (opcode tags, register numbers, small deltas), so those two sizes
+/// get straight-line paths — a compare and a fixed-size append, no
+/// shift/test loop — and everything longer falls through to the
+/// generic loop. All paths emit canonical LEB128, so the bytes are
+/// identical whichever path runs (the v1 golden-trace test pins this).
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    if v < 0x80 {
+        buf.push(v as u8);
+    } else if v < 0x4000 {
+        buf.extend_from_slice(&[(v as u8 & 0x7f) | 0x80, (v >> 7) as u8]);
+    } else {
+        put_u64_long(buf, v);
+    }
+}
+
+#[cold]
+fn put_u64_long(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -222,7 +240,33 @@ impl<'a> Cur<'a> {
         Ok(b)
     }
 
+    /// LEB128 decode, with branchless-style fast paths for the 1- and
+    /// 2-byte encodings that dominate event streams: peek up to two
+    /// bytes, test their continuation bits, and combine with a shift-or
+    /// — no loop state. Longer (or truncated) encodings fall through to
+    /// the generic loop starting from scratch, so the error positions
+    /// and overflow checks are exactly the loop's. Byte loads only: no
+    /// alignment requirement, and the 7-bit groups compose little-endian
+    /// (first byte is least significant) independent of host endianness.
+    #[inline]
     fn u64(&mut self) -> Result<u64, TraceError> {
+        if let Some(&b0) = self.buf.get(self.pos) {
+            if b0 & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(b0));
+            }
+            if let Some(&b1) = self.buf.get(self.pos + 1) {
+                if b1 & 0x80 == 0 {
+                    self.pos += 2;
+                    return Ok(u64::from(b0 & 0x7f) | u64::from(b1) << 7);
+                }
+            }
+        }
+        self.u64_long()
+    }
+
+    #[cold]
+    fn u64_long(&mut self) -> Result<u64, TraceError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -305,6 +349,51 @@ impl<'a> Cur<'a> {
             )));
         }
         Ok(n)
+    }
+}
+
+/// Low-level varint entry points, exposed so the criterion benches can
+/// measure the codec in isolation (not just end-to-end through the
+/// trace writer/reader). Not part of the stable trace API.
+pub mod wire {
+    /// Appends `v` as canonical LEB128.
+    #[inline]
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        super::put_u64(buf, v);
+    }
+
+    /// Decodes one varint at `*pos`, advancing it. `None` on a
+    /// truncated or overflowing encoding.
+    #[inline]
+    pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+        let mut c = super::Cur::new(&buf[*pos..], 0);
+        let v = c.u64().ok()?;
+        *pos += c.pos;
+        Some(v)
+    }
+
+    /// A decode cursor over a whole buffer — the same cursor the trace
+    /// reader drives, so benches measure the codec at its real call
+    /// shape (one cursor per segment, not one re-slice per value).
+    pub struct Reader<'a> {
+        cur: super::Cur<'a>,
+    }
+
+    impl<'a> Reader<'a> {
+        /// A cursor positioned at the start of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader {
+                cur: super::Cur::new(buf, 0),
+            }
+        }
+
+        /// Decodes the next varint; `None` at end of input or on a
+        /// truncated/overflowing encoding.
+        #[inline]
+        #[allow(clippy::should_implement_trait)]
+        pub fn next(&mut self) -> Option<u64> {
+            self.cur.u64().ok()
+        }
     }
 }
 
@@ -1652,6 +1741,34 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MIN, i64::MAX] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    /// The 1/2-byte encode fast paths emit exactly the generic loop's
+    /// bytes at every size boundary, and a truncated continuation byte
+    /// still errors instead of being mis-decoded by the peek.
+    #[test]
+    fn varint_fast_paths_match_the_generic_loop() {
+        for &v in &[
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut fast = Vec::new();
+            put_u64(&mut fast, v);
+            let mut long = Vec::new();
+            put_u64_long(&mut long, v);
+            assert_eq!(fast, long, "encoding diverged at {v}");
+            let mut pos = 0;
+            assert_eq!(wire::read_u64(&fast, &mut pos), Some(v));
+            assert_eq!(pos, fast.len());
+        }
+        assert!(Cur::new(&[0x80], 0).u64().is_err(), "truncated 2-byte");
+        assert!(Cur::new(&[], 0).u64().is_err(), "empty input");
     }
 
     /// A program exercising every event kind: heap, arrays, statics,

@@ -62,6 +62,28 @@ proptest! {
         }
     }
 
+    /// Lane-count sweep: with `jobs ≥ 2` each worker pulls from its own
+    /// SPSC lane and batches are dealt by shard key with spill, so this
+    /// pins that no (lanes, batch) configuration — one lane, a couple,
+    /// or more lanes than the machine has cores — can perturb the
+    /// canonical export. Batch 1 maximizes routing decisions (every
+    /// frame push starts a batch); 4096 usually leaves one batch.
+    #[test]
+    fn lane_sweep_export_matches_sequential(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let p = build(&ops);
+        let config = CostGraphConfig::default();
+        let (seq, out_seq) = sequential(&p, config);
+        for lanes in [1usize, 2, 3, 8] {
+            for batch in [1usize, 64, 4096] {
+                let (pipe, out_pipe) = pipelined(&p, config, lanes, batch);
+                prop_assert_eq!(&out_seq, &out_pipe);
+                prop_assert!(seq == pipe, "export diverged at lanes={} batch={}", lanes, batch);
+            }
+        }
+    }
+
     /// Non-default graph configs flow through the pipeline unchanged:
     /// slot counts, traditional uses, and control edges all reach the
     /// shard builders.
