@@ -166,6 +166,18 @@ impl AbstractDomain for CopyDomain {
                 self.ret_stash = CopySource::Bottom;
                 None
             }
+            // A thread handle / join result is a fresh value, never a
+            // copy of an existing one — same treatment as natives.
+            Event::Spawn { dst, .. } => {
+                self.set_origin(*dst, CopySource::Bottom);
+                Some(CopySource::Bottom)
+            }
+            Event::Join { dst, .. } => {
+                if let Some(d) = dst {
+                    self.set_origin(*d, CopySource::Bottom);
+                }
+                Some(CopySource::Bottom)
+            }
             Event::Predicate { .. } | Event::Jump { .. } | Event::Phase { .. } => None,
         }
     }

@@ -67,7 +67,11 @@ fn removable(instr: &Instr) -> bool {
         | Instr::Jump { .. }
         | Instr::Call { .. }
         | Instr::CallNative { .. }
-        | Instr::Return { .. } => false,
+        | Instr::Return { .. }
+        // Spawning runs code and joining synchronizes; neither is
+        // removable however dead the handle or result.
+        | Instr::Spawn { .. }
+        | Instr::Join { .. } => false,
     }
 }
 

@@ -1,11 +1,12 @@
-//! The pipelined profiler's moving parts in isolation: raw SPSC ring
-//! and N-lane fan-out throughput, the inline-cache effect on sequential
+//! The pipelined profiler's moving parts in isolation: raw SPSC and
+//! multi-producer ring throughput, N-lane fan-out throughput, the
+//! inline-cache effect on sequential
 //! graph construction, and end-to-end pipelined vs sequential profiling
 //! on a workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lowutil_core::{CostGraphConfig, CostProfiler};
-use lowutil_par::{lanes, ring, PipelineOptions};
+use lowutil_par::{lanes, mpsc_ring, ring, PipelineOptions};
 use lowutil_vm::Vm;
 use lowutil_workloads::{workload, WorkloadSize};
 
@@ -34,6 +35,45 @@ fn bench_ring_throughput(c: &mut Criterion) {
                 });
             })
         });
+    }
+    group.finish();
+}
+
+/// Items per second through the multi-producer ring with 2 and 4
+/// producers pushing concurrently into one consumer — the ingest
+/// ceiling when N event streams share a single coordinator.
+fn bench_mpsc_ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/mpsc_ring");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for producers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop", producers),
+            &producers,
+            |b, &p| {
+                b.iter(|| {
+                    let (tx, mut rx) = mpsc_ring::<u64>(8);
+                    std::thread::scope(|s| {
+                        s.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Some(v) = rx.pop() {
+                                sum = sum.wrapping_add(v);
+                            }
+                            sum
+                        });
+                        for _ in 0..p {
+                            let tx = tx.clone();
+                            s.spawn(move || {
+                                for i in 0..N / p as u64 {
+                                    tx.push(i).expect("consumer alive");
+                                }
+                            });
+                        }
+                        drop(tx);
+                    });
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -137,7 +177,7 @@ fn fast() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_ring_throughput, bench_lane_throughput, bench_inline_caches,
-        bench_pipelined_profile
+    targets = bench_ring_throughput, bench_mpsc_ring_throughput, bench_lane_throughput,
+        bench_inline_caches, bench_pipelined_profile
 }
 criterion_main!(benches);

@@ -75,6 +75,10 @@ struct Args {
     /// Worker count for the pipeline post-pass: an explicit `--jobs`,
     /// else picked adaptively (in-thread on a single core).
     pipeline_jobs: usize,
+    /// Detected core count (`available_parallelism`), recorded in the
+    /// JSON baseline so fallback-tier numbers are never mistaken for
+    /// genuine-overlap ones.
+    cores: usize,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +92,7 @@ fn parse_args() -> Args {
         pipeline: false,
         pipeline_batch: lowutil_vm::DEFAULT_BATCH_LIMIT,
         pipeline_jobs: lowutil_par::auto_pipeline_jobs(),
+        cores: lowutil_par::default_jobs(),
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -527,7 +532,20 @@ fn main() {
     // post-pass so neither the suite pool nor sibling measurements
     // perturb the comparison. Live mode only — the pipeline exists to
     // overlap construction with a *running* VM.
-    let pipeline_times: Vec<(&'static str, Duration, Duration, Duration)> = if args.pipeline {
+    // On a single core the adaptive post-pass degenerates to the
+    // in-thread fallback — there is no second core to overlap with, so
+    // "pipelined" times would measure the fallback tier, not overlap.
+    // Skip the measurement and mark the skip in the JSON instead of
+    // silently recording fallback numbers.
+    let overlap_skipped = args.pipeline && args.mode == Mode::Live && args.pipeline_jobs == 0;
+    let pipeline_times: Vec<(&'static str, Duration, Duration, Duration)> = if overlap_skipped {
+        eprintln!(
+            "pipeline overlap skipped: {} core(s) detected, no worker core to overlap with \
+             (pass an explicit --jobs to force it)",
+            args.cores
+        );
+        Vec::new()
+    } else if args.pipeline {
         if args.mode == Mode::Live {
             NAMES
                 .iter()
@@ -629,6 +647,7 @@ fn main() {
             &shard_times,
             &analysis_times,
             &pipeline_times,
+            overlap_skipped,
             wall.elapsed(),
         );
         match std::fs::write(path, json) {
@@ -694,12 +713,14 @@ fn mode_name(mode: &Mode) -> &'static str {
 
 /// Renders the machine-readable perf baseline. Serde is not available
 /// offline, so the (flat, fixed-shape) document is formatted by hand.
+#[allow(clippy::too_many_arguments)]
 fn baseline_json(
     args: &Args,
     rows: &[Row],
     shard_times: &[(&'static str, Duration)],
     analysis_times: &[(&'static str, Duration, Duration, Duration)],
     pipeline_times: &[(&'static str, Duration, Duration, Duration)],
+    overlap_skipped: bool,
     total: Duration,
 ) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
@@ -708,6 +729,7 @@ fn baseline_json(
     s.push_str(&format!("  \"size\": \"{}\",\n", size_name(args.size)));
     s.push_str(&format!("  \"mode\": \"{}\",\n", mode_name(&args.mode)));
     s.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    s.push_str(&format!("  \"cores\": {},\n", args.cores));
     s.push_str(&format!(
         "  \"analysis_engine\": \"{}\",\n",
         args.analysis.name()
@@ -742,7 +764,13 @@ fn baseline_json(
     s.push_str("  ],\n");
     // Pipelined profiling: quiet-post-pass medians of plain, sequential
     // profiled, and pipelined wall times, with the overhead-reduction
-    // factor `(profiled − plain) / (pipelined − plain)`.
+    // factor `(profiled − plain) / (pipelined − plain)`. When the
+    // machine has no core to overlap on, an explicit marker replaces
+    // the measurements — fallback-tier numbers must never masquerade
+    // as genuine-overlap ones.
+    if overlap_skipped {
+        s.push_str("  \"pipeline_overlap_skipped\": \"single_core\",\n");
+    }
     if !pipeline_times.is_empty() {
         s.push_str(&format!(
             "  \"pipeline_jobs\": {},\n  \"pipeline_batch\": {},\n  \"pipeline\": [\n",

@@ -123,20 +123,28 @@ impl ConcreteGraph {
     }
 }
 
+/// Per-guest-thread tracking state: the shadow stack aligned with that
+/// thread's call stack, plus its in-flight call arguments and return
+/// value. The shadow heap and statics stay shared, mirroring the VM's
+/// shared heap.
+#[derive(Debug, Default)]
+struct ThreadLane {
+    shadow_stack: ShadowStack<Option<InstanceId>>,
+    pending_args: Vec<Option<InstanceId>>,
+    ret_stash: Option<InstanceId>,
+}
+
 /// Builds a [`ConcreteGraph`] from VM events.
 #[derive(Debug)]
 pub struct ConcreteProfiler {
     mode: SlicingMode,
     graph: ConcreteGraph,
     occurrences: std::collections::HashMap<InstrId, u32>,
-    shadow_stack: ShadowStack<Option<InstanceId>>,
+    /// One lane per guest thread; `cur` tracks the scheduler's switches.
+    lanes: Vec<ThreadLane>,
+    cur: usize,
     shadow_heap: ShadowHeap<Option<InstanceId>, ()>,
     shadow_statics: Vec<Option<InstanceId>>,
-    /// Shadow of the *pointer value* currently in each local, for
-    /// traditional slicing: the instance that produced the reference. This
-    /// is just the ordinary local shadow — kept unified.
-    pending_args: Vec<Option<InstanceId>>,
-    ret_stash: Option<InstanceId>,
 }
 
 impl ConcreteProfiler {
@@ -146,11 +154,10 @@ impl ConcreteProfiler {
             mode,
             graph: ConcreteGraph::default(),
             occurrences: std::collections::HashMap::new(),
-            shadow_stack: ShadowStack::new(),
+            lanes: vec![ThreadLane::default()],
+            cur: 0,
             shadow_heap: ShadowHeap::new(()),
             shadow_statics: Vec::new(),
-            pending_args: Vec::new(),
-            ret_stash: None,
         }
     }
 
@@ -159,12 +166,20 @@ impl ConcreteProfiler {
         self.graph
     }
 
+    fn lane(&self) -> &ThreadLane {
+        &self.lanes[self.cur]
+    }
+
+    fn lane_mut(&mut self) -> &mut ThreadLane {
+        &mut self.lanes[self.cur]
+    }
+
     fn shadow(&self, l: Local) -> Option<InstanceId> {
-        *self.shadow_stack.top().get(l.index())
+        *self.lane().shadow_stack.top().get(l.index())
     }
 
     fn set_shadow(&mut self, l: Local, n: Option<InstanceId>) {
-        self.shadow_stack.top_mut().set(l.index(), n);
+        self.lane_mut().shadow_stack.top_mut().set(l.index(), n);
     }
 
     fn new_instance(&mut self, at: InstrId) -> InstanceId {
@@ -303,17 +318,16 @@ impl Tracer for ConcreteProfiler {
                 self.set_shadow(*dst, Some(n));
             }
             Event::Call { args, .. } => {
-                self.pending_args.clear();
-                for a in args {
-                    let s = self.shadow(*a);
-                    self.pending_args.push(s);
-                }
+                let shadows: Vec<_> = args.iter().map(|a| self.shadow(*a)).collect();
+                let lane = self.lane_mut();
+                lane.pending_args.clear();
+                lane.pending_args.extend(shadows);
             }
             Event::Return { src, .. } => {
-                self.ret_stash = src.and_then(|s| self.shadow(s));
+                self.lane_mut().ret_stash = src.and_then(|s| self.shadow(s));
             }
             Event::CallComplete { dst, .. } => {
-                let stash = self.ret_stash.take();
+                let stash = self.lane_mut().ret_stash.take();
                 if let Some(d) = dst {
                     self.set_shadow(*d, stash);
                 }
@@ -328,21 +342,43 @@ impl Tracer for ConcreteProfiler {
                     self.set_shadow(*d, Some(n));
                 }
             }
+            // The concrete baseline is a single-thread reference graph
+            // (the paper's Definition 1 comparison); thread events are
+            // opaque producers here — the thread-aware construction
+            // lives in `G_cost`.
+            Event::Spawn { at, dst, .. } => {
+                let n = self.new_instance(*at);
+                self.set_shadow(*dst, Some(n));
+            }
+            Event::Join { at, dst, .. } => {
+                let n = self.new_instance(*at);
+                if let Some(d) = dst {
+                    self.set_shadow(*d, Some(n));
+                }
+            }
             Event::Jump { .. } | Event::Phase { .. } => {}
         }
     }
 
     fn frame_push(&mut self, info: &FrameInfo) {
-        self.shadow_stack.push(info.num_locals as usize);
+        let lane = self.lane_mut();
+        lane.shadow_stack.push(info.num_locals as usize);
         for i in 0..info.num_args as usize {
-            let data = self.pending_args.get(i).copied().flatten();
-            self.shadow_stack.top_mut().set(i, data);
+            let data = lane.pending_args.get(i).copied().flatten();
+            lane.shadow_stack.top_mut().set(i, data);
         }
-        self.pending_args.clear();
+        lane.pending_args.clear();
     }
 
     fn frame_pop(&mut self) {
-        self.shadow_stack.pop();
+        self.lane_mut().shadow_stack.pop();
+    }
+
+    fn thread(&mut self, tid: lowutil_ir::ThreadId) {
+        self.cur = tid.index();
+        if self.lanes.len() <= self.cur {
+            self.lanes.resize_with(self.cur + 1, ThreadLane::default);
+        }
     }
 }
 

@@ -11,10 +11,31 @@
 //! the degree to which distinct exact chains collide in the same slot.
 
 use crate::fx::{FxHashMap, FxHashSet};
-use lowutil_ir::{AllocSiteId, InstrId};
+use lowutil_ir::{AllocSiteId, InstrId, ThreadId};
 
 /// The encoded probabilistic context value for the empty chain.
 pub const EMPTY_CONTEXT: u64 = 0;
+
+/// The context-chain base of a guest thread: [`EMPTY_CONTEXT`] for the
+/// main thread, a nonzero splitmix64-style mix of the thread id
+/// otherwise.
+///
+/// A spawned thread's entry frame has no receiver chain of its own, so
+/// without salting, instruction instances from different threads at the
+/// same call depth would encode identical `g` values and falsely merge
+/// into one abstract node. Seeding each thread's chain with a
+/// high-entropy base keeps cross-thread contexts probabilistically
+/// distinct while leaving main-thread encodings — and therefore every
+/// single-threaded profile — bit-for-bit unchanged.
+pub fn thread_base(tid: ThreadId) -> u64 {
+    if tid.is_main() {
+        return EMPTY_CONTEXT;
+    }
+    let mut z = u64::from(tid.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
 
 /// Extends an encoded chain with one receiver allocation site:
 /// `g' = 3·g + o` (wrapping).
@@ -34,16 +55,34 @@ pub fn slot_of(g: u64, slots: u32) -> u32 {
 ///
 /// Instance-method frames extend the caller's chain with the receiver's
 /// allocation site; static-method frames inherit the caller's chain
-/// unchanged (the paper concatenates the empty string).
+/// unchanged (the paper concatenates the empty string). The stack
+/// bottoms out at a `base` chain — [`EMPTY_CONTEXT`] for the main
+/// thread, [`thread_base`] for spawned threads — so every frame of a
+/// spawned thread carries its thread's salt.
 #[derive(Debug, Clone, Default)]
 pub struct ContextStack {
     frames: Vec<u64>,
+    base: u64,
 }
 
 impl ContextStack {
-    /// Creates an empty context stack.
+    /// Creates an empty context stack based at [`EMPTY_CONTEXT`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty context stack bottoming out at `base` (see
+    /// [`thread_base`]).
+    pub fn with_base(base: u64) -> Self {
+        ContextStack {
+            frames: Vec::new(),
+            base,
+        }
+    }
+
+    /// The chain the stack bottoms out at.
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Pushes a frame. `receiver_site` is the allocation site of the
@@ -66,10 +105,10 @@ impl ContextStack {
         self.frames.pop().expect("context stack underflow");
     }
 
-    /// The encoded chain of the current frame ([`EMPTY_CONTEXT`] if no
+    /// The encoded chain of the current frame (the base chain if no
     /// frame is active).
     pub fn current(&self) -> u64 {
-        self.frames.last().copied().unwrap_or(EMPTY_CONTEXT)
+        self.frames.last().copied().unwrap_or(self.base)
     }
 
     /// Current depth.
@@ -214,6 +253,26 @@ mod tests {
                 assert_ne!(extend_context(g, AllocSiteId(o)), g);
             }
         }
+    }
+
+    #[test]
+    fn thread_bases_salt_chains_without_touching_the_main_thread() {
+        assert_eq!(thread_base(ThreadId::MAIN), EMPTY_CONTEXT);
+        let mut seen = FxHashSet::default();
+        for t in 1..200u32 {
+            let b = thread_base(ThreadId(t));
+            assert_ne!(b, EMPTY_CONTEXT, "T{t} base must be nonzero");
+            assert!(seen.insert(b), "T{t} base collides");
+        }
+        // Identical call chains on different threads encode differently.
+        let mut main = ContextStack::new();
+        let mut worker = ContextStack::with_base(thread_base(ThreadId(1)));
+        assert_eq!(worker.current(), worker.base());
+        for cs in [&mut main, &mut worker] {
+            cs.push(None);
+            cs.push(Some(AllocSiteId(2)));
+        }
+        assert_ne!(main.current(), worker.current());
     }
 
     #[test]

@@ -147,7 +147,12 @@ impl<D: AbstractDomain> AbstractProfiler<D> {
             }
             Event::ArrayLen { .. } => vec![],
             Event::Native { args, .. } => args.iter().map(|&a| self.shadow(a)).collect(),
-            Event::Call { .. }
+            // Thread handles and join results are fresh producers for
+            // generic domains; cross-thread value flow is modeled only by
+            // the hand-specialized `G_cost` builder.
+            Event::Spawn { .. }
+            | Event::Join { .. }
+            | Event::Call { .. }
             | Event::Return { .. }
             | Event::CallComplete { .. }
             | Event::Jump { .. }
@@ -177,6 +182,8 @@ impl<D: AbstractDomain> AbstractProfiler<D> {
                 self.shadow_statics[field.index()] = node;
             }
             Event::Native { dst: Some(d), .. } => self.set_shadow(*d, node),
+            Event::Spawn { dst, .. } => self.set_shadow(*dst, node),
+            Event::Join { dst: Some(d), .. } => self.set_shadow(*d, node),
             _ => {}
         }
     }

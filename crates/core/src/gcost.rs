@@ -24,11 +24,11 @@
 //! The finished artifact is a [`CostGraph`], the input to every analysis in
 //! `lowutil-analyses`.
 
-use crate::context::{slot_of, ConflictStats, ContextStack};
+use crate::context::{slot_of, thread_base, ConflictStats, ContextStack};
 use crate::dense::{DenseDomain, DenseInterner, InstrIndexer};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::graph::{DepGraph, NodeId, NodeKind};
-use lowutil_ir::{AllocSiteId, FieldId, InstrId, Local, StaticId, Value};
+use lowutil_ir::{AllocSiteId, FieldId, InstrId, Local, StaticId, ThreadId, Value};
 use lowutil_vm::{Event, EventSink, FrameInfo, ShadowHeap, ShadowStack, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -192,13 +192,22 @@ impl Default for CostGraphConfig {
 pub struct GraphBuilder {
     config: CostGraphConfig,
     graph: DepGraph<CostElem>,
-    shadow_stack: ShadowStack<Option<NodeId>>,
+    /// Per-thread interpreter-shadow state, indexed by `ThreadId`. The
+    /// heap, statics, and graph are shared (the guest heap is shared);
+    /// stacks, contexts, and call plumbing are thread-local.
+    threads: Vec<ThreadState>,
+    /// The thread the stream is currently delivering events for.
+    cur: usize,
+    /// Actual-argument shadows stashed by a `Spawn`, consumed when the
+    /// child thread's root frame is pushed (the cross-thread METHOD
+    /// ENTRY hand-off).
+    spawn_args: FxHashMap<u32, Vec<Option<NodeId>>>,
+    /// The node that produced each finished thread's return value,
+    /// recorded at the thread's root frame pop and consumed by `Join`.
+    thread_rets: FxHashMap<u32, Option<NodeId>>,
     shadow_heap: ShadowHeap<Option<NodeId>, Option<TaggedSite>>,
     shadow_statics: Vec<Option<NodeId>>,
-    contexts: ContextStack,
     conflicts: ConflictStats,
-    pending_args: Vec<Option<NodeId>>,
-    ret_stash: Option<NodeId>,
     ref_edges: FxHashSet<(NodeId, NodeId)>,
     /// Heap effect per node, indexed densely by [`NodeId`] (at most one
     /// effect per node, and node ids are small and dense — no map
@@ -220,6 +229,30 @@ pub struct GraphBuilder {
     /// Per-instruction inline cache (`(g, node)` indexed by the dense
     /// instruction index), when [`CostGraphConfig::inline_caches`] is on.
     icache: Vec<(u64, NodeId)>,
+}
+
+/// The thread-local slice of the builder's state: the shadow stack, the
+/// receiver-chain context stack (based at
+/// [`thread_base`](crate::context::thread_base) so contexts from
+/// different threads never merge), and the call/return tracking plumbing
+/// — all of which follow one thread's control flow.
+#[derive(Debug)]
+struct ThreadState {
+    shadow_stack: ShadowStack<Option<NodeId>>,
+    contexts: ContextStack,
+    pending_args: Vec<Option<NodeId>>,
+    ret_stash: Option<NodeId>,
+}
+
+impl ThreadState {
+    fn new(tid: ThreadId) -> Self {
+        ThreadState {
+            shadow_stack: ShadowStack::new(),
+            contexts: ContextStack::with_base(thread_base(tid)),
+            pending_args: Vec::new(),
+            ret_stash: None,
+        }
+    }
 }
 
 /// Empty inline-cache entry. `g = 0` is the valid empty context, so the
@@ -281,13 +314,13 @@ impl GraphBuilder {
         GraphBuilder {
             config,
             graph: DepGraph::new(),
-            shadow_stack: ShadowStack::new(),
+            threads: vec![ThreadState::new(ThreadId::MAIN)],
+            cur: 0,
+            spawn_args: FxHashMap::default(),
+            thread_rets: FxHashMap::default(),
             shadow_heap: ShadowHeap::new(None),
             shadow_statics: Vec::new(),
-            contexts: ContextStack::new(),
             conflicts: ConflictStats::new(),
-            pending_args: Vec::new(),
-            ret_stash: None,
             ref_edges: FxHashSet::default(),
             effects: Vec::new(),
             alloc_nodes: FxHashMap::default(),
@@ -301,12 +334,41 @@ impl GraphBuilder {
         }
     }
 
+    /// The state of the thread currently delivering events.
+    fn st(&self) -> &ThreadState {
+        &self.threads[self.cur]
+    }
+
+    fn st_mut(&mut self) -> &mut ThreadState {
+        &mut self.threads[self.cur]
+    }
+
+    /// Switches the builder to `tid`'s thread-local state, creating it
+    /// on first sight. A new thread's pending arguments are whatever the
+    /// spawning thread stashed for it. Idempotent for the current
+    /// thread, so callers may invoke it per segment unconditionally.
+    pub fn thread(&mut self, tid: ThreadId) {
+        let idx = tid.index();
+        if idx == self.cur && idx < self.threads.len() {
+            return;
+        }
+        while self.threads.len() <= idx {
+            let t = ThreadId(self.threads.len() as u32);
+            let mut state = ThreadState::new(t);
+            if let Some(args) = self.spawn_args.remove(&t.0) {
+                state.pending_args = args;
+            }
+            self.threads.push(state);
+        }
+        self.cur = idx;
+    }
+
     fn shadow(&self, l: Local) -> Option<NodeId> {
-        *self.shadow_stack.top().get(l.index())
+        *self.st().shadow_stack.top().get(l.index())
     }
 
     fn set_shadow(&mut self, l: Local, n: Option<NodeId>) {
-        self.shadow_stack.top_mut().set(l.index(), n);
+        self.st_mut().shadow_stack.top_mut().set(l.index(), n);
     }
 
     /// Interns `(at, elem)` through the dense table when enabled, the
@@ -331,7 +393,7 @@ impl GraphBuilder {
     /// invalidated — nodes are append-only and a stale `g` just misses.
     #[inline]
     fn ctx_node(&mut self, at: InstrId, kind: NodeKind) -> NodeId {
-        let g = self.contexts.current();
+        let g = self.st().contexts.current();
         if self.config.inline_caches {
             let idx = self.indexer.index(at);
             let (cached_g, cached_n) = self.icache[idx];
@@ -433,8 +495,8 @@ impl GraphBuilder {
             // Keep call/return plumbing from leaking stale data across an
             // armed/disarmed boundary.
             match event {
-                Event::Call { .. } => self.pending_args.clear(),
-                Event::Return { .. } => self.ret_stash = None,
+                Event::Call { .. } => self.st_mut().pending_args.clear(),
+                Event::Return { .. } => self.st_mut().ret_stash = None,
                 _ => {}
             }
             return;
@@ -475,7 +537,7 @@ impl GraphBuilder {
                     self.edge_from_shadow(self.shadow(*l), n);
                 }
                 self.set_shadow(*dst, Some(n));
-                let slot = slot_of(self.contexts.current(), self.config.slots);
+                let slot = slot_of(self.st().contexts.current(), self.config.slots);
                 let tag = TaggedSite { site: *site, slot };
                 self.shadow_heap.on_alloc(*object, 0, Some(tag));
                 self.alloc_nodes.insert(tag, n);
@@ -614,19 +676,46 @@ impl GraphBuilder {
                 self.set_shadow(*dst, Some(n));
             }
             Event::Call { args, .. } => {
-                self.pending_args.clear();
-                for a in args {
-                    let s = self.shadow(*a);
-                    self.pending_args.push(s);
-                }
+                let syms: Vec<Option<NodeId>> = args.iter().map(|a| self.shadow(*a)).collect();
+                let st = self.st_mut();
+                st.pending_args.clear();
+                st.pending_args.extend(syms);
             }
             Event::Return { src, .. } => {
-                self.ret_stash = src.and_then(|s| self.shadow(s));
+                self.st_mut().ret_stash = src.and_then(|s| self.shadow(s));
             }
             Event::CallComplete { dst, .. } => {
-                let stash = self.ret_stash.take();
+                let stash = self.st_mut().ret_stash.take();
                 if let Some(d) = dst {
                     self.set_shadow(*d, stash);
+                }
+            }
+            Event::Spawn {
+                at,
+                dst,
+                thread,
+                args,
+                ..
+            } => {
+                // The handle is a fresh value produced here; the actuals
+                // flow to the child thread's formals (rule METHOD ENTRY,
+                // across threads), not into the handle.
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                let syms: Vec<Option<NodeId>> = args.iter().map(|a| self.shadow(*a)).collect();
+                self.spawn_args.insert(thread.0, syms);
+                self.set_shadow(*dst, Some(n));
+            }
+            Event::Join {
+                at, dst, thread, ..
+            } => {
+                // The joined value depends on the node that produced the
+                // child thread's return value (recorded at its root
+                // frame pop — join blocks until then).
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                let ret = self.thread_rets.get(&thread.0).copied().flatten();
+                self.edge_from_shadow(ret, n);
+                if let Some(d) = dst {
+                    self.set_shadow(*d, Some(n));
                 }
             }
             Event::Native { at, args, dst, .. } => {
@@ -649,21 +738,29 @@ impl GraphBuilder {
             .receiver
             .and_then(|o| self.shadow_heap.tag(o))
             .map(|t| t.site);
-        self.contexts.push(receiver_site);
-        self.shadow_stack.push(info.num_locals as usize);
+        let st = self.st_mut();
+        st.contexts.push(receiver_site);
+        st.shadow_stack.push(info.num_locals as usize);
         // Formals receive the tracking data of the actuals (rule METHOD
-        // ENTRY); the entry frame has no actuals.
+        // ENTRY); main's entry frame has no actuals, and a spawned
+        // thread's root frame receives the `Spawn`'s stashed actuals.
         for i in 0..info.num_args as usize {
-            let data = self.pending_args.get(i).copied().flatten();
-            self.shadow_stack.top_mut().set(i, data);
+            let data = st.pending_args.get(i).copied().flatten();
+            st.shadow_stack.top_mut().set(i, data);
         }
-        self.pending_args.clear();
+        st.pending_args.clear();
     }
 
-    /// Consumes a frame pop.
+    /// Consumes a frame pop. Popping a thread's root frame records the
+    /// return-value node for a later `Join`.
     pub fn frame_pop(&mut self) {
-        self.shadow_stack.pop();
-        self.contexts.pop();
+        let st = self.st_mut();
+        st.shadow_stack.pop();
+        st.contexts.pop();
+        if st.shadow_stack.depth() == 0 {
+            let ret = st.ret_stash.take();
+            self.thread_rets.insert(self.cur as u32, ret);
+        }
     }
 }
 
@@ -678,6 +775,10 @@ impl EventSink for GraphBuilder {
 
     fn frame_pop(&mut self) {
         GraphBuilder::frame_pop(self);
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        GraphBuilder::thread(self, tid);
     }
 }
 
@@ -713,6 +814,10 @@ impl Tracer for CostProfiler {
 
     fn frame_pop(&mut self) {
         self.builder.frame_pop();
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.builder.thread(tid);
     }
 }
 
@@ -1308,6 +1413,101 @@ method main/0 {
         );
         assert!(g.conflicts().num_instructions() >= 1);
         assert_eq!(g.conflicts().average_cr(), 0.0);
+    }
+
+    const FORK_JOIN_SRC: &str = r#"
+native print/1
+class Box { v }
+method main/0 {
+  b1 = new Box
+  b2 = new Box
+  t1 = spawn fill(b1)
+  t2 = spawn fill(b2)
+  r1 = join t1
+  r2 = join t2
+  s = r1 + r2
+  native print(s)
+  return
+}
+method fill/1 {
+  i = 0
+  one = 1
+  lim = 5
+loop:
+  if i >= lim goto done
+  p0.v = i
+  i = i + one
+  goto loop
+done:
+  r = p0.v
+  return r
+}
+"#;
+
+    #[test]
+    fn thread_salted_contexts_keep_per_thread_nodes_apart() {
+        let g = profile(FORK_JOIN_SRC);
+        // The store `p0.v = i` (method fill, pc 4) runs on two threads
+        // whose salted bases land in different slots iff the bases
+        // differ mod 16 — which they do for T1/T2 (checked explicitly so
+        // the assertion can't silently go vacuous).
+        let s1 = slot_of(thread_base(ThreadId(1)), 16);
+        let s2 = slot_of(thread_base(ThreadId(2)), 16);
+        assert_ne!(s1, s2, "pick thread ids whose bases split mod 16");
+        let store_at = InstrId::new(lowutil_ir::MethodId(1), 4);
+        let stores: Vec<_> = g
+            .graph()
+            .iter()
+            .filter(|(_, n)| n.instr == store_at)
+            .collect();
+        assert_eq!(stores.len(), 2, "one store node per thread context");
+        for (_, n) in stores {
+            assert_eq!(n.freq, 5);
+        }
+    }
+
+    #[test]
+    fn join_edges_carry_thread_results_into_the_consumer() {
+        let g = profile(FORK_JOIN_SRC);
+        // The printed sum must transitively depend on work done inside
+        // `fill` (method 1) — the value crossed threads via Join.
+        let native = g
+            .graph()
+            .iter()
+            .find(|(_, n)| n.kind == NodeKind::Native)
+            .map(|(id, _)| id)
+            .unwrap();
+        let slice = crate::slicer::backward_slice(g.graph(), native);
+        let crossed = slice
+            .iter()
+            .any(|&n| g.graph().node(n).instr.method == lowutil_ir::MethodId(1));
+        assert!(crossed, "print's slice must reach into fill's thread");
+    }
+
+    #[test]
+    fn multithreaded_profiles_are_scheduler_seed_independent() {
+        let p = parse_program(FORK_JOIN_SRC).expect("parse");
+        let export = |sched_seed: u64| {
+            let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+            let rc = lowutil_vm::RunConfig {
+                sched_seed,
+                ..lowutil_vm::RunConfig::default()
+            };
+            lowutil_vm::Vm::with_config(&p, rc)
+                .run(&mut prof)
+                .expect("run");
+            let mut buf = Vec::new();
+            crate::export::write_cost_graph(&prof.finish(), &mut buf).unwrap();
+            buf
+        };
+        let reference = export(0);
+        for seed in [1, 2, 99, 0xFEED] {
+            assert_eq!(
+                String::from_utf8_lossy(&reference),
+                String::from_utf8_lossy(&export(seed)),
+                "sched seed {seed} changed the canonical export"
+            );
+        }
     }
 
     #[test]

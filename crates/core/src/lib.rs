@@ -65,7 +65,9 @@ pub mod slicer;
 pub mod stats;
 
 pub use concrete::{ConcreteGraph, ConcreteProfiler, InstanceId, SlicingMode};
-pub use context::{extend_context, slot_of, ConflictStats, ContextStack, EMPTY_CONTEXT};
+pub use context::{
+    extend_context, slot_of, thread_base, ConflictStats, ContextStack, EMPTY_CONTEXT,
+};
 pub use csr::{Bitset, CsrGraph, TraversalScratch};
 pub use dense::{DenseDomain, DenseInterner, InstrIndexer};
 pub use domain::{AbstractDomain, AbstractProfiler};

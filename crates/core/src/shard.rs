@@ -21,7 +21,7 @@
 //! location, so the sequential merge can resolve each shard's external
 //! reads against the accumulated writes of all earlier shards.
 
-use crate::context::{extend_context, slot_of, ConflictStats, EMPTY_CONTEXT};
+use crate::context::{extend_context, slot_of, thread_base, ConflictStats, EMPTY_CONTEXT};
 use crate::dense::{DenseInterner, InstrIndexer};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::gcost::{
@@ -29,7 +29,7 @@ use crate::gcost::{
     TaggedSite, IC_EMPTY,
 };
 use crate::graph::{DepGraph, NodeId, NodeKind};
-use lowutil_ir::{AllocSiteId, InstrId, Local, ObjectId, Program, StaticId};
+use lowutil_ir::{AllocSiteId, InstrId, Local, ObjectId, Program, StaticId, ThreadId};
 use lowutil_vm::trace::{Prologue, PrologueFrame, Segment, TraceError, TraceReader};
 use lowutil_vm::{Event, EventSink, FrameInfo};
 
@@ -79,6 +79,9 @@ pub fn replay_segments(
 ) -> Result<CostGraph, TraceError> {
     let mut builder = crate::gcost::GraphBuilder::new(program, config);
     for seg in segments {
+        // v3 segments are per-thread; announce each segment's owner
+        // (idempotent when unchanged, and always MAIN for v1/v2).
+        builder.thread(seg.prologue().thread);
         seg.replay(&mut builder)?;
     }
     Ok(builder.finish())
@@ -151,14 +154,17 @@ fn site_of(
 }
 
 /// Rebuilds the context stack a segment starts under by folding the
-/// prologue's receiver chain, outermost frame first.
+/// prologue's receiver chain, outermost frame first, on top of the
+/// owning thread's base chain (see
+/// [`thread_base`](crate::context::thread_base)).
 fn seed_contexts(
+    base: u64,
     frames: &[PrologueFrame],
     mut receiver_site: impl FnMut(ObjectId) -> Option<AllocSiteId>,
 ) -> Vec<u64> {
     let mut gs: Vec<u64> = Vec::with_capacity(frames.len());
     for f in frames {
-        let parent = gs.last().copied().unwrap_or(EMPTY_CONTEXT);
+        let parent = gs.last().copied().unwrap_or(base);
         let g = match f.receiver.and_then(&mut receiver_site) {
             Some(site) => extend_context(parent, site),
             None => parent,
@@ -181,6 +187,7 @@ pub fn scan_alloc_contexts(
     site_table: &[Option<(AllocSiteId, bool)>],
 ) -> Result<Vec<(ObjectId, u64)>, TraceError> {
     struct Scan<'t> {
+        base: u64,
         contexts: Vec<u64>,
         table: &'t [Option<(AllocSiteId, bool)>],
         phase_limited: bool,
@@ -189,13 +196,13 @@ pub fn scan_alloc_contexts(
     impl EventSink for Scan<'_> {
         fn event(&mut self, e: &Event) {
             if let Event::Alloc { object, .. } = e {
-                let g = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+                let g = self.contexts.last().copied().unwrap_or(self.base);
                 self.out.push((*object, g));
             }
         }
 
         fn frame_push(&mut self, info: &FrameInfo) {
-            let parent = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+            let parent = self.contexts.last().copied().unwrap_or(self.base);
             let site = info
                 .receiver
                 .and_then(|o| site_of(self.table, self.phase_limited, o));
@@ -210,8 +217,10 @@ pub fn scan_alloc_contexts(
             self.contexts.pop();
         }
     }
+    let base = thread_base(seg.prologue().thread);
     let mut s = Scan {
-        contexts: seed_contexts(&seg.prologue().frames, |o| {
+        base,
+        contexts: seed_contexts(base, &seg.prologue().frames, |o| {
             site_of(site_table, phase_limited, o)
         }),
         table: site_table,
@@ -272,8 +281,21 @@ pub enum Loc {
     Static(u32),
     /// The `i`-th pending call argument at the segment boundary (a
     /// `Call` event at the very end of a segment whose `frame_push`
-    /// opens the next segment).
+    /// opens the next segment). Pending arguments are thread-local
+    /// state, so resolution is against the owning thread's argument
+    /// stash (trace v3 segments are per-thread).
     Arg(u16),
+    /// The `i`-th actual a `Spawn` stashed for thread `thread`, consumed
+    /// by the formals of that thread's root frame.
+    SpawnArg {
+        /// The spawned thread.
+        thread: u32,
+        /// The argument position.
+        i: u16,
+    },
+    /// The return value of finished thread `thread` (written at its root
+    /// frame pop, read by `Join`).
+    ThreadRet(u32),
 }
 
 /// The symbolic value of a shadow location inside one shard.
@@ -334,6 +356,11 @@ struct SymObj {
 /// One segment's contribution to the merged graph.
 #[derive(Debug)]
 pub struct ShardGraph {
+    /// The thread that executed this segment (v3 segments are
+    /// per-thread; always MAIN for v1/v2). Pending-argument state is
+    /// thread-local, so the merge resolves [`Loc::Arg`] against this
+    /// thread's stash.
+    thread: ThreadId,
     graph: DepGraph<CostElem>,
     /// Reads of pre-segment shadow state: `(location, consuming node)`.
     ext_edges: Vec<(Loc, NodeId)>,
@@ -528,7 +555,10 @@ impl EventSink for ShardSink<'_> {
 #[derive(Debug)]
 pub struct ObjectTableScan {
     phase_limited: bool,
-    contexts: Vec<u64>,
+    /// Per-thread receiver-chain stacks; batches announce their owning
+    /// thread through the [`EventSink::thread`] hook before replaying.
+    contexts: Vec<Vec<u64>>,
+    cur: usize,
     in_phase: bool,
     table: Vec<Option<ObjectInfo>>,
     delta: Vec<(ObjectId, ObjectInfo)>,
@@ -539,11 +569,21 @@ impl ObjectTableScan {
     pub fn new(phase_limited: bool) -> Self {
         ObjectTableScan {
             phase_limited,
-            contexts: Vec::new(),
+            contexts: vec![Vec::new()],
+            cur: 0,
             in_phase: false,
             table: Vec::new(),
             delta: Vec::new(),
         }
+    }
+
+    /// The current thread's encoded chain (its thread base when no
+    /// frame is live).
+    fn current_g(&self) -> u64 {
+        self.contexts[self.cur]
+            .last()
+            .copied()
+            .unwrap_or_else(|| thread_base(ThreadId(self.cur as u32)))
     }
 
     /// The object table over everything scanned so far.
@@ -565,7 +605,7 @@ impl EventSink for ObjectTableScan {
             Event::Alloc { object, site, .. } => {
                 let info = ObjectInfo {
                     site: *site,
-                    g: self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT),
+                    g: self.current_g(),
                     in_phase: self.in_phase,
                 };
                 apply_object_delta(&mut self.table, &[(*object, info)]);
@@ -576,7 +616,7 @@ impl EventSink for ObjectTableScan {
     }
 
     fn frame_push(&mut self, info: &FrameInfo) {
-        let parent = self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT);
+        let parent = self.current_g();
         let site = info.receiver.and_then(|o| {
             self.table
                 .get(o.index())
@@ -589,11 +629,18 @@ impl EventSink for ObjectTableScan {
             Some(site) => extend_context(parent, site),
             None => parent,
         };
-        self.contexts.push(g);
+        self.contexts[self.cur].push(g);
     }
 
     fn frame_pop(&mut self) {
-        self.contexts.pop();
+        self.contexts[self.cur].pop();
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.cur = tid.index();
+        if self.contexts.len() <= self.cur {
+            self.contexts.resize_with(self.cur + 1, Vec::new);
+        }
     }
 }
 
@@ -612,6 +659,14 @@ pub fn apply_object_delta(table: &mut Vec<Option<ObjectInfo>>, delta: &[(ObjectI
 struct ShardBuilder<'c> {
     ctx: &'c ShardContext,
     objects: &'c [Option<ObjectInfo>],
+    /// The segment's owning thread and its context-chain base.
+    thread: ThreadId,
+    base: u64,
+    /// Spawn-stash writes this shard produced: `(SpawnArg loc, sym)` for
+    /// each actual of each `Spawn`, appended to `final_locs`.
+    spawn_out: Vec<(Loc, Sym)>,
+    /// The return-value sym recorded at this thread's root frame pop.
+    thread_ret: Option<Sym>,
     graph: DepGraph<CostElem>,
     /// The two |I|-sized side tables (dense interner + inline caches),
     /// owned here but possibly on loan from a worker's reusable arena.
@@ -649,7 +704,8 @@ impl<'c> ShardBuilder<'c> {
     ) -> Self {
         scratch.ensure(ctx);
         let config = &ctx.config;
-        let contexts = seed_contexts(&prologue.frames, |o| {
+        let base = thread_base(prologue.thread);
+        let contexts = seed_contexts(base, &prologue.frames, |o| {
             objects
                 .get(o.index())
                 .copied()
@@ -669,6 +725,10 @@ impl<'c> ShardBuilder<'c> {
         ShardBuilder {
             ctx,
             objects,
+            thread: prologue.thread,
+            base,
+            spawn_out: Vec::new(),
+            thread_ret: None,
             graph: DepGraph::new(),
             scratch,
             frames,
@@ -706,7 +766,7 @@ impl<'c> ShardBuilder<'c> {
     }
 
     fn current_g(&self) -> u64 {
-        self.contexts.last().copied().unwrap_or(EMPTY_CONTEXT)
+        self.contexts.last().copied().unwrap_or(self.base)
     }
 
     fn read_local(&self, l: Local) -> Sym {
@@ -874,7 +934,15 @@ impl<'c> ShardBuilder<'c> {
         for (&f, &s) in &self.statics {
             final_locs.push((Loc::Static(f), s));
         }
+        // Cross-thread hand-offs: spawn stashes and this thread's
+        // return value (keys are globally unique — thread ids are never
+        // reused — so ordering among them is immaterial).
+        final_locs.append(&mut self.spawn_out);
+        if let Some(s) = self.thread_ret.take() {
+            final_locs.push((Loc::ThreadRet(self.thread.0), s));
+        }
         let graph = ShardGraph {
+            thread: self.thread,
             graph: self.graph,
             ext_edges: self.ext_edges,
             final_locs,
@@ -1120,6 +1188,40 @@ impl EventSink for ShardBuilder<'_> {
                     self.write_local(*d, Sym::Node(n));
                 }
             }
+            Event::Spawn {
+                at,
+                dst,
+                thread,
+                args,
+                ..
+            } => {
+                // Mirrors the live builder: the handle is a fresh value;
+                // the actuals are stashed for the child thread's root
+                // frame, which lives in another (later) segment.
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                for (i, a) in args.iter().enumerate() {
+                    let s = self.read_local(*a);
+                    self.spawn_out.push((
+                        Loc::SpawnArg {
+                            thread: thread.0,
+                            i: i as u16,
+                        },
+                        s,
+                    ));
+                }
+                self.write_local(*dst, Sym::Node(n));
+            }
+            Event::Join {
+                at, dst, thread, ..
+            } => {
+                // The child finished (and wrote its ThreadRet) in an
+                // earlier segment — always an external read.
+                let n = self.ctx_node(*at, NodeKind::Plain);
+                self.edge_from(Sym::Init(Loc::ThreadRet(thread.0)), n);
+                if let Some(d) = dst {
+                    self.write_local(*d, Sym::Node(n));
+                }
+            }
             Event::Jump { .. } => {}
             Event::Phase { .. } => unreachable!("handled above"),
         }
@@ -1132,10 +1234,18 @@ impl EventSink for ShardBuilder<'_> {
             Some(site) => extend_context(parent, site),
             None => parent,
         };
+        let root = self.frames.is_empty();
         self.contexts.push(g);
         let mut vals = FxHashMap::default();
         for i in 0..info.num_args {
             let s = match &self.pending_args {
+                // Root push: the formals are the actuals a `Spawn` in an
+                // earlier segment stashed for this thread (none were
+                // stashed for main's entry frame, which has no actuals).
+                None if root => Sym::Init(Loc::SpawnArg {
+                    thread: self.thread.0,
+                    i,
+                }),
                 // Boundary push: the actuals were read by the `Call`
                 // event at the end of the previous segment.
                 None => Sym::Init(Loc::Arg(i)),
@@ -1155,6 +1265,11 @@ impl EventSink for ShardBuilder<'_> {
     fn frame_pop(&mut self) {
         self.frames.pop();
         self.contexts.pop();
+        if self.frames.is_empty() {
+            // Root pop: the thread finished; its return value becomes
+            // visible to `Join`s in later segments.
+            self.thread_ret = Some(std::mem::replace(&mut self.ret_stash, Sym::None));
+        }
     }
 }
 
@@ -1176,6 +1291,9 @@ fn resolve(
     }
 }
 
+/// `args` is the owning thread's pending-argument stash — pending
+/// arguments are thread-local, so the caller selects the slice by the
+/// shard's thread.
 fn lookup_loc(
     loc: Loc,
     locs: &FxHashMap<Loc, Option<NodeId>>,
@@ -1205,10 +1323,17 @@ pub fn merge_shards(shards: Vec<ShardGraph>) -> CostGraph {
     let mut instr_instances = 0u64;
     // Cumulative cross-shard shadow state: location → defining node.
     let mut locs: FxHashMap<Loc, Option<NodeId>> = FxHashMap::default();
-    let mut args: Vec<Option<NodeId>> = Vec::new();
+    // Pending call arguments are thread-local: segments of other threads
+    // interleave between a boundary `Call` and its `frame_push`, and
+    // their calls must not clobber this thread's stash.
+    let mut args_by_thread: FxHashMap<u32, Vec<Option<NodeId>>> = FxHashMap::default();
     let mut touched: FxHashMap<ObjectId, u32> = FxHashMap::default();
 
     for shard in shards {
+        let args: Vec<Option<NodeId>> = args_by_thread
+            .get(&shard.thread.0)
+            .cloned()
+            .unwrap_or_default();
         // 1. Intern this shard's nodes; frequencies of shared abstract
         //    nodes sum.
         let remap: Vec<NodeId> = shard
@@ -1287,7 +1412,7 @@ pub fn merge_shards(shards: Vec<ShardGraph>) -> CostGraph {
             locs.insert(loc, v);
         }
         if let Some(a) = new_args {
-            args = a;
+            args_by_thread.insert(shard.thread.0, a);
         }
     }
 
@@ -1466,6 +1591,130 @@ method sum/2 {
             },
         ] {
             assert_identity(CROSS_SEGMENT_SRC, config, 3);
+        }
+    }
+
+    /// A race-free fork-join program with cross-thread flow in every
+    /// direction trace v3 can express: spawn arguments (the box refs),
+    /// heap hand-off (children write, main reads after join), and
+    /// thread return values.
+    const THREADED_SRC: &str = r#"
+native print/1
+class Box { v }
+method main/0 {
+  b1 = new Box
+  b2 = new Box
+  t1 = spawn fill(b1)
+  t2 = spawn fill(b2)
+  r1 = join t1
+  r2 = join t2
+  x = b1.v
+  y = b2.v
+  s1 = x + y
+  s2 = r1 + r2
+  s = s1 + s2
+  native print(s)
+  return
+}
+method fill/1 {
+  i = 0
+  one = 1
+  lim = 9
+loop:
+  if i >= lim goto done
+  p0.v = i
+  i = i + one
+  goto loop
+done:
+  r = p0.v
+  return r
+}
+"#;
+
+    /// Live-profiles + records under one scheduler seed, then checks
+    /// sequential replay and sharded replay against the live graph byte
+    /// for byte. Returns the live bytes for cross-seed comparison.
+    fn threaded_identity(config: CostGraphConfig, limit: usize, sched_seed: u64) -> Vec<u8> {
+        let p = parse_program(THREADED_SRC).expect("parse");
+        let mut builder = GraphBuilder::new(&p, config);
+        let mut writer = TraceWriter::with_segment_limit(Vec::new(), limit);
+        {
+            let mut tracer = SinkTracer((&mut builder, &mut writer));
+            let rc = lowutil_vm::RunConfig {
+                sched_seed,
+                ..lowutil_vm::RunConfig::default()
+            };
+            lowutil_vm::Vm::with_config(&p, rc)
+                .run(&mut tracer)
+                .expect("program runs");
+        }
+        let live = bytes_of(&builder.finish());
+        let (trace, _) = writer.finish().unwrap();
+        let reader = TraceReader::new(&trace).expect("trace parses");
+        let seq = bytes_of(&replay_cost_graph(&p, config, &reader).unwrap());
+        assert_eq!(
+            String::from_utf8_lossy(&live),
+            String::from_utf8_lossy(&seq),
+            "sequential replay != live (limit {limit}, seed {sched_seed})"
+        );
+        let sharded = bytes_of(&sharded_replay_sequential(&p, config, &reader).unwrap());
+        assert_eq!(
+            String::from_utf8_lossy(&live),
+            String::from_utf8_lossy(&sharded),
+            "sharded replay != live (limit {limit}, seed {sched_seed})"
+        );
+        live
+    }
+
+    #[test]
+    fn multithreaded_sharded_build_matches_live_across_limits() {
+        for limit in [2, 7, 64, 4096] {
+            threaded_identity(CostGraphConfig::default(), limit, 0);
+        }
+    }
+
+    #[test]
+    fn multithreaded_graphs_are_schedule_independent() {
+        // Same canonical bytes whatever interleaving the scheduler
+        // picks, and whatever segment size the writer splits at.
+        let reference = threaded_identity(CostGraphConfig::default(), 5, 0);
+        for seed in [1, 7, 0xDEAD_BEEF] {
+            for limit in [3, 4096] {
+                let b = threaded_identity(CostGraphConfig::default(), limit, seed);
+                assert_eq!(
+                    String::from_utf8_lossy(&reference),
+                    String::from_utf8_lossy(&b),
+                    "seed {seed} limit {limit} changed the canonical graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_sharded_build_matches_live_with_ablations() {
+        for config in [
+            CostGraphConfig {
+                slots: 8,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                traditional_uses: true,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                control_edges: true,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                dense_interning: false,
+                ..CostGraphConfig::default()
+            },
+            CostGraphConfig {
+                inline_caches: false,
+                ..CostGraphConfig::default()
+            },
+        ] {
+            threaded_identity(config, 4, 3);
         }
     }
 

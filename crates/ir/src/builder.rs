@@ -622,6 +622,23 @@ impl MethodBuilder {
         self.call_native(None, native, args);
     }
 
+    /// Emits `dst = spawn method(args…)`, starting a guest thread. Use
+    /// [`ProgramBuilder::declare_method`] to obtain ids for methods whose
+    /// bodies are defined later.
+    pub fn spawn(&mut self, dst: Local, method: MethodId, args: &[Local]) {
+        self.emit(Instr::Spawn {
+            dst,
+            callee: method,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Emits `dst = join thread` (or a value-discarding `join thread` when
+    /// `dst` is `None`).
+    pub fn join(&mut self, dst: Option<Local>, thread: Local) {
+        self.emit(Instr::Join { dst, thread });
+    }
+
     /// Emits `return src`.
     pub fn ret(&mut self, src: Local) {
         self.emit(Instr::Return { src: Some(src) });

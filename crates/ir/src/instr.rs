@@ -308,6 +308,27 @@ pub enum Instr {
         /// Local holding the return value, if any.
         src: Option<Local>,
     },
+    /// `dst = spawn m(args…)` — starts a new guest thread running `m` and
+    /// stores an integer thread handle in `dst`.
+    ///
+    /// Arguments are passed by value (references share the heap); the
+    /// spawned method's return value is retrieved by [`Instr::Join`].
+    Spawn {
+        /// Destination local for the thread handle.
+        dst: Local,
+        /// The method the new thread runs (direct callees only).
+        callee: MethodId,
+        /// Argument locals (receiver first for instance methods).
+        args: Vec<Local>,
+    },
+    /// `dst = join t` / `join t` — blocks until the thread named by the
+    /// handle in `thread` finishes, then stores its return value.
+    Join {
+        /// Destination local for the joined thread's return value, if any.
+        dst: Option<Local>,
+        /// Local holding the thread handle produced by [`Instr::Spawn`].
+        thread: Local,
+    },
 }
 
 impl Instr {
@@ -324,8 +345,11 @@ impl Instr {
             | Instr::GetField { dst, .. }
             | Instr::GetStatic { dst, .. }
             | Instr::ArrayGet { dst, .. }
-            | Instr::ArrayLen { dst, .. } => Some(dst),
-            Instr::Call { dst, .. } | Instr::CallNative { dst, .. } => dst,
+            | Instr::ArrayLen { dst, .. }
+            | Instr::Spawn { dst, .. } => Some(dst),
+            Instr::Call { dst, .. } | Instr::CallNative { dst, .. } | Instr::Join { dst, .. } => {
+                dst
+            }
             Instr::Branch { .. }
             | Instr::Jump { .. }
             | Instr::PutField { .. }
@@ -354,8 +378,11 @@ impl Instr {
             Instr::ArrayGet { idx, .. } => vec![*idx],
             Instr::ArrayPut { idx, src, .. } => vec![*idx, *src],
             Instr::ArrayLen { .. } => vec![],
-            Instr::Call { args, .. } | Instr::CallNative { args, .. } => args.clone(),
+            Instr::Call { args, .. }
+            | Instr::CallNative { args, .. }
+            | Instr::Spawn { args, .. } => args.clone(),
             Instr::Return { src } => src.iter().copied().collect(),
+            Instr::Join { thread, .. } => vec![*thread],
         }
     }
 
@@ -524,6 +551,33 @@ mod tests {
         .falls_through());
         assert_eq!(Instr::Jump { target: 4 }.branch_target(), Some(4));
         assert_eq!(Instr::Return { src: None }.branch_target(), None);
+    }
+
+    #[test]
+    fn spawn_and_join_helpers() {
+        let sp = Instr::Spawn {
+            dst: l(0),
+            callee: MethodId(1),
+            args: vec![l(1), l(2)],
+        };
+        assert_eq!(sp.def(), Some(l(0)));
+        assert_eq!(sp.thin_uses(), vec![l(1), l(2)]);
+        assert_eq!(sp.full_uses(), vec![l(1), l(2)]);
+        assert!(sp.falls_through());
+        assert!(!sp.is_alloc() && !sp.reads_heap() && !sp.writes_heap());
+
+        let j = Instr::Join {
+            dst: Some(l(3)),
+            thread: l(0),
+        };
+        assert_eq!(j.def(), Some(l(3)));
+        assert_eq!(j.thin_uses(), vec![l(0)]);
+        assert!(j.falls_through() && j.branch_target().is_none());
+        let jv = Instr::Join {
+            dst: None,
+            thread: l(0),
+        };
+        assert_eq!(jv.def(), None);
     }
 
     #[test]

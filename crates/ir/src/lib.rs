@@ -55,5 +55,7 @@ pub use printer::{display_method, display_program, display_program_source};
 pub use program::{
     AllocKind, AllocSite, Class, Method, NativeDecl, Program, StaticDecl, ValidationError,
 };
-pub use types::{AllocSiteId, ClassId, FieldId, InstrId, Local, MethodId, NativeId, Pc, StaticId};
+pub use types::{
+    AllocSiteId, ClassId, FieldId, InstrId, Local, MethodId, NativeId, Pc, StaticId, ThreadId,
+};
 pub use value::{ConstValue, ObjectId, Value};

@@ -386,6 +386,11 @@ impl<'t> BodyParser<'t> {
                 let kind = toks[0].clone();
                 self.parse_call(None, &kind, toks, 1, line)
             }
+            Some("join") => {
+                let th = self.operand(t(1).unwrap_or(""), line)?;
+                self.mb.join(None, th);
+                Ok(())
+            }
             Some(first) if first.starts_with('$') && t(1) == Some("=") => {
                 // $Static = src
                 let sid = match self.tables.statics.get(&first[1..]) {
@@ -462,6 +467,20 @@ impl<'t> BodyParser<'t> {
             Some("call") | Some("vcall") | Some("native") => {
                 let kind = rest[0].clone();
                 self.parse_call(Some(dst), &kind, toks, 3, line)
+            }
+            Some("spawn") => {
+                let (name, args) = self.call_args(toks, 3, line)?;
+                let mid = match self.tables.methods.get(&name) {
+                    Some(&(m, _, _)) => m,
+                    None => return err(line, format!("spawn of unknown method `{name}`")),
+                };
+                self.mb.spawn(dst, mid, &args);
+                Ok(())
+            }
+            Some("join") => {
+                let th = self.operand(r(1).unwrap_or(""), line)?;
+                self.mb.join(Some(dst), th);
+                Ok(())
             }
             Some(u) if parse_un_op(u).is_some() => {
                 let src = self.operand(r(1).unwrap_or(""), line)?;
@@ -871,6 +890,39 @@ method main/0 {
     fn float_literals_parse() {
         let src = "method main/0 {\n  x = 2.5\n  y = x\n  return\n}\n";
         parse_program(src).expect("parse");
+    }
+
+    #[test]
+    fn spawn_and_join_parse_and_reprint() {
+        let src = r#"
+native print/1
+method worker/2 {
+  r = p0 + p1
+  return r
+}
+method main/0 {
+  a = 1
+  b = 2
+  t = spawn worker(a, b)
+  r = join t
+  native print(r)
+  join t
+  return
+}
+"#;
+        let p = parse_program(src).expect("parse");
+        let text = crate::display_program_source(&p);
+        assert!(text.contains("= spawn worker("), "{text}");
+        assert!(text.contains("= join "), "{text}");
+        // The re-printed source parses back.
+        parse_program(&text).expect("round-trip");
+    }
+
+    #[test]
+    fn spawn_of_unknown_method_is_rejected() {
+        let src = "method main/0 {\n  t = spawn nosuch()\n  return\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("nosuch"), "{}", e.message);
     }
 
     #[test]

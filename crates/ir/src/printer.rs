@@ -99,6 +99,19 @@ pub(crate) fn display_instr(program: &Program, method: MethodId, instr: &Instr) 
             Some(s) => format!("return {}", l(*s)),
             None => "return".to_string(),
         },
+        Instr::Spawn { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| l(a)).collect();
+            let m = program.method(*callee);
+            let name = match m.class() {
+                Some(c) => format!("{}.{}", program.class(c).name(), m.name()),
+                None => m.name().to_string(),
+            };
+            format!("{} = spawn {}({})", l(*dst), name, args.join(", "))
+        }
+        Instr::Join { dst, thread } => match dst {
+            Some(d) => format!("{} = join {}", l(*d), l(*thread)),
+            None => format!("join {}", l(*thread)),
+        },
     }
 }
 
@@ -265,6 +278,19 @@ fn emit_method_source(
             Instr::Return { src } => match src {
                 Some(s) => format!("return {}", local(*s)),
                 None => "return".to_string(),
+            },
+            Instr::Spawn { dst, callee, args } => {
+                let args_s: Vec<String> = args.iter().map(|&a| local(a)).collect();
+                let callee_m = program.method(*callee);
+                let name = match callee_m.class() {
+                    Some(c) => format!("{}.{}", program.class(c).name(), callee_m.name()),
+                    None => callee_m.name().to_string(),
+                };
+                format!("{} = spawn {name}({})", local(*dst), args_s.join(", "))
+            }
+            Instr::Join { dst, thread } => match dst {
+                Some(d) => format!("{} = join {}", local(*d), local(*thread)),
+                None => format!("join {}", local(*thread)),
             },
         };
         let _ = writeln!(out, "  {line}");

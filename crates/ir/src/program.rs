@@ -466,6 +466,21 @@ impl Program {
                             }
                         }
                     },
+                    Instr::Spawn { callee, args, .. } => {
+                        let Some(t) = self.methods.get(callee.index()) else {
+                            return Err(ValidationError::UnknownMethod {
+                                at,
+                                method: *callee,
+                            });
+                        };
+                        if t.num_params as usize != args.len() {
+                            return Err(ValidationError::ArityMismatch {
+                                at,
+                                expected: t.num_params as usize,
+                                found: args.len(),
+                            });
+                        }
+                    }
                     Instr::CallNative { native, args, .. } => {
                         let Some(n) = self.natives.get(native.index()) else {
                             return Err(ValidationError::UnknownNative {

@@ -71,6 +71,43 @@ id_type!(
     "O"
 );
 
+/// Identifies a guest thread within one program execution.
+///
+/// Thread ids are dense: the main thread is always `ThreadId(0)` and each
+/// executed `spawn` assigns the next integer. When all spawns are issued
+/// from a single thread (the common fork/join shape), ids are independent
+/// of the scheduler seed; workloads that spawn from multiple threads get
+/// ids in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread, which runs `main`.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the main thread.
+    pub fn is_main(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<ThreadId> for usize {
+    fn from(id: ThreadId) -> usize {
+        id.index()
+    }
+}
+
 /// A local variable slot within a method frame.
 ///
 /// Locals are untyped storage cells, as in JVM bytecode; parameters occupy

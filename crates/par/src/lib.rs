@@ -13,8 +13,10 @@
 //! workload) does not serialize the rest of its stripe.
 //!
 //! The crate also hosts the *within-run* parallelism of the pipelined
-//! live profiler: a bounded SPSC [`ring`](mod@ring) carries event
-//! batches from the VM thread to [`run_pipelined`]'s shard workers.
+//! live profiler: a bounded multi-producer [`mpsc_ring`] carries event
+//! batches into [`run_pipelined`]'s coordinator (and spent buffers
+//! back from its shard workers), while per-worker SPSC
+//! [`ring`](mod@ring) lanes fan batches out to the workers.
 
 // `deny` (not `forbid`) so `ring` can carve out the one audited unsafe
 // module; everything else in the crate stays safe code.
@@ -29,7 +31,7 @@ pub use pipeline::{
     auto_pipeline_jobs, run_pipelined, PipeProducer, PipelineOptions, PipelineSink, PipelineTracer,
 };
 pub use replay::{replay_gcost, salvage_replay_gcost};
-pub use ring::{lanes, ring, Lanes, RingReceiver, RingSender};
+pub use ring::{lanes, mpsc_ring, ring, Lanes, MpscReceiver, MpscSender, RingReceiver, RingSender};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

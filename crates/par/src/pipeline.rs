@@ -6,7 +6,7 @@
 //! from. [`run_pipelined`] moves construction off the VM thread:
 //!
 //! ```text
-//! VM thread ──BatchSink──► SPSC ring ──► coordinator ──┬─lane─► worker
+//! VM thread ──BatchSink──► MPSC ring ──► coordinator ──┬─lane─► worker
 //!   (runs ~plain speed)    (bounded)     (object scan)  ├─lane─► worker
 //!                                              │        └─lane─► worker
 //!                                              └─ deltas (all lanes) ┘
@@ -14,9 +14,14 @@
 //! ```
 //!
 //! The VM thread packs events into [`EventBatch`]es (split only at
-//! frame-push boundaries, like trace segments) and pushes them into a
-//! bounded ring — backpressure blocks the producer, so memory stays
-//! flat no matter how far construction falls behind. With `jobs = 1`
+//! frame-push boundaries and guest-thread switches, like trace
+//! segments) and pushes them into a bounded multi-producer ring —
+//! backpressure blocks the producer, so memory stays flat no matter
+//! how far construction falls behind. The ingest sender clones, so N
+//! concurrent event streams can share one coordinator; the
+//! deterministic scheduler multiplexes all guest threads onto a single
+//! producing OS thread today, and the single consumer pops batches in
+//! exactly its push order. With `jobs = 1`
 //! the consumer replays batches in order straight into the sequential
 //! [`GraphBuilder`](lowutil_core::GraphBuilder) — the exact sequential
 //! build cost, just moved off the VM thread. With `jobs ≥ 2` the
@@ -47,13 +52,13 @@
 //! never left blocking), and the panic resurfaces when the scope
 //! joins.
 
-use crate::ring::{lanes, ring, RingReceiver, RingSender};
+use crate::ring::{lanes, mpsc_ring, MpscReceiver, MpscSender, RingReceiver};
 use lowutil_core::shard::{
     apply_object_delta, merge_shards, shard_sink_reusing, ObjectInfo, ObjectTableScan,
     ShardContext, ShardGraph, ShardScratch,
 };
 use lowutil_core::{CostGraph, CostGraphConfig, GraphBuilder};
-use lowutil_ir::{ObjectId, Program};
+use lowutil_ir::{ObjectId, Program, ThreadId};
 use lowutil_vm::{
     BatchRecord, BatchSink, BatchTarget, Event, EventBatch, EventSink, FrameInfo, SinkTracer,
     DEFAULT_BATCH_LIMIT,
@@ -108,11 +113,18 @@ pub fn auto_pipeline_jobs() -> usize {
 
 /// The producer end the `BatchSink` targets: finished batches go out
 /// through the batch ring, and spent record buffers come back from the
-/// consumer through the recycle ring, so steady-state packing reuses
-/// warm allocations instead of growing a fresh `Vec` per batch.
+/// consumer side through the recycle ring, so steady-state packing
+/// reuses warm allocations instead of growing a fresh `Vec` per batch.
+///
+/// Both rings are multi-producer: the ingest sender is cloneable so N
+/// concurrent event streams can feed one coordinator (today's
+/// deterministic scheduler multiplexes all guest threads onto one OS
+/// producer, but the ingest path no longer assumes that), and the
+/// recycle ring collects spent buffers from *every* shard worker, not
+/// just a single consumer.
 pub struct PipeProducer {
-    tx: RingSender<EventBatch>,
-    spent: RingReceiver<Vec<BatchRecord>>,
+    tx: MpscSender<EventBatch>,
+    spent: MpscReceiver<Vec<BatchRecord>>,
 }
 
 impl BatchTarget for PipeProducer {
@@ -156,6 +168,13 @@ impl EventSink for PipelineSink {
             PipelineSink::Inline(b) => b.frame_pop(),
         }
     }
+
+    fn thread(&mut self, tid: ThreadId) {
+        match self {
+            PipelineSink::Ring(s) => s.thread(tid),
+            PipelineSink::Inline(b) => b.thread(tid),
+        }
+    }
 }
 
 /// The tracer [`run_pipelined`] hands to its run closure: attach it to
@@ -175,10 +194,11 @@ struct WorkItem {
 
 /// The lane a batch is routed to first: batches shard by the method
 /// they enter (the first record's pushed method when the batch starts
-/// with a frame push — every non-first batch does — else the innermost
-/// live frame), so consecutive batches running the same code land on
-/// the worker whose interner and inline-cache entries for that code
-/// are warm. Purely a performance hint: the output is invariant under
+/// with a frame push — every non-first batch of a thread's stream does
+/// — else the innermost live frame of the batch's thread, e.g. after a
+/// mid-frame thread-switch split), so consecutive batches running the
+/// same code land on the worker whose interner and inline-cache
+/// entries for that code are warm. Purely a performance hint: the output is invariant under
 /// routing (see [`WorkItem`]), which is what lets `push_spill`
 /// overflow to another lane when the home worker is behind.
 fn home_lane(batch: &EventBatch, jobs: usize) -> usize {
@@ -226,15 +246,22 @@ pub fn run_pipelined<R>(
     }
     let ctx = ShardContext::new(program, config);
     let jobs = opts.jobs;
-    let (tx, mut rx) = ring::<EventBatch>(opts.ring_capacity);
-    // The reverse lane: the consumer returns spent record buffers so
-    // the producer packs into warm allocations. A little extra slack
-    // means a momentarily full lane drops a buffer instead of stalling.
-    let (ret_tx, ret_rx) = ring::<Vec<BatchRecord>>(opts.ring_capacity.max(1) + 2);
+    // Multi-producer ingest: the sender clones, so N concurrent event
+    // streams could feed this one coordinator; this run has a single
+    // VM thread producing (the deterministic scheduler multiplexes
+    // guest threads onto it), which the single-consumer pop order
+    // then reproduces batch-for-batch.
+    let (tx, mut rx) = mpsc_ring::<EventBatch>(opts.ring_capacity);
+    // The reverse lane: consumers return spent record buffers so the
+    // producer packs into warm allocations. Multi-producer because in
+    // threaded mode every shard worker returns the buffers of the
+    // batches it built. A little extra slack means a momentarily full
+    // lane drops a buffer instead of stalling.
+    let (ret_tx, ret_rx) = mpsc_ring::<Vec<BatchRecord>>(opts.ring_capacity.max(1) + 2);
     std::thread::scope(|s| {
         let ctx = &ctx;
         let builder = s.spawn(move || {
-            let mut ret_tx = ret_tx;
+            let ret_tx = ret_tx;
             if jobs == 1 {
                 // A single worker sees every batch in order, which is
                 // the whole event stream in order — so it feeds the
@@ -253,11 +280,7 @@ pub fn run_pipelined<R>(
                 }
                 b.finish()
             } else {
-                // Batches move to shard workers, so their buffers
-                // cannot come back through this (SPSC) lane; close it
-                // and let the producer allocate per batch.
-                drop(ret_tx);
-                coordinate(ctx, &mut rx, jobs)
+                coordinate(ctx, &mut rx, jobs, &ret_tx)
             }
         });
         let sink = BatchSink::new(PipeProducer { tx, spent: ret_rx }, opts.batch_limit.max(1));
@@ -282,8 +305,9 @@ pub fn run_pipelined<R>(
 /// order.
 fn coordinate(
     ctx: &ShardContext,
-    rx: &mut crate::ring::RingReceiver<EventBatch>,
+    rx: &mut MpscReceiver<EventBatch>,
     jobs: usize,
+    ret_tx: &MpscSender<Vec<BatchRecord>>,
 ) -> CostGraph {
     std::thread::scope(|s| {
         // A small per-lane bound keeps total buffered batches (and so
@@ -291,7 +315,8 @@ fn coordinate(
         let (mut lanes, lane_rxs) = lanes::<WorkItem>(jobs, 2);
         let mut handles = Vec::with_capacity(jobs);
         for wrx in lane_rxs {
-            handles.push(s.spawn(move || worker(ctx, wrx)));
+            let ret = ret_tx.clone();
+            handles.push(s.spawn(move || worker(ctx, wrx, ret)));
         }
         let empty_delta: Arc<Vec<(ObjectId, ObjectInfo)>> = Arc::new(Vec::new());
         let mut scan = ObjectTableScan::new(ctx.config().phase_limited);
@@ -348,8 +373,14 @@ fn coordinate(
 /// arrival (= batch) order to its private object table, and builds the
 /// batches dealt to it — reusing one [`ShardScratch`] arena across all
 /// of them, so the |I|-sized construction tables are allocated once
-/// per worker instead of once per batch.
-fn worker(ctx: &ShardContext, mut rx: RingReceiver<WorkItem>) -> Vec<(usize, ShardGraph)> {
+/// per worker instead of once per batch. Spent record buffers go back
+/// to the VM thread through the (multi-producer) recycle ring, so
+/// threaded runs also pack into warm allocations.
+fn worker(
+    ctx: &ShardContext,
+    mut rx: RingReceiver<WorkItem>,
+    ret: MpscSender<Vec<BatchRecord>>,
+) -> Vec<(usize, ShardGraph)> {
     let mut table: Vec<Option<ObjectInfo>> = Vec::new();
     let mut scratch = ShardScratch::new(ctx);
     let mut out = Vec::new();
@@ -361,6 +392,10 @@ fn worker(ctx: &ShardContext, mut rx: RingReceiver<WorkItem>) -> Vec<(usize, Sha
             let (shard, sc) = b.finish_reusing();
             scratch = sc;
             out.push((i, shard));
+            let mut spent = batch.records;
+            spent.clear();
+            // Full lane (or a gone producer): drop the buffer.
+            let _ = ret.try_push(spent);
         }
     }
     out
@@ -439,6 +474,78 @@ method sum/2 {
                     seq,
                     "jobs={jobs} batch={batch} diverged from sequential"
                 );
+            }
+        }
+    }
+
+    const MT_SRC: &str = r#"
+native print/1
+class Box { v }
+method main/0 {
+  b1 = new Box
+  b2 = new Box
+  t1 = spawn fill(b1)
+  t2 = spawn fill(b2)
+  r1 = join t1
+  r2 = join t2
+  x = b1.v
+  y = b2.v
+  s1 = x + y
+  s2 = r1 + r2
+  s = s1 + s2
+  native print(s)
+  return
+}
+method fill/1 {
+  i = 0
+  one = 1
+  lim = 9
+loop:
+  if i >= lim goto done
+  p0.v = i
+  i = i + one
+  goto loop
+done:
+  r = p0.v
+  return r
+}
+"#;
+
+    /// A multithreaded guest run through the pipeline: the batch
+    /// stream now interleaves guest threads (batches split at thread
+    /// switches, some starting mid-frame), and the result must still
+    /// be byte-identical to the sequential profile — at every job
+    /// count, batch size, and scheduler seed.
+    #[test]
+    fn multithreaded_pipelined_matches_sequential() {
+        let p = parse_program(MT_SRC).expect("parse");
+        let config = CostGraphConfig::default();
+        for sched_seed in [0u64, 7, 0xFEED] {
+            let rc = lowutil_vm::RunConfig {
+                sched_seed,
+                ..lowutil_vm::RunConfig::default()
+            };
+            let mut prof = CostProfiler::new(&p, config);
+            let out_seq = Vm::with_config(&p, rc).run(&mut prof).expect("runs");
+            let seq = bytes_of(&prof.finish());
+
+            for jobs in [0, 1, 2, 7] {
+                for batch in [1, 8, 4096] {
+                    let opts = PipelineOptions {
+                        jobs,
+                        batch_limit: batch,
+                        ring_capacity: 4,
+                    };
+                    let (out, graph) = run_pipelined(&p, config, &opts, |t| {
+                        Vm::with_config(&p, rc).run(t).expect("runs")
+                    });
+                    assert_eq!(out.output, out_seq.output);
+                    assert_eq!(
+                        bytes_of(&graph),
+                        seq,
+                        "seed={sched_seed} jobs={jobs} batch={batch} diverged"
+                    );
+                }
             }
         }
     }

@@ -6,10 +6,15 @@
 //! workspace). Programs draw from a fixed shape — [`NUM_REGS`] integer
 //! registers, one object with [`NUM_FIELDS`] fields, one
 //! [`ARRAY_LEN`]-element array — and may call a tiny `double` callee
-//! (exercising frame pushes, where trace segments split) and take
+//! (exercising frame pushes, where trace segments split), take
 //! forward conditional branches ([`Op::Skip`]), which keep every
 //! generated program trivially terminating while still producing
-//! non-straight-line control flow.
+//! non-straight-line control flow, and spawn guest threads
+//! ([`Op::SpawnJoin`], [`Op::Fork`]) running a pure `worker` callee,
+//! exercising thread-tagged trace segments and thread-salted contexts
+//! in every fuzz and corruption sweep. Threads are always joined before
+//! their results are read, so generated programs stay deterministic
+//! under every scheduler seed.
 
 use lowutil_ir::{BinOp, CmpOp, ConstValue, Local, Program, ProgramBuilder};
 use proptest::prelude::*;
@@ -49,6 +54,13 @@ pub enum Op {
     /// `if regs[l] < regs[r] skip the next n ops` — forward-only, so
     /// generated programs always terminate
     Skip(u8, u8, u8),
+    /// `t = spawn worker(regs[s]); regs[d] = join t` — one guest thread,
+    /// immediately joined
+    SpawnJoin(u8, u8),
+    /// `t1 = spawn worker(regs[l]); t2 = spawn worker(regs[r]);
+    /// regs[d] = join t1 + join t2` — two threads runnable at once, so
+    /// the scheduler actually interleaves them
+    Fork(u8, u8, u8),
 }
 
 /// The strategy for a single [`Op`]. Defined exactly once in the
@@ -68,7 +80,9 @@ pub fn op_strategy() -> impl Strategy<Value = Op> {
         (r.clone(), a).prop_map(|(d, i)| Op::ArrGet(d, i)),
         r.clone().prop_map(Op::Native),
         (r.clone(), r.clone()).prop_map(|(d, s)| Op::Call(d, s)),
-        (r.clone(), r, 1..MAX_SKIP + 1).prop_map(|(l, rr, n)| Op::Skip(l, rr, n)),
+        (r.clone(), r.clone(), 1..MAX_SKIP + 1).prop_map(|(l, rr, n)| Op::Skip(l, rr, n)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Op::SpawnJoin(d, s)),
+        (r.clone(), r.clone(), r).prop_map(|(d, l, rr)| Op::Fork(d, l, rr)),
     ]
 }
 
@@ -102,6 +116,19 @@ pub fn build(ops: &[Op]) -> Program {
     dm.ret(dr);
     let double_id = dm.finish(&mut pb);
 
+    // A pure spawn target, distinct from `double` so Call-context nodes
+    // keep their exact frequencies: worker(x) = 2x + 1.
+    let mut wm = pb.method("worker", 1);
+    let wp = wm.param(0);
+    let w1 = wm.new_local("w1");
+    wm.binop(w1, BinOp::Add, wp, wp);
+    let wone = wm.new_local("wone");
+    wm.iconst(wone, 1);
+    let w2 = wm.new_local("w2");
+    wm.binop(w2, BinOp::Add, w1, wone);
+    wm.ret(w2);
+    let worker_id = wm.finish(&mut pb);
+
     let mut m = pb.method("main", 0);
     let regs: Vec<Local> = (0..NUM_REGS)
         .map(|i| m.new_local(format!("r{i}")))
@@ -110,6 +137,11 @@ pub fn build(ops: &[Op]) -> Program {
     let arr = m.new_local("arr");
     let len = m.new_local("len");
     let idx = m.new_local("idx");
+    // Thread handles and join results for SpawnJoin/Fork ops.
+    let t1 = m.new_local("t1");
+    let t2 = m.new_local("t2");
+    let j1 = m.new_local("j1");
+    let j2 = m.new_local("j2");
 
     // Initialize: registers to 0, one object, one zeroed array.
     for &r in &regs {
@@ -168,6 +200,17 @@ pub fn build(ops: &[Op]) -> Program {
                 pending[target].push(lab);
                 m.branch(CmpOp::Lt, regs[l as usize], regs[r as usize], lab);
             }
+            Op::SpawnJoin(d, s) => {
+                m.spawn(t1, worker_id, &[regs[s as usize]]);
+                m.join(Some(regs[d as usize]), t1);
+            }
+            Op::Fork(d, l, r) => {
+                m.spawn(t1, worker_id, &[regs[l as usize]]);
+                m.spawn(t2, worker_id, &[regs[r as usize]]);
+                m.join(Some(j1), t1);
+                m.join(Some(j2), t2);
+                m.binop(regs[d as usize], BinOp::Add, j1, j2);
+            }
         }
     }
     for l in std::mem::take(&mut pending[ops.len()]) {
@@ -189,6 +232,11 @@ pub struct OracleRun {
     /// in the grammar this can be fewer than the calls in the op list,
     /// and it is the frequency the `double` callee's graph nodes carry.
     pub executed_calls: u64,
+    /// How many `worker` threads actually spawned (one per executed
+    /// [`Op::SpawnJoin`], two per executed [`Op::Fork`]). Each runs
+    /// under its own thread-salted context, so a `worker` graph node's
+    /// frequency is at most this.
+    pub spawned_workers: u64,
 }
 
 /// A direct Rust model of the generated programs' semantics, used as a
@@ -200,6 +248,9 @@ pub fn oracle(ops: &[Op]) -> OracleRun {
     let mut arr = [0i64; ARRAY_LEN];
     let mut out = Vec::new();
     let mut executed_calls = 0u64;
+    let mut spawned_workers = 0u64;
+    // worker(x) = 2x + 1, mirroring the IR callee with wrapping math.
+    let worker = |x: i64| x.wrapping_add(x).wrapping_add(1);
     let mut pc = 0usize;
     while pc < ops.len() {
         match ops[pc] {
@@ -230,6 +281,14 @@ pub fn oracle(ops: &[Op]) -> OracleRun {
                     continue;
                 }
             }
+            Op::SpawnJoin(d, s) => {
+                spawned_workers += 1;
+                regs[d as usize] = worker(regs[s as usize]);
+            }
+            Op::Fork(d, l, r) => {
+                spawned_workers += 2;
+                regs[d as usize] = worker(regs[l as usize]).wrapping_add(worker(regs[r as usize]));
+            }
         }
         pc += 1;
     }
@@ -237,5 +296,6 @@ pub fn oracle(ops: &[Op]) -> OracleRun {
     OracleRun {
         output: out,
         executed_calls,
+        spawned_workers,
     }
 }

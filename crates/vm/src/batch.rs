@@ -20,6 +20,7 @@
 use crate::event::{Event, FrameInfo};
 use crate::sink::EventSink;
 use crate::trace::{Prologue, PrologueFrame};
+use lowutil_ir::ThreadId;
 
 /// Default records-per-batch target, matching the trace writer's
 /// [`DEFAULT_SEGMENT_LIMIT`](crate::trace::DEFAULT_SEGMENT_LIMIT).
@@ -48,8 +49,14 @@ pub struct EventBatch {
 }
 
 impl EventBatch {
-    /// Replays the batch's records into `sink`, in recorded order.
+    /// Replays the batch's records into `sink`, in recorded order. The
+    /// owning thread is announced first, unconditionally: batches are
+    /// replayed into per-batch shard builders that have no cross-batch
+    /// "current thread" to diff against, so each batch seeds its
+    /// consumer with its own thread (a `thread(MAIN)` call on a
+    /// single-threaded stream is an idempotent no-op for consumers).
     pub fn replay<S: EventSink>(&self, sink: &mut S) {
+        sink.thread(self.prologue.thread);
         for r in &self.records {
             match r {
                 BatchRecord::Event(e) => sink.event(e),
@@ -93,8 +100,11 @@ pub struct BatchSink<T: BatchTarget> {
     /// Prologue of the batch currently being filled (captured when the
     /// previous batch was flushed).
     prologue: Prologue,
-    /// Live-frame mirror for prologue capture, as in the trace writer.
-    frames: Vec<PrologueFrame>,
+    /// Per-thread live-frame mirrors for prologue capture, indexed by
+    /// thread id, as in the trace writer. Gids stay globally unique.
+    frames: Vec<Vec<PrologueFrame>>,
+    /// The thread whose records the current batch holds.
+    cur_thread: usize,
     push_count: u64,
     in_phase: bool,
     batches: u64,
@@ -113,7 +123,8 @@ impl<T: BatchTarget> BatchSink<T> {
             // The run starts outside any frame and any phase, with the
             // first push receiving gid 0 — exactly `Prologue::default()`.
             prologue: Prologue::default(),
-            frames: Vec::new(),
+            frames: vec![Vec::new()],
+            cur_thread: 0,
             push_count: 0,
             in_phase: false,
             batches: 0,
@@ -142,7 +153,8 @@ impl<T: BatchTarget> BatchSink<T> {
         };
         let records = std::mem::replace(&mut self.records, next);
         let next = Prologue {
-            frames: self.frames.clone(),
+            thread: ThreadId(self.cur_thread as u32),
+            frames: self.frames[self.cur_thread].clone(),
             in_phase: self.in_phase,
             first_gid: self.push_count,
         };
@@ -189,7 +201,7 @@ impl<T: BatchTarget> EventSink for BatchSink<T> {
                 return;
             }
         }
-        self.frames.push(PrologueFrame {
+        self.frames[self.cur_thread].push(PrologueFrame {
             method: info.method,
             num_locals: info.num_locals,
             gid: self.push_count,
@@ -203,8 +215,32 @@ impl<T: BatchTarget> EventSink for BatchSink<T> {
         if self.dead {
             return;
         }
-        self.frames.pop();
+        self.frames[self.cur_thread].pop();
         self.records.push(BatchRecord::Pop);
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        if self.dead || tid.index() == self.cur_thread {
+            return;
+        }
+        // Batches are per-thread, like trace segments: close the
+        // departing thread's batch and start one owned by `tid`.
+        if !self.records.is_empty() {
+            self.flush();
+            if self.dead {
+                return;
+            }
+        }
+        self.cur_thread = tid.index();
+        if self.frames.len() <= self.cur_thread {
+            self.frames.resize_with(self.cur_thread + 1, Vec::new);
+        }
+        self.prologue = Prologue {
+            thread: tid,
+            frames: self.frames[self.cur_thread].clone(),
+            in_phase: self.in_phase,
+            first_gid: self.push_count,
+        };
     }
 }
 
@@ -324,6 +360,62 @@ mod tests {
             .run(&mut tracer)
             .expect("run unaffected by dead consumer");
         assert!(tracer.0.is_dead());
+    }
+
+    /// A multithreaded run batches per-thread: each batch's records all
+    /// belong to its prologue's thread, and replaying the batches
+    /// back-to-back loses nothing.
+    #[test]
+    fn multithreaded_batches_are_per_thread_and_lossless() {
+        let src = r#"
+native print/1
+method main/0 {
+  a = 3
+  b = 4
+  t1 = spawn work(a)
+  t2 = spawn work(b)
+  r1 = join t1
+  r2 = join t2
+  s = r1 + r2
+  native print(s)
+  return
+}
+method work/1 {
+  i = 0
+  one = 1
+  lim = 30
+loop:
+  i = i + one
+  if i < lim goto loop
+  r = p0 + p0
+  return r
+}
+"#;
+        let p = lowutil_ir::parse_program(src).unwrap();
+        let mut direct = SinkTracer(CountingSink::new());
+        Vm::new(&p).run(&mut direct).expect("runs");
+        assert!(direct.0.switches > 0, "run must interleave");
+
+        let mut tracer = SinkTracer(BatchSink::new(Vec::new(), 4));
+        Vm::new(&p).run(&mut tracer).expect("runs");
+        let batches = tracer.0.finish();
+        let threads: std::collections::BTreeSet<ThreadId> =
+            batches.iter().map(|b| b.prologue.thread).collect();
+        assert!(threads.len() >= 3, "main + two workers");
+        // Within one thread, batches still split only at frame pushes.
+        for w in batches.windows(2) {
+            if w[1].prologue.thread == w[0].prologue.thread {
+                assert!(matches!(w[1].records.first(), Some(BatchRecord::Push(_))));
+            }
+        }
+
+        let mut replayed = CountingSink::new();
+        for b in &batches {
+            b.replay(&mut replayed);
+        }
+        assert_eq!(direct.0.events, replayed.events);
+        assert_eq!(direct.0.pushes, replayed.pushes);
+        assert_eq!(direct.0.pops, replayed.pops);
     }
 
     /// An empty run still yields exactly one (empty) batch.

@@ -14,7 +14,8 @@
 //! maintain shadow stacks aligned with the VM call stack.
 
 use lowutil_ir::{
-    AllocSiteId, CmpOp, FieldId, InstrId, Local, MethodId, NativeId, ObjectId, StaticId, Value,
+    AllocSiteId, CmpOp, FieldId, InstrId, Local, MethodId, NativeId, ObjectId, StaticId, ThreadId,
+    Value,
 };
 
 /// Information about a frame being pushed (rule METHOD ENTRY).
@@ -250,6 +251,34 @@ pub enum Event {
         /// The executing instruction.
         at: InstrId,
     },
+    /// `dst = spawn m(args…)` — a new guest thread was created. The
+    /// argument locals are thin uses (their tracking data flows to the
+    /// spawned thread's formals); `dst` receives the thread handle.
+    Spawn {
+        /// The executing instruction.
+        at: InstrId,
+        /// Local receiving the thread handle.
+        dst: Local,
+        /// The freshly assigned thread id.
+        thread: ThreadId,
+        /// The method the new thread runs.
+        callee: MethodId,
+        /// Argument locals in the spawning frame.
+        args: Vec<Local>,
+    },
+    /// `dst = join t` — the joining thread observed the target thread's
+    /// completion. The target's return-value tracking data flows to `dst`
+    /// (the cross-thread analogue of `CallComplete`).
+    Join {
+        /// The executing instruction.
+        at: InstrId,
+        /// Destination local, if the join stores the thread's result.
+        dst: Option<Local>,
+        /// The joined thread.
+        thread: ThreadId,
+        /// The joined thread's return value, if any.
+        value: Option<Value>,
+    },
 }
 
 impl Event {
@@ -271,7 +300,9 @@ impl Event {
             | Event::CallComplete { at, .. }
             | Event::Native { at, .. }
             | Event::Phase { at, .. }
-            | Event::Jump { at } => *at,
+            | Event::Jump { at }
+            | Event::Spawn { at, .. }
+            | Event::Join { at, .. } => *at,
         }
     }
 
@@ -289,7 +320,9 @@ impl Event {
             Event::Alloc { object, .. } => Some(Value::Ref(*object)),
             Event::CallComplete { value, .. }
             | Event::Return { value, .. }
-            | Event::Native { value, .. } => *value,
+            | Event::Native { value, .. }
+            | Event::Join { value, .. } => *value,
+            Event::Spawn { thread, .. } => Some(Value::Int(i64::from(thread.0))),
             Event::Predicate { .. }
             | Event::Call { .. }
             | Event::Phase { .. }

@@ -10,7 +10,8 @@ use crate::heap::Heap;
 use crate::natives::{NativeKind, NativeRegistry, NativeState};
 use crate::tracer::Tracer;
 use lowutil_ir::{
-    BinOp, Callee, ClassId, CmpOp, Instr, InstrId, Local, MethodId, Pc, Program, UnOp, Value,
+    BinOp, Callee, ClassId, CmpOp, Instr, InstrId, Local, MethodId, Pc, Program, ThreadId, UnOp,
+    Value,
 };
 use std::error::Error;
 use std::fmt;
@@ -21,10 +22,14 @@ pub struct RunConfig {
     /// Abort with [`TrapKind::InstructionBudgetExceeded`] after this many
     /// executed instructions. Guards against runaway loops in workloads.
     pub max_instructions: u64,
-    /// Maximum call-stack depth.
+    /// Maximum call-stack depth (per guest thread).
     pub max_stack: usize,
     /// Seed for the deterministic `rand` native.
     pub seed: u64,
+    /// Seed for the deterministic round-robin thread scheduler. Different
+    /// seeds produce different (but reproducible) interleavings; race-free
+    /// programs produce identical profiles under every seed.
+    pub sched_seed: u64,
 }
 
 impl Default for RunConfig {
@@ -33,6 +38,7 @@ impl Default for RunConfig {
             max_instructions: 2_000_000_000,
             max_stack: 1 << 14,
             seed: 0x5eed_1011,
+            sched_seed: 0,
         }
     }
 }
@@ -105,6 +111,14 @@ pub enum TrapKind {
         /// Arguments the call passed.
         found: usize,
     },
+    /// A `join` on an integer that is not a live thread handle.
+    InvalidThreadHandle {
+        /// The runtime handle value.
+        handle: i64,
+    },
+    /// Every unfinished thread is blocked on a `join` — no thread can make
+    /// progress (e.g. a thread joining itself, or a join cycle).
+    Deadlock,
 }
 
 /// A runtime failure, with the faulting instruction.
@@ -149,6 +163,12 @@ impl fmt::Display for Trap {
                     self.at
                 )
             }
+            TrapKind::InvalidThreadHandle { handle } => {
+                write!(f, "join on invalid thread handle {handle} at {}", self.at)
+            }
+            TrapKind::Deadlock => {
+                write!(f, "deadlock: all threads blocked on joins at {}", self.at)
+            }
         }
     }
 }
@@ -164,6 +184,58 @@ struct Frame {
     ret_dst: Option<Local>,
     /// The call instruction in the caller.
     call_site: Option<InstrId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ThreadStatus {
+    Runnable,
+    /// Waiting on a `join` of the named thread; woken when it finishes.
+    Blocked {
+        on: u32,
+    },
+    /// Root frame returned; the value is available to joiners forever.
+    Finished(Option<Value>),
+}
+
+/// One guest thread: a private call stack plus scheduling state. Registers
+/// (locals) live in the frames; the heap and statics are shared.
+#[derive(Debug)]
+struct GuestThread {
+    stack: Vec<Frame>,
+    status: ThreadStatus,
+    /// Entry method and argument values, pushed as the root frame the
+    /// first time the scheduler runs this thread (so the tracer sees the
+    /// frame push on the thread it belongs to).
+    start: Option<(MethodId, Vec<Value>)>,
+}
+
+/// xorshift64* stream driving scheduling-quantum choices. Distinct from the
+/// `rand` native's stream so scheduling never perturbs program semantics.
+#[derive(Debug)]
+struct SchedRng(u64);
+
+impl SchedRng {
+    fn new(seed: u64) -> Self {
+        // splitmix-style avalanche so seeds 0 and 1 diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SchedRng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Instructions the current thread runs before the next switch point.
+    fn quantum(&mut self) -> u32 {
+        1 + (self.next() % 61) as u32
+    }
 }
 
 /// The interpreter.
@@ -222,7 +294,8 @@ impl<'p> Vm<'p> {
             })?,
             natives: NativeState::new(self.config.seed),
             heap: Heap::new(),
-            stack: Vec::new(),
+            threads: Vec::new(),
+            cur: 0,
             executed: 0,
             in_phase: 0,
             phase_depth: 0,
@@ -239,7 +312,9 @@ struct Interp<'p> {
     registry: NativeRegistry,
     natives: NativeState,
     heap: Heap,
-    stack: Vec<Frame>,
+    threads: Vec<GuestThread>,
+    /// Index of the currently scheduled thread.
+    cur: usize,
     executed: u64,
     in_phase: u64,
     phase_depth: u32,
@@ -252,6 +327,14 @@ impl<'p> Interp<'p> {
         Trap { kind, at }
     }
 
+    fn stack(&self) -> &[Frame] {
+        &self.threads[self.cur].stack
+    }
+
+    fn stack_mut(&mut self) -> &mut Vec<Frame> {
+        &mut self.threads[self.cur].stack
+    }
+
     fn push_frame<T: Tracer>(
         &mut self,
         method: MethodId,
@@ -260,7 +343,7 @@ impl<'p> Interp<'p> {
         call_site: Option<InstrId>,
         tracer: &mut T,
     ) -> Result<(), TrapKind> {
-        if self.stack.len() >= self.config.max_stack {
+        if self.stack().len() >= self.config.max_stack {
             return Err(TrapKind::StackOverflow);
         }
         let m = self.program.method(method);
@@ -271,7 +354,7 @@ impl<'p> Interp<'p> {
         } else {
             None
         };
-        self.stack.push(Frame {
+        self.stack_mut().push(Frame {
             method,
             pc: 0,
             locals,
@@ -295,44 +378,116 @@ impl<'p> Interp<'p> {
         args: &[Value],
         tracer: &mut T,
     ) -> Result<RunOutcome, Trap> {
-        let entry_at = InstrId::new(entry, 0);
-        self.push_frame(entry, args, None, None, tracer)
-            .map_err(|k| self.trap(entry_at, k))?;
+        self.threads.push(GuestThread {
+            stack: Vec::new(),
+            status: ThreadStatus::Runnable,
+            start: Some((entry, args.to_vec())),
+        });
+        let mut rng = SchedRng::new(self.config.sched_seed);
+        let mut quantum = rng.quantum();
 
         let mut final_return: Option<Value> = None;
-        while !self.stack.is_empty() {
+        'sched: loop {
+            // Wake joiners whose target finished, then pick a thread:
+            // keep the current one while it is runnable and has quantum
+            // left, else round-robin to the next runnable thread. A
+            // single-threaded program never switches, so the tracer's
+            // `thread` hook is never called — the event stream is
+            // byte-identical to the pre-thread VM.
+            for i in 0..self.threads.len() {
+                if let ThreadStatus::Blocked { on } = self.threads[i].status {
+                    if matches!(self.threads[on as usize].status, ThreadStatus::Finished(_)) {
+                        self.threads[i].status = ThreadStatus::Runnable;
+                    }
+                }
+            }
+            if quantum == 0 || self.threads[self.cur].status != ThreadStatus::Runnable {
+                let n = self.threads.len();
+                let mut next = None;
+                for off in 1..=n {
+                    let t = (self.cur + off) % n;
+                    if self.threads[t].status == ThreadStatus::Runnable {
+                        next = Some(t);
+                        break;
+                    }
+                }
+                match next {
+                    Some(t) => {
+                        if t != self.cur {
+                            tracer.thread(ThreadId(t as u32));
+                            self.cur = t;
+                        }
+                        quantum = rng.quantum();
+                    }
+                    None => {
+                        if self
+                            .threads
+                            .iter()
+                            .all(|t| matches!(t.status, ThreadStatus::Finished(_)))
+                        {
+                            break 'sched;
+                        }
+                        // Every unfinished thread is blocked: deadlock.
+                        // Report the join site of the lowest such thread.
+                        let at = self
+                            .threads
+                            .iter()
+                            .find(|t| matches!(t.status, ThreadStatus::Blocked { .. }))
+                            .and_then(|t| t.stack.last())
+                            .map(|f| InstrId::new(f.method, f.pc))
+                            .unwrap_or(InstrId::new(entry, 0));
+                        return Err(self.trap(at, TrapKind::Deadlock));
+                    }
+                }
+            }
+            if let Some((m, start_args)) = self.threads[self.cur].start.take() {
+                self.push_frame(m, &start_args, None, None, tracer)
+                    .map_err(|k| self.trap(InstrId::new(m, 0), k))?;
+            }
+
             let (method, pc) = {
-                let f = self.stack.last().expect("non-empty stack");
+                let f = self.stack().last().expect("non-empty stack");
                 (f.method, f.pc)
             };
             let at = InstrId::new(method, pc);
-            if self.executed >= self.config.max_instructions {
-                return Err(self.trap(at, TrapKind::InstructionBudgetExceeded));
-            }
-            self.executed += 1;
-            if self.phase_depth > 0 {
-                self.in_phase += 1;
-            }
             // `self.program` is `&'p Program`, so the instruction can be
             // borrowed for 'p through a copy of the reference — no
             // per-instruction clone, and no conflict with the `&mut self`
             // borrow in `step`.
             let program: &'p Program = self.program;
             let instr = program.instr(at);
+            // A join whose target has not finished blocks *without*
+            // executing: the attempt is not counted and emits no event, so
+            // instruction totals and traces stay schedule-independent.
+            if let Instr::Join { thread, .. } = instr {
+                let tid = self.thread_handle(*thread).map_err(|k| self.trap(at, k))?;
+                if !matches!(self.threads[tid.index()].status, ThreadStatus::Finished(_)) {
+                    self.threads[self.cur].status = ThreadStatus::Blocked { on: tid.0 };
+                    continue 'sched;
+                }
+            }
+            if self.executed >= self.config.max_instructions {
+                return Err(self.trap(at, TrapKind::InstructionBudgetExceeded));
+            }
+            self.executed += 1;
+            quantum -= 1;
+            if self.phase_depth > 0 {
+                self.in_phase += 1;
+            }
             match self.step(at, instr, tracer) {
                 Ok(Step::Next) => {
-                    self.stack.last_mut().expect("frame").pc = pc + 1;
+                    self.stack_mut().last_mut().expect("frame").pc = pc + 1;
                 }
                 Ok(Step::Jump(target)) => {
-                    self.stack.last_mut().expect("frame").pc = target;
+                    self.stack_mut().last_mut().expect("frame").pc = target;
                 }
                 Ok(Step::Enter) => {
                     // Frame already pushed; new frame starts at pc 0.
                 }
                 Ok(Step::Leave(value)) => {
-                    let frame = self.stack.pop().expect("frame");
+                    let frame = self.stack_mut().pop().expect("frame");
                     tracer.frame_pop();
-                    match self.stack.last_mut() {
+                    match self.stack_mut().last_mut() {
                         Some(caller) => {
                             let call_at = frame.call_site.expect("non-entry frame has call site");
                             let dst = frame.ret_dst;
@@ -357,7 +512,13 @@ impl<'p> Interp<'p> {
                             });
                             caller.pc = call_at.pc + 1;
                         }
-                        None => final_return = value,
+                        None => {
+                            // Root frame returned: the thread is done.
+                            if self.cur == 0 {
+                                final_return = value;
+                            }
+                            self.threads[self.cur].status = ThreadStatus::Finished(value);
+                        }
                     }
                 }
                 Err(kind) => return Err(self.trap(at, kind)),
@@ -374,11 +535,22 @@ impl<'p> Interp<'p> {
     }
 
     fn local(&self, l: Local) -> Value {
-        self.stack.last().expect("frame").locals[l.index()]
+        self.stack().last().expect("frame").locals[l.index()]
     }
 
     fn set_local(&mut self, l: Local, v: Value) {
-        self.stack.last_mut().expect("frame").locals[l.index()] = v;
+        self.stack_mut().last_mut().expect("frame").locals[l.index()] = v;
+    }
+
+    /// Decodes a thread handle held in a local.
+    fn thread_handle(&self, l: Local) -> Result<ThreadId, TrapKind> {
+        match self.local(l) {
+            Value::Int(i) if i >= 0 && (i as usize) < self.threads.len() => Ok(ThreadId(i as u32)),
+            Value::Int(i) => Err(TrapKind::InvalidThreadHandle { handle: i }),
+            other => Err(TrapKind::TypeError {
+                message: format!("join on non-thread value {other}"),
+            }),
+        }
     }
 
     fn as_object(&self, l: Local) -> Result<lowutil_ir::ObjectId, TrapKind> {
@@ -717,6 +889,51 @@ impl<'p> Interp<'p> {
                     value,
                 });
                 Ok(Step::Leave(value))
+            }
+            Instr::Spawn { dst, callee, args } => {
+                // Arity is validated statically. The child's root frame is
+                // pushed when the scheduler first runs it, so its
+                // frame-push event lands on the child's own event stream.
+                let arg_values: Vec<Value> = args.iter().map(|&a| self.local(a)).collect();
+                let tid = ThreadId(self.threads.len() as u32);
+                self.threads.push(GuestThread {
+                    stack: Vec::new(),
+                    status: ThreadStatus::Runnable,
+                    start: Some((*callee, arg_values)),
+                });
+                let v = Value::Int(i64::from(tid.0));
+                self.set_local(*dst, v);
+                tracer.instr(&Event::Spawn {
+                    at,
+                    dst: *dst,
+                    thread: tid,
+                    callee: *callee,
+                    args: args.clone(),
+                });
+                Ok(Step::Next)
+            }
+            Instr::Join { dst, thread } => {
+                let tid = self.thread_handle(*thread)?;
+                let ThreadStatus::Finished(value) = self.threads[tid.index()].status else {
+                    unreachable!("scheduler executes joins only on finished targets");
+                };
+                if let Some(d) = dst {
+                    match value {
+                        Some(v) => self.set_local(*d, v),
+                        None => {
+                            return Err(TrapKind::TypeError {
+                                message: "void thread return assigned to a local".to_string(),
+                            })
+                        }
+                    }
+                }
+                tracer.instr(&Event::Join {
+                    at,
+                    dst: *dst,
+                    thread: tid,
+                    value,
+                });
+                Ok(Step::Next)
             }
         }
     }
@@ -1137,5 +1354,157 @@ method sub/2 {
         let p = lowutil_ir::parse_program(src).unwrap();
         let out = Vm::new(&p).run(&mut NullTracer).unwrap();
         assert_eq!(out.output, vec![Value::Int(-10)]);
+    }
+
+    const FORK_JOIN_SRC: &str = r#"
+native print/1
+method main/0 {
+  a = 1
+  b = 2
+  t1 = spawn work(a)
+  t2 = spawn work(b)
+  r1 = join t1
+  r2 = join t2
+  s = r1 + r2
+  native print(s)
+  return
+}
+method work/1 {
+  i = 0
+  one = 1
+  lim = 40
+loop:
+  i = i + one
+  if i < lim goto loop
+  r = p0 * p0
+  return r
+}
+"#;
+
+    #[test]
+    fn spawned_threads_run_and_joins_return_their_values() {
+        let p = lowutil_ir::parse_program(FORK_JOIN_SRC).unwrap();
+        let out = Vm::new(&p).run(&mut NullTracer).unwrap();
+        assert_eq!(out.output, vec![Value::Int(5)]); // 1*1 + 2*2
+    }
+
+    /// The program synchronizes only through join edges, so every
+    /// scheduler seed must produce the same output, the same totals,
+    /// and the same per-tracer event count — only the interleaving
+    /// (and hence the switch count) may differ.
+    #[test]
+    fn scheduler_seed_cannot_change_results_of_race_free_programs() {
+        let p = lowutil_ir::parse_program(FORK_JOIN_SRC).unwrap();
+        let mut base = CountingTracer::new();
+        let out0 = Vm::new(&p).run(&mut base).unwrap();
+        assert!(base.switches > 0, "fork/join must actually interleave");
+        for seed in [1, 7, 0xDEAD_BEEF] {
+            let mut t = CountingTracer::new();
+            let out = Vm::with_config(
+                &p,
+                RunConfig {
+                    sched_seed: seed,
+                    ..RunConfig::default()
+                },
+            )
+            .run(&mut t)
+            .unwrap();
+            assert_eq!(out.output, out0.output, "seed {seed}");
+            assert_eq!(
+                out.instructions_executed, out0.instructions_executed,
+                "seed {seed}"
+            );
+            assert_eq!(out.objects_allocated, out0.objects_allocated);
+            assert_eq!(t.instrs, base.instrs, "seed {seed}");
+            assert_eq!((t.pushes, t.pops), (base.pushes, base.pops));
+        }
+    }
+
+    #[test]
+    fn single_threaded_runs_report_no_thread_switches() {
+        let p = simple_loop_program(5);
+        let mut t = CountingTracer::new();
+        Vm::new(&p).run(&mut t).unwrap();
+        assert_eq!(t.switches, 0);
+    }
+
+    /// The run ends only when *all* threads finish: a detached thread
+    /// still completes (and prints) after main returns.
+    #[test]
+    fn detached_threads_finish_after_main_returns() {
+        let src = r#"
+native print/1
+method main/0 {
+  x = 7
+  t = spawn shout(x)
+  return
+}
+method shout/1 {
+  native print(p0)
+  return
+}
+"#;
+        let p = lowutil_ir::parse_program(src).unwrap();
+        let out = Vm::new(&p).run(&mut NullTracer).unwrap();
+        assert_eq!(out.output, vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn circular_joins_trap_as_deadlock() {
+        let src = r#"
+method main/0 {
+  z = 0
+  t = spawn waiter(z)
+  r = join t
+  return r
+}
+method waiter/1 {
+  r = join p0
+  return r
+}
+"#;
+        let p = lowutil_ir::parse_program(src).unwrap();
+        let e = Vm::new(&p).run(&mut NullTracer).unwrap_err();
+        assert_eq!(e.kind, TrapKind::Deadlock);
+    }
+
+    #[test]
+    fn bad_join_operands_trap() {
+        let src = r#"
+method main/0 {
+  t = 99
+  r = join t
+  return
+}
+"#;
+        let p = lowutil_ir::parse_program(src).unwrap();
+        let e = Vm::new(&p).run(&mut NullTracer).unwrap_err();
+        assert_eq!(e.kind, TrapKind::InvalidThreadHandle { handle: 99 });
+
+        let src = r#"
+method main/0 {
+  t = null
+  r = join t
+  return
+}
+"#;
+        let p = lowutil_ir::parse_program(src).unwrap();
+        let e = Vm::new(&p).run(&mut NullTracer).unwrap_err();
+        assert!(matches!(e.kind, TrapKind::TypeError { .. }));
+    }
+
+    #[test]
+    fn instruction_budget_spans_all_threads() {
+        let p = lowutil_ir::parse_program(FORK_JOIN_SRC).unwrap();
+        let e = Vm::with_config(
+            &p,
+            RunConfig {
+                max_instructions: 30,
+                ..RunConfig::default()
+            },
+        )
+        .run(&mut NullTracer)
+        .unwrap_err();
+        assert_eq!(e.kind, TrapKind::InstructionBudgetExceeded);
     }
 }

@@ -59,6 +59,6 @@ pub use shadow::{ShadowFrame, ShadowHeap, ShadowStack, TrackingStack};
 pub use sink::{CountingSink, EventSink, SinkTracer, TracerSink};
 pub use trace::{
     SalvageStats, TraceError, TraceReader, TraceStats, TraceWriter, Trailer, TRACE_VERSION,
-    TRACE_VERSION_V1,
+    TRACE_VERSION_V1, TRACE_VERSION_V2,
 };
 pub use tracer::{CountingTracer, NullTracer, Tracer};

@@ -19,6 +19,7 @@
 
 use crate::event::{Event, FrameInfo};
 use crate::tracer::Tracer;
+use lowutil_ir::ThreadId;
 
 /// A consumer of an instruction-event stream, live or replayed.
 ///
@@ -35,6 +36,13 @@ pub trait EventSink {
 
     /// Called when a frame is popped.
     fn frame_pop(&mut self) {}
+
+    /// Called when the stream switches guest threads: every subsequent
+    /// hook belongs to `tid` until the next `thread` call. Never called
+    /// for single-threaded streams (see [`Tracer::thread`]).
+    fn thread(&mut self, tid: ThreadId) {
+        let _ = tid;
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
@@ -48,6 +56,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
 
     fn frame_pop(&mut self) {
         (**self).frame_pop();
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        (**self).thread(tid);
     }
 }
 
@@ -66,6 +78,11 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn frame_pop(&mut self) {
         self.0.frame_pop();
         self.1.frame_pop();
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.0.thread(tid);
+        self.1.thread(tid);
     }
 }
 
@@ -87,6 +104,10 @@ impl<S: EventSink> Tracer for SinkTracer<S> {
     fn frame_pop(&mut self) {
         self.0.frame_pop();
     }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.0.thread(tid);
+    }
 }
 
 /// Adapts a [`Tracer`] into an [`EventSink`] so existing profilers can be
@@ -106,6 +127,10 @@ impl<T: Tracer> EventSink for TracerSink<T> {
     fn frame_pop(&mut self) {
         self.0.frame_pop();
     }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.0.thread(tid);
+    }
 }
 
 /// Counts stream items without interpreting them — the sink-side analogue
@@ -119,6 +144,8 @@ pub struct CountingSink {
     pub pushes: u64,
     /// Number of frame pops seen.
     pub pops: u64,
+    /// Number of thread switches seen (0 for single-threaded streams).
+    pub switches: u64,
 }
 
 impl CountingSink {
@@ -139,6 +166,10 @@ impl EventSink for CountingSink {
 
     fn frame_pop(&mut self) {
         self.pops += 1;
+    }
+
+    fn thread(&mut self, _tid: ThreadId) {
+        self.switches += 1;
     }
 }
 

@@ -26,12 +26,12 @@
 //! # Format versions
 //!
 //! Traces cross machines and disks, so corrupt input is a tested,
-//! recoverable condition rather than UB. Two wire versions exist:
+//! recoverable condition rather than UB. Three wire versions exist:
 //!
 //! * **v1** (legacy, read-only by default) — segments are
 //!   `tag, prologue-len, prologue, payload-len, payload` with no
 //!   integrity protection; the trailer is four bare varints.
-//! * **v2** (current) — every record is length-framed and checksummed:
+//! * **v2** — every record is length-framed and checksummed:
 //!   `tag, body-len, body, crc32(body)`, where a segment body is
 //!   `segment-index, prologue-len, prologue, payload-len, payload` and
 //!   the trailer body adds a fifth varint carrying the segment count.
@@ -39,10 +39,18 @@
 //!   or reordered (but internally intact) segment is detected; the body
 //!   length lets readers skip a corrupt segment structurally, which is
 //!   what makes [`TraceReader::salvage`] able to count what it dropped.
+//! * **v3** (current) — v2's framing, plus a thread-id varint opening
+//!   every segment prologue. Segments are **per-thread**: the writer
+//!   closes the current segment whenever the scheduler switches guest
+//!   threads, so each segment's records all belong to the thread its
+//!   prologue names, and the prologue's shadow stack is that thread's
+//!   stack. Single-threaded recordings differ from v2 only in the
+//!   header version and a zero thread-id varint per prologue.
 //!
 //! [`TraceReader::new`] negotiates the version from the header and reads
-//! both; [`TraceWriter`] writes v2 (v1 stays writable through
-//! [`TraceWriter::with_format`] for compatibility fixtures). All declared
+//! all three; [`TraceWriter`] writes v3 (v1 and v2 stay writable through
+//! [`TraceWriter::with_format`] for compatibility fixtures, but latch an
+//! error if the execution turns out to be multithreaded). All declared
 //! lengths are validated against the remaining buffer *before* any
 //! allocation, so a corrupt length yields a [`TraceError`], never an
 //! over-allocation.
@@ -50,7 +58,8 @@
 use crate::event::{Event, FrameInfo};
 use crate::sink::EventSink;
 use lowutil_ir::{
-    AllocSiteId, CmpOp, FieldId, InstrId, Local, MethodId, NativeId, ObjectId, StaticId, Value,
+    AllocSiteId, CmpOp, FieldId, InstrId, Local, MethodId, NativeId, ObjectId, StaticId, ThreadId,
+    Value,
 };
 use std::fmt;
 use std::io::{self, Write};
@@ -58,7 +67,9 @@ use std::io::{self, Write};
 /// The four magic bytes opening every trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"LUTR";
 /// The trace format version this crate writes by default.
-pub const TRACE_VERSION: u64 = 2;
+pub const TRACE_VERSION: u64 = 3;
+/// The single-threaded checksummed format, still read and writable.
+pub const TRACE_VERSION_V2: u64 = 2;
 /// The legacy checksum-free format, still accepted by [`TraceReader`].
 pub const TRACE_VERSION_V1: u64 = 1;
 
@@ -69,8 +80,9 @@ const TAG_TRAILER: u8 = 0x02;
 /// frame-push boundaries, so real segments may run longer than this.
 pub const DEFAULT_SEGMENT_LIMIT: usize = 16 * 1024;
 
-// Record opcodes. 0..=15 mirror the `Event` variants in declaration
-// order; 16/17 are the frame hooks.
+// Record opcodes. 0..=15 mirror the first sixteen `Event` variants in
+// declaration order; 16/17 are the frame hooks; 18/19 are the thread
+// events introduced with format v3.
 const OP_COMPUTE: u8 = 0;
 const OP_PREDICATE: u8 = 1;
 const OP_ALLOC: u8 = 2;
@@ -89,6 +101,8 @@ const OP_PHASE: u8 = 14;
 const OP_JUMP: u8 = 15;
 const OP_FRAME_PUSH: u8 = 16;
 const OP_FRAME_POP: u8 = 17;
+const OP_SPAWN: u8 = 18;
+const OP_JOIN: u8 = 19;
 
 /// A malformed or truncated trace.
 #[derive(Debug, Clone)]
@@ -744,6 +758,32 @@ fn put_event(buf: &mut Vec<u8>, e: &Event) {
             buf.push(OP_JUMP);
             put_instr(buf, *at);
         }
+        Event::Spawn {
+            at,
+            dst,
+            thread,
+            callee,
+            args,
+        } => {
+            buf.push(OP_SPAWN);
+            put_instr(buf, *at);
+            put_local(buf, *dst);
+            put_u32(buf, thread.0);
+            put_u32(buf, callee.0);
+            put_locals(buf, args);
+        }
+        Event::Join {
+            at,
+            dst,
+            thread,
+            value,
+        } => {
+            buf.push(OP_JOIN);
+            put_instr(buf, *at);
+            put_opt_local(buf, *dst);
+            put_u32(buf, thread.0);
+            put_opt_value(buf, *value);
+        }
     }
 }
 
@@ -854,6 +894,19 @@ fn get_event(c: &mut Cur, op: u8) -> Result<Event, TraceError> {
             begin: c.bool()?,
         },
         OP_JUMP => Event::Jump { at: get_instr(c)? },
+        OP_SPAWN => Event::Spawn {
+            at: get_instr(c)?,
+            dst: get_local(c)?,
+            thread: ThreadId(c.u32()?),
+            callee: MethodId(c.u32()?),
+            args: get_locals(c)?,
+        },
+        OP_JOIN => Event::Join {
+            at: get_instr(c)?,
+            dst: get_opt_local(c)?,
+            thread: ThreadId(c.u32()?),
+            value: get_opt_value(c)?,
+        },
         _ => return Err(c.err(format!("invalid record opcode {op}"))),
     })
 }
@@ -942,7 +995,12 @@ pub struct TraceWriter<W: Write> {
     seg: Vec<u8>,
     seg_records: usize,
     segment_limit: usize,
-    frames: Vec<WriterFrame>,
+    /// Per-thread shadow-stack mirrors, indexed by thread id. Frame gids
+    /// stay globally unique: `push_count` counts pushes across all
+    /// threads.
+    frames: Vec<Vec<WriterFrame>>,
+    /// The thread whose records the current segment holds.
+    cur_thread: usize,
     push_count: u64,
     in_phase: bool,
     stats: TraceStats,
@@ -962,16 +1020,20 @@ impl<W: Write> TraceWriter<W> {
         Self::with_format(out, limit, TRACE_VERSION)
     }
 
-    /// Creates a writer emitting a specific wire version — either
-    /// [`TRACE_VERSION`] or [`TRACE_VERSION_V1`]. The v1 path exists so
-    /// compatibility fixtures (and their no-drift tests) can regenerate
-    /// legacy traces; new recordings should use [`TraceWriter::new`].
+    /// Creates a writer emitting a specific wire version —
+    /// [`TRACE_VERSION`], [`TRACE_VERSION_V2`], or [`TRACE_VERSION_V1`].
+    /// The legacy paths exist so compatibility fixtures (and their
+    /// no-drift tests) can regenerate old traces; new recordings should
+    /// use [`TraceWriter::new`]. Legacy formats cannot represent thread
+    /// switches or thread events: recording a multithreaded execution
+    /// through them latches an error that [`TraceWriter::finish`]
+    /// reports.
     ///
     /// # Panics
     /// Panics if `version` is not a version this crate can write.
     pub fn with_format(out: W, limit: usize, version: u64) -> Self {
         assert!(
-            version == TRACE_VERSION || version == TRACE_VERSION_V1,
+            version == TRACE_VERSION || version == TRACE_VERSION_V2 || version == TRACE_VERSION_V1,
             "unwritable trace version {version}"
         );
         let mut w = TraceWriter {
@@ -983,7 +1045,8 @@ impl<W: Write> TraceWriter<W> {
             seg: Vec::new(),
             seg_records: 0,
             segment_limit: limit.max(1),
-            frames: Vec::new(),
+            frames: vec![Vec::new()],
+            cur_thread: 0,
             push_count: 0,
             in_phase: false,
             stats: TraceStats::default(),
@@ -992,12 +1055,16 @@ impl<W: Write> TraceWriter<W> {
         w
     }
 
-    /// Encodes the current shadow-stack state as the prologue of the
-    /// segment that starts *now*.
+    /// Encodes the current thread's shadow-stack state as the prologue of
+    /// the segment that starts *now*.
     fn capture_prologue(&mut self) {
         self.prologue.clear();
-        put_u64(&mut self.prologue, self.frames.len() as u64);
-        for f in &self.frames {
+        if self.version == TRACE_VERSION {
+            put_u64(&mut self.prologue, self.cur_thread as u64);
+        }
+        let frames = &self.frames[self.cur_thread];
+        put_u64(&mut self.prologue, frames.len() as u64);
+        for f in frames {
             put_u32(&mut self.prologue, f.method.0);
             put_u64(&mut self.prologue, u64::from(f.num_locals));
             put_u64(&mut self.prologue, f.gid);
@@ -1005,6 +1072,17 @@ impl<W: Write> TraceWriter<W> {
         }
         self.prologue.push(u8::from(self.in_phase));
         put_u64(&mut self.prologue, self.push_count);
+    }
+
+    /// Latches an "unrepresentable in this format" error so `finish`
+    /// reports it; the sink hooks themselves stay infallible.
+    fn latch_unsupported(&mut self, what: &str) {
+        if self.io_error.is_none() {
+            self.io_error = Some(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("trace format v{} cannot record {what}", self.version),
+            ));
+        }
     }
 
     fn write_all(&mut self, bytes: &[u8]) {
@@ -1118,6 +1196,10 @@ impl<W: Write> EventSink for TraceWriter<W> {
         match event {
             Event::Phase { begin, .. } => self.in_phase = *begin,
             Event::Alloc { .. } => self.stats.objects_allocated += 1,
+            Event::Spawn { .. } | Event::Join { .. } if self.version != TRACE_VERSION => {
+                self.latch_unsupported("thread events");
+                return;
+            }
             _ => {}
         }
         self.stats.events += 1;
@@ -1136,7 +1218,7 @@ impl<W: Write> EventSink for TraceWriter<W> {
         if self.seg_records >= self.segment_limit {
             self.flush_segment();
         }
-        self.frames.push(WriterFrame {
+        self.frames[self.cur_thread].push(WriterFrame {
             method: info.method,
             num_locals: info.num_locals,
             gid: self.push_count,
@@ -1150,9 +1232,30 @@ impl<W: Write> EventSink for TraceWriter<W> {
     }
 
     fn frame_pop(&mut self) {
-        self.frames.pop();
+        self.frames[self.cur_thread].pop();
         self.seg.push(OP_FRAME_POP);
         self.seg_records += 1;
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        if self.version != TRACE_VERSION {
+            self.latch_unsupported("thread switches");
+            return;
+        }
+        if tid.index() == self.cur_thread {
+            return;
+        }
+        // Segments are per-thread: close the departing thread's segment
+        // (if it holds anything) and open one owned by `tid`, whose
+        // prologue carries that thread's shadow stack.
+        if self.seg_records > 0 {
+            self.flush_segment();
+        }
+        self.cur_thread = tid.index();
+        if self.frames.len() <= self.cur_thread {
+            self.frames.resize_with(self.cur_thread + 1, Vec::new);
+        }
+        self.capture_prologue();
     }
 }
 
@@ -1177,7 +1280,11 @@ pub struct PrologueFrame {
 /// The shadow-stack state at a segment boundary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Prologue {
-    /// Live frames, outermost first.
+    /// The guest thread this segment's records belong to. Always
+    /// [`ThreadId::MAIN`] for v1/v2 traces, whose executions are
+    /// single-threaded by construction.
+    pub thread: ThreadId,
+    /// Live frames of that thread, outermost first.
     pub frames: Vec<PrologueFrame>,
     /// Whether execution was inside a `phase_begin`/`phase_end` window.
     pub in_phase: bool,
@@ -1244,9 +1351,16 @@ impl<'a> Segment<'a> {
     }
 }
 
-/// Decodes a segment prologue from its carved-out byte range.
-fn decode_prologue(pbytes: &[u8], base: usize) -> Result<Prologue, TraceError> {
+/// Decodes a segment prologue from its carved-out byte range. Only v3
+/// prologues open with a thread id; earlier formats are implicitly
+/// [`ThreadId::MAIN`].
+fn decode_prologue(pbytes: &[u8], base: usize, version: u64) -> Result<Prologue, TraceError> {
     let mut pc = Cur::new(pbytes, base);
+    let thread = if version == TRACE_VERSION {
+        ThreadId(pc.u32()?)
+    } else {
+        ThreadId::MAIN
+    };
     // Each encoded frame needs at least 4 bytes (method, locals, gid,
     // receiver), so the depth is bounded before the Vec is sized.
     let depth = pc.declared_count("prologue frame", 4)?;
@@ -1265,6 +1379,7 @@ fn decode_prologue(pbytes: &[u8], base: usize) -> Result<Prologue, TraceError> {
         return Err(pc.err("trailing bytes in segment prologue"));
     }
     Ok(Prologue {
+        thread,
         frames,
         in_phase,
         first_gid,
@@ -1272,8 +1387,8 @@ fn decode_prologue(pbytes: &[u8], base: usize) -> Result<Prologue, TraceError> {
 }
 
 /// Carves a segment's prologue and payload ranges off `c`, then decodes
-/// the prologue. Shared by the v1 and v2 record parsers.
-fn parse_segment_body<'a>(c: &mut Cur<'a>) -> Result<Segment<'a>, TraceError> {
+/// the prologue. Shared by the v1, v2, and v3 record parsers.
+fn parse_segment_body<'a>(c: &mut Cur<'a>, version: u64) -> Result<Segment<'a>, TraceError> {
     let plen = c.declared_len("segment prologue")?;
     let pstart = c.base + c.pos;
     let pbytes = c.bytes(plen)?;
@@ -1281,7 +1396,7 @@ fn parse_segment_body<'a>(c: &mut Cur<'a>) -> Result<Segment<'a>, TraceError> {
     let payload_offset = c.base + c.pos;
     let payload = c.bytes(len)?;
     Ok(Segment {
-        prologue: decode_prologue(pbytes, pstart)?,
+        prologue: decode_prologue(pbytes, pstart, version)?,
         payload,
         payload_offset,
     })
@@ -1321,7 +1436,7 @@ fn next_record<'a>(c: &mut Cur<'a>, version: u64) -> Result<Record<'a>, TraceErr
                 let len = c.declared_len("segment payload")?;
                 let payload_offset = c.base + c.pos;
                 let payload = c.bytes(len)?;
-                match decode_prologue(pbytes, pstart) {
+                match decode_prologue(pbytes, pstart, version) {
                     Ok(prologue) => Ok(Record::Segment {
                         index: None,
                         seg: Segment {
@@ -1360,7 +1475,7 @@ fn next_record<'a>(c: &mut Cur<'a>, version: u64) -> Result<Record<'a>, TraceErr
             let mut bc = Cur::new(body, bstart);
             let parsed = (|| {
                 let index = bc.u64()?;
-                let seg = parse_segment_body(&mut bc)?;
+                let seg = parse_segment_body(&mut bc, version)?;
                 if !bc.done() {
                     return Err(bc.err("trailing bytes in segment body"));
                 }
@@ -1421,9 +1536,9 @@ fn parse_header(c: &mut Cur) -> Result<u64, TraceError> {
         });
     }
     let version = c.u64()?;
-    if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
+    if version != TRACE_VERSION && version != TRACE_VERSION_V2 && version != TRACE_VERSION_V1 {
         return Err(c.err(format!(
-            "unsupported trace version {version} (this reader handles {TRACE_VERSION_V1} and {TRACE_VERSION})"
+            "unsupported trace version {version} (this reader handles {TRACE_VERSION_V1} through {TRACE_VERSION})"
         )));
     }
     Ok(version)
@@ -1709,9 +1824,20 @@ impl<'a> TraceReader<'a> {
         &self.trailer
     }
 
-    /// Replays the entire trace into `sink`, segment by segment.
+    /// Replays the entire trace into `sink`, segment by segment,
+    /// announcing thread switches between segments exactly as the live
+    /// run announced them: only when the owning thread actually changes
+    /// (so segments split by the record limit inside one thread's run
+    /// add no `thread` calls, and single-threaded traces add none at
+    /// all).
     pub fn replay<S: EventSink>(&self, sink: &mut S) -> Result<(), TraceError> {
+        let mut cur = ThreadId::MAIN;
         for seg in &self.segments {
+            let t = seg.prologue().thread;
+            if t != cur {
+                sink.thread(t);
+                cur = t;
+            }
             seg.replay(sink)?;
         }
         Ok(())
@@ -1876,6 +2002,10 @@ mod tests {
         fn frame_pop(&mut self) {
             self.0.push("pop".to_string());
         }
+
+        fn thread(&mut self, tid: ThreadId) {
+            self.0.push(format!("thread {tid}"));
+        }
     }
 
     impl Tracer for StreamLog {
@@ -1889,6 +2019,10 @@ mod tests {
 
         fn frame_pop(&mut self) {
             EventSink::frame_pop(self);
+        }
+
+        fn thread(&mut self, tid: ThreadId) {
+            EventSink::thread(self, tid);
         }
     }
 
@@ -2185,7 +2319,7 @@ mod tests {
         // A prologue claiming an absurd frame depth.
         let mut p = Vec::new();
         put_u64(&mut p, u64::MAX / 2);
-        let err = decode_prologue(&p, 0).expect_err("depth must be rejected");
+        let err = decode_prologue(&p, 0, TRACE_VERSION_V2).expect_err("depth must be rejected");
         assert!(err.message.contains("count"), "{}", err.message);
 
         // A segment record declaring a body far past end-of-file.
@@ -2200,5 +2334,157 @@ mod tests {
             "{}",
             err.message
         );
+    }
+
+    /// A fork/join workload that interleaves three guest threads, with
+    /// enough calls in each that small segment limits also split within
+    /// a thread's run.
+    fn fork_join_program() -> Program {
+        lowutil_ir::parse_program(
+            r#"
+native print/1
+method main/0 {
+  a = 3
+  b = 4
+  t1 = spawn work(a)
+  t2 = spawn work(b)
+  r1 = join t1
+  r2 = join t2
+  s = r1 + r2
+  native print(s)
+  return
+}
+method work/1 {
+  i = 0
+  one = 1
+  lim = 8
+  acc = 0
+loop:
+  acc = call twice(i)
+  i = i + one
+  if i < lim goto loop
+  r = p0 + acc
+  return r
+}
+method twice/1 {
+  r = p0 + p0
+  return r
+}
+"#,
+        )
+        .expect("valid program")
+    }
+
+    /// A multithreaded run records to v3 and replays the exact live
+    /// stream — thread switch announcements included — and every
+    /// segment's prologue names the thread whose records it holds.
+    #[test]
+    fn multithreaded_record_replay_reproduces_the_exact_stream() {
+        let program = fork_join_program();
+        for limit in [DEFAULT_SEGMENT_LIMIT, 4] {
+            let mut live = StreamLog::default();
+            Vm::new(&program).run(&mut live).expect("program runs");
+            assert!(
+                live.0.iter().any(|l| l.starts_with("thread ")),
+                "run must interleave"
+            );
+
+            let (bytes, stats, out) = record(&program, limit);
+            let reader = TraceReader::new(&bytes).expect("trace parses");
+            assert_eq!(reader.version(), TRACE_VERSION);
+            let mut replayed = StreamLog::default();
+            reader.replay(&mut replayed).expect("trace replays");
+            assert_eq!(live.0, replayed.0, "limit {limit}");
+            assert_eq!(reader.trailer().instructions, out.instructions_executed);
+            assert_eq!(stats.segments, reader.segments().len() as u64);
+
+            let threads: std::collections::BTreeSet<ThreadId> = reader
+                .segments()
+                .iter()
+                .map(|s| s.prologue().thread)
+                .collect();
+            assert!(threads.len() >= 3, "main + two workers");
+            // Segment boundaries still split only at frame pushes
+            // *within* a thread: a non-first segment either opens with a
+            // push or belongs to a different thread than its predecessor.
+            for w in reader.segments().windows(2) {
+                if w[1].prologue().thread == w[0].prologue().thread {
+                    assert_eq!(w[1].payload()[0], OP_FRAME_PUSH);
+                }
+            }
+        }
+    }
+
+    /// Multithreaded v3 traces survive the corruption batteries: every
+    /// single-bit flip is rejected by the strict parse, and salvage of a
+    /// truncation keeps a replayable prefix.
+    #[test]
+    fn multithreaded_traces_survive_corruption_batteries() {
+        let program = fork_join_program();
+        let (bytes, stats, _) = record(&program, 4);
+        assert!(stats.segments > 3);
+        for bit in (0..bytes.len() * 8).step_by(17) {
+            let mut m = bytes.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            assert!(TraceReader::new(&m).is_err(), "flip of bit {bit}");
+        }
+        let full = TraceReader::new(&bytes).unwrap();
+        let mut live = StreamLog::default();
+        full.replay(&mut live).unwrap();
+        for cut in (8..bytes.len()).step_by(13) {
+            let Ok((reader, st)) = TraceReader::salvage(&bytes[..cut]) else {
+                continue;
+            };
+            assert!(!st.is_clean());
+            let mut replayed = StreamLog::default();
+            reader.replay(&mut replayed).unwrap();
+            assert!(
+                replayed.0.len() <= live.0.len() && live.0[..replayed.0.len()] == replayed.0[..],
+                "cut at {cut}: salvaged stream is not a prefix"
+            );
+        }
+    }
+
+    /// v1 and v2 writers cannot represent thread switches: recording a
+    /// multithreaded execution through them latches an error that
+    /// `finish` reports, instead of silently mislabeling records.
+    #[test]
+    fn legacy_writers_refuse_multithreaded_runs() {
+        let program = fork_join_program();
+        for version in [TRACE_VERSION_V1, TRACE_VERSION_V2] {
+            let writer = TraceWriter::with_format(Vec::new(), DEFAULT_SEGMENT_LIMIT, version);
+            let mut t = SinkTracer(writer);
+            Vm::new(&program)
+                .run(&mut t)
+                .expect("the run itself is fine");
+            let err = t.0.finish().expect_err("legacy format must refuse");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "v{version}");
+        }
+    }
+
+    /// For single-threaded programs the v3 writer is v2 plus exactly one
+    /// zero thread-id varint per segment prologue (and the header
+    /// version): same segmentation, same payload bytes, same trailer.
+    #[test]
+    fn v3_single_thread_differs_from_v2_only_in_prologue_thread_ids() {
+        let program = kitchen_sink_program();
+        let (v3, stats3, _) = record(&program, 8);
+        let writer = TraceWriter::with_format(Vec::new(), 8, TRACE_VERSION_V2);
+        let mut t = SinkTracer(writer);
+        Vm::new(&program).run(&mut t).expect("program runs");
+        let (v2, stats2) = t.0.finish().expect("in-memory write cannot fail");
+        assert_eq!(stats3.segments, stats2.segments);
+        let r3 = TraceReader::new(&v3).expect("v3 parses");
+        let r2 = TraceReader::new(&v2).expect("v2 parses");
+        assert_eq!(r3.trailer(), r2.trailer());
+        for (s3, s2) in r3.segments().iter().zip(r2.segments()) {
+            assert_eq!(s3.payload(), s2.payload(), "payload bytes identical");
+            assert_eq!(s3.prologue().thread, ThreadId::MAIN);
+            assert_eq!(s3.prologue().frames, s2.prologue().frames);
+        }
+        let (mut a, mut b) = (StreamLog::default(), StreamLog::default());
+        r3.replay(&mut a).unwrap();
+        r2.replay(&mut b).unwrap();
+        assert_eq!(a.0, b.0, "identical stream across wire versions");
     }
 }

@@ -1,6 +1,7 @@
 //! The [`Tracer`] hook trait.
 
 use crate::event::{Event, FrameInfo};
+use lowutil_ir::ThreadId;
 
 /// A profiling client attached to the interpreter.
 ///
@@ -29,6 +30,15 @@ pub trait Tracer {
 
     /// Called when a frame is popped.
     fn frame_pop(&mut self) {}
+
+    /// Called when the scheduler switches guest threads: every subsequent
+    /// hook belongs to `tid` until the next `thread` call. Never called for
+    /// single-threaded programs (execution implicitly starts on
+    /// [`ThreadId::MAIN`]), so tracers unaware of threads keep working
+    /// unchanged on single-threaded workloads.
+    fn thread(&mut self, tid: ThreadId) {
+        let _ = tid;
+    }
 }
 
 /// A tracer that ignores everything — the uninstrumented baseline.
@@ -49,6 +59,8 @@ pub struct CountingTracer {
     pub pushes: u64,
     /// Number of frame pops seen.
     pub pops: u64,
+    /// Number of thread switches seen (0 for single-threaded programs).
+    pub switches: u64,
 }
 
 impl CountingTracer {
@@ -70,6 +82,10 @@ impl Tracer for CountingTracer {
     fn frame_pop(&mut self) {
         self.pops += 1;
     }
+
+    fn thread(&mut self, _tid: ThreadId) {
+        self.switches += 1;
+    }
 }
 
 /// Runs two tracers over the same execution: `(a, b)` forwards every hook
@@ -89,6 +105,11 @@ impl<A: Tracer, B: Tracer> Tracer for (A, B) {
         self.0.frame_pop();
         self.1.frame_pop();
     }
+
+    fn thread(&mut self, tid: ThreadId) {
+        self.0.thread(tid);
+        self.1.thread(tid);
+    }
 }
 
 impl<T: Tracer + ?Sized> Tracer for &mut T {
@@ -102,5 +123,9 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
 
     fn frame_pop(&mut self) {
         (**self).frame_pop();
+    }
+
+    fn thread(&mut self, tid: ThreadId) {
+        (**self).thread(tid);
     }
 }

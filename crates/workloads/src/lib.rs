@@ -15,6 +15,13 @@
 //! behaviour-preserving and recovers a work reduction in the paper's
 //! ballpark.
 //!
+//! Three additional concurrent workloads — `pcqueue`, `mtserver`, and
+//! `forkjoin` — run multiple guest threads via `spawn`/`join` and exhibit
+//! *cross-thread* low-utility structures: envelopes, session contexts, and
+//! per-task stats objects written on one thread and (partly) unread on
+//! another. Their hand-offs are join-synchronized, so output and the
+//! canonical cost graph are identical under every scheduler seed.
+//!
 //! # Example
 //!
 //! ```
@@ -35,4 +42,6 @@ pub mod stdlib;
 mod suite;
 
 pub use stdlib::{build_program, PRELUDE};
-pub use suite::{map_suite, suite, suite_parallel, workload, Workload, WorkloadSize, NAMES};
+pub use suite::{
+    map_suite, suite, suite_parallel, workload, Workload, WorkloadSize, CONCURRENT_NAMES, NAMES,
+};

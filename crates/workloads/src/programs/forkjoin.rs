@@ -1,0 +1,117 @@
+//! `forkjoin` — fork-join aggregation over partitioned ranges: main
+//! splits an index range into chunks, forks one worker per chunk, and
+//! combines the partial sums after joining. Each worker also fills a
+//! per-chunk statistics object with a running minimum and maximum that
+//! the aggregation never reads — per-task result objects carrying
+//! fields only one consumer ever wanted, the fork-join flavour of the
+//! paper's low-utility structures.
+//!
+//! Chunks are disjoint and results are read only after `join`, so the
+//! run is race-free: output and the canonical `G_cost` are identical
+//! under every scheduler seed.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let chunk = 25 * n;
+    build_program(&format!(
+        r#"
+class Chunk {{ lo hi }}
+class Stats {{ sum mn mx }}
+
+# reduce one chunk: sum of i*i + lo over [lo, hi), tracking min/max
+method work/1 {{
+  lo = p0.lo
+  hi = p0.hi
+  sum = 0
+  mn = 1000000
+  mx = 0
+  i = lo
+  one = 1
+wl:
+  if i >= hi goto wd
+  v = i * i
+  v = v + lo
+  sum = sum + v
+  if v >= mn goto skiplo
+  mn = v
+skiplo:
+  if v <= mx goto skiphi
+  mx = v
+skiphi:
+  i = i + one
+  goto wl
+wd:
+  st = new Stats
+  st.sum = sum
+  st.mn = mn
+  st.mx = mx
+  return st
+}}
+
+method make_chunk/2 {{
+  c = new Chunk
+  c.lo = p0
+  c.hi = p1
+  return c
+}}
+
+method main/0 {{
+  native phase_begin()
+  w = {chunk}
+  c1 = call make_chunk(0, w)
+  hi2 = w + w
+  c2 = call make_chunk(w, hi2)
+  hi3 = hi2 + w
+  c3 = call make_chunk(hi2, hi3)
+  hi4 = hi3 + w
+  c4 = call make_chunk(hi3, hi4)
+  t1 = spawn work(c1)
+  t2 = spawn work(c2)
+  t3 = spawn work(c3)
+  t4 = spawn work(c4)
+  s1 = join t1
+  s2 = join t2
+  s3 = join t3
+  s4 = join t4
+  a = s1.sum
+  b = s2.sum
+  c = s3.sum
+  d = s4.sum
+  total = a + b
+  total = total + c
+  total = total + d
+  native phase_end()
+  native print(total)
+  return
+}}
+"#
+    ))
+    .expect("forkjoin workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, RunConfig, Vm};
+
+    #[test]
+    fn partial_sums_combine_identically_under_any_schedule() {
+        let reference = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(reference.output.len(), 1);
+        // Σ_{i<100} i² plus the per-chunk lo offsets: 328350 + 25*(0+25+50+75).
+        assert_eq!(reference.output[0].as_int().unwrap(), 328350 + 25 * 150);
+        for seed in [5, 99, 0xD00D] {
+            let rc = RunConfig {
+                sched_seed: seed,
+                ..RunConfig::default()
+            };
+            let out = Vm::with_config(&program(1), rc)
+                .run(&mut NullTracer)
+                .unwrap();
+            assert_eq!(out.output, reference.output, "seed {seed}");
+        }
+    }
+}

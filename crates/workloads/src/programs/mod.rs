@@ -9,10 +9,13 @@ pub mod chart;
 pub mod derby;
 pub mod eclipse;
 pub mod fop;
+pub mod forkjoin;
 pub mod hsqldb;
 pub mod jython;
 pub mod luindex;
 pub mod lusearch;
+pub mod mtserver;
+pub mod pcqueue;
 pub mod pmd;
 pub mod sunflow;
 pub mod tomcat;

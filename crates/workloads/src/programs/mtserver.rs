@@ -1,0 +1,137 @@
+//! `mtserver` — a parallel server shuttling request objects to worker
+//! threads, modelled on the request-scoped-temporary pattern of the
+//! paper's server benchmarks (`tomcat`, the trades): the dispatcher
+//! allocates request objects on the main thread, each worker wraps
+//! every request in a per-request session context and a response
+//! envelope, and only the response value ever flows back. The context
+//! object and the response's trace field are dead weight — allocated
+//! and written on one thread per request, read by nobody.
+//!
+//! Requests are partitioned across workers up front and responses are
+//! read only after `join`, so the run is race-free: output and the
+//! canonical `G_cost` are identical under every scheduler seed.
+
+use crate::stdlib::build_program;
+use lowutil_ir::Program;
+
+/// Builds the benchmark at the given size factor.
+pub fn program(n: u32) -> Program {
+    let requests = 20 * n;
+    build_program(&format!(
+        r#"
+class Req {{ id arg }}
+class Ctx {{ a b }}
+class Resp {{ val trace }}
+
+# build p1 requests whose ids start at p0
+method make_requests/2 {{
+  l = new List
+  call List.init(l)
+  i = 0
+  one = 1
+ml:
+  if i >= p1 goto md
+  r = new Req
+  id = p0 + i
+  r.id = id
+  a = id * 7
+  a = a + 3
+  r.arg = a
+  call List.add(l, r)
+  i = i + one
+  goto ml
+md:
+  return l
+}}
+
+# handle a batch: one session context + one response per request
+method handle_batch/1 {{
+  nreq = call List.size(p0)
+  out = new List
+  call List.init(out)
+  i = 0
+  one = 1
+hl:
+  if i >= nreq goto hd
+  req = call List.get(p0, i)
+  rid = req.id
+  arg = req.arg
+  ctx = new Ctx
+  ctx.a = rid
+  ctx.b = arg
+  v = arg * 3
+  v = v + rid
+  resp = new Resp
+  resp.val = v
+  resp.trace = rid
+  call List.add(out, resp)
+  i = i + one
+  goto hl
+hd:
+  return out
+}}
+
+# sum the values of a joined response batch
+method collect/1 {{
+  nresp = call List.size(p0)
+  sum = 0
+  i = 0
+  one = 1
+kl:
+  if i >= nresp goto kd
+  resp = call List.get(p0, i)
+  v = resp.val
+  sum = sum + v
+  i = i + one
+  goto kl
+kd:
+  return sum
+}}
+
+method main/0 {{
+  native phase_begin()
+  b1 = call make_requests(0, {requests})
+  b2 = call make_requests({requests}, {requests})
+  b3 = call make_requests(1000, {requests})
+  w1 = spawn handle_batch(b1)
+  w2 = spawn handle_batch(b2)
+  w3 = spawn handle_batch(b3)
+  o1 = join w1
+  o2 = join w2
+  o3 = join w3
+  s1 = call collect(o1)
+  s2 = call collect(o2)
+  s3 = call collect(o3)
+  total = s1 + s2
+  total = total + s3
+  native phase_end()
+  native print(total)
+  return
+}}
+"#
+    ))
+    .expect("mtserver workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowutil_vm::{NullTracer, RunConfig, Vm};
+
+    #[test]
+    fn responses_aggregate_identically_under_any_schedule() {
+        let reference = Vm::new(&program(1)).run(&mut NullTracer).unwrap();
+        assert_eq!(reference.output.len(), 1);
+        assert!(reference.output[0].as_int().unwrap() > 0);
+        for seed in [3, 17, 0xBEEF] {
+            let rc = RunConfig {
+                sched_seed: seed,
+                ..RunConfig::default()
+            };
+            let out = Vm::with_config(&program(1), rc)
+                .run(&mut NullTracer)
+                .unwrap();
+            assert_eq!(out.output, reference.output, "seed {seed}");
+        }
+    }
+}

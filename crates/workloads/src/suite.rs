@@ -1,6 +1,8 @@
 //! The workload registry: 18 synthetic benchmarks named after the DaCapo
 //! programs the paper evaluates, each modelled on the bloat patterns the
-//! paper reports (or implies) for the real application.
+//! paper reports (or implies) for the real application, plus three
+//! concurrent workloads (`pcqueue`, `mtserver`, `forkjoin`) exercising
+//! cross-thread low-utility structures under the multithreaded VM.
 //!
 //! Six of them — `sunflow`, `eclipse`, `bloat`, `derby`, `tomcat`,
 //! `tradebeans` — are the paper's case studies and ship an *optimized*
@@ -54,8 +56,10 @@ impl std::fmt::Debug for Workload {
     }
 }
 
-/// The names of all 18 benchmarks, in the paper's Table 1 order.
-pub const NAMES: [&str; 18] = [
+/// The names of all benchmarks: the paper's 18, in its Table 1 order,
+/// followed by the three concurrent workloads (multithreaded guest
+/// programs exercising cross-thread hand-off bloat).
+pub const NAMES: [&str; 21] = [
     "antlr",
     "bloat",
     "chart",
@@ -74,7 +78,14 @@ pub const NAMES: [&str; 18] = [
     "tomcat",
     "tradebeans",
     "tradesoap",
+    "pcqueue",
+    "mtserver",
+    "forkjoin",
 ];
+
+/// The concurrent workloads: multithreaded guest programs (spawn/join)
+/// whose runs interleave threads under the deterministic scheduler.
+pub const CONCURRENT_NAMES: [&str; 3] = ["pcqueue", "mtserver", "forkjoin"];
 
 /// Builds one benchmark by name.
 ///
@@ -192,6 +203,27 @@ pub fn workload(name: &str, size: WorkloadSize) -> Workload {
             name: "tradesoap",
             description: "bean data copied across protocol representations per request",
             program: programs::tradesoap::program(n),
+            optimized: None,
+        },
+        "pcqueue" => Workload {
+            name: "pcqueue",
+            description:
+                "cross-thread hand-off envelopes; sequence/tag fields written by producers, never read",
+            program: programs::pcqueue::program(n),
+            optimized: None,
+        },
+        "mtserver" => Workload {
+            name: "mtserver",
+            description:
+                "parallel server shuttling request objects; per-request contexts and trace fields dead",
+            program: programs::mtserver::program(n),
+            optimized: None,
+        },
+        "forkjoin" => Workload {
+            name: "forkjoin",
+            description:
+                "fork-join aggregation; per-chunk stats objects carry min/max nobody combines",
+            program: programs::forkjoin::program(n),
             optimized: None,
         },
         other => panic!("unknown workload `{other}`"),

@@ -36,9 +36,14 @@
 //! the cost-benefit engine (default `batch`; both emit identical bytes).
 //!
 //! Profiling commands take `--pipeline` to build `G_cost` off the VM
-//! thread (batches flow through a bounded SPSC ring to `--jobs` shard
-//! workers; `--pipeline-batch N` sets records per batch). The resulting
-//! graph is byte-identical to the sequential profile at any job count.
+//! thread (batches flow through a bounded multi-producer ring to `--jobs`
+//! shard workers; `--pipeline-batch N` sets records per batch). The
+//! resulting graph is byte-identical to the sequential profile at any job
+//! count.
+//!
+//! Execution commands take `--sched-seed N` to pick the deterministic
+//! guest-thread schedule. Race-free programs (every built-in workload)
+//! produce byte-identical reports and exports under every seed.
 
 use lowutil::analyses::batch::{BatchAnalyzer, EngineChoice, ReferenceEngine};
 use lowutil::analyses::cache::cache_effectiveness;
@@ -51,7 +56,7 @@ use lowutil::analyses::report::{
 };
 use lowutil::core::{CostGraphConfig, CostProfiler};
 use lowutil::ir::{display_program, parse_program, Program};
-use lowutil::vm::{NullTracer, SinkTracer, TraceReader, TraceWriter, Vm};
+use lowutil::vm::{NullTracer, RunConfig, SinkTracer, TraceReader, TraceWriter, Vm};
 use lowutil::workloads::{workload, WorkloadSize, NAMES};
 use std::process::ExitCode;
 
@@ -60,7 +65,7 @@ fn usage() -> ExitCode {
         "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N"
     );
     ExitCode::from(2)
 }
@@ -80,6 +85,8 @@ struct Flags {
     /// Whether `--jobs` was given explicitly. `--pipeline` without it
     /// picks its worker count adaptively (in-thread on one core).
     jobs_set: bool,
+    /// Seed for the deterministic guest-thread scheduler.
+    sched_seed: u64,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -107,6 +114,7 @@ fn parse_flags(args: &[String]) -> Flags {
         pipeline: false,
         pipeline_batch: None,
         jobs_set: false,
+        sched_seed: 0,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -162,6 +170,13 @@ fn parse_flags(args: &[String]) -> Flags {
                     eprintln!("--pipeline-batch needs a number; keeping the default");
                 }
             }
+            "--sched-seed" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<u64>().ok()) {
+                    f.sched_seed = v;
+                } else {
+                    eprintln!("--sched-seed needs a number; keeping {}", f.sched_seed);
+                }
+            }
             "--control" => f.control = true,
             "--traditional" => f.traditional = true,
             "--salvage" => f.salvage = true,
@@ -181,6 +196,18 @@ fn parse_flags(args: &[String]) -> Flags {
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// A VM honouring `--sched-seed`. Race-free programs behave identically
+/// under every seed; the flag exists to demonstrate exactly that.
+fn make_vm<'p>(program: &'p Program, flags: &Flags) -> Vm<'p> {
+    Vm::with_config(
+        program,
+        RunConfig {
+            sched_seed: flags.sched_seed,
+            ..RunConfig::default()
+        },
+    )
 }
 
 fn profile(
@@ -211,12 +238,14 @@ fn profile(
             ..lowutil::par::PipelineOptions::default()
         };
         let (out, g) = lowutil::par::run_pipelined(program, config, &opts, |tracer| {
-            Vm::new(program).run(tracer)
+            make_vm(program, flags).run(tracer)
         });
         return Ok((g, out.map_err(|e| e.to_string())?));
     }
     let mut prof = CostProfiler::new(program, config);
-    let out = Vm::new(program).run(&mut prof).map_err(|e| e.to_string())?;
+    let out = make_vm(program, flags)
+        .run(&mut prof)
+        .map_err(|e| e.to_string())?;
     Ok((prof.finish(), out))
 }
 
@@ -257,7 +286,7 @@ fn main() -> ExitCode {
         match cmd {
             "run" => {
                 let p = load(target)?;
-                let out = Vm::new(&p)
+                let out = make_vm(&p, &flags)
                     .run(&mut NullTracer)
                     .map_err(|e| e.to_string())?;
                 for v in &out.output {
@@ -295,7 +324,9 @@ fn main() -> ExitCode {
             "copies" => {
                 let p = load(target)?;
                 let mut prof = copy_profiler();
-                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
+                make_vm(&p, &flags)
+                    .run(&mut prof)
+                    .map_err(|e| e.to_string())?;
                 let (g, _) = prof.finish();
                 println!("copy ratio: {:.1}%", copy_ratio(&g) * 100.0);
                 for c in copy_chains(&g).into_iter().take(flags.top) {
@@ -315,7 +346,9 @@ fn main() -> ExitCode {
                 let mut calls = CallGraphTracer::new();
                 let mut cost = CostProfiler::new(&p, CostGraphConfig::default());
                 let mut both = (&mut calls, &mut cost);
-                Vm::new(&p).run(&mut both).map_err(|e| e.to_string())?;
+                make_vm(&p, &flags)
+                    .run(&mut both)
+                    .map_err(|e| e.to_string())?;
                 let gcost = cost.finish();
                 let rel: std::collections::HashMap<_, _> =
                     lowutil::analyses::method_return_costs(&gcost, &p)
@@ -368,7 +401,9 @@ fn main() -> ExitCode {
             "stale" => {
                 let p = load(target)?;
                 let mut stale = lowutil::analyses::StalenessTracer::new();
-                Vm::new(&p).run(&mut stale).map_err(|e| e.to_string())?;
+                make_vm(&p, &flags)
+                    .run(&mut stale)
+                    .map_err(|e| e.to_string())?;
                 print!("{}", stale.report(&p, flags.top));
                 // Cross-reference the leak suspects against G_cost: how
                 // much work built each stale site, and whether anything
@@ -394,7 +429,9 @@ fn main() -> ExitCode {
             "alloc" => {
                 let p = load(target)?;
                 let mut prof = lowutil::analyses::AllocationProfiler::new();
-                Vm::new(&p).run(&mut prof).map_err(|e| e.to_string())?;
+                make_vm(&p, &flags)
+                    .run(&mut prof)
+                    .map_err(|e| e.to_string())?;
                 print!("{}", prof.report(&p, flags.top));
                 Ok(())
             }
@@ -408,7 +445,7 @@ fn main() -> ExitCode {
                 let (g, before) = profile(&p, &flags)?;
                 let (opt, stats) = lowutil::analyses::eliminate_dead_instructions(&p, &g)
                     .map_err(|e| e.to_string())?;
-                let after = Vm::new(&opt)
+                let after = make_vm(&opt, &flags)
                     .run(&mut NullTracer)
                     .map_err(|e| e.to_string())?;
                 if after.output != before.output {
@@ -459,7 +496,9 @@ fn main() -> ExitCode {
                     None => TraceWriter::new(buf),
                 };
                 let mut tracer = SinkTracer(writer);
-                let out = Vm::new(&p).run(&mut tracer).map_err(|e| e.to_string())?;
+                let out = make_vm(&p, &flags)
+                    .run(&mut tracer)
+                    .map_err(|e| e.to_string())?;
                 let (w, stats) = tracer.0.finish().map_err(|e| e.to_string())?;
                 w.into_inner().map_err(|e| format!("flush failed: {e}"))?;
                 for v in &out.output {
@@ -661,6 +700,18 @@ mod tests {
         assert!(f.pipeline);
         let f = flags_of(&[]);
         assert!(!f.pipeline);
+    }
+
+    #[test]
+    fn sched_seed_flag_parses() {
+        let f = flags_of(&["--sched-seed", "7"]);
+        assert_eq!(f.sched_seed, 7);
+        let f = flags_of(&[]);
+        assert_eq!(f.sched_seed, 0);
+        // Missing value keeps the default without swallowing the next flag.
+        let f = flags_of(&["--sched-seed", "--salvage"]);
+        assert_eq!(f.sched_seed, 0);
+        assert!(f.salvage);
     }
 
     #[test]
