@@ -94,8 +94,10 @@ pub const SNAPSHOT_CROSSOVER: usize = 512;
 #[derive(Debug)]
 enum Inner<'a> {
     /// The real batch machinery: CSR snapshot + precomputed answers.
+    /// The snapshot may borrow its arrays from a loaded store file
+    /// ([`BatchAnalyzer::with_csr`]).
     Snapshot {
-        csr: CsrGraph,
+        csr: CsrGraph<'a>,
         consumer_reach: Bitset,
         hrac: Vec<u64>,
         hrab: Vec<u64>,
@@ -140,7 +142,15 @@ impl<'a> BatchAnalyzer<'a> {
     /// gate — the constructor tests and benches use to exercise the
     /// batch machinery on graphs of any size.
     pub fn with_snapshot(gcost: &CostGraph, jobs: usize) -> Self {
-        let csr = CsrGraph::build(gcost.graph());
+        Self::with_csr(CsrGraph::build(gcost.graph()), jobs)
+    }
+
+    /// Builds the snapshot engine around an existing CSR snapshot —
+    /// typically one loaded zero-copy from the on-disk store
+    /// ([`lowutil_core::store`]), whose arrays borrow from the file
+    /// buffer for `'a`. Skips graph re-construction entirely; only the
+    /// precomputation passes run.
+    pub fn with_csr(csr: CsrGraph<'a>, jobs: usize) -> Self {
         let consumer_reach = csr.mark_consumer_reach();
         let n = csr.num_nodes();
 
@@ -180,7 +190,7 @@ impl<'a> BatchAnalyzer<'a> {
     }
 
     /// The underlying snapshot, when one was built.
-    pub fn csr(&self) -> Option<&CsrGraph> {
+    pub fn csr(&self) -> Option<&CsrGraph<'a>> {
         match &self.inner {
             Inner::Snapshot { csr, .. } => Some(csr),
             Inner::Reference(_) => None,

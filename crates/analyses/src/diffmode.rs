@@ -1,0 +1,345 @@
+//! Bloat regression diffing between two profiled runs — the CI mode.
+//!
+//! Given the low-utility rankings of two snapshots (an old baseline `A`
+//! and a candidate `B`), aligns structures across them and classifies
+//! each as new, resolved, worsened, improved, or unchanged. A structure's
+//! identity across program versions is its *(context, allocation-site)
+//! label*: the `(method, pc)` of the allocation instruction plus the
+//! encoded context slot — stable under graph re-construction and under
+//! edits that do not move the allocation, which is exactly the increment
+//! CI compares.
+//!
+//! `lowutil diff A B --fail-on-regression` turns the report into an exit
+//! code: nonzero iff a structure is newly low-utility or got materially
+//! worse under the thresholds of [`DiffConfig`].
+
+use crate::structure::StructureCostBenefit;
+use lowutil_core::CostGraph;
+use std::fmt::Write;
+
+/// The cross-snapshot identity of a structure: allocation instruction
+/// plus context slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiffKey {
+    /// Method of the allocation instruction.
+    pub method: u32,
+    /// Pc of the allocation instruction.
+    pub pc: u32,
+    /// Encoded context slot (`TaggedSite::slot`).
+    pub slot: u32,
+}
+
+impl std::fmt::Display for DiffKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alloc @M{}:{} ^{}", self.method, self.pc, self.slot)
+    }
+}
+
+/// How one aligned structure moved between the two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Present only in `B`.
+    New,
+    /// Present only in `A`.
+    Resolved,
+    /// Imbalance grew past the worsen threshold.
+    Worsened,
+    /// Imbalance shrank past the worsen threshold (read in reverse).
+    Improved,
+    /// Within thresholds.
+    Unchanged,
+}
+
+impl DiffStatus {
+    fn label(self) -> &'static str {
+        match self {
+            DiffStatus::New => "NEW",
+            DiffStatus::Resolved => "RESOLVED",
+            DiffStatus::Worsened => "WORSENED",
+            DiffStatus::Improved => "IMPROVED",
+            DiffStatus::Unchanged => "UNCHANGED",
+        }
+    }
+
+    /// Sort severity: regressions first, noise last.
+    fn severity(self) -> u8 {
+        match self {
+            DiffStatus::New => 0,
+            DiffStatus::Worsened => 1,
+            DiffStatus::Resolved => 2,
+            DiffStatus::Improved => 3,
+            DiffStatus::Unchanged => 4,
+        }
+    }
+}
+
+/// Thresholds for classifying movement and for what counts as a
+/// regression.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// A structure only matters (as NEW, or as the endpoint of a
+    /// WORSENED) when its imbalance reaches this. Structures whose
+    /// values reach consumers have imbalance ≪ 1, so the default of 1.0
+    /// ignores them.
+    pub min_imbalance: f64,
+    /// An aligned structure is WORSENED when
+    /// `imbalance_b > imbalance_a * worsen_factor` (and IMPROVED on the
+    /// mirrored test), damping float jitter and benign growth.
+    pub worsen_factor: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            min_imbalance: 1.0,
+            worsen_factor: 1.25,
+        }
+    }
+}
+
+/// One aligned structure's movement.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// The alignment key.
+    pub key: DiffKey,
+    /// Classification under the config the diff ran with.
+    pub status: DiffStatus,
+    /// Imbalance and 1-based rank in snapshot `A`, when present.
+    pub a: Option<(f64, usize)>,
+    /// Imbalance and 1-based rank in snapshot `B`, when present.
+    pub b: Option<(f64, usize)>,
+}
+
+/// The full diff: every aligned structure, regressions first.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// All entries, sorted by severity then by `B`'s (or `A`'s)
+    /// imbalance, descending.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Entries that constitute a bloat regression: NEW structures at or
+    /// above the imbalance floor, and every WORSENED entry.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.status, DiffStatus::New | DiffStatus::Worsened))
+    }
+
+    /// Whether `--fail-on-regression` should exit nonzero.
+    pub fn has_regression(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Renders the human-readable diff table. Unchanged entries are
+    /// summarized as a count, everything else gets a line with rank
+    /// deltas.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let unchanged = self
+            .entries
+            .iter()
+            .filter(|e| e.status == DiffStatus::Unchanged)
+            .count();
+        let _ = writeln!(
+            out,
+            "=== snapshot diff: {} structures compared, {} regression(s) ===",
+            self.entries.len(),
+            self.regressions().count()
+        );
+        for e in &self.entries {
+            if e.status == DiffStatus::Unchanged {
+                continue;
+            }
+            let fmt_side = |side: &Option<(f64, usize)>| match side {
+                Some((imb, rank)) => format!("imbalance {imb:.1} rank #{rank}"),
+                None => "absent".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<9} {}  {} -> {}",
+                e.status.label(),
+                e.key,
+                fmt_side(&e.a),
+                fmt_side(&e.b)
+            );
+        }
+        let _ = writeln!(out, "({unchanged} unchanged)");
+        out
+    }
+}
+
+/// Maps each ranked structure to its alignment key via the allocation
+/// node recorded in `gcost`. Structures whose root has no allocation
+/// node (possible only on malformed graphs) are skipped.
+pub fn ranked_keys(gcost: &CostGraph, ranked: &[StructureCostBenefit]) -> Vec<(DiffKey, f64)> {
+    ranked
+        .iter()
+        .filter_map(|s| {
+            let node = gcost.alloc_node(s.root)?;
+            let instr = gcost.graph().node(node).instr;
+            Some((
+                DiffKey {
+                    method: instr.method.0,
+                    pc: instr.pc,
+                    slot: s.root.slot,
+                },
+                s.imbalance(),
+            ))
+        })
+        .collect()
+}
+
+/// Diffs two rankings (each as `(key, imbalance)` in rank order, from
+/// [`ranked_keys`]) under `config`.
+pub fn diff_rankings(
+    a: &[(DiffKey, f64)],
+    b: &[(DiffKey, f64)],
+    config: &DiffConfig,
+) -> DiffReport {
+    let index = |v: &[(DiffKey, f64)]| -> std::collections::HashMap<DiffKey, (f64, usize)> {
+        v.iter()
+            .enumerate()
+            .map(|(i, &(k, imb))| (k, (imb, i + 1)))
+            .collect()
+    };
+    let ia = index(a);
+    let ib = index(b);
+    let mut keys: Vec<DiffKey> = ia.keys().chain(ib.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut entries: Vec<DiffEntry> = keys
+        .into_iter()
+        .map(|key| {
+            let sa = ia.get(&key).copied();
+            let sb = ib.get(&key).copied();
+            let status = match (sa, sb) {
+                (None, Some((imb_b, _))) => {
+                    if imb_b >= config.min_imbalance {
+                        DiffStatus::New
+                    } else {
+                        DiffStatus::Unchanged
+                    }
+                }
+                (Some((imb_a, _)), None) => {
+                    if imb_a >= config.min_imbalance {
+                        DiffStatus::Resolved
+                    } else {
+                        DiffStatus::Unchanged
+                    }
+                }
+                (Some((imb_a, _)), Some((imb_b, _))) => {
+                    if imb_b > imb_a * config.worsen_factor && imb_b >= config.min_imbalance {
+                        DiffStatus::Worsened
+                    } else if imb_a > imb_b * config.worsen_factor && imb_a >= config.min_imbalance
+                    {
+                        DiffStatus::Improved
+                    } else {
+                        DiffStatus::Unchanged
+                    }
+                }
+                (None, None) => unreachable!("key came from one of the indexes"),
+            };
+            DiffEntry {
+                key,
+                status,
+                a: sa,
+                b: sb,
+            }
+        })
+        .collect();
+    entries.sort_by(|x, y| {
+        let imb = |e: &DiffEntry| e.b.or(e.a).map(|(i, _)| i).unwrap_or(0.0);
+        x.status
+            .severity()
+            .cmp(&y.status.severity())
+            .then(
+                imb(y)
+                    .partial_cmp(&imb(x))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(x.key.cmp(&y.key))
+    });
+    DiffReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(pc: u32) -> DiffKey {
+        DiffKey {
+            method: 0,
+            pc,
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn identical_rankings_have_no_regressions() {
+        let rank = vec![(k(1), 40.0), (k(2), 3.0), (k(3), 0.1)];
+        let report = diff_rankings(&rank, &rank, &DiffConfig::default());
+        assert!(!report.has_regression());
+        assert!(report
+            .entries
+            .iter()
+            .all(|e| e.status == DiffStatus::Unchanged));
+    }
+
+    #[test]
+    fn new_and_worsened_count_as_regressions() {
+        let a = vec![(k(1), 10.0)];
+        let b = vec![(k(2), 50.0), (k(1), 20.0)];
+        let report = diff_rankings(&a, &b, &DiffConfig::default());
+        assert!(report.has_regression());
+        let by_key = |pc: u32| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.key == k(pc))
+                .unwrap()
+                .status
+        };
+        assert_eq!(by_key(2), DiffStatus::New);
+        assert_eq!(by_key(1), DiffStatus::Worsened);
+        // Regressions sort first, highest imbalance first.
+        assert_eq!(report.entries[0].key, k(2));
+        let text = report.render();
+        assert!(text.contains("NEW"), "{text}");
+        assert!(text.contains("WORSENED"), "{text}");
+        assert!(text.contains("2 regression(s)"), "{text}");
+    }
+
+    #[test]
+    fn low_imbalance_new_structures_are_not_regressions() {
+        let a: Vec<(DiffKey, f64)> = Vec::new();
+        let b = vec![(k(9), 0.4)];
+        let report = diff_rankings(&a, &b, &DiffConfig::default());
+        assert!(!report.has_regression(), "benign structure flagged");
+    }
+
+    #[test]
+    fn resolved_and_improved_are_benign() {
+        let a = vec![(k(1), 50.0), (k(2), 40.0)];
+        let b = vec![(k(2), 2.0)];
+        let report = diff_rankings(&a, &b, &DiffConfig::default());
+        assert!(!report.has_regression());
+        let statuses: Vec<DiffStatus> = report.entries.iter().map(|e| e.status).collect();
+        assert!(statuses.contains(&DiffStatus::Resolved));
+        assert!(statuses.contains(&DiffStatus::Improved));
+    }
+
+    #[test]
+    fn worsen_factor_damps_jitter() {
+        let a = vec![(k(1), 10.0)];
+        let b = vec![(k(1), 11.0)];
+        let cfg = DiffConfig::default();
+        assert!(!diff_rankings(&a, &b, &cfg).has_regression());
+        let tight = DiffConfig {
+            worsen_factor: 1.05,
+            ..cfg
+        };
+        assert!(diff_rankings(&a, &b, &tight).has_regression());
+    }
+}

@@ -62,10 +62,12 @@ pub mod cache;
 pub mod copy;
 pub mod cost;
 pub mod dead;
+pub mod diffmode;
 pub mod extras;
 pub mod methods;
 pub mod nullprop;
 pub mod optimize;
+pub mod qcache;
 pub mod report;
 pub mod staleness;
 pub mod structure;
@@ -77,12 +79,18 @@ pub use cache::{cache_effectiveness, CacheStats};
 pub use copy::{copy_chains, copy_profiler, CopyChain, CopyDomain, CopySource};
 pub use cost::{abstract_cost, hrab, hrac, rab, rac, CostBenefitConfig, FieldCostBenefit};
 pub use dead::{dead_value_metrics, DeadValueMetrics};
+pub use diffmode::{
+    diff_rankings, ranked_keys, DiffConfig, DiffEntry, DiffKey, DiffReport, DiffStatus,
+};
 pub use methods::{method_costs, method_return_costs, CallGraphTracer, MethodCost};
 pub use nullprop::{
     null_tracking_profiler, trace_null_origin, NullDomain, NullOriginReport, Nullness,
 };
 pub use optimize::{dead_instructions, eliminate_dead_instructions, ElimStats};
-pub use report::{low_utility_report, low_utility_report_batch, low_utility_report_with};
+pub use qcache::{params_fingerprint, CacheKey, QueryCache};
+pub use report::{
+    low_utility_report, low_utility_report_batch, low_utility_report_with, render_report,
+};
 pub use staleness::{SiteStaleness, StalenessTracer};
 pub use structure::{
     rank_structures, rank_structures_batch, rank_structures_with, reference_tree,

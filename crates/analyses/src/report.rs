@@ -116,6 +116,19 @@ pub fn low_utility_report_with<E: CostEngine>(
     jobs: usize,
 ) -> String {
     let ranked = rank_structures_with(gcost, config, engine, jobs);
+    render_report(program, &ranked, top_n, dead)
+}
+
+/// Renders the report text from an already-computed ranking — the path a
+/// query-cache hit takes ([`crate::qcache`]): no engine is constructed
+/// and no traversal runs. Byte-identical to the engine paths given the
+/// same ranking.
+pub fn render_report(
+    program: &Program,
+    ranked: &[StructureCostBenefit],
+    top_n: usize,
+    dead: Option<&DeadValueMetrics>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

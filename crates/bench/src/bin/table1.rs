@@ -20,7 +20,17 @@
 //!
 //! Usage: `table1 [--size small|default|large] [--slots N ...] [--jobs N]
 //!         [--json PATH] [--record DIR | --replay DIR]
-//!         [--analysis batch|reference] [--pipeline [--pipeline-batch N]]`
+//!         [--analysis batch|reference] [--pipeline [--pipeline-batch N]]
+//!         [--store DIR]`
+//!
+//! `--store DIR` adds a sequential post-pass over the persistent CSR
+//! store: each workload's graph is saved to `DIR/<name>.snap`, loaded
+//! back zero-copy, ranked cold from the loaded arrays, and ranked again
+//! through the content-hash query cache under `DIR/qcache` — so the
+//! baseline separates build-from-scratch, snapshot-load, cold-query,
+//! and cached-query times. The loaded graph's canonical export is
+//! asserted byte-identical to the live one, and the cached ranking
+//! bit-identical to the cold one; the JSON gains a `store` array.
 //!
 //! `--pipeline` (live mode only) adds a quiet sequential post-pass
 //! comparing plain, sequential-profiled, and pipelined wall times
@@ -41,6 +51,7 @@
 use lowutil_analyses::batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine};
 use lowutil_analyses::cost::CostBenefitConfig;
 use lowutil_analyses::dead::dead_value_metrics;
+use lowutil_analyses::qcache::{CacheKey, QueryCache};
 use lowutil_analyses::report::describe_site;
 use lowutil_analyses::structure::{
     rank_structures, rank_structures_batch, rank_structures_with, StructureCostBenefit,
@@ -50,6 +61,7 @@ use lowutil_bench::{
     median_time, overhead_factor, run_pipelined, run_plain, run_profiled, run_recorded,
     run_replayed,
 };
+use lowutil_core::{read_snapshot, save_snapshot, AlignedBuf};
 use lowutil_core::{CostGraph, CostGraphConfig, GraphStats};
 use lowutil_ir::Program;
 use lowutil_vm::TraceReader;
@@ -79,6 +91,8 @@ struct Args {
     /// JSON baseline so fallback-tier numbers are never mistaken for
     /// genuine-overlap ones.
     cores: usize,
+    /// Directory for the persistent-store post-pass (`--store DIR`).
+    store: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -93,6 +107,7 @@ fn parse_args() -> Args {
         pipeline_batch: lowutil_vm::DEFAULT_BATCH_LIMIT,
         pipeline_jobs: lowutil_par::auto_pipeline_jobs(),
         cores: lowutil_par::default_jobs(),
+        store: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -140,6 +155,10 @@ fn parse_args() -> Args {
                 None => eprintln!("--analysis needs batch|reference"),
             },
             "--pipeline" => parsed.pipeline = true,
+            "--store" => match take_value(&mut args) {
+                Some(d) => parsed.store = Some(d),
+                None => eprintln!("--store needs a directory"),
+            },
             "--pipeline-batch" => match take_value(&mut args).and_then(|v| v.parse::<usize>().ok())
             {
                 Some(n) => parsed.pipeline_batch = n.max(1),
@@ -640,6 +659,41 @@ fn main() {
         Vec::new()
     };
 
+    // Persistent-store timing: build vs save vs zero-copy load vs cold
+    // query vs cached query, per workload. Sequential post-pass for the
+    // same reason as the analysis timings above.
+    let store_times: Vec<StoreTiming> = match &args.store {
+        None => Vec::new(),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+            let cache = QueryCache::new(format!("{dir}/qcache"));
+            NAMES
+                .iter()
+                .map(|&name| store_timing(name, dir, &cache, &args))
+                .collect()
+        }
+    };
+    if !store_times.is_empty() {
+        println!();
+        println!("=== persistent CSR store (cold build vs load vs cached query) ===");
+        println!(
+            "{:<12} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10}",
+            "program", "snap(KiB)", "build(ms)", "save(ms)", "load(ms)", "cold-q(ms)", "warm-q(ms)"
+        );
+        for t in &store_times {
+            println!(
+                "{:<12} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>10.3} {:>10.3}",
+                t.name,
+                t.snapshot_bytes as f64 / 1024.0,
+                t.t_build.as_secs_f64() * 1e3,
+                t.t_save.as_secs_f64() * 1e3,
+                t.t_load.as_secs_f64() * 1e3,
+                t.t_cold_query.as_secs_f64() * 1e3,
+                t.t_cached_query.as_secs_f64() * 1e3,
+            );
+        }
+    }
+
     if let Some(path) = &args.json {
         let json = baseline_json(
             &args,
@@ -647,6 +701,7 @@ fn main() {
             &shard_times,
             &analysis_times,
             &pipeline_times,
+            &store_times,
             overlap_skipped,
             wall.elapsed(),
         );
@@ -657,6 +712,92 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// One workload's persistent-store measurements.
+struct StoreTiming {
+    name: &'static str,
+    snapshot_bytes: u64,
+    /// Profile (or replay) + finish the graph from scratch.
+    t_build: Duration,
+    /// Serialize the finished graph to the snapshot file.
+    t_save: Duration,
+    /// `AlignedBuf::load` + validation + `to_cost_graph`.
+    t_load: Duration,
+    /// Rank from the loaded zero-copy CSR (engine construction included).
+    t_cold_query: Duration,
+    /// Re-read the same ranking from the content-hash query cache.
+    t_cached_query: Duration,
+}
+
+/// Measures one workload's save/load/query cycle against `dir`. The
+/// loaded graph is held to canonical-export byte identity with the live
+/// one, and the cached ranking to bit identity with the cold one — the
+/// numbers are only comparable because the artifacts are equal.
+fn store_timing(name: &'static str, dir: &str, cache: &QueryCache, args: &Args) -> StoreTiming {
+    let w = lowutil_workloads::workload(name, args.size);
+    let build = || match &args.mode {
+        Mode::Live => {
+            let t0 = Instant::now();
+            let (g, out, _) = run_profiled(&w.program, CostGraphConfig::default());
+            ((g, out.instructions_executed), t0.elapsed())
+        }
+        Mode::Record(d) | Mode::Replay(d) => {
+            let trace = read_trace(d, name);
+            let t0 = Instant::now();
+            let (g, _) = run_replayed(&w.program, CostGraphConfig::default(), &trace, 1);
+            let instructions = TraceReader::new(&trace)
+                .expect("recorded trace parses")
+                .trailer()
+                .instructions;
+            ((g, instructions), t0.elapsed())
+        }
+    };
+    let ((graph, instructions), t_build) = median_time(3, build);
+    let path = format!("{dir}/{name}.snap");
+    let (_, t_save) = median_time(3, || {
+        let t0 = Instant::now();
+        save_snapshot(&graph, instructions, &path).unwrap_or_else(|e| panic!("save {path}: {e}"));
+        ((), t0.elapsed())
+    });
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot written").len();
+    let (_, t_load) = median_time(3, || {
+        let t0 = Instant::now();
+        let buf = AlignedBuf::load(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let snap = read_snapshot(&buf).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let g = snap.to_cost_graph();
+        (g, t0.elapsed())
+    });
+    let buf = AlignedBuf::load(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let snap = read_snapshot(&buf).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let loaded = snap.to_cost_graph();
+    assert!(
+        export_bytes(&graph) == export_bytes(&loaded),
+        "loaded snapshot diverged from live graph on {name}"
+    );
+    let cfg = CostBenefitConfig::default();
+    let (cold, t_cold_query) = time_ranking(|| {
+        let engine = BatchAnalyzer::with_csr(snap.csr().clone(), 1);
+        rank_structures_with(&loaded, &cfg, &engine, 1)
+    });
+    let key = CacheKey::new(snap.content_hash(), EngineChoice::Batch, &cfg);
+    cache
+        .store(&key, &cold)
+        .unwrap_or_else(|e| panic!("cache store for {name}: {e}"));
+    let (cached, t_cached_query) = time_ranking(|| cache.load(&key).expect("stored entry hits"));
+    assert!(
+        rankings_agree(&cold, &cached),
+        "cached ranking diverged from cold on {name}"
+    );
+    StoreTiming {
+        name,
+        snapshot_bytes,
+        t_build,
+        t_save,
+        t_load,
+        t_cold_query,
+        t_cached_query,
     }
 }
 
@@ -720,6 +861,7 @@ fn baseline_json(
     shard_times: &[(&'static str, Duration)],
     analysis_times: &[(&'static str, Duration, Duration, Duration)],
     pipeline_times: &[(&'static str, Duration, Duration, Duration)],
+    store_times: &[StoreTiming],
     overlap_skipped: bool,
     total: Duration,
 ) -> String {
@@ -790,6 +932,30 @@ fn baseline_json(
                 } else {
                     ","
                 },
+            ));
+        }
+        s.push_str("  ],\n");
+    }
+    // Persistent CSR store: building from scratch vs loading the
+    // snapshot vs answering the ranking from the content-hash cache.
+    if !store_times.is_empty() {
+        s.push_str("  \"store\": [\n");
+        for (i, t) in store_times.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"snapshot_bytes\": {}, \"build_ms\": {:.3}, \
+                 \"save_ms\": {:.3}, \"load_ms\": {:.3}, \"cold_query_ms\": {:.3}, \
+                 \"cached_query_ms\": {:.3}, \"load_speedup\": {:.2}, \
+                 \"cached_query_speedup\": {:.2}}}{}\n",
+                t.name,
+                t.snapshot_bytes,
+                ms(t.t_build),
+                ms(t.t_save),
+                ms(t.t_load),
+                ms(t.t_cold_query),
+                ms(t.t_cached_query),
+                t.t_build.as_secs_f64() / t.t_load.as_secs_f64().max(1e-9),
+                t.t_cold_query.as_secs_f64() / t.t_cached_query.as_secs_f64().max(1e-9),
+                if i + 1 == store_times.len() { "" } else { "," },
             ));
         }
         s.push_str("  ],\n");

@@ -20,6 +20,7 @@
 //! crossing a heap write.
 
 use crate::graph::{DepGraph, NodeId, NodeKind};
+use std::borrow::Cow;
 use std::hash::Hash;
 
 /// A dense bitset over `u64` words.
@@ -34,6 +35,17 @@ impl Bitset {
         Bitset {
             words: vec![0; bits.div_ceil(64)],
         }
+    }
+
+    /// Wraps an existing word vector (64 bits per word, bit `i` at word
+    /// `i / 64`, bit `i % 64`).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Bitset { words }
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Sets bit `i`; returns `true` when the bit was previously clear.
@@ -111,7 +123,7 @@ impl TraversalScratch {
     }
 
     /// Creates scratch sized for `csr`.
-    pub fn for_graph(csr: &CsrGraph) -> Self {
+    pub fn for_graph(csr: &CsrGraph<'_>) -> Self {
         Self::new(csr.num_nodes())
     }
 
@@ -141,44 +153,94 @@ impl TraversalScratch {
     }
 }
 
+/// Tests bit `i` of a raw bitset word slice.
+#[inline]
+fn word_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1 << (i % 64)) != 0
+}
+
 /// An immutable compressed-sparse-row snapshot of a finished dependence
 /// graph: flat predecessor/successor adjacency plus per-node frequency
 /// and kind side arrays. Node ids coincide with the source graph's
 /// [`NodeId`] indices.
+///
+/// Every array is `Cow`: a graph built in memory owns its arrays
+/// (`CsrGraph<'static>`), while one loaded from an on-disk snapshot
+/// ([`crate::store`]) borrows them zero-copy from the mapped file bytes.
 #[derive(Debug, Clone)]
-pub struct CsrGraph {
-    kind: Vec<NodeKind>,
-    freq: Vec<u64>,
-    succ_off: Vec<u32>,
-    succ_adj: Vec<u32>,
-    pred_off: Vec<u32>,
-    pred_adj: Vec<u32>,
+pub struct CsrGraph<'a> {
+    /// Per-node [`NodeKind::code`] bytes.
+    kind: Cow<'a, [u8]>,
+    freq: Cow<'a, [u64]>,
+    succ_off: Cow<'a, [u32]>,
+    succ_adj: Cow<'a, [u32]>,
+    pred_off: Cow<'a, [u32]>,
+    pred_adj: Cow<'a, [u32]>,
     /// Bit `n` set ⇔ `kind[n].reads_heap()` — the backward-hop boundary,
     /// precomputed so the traversal's crossing test is one load + mask
     /// on a dense side array instead of a kind decode per edge.
-    reads_heap: Bitset,
+    reads_heap: Cow<'a, [u64]>,
     /// Bit `n` set ⇔ `kind[n].writes_heap()` — the forward-hop boundary.
-    writes_heap: Bitset,
+    writes_heap: Cow<'a, [u64]>,
     /// Bit `n` set ⇔ `kind[n].is_consumer()` — the seed set of
     /// [`mark_consumer_reach`](CsrGraph::mark_consumer_reach), swept
     /// word-parallel instead of re-deriving it from `kind`.
-    consumer: Bitset,
+    consumer: Cow<'a, [u64]>,
 }
 
-impl CsrGraph {
+impl CsrGraph<'static> {
     /// Snapshots `g`. Adjacency lists keep the source graph's edge order,
     /// so traversal results are deterministic however the snapshot is
     /// consumed.
-    pub fn build<D: Clone + Eq + Hash>(g: &DepGraph<D>) -> CsrGraph {
+    pub fn build<D: Clone + Eq + Hash>(g: &DepGraph<D>) -> CsrGraph<'static> {
+        Self::build_inner(g, None)
+    }
+
+    /// Snapshots `g` with its nodes permuted into `order` (`order[new]`
+    /// is the old id) and each adjacency list sorted ascending. This is
+    /// the *canonical* CSR form the on-disk store serializes: it depends
+    /// only on graph content, never on construction order, so saving the
+    /// same abstract graph twice produces identical bytes. Traversal
+    /// sums are order-independent, so analyses agree with [`build`].
+    ///
+    /// [`build`]: CsrGraph::build
+    pub fn build_ordered<D: Clone + Eq + Hash>(
+        g: &DepGraph<D>,
+        order: &[NodeId],
+    ) -> CsrGraph<'static> {
+        assert_eq!(order.len(), g.num_nodes(), "order must permute all nodes");
+        Self::build_inner(g, Some(order))
+    }
+
+    fn build_inner<D: Clone + Eq + Hash>(
+        g: &DepGraph<D>,
+        order: Option<&[NodeId]>,
+    ) -> CsrGraph<'static> {
         let n = g.num_nodes();
         debug_assert!(n <= u32::MAX as usize, "node count exceeds CSR index width");
+        // old id -> new id (identity when no permutation given).
+        let canon: Vec<u32> = match order {
+            Some(order) => {
+                let mut canon = vec![0u32; n];
+                for (new, &old) in order.iter().enumerate() {
+                    canon[old.index()] = new as u32;
+                }
+                canon
+            }
+            None => (0..n as u32).collect(),
+        };
+        let old_of = |new: usize| match order {
+            Some(order) => order[new],
+            None => NodeId(new as u32),
+        };
         let mut kind = Vec::with_capacity(n);
         let mut freq = Vec::with_capacity(n);
         let mut reads_heap = Bitset::new(n);
         let mut writes_heap = Bitset::new(n);
         let mut consumer = Bitset::new(n);
-        for (i, (_, node)) in g.iter().enumerate() {
-            kind.push(node.kind);
+        for i in 0..n {
+            let node = g.node(old_of(i));
+            kind.push(node.kind.code());
             freq.push(node.freq);
             if node.kind.reads_heap() {
                 reads_heap.insert(i);
@@ -196,13 +258,124 @@ impl CsrGraph {
         let mut pred_adj = Vec::with_capacity(g.num_edges());
         succ_off.push(0);
         pred_off.push(0);
-        for id in g.node_ids() {
-            succ_adj.extend(g.succs(id).iter().map(|m| m.0));
+        for i in 0..n {
+            let old = old_of(i);
+            let start = succ_adj.len();
+            succ_adj.extend(g.succs(old).iter().map(|m| canon[m.index()]));
+            if order.is_some() {
+                succ_adj[start..].sort_unstable();
+            }
             succ_off.push(succ_adj.len() as u32);
-            pred_adj.extend(g.preds(id).iter().map(|m| m.0));
+            let start = pred_adj.len();
+            pred_adj.extend(g.preds(old).iter().map(|m| canon[m.index()]));
+            if order.is_some() {
+                pred_adj[start..].sort_unstable();
+            }
             pred_off.push(pred_adj.len() as u32);
         }
         CsrGraph {
+            kind: Cow::Owned(kind),
+            freq: Cow::Owned(freq),
+            succ_off: Cow::Owned(succ_off),
+            succ_adj: Cow::Owned(succ_adj),
+            pred_off: Cow::Owned(pred_off),
+            pred_adj: Cow::Owned(pred_adj),
+            reads_heap: Cow::Owned(reads_heap.words),
+            writes_heap: Cow::Owned(writes_heap.words),
+            consumer: Cow::Owned(consumer.words),
+        }
+    }
+}
+
+impl<'a> CsrGraph<'a> {
+    /// Assembles a graph from raw (possibly borrowed) arrays, validating
+    /// every structural invariant before anything downstream indexes
+    /// with them: kind bytes decode, offset arrays are monotone and
+    /// bracket their adjacency arrays, adjacency targets are in range,
+    /// and the three boundary bitsets agree bit-for-bit with the kind
+    /// array. Malformed input is rejected with a description, never a
+    /// panic — this is the trust boundary for on-disk snapshots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        kind: Cow<'a, [u8]>,
+        freq: Cow<'a, [u64]>,
+        succ_off: Cow<'a, [u32]>,
+        succ_adj: Cow<'a, [u32]>,
+        pred_off: Cow<'a, [u32]>,
+        pred_adj: Cow<'a, [u32]>,
+        reads_heap: Cow<'a, [u64]>,
+        writes_heap: Cow<'a, [u64]>,
+        consumer: Cow<'a, [u64]>,
+    ) -> Result<CsrGraph<'a>, String> {
+        let n = kind.len();
+        if n > u32::MAX as usize {
+            return Err("node count exceeds CSR index width".into());
+        }
+        if freq.len() != n {
+            return Err(format!("freq length {} != node count {n}", freq.len()));
+        }
+        for (name, off, adj) in [
+            ("succ", &succ_off, &succ_adj),
+            ("pred", &pred_off, &pred_adj),
+        ] {
+            if off.len() != n + 1 {
+                return Err(format!("{name} offsets length {} != {}", off.len(), n + 1));
+            }
+            if off[0] != 0 {
+                return Err(format!("{name} offsets do not start at 0"));
+            }
+            if off.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{name} offsets not monotone"));
+            }
+            if off[n] as usize != adj.len() {
+                return Err(format!(
+                    "{name} offsets end at {} but adjacency has {} entries",
+                    off[n],
+                    adj.len()
+                ));
+            }
+            if adj.iter().any(|&m| m as usize >= n) {
+                return Err(format!("{name} adjacency target out of range"));
+            }
+        }
+        if succ_adj.len() != pred_adj.len() {
+            return Err(format!(
+                "edge count mismatch: {} forward vs {} reverse",
+                succ_adj.len(),
+                pred_adj.len()
+            ));
+        }
+        let words = n.div_ceil(64);
+        for (name, bits) in [
+            ("reads_heap", &reads_heap),
+            ("writes_heap", &writes_heap),
+            ("consumer", &consumer),
+        ] {
+            if bits.len() != words {
+                return Err(format!("{name} bitset length {} != {words}", bits.len()));
+            }
+        }
+        for (i, &code) in kind.iter().enumerate() {
+            let k = NodeKind::from_code(code)
+                .ok_or_else(|| format!("node {i}: unknown kind code {code}"))?;
+            if word_bit(&reads_heap, i) != k.reads_heap()
+                || word_bit(&writes_heap, i) != k.writes_heap()
+                || word_bit(&consumer, i) != k.is_consumer()
+            {
+                return Err(format!("node {i}: boundary bitsets disagree with kind"));
+            }
+        }
+        // Tail bits beyond `n` must be clear, or word-parallel sweeps
+        // would visit ghost nodes.
+        if !n.is_multiple_of(64) && words > 0 {
+            let mask = !0u64 << (n % 64);
+            for bits in [&reads_heap, &writes_heap, &consumer] {
+                if bits[words - 1] & mask != 0 {
+                    return Err("bitset has bits set past the node count".into());
+                }
+            }
+        }
+        Ok(CsrGraph {
             kind,
             freq,
             succ_off,
@@ -212,6 +385,21 @@ impl CsrGraph {
             reads_heap,
             writes_heap,
             consumer,
+        })
+    }
+
+    /// Detaches the graph from any borrowed storage.
+    pub fn into_owned(self) -> CsrGraph<'static> {
+        CsrGraph {
+            kind: Cow::Owned(self.kind.into_owned()),
+            freq: Cow::Owned(self.freq.into_owned()),
+            succ_off: Cow::Owned(self.succ_off.into_owned()),
+            succ_adj: Cow::Owned(self.succ_adj.into_owned()),
+            pred_off: Cow::Owned(self.pred_off.into_owned()),
+            pred_adj: Cow::Owned(self.pred_adj.into_owned()),
+            reads_heap: Cow::Owned(self.reads_heap.into_owned()),
+            writes_heap: Cow::Owned(self.writes_heap.into_owned()),
+            consumer: Cow::Owned(self.consumer.into_owned()),
         }
     }
 
@@ -234,7 +422,52 @@ impl CsrGraph {
     /// A node's kind decoration.
     #[inline]
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        self.kind[n.index()]
+        NodeKind::from_code(self.kind[n.index()]).expect("kind codes validated at construction")
+    }
+
+    /// Per-node kind codes ([`NodeKind::code`]), for serialization.
+    pub fn kind_codes(&self) -> &[u8] {
+        &self.kind
+    }
+
+    /// Per-node frequencies, for serialization.
+    pub fn freqs(&self) -> &[u64] {
+        &self.freq
+    }
+
+    /// Forward (successor) offset array, `num_nodes() + 1` entries.
+    pub fn succ_offsets(&self) -> &[u32] {
+        &self.succ_off
+    }
+
+    /// Forward adjacency targets.
+    pub fn succ_targets(&self) -> &[u32] {
+        &self.succ_adj
+    }
+
+    /// Reverse (predecessor) offset array, `num_nodes() + 1` entries.
+    pub fn pred_offsets(&self) -> &[u32] {
+        &self.pred_off
+    }
+
+    /// Reverse adjacency targets.
+    pub fn pred_targets(&self) -> &[u32] {
+        &self.pred_adj
+    }
+
+    /// Backing words of the heap-read boundary bitset.
+    pub fn reads_heap_words(&self) -> &[u64] {
+        &self.reads_heap
+    }
+
+    /// Backing words of the heap-write boundary bitset.
+    pub fn writes_heap_words(&self) -> &[u64] {
+        &self.writes_heap
+    }
+
+    /// Backing words of the consumer bitset.
+    pub fn consumer_words(&self) -> &[u64] {
+        &self.consumer
     }
 
     #[inline]
@@ -287,7 +520,7 @@ impl CsrGraph {
                 self.preds(n)
             };
             for &m in neighbours {
-                if boundary.contains(m as usize) {
+                if word_bit(boundary, m as usize) {
                     continue;
                 }
                 if s.visit(m) {
@@ -321,13 +554,13 @@ impl CsrGraph {
     /// the write — but are never traversed through.
     pub fn mark_consumer_reach(&self) -> Bitset {
         let n = self.num_nodes();
-        let mut marked = self.consumer.clone();
+        let mut marked = Bitset::from_words(self.consumer.to_vec());
         let mut stack: Vec<u32> = Vec::new();
         // Seed from the precomputed consumer bitset: a word-parallel
         // sweep instead of a kind decode per node.
-        self.consumer.for_each_set(|i| stack.push(i as u32));
+        marked.for_each_set(|i| stack.push(i as u32));
         while let Some(m) = stack.pop() {
-            if self.writes_heap.contains(m as usize) {
+            if word_bit(&self.writes_heap, m as usize) {
                 continue;
             }
             for &p in self.preds(m) {

@@ -89,12 +89,26 @@ fn parse_kind(tok: &str) -> Option<NodeKind> {
 }
 
 /// The total order serialization uses: nodes sort by `(instr, elem)`,
-/// with `NoCtx` ranking before any context slot.
-fn elem_rank(e: CostElem) -> u64 {
+/// with `NoCtx` ranking before any context slot. This is also the
+/// on-disk integer encoding of an elem in snapshot format v1.
+pub fn elem_rank(e: CostElem) -> u64 {
     match e {
         CostElem::NoCtx => 0,
         CostElem::Ctx(s) => u64::from(s) + 1,
     }
+}
+
+/// The canonical node order shared by the text export and the binary
+/// snapshot store: nodes sorted by `(method, pc, elem)`. Both formats
+/// renumber through this one function so their content hashes can never
+/// disagree about node identity.
+pub fn canonical_order(g: &DepGraph<CostElem>) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = g.node_ids().collect();
+    order.sort_unstable_by_key(|&id| {
+        let n = g.node(id);
+        (n.instr.method.0, n.instr.pc, elem_rank(n.elem))
+    });
+    order
 }
 
 /// Writes a finished graph to the compact text format.
@@ -116,11 +130,7 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
         gcost.shadow_heap_bytes()
     )?;
     let g = gcost.graph();
-    let mut order: Vec<NodeId> = g.node_ids().collect();
-    order.sort_unstable_by_key(|&id| {
-        let n = g.node(id);
-        (n.instr.method.0, n.instr.pc, elem_rank(n.elem))
-    });
+    let order = canonical_order(g);
     // old id -> canonical id
     let mut canon = vec![0u32; g.num_nodes()];
     for (new, &old) in order.iter().enumerate() {

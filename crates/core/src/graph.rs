@@ -73,6 +73,32 @@ impl NodeKind {
     pub fn writes_heap(self) -> bool {
         self == NodeKind::HeapStore
     }
+
+    /// The stable one-byte on-disk code of this kind (snapshot format v1).
+    pub fn code(self) -> u8 {
+        match self {
+            NodeKind::Plain => 0,
+            NodeKind::Alloc => 1,
+            NodeKind::HeapLoad => 2,
+            NodeKind::HeapStore => 3,
+            NodeKind::Predicate => 4,
+            NodeKind::Native => 5,
+        }
+    }
+
+    /// Decodes [`code`](NodeKind::code); `None` for bytes outside the
+    /// format.
+    pub fn from_code(code: u8) -> Option<NodeKind> {
+        Some(match code {
+            0 => NodeKind::Plain,
+            1 => NodeKind::Alloc,
+            2 => NodeKind::HeapLoad,
+            3 => NodeKind::HeapStore,
+            4 => NodeKind::Predicate,
+            5 => NodeKind::Native,
+            _ => return None,
+        })
+    }
 }
 
 /// Payload of one abstract node.

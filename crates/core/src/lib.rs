@@ -48,7 +48,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the snapshot store's byte-slice casts
+// ([`store`]) carve out one audited `#[allow(unsafe_code)]` module, the
+// same discipline as `lowutil-par`'s ring buffer.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concrete;
@@ -63,6 +66,7 @@ pub mod graph;
 pub mod shard;
 pub mod slicer;
 pub mod stats;
+pub mod store;
 
 pub use concrete::{ConcreteGraph, ConcreteProfiler, InstanceId, SlicingMode};
 pub use context::{
@@ -71,7 +75,7 @@ pub use context::{
 pub use csr::{Bitset, CsrGraph, TraversalScratch};
 pub use dense::{DenseDomain, DenseInterner, InstrIndexer};
 pub use domain::{AbstractDomain, AbstractProfiler};
-pub use export::{read_cost_graph, write_cost_graph, write_dot};
+pub use export::{canonical_order, read_cost_graph, write_cost_graph, write_dot};
 pub use fx::{FxHashMap, FxHashSet};
 pub use gcost::{
     CostElem, CostGraph, CostGraphConfig, CostProfiler, FieldKey, GraphBuilder, HeapEffect,
@@ -83,3 +87,7 @@ pub use shard::{
     sharded_replay_sequential, ObjectInfo, ObjectTableScan, ShardContext, ShardGraph, ShardSink,
 };
 pub use stats::GraphStats;
+pub use store::{
+    content_hash, fnv1a64, read_snapshot, save_snapshot, write_snapshot, AlignedBuf, Snapshot,
+    StoreError,
+};

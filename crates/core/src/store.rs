@@ -1,0 +1,948 @@
+//! On-disk CSR snapshot format v1 — the persistent graph store.
+//!
+//! The paper's §3.2 notes the client analyses can run offline if the JVM
+//! "only needs to write `G_cost` to external storage". The text export
+//! ([`crate::export`]) provides that boundary for interchange; this module
+//! provides it for *speed*: a binary format whose payload is exactly the
+//! flat little-endian arrays of the in-memory [`CsrGraph`], so a saved
+//! graph loads zero-copy — the offset/adjacency/frequency/bitset arrays
+//! are borrowed straight out of the file buffer ([`Cow::Borrowed`]),
+//! with no per-node work beyond validation.
+//!
+//! # File layout
+//!
+//! ```text
+//! magic        8 bytes   "LUSNAPV1"
+//! header_len   u32 LE    byte length of the header body
+//! header_crc   u32 LE    CRC32 (IEEE) of the header body
+//! header body  header_len bytes:
+//!   version            u32   = 1
+//!   section_count      u32   = 14
+//!   content_hash       u64   FNV-1a 64 of the canonical text export
+//!   nodes              u64
+//!   edges              u64
+//!   instr_instances    u64
+//!   shadow_heap_bytes  u64
+//!   total_instructions u64   VM instructions_executed (dead metrics' I)
+//!   section table      section_count × 32 bytes:
+//!     id u32, reserved u32, offset u64, len u64, crc u32, reserved u32
+//! sections     raw little-endian arrays, each 8-byte aligned
+//! ```
+//!
+//! Nodes are stored in the *canonical order* of
+//! [`crate::export::canonical_order`] with sorted
+//! adjacency, so the bytes depend only on graph content: saving the same
+//! abstract graph twice yields identical files, and a [`CostGraph`]
+//! reconstructed from a snapshot interns node `i` of the file as
+//! [`NodeId`]`(i)` — the loaded CSR and the reconstructed graph agree on
+//! node identity by construction.
+//!
+//! # Hardening
+//!
+//! Same discipline as trace v2: every declared length is checked against
+//! the physical file size *before* any allocation or indexing, every
+//! section carries a CRC, and structural invariants (offset monotonicity,
+//! adjacency ranges, bitset/kind agreement) are revalidated by
+//! [`CsrGraph::from_raw_parts`]. Corrupt input is rejected with a
+//! [`StoreError`], never a panic.
+
+use crate::csr::CsrGraph;
+use crate::export::{canonical_order, elem_rank, write_cost_graph};
+use crate::gcost::{CostElem, CostGraph, FieldKey, HeapEffect, TaggedSite};
+use crate::graph::{DepGraph, NodeId};
+use lowutil_ir::{AllocSiteId, FieldId, InstrId, MethodId, StaticId};
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// File magic: "LUSNAPV1".
+pub const MAGIC: [u8; 8] = *b"LUSNAPV1";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SEC_KIND: u32 = 1;
+const SEC_FREQ: u32 = 2;
+const SEC_SUCC_OFF: u32 = 3;
+const SEC_SUCC_ADJ: u32 = 4;
+const SEC_PRED_OFF: u32 = 5;
+const SEC_PRED_ADJ: u32 = 6;
+const SEC_READS_HEAP: u32 = 7;
+const SEC_WRITES_HEAP: u32 = 8;
+const SEC_CONSUMER: u32 = 9;
+const SEC_NODE_INSTR: u32 = 10;
+const SEC_NODE_ELEM: u32 = 11;
+const SEC_EFFECTS: u32 = 12;
+const SEC_REF_EDGES: u32 = 13;
+const SEC_POINTS_TO: u32 = 14;
+
+/// Section ids in file order — v1 requires exactly these, in this order.
+const SECTION_IDS: [u32; 14] = [
+    SEC_KIND,
+    SEC_FREQ,
+    SEC_SUCC_OFF,
+    SEC_SUCC_ADJ,
+    SEC_PRED_OFF,
+    SEC_PRED_ADJ,
+    SEC_READS_HEAP,
+    SEC_WRITES_HEAP,
+    SEC_CONSUMER,
+    SEC_NODE_INSTR,
+    SEC_NODE_ELEM,
+    SEC_EFFECTS,
+    SEC_REF_EDGES,
+    SEC_POINTS_TO,
+];
+
+const PREAMBLE_LEN: usize = 16;
+const HEADER_FIXED_LEN: usize = 56;
+const SECTION_ENTRY_LEN: usize = 32;
+/// Bytes per `EFFECTS` record: `(node, tag, a, b, c)` as 5 × u32.
+const EFFECT_RECORD: usize = 20;
+/// Bytes per `POINTS_TO` record: `(site, slot, field, site2, slot2)`.
+const POINTS_TO_RECORD: usize = 20;
+
+const EFFECT_ALLOC: u32 = 0;
+const EFFECT_LOAD: u32 = 1;
+const EFFECT_STORE: u32 = 2;
+const EFFECT_LOAD_STATIC: u32 = 3;
+const EFFECT_STORE_STATIC: u32 = 4;
+
+/// `FieldKey::Element` on disk.
+const FIELD_ELEMENT: u32 = u32::MAX;
+/// `FieldKey::Length` on disk.
+const FIELD_LENGTH: u32 = u32::MAX - 1;
+
+fn field_code(f: FieldKey) -> u32 {
+    match f {
+        FieldKey::Field(id) => id.0,
+        FieldKey::Element => FIELD_ELEMENT,
+        FieldKey::Length => FIELD_LENGTH,
+    }
+}
+
+fn decode_field(code: u32) -> FieldKey {
+    match code {
+        FIELD_ELEMENT => FieldKey::Element,
+        FIELD_LENGTH => FieldKey::Length,
+        id => FieldKey::Field(FieldId(id)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 and content hashing
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit over a byte string — the snapshot's content-hash
+/// primitive (no external hash crates; stability across builds matters
+/// more than collision strength here, and the hash is backed by full
+/// canonical bytes wherever equality is load-bearing).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The content hash of a graph: FNV-1a 64 over its canonical text export
+/// ([`write_cost_graph`]). Two graphs with the same abstract content hash
+/// identically regardless of construction order; the hash keys the
+/// analysis-result cache and ties a snapshot to its source graph.
+pub fn content_hash(gcost: &CostGraph) -> u64 {
+    let mut buf = Vec::new();
+    write_cost_graph(gcost, &mut buf).expect("writing to a Vec cannot fail");
+    fnv1a64(&buf)
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A malformed or corrupt snapshot, or an I/O failure while loading one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot: {}", self.0)
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<String> for StoreError {
+    fn from(s: String) -> Self {
+        StoreError(s)
+    }
+}
+
+fn err<T>(message: impl Into<String>) -> Result<T, StoreError> {
+    Err(StoreError(message.into()))
+}
+
+// ---------------------------------------------------------------------------
+// The one unsafe corner: byte-slice reinterpretation
+// ---------------------------------------------------------------------------
+
+/// Zero-copy reinterpretation between `&[u64]` buffers and the typed
+/// little-endian arrays they hold. This is the crate's only unsafe code;
+/// each cast checks alignment and size first and the lifetime of the
+/// output is tied to the input, so no misaligned, out-of-bounds, or
+/// dangling view can be produced. On big-endian hosts the borrowed casts
+/// are replaced by owned byte-order-converting decodes.
+mod cast {
+    #![allow(unsafe_code)]
+    use std::borrow::Cow;
+
+    /// Views the first `len` bytes of `words` as a byte slice.
+    pub fn bytes(words: &[u64], len: usize) -> &[u8] {
+        assert!(len <= words.len() * 8, "byte length exceeds backing words");
+        // SAFETY: `u8` has alignment 1 and every bit pattern is valid;
+        // the pointer and length stay inside `words`' allocation and the
+        // returned lifetime is the input's.
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), len) }
+    }
+
+    macro_rules! le_slice {
+        ($name:ident, $ty:ty) => {
+            /// Views `bytes` as a little-endian array of the target type.
+            /// `None` when the length is not a whole number of elements
+            /// or (on borrowing hosts) the pointer is misaligned.
+            pub fn $name(bytes: &[u8]) -> Option<Cow<'_, [$ty]>> {
+                const W: usize = std::mem::size_of::<$ty>();
+                if bytes.len() % W != 0 {
+                    return None;
+                }
+                #[cfg(target_endian = "little")]
+                {
+                    if bytes.as_ptr() as usize % std::mem::align_of::<$ty>() != 0 {
+                        return None;
+                    }
+                    // SAFETY: alignment and exact size were just checked;
+                    // every bit pattern is a valid integer; the lifetime
+                    // of the view is the input slice's.
+                    Some(Cow::Borrowed(unsafe {
+                        std::slice::from_raw_parts(bytes.as_ptr().cast::<$ty>(), bytes.len() / W)
+                    }))
+                }
+                #[cfg(target_endian = "big")]
+                {
+                    Some(Cow::Owned(
+                        bytes
+                            .chunks_exact(W)
+                            .map(|c| <$ty>::from_le_bytes(c.try_into().unwrap()))
+                            .collect(),
+                    ))
+                }
+            }
+        };
+    }
+
+    le_slice!(le_u32s, u32);
+    le_slice!(le_u64s, u64);
+}
+
+// ---------------------------------------------------------------------------
+// Aligned file buffer
+// ---------------------------------------------------------------------------
+
+/// A file image held in 8-byte-aligned storage, so the typed section
+/// views can borrow from it directly. One allocation for the whole file
+/// — loading performs no per-node or per-section copies beyond this
+/// single read.
+#[derive(Debug, Clone)]
+pub struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Copies `bytes` into aligned storage.
+    pub fn from_bytes(bytes: &[u8]) -> AlignedBuf {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            // Native order: `as_bytes` reinterprets the words as raw
+            // bytes, so packing must invert exactly that.
+            *w = u64::from_ne_bytes(b);
+        }
+        AlignedBuf {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// Reads a whole file into aligned storage.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<AlignedBuf> {
+        Ok(AlignedBuf::from_bytes(&fs::read(path)?))
+    }
+
+    /// The file image.
+    pub fn as_bytes(&self) -> &[u8] {
+        cast::bytes(&self.words, self.len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn u32s_le(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        push_u32(&mut out, v);
+    }
+    out
+}
+
+fn u64s_le(vals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        push_u64(&mut out, v);
+    }
+    out
+}
+
+/// Serializes `gcost` (plus the run's total instruction count, needed to
+/// reproduce dead-value metrics offline) to snapshot format v1.
+///
+/// The output is canonical: nodes in [`canonical_order`] with sorted
+/// adjacency, records sorted — the same abstract graph always produces
+/// identical bytes.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_snapshot<W: Write>(
+    gcost: &CostGraph,
+    total_instructions: u64,
+    mut w: W,
+) -> io::Result<()> {
+    let g = gcost.graph();
+    let n = g.num_nodes();
+    let order = canonical_order(g);
+    let csr = CsrGraph::build_ordered(g, &order);
+    let mut canon = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        canon[old.index()] = new as u32;
+    }
+
+    let mut node_instr = Vec::with_capacity(2 * n);
+    let mut node_elem = Vec::with_capacity(n);
+    for &old in &order {
+        let node = g.node(old);
+        node_instr.push(node.instr.method.0);
+        node_instr.push(node.instr.pc);
+        node_elem.push(elem_rank(node.elem));
+    }
+
+    let mut effects = Vec::new();
+    for (new, &old) in order.iter().enumerate() {
+        if let Some(e) = gcost.effect(old) {
+            let (tag, a, b, c) = match *e {
+                HeapEffect::Alloc { site } => (EFFECT_ALLOC, site.site.0, site.slot, 0),
+                HeapEffect::Load { site, field } => {
+                    (EFFECT_LOAD, site.site.0, site.slot, field_code(field))
+                }
+                HeapEffect::Store { site, field } => {
+                    (EFFECT_STORE, site.site.0, site.slot, field_code(field))
+                }
+                HeapEffect::LoadStatic(s) => (EFFECT_LOAD_STATIC, s.0, 0, 0),
+                HeapEffect::StoreStatic(s) => (EFFECT_STORE_STATIC, s.0, 0, 0),
+            };
+            effects.extend_from_slice(&[new as u32, tag, a, b, c]);
+        }
+    }
+
+    let mut ref_edges: Vec<(u32, u32)> = gcost
+        .ref_edges()
+        .map(|(s, a)| (canon[s.index()], canon[a.index()]))
+        .collect();
+    ref_edges.sort_unstable();
+    let ref_edges: Vec<u32> = ref_edges.into_iter().flat_map(|(a, b)| [a, b]).collect();
+
+    let mut points_to = Vec::new();
+    for site in gcost.objects() {
+        for field in gcost.fields_of(site) {
+            for target in gcost.points_to(site, field) {
+                points_to.extend_from_slice(&[
+                    site.site.0,
+                    site.slot,
+                    field_code(field),
+                    target.site.0,
+                    target.slot,
+                ]);
+            }
+        }
+    }
+
+    let sections: [(u32, Vec<u8>); 14] = [
+        (SEC_KIND, csr.kind_codes().to_vec()),
+        (SEC_FREQ, u64s_le(csr.freqs())),
+        (SEC_SUCC_OFF, u32s_le(csr.succ_offsets())),
+        (SEC_SUCC_ADJ, u32s_le(csr.succ_targets())),
+        (SEC_PRED_OFF, u32s_le(csr.pred_offsets())),
+        (SEC_PRED_ADJ, u32s_le(csr.pred_targets())),
+        (SEC_READS_HEAP, u64s_le(csr.reads_heap_words())),
+        (SEC_WRITES_HEAP, u64s_le(csr.writes_heap_words())),
+        (SEC_CONSUMER, u64s_le(csr.consumer_words())),
+        (SEC_NODE_INSTR, u32s_le(&node_instr)),
+        (SEC_NODE_ELEM, u64s_le(&node_elem)),
+        (SEC_EFFECTS, u32s_le(&effects)),
+        (SEC_REF_EDGES, u32s_le(&ref_edges)),
+        (SEC_POINTS_TO, u32s_le(&points_to)),
+    ];
+
+    let header_len = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * sections.len();
+    let mut offset = (PREAMBLE_LEN + header_len).next_multiple_of(8);
+    let mut header = Vec::with_capacity(header_len);
+    push_u32(&mut header, FORMAT_VERSION);
+    push_u32(&mut header, sections.len() as u32);
+    push_u64(&mut header, content_hash(gcost));
+    push_u64(&mut header, n as u64);
+    push_u64(&mut header, csr.num_edges() as u64);
+    push_u64(&mut header, gcost.instr_instances());
+    push_u64(&mut header, gcost.shadow_heap_bytes() as u64);
+    push_u64(&mut header, total_instructions);
+    for (id, body) in &sections {
+        push_u32(&mut header, *id);
+        push_u32(&mut header, 0);
+        push_u64(&mut header, offset as u64);
+        push_u64(&mut header, body.len() as u64);
+        push_u32(&mut header, crc32(body));
+        push_u32(&mut header, 0);
+        offset = (offset + body.len()).next_multiple_of(8);
+    }
+    debug_assert_eq!(header.len(), header_len);
+
+    w.write_all(&MAGIC)?;
+    w.write_all(&(header_len as u32).to_le_bytes())?;
+    w.write_all(&crc32(&header).to_le_bytes())?;
+    w.write_all(&header)?;
+    let mut written = PREAMBLE_LEN + header_len;
+    for (_, body) in &sections {
+        let aligned = written.next_multiple_of(8);
+        w.write_all(&[0u8; 8][..aligned - written])?;
+        w.write_all(body)?;
+        written = aligned + body.len();
+    }
+    Ok(())
+}
+
+/// [`write_snapshot`] to a file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_snapshot(
+    gcost: &CostGraph,
+    total_instructions: u64,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut buf = Vec::new();
+    write_snapshot(gcost, total_instructions, &mut buf)?;
+    fs::write(path, buf)
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A validated view of one snapshot file: the zero-copy [`CsrGraph`]
+/// plus the label/effect tables needed to rebuild a [`CostGraph`].
+/// Borrows from the [`AlignedBuf`] it was read from.
+#[derive(Debug, Clone)]
+pub struct Snapshot<'a> {
+    csr: CsrGraph<'a>,
+    content_hash: u64,
+    instr_instances: u64,
+    shadow_heap_bytes: u64,
+    total_instructions: u64,
+    /// `(method, pc)` pairs, canonical node order.
+    node_instr: Cow<'a, [u32]>,
+    /// [`elem_rank`] encodings, canonical node order.
+    node_elem: Cow<'a, [u64]>,
+    /// `(node, tag, a, b, c)` records.
+    effects: Cow<'a, [u32]>,
+    /// `(store, alloc)` pairs.
+    ref_edges: Cow<'a, [u32]>,
+    /// `(site, slot, field, site2, slot2)` records.
+    points_to: Cow<'a, [u32]>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// The zero-copy CSR graph (arrays borrowed from the file buffer).
+    pub fn csr(&self) -> &CsrGraph<'a> {
+        &self.csr
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// FNV-1a 64 of the canonical text export of the saved graph.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Instruction instances profiled (the paper's `I`).
+    pub fn instr_instances(&self) -> u64 {
+        self.instr_instances
+    }
+
+    /// Shadow-heap bytes at the end of the profiled run.
+    pub fn shadow_heap_bytes(&self) -> usize {
+        self.shadow_heap_bytes as usize
+    }
+
+    /// The run's total executed instructions (dead metrics' denominator).
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// The static instruction of node `i` (canonical order).
+    pub fn node_instr(&self, i: usize) -> InstrId {
+        InstrId::new(MethodId(self.node_instr[2 * i]), self.node_instr[2 * i + 1])
+    }
+
+    /// The abstract-domain element of node `i`.
+    pub fn node_elem(&self, i: usize) -> CostElem {
+        match self.node_elem[i] {
+            0 => CostElem::NoCtx,
+            r => CostElem::Ctx((r - 1) as u32),
+        }
+    }
+
+    /// Rebuilds the full [`CostGraph`] (owned) from the snapshot tables.
+    /// Node `i` of the file becomes [`NodeId`]`(i)`, so the result lines
+    /// up index-for-index with [`csr`](Snapshot::csr); its canonical
+    /// export is byte-identical to the saved graph's.
+    pub fn to_cost_graph(&self) -> CostGraph {
+        let n = self.num_nodes();
+        let mut graph: DepGraph<CostElem> = DepGraph::new();
+        for i in 0..n {
+            let id = graph.intern(
+                self.node_instr(i),
+                self.node_elem(i),
+                self.csr.kind(NodeId(i as u32)),
+            );
+            debug_assert_eq!(id.index(), i, "canonical nodes are unique");
+            graph.set_freq(id, self.csr.freq(id));
+        }
+        let offs = self.csr.succ_offsets();
+        let adj = self.csr.succ_targets();
+        for i in 0..n {
+            for &m in &adj[offs[i] as usize..offs[i + 1] as usize] {
+                graph.add_edge(NodeId(i as u32), NodeId(m));
+            }
+        }
+        let mut effects: HashMap<NodeId, HeapEffect> = HashMap::new();
+        for rec in self.effects.chunks_exact(5) {
+            let (node, tag, a, b, c) = (rec[0], rec[1], rec[2], rec[3], rec[4]);
+            let site = TaggedSite {
+                site: AllocSiteId(a),
+                slot: b,
+            };
+            let eff = match tag {
+                EFFECT_ALLOC => HeapEffect::Alloc { site },
+                EFFECT_LOAD => HeapEffect::Load {
+                    site,
+                    field: decode_field(c),
+                },
+                EFFECT_STORE => HeapEffect::Store {
+                    site,
+                    field: decode_field(c),
+                },
+                EFFECT_LOAD_STATIC => HeapEffect::LoadStatic(StaticId(a)),
+                _ => HeapEffect::StoreStatic(StaticId(a)),
+            };
+            effects.insert(NodeId(node), eff);
+        }
+        let mut ref_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for pair in self.ref_edges.chunks_exact(2) {
+            ref_edges.insert((NodeId(pair[0]), NodeId(pair[1])));
+        }
+        let mut points_to: HashMap<(TaggedSite, FieldKey), HashSet<TaggedSite>> = HashMap::new();
+        for rec in self.points_to.chunks_exact(5) {
+            let site = TaggedSite {
+                site: AllocSiteId(rec[0]),
+                slot: rec[1],
+            };
+            let target = TaggedSite {
+                site: AllocSiteId(rec[3]),
+                slot: rec[4],
+            };
+            points_to
+                .entry((site, decode_field(rec[2])))
+                .or_default()
+                .insert(target);
+        }
+        CostGraph::from_parts(
+            graph,
+            ref_edges,
+            effects,
+            points_to,
+            self.instr_instances,
+            self.shadow_heap_bytes as usize,
+        )
+    }
+}
+
+struct SectionEntry {
+    id: u32,
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Parses and fully validates a snapshot, returning zero-copy views over
+/// `buf`. Every declared length is bounds-checked before use, section
+/// CRCs are verified, and the CSR invariants are revalidated — corrupt or
+/// truncated input yields `Err`, never a panic or oversized allocation.
+///
+/// # Errors
+/// Returns a [`StoreError`] naming the first problem found.
+pub fn read_snapshot(buf: &AlignedBuf) -> Result<Snapshot<'_>, StoreError> {
+    let bytes = buf.as_bytes();
+    if bytes.len() < PREAMBLE_LEN {
+        return err("file shorter than preamble");
+    }
+    if bytes[..8] != MAGIC {
+        return err("bad magic");
+    }
+    let header_len = read_u32(bytes, 8) as usize;
+    let header_crc = read_u32(bytes, 12);
+    if header_len < HEADER_FIXED_LEN || bytes.len() - PREAMBLE_LEN < header_len {
+        return err("header length out of range");
+    }
+    let header = &bytes[PREAMBLE_LEN..PREAMBLE_LEN + header_len];
+    if crc32(header) != header_crc {
+        return err("header CRC mismatch");
+    }
+    let version = read_u32(header, 0);
+    if version != FORMAT_VERSION {
+        return err(format!("unsupported format version {version}"));
+    }
+    let section_count = read_u32(header, 4) as usize;
+    if section_count != SECTION_IDS.len()
+        || header_len != HEADER_FIXED_LEN + SECTION_ENTRY_LEN * section_count
+    {
+        return err("unexpected section table shape");
+    }
+    let content_hash = read_u64(header, 8);
+    let nodes = read_u64(header, 16);
+    let edges = read_u64(header, 24);
+    let instr_instances = read_u64(header, 32);
+    let shadow_heap_bytes = read_u64(header, 40);
+    let total_instructions = read_u64(header, 48);
+    if nodes > u64::from(u32::MAX) || edges > u64::from(u32::MAX) {
+        return err("node or edge count exceeds index width");
+    }
+    let n = nodes as usize;
+    let e = edges as usize;
+
+    let mut section_bytes: [&[u8]; 14] = [&[]; 14];
+    for (i, want_id) in SECTION_IDS.iter().enumerate() {
+        let at = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * i;
+        let entry = SectionEntry {
+            id: read_u32(header, at),
+            offset: read_u64(header, at + 8),
+            len: read_u64(header, at + 16),
+            crc: read_u32(header, at + 24),
+        };
+        if entry.id != *want_id {
+            return err(format!("section {i}: unexpected id {}", entry.id));
+        }
+        if !entry.offset.is_multiple_of(8) {
+            return err(format!("section {i}: misaligned offset"));
+        }
+        let file_len = bytes.len() as u64;
+        if entry.offset > file_len || file_len - entry.offset < entry.len {
+            return err(format!("section {i}: extends past end of file"));
+        }
+        let body = &bytes[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if crc32(body) != entry.crc {
+            return err(format!("section {i}: CRC mismatch"));
+        }
+        section_bytes[i] = body;
+    }
+
+    // Declared lengths must agree with the header's node/edge counts
+    // before anything is interpreted.
+    let words = n.div_ceil(64);
+    let expected: [(usize, usize); 11] = [
+        (0, n),           // KIND
+        (1, 8 * n),       // FREQ
+        (2, 4 * (n + 1)), // SUCC_OFF
+        (3, 4 * e),       // SUCC_ADJ
+        (4, 4 * (n + 1)), // PRED_OFF
+        (5, 4 * e),       // PRED_ADJ
+        (6, 8 * words),   // READS_HEAP
+        (7, 8 * words),   // WRITES_HEAP
+        (8, 8 * words),   // CONSUMER
+        (9, 8 * n),       // NODE_INSTR
+        (10, 8 * n),      // NODE_ELEM
+    ];
+    for (i, want) in expected {
+        if section_bytes[i].len() != want {
+            return err(format!(
+                "section {i}: length {} != expected {want}",
+                section_bytes[i].len()
+            ));
+        }
+    }
+    if !section_bytes[11].len().is_multiple_of(EFFECT_RECORD) {
+        return err("EFFECTS section not a whole number of records");
+    }
+    if !section_bytes[12].len().is_multiple_of(8) {
+        return err("REF_EDGES section not a whole number of pairs");
+    }
+    if !section_bytes[13].len().is_multiple_of(POINTS_TO_RECORD) {
+        return err("POINTS_TO section not a whole number of records");
+    }
+
+    let view_u32 = |i: usize| {
+        cast::le_u32s(section_bytes[i]).ok_or(StoreError("misaligned u32 section".into()))
+    };
+    let view_u64 = |i: usize| {
+        cast::le_u64s(section_bytes[i]).ok_or(StoreError("misaligned u64 section".into()))
+    };
+
+    let csr = CsrGraph::from_raw_parts(
+        Cow::Borrowed(section_bytes[0]),
+        view_u64(1)?,
+        view_u32(2)?,
+        view_u32(3)?,
+        view_u32(4)?,
+        view_u32(5)?,
+        view_u64(6)?,
+        view_u64(7)?,
+        view_u64(8)?,
+    )?;
+
+    let node_instr = view_u32(9)?;
+    let node_elem = view_u64(10)?;
+    let effects = view_u32(11)?;
+    let ref_edges = view_u32(12)?;
+    let points_to = view_u32(13)?;
+
+    // Elems must decode and canonical node keys must strictly increase —
+    // which also guarantees uniqueness, so `to_cost_graph` interning
+    // assigns NodeId(i) to file node i.
+    for (i, &r) in node_elem.iter().enumerate() {
+        if r > u64::from(u32::MAX) + 1 {
+            return err(format!("node {i}: elem encoding out of range"));
+        }
+    }
+    for i in 1..n {
+        let prev = (
+            node_instr[2 * (i - 1)],
+            node_instr[2 * i - 1],
+            node_elem[i - 1],
+        );
+        let cur = (node_instr[2 * i], node_instr[2 * i + 1], node_elem[i]);
+        if prev >= cur {
+            return err(format!("node {i}: canonical order violated"));
+        }
+    }
+    for (r, rec) in effects.chunks_exact(5).enumerate() {
+        if rec[0] as usize >= n {
+            return err(format!("effect record {r}: node out of range"));
+        }
+        if rec[1] > EFFECT_STORE_STATIC {
+            return err(format!("effect record {r}: unknown tag {}", rec[1]));
+        }
+    }
+    for (r, pair) in ref_edges.chunks_exact(2).enumerate() {
+        if pair[0] as usize >= n || pair[1] as usize >= n {
+            return err(format!("ref edge {r}: node out of range"));
+        }
+    }
+
+    Ok(Snapshot {
+        csr,
+        content_hash,
+        instr_instances,
+        shadow_heap_bytes,
+        total_instructions,
+        node_instr,
+        node_elem,
+        effects,
+        ref_edges,
+        points_to,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcost::{CostGraphConfig, CostProfiler};
+    use lowutil_ir::parse_program;
+    use lowutil_vm::Vm;
+
+    fn sample() -> (CostGraph, u64) {
+        let p = parse_program(
+            r#"
+native print/1
+class Box { v w }
+method main/0 {
+  b = new Box
+  i = 0
+  lim = 25
+loop:
+  x = i + i
+  b.v = x
+  y = b.v
+  b.w = y
+  native print(y)
+  one = 1
+  i = i + one
+  if i < lim goto loop
+  return
+}
+"#,
+        )
+        .unwrap();
+        let mut prof = CostProfiler::new(&p, CostGraphConfig::default());
+        let out = Vm::new(&p).run(&mut prof).unwrap();
+        (prof.finish(), out.instructions_executed)
+    }
+
+    fn saved_bytes(g: &CostGraph, total: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(g, total, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let (g, total) = sample();
+        assert_eq!(saved_bytes(&g, total), saved_bytes(&g, total));
+    }
+
+    #[test]
+    fn round_trip_preserves_canonical_export() {
+        let (g, total) = sample();
+        let buf = AlignedBuf::from_bytes(&saved_bytes(&g, total));
+        let snap = read_snapshot(&buf).unwrap();
+        assert_eq!(snap.total_instructions(), total);
+        assert_eq!(snap.content_hash(), content_hash(&g));
+        let g2 = snap.to_cost_graph();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        write_cost_graph(&g, &mut a).unwrap();
+        write_cost_graph(&g2, &mut b).unwrap();
+        assert_eq!(a, b, "canonical export survives the binary round trip");
+        assert_eq!(content_hash(&g2), snap.content_hash());
+    }
+
+    #[test]
+    fn loaded_csr_matches_rebuilt_csr_sums() {
+        let (g, total) = sample();
+        let buf = AlignedBuf::from_bytes(&saved_bytes(&g, total));
+        let snap = read_snapshot(&buf).unwrap();
+        let g2 = snap.to_cost_graph();
+        let rebuilt = CsrGraph::build(g2.graph());
+        let csr = snap.csr();
+        assert_eq!(csr.num_nodes(), rebuilt.num_nodes());
+        assert_eq!(csr.num_edges(), rebuilt.num_edges());
+        let mut s1 = crate::csr::TraversalScratch::for_graph(csr);
+        let mut s2 = crate::csr::TraversalScratch::for_graph(&rebuilt);
+        for i in 0..csr.num_nodes() as u32 {
+            let id = NodeId(i);
+            assert_eq!(
+                csr.heap_bounded_backward_sum(&mut s1, id),
+                rebuilt.heap_bounded_backward_sum(&mut s2, id)
+            );
+            assert_eq!(
+                csr.heap_bounded_forward_sum(&mut s1, id),
+                rebuilt.heap_bounded_forward_sum(&mut s2, id)
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_bitflips_are_rejected() {
+        let (g, total) = sample();
+        let bytes = saved_bytes(&g, total);
+        for cut in [0, 7, 15, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+            let buf = AlignedBuf::from_bytes(&bytes[..cut]);
+            assert!(read_snapshot(&buf).is_err(), "truncation at {cut} accepted");
+        }
+        for at in [0, 9, 13, 20, 60, bytes.len() / 2, bytes.len() - 3] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            let buf = AlignedBuf::from_bytes(&bad);
+            assert!(read_snapshot(&buf).is_err(), "bit flip at {at} accepted");
+        }
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_construction() {
+        let (g, _) = sample();
+        // Round-tripping through the text export reorders construction
+        // but not content.
+        let mut buf = Vec::new();
+        write_cost_graph(&g, &mut buf).unwrap();
+        let g2 = crate::export::read_cost_graph(buf.as_slice()).unwrap();
+        assert_eq!(content_hash(&g), content_hash(&g2));
+    }
+}

@@ -30,7 +30,25 @@
 //!                                    truncated or corrupt trace replays its
 //!                                    longest checksum-valid prefix instead
 //!                                    of erroring out
+//! lowutil snapshot save <file.lu> <out.snap>
+//!                                    profile once and persist G_cost as a
+//!                                    CSR snapshot (flat arrays, CRC-framed)
+//! lowutil snapshot load <file.lu> <in.snap>
+//!                                    print the `report` output from a
+//!                                    snapshot without re-profiling (the
+//!                                    CSR arrays are used zero-copy)
+//! lowutil snapshot info <in.snap>    print a snapshot's header fields
+//! lowutil diff <a.snap> <b.snap> [--min-imbalance X] [--worsen-factor X]
+//!                                    align structures across two snapshots
+//!                                    by (context, allocation-site) and
+//!                                    report new/worsened/resolved bloat;
+//!                                    with --fail-on-regression exit 3 when
+//!                                    anything is new or worsened
 //! ```
+//!
+//! Ranking commands take `--cache DIR` to memoize rankings keyed by
+//! (graph content hash, engine, analysis params); a warm entry skips
+//! engine construction entirely and renders byte-identical output.
 //!
 //! Report-producing commands take `--analysis batch|reference` to select
 //! the cost-benefit engine (default `batch`; both emit identical bytes).
@@ -52,9 +70,16 @@ use lowutil::analyses::cost::CostBenefitConfig;
 use lowutil::analyses::dead::{dead_value_metrics, DeadValueMetrics};
 use lowutil::analyses::methods::{method_costs, CallGraphTracer};
 use lowutil::analyses::report::{
-    describe_field, describe_site, low_utility_report, low_utility_report_batch,
+    describe_field, describe_site, low_utility_report, low_utility_report_batch, render_report,
 };
-use lowutil::core::{CostGraphConfig, CostProfiler};
+use lowutil::analyses::{
+    diff_rankings, rank_structures_batch, rank_structures_with, ranked_keys, CacheKey, DiffConfig,
+    QueryCache, StructureCostBenefit,
+};
+use lowutil::core::{
+    content_hash, read_snapshot, save_snapshot, AlignedBuf, CostGraph, CostGraphConfig,
+    CostProfiler, CsrGraph,
+};
 use lowutil::ir::{display_program, parse_program, Program};
 use lowutil::vm::{NullTracer, RunConfig, SinkTracer, TraceReader, TraceWriter, Vm};
 use lowutil::workloads::{workload, WorkloadSize, NAMES};
@@ -62,10 +87,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay> <file.lu|name|all> [trace] [flags]"
+        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay|snapshot|diff> <file.lu|name|all> [trace|snap] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N   --cache DIR   --min-imbalance X   --worsen-factor X   --fail-on-regression"
     );
     ExitCode::from(2)
 }
@@ -87,6 +112,14 @@ struct Flags {
     jobs_set: bool,
     /// Seed for the deterministic guest-thread scheduler.
     sched_seed: u64,
+    /// Directory for the content-hash query cache (`--cache DIR`).
+    cache: Option<String>,
+    /// `diff`: imbalance floor below which structures are noise.
+    min_imbalance: f64,
+    /// `diff`: growth factor for the WORSENED classification.
+    worsen_factor: f64,
+    /// `diff`: exit 3 when the diff finds a NEW or WORSENED structure.
+    fail_on_regression: bool,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -101,6 +134,7 @@ fn take_value<'a>(it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>) ->
 }
 
 fn parse_flags(args: &[String]) -> Flags {
+    let diff_defaults = DiffConfig::default();
     let mut f = Flags {
         top: 10,
         slots: 16,
@@ -115,6 +149,10 @@ fn parse_flags(args: &[String]) -> Flags {
         pipeline_batch: None,
         jobs_set: false,
         sched_seed: 0,
+        cache: None,
+        min_imbalance: diff_defaults.min_imbalance,
+        worsen_factor: diff_defaults.worsen_factor,
+        fail_on_regression: false,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -177,6 +215,42 @@ fn parse_flags(args: &[String]) -> Flags {
                     eprintln!("--sched-seed needs a number; keeping {}", f.sched_seed);
                 }
             }
+            "--cache" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.cache = Some(v.to_string());
+                } else {
+                    eprintln!("--cache needs a directory; caching stays off");
+                }
+            }
+            "--min-imbalance" => {
+                if let Some(v) = take_value(&mut it)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                {
+                    f.min_imbalance = v;
+                } else {
+                    eprintln!(
+                        "--min-imbalance needs a non-negative number; keeping {}",
+                        f.min_imbalance
+                    );
+                }
+            }
+            "--worsen-factor" => {
+                if let Some(v) = take_value(&mut it)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite())
+                {
+                    // A factor below 1 would flag shrinking imbalances as
+                    // worsened; clamp to the identity factor.
+                    f.worsen_factor = v.max(1.0);
+                } else {
+                    eprintln!(
+                        "--worsen-factor needs a number >= 1; keeping {}",
+                        f.worsen_factor
+                    );
+                }
+            }
+            "--fail-on-regression" => f.fail_on_regression = true,
             "--control" => f.control = true,
             "--traditional" => f.traditional = true,
             "--salvage" => f.salvage = true,
@@ -252,12 +326,18 @@ fn profile(
 /// Renders the low-utility report with the engine selected by
 /// `--analysis`. The two engines emit byte-identical reports; the flag
 /// exists so the per-seed reference stays reachable as an oracle.
-fn render_report(
+/// With `--cache DIR` the ranking goes through [`ranked_with_cache`]
+/// instead, still byte-identical.
+fn engine_report(
     program: &Program,
-    gcost: &lowutil::core::CostGraph,
+    gcost: &CostGraph,
     flags: &Flags,
     dead: &DeadValueMetrics,
 ) -> String {
+    if flags.cache.is_some() {
+        let ranked = ranked_with_cache(gcost, None, content_hash(gcost), flags);
+        return render_report(program, &ranked, flags.top, Some(dead));
+    }
     let config = CostBenefitConfig::default();
     match flags.analysis {
         EngineChoice::Batch => {
@@ -269,18 +349,67 @@ fn render_report(
     }
 }
 
+/// Ranks `gcost` through the `--cache` directory when one was given: a
+/// warm entry skips engine construction and every traversal, a miss
+/// computes and memoizes. When `csr` is supplied (snapshot loads), the
+/// batch engine is built directly over the zero-copy arrays instead of
+/// re-deriving them from `gcost`.
+fn ranked_with_cache(
+    gcost: &CostGraph,
+    csr: Option<&CsrGraph<'_>>,
+    hash: u64,
+    flags: &Flags,
+) -> Vec<StructureCostBenefit> {
+    let config = CostBenefitConfig::default();
+    let cache = flags.cache.as_deref().map(QueryCache::new);
+    let key = CacheKey::new(hash, flags.analysis, &config);
+    if let Some(c) = &cache {
+        if let Some(hit) = c.load(&key) {
+            eprintln!("-- query cache hit ({:016x})", key.content_hash);
+            return hit;
+        }
+    }
+    let ranked = match (flags.analysis, csr) {
+        (EngineChoice::Batch, Some(csr)) => {
+            // Cheap clone: borrowed Cow arrays stay borrowed.
+            let engine = BatchAnalyzer::with_csr(csr.clone(), flags.jobs);
+            rank_structures_with(gcost, &config, &engine, flags.jobs)
+        }
+        (EngineChoice::Batch, None) => rank_structures_batch(gcost, &config, flags.jobs),
+        (EngineChoice::Reference, _) => {
+            rank_structures_with(gcost, &config, &ReferenceEngine::new(gcost), 1)
+        }
+    };
+    if let Some(c) = &cache {
+        // A failed store only costs future misses; the report proceeds.
+        if let Err(e) = c.store(&key, &ranked) {
+            eprintln!("-- query cache store failed: {e}");
+        }
+    }
+    ranked
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, target) = match (args.first(), args.get(1)) {
         (Some(c), Some(t)) => (c.as_str(), t.as_str()),
         _ => return usage(),
     };
-    // record/replay take a trace path as a third positional argument.
+    // record/replay and diff take a path as a third positional argument;
+    // snapshot save/load take a subcommand plus two paths.
     let flag_start = match cmd {
-        "record" | "replay" => 3,
+        "record" | "replay" | "diff" => 3,
+        "snapshot" => match target {
+            "info" => 3,
+            _ => 4,
+        },
         _ => 2,
     };
     let flags = parse_flags(args.get(flag_start..).unwrap_or(&[]));
+
+    // `diff --fail-on-regression` exits 3 on regression: distinguishable
+    // from errors (1) and usage mistakes (2) so CI can gate on it.
+    let mut exit = ExitCode::SUCCESS;
 
     let result = (|| -> Result<(), String> {
         match cmd {
@@ -302,7 +431,7 @@ fn main() -> ExitCode {
                 let p = load(target)?;
                 let (g, out) = profile(&p, &flags)?;
                 let dead = dead_value_metrics(&g, out.instructions_executed);
-                print!("{}", render_report(&p, &g, &flags, &dead));
+                print!("{}", engine_report(&p, &g, &flags, &dead));
                 Ok(())
             }
             "dead" => {
@@ -544,7 +673,7 @@ fn main() -> ExitCode {
                     (g, reader.trailer().instructions)
                 };
                 let dead = dead_value_metrics(&g, instructions);
-                print!("{}", render_report(&p, &g, &flags, &dead));
+                print!("{}", engine_report(&p, &g, &flags, &dead));
                 Ok(())
             }
             "suite" => {
@@ -580,7 +709,98 @@ fn main() -> ExitCode {
                 println!("{}: {}", w.name, w.description);
                 let (g, out) = profile(&w.program, &flags)?;
                 let dead = dead_value_metrics(&g, out.instructions_executed);
-                print!("{}", render_report(&w.program, &g, &flags, &dead));
+                print!("{}", engine_report(&w.program, &g, &flags, &dead));
+                Ok(())
+            }
+            "snapshot" => match target {
+                "save" => {
+                    let prog_path = args
+                        .get(2)
+                        .ok_or("snapshot save needs <file.lu> <out.snap>".to_string())?;
+                    let out_path = args
+                        .get(3)
+                        .ok_or("snapshot save needs <file.lu> <out.snap>".to_string())?;
+                    let p = load(prog_path)?;
+                    let (g, out) = profile(&p, &flags)?;
+                    save_snapshot(&g, out.instructions_executed, out_path)
+                        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+                    eprintln!(
+                        "-- snapshot {out_path}: {} nodes, {} edges, content hash {:016x}",
+                        g.graph().num_nodes(),
+                        g.graph().num_edges(),
+                        content_hash(&g)
+                    );
+                    Ok(())
+                }
+                "load" => {
+                    let prog_path = args
+                        .get(2)
+                        .ok_or("snapshot load needs <file.lu> <in.snap>".to_string())?;
+                    let snap_path = args
+                        .get(3)
+                        .ok_or("snapshot load needs <file.lu> <in.snap>".to_string())?;
+                    let p = load(prog_path)?;
+                    let buf = AlignedBuf::load(snap_path)
+                        .map_err(|e| format!("cannot read {snap_path}: {e}"))?;
+                    let snap = read_snapshot(&buf).map_err(|e| format!("{snap_path}: {e}"))?;
+                    // The report needs structure membership and labels, so
+                    // a CostGraph is still materialized — but the engine
+                    // runs over the snapshot's zero-copy CSR arrays.
+                    let gcost = snap.to_cost_graph();
+                    let ranked =
+                        ranked_with_cache(&gcost, Some(snap.csr()), snap.content_hash(), &flags);
+                    let dead = dead_value_metrics(&gcost, snap.total_instructions());
+                    print!("{}", render_report(&p, &ranked, flags.top, Some(&dead)));
+                    Ok(())
+                }
+                "info" => {
+                    let snap_path = args
+                        .get(2)
+                        .ok_or("snapshot info needs <in.snap>".to_string())?;
+                    let buf = AlignedBuf::load(snap_path)
+                        .map_err(|e| format!("cannot read {snap_path}: {e}"))?;
+                    let snap = read_snapshot(&buf).map_err(|e| format!("{snap_path}: {e}"))?;
+                    println!("file bytes         {}", buf.as_bytes().len());
+                    println!("nodes              {}", snap.num_nodes());
+                    println!("edges              {}", snap.num_edges());
+                    println!("content hash       {:016x}", snap.content_hash());
+                    println!("instr instances    {}", snap.instr_instances());
+                    println!("shadow heap bytes  {}", snap.shadow_heap_bytes());
+                    println!("total instructions {}", snap.total_instructions());
+                    Ok(())
+                }
+                other => Err(format!("snapshot needs save|load|info, not `{other}`")),
+            },
+            "diff" => {
+                let a_path = target;
+                let b_path = args
+                    .get(2)
+                    .ok_or("diff needs <a.snap> <b.snap>".to_string())?;
+                let keys_of =
+                    |path: &str| -> Result<Vec<(lowutil::analyses::DiffKey, f64)>, String> {
+                        let buf = AlignedBuf::load(path)
+                            .map_err(|e| format!("cannot read {path}: {e}"))?;
+                        let snap = read_snapshot(&buf).map_err(|e| format!("{path}: {e}"))?;
+                        let gcost = snap.to_cost_graph();
+                        let ranked = ranked_with_cache(
+                            &gcost,
+                            Some(snap.csr()),
+                            snap.content_hash(),
+                            &flags,
+                        );
+                        Ok(ranked_keys(&gcost, &ranked))
+                    };
+                let ka = keys_of(a_path)?;
+                let kb = keys_of(b_path)?;
+                let dconfig = DiffConfig {
+                    min_imbalance: flags.min_imbalance,
+                    worsen_factor: flags.worsen_factor,
+                };
+                let report = diff_rankings(&ka, &kb, &dconfig);
+                print!("{}", report.render());
+                if flags.fail_on_regression && report.has_regression() {
+                    exit = ExitCode::from(3);
+                }
                 Ok(())
             }
             _ => Err("unknown command".to_string()),
@@ -588,7 +808,7 @@ fn main() -> ExitCode {
     })();
 
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => exit,
         Err(e) => {
             eprintln!("lowutil: {e}");
             ExitCode::FAILURE
@@ -720,6 +940,62 @@ mod tests {
         assert_eq!(f.top, 10);
         let f = flags_of(&["--size"]);
         assert!(matches!(f.size, WorkloadSize::Default));
+    }
+
+    #[test]
+    fn cache_flag_parses() {
+        let f = flags_of(&["--cache", "/tmp/qc"]);
+        assert_eq!(f.cache.as_deref(), Some("/tmp/qc"));
+        let f = flags_of(&[]);
+        assert_eq!(f.cache, None);
+        // Missing value keeps caching off without swallowing the next flag.
+        let f = flags_of(&["--cache", "--salvage"]);
+        assert_eq!(f.cache, None);
+        assert!(f.salvage);
+    }
+
+    #[test]
+    fn min_imbalance_flag_parses() {
+        let f = flags_of(&["--min-imbalance", "2.5"]);
+        assert_eq!(f.min_imbalance, 2.5);
+        let f = flags_of(&[]);
+        assert_eq!(f.min_imbalance, DiffConfig::default().min_imbalance);
+        // Missing, unparsable, or negative values keep the default
+        // without swallowing the next flag.
+        let f = flags_of(&["--min-imbalance", "--salvage"]);
+        assert_eq!(f.min_imbalance, DiffConfig::default().min_imbalance);
+        assert!(f.salvage);
+        let f = flags_of(&["--min-imbalance", "-3"]);
+        assert_eq!(f.min_imbalance, DiffConfig::default().min_imbalance);
+        let f = flags_of(&["--min-imbalance", "NaN"]);
+        assert_eq!(f.min_imbalance, DiffConfig::default().min_imbalance);
+    }
+
+    #[test]
+    fn worsen_factor_flag_parses_and_clamps() {
+        let f = flags_of(&["--worsen-factor", "1.5"]);
+        assert_eq!(f.worsen_factor, 1.5);
+        let f = flags_of(&[]);
+        assert_eq!(f.worsen_factor, DiffConfig::default().worsen_factor);
+        // Sub-identity factors would flag improvements as regressions.
+        let f = flags_of(&["--worsen-factor", "0.5"]);
+        assert_eq!(f.worsen_factor, 1.0);
+        // Missing value keeps the default without swallowing the next flag.
+        let f = flags_of(&["--worsen-factor", "--fail-on-regression"]);
+        assert_eq!(f.worsen_factor, DiffConfig::default().worsen_factor);
+        assert!(f.fail_on_regression);
+    }
+
+    #[test]
+    fn fail_on_regression_flag_parses_and_composes() {
+        let f = flags_of(&["--fail-on-regression"]);
+        assert!(f.fail_on_regression);
+        let f = flags_of(&[]);
+        assert!(!f.fail_on_regression);
+        // A value flag with a missing value must not swallow it.
+        let f = flags_of(&["--cache", "--fail-on-regression"]);
+        assert_eq!(f.cache, None);
+        assert!(f.fail_on_regression);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The no-panic corruption harness for the snapshot reader, mirroring
+//! `tests/corruption.rs` for traces: arbitrary damage to a saved
+//! snapshot must never panic, abort, or trigger an absurd allocation —
+//! `read_snapshot` either validates or returns a `StoreError`.
+//!
+//! All randomness is seeded from loop indices (`lowutil_testkit::mutate`
+//! has no wall-clock anywhere), so any CI failure names a `(workload,
+//! seed)` pair that replays bit-for-bit locally. The sweep width is
+//! `LOWUTIL_FUZZ_SEEDS` per workload snapshot (default 24; CI runs 300).
+
+use lowutil::core::{read_snapshot, write_snapshot, AlignedBuf, CostGraphConfig, CostProfiler};
+use lowutil::ir::Program;
+use lowutil::vm::Vm;
+use lowutil::workloads::{suite, WorkloadSize};
+use lowutil_testkit::alloc_guard::{self, GuardedAlloc};
+use lowutil_testkit::gen::{build, op_strategy};
+use lowutil_testkit::mutate::mutate;
+use proptest::prelude::*;
+
+// Count every allocation in the test binary so a corrupt length field
+// that slips past validation shows up as a peak explosion, not an OOM
+// kill with no culprit.
+#[global_allocator]
+static ALLOC: GuardedAlloc = GuardedAlloc;
+
+/// No mutated snapshot parse may allocate more than this beyond the
+/// live heap at sweep start. Clean suite snapshots are a few KiB; the
+/// reader checks every declared length against the file size before
+/// allocating, so only a missed check can trip this.
+const ALLOC_CAP_BYTES: usize = 512 << 20;
+
+fn fuzz_seeds() -> u64 {
+    std::env::var("LOWUTIL_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn snapshot_bytes(program: &Program) -> Vec<u8> {
+    let mut prof = CostProfiler::new(program, CostGraphConfig::default());
+    let out = Vm::new(program).run(&mut prof).expect("program runs");
+    let g = prof.finish();
+    let mut buf = Vec::new();
+    write_snapshot(&g, out.instructions_executed, &mut buf).expect("in-memory write");
+    buf
+}
+
+/// Exercises one clean snapshot against `seeds` seeded mutations. Every
+/// mutation must parse cleanly or error cleanly; whatever the validator
+/// admits must also survive the full `to_cost_graph` decode.
+fn sweep(bytes: &[u8], seeds: u64, name: &str) {
+    let baseline = alloc_guard::reset_peak();
+    for seed in 0..seeds {
+        let (mutated, desc) = mutate(bytes, seed);
+        let buf = AlignedBuf::from_bytes(&mutated);
+        if let Ok(snap) = read_snapshot(&buf) {
+            // Per-section CRCs make a surviving mutation overwhelmingly a
+            // self-splice no-op; either way an accepted file must decode.
+            let g = snap.to_cost_graph();
+            assert_eq!(
+                g.graph().num_nodes(),
+                snap.num_nodes(),
+                "{name}: {desc}: accepted snapshot decodes inconsistently"
+            );
+        }
+        let peak = alloc_guard::peak_bytes();
+        assert!(
+            peak.saturating_sub(baseline) < ALLOC_CAP_BYTES,
+            "{name}: {desc}: allocation peak {peak} blew past the sanity cap"
+        );
+    }
+}
+
+/// Every workload in the suite, `LOWUTIL_FUZZ_SEEDS` mutations each.
+#[test]
+fn suite_snapshots_survive_seeded_mutations() {
+    let seeds = fuzz_seeds();
+    for w in suite(WorkloadSize::Small) {
+        sweep(&snapshot_bytes(&w.program), seeds, w.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs too: tiny graphs put the section boundaries within
+    /// a few bytes of each other, covering header/table/padding edges the
+    /// big suite snapshots hit rarely.
+    #[test]
+    fn random_program_snapshots_survive_seeded_mutations(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let p = build(&ops);
+        sweep(&snapshot_bytes(&p), 8, "random-program");
+    }
+}
