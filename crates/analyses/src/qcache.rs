@@ -24,6 +24,7 @@ use lowutil_ir::{AllocSiteId, FieldId};
 use std::fs;
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::time::{Duration, SystemTime};
 
 /// Identifies one memoizable ranking: the graph (by content hash), the
 /// engine that computed it, and the analysis parameters.
@@ -104,6 +105,87 @@ impl QueryCache {
         fs::write(&path, out)?;
         Ok(path)
     }
+
+    /// Sweeps the cache directory down to the given size/age budgets.
+    ///
+    /// Two passes over the `.rank` entries: first every entry whose
+    /// mtime is older than `max_age` is removed, then — if the
+    /// survivors still exceed `max_bytes` — entries are removed
+    /// oldest-first until the directory fits. Entries the sweep keeps
+    /// are untouched, so a warm hit after GC is byte-identical to one
+    /// before it. Files without the `.rank` suffix are ignored; a
+    /// missing directory is an empty cache, not an error.
+    ///
+    /// # Errors
+    /// Propagates I/O errors other than the directory not existing.
+    pub fn gc(&self, max_bytes: Option<u64>, max_age: Option<Duration>) -> io::Result<GcStats> {
+        let mut stats = GcStats::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        // (mtime, len, path) per surviving entry; unreadable metadata
+        // counts the entry as aged out (it cannot serve a hit anyway).
+        let mut live: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        let now = SystemTime::now();
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "rank") {
+                continue;
+            }
+            stats.scanned += 1;
+            let meta = entry.metadata().ok();
+            let mtime = meta
+                .as_ref()
+                .and_then(|m| m.modified().ok())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            let len = meta.map_or(0, |m| m.len());
+            let expired = match max_age {
+                Some(age) => now.duration_since(mtime).is_ok_and(|d| d > age),
+                None => false,
+            };
+            if expired {
+                fs::remove_file(&path)?;
+                stats.removed += 1;
+                stats.bytes_removed += len;
+            } else {
+                live.push((mtime, len, path));
+            }
+        }
+        let mut total: u64 = live.iter().map(|(_, len, _)| len).sum();
+        if let Some(budget) = max_bytes {
+            // mtime then path: a deterministic victim order even when a
+            // batch of stores lands within one timestamp granule.
+            live.sort();
+            let mut victims = live.iter();
+            while total > budget {
+                let Some((_, len, path)) = victims.next() else {
+                    break;
+                };
+                fs::remove_file(path)?;
+                stats.removed += 1;
+                stats.bytes_removed += len;
+                total -= len;
+            }
+        }
+        stats.bytes_kept = total;
+        Ok(stats)
+    }
+}
+
+/// What one [`QueryCache::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// `.rank` entries examined.
+    pub scanned: u64,
+    /// Entries deleted (expired plus evicted-for-size).
+    pub removed: u64,
+    /// Bytes freed by the removals.
+    pub bytes_removed: u64,
+    /// Bytes remaining in kept entries.
+    pub bytes_kept: u64,
 }
 
 fn field_token(f: FieldKey) -> String {
@@ -358,6 +440,51 @@ done:
             },
         );
         assert!(cache.load(&other_params).is_none());
+    }
+
+    #[test]
+    fn gc_respects_age_and_size_and_keeps_hits_bit_exact() {
+        let g = profile();
+        let cfg = CostBenefitConfig::default();
+        let ranked = rank_structures(&g, &cfg);
+        let dir = tmpdir("gc");
+        let cache = QueryCache::new(&dir);
+        let key = CacheKey::new(content_hash(&g), EngineChoice::Batch, &cfg);
+        let path = cache.store(&key, &ranked).unwrap();
+        let good = fs::read(&path).unwrap();
+        // Two stale strangers and one non-entry that GC must ignore.
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(1000);
+        for name in ["00-old-00.rank", "11-old-11.rank"] {
+            let p = dir.join(name);
+            fs::write(&p, "stale").unwrap();
+            fs::File::options()
+                .write(true)
+                .open(&p)
+                .unwrap()
+                .set_modified(old)
+                .unwrap();
+        }
+        fs::write(dir.join("notes.txt"), "not a cache entry").unwrap();
+
+        let stats = cache
+            .gc(None, Some(std::time::Duration::from_secs(500)))
+            .unwrap();
+        assert_eq!((stats.scanned, stats.removed), (3, 2), "{stats:?}");
+        assert_eq!(stats.bytes_kept, good.len() as u64);
+        // The survivor still hits, byte-for-byte.
+        assert_eq!(fs::read(&path).unwrap(), good);
+        assert!(cache.load(&key).is_some(), "warm hit survives GC");
+        assert!(dir.join("notes.txt").exists(), "non-entries untouched");
+
+        // A zero byte budget evicts even fresh entries, oldest first.
+        let stats = cache.gc(Some(0), None).unwrap();
+        assert_eq!((stats.scanned, stats.removed), (1, 1), "{stats:?}");
+        assert_eq!(stats.bytes_kept, 0);
+        assert!(cache.load(&key).is_none());
+
+        // A missing directory is an empty cache, not an error.
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(cache.gc(Some(0), None).unwrap(), GcStats::default());
     }
 
     #[test]

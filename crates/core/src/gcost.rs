@@ -1011,6 +1011,15 @@ impl CostGraph {
         v
     }
 
+    /// The raw points-to relation, for cross-session aggregation
+    /// ([`crate::shard::Aggregate`]) — the public per-key accessor above
+    /// cannot enumerate the key set.
+    pub(crate) fn points_to_raw(
+        &self,
+    ) -> &FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>> {
+        &self.points_to
+    }
+
     /// Context-conflict statistics (empty unless tracking was enabled).
     pub fn conflicts(&self) -> &ConflictStats {
         &self.conflicts

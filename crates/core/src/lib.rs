@@ -84,10 +84,11 @@ pub use gcost::{
 pub use graph::{DepGraph, Node, NodeId, NodeKind};
 pub use shard::{
     apply_object_delta, build_shard, merge_shards, replay_cost_graph, replay_segments, shard_sink,
-    sharded_replay_sequential, ObjectInfo, ObjectTableScan, ShardContext, ShardGraph, ShardSink,
+    sharded_replay_sequential, Aggregate, ObjectInfo, ObjectTableScan, ShardContext, ShardGraph,
+    ShardSink,
 };
 pub use stats::GraphStats;
 pub use store::{
-    content_hash, fnv1a64, read_snapshot, save_snapshot, write_snapshot, AlignedBuf, Snapshot,
-    StoreError,
+    content_hash, fnv1a64, read_snapshot, save_snapshot, verify_snapshot, write_snapshot,
+    AlignedBuf, SectionCheck, Snapshot, StoreError, VerifyReport,
 };

@@ -1469,6 +1469,188 @@ pub fn sharded_replay_sequential(
     Ok(merge_shards(shards))
 }
 
+// ---------------------------------------------------------------------------
+// cross-session aggregation
+// ---------------------------------------------------------------------------
+
+/// A node's abstract identity — the key that makes shard union (and any
+/// other merge) order-independent.
+type AbstractNode = (InstrId, CostElem);
+
+/// A deterministic total order over heap effects, used when sessions
+/// disagree about a node's effect. Within one trace, "last write wins"
+/// reproduces the live profiler; across *concurrent sessions* there is
+/// no meaningful "last", so the aggregate keeps the rank-minimal effect
+/// instead — any fixed total order works, it only has to be the same
+/// regardless of arrival interleaving. The rank mirrors the snapshot
+/// store's record encoding `(tag, site, slot, field)`.
+fn effect_rank(e: &HeapEffect) -> (u8, u32, u32, u32) {
+    let field_rank = |f: &FieldKey| match f {
+        FieldKey::Field(id) => id.0,
+        FieldKey::Element => u32::MAX,
+        FieldKey::Length => u32::MAX - 1,
+    };
+    match e {
+        HeapEffect::Alloc { site } => (0, site.site.0, site.slot, 0),
+        HeapEffect::Load { site, field } => (1, site.site.0, site.slot, field_rank(field)),
+        HeapEffect::Store { site, field } => (2, site.site.0, site.slot, field_rank(field)),
+        HeapEffect::LoadStatic(s) => (3, s.0, 0, 0),
+        HeapEffect::StoreStatic(s) => (4, s.0, 0, 0),
+    }
+}
+
+/// A commutative cross-session merge target: the per-tenant aggregate a
+/// profiling service grows as completed sessions arrive.
+///
+/// Where [`merge_shards`] stitches the *segments of one trace* back
+/// together (and needs their exact order to resolve cross-segment shadow
+/// state), `Aggregate` combines *finished graphs of independent runs* of
+/// the same program. Everything it keeps is keyed by abstract identity —
+/// `(InstrId, CostElem)` nodes, abstract edge pairs, tagged sites — so
+/// absorption is order-independent: any arrival interleaving of the same
+/// session set produces a [`CostGraph`] with identical canonical bytes.
+///
+/// Absorbing a graph that is itself the aggregate of earlier sessions
+/// (a reloaded snapshot) re-derives the same accumulators as absorbing
+/// those sessions one by one: frequencies and instance counts sum, sets
+/// union, and the effect order is associative. That is what makes
+/// restart-from-snapshot sound: `agg(snapshot(agg(S1..Sk)), Sk+1..)`
+/// hashes identically to `agg(S1..Sn)`.
+///
+/// Conflict statistics are merged while the aggregate lives in memory
+/// but are not part of the canonical export, so they reset on restart
+/// without affecting any content hash.
+#[derive(Debug, Default)]
+pub struct Aggregate {
+    nodes: FxHashMap<AbstractNode, (NodeKind, u64)>,
+    edges: FxHashSet<(AbstractNode, AbstractNode)>,
+    ref_edges: FxHashSet<(AbstractNode, AbstractNode)>,
+    effects: FxHashMap<AbstractNode, HeapEffect>,
+    points_to: FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>>,
+    conflicts: ConflictStats,
+    instr_instances: u64,
+    shadow_heap_bytes: usize,
+    total_instructions: u64,
+    sessions: u64,
+}
+
+impl Aggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True until the first absorption.
+    pub fn is_empty(&self) -> bool {
+        self.sessions == 0
+    }
+
+    /// How many graphs have been absorbed.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Summed `instructions_executed` across absorbed sessions — the
+    /// denominator for dead-value percentages over the aggregate.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Folds one session's finished graph (or a reloaded aggregate
+    /// snapshot) into the accumulators. `instructions` is the session's
+    /// executed-instruction total (a snapshot's `total_instructions`).
+    pub fn absorb(&mut self, g: &CostGraph, instructions: u64) {
+        let dep = g.graph();
+        let key = |id: NodeId| {
+            let n = dep.node(id);
+            (n.instr, n.elem)
+        };
+        for (id, n) in dep.iter() {
+            let e = self.nodes.entry((n.instr, n.elem)).or_insert((n.kind, 0));
+            debug_assert_eq!(e.0, n.kind, "node kind is a function of the instruction");
+            e.1 += n.freq;
+            if let Some(eff) = g.effect(id) {
+                self.effects
+                    .entry((n.instr, n.elem))
+                    .and_modify(|cur| {
+                        if effect_rank(eff) < effect_rank(cur) {
+                            *cur = *eff;
+                        }
+                    })
+                    .or_insert(*eff);
+            }
+        }
+        for id in dep.node_ids() {
+            for &s in dep.succs(id) {
+                self.edges.insert((key(id), key(s)));
+            }
+        }
+        for (a, b) in g.ref_edges() {
+            self.ref_edges.insert((key(a), key(b)));
+        }
+        for (k, v) in g.points_to_raw() {
+            self.points_to.entry(*k).or_default().extend(v.iter());
+        }
+        self.conflicts.merge(g.conflicts().clone());
+        self.instr_instances += g.instr_instances();
+        self.shadow_heap_bytes += g.shadow_heap_bytes();
+        self.total_instructions += instructions;
+        self.sessions += 1;
+    }
+
+    /// Materializes the aggregate as a [`CostGraph`], interning nodes in
+    /// canonical `(method, pc, elem)` order and inserting edges sorted,
+    /// so equal accumulator contents produce equal graphs however they
+    /// were reached.
+    pub fn to_cost_graph(&self) -> CostGraph {
+        let mut order: Vec<AbstractNode> = self.nodes.keys().copied().collect();
+        order.sort_unstable_by_key(|&(instr, elem)| {
+            (instr.method.0, instr.pc, crate::export::elem_rank(elem))
+        });
+        let mut graph: DepGraph<CostElem> = DepGraph::new();
+        let mut ids: FxHashMap<AbstractNode, NodeId> = FxHashMap::default();
+        for &k in &order {
+            let (kind, freq) = self.nodes[&k];
+            let id = graph.intern(k.0, k.1, kind);
+            graph.add_freq(id, freq);
+            ids.insert(k, id);
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| (ids[&a], ids[&b]))
+            .collect();
+        edges.sort_unstable();
+        for (a, b) in edges {
+            graph.add_edge(a, b);
+        }
+        let ref_edges: FxHashSet<(NodeId, NodeId)> = self
+            .ref_edges
+            .iter()
+            .map(|&(a, b)| (ids[&a], ids[&b]))
+            .collect();
+        let mut effects: Vec<Option<HeapEffect>> = vec![None; graph.num_nodes()];
+        let mut alloc_nodes: FxHashMap<TaggedSite, NodeId> = FxHashMap::default();
+        for (k, eff) in &self.effects {
+            let id = ids[k];
+            effects[id.index()] = Some(*eff);
+            if let HeapEffect::Alloc { site } = eff {
+                alloc_nodes.insert(*site, id);
+            }
+        }
+        CostGraph::assemble(
+            graph,
+            ref_edges,
+            effects,
+            alloc_nodes,
+            self.points_to.clone(),
+            self.conflicts.clone(),
+            self.instr_instances,
+            self.shadow_heap_bytes,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1755,5 +1937,108 @@ method double/1 {
         for limit in [1, 2, 64] {
             assert_identity(src, config, limit);
         }
+    }
+    /// Records one trace of `CROSS_SEGMENT_SRC` and derives three
+    /// distinct "sessions" of the same program from it: the full run
+    /// plus two salvaged prefixes of different lengths.
+    fn session_graphs() -> Vec<(CostGraph, u64)> {
+        let p = parse_program(CROSS_SEGMENT_SRC).expect("parse");
+        let config = CostGraphConfig::default();
+        let writer = TraceWriter::with_segment_limit(Vec::new(), 2);
+        let mut t = SinkTracer(writer);
+        Vm::new(&p).run(&mut t).expect("program runs");
+        let (trace, _) = t.0.finish().unwrap();
+
+        let mut sessions = Vec::new();
+        let full = TraceReader::new(&trace).expect("trace parses");
+        sessions.push((
+            replay_cost_graph(&p, config, &full).unwrap(),
+            full.trailer().instructions,
+        ));
+        for cut in [trace.len() * 2 / 5, trace.len() * 4 / 5] {
+            let (reader, _) = TraceReader::salvage(&trace[..cut]).expect("header intact");
+            assert!(reader.segments().len() > 1, "cut {cut} keeps a real prefix");
+            sessions.push((
+                replay_cost_graph(&p, config, &reader).unwrap(),
+                reader.trailer().instructions,
+            ));
+        }
+        // The three sessions are genuinely different graphs.
+        let bytes: Vec<_> = sessions.iter().map(|(g, _)| bytes_of(g)).collect();
+        assert!(bytes[0] != bytes[1] && bytes[1] != bytes[2] && bytes[0] != bytes[2]);
+        sessions
+    }
+
+    /// An aggregate of one session is that session's graph, byte for
+    /// byte — absorption loses nothing.
+    #[test]
+    fn aggregate_of_one_session_reproduces_its_graph() {
+        for (g, instructions) in session_graphs() {
+            let mut agg = Aggregate::new();
+            assert!(agg.is_empty());
+            agg.absorb(&g, instructions);
+            assert_eq!(agg.sessions(), 1);
+            assert_eq!(agg.total_instructions(), instructions);
+            assert_eq!(bytes_of(&agg.to_cost_graph()), bytes_of(&g));
+        }
+    }
+
+    /// Absorbing the same session set in every arrival order produces
+    /// identical canonical bytes — the property that lets a concurrent
+    /// ingest daemon match an offline sequential merge.
+    #[test]
+    fn aggregate_absorb_is_order_independent() {
+        let sessions = session_graphs();
+        let mut exports: Vec<Vec<u8>> = Vec::new();
+        for perm in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let mut agg = Aggregate::new();
+            for &i in &perm {
+                let (g, instructions) = &sessions[i];
+                agg.absorb(g, *instructions);
+            }
+            assert_eq!(agg.sessions(), 3);
+            exports.push(bytes_of(&agg.to_cost_graph()));
+        }
+        for e in &exports[1..] {
+            assert_eq!(
+                String::from_utf8_lossy(&exports[0]),
+                String::from_utf8_lossy(e),
+                "absorption order changed the aggregate"
+            );
+        }
+    }
+
+    /// Absorbing a previously materialized aggregate (the restart path:
+    /// a reloaded snapshot) then more sessions equals absorbing every
+    /// session directly.
+    #[test]
+    fn aggregate_restart_roundtrip_matches_direct_merge() {
+        let sessions = session_graphs();
+        let mut direct = Aggregate::new();
+        for (g, instructions) in &sessions {
+            direct.absorb(g, *instructions);
+        }
+
+        let mut first = Aggregate::new();
+        first.absorb(&sessions[0].0, sessions[0].1);
+        first.absorb(&sessions[1].0, sessions[1].1);
+        let persisted = first.to_cost_graph();
+        let mut resumed = Aggregate::new();
+        resumed.absorb(&persisted, first.total_instructions());
+        resumed.absorb(&sessions[2].0, sessions[2].1);
+
+        assert_eq!(resumed.total_instructions(), direct.total_instructions());
+        assert_eq!(
+            String::from_utf8_lossy(&bytes_of(&direct.to_cost_graph())),
+            String::from_utf8_lossy(&bytes_of(&resumed.to_cost_graph())),
+            "restart-from-aggregate diverged from the direct merge"
+        );
     }
 }

@@ -832,6 +832,149 @@ pub fn read_snapshot(buf: &AlignedBuf) -> Result<Snapshot<'_>, StoreError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Verification report
+// ---------------------------------------------------------------------------
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_KIND => "kind",
+        SEC_FREQ => "freq",
+        SEC_SUCC_OFF => "succ_off",
+        SEC_SUCC_ADJ => "succ_adj",
+        SEC_PRED_OFF => "pred_off",
+        SEC_PRED_ADJ => "pred_adj",
+        SEC_READS_HEAP => "reads_heap",
+        SEC_WRITES_HEAP => "writes_heap",
+        SEC_CONSUMER => "consumer",
+        SEC_NODE_INSTR => "node_instr",
+        SEC_NODE_ELEM => "node_elem",
+        SEC_EFFECTS => "effects",
+        SEC_REF_EDGES => "ref_edges",
+        SEC_POINTS_TO => "points_to",
+        _ => "unknown",
+    }
+}
+
+/// One section's integrity check in a [`VerifyReport`].
+#[derive(Debug, Clone)]
+pub struct SectionCheck {
+    /// Section name, file order.
+    pub name: &'static str,
+    /// Declared byte length.
+    pub len: u64,
+    /// `Ok` when the declared extent is in bounds and its CRC matches.
+    pub status: Result<(), String>,
+}
+
+/// The outcome of [`verify_snapshot`]: per-section CRC results plus the
+/// first deep-validation failure — the report behind
+/// `lowutil snapshot verify`.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Declared `(nodes, edges)`, once the header parses.
+    pub declared: Option<(u64, u64)>,
+    /// Declared content hash, once the header parses.
+    pub content_hash: Option<u64>,
+    /// Per-section checks in file order (empty when the header itself
+    /// is unreadable — there is no trustworthy section table to walk).
+    pub sections: Vec<SectionCheck>,
+    /// First failure found by the full validator ([`read_snapshot`]);
+    /// `None` when the file is a valid snapshot.
+    pub error: Option<String>,
+}
+
+impl VerifyReport {
+    /// Whether the file is a fully valid snapshot.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Checks `buf` as a snapshot, reporting per-section CRC status along
+/// with the first deep-validation failure. Unlike [`read_snapshot`],
+/// which stops at the first problem, every section is CRC-checked even
+/// after one fails — a corruption report names *all* damaged sections,
+/// not just the first.
+pub fn verify_snapshot(buf: &AlignedBuf) -> VerifyReport {
+    let bytes = buf.as_bytes();
+    let mut report = VerifyReport {
+        declared: None,
+        content_hash: None,
+        sections: Vec::new(),
+        error: None,
+    };
+    // Header checks mirror `read_snapshot`'s prefix; past them the
+    // section table is CRC-trusted and can be walked exhaustively.
+    let header = 'hdr: {
+        if bytes.len() < PREAMBLE_LEN {
+            break 'hdr Err("file shorter than preamble".to_string());
+        }
+        if bytes[..8] != MAGIC {
+            break 'hdr Err("bad magic".to_string());
+        }
+        let header_len = read_u32(bytes, 8) as usize;
+        let header_crc = read_u32(bytes, 12);
+        if header_len < HEADER_FIXED_LEN || bytes.len() - PREAMBLE_LEN < header_len {
+            break 'hdr Err("header length out of range".to_string());
+        }
+        let header = &bytes[PREAMBLE_LEN..PREAMBLE_LEN + header_len];
+        if crc32(header) != header_crc {
+            break 'hdr Err("header CRC mismatch".to_string());
+        }
+        let version = read_u32(header, 0);
+        if version != FORMAT_VERSION {
+            break 'hdr Err(format!("unsupported format version {version}"));
+        }
+        let section_count = read_u32(header, 4) as usize;
+        if section_count != SECTION_IDS.len()
+            || header_len != HEADER_FIXED_LEN + SECTION_ENTRY_LEN * section_count
+        {
+            break 'hdr Err("unexpected section table shape".to_string());
+        }
+        Ok(header)
+    };
+    let header = match header {
+        Ok(h) => h,
+        Err(e) => {
+            report.error = Some(e);
+            return report;
+        }
+    };
+    report.content_hash = Some(read_u64(header, 8));
+    report.declared = Some((read_u64(header, 16), read_u64(header, 24)));
+    for (i, want_id) in SECTION_IDS.iter().enumerate() {
+        let at = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * i;
+        let id = read_u32(header, at);
+        let offset = read_u64(header, at + 8);
+        let len = read_u64(header, at + 16);
+        let crc = read_u32(header, at + 24);
+        let status = if id != *want_id {
+            Err(format!("unexpected id {id}"))
+        } else if !offset.is_multiple_of(8) {
+            Err("misaligned offset".to_string())
+        } else if offset > bytes.len() as u64 || bytes.len() as u64 - offset < len {
+            Err("extends past end of file".to_string())
+        } else {
+            let body = &bytes[offset as usize..(offset + len) as usize];
+            if crc32(body) != crc {
+                Err("CRC mismatch".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        report.sections.push(SectionCheck {
+            name: section_name(*want_id),
+            len,
+            status,
+        });
+    }
+    if let Err(e) = read_snapshot(buf) {
+        report.error = Some(e.0);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -933,6 +1076,52 @@ loop:
             let buf = AlignedBuf::from_bytes(&bad);
             assert!(read_snapshot(&buf).is_err(), "bit flip at {at} accepted");
         }
+    }
+
+    #[test]
+    fn verify_report_names_every_damaged_section() {
+        let (g, total) = sample();
+        let bytes = saved_bytes(&g, total);
+
+        let good = verify_snapshot(&AlignedBuf::from_bytes(&bytes));
+        assert!(good.is_ok(), "{:?}", good.error);
+        assert_eq!(good.sections.len(), SECTION_IDS.len());
+        assert!(good.sections.iter().all(|s| s.status.is_ok()));
+        assert_eq!(good.content_hash, Some(content_hash(&g)));
+        let n = g.graph().num_nodes() as u64;
+        assert_eq!(good.declared.map(|(nodes, _)| nodes), Some(n));
+
+        // Corrupt two distinct section bodies: read_snapshot stops at
+        // the first, the report must flag both. KIND and NODE_INSTR are
+        // node-sized, so both are non-empty for any non-trivial graph.
+        let mut bad = bytes.clone();
+        let mut hit = Vec::new();
+        for i in [0, 9] {
+            let at = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * i;
+            let offset = read_u64(&bytes[PREAMBLE_LEN..], at + 8) as usize;
+            let len = read_u64(&bytes[PREAMBLE_LEN..], at + 16);
+            assert!(len > 0, "test wants non-empty section {i}");
+            bad[offset] ^= 0x01;
+            hit.push(section_name(SECTION_IDS[i]));
+        }
+        let report = verify_snapshot(&AlignedBuf::from_bytes(&bad));
+        assert!(!report.is_ok());
+        let flagged: Vec<&str> = report
+            .sections
+            .iter()
+            .filter(|s| s.status.is_err())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(flagged, hit, "every damaged section flagged");
+
+        // An unreadable header yields a bare error with no section table.
+        let report = verify_snapshot(&AlignedBuf::from_bytes(&bytes[..PREAMBLE_LEN - 1]));
+        assert!(!report.is_ok() && report.sections.is_empty());
+        let mut bad = bytes.clone();
+        bad[PREAMBLE_LEN + 2] ^= 0x10; // inside the header body
+        let report = verify_snapshot(&AlignedBuf::from_bytes(&bad));
+        assert_eq!(report.error.as_deref(), Some("header CRC mismatch"));
+        assert!(report.sections.is_empty());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use natives::{NativeKind, NativeRegistry, UnknownNativeError};
 pub use shadow::{ShadowFrame, ShadowHeap, ShadowStack, TrackingStack};
 pub use sink::{CountingSink, EventSink, SinkTracer, TracerSink};
 pub use trace::{
-    SalvageStats, TraceError, TraceReader, TraceStats, TraceWriter, Trailer, TRACE_VERSION,
-    TRACE_VERSION_V1, TRACE_VERSION_V2,
+    SalvageStats, StreamingReader, TraceError, TraceReader, TraceStats, TraceWriter, Trailer,
+    DEFAULT_STREAM_RECORD_LIMIT, TRACE_VERSION, TRACE_VERSION_V1, TRACE_VERSION_V2,
 };
 pub use tracer::{CountingTracer, NullTracer, Tracer};

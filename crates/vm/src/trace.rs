@@ -1844,6 +1844,334 @@ impl<'a> TraceReader<'a> {
     }
 }
 
+/// Default cap on a single framed record's body for [`StreamingReader`]:
+/// far above anything the writer emits at sane segment limits, far below
+/// what a hostile length prefix could otherwise make the buffer hold.
+pub const DEFAULT_STREAM_RECORD_LIMIT: usize = 64 << 20;
+
+/// How far a varint extends in a partial buffer, without decoding it.
+enum VarintExtent {
+    /// The encoding continues past the buffered bytes.
+    NeedMore,
+    /// The encoding occupies this many bytes (decoding may still reject
+    /// it as an overflow — a 10-byte run of continuation bits is carried
+    /// to the decoder so the error position matches the batch reader's).
+    Len(usize),
+}
+
+/// Scans the extent of one varint starting at `bytes[at..]`. Canonical
+/// LEB128 u64 never needs more than 10 bytes, and [`Cur::u64_long`]
+/// rejects a 10th continuation byte outright, so 10 buffered bytes are
+/// always enough to either decode or deterministically fail.
+fn varint_extent(bytes: &[u8], at: usize) -> VarintExtent {
+    for i in 0..10 {
+        match bytes.get(at + i) {
+            None => return VarintExtent::NeedMore,
+            Some(b) if b & 0x80 == 0 => return VarintExtent::Len(i + 1),
+            Some(_) => {}
+        }
+    }
+    VarintExtent::Len(10)
+}
+
+/// An incremental trace reader for network/spool ingest: bytes arrive in
+/// arbitrary chunks via [`feed`](StreamingReader::feed), and every record
+/// that completes is validated and replayed into the caller's sink
+/// immediately, so a long-lived consumer (a graph builder) never holds
+/// more than one framed record of lookahead.
+///
+/// The contract mirrors the batch paths exactly:
+///
+/// - A stream that completes cleanly (trailer present, totals matching)
+///   has replayed the identical event sequence [`TraceReader::replay`]
+///   would deliver — thread switches announced only on change.
+/// - A stream that is cut or corrupted mid-flight has replayed exactly
+///   the segments [`TraceReader::salvage`] would keep: each segment is
+///   trial-decoded in full before any of it reaches the sink, so the
+///   sink observes the longest valid prefix and nothing else.
+///
+/// Errors are sticky: after the first failure every further `feed` and
+/// [`finish`](StreamingReader::finish) returns the same error, and the
+/// sink sees no more events. Only framed formats stream (v2/v3); v1 has
+/// no checksums, so mid-flight validation is impossible and the header
+/// is rejected up front.
+#[derive(Debug)]
+pub struct StreamingReader {
+    buf: Vec<u8>,
+    /// Index of the first unconsumed byte in `buf`.
+    start: usize,
+    /// Absolute stream offset of `buf[0]`, so errors report positions in
+    /// the whole stream no matter how the chunks arrived.
+    base: usize,
+    /// Negotiated wire version; `None` until the header has parsed.
+    version: Option<u64>,
+    segments_seen: u64,
+    counts: PrefixCounts,
+    cur_thread: ThreadId,
+    trailer: Option<Trailer>,
+    error: Option<TraceError>,
+    record_limit: usize,
+}
+
+impl Default for StreamingReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingReader {
+    /// A reader with the default per-record cap
+    /// ([`DEFAULT_STREAM_RECORD_LIMIT`]).
+    pub fn new() -> Self {
+        Self::with_record_limit(DEFAULT_STREAM_RECORD_LIMIT)
+    }
+
+    /// A reader rejecting any framed record whose declared body exceeds
+    /// `limit` bytes. This bounds the reader's buffering: memory use is
+    /// `O(limit + largest feed chunk)` regardless of stream length.
+    pub fn with_record_limit(limit: usize) -> Self {
+        StreamingReader {
+            buf: Vec::new(),
+            start: 0,
+            base: 0,
+            version: None,
+            segments_seen: 0,
+            counts: PrefixCounts::default(),
+            cur_thread: ThreadId::MAIN,
+            trailer: None,
+            error: None,
+            record_limit: limit.max(1),
+        }
+    }
+
+    /// Appends a chunk of stream bytes and replays every record that is
+    /// now complete into `sink`. Chunk boundaries are arbitrary — a
+    /// record split across any number of chunks replays exactly once,
+    /// when its last byte arrives.
+    pub fn feed<S: EventSink>(&mut self, bytes: &[u8], sink: &mut S) -> Result<(), TraceError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.buf.extend_from_slice(bytes);
+        self.drain(sink)
+    }
+
+    /// Declares end-of-stream. Succeeds only when the stream completed
+    /// cleanly: header, in-sequence segments, a trailer whose totals
+    /// match the replayed contents, and no bytes after it.
+    pub fn finish(&mut self) -> Result<Trailer, TraceError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        match &self.trailer {
+            Some(t) => Ok(*t),
+            None => {
+                let e = TraceError {
+                    offset: self.base + self.buf.len(),
+                    message: "stream ends without a trailer".to_string(),
+                };
+                Err(self.fail(e))
+            }
+        }
+    }
+
+    /// The negotiated wire version, once the header has parsed.
+    pub fn version(&self) -> Option<u64> {
+        self.version
+    }
+
+    /// Segments fully validated and replayed so far.
+    pub fn segments_seen(&self) -> u64 {
+        self.segments_seen
+    }
+
+    /// Running totals of what the sink has received, in trailer form —
+    /// exactly the trailer [`TraceReader::salvage`] would synthesize for
+    /// the prefix delivered so far.
+    pub fn progress(&self) -> Trailer {
+        self.counts.trailer(self.segments_seen)
+    }
+
+    /// The stream's own trailer, once received and verified.
+    pub fn trailer(&self) -> Option<&Trailer> {
+        self.trailer.as_ref()
+    }
+
+    /// The sticky error, if the stream has failed.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// True once the trailer has arrived and verified: the sink holds
+    /// the complete stream.
+    pub fn is_complete(&self) -> bool {
+        self.trailer.is_some() && self.error.is_none()
+    }
+
+    /// Bytes buffered awaiting a record's completion (back-pressure
+    /// signal: bounded by the record limit plus one feed chunk).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn fail(&mut self, e: TraceError) -> TraceError {
+        if self.error.is_none() {
+            self.error = Some(e.clone());
+        }
+        e
+    }
+
+    /// Consumes `n` bytes off the front of the pending buffer,
+    /// compacting once the dead prefix is worth reclaiming.
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        if self.start >= self.buf.len() || self.start >= 64 * 1024 {
+            self.base += self.start;
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn drain<S: EventSink>(&mut self, sink: &mut S) -> Result<(), TraceError> {
+        loop {
+            let avail = &self.buf[self.start..];
+            let at = self.base + self.start;
+            let version = match self.version {
+                Some(v) => v,
+                None => {
+                    // Header: 4 magic bytes then the version varint.
+                    if avail.len() < TRACE_MAGIC.len() {
+                        return Ok(());
+                    }
+                    let vlen = match varint_extent(avail, TRACE_MAGIC.len()) {
+                        VarintExtent::NeedMore => return Ok(()),
+                        VarintExtent::Len(n) => n,
+                    };
+                    let hlen = TRACE_MAGIC.len() + vlen;
+                    let mut c = Cur::new(&avail[..hlen], at);
+                    let v = match parse_header(&mut c) {
+                        Ok(v) => v,
+                        Err(e) => return Err(self.fail(e)),
+                    };
+                    if v == TRACE_VERSION_V1 {
+                        let e = TraceError {
+                            offset: at,
+                            message: format!(
+                                "streaming ingest requires a framed trace \
+                                 (v{TRACE_VERSION_V2}+); v{TRACE_VERSION_V1} has no checksums"
+                            ),
+                        };
+                        return Err(self.fail(e));
+                    }
+                    self.version = Some(v);
+                    self.consume(hlen);
+                    continue;
+                }
+            };
+            if avail.is_empty() {
+                return Ok(());
+            }
+            if self.trailer.is_some() {
+                let e = TraceError {
+                    offset: at,
+                    message: "trailing bytes after trace trailer".to_string(),
+                };
+                return Err(self.fail(e));
+            }
+            // Frame envelope: tag, body-len varint, body, raw CRC32.
+            let tag = avail[0];
+            if tag != TAG_SEGMENT && tag != TAG_TRAILER {
+                let e = TraceError {
+                    offset: at + 1,
+                    message: format!("invalid frame tag {tag}"),
+                };
+                return Err(self.fail(e));
+            }
+            let vlen = match varint_extent(avail, 1) {
+                VarintExtent::NeedMore => return Ok(()),
+                VarintExtent::Len(n) => n,
+            };
+            let mut lc = Cur::new(&avail[..1 + vlen], at);
+            lc.pos = 1;
+            let blen = match lc.u64() {
+                Ok(v) => v,
+                Err(e) => return Err(self.fail(e)),
+            };
+            if blen > self.record_limit as u64 {
+                let e = TraceError {
+                    offset: at + 1,
+                    message: format!(
+                        "framed record declares {blen} bytes, over the \
+                         streaming record limit of {}",
+                        self.record_limit
+                    ),
+                };
+                return Err(self.fail(e));
+            }
+            let total = 1 + vlen + blen as usize + 4;
+            if avail.len() < total {
+                return Ok(());
+            }
+            let mut c = Cur::new(&avail[..total], at);
+            let record = match next_record(&mut c, version) {
+                Ok(r) => r,
+                Err(e) => return Err(self.fail(e)),
+            };
+            match record {
+                Record::Segment { index, seg } => {
+                    if index.is_some_and(|i| i != self.segments_seen) {
+                        let e = TraceError {
+                            offset: seg.payload_offset,
+                            message: format!(
+                                "segment declares index {} but is at position {}",
+                                index.unwrap_or_default(),
+                                self.segments_seen
+                            ),
+                        };
+                        return Err(self.fail(e));
+                    }
+                    // Trial-decode the whole segment before any of it
+                    // reaches the sink: a partially decodable segment
+                    // must contribute nothing, exactly like salvage.
+                    let mut scratch = PrefixCounts::default();
+                    if let Err(e) = seg.replay(&mut scratch) {
+                        return Err(self.fail(e));
+                    }
+                    let t = seg.prologue().thread;
+                    if t != self.cur_thread {
+                        sink.thread(t);
+                        self.cur_thread = t;
+                    }
+                    if let Err(e) = seg.replay(sink) {
+                        // Unreachable after a clean trial decode, but a
+                        // sticky error beats a wrong graph.
+                        return Err(self.fail(e));
+                    }
+                    self.counts.events += scratch.events;
+                    self.counts.instructions += scratch.instructions;
+                    self.counts.objects_allocated += scratch.objects_allocated;
+                    self.counts.frame_pushes += scratch.frame_pushes;
+                    self.segments_seen += 1;
+                }
+                Record::CorruptSegment { error } | Record::CorruptTrailer { error } => {
+                    return Err(self.fail(error));
+                }
+                Record::Trailer(t) => {
+                    if t != self.counts.trailer(self.segments_seen) {
+                        let e = TraceError {
+                            offset: at,
+                            message: "trailer totals disagree with segment contents".to_string(),
+                        };
+                        return Err(self.fail(e));
+                    }
+                    self.trailer = Some(t);
+                }
+            }
+            self.consume(total);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2486,5 +2814,163 @@ method twice/1 {
         r3.replay(&mut a).unwrap();
         r2.replay(&mut b).unwrap();
         assert_eq!(a.0, b.0, "identical stream across wire versions");
+    }
+
+    /// Feeds `bytes` to a fresh streaming reader in `chunk`-byte pieces,
+    /// stopping at the first error, then declares EOF.
+    fn stream_in_chunks(
+        bytes: &[u8],
+        chunk: usize,
+    ) -> (StreamLog, StreamingReader, Result<Trailer, TraceError>) {
+        let mut r = StreamingReader::new();
+        let mut log = StreamLog::default();
+        for c in bytes.chunks(chunk.max(1)) {
+            if r.feed(c, &mut log).is_err() {
+                break;
+            }
+        }
+        let fin = r.finish();
+        (log, r, fin)
+    }
+
+    /// A clean stream replays the identical event sequence as the batch
+    /// reader — thread announcements included — at every chunk size, and
+    /// the verified trailer matches.
+    #[test]
+    fn streaming_reader_matches_batch_replay_at_any_chunk_size() {
+        for program in [kitchen_sink_program(), fork_join_program()] {
+            for limit in [DEFAULT_SEGMENT_LIMIT, 4] {
+                let (bytes, ..) = record(&program, limit);
+                let batch = TraceReader::new(&bytes).expect("trace parses");
+                let mut expected = StreamLog::default();
+                batch.replay(&mut expected).unwrap();
+                for chunk in [1, 7, 64, bytes.len()] {
+                    let (log, r, fin) = stream_in_chunks(&bytes, chunk);
+                    assert_eq!(log.0, expected.0, "chunk {chunk}, limit {limit}");
+                    assert!(r.is_complete());
+                    assert_eq!(&fin.expect("clean stream finishes"), batch.trailer());
+                    assert_eq!(&r.progress(), batch.trailer());
+                    assert_eq!(r.buffered(), 0);
+                }
+            }
+        }
+    }
+
+    /// A stream cut anywhere delivers exactly the segments salvage keeps
+    /// for the same truncated buffer — the sink observes the longest
+    /// valid prefix and `finish` reports the failure.
+    #[test]
+    fn streaming_reader_matches_salvage_on_truncation() {
+        let program = call_heavy_program(12);
+        let (bytes, stats, _) = record(&program, 4);
+        assert!(stats.segments > 2);
+        for cut in (0..bytes.len()).step_by(3) {
+            let (log, r, fin) = stream_in_chunks(&bytes[..cut], 7);
+            assert!(fin.is_err(), "cut at {cut} must not finish cleanly");
+            assert!(!r.is_complete());
+            match TraceReader::salvage(&bytes[..cut]) {
+                Ok((salvaged, _)) => {
+                    let mut expected = StreamLog::default();
+                    salvaged.replay(&mut expected).unwrap();
+                    assert_eq!(log.0, expected.0, "cut at {cut}");
+                    assert_eq!(&r.progress(), salvaged.trailer(), "cut at {cut}");
+                }
+                // Cuts inside the header leave nothing to deliver.
+                Err(_) => assert!(log.0.is_empty(), "cut at {cut}"),
+            }
+        }
+    }
+
+    /// Bit flips past the header produce the same delivered prefix as
+    /// salvage: whatever validated before the flip reached the sink,
+    /// nothing after it did.
+    #[test]
+    fn streaming_reader_matches_salvage_on_bit_flips() {
+        let program = call_heavy_program(12);
+        let (bytes, ..) = record(&program, 4);
+        // Skip the 5 header bytes: a version flipped to 1 is readable by
+        // salvage but rejected by the streaming reader (by design).
+        for bit in (5 * 8..bytes.len() * 8).step_by(23) {
+            let mut m = bytes.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            let (log, r, fin) = stream_in_chunks(&m, 64);
+            assert!(fin.is_err(), "flip of bit {bit} must not finish cleanly");
+            let (salvaged, st) = TraceReader::salvage(&m).expect("header is intact");
+            assert!(!st.is_clean(), "flip of bit {bit}");
+            let mut expected = StreamLog::default();
+            salvaged.replay(&mut expected).unwrap();
+            assert_eq!(log.0, expected.0, "flip of bit {bit}");
+            assert_eq!(&r.progress(), salvaged.trailer(), "flip of bit {bit}");
+        }
+    }
+
+    /// Streaming requires the framed formats: a v1 header is rejected up
+    /// front, and bytes after the trailer are an error even when they
+    /// arrive in a later feed call.
+    #[test]
+    fn streaming_reader_rejects_v1_and_trailing_bytes() {
+        let program = kitchen_sink_program();
+        let writer = TraceWriter::with_format(Vec::new(), 8, TRACE_VERSION_V1);
+        let mut t = SinkTracer(writer);
+        Vm::new(&program).run(&mut t).expect("program runs");
+        let (v1, _) = t.0.finish().unwrap();
+        let mut r = StreamingReader::new();
+        let mut log = StreamLog::default();
+        let err = r.feed(&v1, &mut log).expect_err("v1 must be rejected");
+        assert!(err.message.contains("framed"), "{}", err.message);
+        assert!(log.0.is_empty());
+        // Sticky: the same error comes back from every later call.
+        assert!(r.feed(b"more", &mut log).is_err());
+        assert!(r.finish().is_err());
+
+        let (bytes, ..) = record(&program, 8);
+        let mut r = StreamingReader::new();
+        let mut log = StreamLog::default();
+        r.feed(&bytes, &mut log).expect("clean stream feeds");
+        assert!(r.is_complete());
+        let err = r
+            .feed(b"junk", &mut log)
+            .expect_err("post-trailer bytes must be rejected");
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    /// The per-record cap rejects oversized declared bodies before
+    /// buffering them, and out-of-sequence segments (spliced duplicates)
+    /// fail by index exactly like the batch reader.
+    #[test]
+    fn streaming_reader_enforces_record_limit_and_index_order() {
+        let program = call_heavy_program(6);
+        let (bytes, stats, _) = record(&program, 4);
+        assert!(stats.segments >= 2);
+
+        let mut r = StreamingReader::with_record_limit(8);
+        let mut log = StreamLog::default();
+        let err = r
+            .feed(&bytes, &mut log)
+            .expect_err("segments exceed an 8-byte cap");
+        assert!(err.message.contains("record limit"), "{}", err.message);
+        assert!(log.0.is_empty(), "nothing replayed past the cap");
+
+        // Splice a duplicate of segment 0 after itself.
+        let mut c = Cur::new(&bytes, 0);
+        parse_header(&mut c).unwrap();
+        let start = c.pos;
+        assert_eq!(c.u8().unwrap(), TAG_SEGMENT);
+        let blen = c.declared_len("body").unwrap();
+        c.bytes(blen).unwrap();
+        c.u32_raw().unwrap();
+        let end = c.pos;
+        let mut spliced = bytes[..end].to_vec();
+        spliced.extend_from_slice(&bytes[start..]);
+        let (log, r, fin) = stream_in_chunks(&spliced, 16);
+        assert!(fin.is_err());
+        assert!(
+            r.error().is_some_and(|e| e.message.contains("index")),
+            "{:?}",
+            r.error()
+        );
+        // Exactly segment 0 was delivered before the failure.
+        assert_eq!(r.segments_seen(), 1);
+        assert!(!log.0.is_empty());
     }
 }

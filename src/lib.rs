@@ -43,6 +43,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod serve;
+
 pub use lowutil_analyses as analyses;
 pub use lowutil_core as core;
 pub use lowutil_ir as ir;

@@ -38,6 +38,22 @@
 //!                                    snapshot without re-profiling (the
 //!                                    CSR arrays are used zero-copy)
 //! lowutil snapshot info <in.snap>    print a snapshot's header fields
+//! lowutil snapshot verify <in.snap>  per-section CRC report; exit 0 when
+//!                                    the snapshot validates, 1 when not
+//! lowutil serve <data-dir> [--listen A] [--spool D] [--programs D]
+//!                                    run the concurrent trace-ingestion
+//!                                    daemon (prints `tcp HOST:PORT`);
+//!                                    sessions stream framed traces and
+//!                                    completed ones merge into per-tenant
+//!                                    aggregates persisted in <data-dir>
+//! lowutil push <addr> <tenant> <program> <trace>
+//!                                    stream a recorded trace to a daemon
+//! lowutil query <addr> <words...>    query a daemon (`<tenant> <program>
+//!                                    hash|stats|rank|report|diff ...`, or
+//!                                    the bare `stats` / `shutdown`)
+//! lowutil cache gc <dir> [--max-bytes N] [--max-age-secs N]
+//!                                    sweep a query-cache directory down
+//!                                    to its size/age budgets
 //! lowutil diff <a.snap> <b.snap> [--min-imbalance X] [--worsen-factor X]
 //!                                    align structures across two snapshots
 //!                                    by (context, allocation-site) and
@@ -81,16 +97,17 @@ use lowutil::core::{
     CostProfiler, CsrGraph,
 };
 use lowutil::ir::{display_program, parse_program, Program};
+use lowutil::serve::{ServeConfig, Server};
 use lowutil::vm::{NullTracer, RunConfig, SinkTracer, TraceReader, TraceWriter, Vm};
 use lowutil::workloads::{workload, WorkloadSize, NAMES};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay|snapshot|diff> <file.lu|name|all> [trace|snap] [flags]"
+        "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay|snapshot|diff|serve|push|query|cache> <file.lu|name|all> [trace|snap] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N   --cache DIR   --min-imbalance X   --worsen-factor X   --fail-on-regression"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N   --cache DIR   --min-imbalance X   --worsen-factor X   --fail-on-regression   --listen ADDR   --spool DIR   --programs DIR   --unix PATH   --idle-secs N   --max-bytes N   --max-age-secs N"
     );
     ExitCode::from(2)
 }
@@ -120,6 +137,20 @@ struct Flags {
     worsen_factor: f64,
     /// `diff`: exit 3 when the diff finds a NEW or WORSENED structure.
     fail_on_regression: bool,
+    /// `serve`: TCP listen address (`--listen`, default auto-port).
+    listen: Option<String>,
+    /// `serve`: watched spool directory (`--spool DIR`).
+    spool: Option<String>,
+    /// `serve`: directory of `<name>.lu` programs (`--programs DIR`).
+    programs: Option<String>,
+    /// `serve`: unix-domain socket path (`--unix PATH`, unix hosts).
+    unix: Option<String>,
+    /// `serve`: session idle-eviction timeout (`--idle-secs N`).
+    idle_secs: Option<u64>,
+    /// `cache gc` / `serve`: query-cache size budget (`--max-bytes N`).
+    max_bytes: Option<u64>,
+    /// `cache gc` / `serve`: query-cache age budget (`--max-age-secs N`).
+    max_age_secs: Option<u64>,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -153,6 +184,13 @@ fn parse_flags(args: &[String]) -> Flags {
         min_imbalance: diff_defaults.min_imbalance,
         worsen_factor: diff_defaults.worsen_factor,
         fail_on_regression: false,
+        listen: None,
+        spool: None,
+        programs: None,
+        unix: None,
+        idle_secs: None,
+        max_bytes: None,
+        max_age_secs: None,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -220,6 +258,55 @@ fn parse_flags(args: &[String]) -> Flags {
                     f.cache = Some(v.to_string());
                 } else {
                     eprintln!("--cache needs a directory; caching stays off");
+                }
+            }
+            "--listen" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.listen = Some(v.to_string());
+                } else {
+                    eprintln!("--listen needs an address; keeping auto-port");
+                }
+            }
+            "--spool" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.spool = Some(v.to_string());
+                } else {
+                    eprintln!("--spool needs a directory; spool stays off");
+                }
+            }
+            "--programs" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.programs = Some(v.to_string());
+                } else {
+                    eprintln!("--programs needs a directory; workloads only");
+                }
+            }
+            "--unix" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.unix = Some(v.to_string());
+                } else {
+                    eprintln!("--unix needs a socket path; unix socket stays off");
+                }
+            }
+            "--idle-secs" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<u64>().ok()) {
+                    f.idle_secs = Some(v);
+                } else {
+                    eprintln!("--idle-secs needs a number; keeping the default");
+                }
+            }
+            "--max-bytes" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<u64>().ok()) {
+                    f.max_bytes = Some(v);
+                } else {
+                    eprintln!("--max-bytes needs a number; size budget stays off");
+                }
+            }
+            "--max-age-secs" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<u64>().ok()) {
+                    f.max_age_secs = Some(v);
+                } else {
+                    eprintln!("--max-age-secs needs a number; age budget stays off");
                 }
             }
             "--min-imbalance" => {
@@ -396,13 +483,16 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     // record/replay and diff take a path as a third positional argument;
-    // snapshot save/load take a subcommand plus two paths.
+    // snapshot save/load take a subcommand plus two paths; push takes
+    // four positionals; query treats every word as part of the request.
     let flag_start = match cmd {
-        "record" | "replay" | "diff" => 3,
+        "record" | "replay" | "diff" | "cache" => 3,
         "snapshot" => match target {
-            "info" => 3,
+            "info" | "verify" => 3,
             _ => 4,
         },
+        "push" => 5,
+        "query" => args.len(),
         _ => 2,
     };
     let flags = parse_flags(args.get(flag_start..).unwrap_or(&[]));
@@ -769,8 +859,128 @@ fn main() -> ExitCode {
                     println!("total instructions {}", snap.total_instructions());
                     Ok(())
                 }
-                other => Err(format!("snapshot needs save|load|info, not `{other}`")),
+                "verify" => {
+                    let snap_path = args
+                        .get(2)
+                        .ok_or("snapshot verify needs <in.snap>".to_string())?;
+                    let buf = AlignedBuf::load(snap_path)
+                        .map_err(|e| format!("cannot read {snap_path}: {e}"))?;
+                    let report = lowutil::core::verify_snapshot(&buf);
+                    if let Some((nodes, edges)) = report.declared {
+                        println!("declared  nodes {nodes}  edges {edges}");
+                    }
+                    if let Some(h) = report.content_hash {
+                        println!("content hash {h:016x}");
+                    }
+                    for s in &report.sections {
+                        println!(
+                            "section {:<11} {:>10} bytes  {}",
+                            s.name,
+                            s.len,
+                            match &s.status {
+                                Ok(()) => "ok",
+                                Err(e) => e.as_str(),
+                            }
+                        );
+                    }
+                    match &report.error {
+                        None => println!("snapshot OK"),
+                        Some(e) => {
+                            println!("snapshot CORRUPT: {e}");
+                            exit = ExitCode::FAILURE;
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(format!(
+                    "snapshot needs save|load|info|verify, not `{other}`"
+                )),
             },
+            "serve" => {
+                let cfg = ServeConfig {
+                    data_dir: std::path::PathBuf::from(target),
+                    listen: flags
+                        .listen
+                        .clone()
+                        .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                    unix_socket: flags.unix.as_ref().map(std::path::PathBuf::from),
+                    spool_dir: flags.spool.as_ref().map(std::path::PathBuf::from),
+                    programs_dir: flags.programs.as_ref().map(std::path::PathBuf::from),
+                    default_size: flags.size,
+                    graph: CostGraphConfig {
+                        slots: flags.slots,
+                        traditional_uses: flags.traditional,
+                        control_edges: flags.control,
+                        ..CostGraphConfig::default()
+                    },
+                    idle_timeout: std::time::Duration::from_secs(flags.idle_secs.unwrap_or(30)),
+                    cache_max_bytes: flags.max_bytes.or(Some(256 << 20)),
+                    cache_max_age: flags.max_age_secs.map(std::time::Duration::from_secs),
+                    ..ServeConfig::default()
+                };
+                let handle = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+                // Scripts parse this line to discover the auto-assigned
+                // port, so it must reach the pipe before blocking.
+                println!("tcp {}", handle.addr());
+                std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
+                handle.wait();
+                Ok(())
+            }
+            "push" => {
+                let addr = target;
+                let (tenant, program, trace_path) = match (args.get(2), args.get(3), args.get(4)) {
+                    (Some(t), Some(p), Some(f)) => (t.as_str(), p.as_str(), f.as_str()),
+                    _ => return Err("push needs <addr> <tenant> <program> <trace>".to_string()),
+                };
+                let bytes = std::fs::read(trace_path)
+                    .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+                let id = std::path::Path::new(trace_path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "session".to_string());
+                let response = lowutil::serve::push_trace(addr, tenant, program, &id, &bytes)
+                    .map_err(|e| format!("push to {addr}: {e}"))?;
+                print!("{response}");
+                if !response.starts_with("ok ") {
+                    exit = ExitCode::FAILURE;
+                }
+                Ok(())
+            }
+            "query" => {
+                let addr = target;
+                let words: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+                if words.is_empty() {
+                    return Err("query needs <addr> <words...>".to_string());
+                }
+                let line = match words[0] {
+                    "stats" | "shutdown" => words.join(" "),
+                    _ => format!("query {}", words.join(" ")),
+                };
+                let response = lowutil::serve::request(addr, &line)
+                    .map_err(|e| format!("query to {addr}: {e}"))?;
+                print!("{response}");
+                if response.starts_with("error ") || response.starts_with("rejected ") {
+                    exit = ExitCode::FAILURE;
+                }
+                Ok(())
+            }
+            "cache" => {
+                if target != "gc" {
+                    return Err(format!("cache needs gc, not `{target}`"));
+                }
+                let dir = args.get(2).ok_or("cache gc needs <dir>".to_string())?;
+                let stats = QueryCache::new(dir.as_str())
+                    .gc(
+                        flags.max_bytes,
+                        flags.max_age_secs.map(std::time::Duration::from_secs),
+                    )
+                    .map_err(|e| format!("cache gc {dir}: {e}"))?;
+                println!(
+                    "scanned {}  removed {}  bytes_removed {}  bytes_kept {}",
+                    stats.scanned, stats.removed, stats.bytes_removed, stats.bytes_kept
+                );
+                Ok(())
+            }
             "diff" => {
                 let a_path = target;
                 let b_path = args

@@ -1,0 +1,148 @@
+//! Fault injection against a *running* `lowutil serve` daemon: seeded
+//! mutated streams (truncations, bit flips, record splices) and
+//! mid-stream disconnects are pushed at a live server, and every bad
+//! session must either salvage-and-reject or be absorbed as a valid
+//! trace — never poison the tenant aggregate, and never blow the
+//! allocation cap.
+//!
+//! All randomness comes from `lowutil_testkit::mutate` loop seeds, so a
+//! CI failure names a seed that replays bit-for-bit locally. Sweep
+//! width is `LOWUTIL_FUZZ_SEEDS` (default 24).
+
+use lowutil::ir::Program;
+use lowutil::serve::{push_trace, request, ServeConfig, Server};
+use lowutil::vm::{SinkTracer, TraceWriter, Vm};
+use lowutil::workloads::{workload, WorkloadSize};
+use lowutil_testkit::alloc_guard::{self, GuardedAlloc};
+use lowutil_testkit::mutate::mutate;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+// The daemon threads run in this test binary, so the guard sees every
+// session's allocations: a corrupt length field that slips past stream
+// validation shows up as a peak explosion with a seed attached.
+#[global_allocator]
+static ALLOC: GuardedAlloc = GuardedAlloc;
+
+/// No mutated session may allocate more than this beyond the live heap
+/// at sweep start — the GuardedAlloc cap from the offline corruption
+/// harness, applied to the daemon path.
+const ALLOC_CAP_BYTES: usize = 512 << 20;
+
+fn fuzz_seeds() -> u64 {
+    std::env::var("LOWUTIL_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lowutil-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn record(program: &Program) -> Vec<u8> {
+    // A small segment limit yields many framed records, so splice and
+    // truncation mutations land on interesting boundaries.
+    let mut tracer = SinkTracer(TraceWriter::with_segment_limit(Vec::new(), 512));
+    Vm::new(program).run(&mut tracer).expect("workload runs");
+    tracer.0.finish().expect("trace finishes").0
+}
+
+fn rejected_count(addr: &str) -> u64 {
+    request(addr, "stats")
+        .unwrap()
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("rejected="))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn mutated_streams_never_poison_the_aggregate() {
+    let w = workload("antlr", WorkloadSize::Small);
+    let trace = record(&w.program);
+    let data = tmpdir("mutants");
+    let cfg = ServeConfig {
+        data_dir: data.clone(),
+        default_size: WorkloadSize::Small,
+        idle_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr().to_string();
+    let snap_path = data.join("tenants").join("fuzz").join("antlr@small.snap");
+
+    let resp = push_trace(&addr, "fuzz", "antlr@small", "seed-session", &trace).unwrap();
+    assert!(resp.starts_with("ok "), "{resp}");
+    let mut baseline_hash = request(&addr, "query fuzz antlr@small hash").unwrap();
+    let mut baseline_snap = std::fs::read(&snap_path).unwrap();
+    let alloc_floor = alloc_guard::reset_peak();
+
+    for seed in 0..fuzz_seeds() {
+        let (mutated, desc) = mutate(&trace, seed);
+        let resp = push_trace(&addr, "fuzz", "antlr@small", &format!("m{seed}"), &mutated)
+            .unwrap_or_else(|e| panic!("seed {seed} ({desc}): push failed: {e}"));
+        if resp.starts_with("ok ") {
+            // A self-splice no-op can reproduce a valid trace; the
+            // daemon legitimately absorbs it. Rebase the baseline.
+            baseline_hash = request(&addr, "query fuzz antlr@small hash").unwrap();
+            baseline_snap = std::fs::read(&snap_path).unwrap();
+        } else {
+            assert!(
+                resp.starts_with("rejected "),
+                "seed {seed} ({desc}): unexpected response: {resp}"
+            );
+            assert_eq!(
+                request(&addr, "query fuzz antlr@small hash").unwrap(),
+                baseline_hash,
+                "seed {seed} ({desc}): rejected session moved the content hash"
+            );
+            assert!(
+                std::fs::read(&snap_path).unwrap() == baseline_snap,
+                "seed {seed} ({desc}): rejected session rewrote the snapshot"
+            );
+        }
+        let peak = alloc_guard::peak_bytes();
+        assert!(
+            peak.saturating_sub(alloc_floor) < ALLOC_CAP_BYTES,
+            "seed {seed} ({desc}): allocation peak {peak} blew past the cap"
+        );
+    }
+
+    // Mid-stream disconnects at seeded cut points: the client vanishes
+    // without a trailer; the daemon salvages and must not absorb.
+    let before = rejected_count(&addr);
+    let cuts: Vec<usize> = (0..4)
+        .map(|i| 1 + (trace.len() - 2) * (i * 2 + 1) / 8)
+        .collect();
+    for (i, cut) in cuts.iter().enumerate() {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(format!("ingest fuzz antlr@small cut{i}\n").as_bytes())
+            .unwrap();
+        s.write_all(&trace[..*cut]).unwrap();
+        drop(s);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rejected_count(&addr) < before + cuts.len() as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnected sessions never finalized"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(
+        request(&addr, "query fuzz antlr@small hash").unwrap(),
+        baseline_hash,
+        "disconnected sessions moved the content hash"
+    );
+    assert!(
+        std::fs::read(&snap_path).unwrap() == baseline_snap,
+        "disconnected sessions rewrote the snapshot"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
