@@ -27,6 +27,7 @@
 
 use crate::cost;
 use lowutil_core::csr::{Bitset, CsrGraph, TraversalScratch};
+use lowutil_core::incr::{IncrDirty, IncrementalCsr};
 use lowutil_core::{CostGraph, NodeId};
 
 /// Answers the three per-node queries behind every cost-benefit
@@ -277,6 +278,195 @@ impl CostEngine for BatchAnalyzer<'_> {
             Inner::Snapshot { consumer_reach, .. } => consumer_reach.contains(node.index()),
             Inner::Reference(r) => r.reaches_consumer(node),
         }
+    }
+}
+
+/// Incrementally-maintained per-seed analysis results over a live
+/// [`IncrementalCsr`].
+///
+/// [`BatchAnalyzer`] precomputes every HRAC/HRAB seed from scratch each
+/// time a graph changes — correct, but O(all seeds) per absorb even
+/// when a session touched a handful of nodes. This state instead keeps
+/// the precomputed sum arrays *across* absorbs and, on each
+/// [`refresh`](IncrementalAnalyzer::refresh), re-runs the bounded
+/// kernels only for seeds whose bounded region can see the dirty set
+/// ([`CsrGraph::affected_seeds`]); every other slot is carried over
+/// unchanged. Per-node content hashes (kind, identity, frequency) guard
+/// the carry-over: any slot whose node hash moved is treated as dirty
+/// even if the delta did not name it.
+///
+/// The refreshed arrays are slot-for-slot equal to a from-scratch
+/// [`BatchAnalyzer::with_csr`] of the same graph — enforced across the
+/// workload suite by `tests/incremental.rs`.
+#[derive(Debug, Clone)]
+pub struct IncrementalAnalyzer {
+    hrac: Vec<u64>,
+    hrab: Vec<u64>,
+    consumer_reach: Bitset,
+    node_hash: Vec<u64>,
+}
+
+/// What one [`IncrementalAnalyzer::refresh`] recomputed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Precomputed seed slots in the current graph (HRAC + HRAB).
+    pub total: usize,
+    /// Seed slots whose kernels actually re-ran this refresh.
+    pub recomputed: usize,
+}
+
+impl IncrementalAnalyzer {
+    /// Full precomputation over the live view — the cold start,
+    /// equivalent to [`BatchAnalyzer::with_csr`] on the same arrays.
+    pub fn new(inc: &IncrementalCsr, jobs: usize) -> Self {
+        let csr = inc.csr();
+        let n = csr.num_nodes();
+        let (back_seeds, fwd_seeds) = seed_sets(csr, None, None);
+        let mut hrac = vec![UNCOMPUTED; n];
+        for (seed, sum) in batch_sums(csr, &back_seeds, jobs, false) {
+            hrac[seed as usize] = sum;
+        }
+        let mut hrab = vec![UNCOMPUTED; n];
+        for (seed, sum) in batch_sums(csr, &fwd_seeds, jobs, true) {
+            hrab[seed as usize] = sum;
+        }
+        IncrementalAnalyzer {
+            hrac,
+            hrab,
+            consumer_reach: csr.mark_consumer_reach(),
+            node_hash: inc.node_hashes().to_vec(),
+        }
+    }
+
+    /// Folds one absorb's dirty set into the precomputed state: remaps
+    /// surviving slots through the id shift, re-marks consumer
+    /// reachability when the structure changed, and re-runs the bounded
+    /// kernels only for seeds whose region intersects the changed
+    /// nodes. `inc` must be the view the dirty set came from.
+    pub fn refresh(
+        &mut self,
+        inc: &IncrementalCsr,
+        dirty: &IncrDirty,
+        jobs: usize,
+    ) -> RefreshStats {
+        let csr = inc.csr();
+        let n = csr.num_nodes();
+        if let Some(map) = &dirty.remap {
+            let mut hrac = vec![UNCOMPUTED; n];
+            let mut hrab = vec![UNCOMPUTED; n];
+            let mut hashes = vec![0u64; n];
+            for (old, &fin) in map.iter().enumerate() {
+                hrac[fin as usize] = self.hrac[old];
+                hrab[fin as usize] = self.hrab[old];
+                hashes[fin as usize] = self.node_hash[old];
+            }
+            self.hrac = hrac;
+            self.hrab = hrab;
+            self.node_hash = hashes;
+        }
+        if dirty.structural {
+            self.consumer_reach = csr.mark_consumer_reach();
+        }
+
+        // Changed = the delta's dirty set ∪ every node whose content
+        // hash moved (new slots hash as 0 after the remap, so inserted
+        // nodes always land here even without the dirty bit).
+        let cur = inc.node_hashes();
+        let mut changed = dirty.dirty.clone();
+        for (i, &h) in cur.iter().enumerate() {
+            if self.node_hash[i] != h {
+                changed.insert(i);
+            }
+        }
+        let back_affected = csr.affected_seeds(&changed, false);
+        let fwd_affected = csr.affected_seeds(&changed, true);
+        let (back_seeds, fwd_seeds) = seed_sets(csr, Some(&back_affected), Some(&fwd_affected));
+        for (seed, sum) in batch_sums(csr, &back_seeds, jobs, false) {
+            self.hrac[seed as usize] = sum;
+        }
+        for (seed, sum) in batch_sums(csr, &fwd_seeds, jobs, true) {
+            self.hrab[seed as usize] = sum;
+        }
+        self.node_hash = cur.to_vec();
+
+        let (all_back, all_fwd) = seed_sets(csr, None, None);
+        RefreshStats {
+            total: all_back.len() + all_fwd.len(),
+            recomputed: back_seeds.len() + fwd_seeds.len(),
+        }
+    }
+
+    /// Borrows the state as a [`CostEngine`] over the live view's CSR.
+    pub fn engine<'a>(&'a self, inc: &'a IncrementalCsr) -> IncrementalEngine<'a> {
+        IncrementalEngine {
+            csr: inc.csr(),
+            state: self,
+        }
+    }
+
+    /// The precomputed HRAC slots ([`u64::MAX`] = not a seed kind).
+    pub fn hrac_slots(&self) -> &[u64] {
+        &self.hrac
+    }
+
+    /// The precomputed HRAB slots ([`u64::MAX`] = not a seed kind).
+    pub fn hrab_slots(&self) -> &[u64] {
+        &self.hrab
+    }
+}
+
+/// The HRAC (heap-store) and HRAB (heap-store + heap-load) seed lists,
+/// optionally filtered to an affected set.
+fn seed_sets(
+    csr: &CsrGraph,
+    back_filter: Option<&Bitset>,
+    fwd_filter: Option<&Bitset>,
+) -> (Vec<u32>, Vec<u32>) {
+    let n = csr.num_nodes() as u32;
+    let mut back = Vec::new();
+    let mut fwd = Vec::new();
+    for i in 0..n {
+        let k = csr.kind(NodeId(i));
+        if k.writes_heap() && back_filter.is_none_or(|f| f.contains(i as usize)) {
+            back.push(i);
+        }
+        if (k.writes_heap() || k.reads_heap()) && fwd_filter.is_none_or(|f| f.contains(i as usize))
+        {
+            fwd.push(i);
+        }
+    }
+    (back, fwd)
+}
+
+/// A [`CostEngine`] view over an [`IncrementalAnalyzer`]'s carried
+/// state — what warm serve queries answer through.
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalEngine<'a> {
+    csr: &'a CsrGraph<'static>,
+    state: &'a IncrementalAnalyzer,
+}
+
+impl CostEngine for IncrementalEngine<'_> {
+    fn hrac(&self, node: NodeId) -> u64 {
+        let v = self.state.hrac[node.index()];
+        if v != UNCOMPUTED {
+            return v;
+        }
+        let mut scratch = TraversalScratch::for_graph(self.csr);
+        self.csr.heap_bounded_backward_sum(&mut scratch, node)
+    }
+
+    fn hrab(&self, node: NodeId) -> u64 {
+        let v = self.state.hrab[node.index()];
+        if v != UNCOMPUTED {
+            return v;
+        }
+        let mut scratch = TraversalScratch::for_graph(self.csr);
+        self.csr.heap_bounded_forward_sum(&mut scratch, node)
+    }
+
+    fn reaches_consumer(&self, node: NodeId) -> bool {
+        self.state.consumer_reach.contains(node.index())
     }
 }
 

@@ -74,7 +74,10 @@ pub mod structure;
 pub mod typestate;
 
 pub use allocsites::AllocationProfiler;
-pub use batch::{BatchAnalyzer, CostEngine, EngineChoice, ReferenceEngine, SNAPSHOT_CROSSOVER};
+pub use batch::{
+    BatchAnalyzer, CostEngine, EngineChoice, IncrementalAnalyzer, IncrementalEngine,
+    ReferenceEngine, RefreshStats, SNAPSHOT_CROSSOVER,
+};
 pub use cache::{cache_effectiveness, CacheStats};
 pub use copy::{copy_chains, copy_profiler, CopyChain, CopyDomain, CopySource};
 pub use cost::{abstract_cost, hrab, hrac, rab, rac, CostBenefitConfig, FieldCostBenefit};
@@ -87,7 +90,7 @@ pub use nullprop::{
     null_tracking_profiler, trace_null_origin, NullDomain, NullOriginReport, Nullness,
 };
 pub use optimize::{dead_instructions, eliminate_dead_instructions, ElimStats};
-pub use qcache::{params_fingerprint, CacheKey, GcStats, QueryCache};
+pub use qcache::{gc_snapshots, params_fingerprint, CacheKey, GcStats, QueryCache};
 pub use report::{
     low_utility_report, low_utility_report_batch, low_utility_report_with, render_report,
 };

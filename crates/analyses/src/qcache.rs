@@ -23,7 +23,7 @@ use lowutil_core::{fnv1a64, FieldKey, TaggedSite};
 use lowutil_ir::{AllocSiteId, FieldId};
 use std::fs;
 use std::io::{self, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
 /// Identifies one memoizable ranking: the graph (by content hash), the
@@ -173,6 +173,106 @@ impl QueryCache {
         stats.bytes_kept = total;
         Ok(stats)
     }
+}
+
+/// Sweeps per-tenant snapshot directories (`<root>/<tenant>/*.snap`)
+/// down to the given size/age budgets — [`QueryCache::gc`]'s policy
+/// applied to the serve daemon's persisted aggregates, with one extra
+/// rule: the newest `keep_latest` snapshots of every tenant are exempt
+/// from both the age and the size sweep, so an active tenant can never
+/// lose its most recent state to GC. `keep_latest` is clamped to at
+/// least 1.
+///
+/// Age expiry runs first over the unprotected entries, then — if the
+/// directory total (protected entries included) still exceeds
+/// `max_bytes` — unprotected survivors are evicted oldest-first across
+/// all tenants until the total fits or only protected entries remain.
+/// Kept files are untouched, so a daemon restart after GC restores
+/// exactly the bytes it persisted. A missing root is an empty store,
+/// not an error; non-`.snap` files and stray non-directories are
+/// ignored.
+///
+/// # Errors
+/// Propagates I/O errors other than the root not existing.
+pub fn gc_snapshots(
+    root: &Path,
+    max_bytes: Option<u64>,
+    max_age: Option<Duration>,
+    keep_latest: usize,
+) -> io::Result<GcStats> {
+    let keep_latest = keep_latest.max(1);
+    let mut stats = GcStats::default();
+    let tenants = match fs::read_dir(root) {
+        Ok(it) => it,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+        Err(e) => return Err(e),
+    };
+    let now = SystemTime::now();
+    let mut protected_bytes: u64 = 0;
+    // Unprotected candidates across all tenants: (mtime, len, path).
+    let mut pool: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+    for tenant in tenants {
+        let tenant = tenant?;
+        if !tenant.file_type()?.is_dir() {
+            continue;
+        }
+        let mut snaps: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(tenant.path())? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "snap") {
+                continue;
+            }
+            stats.scanned += 1;
+            let meta = entry.metadata().ok();
+            let mtime = meta
+                .as_ref()
+                .and_then(|m| m.modified().ok())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            snaps.push((mtime, meta.map_or(0, |m| m.len()), path));
+        }
+        // Newest first; ties broken by path so the protected set is
+        // deterministic within one timestamp granule.
+        snaps.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| b.2.cmp(&a.2)));
+        for (i, snap) in snaps.into_iter().enumerate() {
+            if i < keep_latest {
+                protected_bytes += snap.1;
+            } else {
+                pool.push(snap);
+            }
+        }
+    }
+    let mut pool_bytes: u64 = 0;
+    let mut live: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+    for (mtime, len, path) in pool {
+        let expired = match max_age {
+            Some(age) => now.duration_since(mtime).is_ok_and(|d| d > age),
+            None => false,
+        };
+        if expired {
+            fs::remove_file(&path)?;
+            stats.removed += 1;
+            stats.bytes_removed += len;
+        } else {
+            pool_bytes += len;
+            live.push((mtime, len, path));
+        }
+    }
+    if let Some(budget) = max_bytes {
+        live.sort();
+        let mut victims = live.iter();
+        while protected_bytes + pool_bytes > budget {
+            let Some((_, len, path)) = victims.next() else {
+                break;
+            };
+            fs::remove_file(path)?;
+            stats.removed += 1;
+            stats.bytes_removed += len;
+            pool_bytes -= len;
+        }
+    }
+    stats.bytes_kept = protected_bytes + pool_bytes;
+    Ok(stats)
 }
 
 /// What one [`QueryCache::gc`] sweep did.

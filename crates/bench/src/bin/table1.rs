@@ -28,9 +28,13 @@
 //! back zero-copy, ranked cold from the loaded arrays, and ranked again
 //! through the content-hash query cache under `DIR/qcache` — so the
 //! baseline separates build-from-scratch, snapshot-load, cold-query,
-//! and cached-query times. The loaded graph's canonical export is
-//! asserted byte-identical to the live one, and the cached ranking
-//! bit-identical to the cold one; the JSON gains a `store` array.
+//! and cached-query times, plus the steady-state absorb latency of a
+//! repeat session — full rebuild (re-merge + re-serialize) vs the
+//! incremental delta path (in-place CSR patch + cached-section
+//! serialize), held to identical snapshot bytes. The loaded graph's
+//! canonical export is asserted byte-identical to the live one, and the
+//! cached ranking bit-identical to the cold one; the JSON gains a
+//! `store` array.
 //!
 //! `--pipeline` (live mode only) adds a quiet sequential post-pass
 //! comparing plain, sequential-profiled, and pipelined wall times
@@ -61,8 +65,8 @@ use lowutil_bench::{
     median_time, overhead_factor, run_pipelined, run_plain, run_profiled, run_recorded,
     run_replayed,
 };
-use lowutil_core::{read_snapshot, save_snapshot, AlignedBuf};
-use lowutil_core::{CostGraph, CostGraphConfig, GraphStats};
+use lowutil_core::{read_snapshot, save_snapshot, write_snapshot, Aggregate, AlignedBuf};
+use lowutil_core::{CostGraph, CostGraphConfig, GraphStats, IncrementalCsr};
 use lowutil_ir::Program;
 use lowutil_vm::TraceReader;
 use lowutil_workloads::{map_suite, Workload, WorkloadSize, NAMES};
@@ -677,12 +681,20 @@ fn main() {
         println!();
         println!("=== persistent CSR store (cold build vs load vs cached query) ===");
         println!(
-            "{:<12} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10}",
-            "program", "snap(KiB)", "build(ms)", "save(ms)", "load(ms)", "cold-q(ms)", "warm-q(ms)"
+            "{:<12} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11} {:>11}",
+            "program",
+            "snap(KiB)",
+            "build(ms)",
+            "save(ms)",
+            "load(ms)",
+            "cold-q(ms)",
+            "warm-q(ms)",
+            "rb-abs(ms)",
+            "dt-abs(ms)"
         );
         for t in &store_times {
             println!(
-                "{:<12} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>10.3} {:>10.3}",
+                "{:<12} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>10.3} {:>10.3} {:>11.3} {:>11.3}",
                 t.name,
                 t.snapshot_bytes as f64 / 1024.0,
                 t.t_build.as_secs_f64() * 1e3,
@@ -690,6 +702,8 @@ fn main() {
                 t.t_load.as_secs_f64() * 1e3,
                 t.t_cold_query.as_secs_f64() * 1e3,
                 t.t_cached_query.as_secs_f64() * 1e3,
+                t.t_absorb_rebuild.as_secs_f64() * 1e3,
+                t.t_absorb_delta.as_secs_f64() * 1e3,
             );
         }
     }
@@ -729,6 +743,13 @@ struct StoreTiming {
     t_cold_query: Duration,
     /// Re-read the same ranking from the content-hash query cache.
     t_cached_query: Duration,
+    /// Absorb a repeat session, then re-materialize the merged graph and
+    /// re-serialize the snapshot from scratch — what `serve` did before
+    /// the incremental path.
+    t_absorb_rebuild: Duration,
+    /// Absorb the same repeat session as a delta: patch the live
+    /// incremental CSR in place and serialize from its cached sections.
+    t_absorb_delta: Duration,
 }
 
 /// Measures one workload's save/load/query cycle against `dir`. The
@@ -790,6 +811,42 @@ fn store_timing(name: &'static str, dir: &str, cache: &QueryCache, args: &Args) 
         rankings_agree(&cold, &cached),
         "cached ranking diverged from cold on {name}"
     );
+
+    // Steady-state absorb latency: the serve daemon's common case is
+    // re-absorbing a session whose structure the aggregate has already
+    // seen (a frequency-only delta). Two aggregates are fed the exact
+    // same absorb sequence; the rebuild path re-materializes the merged
+    // graph and re-serializes the snapshot from scratch after each
+    // absorb, the delta path patches the live incremental CSR in place.
+    // Identical final snapshot bytes keep the timings comparable.
+    let mut agg_rebuild = Aggregate::new();
+    agg_rebuild.absorb(&graph, instructions);
+    let (rebuild_snap, t_absorb_rebuild) = median_time(3, || {
+        let t0 = Instant::now();
+        agg_rebuild.absorb(&graph, instructions);
+        let merged = agg_rebuild.to_cost_graph();
+        let mut out = Vec::new();
+        write_snapshot(&merged, agg_rebuild.total_instructions(), &mut out)
+            .expect("in-memory snapshot succeeds");
+        (out, t0.elapsed())
+    });
+    let mut agg_delta = Aggregate::new();
+    agg_delta.absorb(&graph, instructions);
+    let mut inc = IncrementalCsr::new(&agg_delta);
+    let (delta_snap, t_absorb_delta) = median_time(3, || {
+        let t0 = Instant::now();
+        let delta = agg_delta.absorb(&graph, instructions);
+        inc.apply(&agg_delta, &delta);
+        let mut out = Vec::new();
+        inc.write_snapshot(agg_delta.total_instructions(), &mut out)
+            .expect("in-memory snapshot succeeds");
+        (out, t0.elapsed())
+    });
+    assert!(
+        rebuild_snap == delta_snap,
+        "delta-maintained snapshot diverged from rebuild on {name}"
+    );
+
     StoreTiming {
         name,
         snapshot_bytes,
@@ -798,6 +855,8 @@ fn store_timing(name: &'static str, dir: &str, cache: &QueryCache, args: &Args) 
         t_load,
         t_cold_query,
         t_cached_query,
+        t_absorb_rebuild,
+        t_absorb_delta,
     }
 }
 
@@ -944,8 +1003,9 @@ fn baseline_json(
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"snapshot_bytes\": {}, \"build_ms\": {:.3}, \
                  \"save_ms\": {:.3}, \"load_ms\": {:.3}, \"cold_query_ms\": {:.3}, \
-                 \"cached_query_ms\": {:.3}, \"load_speedup\": {:.2}, \
-                 \"cached_query_speedup\": {:.2}}}{}\n",
+                 \"cached_query_ms\": {:.3}, \"absorb_rebuild_ms\": {:.3}, \
+                 \"absorb_delta_ms\": {:.3}, \"load_speedup\": {:.2}, \
+                 \"cached_query_speedup\": {:.2}, \"absorb_speedup\": {:.2}}}{}\n",
                 t.name,
                 t.snapshot_bytes,
                 ms(t.t_build),
@@ -953,8 +1013,11 @@ fn baseline_json(
                 ms(t.t_load),
                 ms(t.t_cold_query),
                 ms(t.t_cached_query),
+                ms(t.t_absorb_rebuild),
+                ms(t.t_absorb_delta),
                 t.t_build.as_secs_f64() / t.t_load.as_secs_f64().max(1e-9),
                 t.t_cold_query.as_secs_f64() / t.t_cached_query.as_secs_f64().max(1e-9),
+                t.t_absorb_rebuild.as_secs_f64() / t.t_absorb_delta.as_secs_f64().max(1e-9),
                 if i + 1 == store_times.len() { "" } else { "," },
             ));
         }

@@ -169,6 +169,19 @@ impl ConflictStats {
         self.last = None;
     }
 
+    /// [`merge`](ConflictStats::merge) without consuming (or cloning)
+    /// the source — the per-absorb path unions hundreds of chain sets,
+    /// and cloning them first costs more than the union itself.
+    pub fn merge_from(&mut self, other: &ConflictStats) {
+        for (instr, slots) in &other.seen {
+            let entry = self.seen.entry(*instr).or_default();
+            for (slot, gs) in slots {
+                entry.entry(*slot).or_default().extend(gs.iter().copied());
+            }
+        }
+        self.last = None;
+    }
+
     /// CR for one instruction, if it was ever recorded.
     pub fn cr_of(&self, instr: InstrId) -> Option<f64> {
         let slots = self.seen.get(&instr)?;

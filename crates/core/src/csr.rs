@@ -159,6 +159,33 @@ fn word_bit(words: &[u64], i: usize) -> bool {
     words[i / 64] & (1 << (i % 64)) != 0
 }
 
+/// A structural patch against a canonical [`CsrGraph`], expressed in the
+/// *final* node numbering (after any insertions). Produced by
+/// [`crate::incr::IncrementalCsr`] from an
+/// [`AbsorbDelta`](crate::shard::AbsorbDelta) and consumed by
+/// [`CsrGraph::apply_delta`].
+#[derive(Debug, Default, Clone)]
+pub struct CsrDelta {
+    /// Frequency increments on surviving nodes, by final id.
+    pub freq_adds: Vec<(u32, u64)>,
+    /// Inserted nodes as `(final id, kind, initial frequency)`, sorted
+    /// ascending by id. Ids name positions in the *final* numbering, so
+    /// surviving old nodes fill the remaining positions in order.
+    pub new_nodes: Vec<(u32, NodeKind, u64)>,
+    /// Added edges in the final numbering. Must not duplicate existing
+    /// edges.
+    pub new_edges: Vec<(u32, u32)>,
+}
+
+impl CsrDelta {
+    /// True when the patch only bumps frequencies: node set, edges, and
+    /// boundary bitsets are untouched, so [`CsrGraph::apply_delta`] runs
+    /// in O(|freq_adds|).
+    pub fn is_freq_only(&self) -> bool {
+        self.new_nodes.is_empty() && self.new_edges.is_empty()
+    }
+}
+
 /// An immutable compressed-sparse-row snapshot of a finished dependence
 /// graph: flat predecessor/successor adjacency plus per-node frequency
 /// and kind side arrays. Node ids coincide with the source graph's
@@ -571,6 +598,247 @@ impl<'a> CsrGraph<'a> {
         }
         debug_assert_eq!(marked.words.len(), n.div_ceil(64));
         marked
+    }
+
+    /// Patches this graph in place so it equals the canonical
+    /// from-scratch build of the post-delta graph
+    /// ([`build_ordered`](CsrGraph::build_ordered) with ascending
+    /// adjacency), without re-sorting or re-hashing anything.
+    ///
+    /// Frequency-only deltas touch exactly the incremented slots —
+    /// O(|delta|). Structural deltas splice: surviving nodes keep their
+    /// adjacency bytes (remapped through the monotone id shift when
+    /// nodes are inserted), only *dirty regions* — nodes that gained an
+    /// edge — merge in their additions, and the boundary bitsets are
+    /// rebuilt only when ids shift (edge-only deltas leave them
+    /// untouched).
+    ///
+    /// Requires canonical (ascending) adjacency; `new_edges` must be in
+    /// the final numbering and free of duplicates against the existing
+    /// edge set.
+    pub fn apply_delta(&mut self, delta: &CsrDelta) {
+        if delta.is_freq_only() {
+            let freq = self.freq.to_mut();
+            for &(i, d) in &delta.freq_adds {
+                freq[i as usize] += d;
+            }
+            return;
+        }
+        let n_old = self.num_nodes();
+        let n_new = n_old + delta.new_nodes.len();
+        debug_assert!(
+            delta.new_nodes.windows(2).all(|w| w[0].0 < w[1].0)
+                && delta
+                    .new_nodes
+                    .last()
+                    .is_none_or(|l| (l.0 as usize) < n_new),
+            "new node ids must be ascending final positions"
+        );
+
+        // Final position of every surviving old node, and the inverse:
+        // which old node (if any) lands at each final position.
+        let mut remap = Vec::with_capacity(n_old);
+        let mut old_of = vec![u32::MAX; n_new];
+        {
+            let mut nn = delta.new_nodes.iter().peekable();
+            for fin in 0..n_new as u32 {
+                if nn.peek().is_some_and(|&&(id, _, _)| id == fin) {
+                    nn.next();
+                } else {
+                    old_of[fin as usize] = remap.len() as u32;
+                    remap.push(fin);
+                }
+            }
+        }
+        debug_assert_eq!(remap.len(), n_old);
+        let shifted = delta
+            .new_nodes
+            .first()
+            .is_some_and(|f| (f.0 as usize) < n_old);
+
+        // Side arrays: interleave surviving values with insertions, then
+        // apply the frequency increments at final ids.
+        if !delta.new_nodes.is_empty() {
+            let mut kind = Vec::with_capacity(n_new);
+            let mut freq = Vec::with_capacity(n_new);
+            let mut nn = delta.new_nodes.iter();
+            let mut next_new = nn.next();
+            for (fin, &old) in old_of.iter().enumerate() {
+                if let Some(&(id, k, f)) = next_new {
+                    if id as usize == fin {
+                        kind.push(k.code());
+                        freq.push(f);
+                        next_new = nn.next();
+                        continue;
+                    }
+                }
+                kind.push(self.kind[old as usize]);
+                freq.push(self.freq[old as usize]);
+            }
+            if shifted {
+                // Ids moved: rebuild the boundary bitsets from the new
+                // kind array in one O(V) pass.
+                let mut reads = Bitset::new(n_new);
+                let mut writes = Bitset::new(n_new);
+                let mut consumer = Bitset::new(n_new);
+                for (i, &code) in kind.iter().enumerate() {
+                    let k = NodeKind::from_code(code).expect("kind codes are ours");
+                    if k.reads_heap() {
+                        reads.insert(i);
+                    }
+                    if k.writes_heap() {
+                        writes.insert(i);
+                    }
+                    if k.is_consumer() {
+                        consumer.insert(i);
+                    }
+                }
+                self.reads_heap = Cow::Owned(reads.words);
+                self.writes_heap = Cow::Owned(writes.words);
+                self.consumer = Cow::Owned(consumer.words);
+            } else {
+                // Pure tail append: no id moved, so widen the existing
+                // bitsets and set only the inserted nodes' bits.
+                let words = n_new.div_ceil(64);
+                for bits in [
+                    self.reads_heap.to_mut(),
+                    self.writes_heap.to_mut(),
+                    self.consumer.to_mut(),
+                ] {
+                    bits.resize(words, 0);
+                }
+                for &(id, k, _) in &delta.new_nodes {
+                    let (w, b) = ((id / 64) as usize, 1u64 << (id % 64));
+                    if k.reads_heap() {
+                        self.reads_heap.to_mut()[w] |= b;
+                    }
+                    if k.writes_heap() {
+                        self.writes_heap.to_mut()[w] |= b;
+                    }
+                    if k.is_consumer() {
+                        self.consumer.to_mut()[w] |= b;
+                    }
+                }
+            }
+            self.kind = Cow::Owned(kind);
+            self.freq = Cow::Owned(freq);
+        }
+        let freq = self.freq.to_mut();
+        for &(i, d) in &delta.freq_adds {
+            freq[i as usize] += d;
+        }
+
+        // Adjacency: one forward pass per direction. Untouched surviving
+        // nodes copy their slice (targets remapped through the strictly
+        // monotone shift, which preserves ascending order); dirty nodes
+        // merge their sorted additions in.
+        let mut fwd = delta.new_edges.clone();
+        fwd.sort_unstable();
+        let mut rev: Vec<(u32, u32)> = delta.new_edges.iter().map(|&(a, b)| (b, a)).collect();
+        rev.sort_unstable();
+        let splice = |off_old: &[u32], adj_old: &[u32], adds: &[(u32, u32)]| {
+            let mut off = Vec::with_capacity(n_new + 1);
+            let mut adj = Vec::with_capacity(adj_old.len() + adds.len());
+            off.push(0u32);
+            let mut a = 0usize;
+            for (fin, &old) in old_of.iter().enumerate() {
+                let start = a;
+                while a < adds.len() && adds[a].0 as usize == fin {
+                    a += 1;
+                }
+                let news = &adds[start..a];
+                if old == u32::MAX {
+                    adj.extend(news.iter().map(|&(_, t)| t));
+                } else {
+                    let o = old as usize;
+                    let olds = &adj_old[off_old[o] as usize..off_old[o + 1] as usize];
+                    if news.is_empty() && !shifted {
+                        adj.extend_from_slice(olds);
+                    } else {
+                        // Sorted two-pointer merge of the remapped old
+                        // targets and the new ones.
+                        let mut i = 0;
+                        let mut j = 0;
+                        while i < olds.len() || j < news.len() {
+                            let ot = olds.get(i).map(|&t| remap[t as usize]);
+                            let nt = news.get(j).map(|&(_, t)| t);
+                            match (ot, nt) {
+                                (Some(x), Some(y)) if x <= y => {
+                                    adj.push(x);
+                                    i += 1;
+                                }
+                                (Some(_), Some(y)) => {
+                                    adj.push(y);
+                                    j += 1;
+                                }
+                                (Some(x), None) => {
+                                    adj.push(x);
+                                    i += 1;
+                                }
+                                (None, Some(y)) => {
+                                    adj.push(y);
+                                    j += 1;
+                                }
+                                (None, None) => unreachable!(),
+                            }
+                        }
+                    }
+                }
+                off.push(adj.len() as u32);
+            }
+            (off, adj)
+        };
+        let (so, sa) = splice(&self.succ_off, &self.succ_adj, &fwd);
+        let (po, pa) = splice(&self.pred_off, &self.pred_adj, &rev);
+        self.succ_off = Cow::Owned(so);
+        self.succ_adj = Cow::Owned(sa);
+        self.pred_off = Cow::Owned(po);
+        self.pred_adj = Cow::Owned(pa);
+    }
+
+    /// Over-approximates the seeds whose bounded slice (HRAC when
+    /// `forward` is false, HRAB when true) can differ after the nodes in
+    /// `dirty` changed — new nodes, frequency bumps, or endpoints of
+    /// added edges. Everything *not* returned provably kept its exact
+    /// sum, so cached per-seed results for it stay bit-exact.
+    ///
+    /// Derivation: node `m ≠ s` contributes to seed `s`'s bounded slice
+    /// only if `m` is non-boundary and a path `m → … → s` exists whose
+    /// interior is non-boundary (the kernel never traverses *through* a
+    /// boundary node, but may *end* on any seed). So the affected seeds
+    /// of a dirty `d` are `d` itself plus the closure over non-boundary
+    /// nodes downstream of `d` (upstream for HRAB) — one bounded sweep
+    /// per refresh, not per seed.
+    pub fn affected_seeds(&self, dirty: &Bitset, forward: bool) -> Bitset {
+        let n = self.num_nodes();
+        let boundary = if forward {
+            &self.writes_heap
+        } else {
+            &self.reads_heap
+        };
+        let mut affected = Bitset::new(n);
+        let mut traversed = Bitset::new(n);
+        let mut stack: Vec<u32> = Vec::new();
+        dirty.for_each_set(|i| {
+            affected.insert(i);
+            if !word_bit(boundary, i) && traversed.insert(i) {
+                stack.push(i as u32);
+            }
+        });
+        while let Some(m) = stack.pop() {
+            let next = if forward {
+                self.preds(m)
+            } else {
+                self.succs(m)
+            };
+            for &t in next {
+                affected.insert(t as usize);
+                if !word_bit(boundary, t as usize) && traversed.insert(t as usize) {
+                    stack.push(t);
+                }
+            }
+        }
+        affected
     }
 
     /// Full (unbounded) backward reachability from `seeds`, seeds

@@ -46,7 +46,7 @@ impl fmt::Display for ReadError {
 
 impl Error for ReadError {}
 
-fn field_key_token(f: FieldKey) -> String {
+pub(crate) fn field_key_token(f: FieldKey) -> String {
     match f {
         FieldKey::Field(id) => format!("f{}", id.0),
         FieldKey::Element => "elm".to_string(),
@@ -65,7 +65,7 @@ fn parse_field_key(tok: &str) -> Option<FieldKey> {
     }
 }
 
-fn kind_token(k: NodeKind) -> &'static str {
+pub(crate) fn kind_token(k: NodeKind) -> &'static str {
     match k {
         NodeKind::Plain => "plain",
         NodeKind::Alloc => "alloc",
@@ -111,6 +111,80 @@ pub fn canonical_order(g: &DepGraph<CostElem>) -> Vec<NodeId> {
     order
 }
 
+/// Writes one canonical `node` record — the single source of the line
+/// format, shared with the incremental writer
+/// ([`crate::incr::IncrementalCsr`]).
+pub(crate) fn write_node_line<W: Write>(
+    mut w: W,
+    id: u32,
+    instr: InstrId,
+    elem: CostElem,
+    kind: NodeKind,
+    freq: u64,
+) -> io::Result<()> {
+    let elem = match elem {
+        CostElem::Ctx(s) => format!("c{s}"),
+        CostElem::NoCtx => "-".to_string(),
+    };
+    writeln!(
+        w,
+        "node {} {} {} {} {} {}",
+        id,
+        instr.method.0,
+        instr.pc,
+        elem,
+        kind_token(kind),
+        freq
+    )
+}
+
+/// Writes one canonical `effect` record (shared with the incremental
+/// writer).
+pub(crate) fn write_effect_line<W: Write>(mut w: W, id: u32, e: &HeapEffect) -> io::Result<()> {
+    match e {
+        HeapEffect::Alloc { site } => {
+            writeln!(w, "effect {} alloc {} {}", id, site.site.0, site.slot)
+        }
+        HeapEffect::Load { site, field } => writeln!(
+            w,
+            "effect {} load {} {} {}",
+            id,
+            site.site.0,
+            site.slot,
+            field_key_token(*field)
+        ),
+        HeapEffect::Store { site, field } => writeln!(
+            w,
+            "effect {} store {} {} {}",
+            id,
+            site.site.0,
+            site.slot,
+            field_key_token(*field)
+        ),
+        HeapEffect::LoadStatic(s) => writeln!(w, "effect {} loadstatic {}", id, s.0),
+        HeapEffect::StoreStatic(s) => writeln!(w, "effect {} storestatic {}", id, s.0),
+    }
+}
+
+/// Writes one canonical `pointsto` record (shared with the incremental
+/// writer).
+pub(crate) fn write_pointsto_line<W: Write>(
+    mut w: W,
+    site: TaggedSite,
+    field: FieldKey,
+    target: TaggedSite,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "pointsto {} {} {} {} {}",
+        site.site.0,
+        site.slot,
+        field_key_token(field),
+        target.site.0,
+        target.slot
+    )
+}
+
 /// Writes a finished graph to the compact text format.
 ///
 /// The output is *canonical*: nodes are sorted by `(method, pc, elem)`
@@ -138,20 +212,7 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
     }
     for (new, &old) in order.iter().enumerate() {
         let n = g.node(old);
-        let elem = match n.elem {
-            CostElem::Ctx(s) => format!("c{s}"),
-            CostElem::NoCtx => "-".to_string(),
-        };
-        writeln!(
-            w,
-            "node {} {} {} {} {} {}",
-            new,
-            n.instr.method.0,
-            n.instr.pc,
-            elem,
-            kind_token(n.kind),
-            n.freq
-        )?;
+        write_node_line(&mut w, new as u32, n.instr, n.elem, n.kind, n.freq)?;
     }
     let canon = &canon;
     let mut edges: Vec<(u32, u32)> = g
@@ -177,43 +238,13 @@ pub fn write_cost_graph<W: Write>(gcost: &CostGraph, mut w: W) -> io::Result<()>
     for &old in &order {
         let id = NodeId(canon[old.index()]);
         if let Some(e) = gcost.effect(old) {
-            match e {
-                HeapEffect::Alloc { site } => {
-                    writeln!(w, "effect {} alloc {} {}", id.0, site.site.0, site.slot)?
-                }
-                HeapEffect::Load { site, field } => writeln!(
-                    w,
-                    "effect {} load {} {} {}",
-                    id.0,
-                    site.site.0,
-                    site.slot,
-                    field_key_token(*field)
-                )?,
-                HeapEffect::Store { site, field } => writeln!(
-                    w,
-                    "effect {} store {} {} {}",
-                    id.0,
-                    site.site.0,
-                    site.slot,
-                    field_key_token(*field)
-                )?,
-                HeapEffect::LoadStatic(s) => writeln!(w, "effect {} loadstatic {}", id.0, s.0)?,
-                HeapEffect::StoreStatic(s) => writeln!(w, "effect {} storestatic {}", id.0, s.0)?,
-            }
+            write_effect_line(&mut w, id.0, e)?;
         }
     }
     for site in gcost.objects() {
         for field in gcost.fields_of(site) {
             for target in gcost.points_to(site, field) {
-                writeln!(
-                    w,
-                    "pointsto {} {} {} {} {}",
-                    site.site.0,
-                    site.slot,
-                    field_key_token(field),
-                    target.site.0,
-                    target.slot
-                )?;
+                write_pointsto_line(&mut w, site, field, target)?;
             }
         }
     }

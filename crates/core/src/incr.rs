@@ -1,0 +1,719 @@
+//! Incremental maintenance of the canonical CSR view of an
+//! [`Aggregate`] — the serve daemon's steady-state absorb path.
+//!
+//! PR 9's daemon paid a full [`Aggregate::to_cost_graph`] rebuild plus a
+//! from-scratch canonical CSR build, text render, and content hash on
+//! *every* session absorb — O(whole graph) work for what is usually a
+//! tiny per-session delta. [`IncrementalCsr`] keeps the canonical node
+//! order, the CSR arrays, the binary snapshot's section bytes (with
+//! their CRCs), the content-hash accumulators, and the canonical text
+//! export alive across absorbs, and patches them from the
+//! [`AbsorbDelta`] each absorb returns:
+//!
+//! - **Frequency-only deltas** (the steady state of a long-lived tenant:
+//!   every structure the workload can build has been seen, sessions only
+//!   re-weigh it) patch the CSR `freq` slots, the `FREQ` snapshot
+//!   section, the per-node hashes, and the multiset content hash in
+//!   O(touched nodes) — no text formatting, no re-serialization, no
+//!   whole-graph hashing. The node text section is merely marked stale
+//!   and re-rendered if an export is ever asked for.
+//! - **Structural deltas** splice the CSR through
+//!   [`CsrGraph::apply_delta`] (surviving adjacency is copied, only dirty
+//!   regions merge) and re-render exactly the sections the delta touched.
+//!
+//! The content hash is maintainable in O(delta) because
+//! [`content_hash`](crate::store::content_hash) is an order-independent
+//! multiset hash over records keyed by node *identity* (never canonical
+//! index): inserting a node renumbers its neighbours without changing
+//! any other record's hash, and a frequency bump swaps one node-record
+//! hash inside a wrapping sum.
+//!
+//! Everything cached is bit-identical to the from-scratch rebuild: the
+//! export equals [`write_cost_graph`](crate::export::write_cost_graph) of
+//! [`Aggregate::to_cost_graph`], the content hash equals
+//! [`content_hash`](crate::store::content_hash) of it, and
+//! [`IncrementalCsr::write_snapshot`] produces the same bytes as
+//! [`write_snapshot`](crate::store::write_snapshot) — enforced by the
+//! workload-sweep and property tests in `tests/incremental.rs`.
+//!
+//! [`IncrDirty`] reports which canonical nodes an absorb touched, so the
+//! analysis layer re-runs per-seed kernels only for seeds whose bounded
+//! region intersects the dirty set (see
+//! [`CsrGraph::affected_seeds`]).
+
+use crate::csr::{Bitset, CsrDelta, CsrGraph};
+use crate::export::{elem_rank, write_effect_line, write_node_line, write_pointsto_line};
+use crate::fx::FxHashMap;
+use crate::gcost::{FieldKey, HeapEffect, TaggedSite};
+use crate::graph::{NodeId, NodeKind};
+use crate::shard::{AbsorbDelta, AbstractNode, Aggregate};
+use crate::store::{
+    combine_content_hash, crc32, edge_record_hash, effect_code, effect_record_hash,
+    node_record_hash_from_prefix, node_record_prefix, pointsto_record_hash, refedge_record_hash,
+    u32s_le, u64s_le, write_snapshot_sections, ContentSums, SnapshotMeta,
+};
+use std::io::{self, Write};
+
+/// The canonical sort key shared with [`Aggregate::to_cost_graph`] and
+/// [`crate::export::canonical_order`].
+#[inline]
+fn canon_key(k: &AbstractNode) -> (u32, u32, u64) {
+    (k.0.method.0, k.0.pc, elem_rank(k.1))
+}
+
+// Indices into the cached snapshot-section array, in the on-disk
+// `SECTION_IDS` order of `store.rs`.
+const SEC_KIND: usize = 0;
+const SEC_FREQ: usize = 1;
+const SEC_SUCC_OFF: usize = 2;
+const SEC_SUCC_ADJ: usize = 3;
+const SEC_PRED_OFF: usize = 4;
+const SEC_PRED_ADJ: usize = 5;
+const SEC_READS: usize = 6;
+const SEC_WRITES: usize = 7;
+const SEC_CONSUMER: usize = 8;
+const SEC_NODE_INSTR: usize = 9;
+const SEC_NODE_ELEM: usize = 10;
+const SEC_EFFECTS: usize = 11;
+const SEC_REF_EDGES: usize = 12;
+const SEC_POINTS_TO: usize = 13;
+
+/// What one [`IncrementalCsr::apply`] changed, in final (canonical) node
+/// ids — the contract between the graph layer and incremental analysis
+/// state (`lowutil-analyses`' `IncrementalAnalyzer`).
+#[derive(Debug, Clone)]
+pub struct IncrDirty {
+    /// Final ids of nodes whose frequency changed, that were inserted,
+    /// or that gained an edge. Cached per-seed sums stay exact for every
+    /// seed whose bounded region avoids these nodes.
+    pub dirty: Bitset,
+    /// When nodes were inserted: `remap[old]` is the final id of the
+    /// node previously numbered `old`. `None` when the node set is
+    /// unchanged.
+    pub remap: Option<Vec<u32>>,
+    /// Whether the node set or edge set changed (consumer reachability
+    /// must be re-marked). Frequency-only absorbs leave it `false`.
+    pub structural: bool,
+}
+
+/// A live, incrementally-maintained canonical view of an [`Aggregate`]:
+/// CSR arrays, per-node content hashes, the binary snapshot sections,
+/// and the canonical text export, all patched in O(delta)-ish work per
+/// absorb instead of rebuilt from scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalCsr {
+    /// Final id → abstract node, canonical `(method, pc, elem)` order.
+    order: Vec<AbstractNode>,
+    /// Abstract node → final id.
+    index: FxHashMap<AbstractNode, u32>,
+    csr: CsrGraph<'static>,
+    node_hash: Vec<u64>,
+    /// Cached FNV state over each node's immutable record part (tag,
+    /// identity, kind) — a frequency bump folds 8 bytes instead of
+    /// re-hashing the whole 26-byte record.
+    hash_prefix: Vec<u64>,
+    instr_instances: u64,
+    shadow_heap_bytes: u64,
+    /// Multiset content-hash accumulators (see
+    /// [`content_hash`](crate::store::content_hash)).
+    sums: ContentSums,
+    content_hash: u64,
+    /// Cached snapshot section bodies, `SECTION_IDS` order. A
+    /// frequency-only absorb patches `FREQ` bytes in place; structural
+    /// absorbs re-derive exactly the sections they touched.
+    secs: [Vec<u8>; 14],
+    /// Per-section CRC32s of `secs` — recomputed only for sections that
+    /// changed, so a steady-state save never re-checksums the graph.
+    crcs: [u32; 14],
+    // Cached canonical text export, split at record-type boundaries.
+    meta_bytes: Vec<u8>,
+    node_bytes: Vec<u8>,
+    edge_bytes: Vec<u8>,
+    refedge_bytes: Vec<u8>,
+    effect_bytes: Vec<u8>,
+    pointsto_bytes: Vec<u8>,
+    /// `node_bytes` is stale (frequency-only absorbs skip the render;
+    /// [`export_bytes`](IncrementalCsr::export_bytes) rebuilds on read).
+    node_text_dirty: bool,
+}
+
+impl IncrementalCsr {
+    /// Builds the full canonical view of `agg` from scratch — the first
+    /// absorb of a tenant, or a restore from snapshot. Subsequent
+    /// absorbs go through [`apply`](IncrementalCsr::apply).
+    pub fn new(agg: &Aggregate) -> IncrementalCsr {
+        let mut order: Vec<AbstractNode> = agg.nodes_map().keys().copied().collect();
+        order.sort_unstable_by_key(canon_key);
+        let index: FxHashMap<AbstractNode, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        let n = order.len();
+
+        let nodes = agg.nodes_map();
+        let mut kind = Vec::with_capacity(n);
+        let mut freq = Vec::with_capacity(n);
+        let mut hashes = Vec::with_capacity(n);
+        let mut prefixes = Vec::with_capacity(n);
+        let mut node_sum = 0u64;
+        for k in &order {
+            let (kd, fq) = nodes[k];
+            kind.push(kd.code());
+            freq.push(fq);
+            let p = node_record_prefix(k.0, k.1, kd);
+            let h = node_record_hash_from_prefix(p, fq);
+            node_sum = node_sum.wrapping_add(h);
+            hashes.push(h);
+            prefixes.push(p);
+        }
+
+        let mut edge_sum = 0u64;
+        let mut fwd: Vec<(u32, u32)> = agg
+            .edges_set()
+            .iter()
+            .map(|(a, b)| {
+                edge_sum = edge_sum.wrapping_add(edge_record_hash(*a, *b));
+                (index[a], index[b])
+            })
+            .collect();
+        fwd.sort_unstable();
+        let mut rev: Vec<(u32, u32)> = fwd.iter().map(|&(a, b)| (b, a)).collect();
+        rev.sort_unstable();
+        let (succ_off, succ_adj) = offsets_of(n, &fwd);
+        let (pred_off, pred_adj) = offsets_of(n, &rev);
+
+        let mut reads = Bitset::new(n);
+        let mut writes = Bitset::new(n);
+        let mut consumer = Bitset::new(n);
+        for (i, &code) in kind.iter().enumerate() {
+            let k = NodeKind::from_code(code).expect("kind codes are ours");
+            if k.reads_heap() {
+                reads.insert(i);
+            }
+            if k.writes_heap() {
+                writes.insert(i);
+            }
+            if k.is_consumer() {
+                consumer.insert(i);
+            }
+        }
+
+        let csr = CsrGraph::from_raw_parts(
+            kind.into(),
+            freq.into(),
+            succ_off.into(),
+            succ_adj.into(),
+            pred_off.into(),
+            pred_adj.into(),
+            reads.words().to_vec().into(),
+            writes.words().to_vec().into(),
+            consumer.words().to_vec().into(),
+        )
+        .expect("arrays built from the aggregate are structurally valid");
+
+        let mut inc = IncrementalCsr {
+            order,
+            index,
+            csr,
+            node_hash: hashes,
+            hash_prefix: prefixes,
+            instr_instances: 0,
+            shadow_heap_bytes: 0,
+            sums: ContentSums {
+                nodes: n as u64,
+                edges: 0,
+                node_sum,
+                edge_sum,
+                ref_sum: 0,
+                eff_sum: 0,
+                pts_sum: 0,
+            },
+            content_hash: 0,
+            secs: Default::default(),
+            crcs: [0; 14],
+            meta_bytes: Vec::new(),
+            node_bytes: Vec::new(),
+            edge_bytes: Vec::new(),
+            refedge_bytes: Vec::new(),
+            effect_bytes: Vec::new(),
+            pointsto_bytes: Vec::new(),
+            node_text_dirty: false,
+        };
+        inc.sums.edges = inc.csr.num_edges() as u64;
+        inc.rebuild_csr_secs();
+        inc.render_node_bytes();
+        inc.render_edge_bytes();
+        inc.build_refedges(agg);
+        inc.build_effects(agg);
+        inc.build_points_to(agg);
+        inc.build_node_label_secs();
+        inc.refresh_all_crcs();
+        inc.combine(agg);
+        inc
+    }
+
+    /// Patches the view with what one [`Aggregate::absorb`] changed.
+    /// `agg` must be the aggregate the delta was just absorbed into.
+    /// Returns the dirty set in final node ids.
+    ///
+    /// Frequency-only deltas patch the CSR `freq` slots, the `FREQ`
+    /// snapshot section, and the content-hash accumulators in O(touched
+    /// nodes) — no formatting, no sorting, no whole-graph hashing.
+    /// Structural deltas splice through [`CsrGraph::apply_delta`] and
+    /// re-render exactly the sections the delta touched.
+    pub fn apply(&mut self, agg: &Aggregate, delta: &AbsorbDelta) -> IncrDirty {
+        if delta.is_freq_only() {
+            let mut csr_delta = CsrDelta::default();
+            let mut dirty = Bitset::new(self.order.len());
+            csr_delta.freq_adds.reserve(delta.freq_adds.len());
+            for (k, d) in &delta.freq_adds {
+                let i = self.index[k];
+                csr_delta.freq_adds.push((i, *d));
+                dirty.insert(i as usize);
+            }
+            self.csr.apply_delta(&csr_delta);
+            for &(i, _) in &csr_delta.freq_adds {
+                let at = i as usize;
+                let freq = self.csr.freq(NodeId(i));
+                let h = node_record_hash_from_prefix(self.hash_prefix[at], freq);
+                let old = std::mem::replace(&mut self.node_hash[at], h);
+                self.sums.node_sum = self.sums.node_sum.wrapping_sub(old).wrapping_add(h);
+                self.secs[SEC_FREQ][at * 8..at * 8 + 8].copy_from_slice(&freq.to_le_bytes());
+            }
+            self.crcs[SEC_FREQ] = crc32(&self.secs[SEC_FREQ]);
+            self.node_text_dirty = true;
+            self.combine(agg);
+            return IncrDirty {
+                dirty,
+                remap: None,
+                structural: false,
+            };
+        }
+
+        // Structural absorb: merge the new keys into the canonical
+        // order, splice the CSR, then re-render only what changed.
+        let n_old = self.order.len();
+        let mut new_nodes = delta.new_nodes.clone();
+        new_nodes.sort_unstable_by_key(|(k, _, _)| canon_key(k));
+        let n_new = n_old + new_nodes.len();
+
+        let mut remap: Option<Vec<u32>> = None;
+        let mut csr_new_nodes: Vec<(u32, NodeKind, u64)> = Vec::with_capacity(new_nodes.len());
+        if !new_nodes.is_empty() {
+            let mut order_new: Vec<AbstractNode> = Vec::with_capacity(n_new);
+            let mut map_old: Vec<u32> = Vec::with_capacity(n_old);
+            let mut old_it = self.order.iter().peekable();
+            let mut new_it = new_nodes.iter().peekable();
+            while order_new.len() < n_new {
+                let fin = order_new.len() as u32;
+                let take_new = match (old_it.peek(), new_it.peek()) {
+                    (Some(o), Some((k, _, _))) => canon_key(k) < canon_key(o),
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if take_new {
+                    let &(k, kind, freq) = new_it.next().expect("peeked");
+                    csr_new_nodes.push((fin, kind, freq));
+                    order_new.push(k);
+                } else {
+                    map_old.push(fin);
+                    order_new.push(*old_it.next().expect("peeked"));
+                }
+            }
+            debug_assert_eq!(map_old.len(), n_old);
+            self.order = order_new;
+            self.index = self
+                .order
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u32))
+                .collect();
+            remap = Some(map_old);
+        }
+
+        let shifted = csr_new_nodes
+            .first()
+            .is_some_and(|f| (f.0 as usize) < n_old);
+        let mut dirty = Bitset::new(n_new);
+        let mut csr_delta = CsrDelta {
+            freq_adds: Vec::with_capacity(delta.freq_adds.len()),
+            new_nodes: csr_new_nodes,
+            new_edges: Vec::with_capacity(delta.new_edges.len()),
+        };
+        for &(fin, _, _) in &csr_delta.new_nodes {
+            dirty.insert(fin as usize);
+        }
+        for (k, d) in &delta.freq_adds {
+            let i = self.index[k];
+            csr_delta.freq_adds.push((i, *d));
+            dirty.insert(i as usize);
+        }
+        for (a, b) in &delta.new_edges {
+            // Edge records hash by endpoint identity, so new edges fold
+            // into the sum without touching any surviving record.
+            self.sums.edge_sum = self.sums.edge_sum.wrapping_add(edge_record_hash(*a, *b));
+            let (a, b) = (self.index[a], self.index[b]);
+            csr_delta.new_edges.push((a, b));
+            dirty.insert(a as usize);
+            dirty.insert(b as usize);
+        }
+        self.csr.apply_delta(&csr_delta);
+        self.sums.edges = self.csr.num_edges() as u64;
+
+        // Per-node hashes: O(V) refresh — 26 bytes of FNV per node, far
+        // below any render cost; avoids tracking which slots moved.
+        self.node_hash.clear();
+        self.node_hash.reserve(n_new);
+        self.hash_prefix.clear();
+        self.hash_prefix.reserve(n_new);
+        let mut node_sum = 0u64;
+        for (i, k) in self.order.iter().enumerate() {
+            let id = NodeId(i as u32);
+            let p = node_record_prefix(k.0, k.1, self.csr.kind(id));
+            let h = node_record_hash_from_prefix(p, self.csr.freq(id));
+            node_sum = node_sum.wrapping_add(h);
+            self.node_hash.push(h);
+            self.hash_prefix.push(p);
+        }
+        self.sums.node_sum = node_sum;
+        self.sums.nodes = n_new as u64;
+
+        // Re-render exactly the sections this delta can have changed.
+        // Structural absorbs always invalidate the CSR-derived sections
+        // (adjacency spliced, frequencies bumped, bitsets regrown).
+        self.rebuild_csr_secs();
+        self.render_node_bytes();
+        self.node_text_dirty = false;
+        if !csr_delta.new_edges.is_empty() || shifted {
+            self.render_edge_bytes();
+        }
+        if !delta.new_ref_edges.is_empty() || shifted {
+            self.build_refedges(agg);
+        }
+        if !delta.effects_set.is_empty() || shifted {
+            self.build_effects(agg);
+        }
+        if !delta.new_points_to.is_empty() || !delta.effects_set.is_empty() {
+            self.build_points_to(agg);
+        }
+        if !csr_delta.new_nodes.is_empty() {
+            self.build_node_label_secs();
+        }
+        self.refresh_all_crcs();
+        self.combine(agg);
+
+        IncrDirty {
+            dirty,
+            remap,
+            structural: !csr_delta.new_nodes.is_empty() || !csr_delta.new_edges.is_empty(),
+        }
+    }
+
+    /// The live canonical CSR.
+    pub fn csr(&self) -> &CsrGraph<'static> {
+        &self.csr
+    }
+
+    /// Number of canonical nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of directed dependence edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// The maintained content hash — O(1) to read. Equals
+    /// [`content_hash`](crate::store::content_hash) of
+    /// [`Aggregate::to_cost_graph`].
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Per-node content hashes in final id order (see the module docs).
+    pub fn node_hashes(&self) -> &[u64] {
+        &self.node_hash
+    }
+
+    /// The abstract node at final id `i`.
+    pub fn node_key(&self, i: usize) -> AbstractNode {
+        self.order[i]
+    }
+
+    /// The final id of an abstract node, if present.
+    pub fn id_of(&self, k: &AbstractNode) -> Option<u32> {
+        self.index.get(k).copied()
+    }
+
+    /// The canonical text export — byte-identical to
+    /// [`write_cost_graph`](crate::export::write_cost_graph) of the
+    /// materialized aggregate. The node section is re-rendered here when
+    /// frequency-only absorbs left it stale; everything else is cached.
+    pub fn export_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            self.meta_bytes.len()
+                + self.node_bytes.len()
+                + self.edge_bytes.len()
+                + self.refedge_bytes.len()
+                + self.effect_bytes.len()
+                + self.pointsto_bytes.len(),
+        );
+        out.extend_from_slice(&self.meta_bytes);
+        if self.node_text_dirty {
+            self.write_node_section(&mut out);
+        } else {
+            out.extend_from_slice(&self.node_bytes);
+        }
+        out.extend_from_slice(&self.edge_bytes);
+        out.extend_from_slice(&self.refedge_bytes);
+        out.extend_from_slice(&self.effect_bytes);
+        out.extend_from_slice(&self.pointsto_bytes);
+        out
+    }
+
+    /// Serializes the live view as snapshot format v1 — byte-identical
+    /// to [`write_snapshot`](crate::store::write_snapshot) of the
+    /// materialized aggregate, without materializing it: all fourteen
+    /// section bodies and their CRCs are served from the cache.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    pub fn write_snapshot<W: Write>(&self, total_instructions: u64, w: W) -> io::Result<()> {
+        write_snapshot_sections(
+            &SnapshotMeta {
+                content_hash: self.content_hash,
+                nodes: self.order.len() as u64,
+                edges: self.csr.num_edges() as u64,
+                instr_instances: self.instr_instances,
+                shadow_heap_bytes: self.shadow_heap_bytes,
+                total_instructions,
+            },
+            self.secs.each_ref().map(Vec::as_slice),
+            Some(&self.crcs),
+            w,
+        )
+    }
+
+    /// Re-derives the nine CSR-mirroring snapshot sections from the live
+    /// arrays. Structural path only; frequency-only absorbs patch
+    /// `FREQ` bytes in place instead.
+    fn rebuild_csr_secs(&mut self) {
+        self.secs[SEC_KIND] = self.csr.kind_codes().to_vec();
+        self.secs[SEC_FREQ] = u64s_le(self.csr.freqs());
+        self.secs[SEC_SUCC_OFF] = u32s_le(self.csr.succ_offsets());
+        self.secs[SEC_SUCC_ADJ] = u32s_le(self.csr.succ_targets());
+        self.secs[SEC_PRED_OFF] = u32s_le(self.csr.pred_offsets());
+        self.secs[SEC_PRED_ADJ] = u32s_le(self.csr.pred_targets());
+        self.secs[SEC_READS] = u64s_le(self.csr.reads_heap_words());
+        self.secs[SEC_WRITES] = u64s_le(self.csr.writes_heap_words());
+        self.secs[SEC_CONSUMER] = u64s_le(self.csr.consumer_words());
+    }
+
+    fn refresh_all_crcs(&mut self) {
+        for (crc, sec) in self.crcs.iter_mut().zip(&self.secs) {
+            *crc = crc32(sec);
+        }
+    }
+
+    fn write_node_section(&self, out: &mut Vec<u8>) {
+        for (i, k) in self.order.iter().enumerate() {
+            let id = NodeId(i as u32);
+            write_node_line(
+                &mut *out,
+                i as u32,
+                k.0,
+                k.1,
+                self.csr.kind(id),
+                self.csr.freq(id),
+            )
+            .expect("writing to a Vec cannot fail");
+        }
+    }
+
+    fn render_node_bytes(&mut self) {
+        let mut out = std::mem::take(&mut self.node_bytes);
+        out.clear();
+        self.write_node_section(&mut out);
+        self.node_bytes = out;
+    }
+
+    fn render_edge_bytes(&mut self) {
+        let mut out = std::mem::take(&mut self.edge_bytes);
+        out.clear();
+        let offs = self.csr.succ_offsets();
+        let adj = self.csr.succ_targets();
+        // Canonical adjacency is ascending per node, so per-node
+        // iteration equals the globally sorted edge list of the text
+        // export.
+        for a in 0..self.order.len() {
+            for &b in &adj[offs[a] as usize..offs[a + 1] as usize] {
+                writeln!(&mut out, "edge {a} {b}").expect("writing to a Vec cannot fail");
+            }
+        }
+        self.edge_bytes = out;
+    }
+
+    fn build_refedges(&mut self, agg: &Aggregate) {
+        let mut out = std::mem::take(&mut self.refedge_bytes);
+        out.clear();
+        let mut ref_sum = 0u64;
+        let mut pairs: Vec<(u32, u32)> = agg
+            .ref_edges_set()
+            .iter()
+            .map(|(a, b)| {
+                ref_sum = ref_sum.wrapping_add(refedge_record_hash(*a, *b));
+                (self.index[a], self.index[b])
+            })
+            .collect();
+        pairs.sort_unstable();
+        for (s, a) in &pairs {
+            writeln!(&mut out, "refedge {s} {a}").expect("writing to a Vec cannot fail");
+        }
+        self.refedge_bytes = out;
+        self.sums.ref_sum = ref_sum;
+        let flat: Vec<u32> = pairs.into_iter().flat_map(|(a, b)| [a, b]).collect();
+        self.secs[SEC_REF_EDGES] = u32s_le(&flat);
+    }
+
+    fn build_effects(&mut self, agg: &Aggregate) {
+        let mut out = std::mem::take(&mut self.effect_bytes);
+        out.clear();
+        let effects = agg.effects_map();
+        let mut eff_sum = 0u64;
+        let mut recs: Vec<u32> = Vec::new();
+        for (i, k) in self.order.iter().enumerate() {
+            if let Some(e) = effects.get(k) {
+                write_effect_line(&mut out, i as u32, e).expect("writing to a Vec cannot fail");
+                eff_sum = eff_sum.wrapping_add(effect_record_hash(*k, e));
+                let (tag, a, b, c) = effect_code(e);
+                recs.extend_from_slice(&[i as u32, tag, a, b, c]);
+            }
+        }
+        self.effect_bytes = out;
+        self.sums.eff_sum = eff_sum;
+        self.secs[SEC_EFFECTS] = u32s_le(&recs);
+    }
+
+    fn build_points_to(&mut self, agg: &Aggregate) {
+        let mut out = std::mem::take(&mut self.pointsto_bytes);
+        out.clear();
+        let mut pts_sum = 0u64;
+        let mut recs: Vec<u32> = Vec::new();
+        for_each_points_to(agg, |site, field, target| {
+            write_pointsto_line(&mut out, site, field, target)
+                .expect("writing to a Vec cannot fail");
+            pts_sum = pts_sum.wrapping_add(pointsto_record_hash(site, field, target));
+            recs.extend_from_slice(&[
+                site.site.0,
+                site.slot,
+                crate::store::field_code(field),
+                target.site.0,
+                target.slot,
+            ]);
+        });
+        self.pointsto_bytes = out;
+        self.sums.pts_sum = pts_sum;
+        self.secs[SEC_POINTS_TO] = u32s_le(&recs);
+    }
+
+    fn build_node_label_secs(&mut self) {
+        let n = self.order.len();
+        let mut node_instr = Vec::with_capacity(2 * n);
+        let mut node_elem = Vec::with_capacity(n);
+        for k in &self.order {
+            node_instr.push(k.0.method.0);
+            node_instr.push(k.0.pc);
+            node_elem.push(elem_rank(k.1));
+        }
+        self.secs[SEC_NODE_INSTR] = u32s_le(&node_instr);
+        self.secs[SEC_NODE_ELEM] = u64s_le(&node_elem);
+    }
+
+    /// Refreshes the `meta` line and scalar totals from the aggregate
+    /// and folds the accumulators into the content hash — O(1) work
+    /// beyond the 34-byte meta render.
+    fn combine(&mut self, agg: &Aggregate) {
+        self.instr_instances = agg.instr_instances();
+        self.shadow_heap_bytes = agg.shadow_heap_bytes() as u64;
+        let mut meta = std::mem::take(&mut self.meta_bytes);
+        meta.clear();
+        writeln!(&mut meta, "gcost 1").expect("writing to a Vec cannot fail");
+        writeln!(
+            &mut meta,
+            "meta {} {}",
+            self.instr_instances, self.shadow_heap_bytes
+        )
+        .expect("writing to a Vec cannot fail");
+        self.meta_bytes = meta;
+        self.content_hash =
+            combine_content_hash(self.instr_instances, self.shadow_heap_bytes, &self.sums);
+    }
+}
+
+/// Builds a CSR offset/adjacency pair from a sorted edge list.
+fn offsets_of(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = Vec::with_capacity(n + 1);
+    let mut adj = Vec::with_capacity(edges.len());
+    off.push(0u32);
+    let mut at = 0usize;
+    for i in 0..n as u32 {
+        while at < edges.len() && edges[at].0 == i {
+            adj.push(edges[at].1);
+            at += 1;
+        }
+        off.push(adj.len() as u32);
+    }
+    debug_assert_eq!(at, edges.len(), "edge sources in range");
+    (off, adj)
+}
+
+/// Iterates the points-to records in the canonical order of the text
+/// export and snapshot store: alloc sites sorted, fields of each site
+/// (derived from `Store`/`Load` effects — mirroring
+/// `CostGraph::fields_of`, which silently skips points-to keys that no
+/// surviving effect mentions) sorted and deduplicated, targets sorted.
+fn for_each_points_to(agg: &Aggregate, mut f: impl FnMut(TaggedSite, FieldKey, TaggedSite)) {
+    let effects = agg.effects_map();
+    let mut sites: Vec<TaggedSite> = effects
+        .values()
+        .filter_map(|e| match e {
+            HeapEffect::Alloc { site } => Some(*site),
+            _ => None,
+        })
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+
+    let mut fields_by_site: FxHashMap<TaggedSite, Vec<FieldKey>> = FxHashMap::default();
+    for e in effects.values() {
+        match e {
+            HeapEffect::Store { site, field } | HeapEffect::Load { site, field } => {
+                fields_by_site.entry(*site).or_default().push(*field);
+            }
+            _ => {}
+        }
+    }
+    for fields in fields_by_site.values_mut() {
+        fields.sort_unstable();
+        fields.dedup();
+    }
+
+    let points_to = agg.points_to_map();
+    for site in sites {
+        let Some(fields) = fields_by_site.get(&site) else {
+            continue;
+        };
+        for &field in fields {
+            let Some(targets) = points_to.get(&(site, field)) else {
+                continue;
+            };
+            let mut targets: Vec<TaggedSite> = targets.iter().copied().collect();
+            targets.sort_unstable();
+            for t in targets {
+                f(site, field, t);
+            }
+        }
+    }
+}

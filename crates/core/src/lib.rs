@@ -63,6 +63,7 @@ pub mod export;
 pub mod fx;
 pub mod gcost;
 pub mod graph;
+pub mod incr;
 pub mod shard;
 pub mod slicer;
 pub mod stats;
@@ -72,7 +73,7 @@ pub use concrete::{ConcreteGraph, ConcreteProfiler, InstanceId, SlicingMode};
 pub use context::{
     extend_context, slot_of, thread_base, ConflictStats, ContextStack, EMPTY_CONTEXT,
 };
-pub use csr::{Bitset, CsrGraph, TraversalScratch};
+pub use csr::{Bitset, CsrDelta, CsrGraph, TraversalScratch};
 pub use dense::{DenseDomain, DenseInterner, InstrIndexer};
 pub use domain::{AbstractDomain, AbstractProfiler};
 pub use export::{canonical_order, read_cost_graph, write_cost_graph, write_dot};
@@ -82,10 +83,11 @@ pub use gcost::{
     TaggedSite,
 };
 pub use graph::{DepGraph, Node, NodeId, NodeKind};
+pub use incr::{IncrDirty, IncrementalCsr};
 pub use shard::{
     apply_object_delta, build_shard, merge_shards, replay_cost_graph, replay_segments, shard_sink,
-    sharded_replay_sequential, Aggregate, ObjectInfo, ObjectTableScan, ShardContext, ShardGraph,
-    ShardSink,
+    sharded_replay_sequential, AbsorbDelta, AbstractNode, Aggregate, ObjectInfo, ObjectTableScan,
+    ShardContext, ShardGraph, ShardSink,
 };
 pub use stats::GraphStats;
 pub use store::{

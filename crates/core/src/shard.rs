@@ -1475,7 +1475,55 @@ pub fn sharded_replay_sequential(
 
 /// A node's abstract identity — the key that makes shard union (and any
 /// other merge) order-independent.
-type AbstractNode = (InstrId, CostElem);
+pub type AbstractNode = (InstrId, CostElem);
+
+/// What one [`Aggregate::absorb`] actually changed, in abstract-node
+/// terms — the contract between the aggregate and every incremental
+/// consumer ([`crate::incr::IncrementalCsr`], the serve daemon's live
+/// analyzer state). Callers that rebuilt the world from scratch can
+/// instead patch exactly these entries.
+///
+/// Entries appear in absorption order of the session graph, which is
+/// deterministic for a given session but *not* canonical; consumers
+/// sort by canonical key where order matters.
+#[derive(Debug, Default, Clone)]
+pub struct AbsorbDelta {
+    /// Frequency increments on nodes that already existed (zero
+    /// increments are omitted).
+    pub freq_adds: Vec<(AbstractNode, u64)>,
+    /// Nodes this session introduced, with their kind and this
+    /// session's frequency contribution.
+    pub new_nodes: Vec<(AbstractNode, NodeKind, u64)>,
+    /// Dependence edges not previously in the aggregate.
+    pub new_edges: Vec<(AbstractNode, AbstractNode)>,
+    /// Reference edges not previously in the aggregate.
+    pub new_ref_edges: Vec<(AbstractNode, AbstractNode)>,
+    /// Effects that were newly recorded or lowered by the rank-min
+    /// merge (the final winning effect is stored).
+    pub effects_set: Vec<(AbstractNode, HeapEffect)>,
+    /// Points-to targets not previously observed for their key.
+    pub new_points_to: Vec<((TaggedSite, FieldKey), TaggedSite)>,
+    /// Increment to the aggregate's `instr_instances`.
+    pub instr_instances: u64,
+    /// Increment to the aggregate's `shadow_heap_bytes`.
+    pub shadow_heap_bytes: usize,
+    /// The session's executed-instruction total.
+    pub instructions: u64,
+}
+
+impl AbsorbDelta {
+    /// True when the absorb only bumped frequencies and scalar totals:
+    /// no new nodes, edges, effects, or points-to facts. The common
+    /// steady-state case for a long-lived tenant — every structure the
+    /// workload can build has been seen, sessions only re-weigh it.
+    pub fn is_freq_only(&self) -> bool {
+        self.new_nodes.is_empty()
+            && self.new_edges.is_empty()
+            && self.new_ref_edges.is_empty()
+            && self.effects_set.is_empty()
+            && self.new_points_to.is_empty()
+    }
+}
 
 /// A deterministic total order over heap effects, used when sessions
 /// disagree about a node's effect. Within one trace, "last write wins"
@@ -1559,43 +1607,128 @@ impl Aggregate {
     /// Folds one session's finished graph (or a reloaded aggregate
     /// snapshot) into the accumulators. `instructions` is the session's
     /// executed-instruction total (a snapshot's `total_instructions`).
-    pub fn absorb(&mut self, g: &CostGraph, instructions: u64) {
+    ///
+    /// Returns the [`AbsorbDelta`] describing exactly what changed, so
+    /// incremental consumers patch rather than re-derive. The aggregate
+    /// state after this call is identical whether or not the delta is
+    /// used — callers that rebuild from scratch may simply drop it.
+    pub fn absorb(&mut self, g: &CostGraph, instructions: u64) -> AbsorbDelta {
+        use std::collections::hash_map::Entry;
+        let mut delta = AbsorbDelta {
+            instr_instances: g.instr_instances(),
+            shadow_heap_bytes: g.shadow_heap_bytes(),
+            instructions,
+            ..AbsorbDelta::default()
+        };
         let dep = g.graph();
         let key = |id: NodeId| {
             let n = dep.node(id);
             (n.instr, n.elem)
         };
         for (id, n) in dep.iter() {
-            let e = self.nodes.entry((n.instr, n.elem)).or_insert((n.kind, 0));
-            debug_assert_eq!(e.0, n.kind, "node kind is a function of the instruction");
-            e.1 += n.freq;
+            let k = (n.instr, n.elem);
+            match self.nodes.entry(k) {
+                Entry::Occupied(mut e) => {
+                    debug_assert_eq!(
+                        e.get().0,
+                        n.kind,
+                        "node kind is a function of the instruction"
+                    );
+                    e.get_mut().1 += n.freq;
+                    if n.freq > 0 {
+                        delta.freq_adds.push((k, n.freq));
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert((n.kind, n.freq));
+                    delta.new_nodes.push((k, n.kind, n.freq));
+                }
+            }
             if let Some(eff) = g.effect(id) {
-                self.effects
-                    .entry((n.instr, n.elem))
-                    .and_modify(|cur| {
-                        if effect_rank(eff) < effect_rank(cur) {
-                            *cur = *eff;
+                match self.effects.entry(k) {
+                    Entry::Occupied(mut e) => {
+                        if effect_rank(eff) < effect_rank(e.get()) {
+                            *e.get_mut() = *eff;
+                            delta.effects_set.push((k, *eff));
                         }
-                    })
-                    .or_insert(*eff);
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(*eff);
+                        delta.effects_set.push((k, *eff));
+                    }
+                }
             }
         }
         for id in dep.node_ids() {
             for &s in dep.succs(id) {
-                self.edges.insert((key(id), key(s)));
+                let e = (key(id), key(s));
+                if self.edges.insert(e) {
+                    delta.new_edges.push(e);
+                }
             }
         }
         for (a, b) in g.ref_edges() {
-            self.ref_edges.insert((key(a), key(b)));
+            let e = (key(a), key(b));
+            if self.ref_edges.insert(e) {
+                delta.new_ref_edges.push(e);
+            }
         }
         for (k, v) in g.points_to_raw() {
-            self.points_to.entry(*k).or_default().extend(v.iter());
+            let set = self.points_to.entry(*k).or_default();
+            for &t in v {
+                if set.insert(t) {
+                    delta.new_points_to.push((*k, t));
+                }
+            }
         }
-        self.conflicts.merge(g.conflicts().clone());
+        self.conflicts.merge_from(g.conflicts());
         self.instr_instances += g.instr_instances();
         self.shadow_heap_bytes += g.shadow_heap_bytes();
         self.total_instructions += instructions;
         self.sessions += 1;
+        delta
+    }
+
+    /// Number of abstract nodes accumulated so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Summed instruction instances across absorbed sessions.
+    pub fn instr_instances(&self) -> u64 {
+        self.instr_instances
+    }
+
+    /// Summed end-of-run shadow-heap bytes across absorbed sessions.
+    pub fn shadow_heap_bytes(&self) -> usize {
+        self.shadow_heap_bytes
+    }
+
+    /// The raw node accumulator, for incremental consumers.
+    pub(crate) fn nodes_map(&self) -> &FxHashMap<AbstractNode, (NodeKind, u64)> {
+        &self.nodes
+    }
+
+    /// The raw edge accumulator, for incremental consumers.
+    pub(crate) fn edges_set(&self) -> &FxHashSet<(AbstractNode, AbstractNode)> {
+        &self.edges
+    }
+
+    /// The raw reference-edge accumulator, for incremental consumers.
+    pub(crate) fn ref_edges_set(&self) -> &FxHashSet<(AbstractNode, AbstractNode)> {
+        &self.ref_edges
+    }
+
+    /// The raw effect accumulator, for incremental consumers.
+    pub(crate) fn effects_map(&self) -> &FxHashMap<AbstractNode, HeapEffect> {
+        &self.effects
+    }
+
+    /// The raw points-to accumulator, for incremental consumers.
+    pub(crate) fn points_to_map(
+        &self,
+    ) -> &FxHashMap<(TaggedSite, FieldKey), FxHashSet<TaggedSite>> {
+        &self.points_to
     }
 
     /// Materializes the aggregate as a [`CostGraph`], interning nodes in

@@ -18,7 +18,7 @@
 //! header body  header_len bytes:
 //!   version            u32   = 1
 //!   section_count      u32   = 14
-//!   content_hash       u64   FNV-1a 64 of the canonical text export
+//!   content_hash       u64   order-independent graph hash ([`content_hash`])
 //!   nodes              u64
 //!   edges              u64
 //!   instr_instances    u64
@@ -47,9 +47,9 @@
 //! [`StoreError`], never a panic.
 
 use crate::csr::CsrGraph;
-use crate::export::{canonical_order, elem_rank, write_cost_graph};
+use crate::export::{canonical_order, elem_rank};
 use crate::gcost::{CostElem, CostGraph, FieldKey, HeapEffect, TaggedSite};
-use crate::graph::{DepGraph, NodeId};
+use crate::graph::{DepGraph, NodeId, NodeKind};
 use lowutil_ir::{AllocSiteId, FieldId, InstrId, MethodId, StaticId};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
@@ -80,7 +80,7 @@ const SEC_REF_EDGES: u32 = 13;
 const SEC_POINTS_TO: u32 = 14;
 
 /// Section ids in file order — v1 requires exactly these, in this order.
-const SECTION_IDS: [u32; 14] = [
+pub(crate) const SECTION_IDS: [u32; 14] = [
     SEC_KIND,
     SEC_FREQ,
     SEC_SUCC_OFF,
@@ -105,18 +105,18 @@ const EFFECT_RECORD: usize = 20;
 /// Bytes per `POINTS_TO` record: `(site, slot, field, site2, slot2)`.
 const POINTS_TO_RECORD: usize = 20;
 
-const EFFECT_ALLOC: u32 = 0;
-const EFFECT_LOAD: u32 = 1;
-const EFFECT_STORE: u32 = 2;
-const EFFECT_LOAD_STATIC: u32 = 3;
-const EFFECT_STORE_STATIC: u32 = 4;
+pub(crate) const EFFECT_ALLOC: u32 = 0;
+pub(crate) const EFFECT_LOAD: u32 = 1;
+pub(crate) const EFFECT_STORE: u32 = 2;
+pub(crate) const EFFECT_LOAD_STATIC: u32 = 3;
+pub(crate) const EFFECT_STORE_STATIC: u32 = 4;
 
 /// `FieldKey::Element` on disk.
 const FIELD_ELEMENT: u32 = u32::MAX;
 /// `FieldKey::Length` on disk.
 const FIELD_LENGTH: u32 = u32::MAX - 1;
 
-fn field_code(f: FieldKey) -> u32 {
+pub(crate) fn field_code(f: FieldKey) -> u32 {
     match f {
         FieldKey::Field(id) => id.0,
         FieldKey::Element => FIELD_ELEMENT,
@@ -132,12 +132,29 @@ fn decode_field(code: u32) -> FieldKey {
     }
 }
 
+/// Packs a heap effect as the `(tag, a, b, c)` tail of an `EFFECTS`
+/// record — shared by [`write_snapshot`] and the incremental writer so
+/// the encoding exists in exactly one place.
+pub(crate) fn effect_code(e: &HeapEffect) -> (u32, u32, u32, u32) {
+    match *e {
+        HeapEffect::Alloc { site } => (EFFECT_ALLOC, site.site.0, site.slot, 0),
+        HeapEffect::Load { site, field } => {
+            (EFFECT_LOAD, site.site.0, site.slot, field_code(field))
+        }
+        HeapEffect::Store { site, field } => {
+            (EFFECT_STORE, site.site.0, site.slot, field_code(field))
+        }
+        HeapEffect::LoadStatic(s) => (EFFECT_LOAD_STATIC, s.0, 0, 0),
+        HeapEffect::StoreStatic(s) => (EFFECT_STORE_STATIC, s.0, 0, 0),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // CRC32 and content hashing
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -150,18 +167,45 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
-fn crc32(bytes: &[u8]) -> u32 {
+/// CRC32 (IEEE), slice-by-8: eight table lookups per 8-byte chunk
+/// instead of one per byte. Bit-identical to the classic byte-at-a-time
+/// loop (which still handles the tail) — section checksums sit on the
+/// per-absorb snapshot path, so the constant factor matters.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    let t = &CRC32_TABLES;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -171,7 +215,14 @@ fn crc32(bytes: &[u8]) -> u32 {
 /// more than collision strength here, and the hash is backed by full
 /// canonical bytes wherever equality is load-bearing).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Streaming FNV-1a 64: folds `bytes` into running state `h`. Chaining
+/// updates over consecutive chunks equals [`fnv1a64`] over their
+/// concatenation — record hashes split into a cached immutable prefix
+/// and a cheap mutable tail (see [`node_record_hash_from_prefix`]).
+pub(crate) fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -179,14 +230,190 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The content hash of a graph: FNV-1a 64 over its canonical text export
-/// ([`write_cost_graph`]). Two graphs with the same abstract content hash
-/// identically regardless of construction order; the hash keys the
-/// analysis-result cache and ties a snapshot to its source graph.
+// ---------------------------------------------------------------------------
+// Content hashing: identity-keyed record hashes, combined order-free
+// ---------------------------------------------------------------------------
+
+/// Record-tag bytes giving each record class its own FNV domain.
+const H_NODE: u8 = 1;
+const H_EDGE: u8 = 2;
+const H_REF_EDGE: u8 = 3;
+const H_EFFECT: u8 = 4;
+const H_POINTS_TO: u8 = 5;
+
+/// The 16-byte identity of an abstract node: `(method, pc, elem_rank)`.
+/// Records hash node *identities*, never canonical indices, so inserting
+/// a node renumbers its neighbours without changing any other record's
+/// hash — what lets [`crate::incr::IncrementalCsr`] maintain the content
+/// hash in O(delta) per absorb.
+fn identity_bytes(out: &mut [u8], instr: InstrId, elem: CostElem) {
+    out[0..4].copy_from_slice(&instr.method.0.to_le_bytes());
+    out[4..8].copy_from_slice(&instr.pc.to_le_bytes());
+    out[8..16].copy_from_slice(&elem_rank(elem).to_le_bytes());
+}
+
+/// FNV state after hashing a node record's immutable part (tag,
+/// identity, kind). Frequency is the only field an absorb can change on
+/// a surviving node, so the incremental view caches this prefix and
+/// folds just the 8 frequency bytes per touched node.
+pub(crate) fn node_record_prefix(instr: InstrId, elem: CostElem, kind: NodeKind) -> u64 {
+    let mut b = [0u8; 18];
+    b[0] = H_NODE;
+    identity_bytes(&mut b[1..17], instr, elem);
+    b[17] = kind.code();
+    fnv1a64(&b)
+}
+
+/// Completes a node record hash from its cached prefix and the current
+/// frequency.
+pub(crate) fn node_record_hash_from_prefix(prefix: u64, freq: u64) -> u64 {
+    fnv1a64_update(prefix, &freq.to_le_bytes())
+}
+
+/// Hash of one `node` record: identity, kind, frequency. Doubles as the
+/// per-node content hash the incremental analysis layer compares across
+/// absorbs.
+pub(crate) fn node_record_hash(instr: InstrId, elem: CostElem, kind: NodeKind, freq: u64) -> u64 {
+    node_record_hash_from_prefix(node_record_prefix(instr, elem, kind), freq)
+}
+
+fn endpoint_pair_hash(tag: u8, a: (InstrId, CostElem), b: (InstrId, CostElem)) -> u64 {
+    let mut bytes = [0u8; 33];
+    bytes[0] = tag;
+    identity_bytes(&mut bytes[1..17], a.0, a.1);
+    identity_bytes(&mut bytes[17..33], b.0, b.1);
+    fnv1a64(&bytes)
+}
+
+/// Hash of one dependence `edge` record, by endpoint identities.
+pub(crate) fn edge_record_hash(a: (InstrId, CostElem), b: (InstrId, CostElem)) -> u64 {
+    endpoint_pair_hash(H_EDGE, a, b)
+}
+
+/// Hash of one `refedge` record, by endpoint identities.
+pub(crate) fn refedge_record_hash(s: (InstrId, CostElem), a: (InstrId, CostElem)) -> u64 {
+    endpoint_pair_hash(H_REF_EDGE, s, a)
+}
+
+/// Hash of one `effect` record: owning node identity plus the packed
+/// effect code.
+pub(crate) fn effect_record_hash(k: (InstrId, CostElem), e: &HeapEffect) -> u64 {
+    let (tag, a, b, c) = effect_code(e);
+    let mut bytes = [0u8; 33];
+    bytes[0] = H_EFFECT;
+    identity_bytes(&mut bytes[1..17], k.0, k.1);
+    bytes[17..21].copy_from_slice(&tag.to_le_bytes());
+    bytes[21..25].copy_from_slice(&a.to_le_bytes());
+    bytes[25..29].copy_from_slice(&b.to_le_bytes());
+    bytes[29..33].copy_from_slice(&c.to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// Hash of one `pointsto` record.
+pub(crate) fn pointsto_record_hash(site: TaggedSite, field: FieldKey, target: TaggedSite) -> u64 {
+    let mut bytes = [0u8; 21];
+    bytes[0] = H_POINTS_TO;
+    bytes[1..5].copy_from_slice(&site.site.0.to_le_bytes());
+    bytes[5..9].copy_from_slice(&site.slot.to_le_bytes());
+    bytes[9..13].copy_from_slice(&field_code(field).to_le_bytes());
+    bytes[13..17].copy_from_slice(&target.site.0.to_le_bytes());
+    bytes[17..21].copy_from_slice(&target.slot.to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// Per-class record-hash accumulators: wrapping sums of the record
+/// hashes above, plus the node and edge counts. Wrapping addition is
+/// commutative, so each sum is a multiset hash — independent of
+/// iteration order and updatable in O(1) per changed record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ContentSums {
+    pub nodes: u64,
+    pub edges: u64,
+    pub node_sum: u64,
+    pub edge_sum: u64,
+    pub ref_sum: u64,
+    pub eff_sum: u64,
+    pub pts_sum: u64,
+}
+
+/// Folds the meta scalars and the per-class sums into the final content
+/// hash — the one place the combination order is fixed.
+pub(crate) fn combine_content_hash(
+    instr_instances: u64,
+    shadow_heap_bytes: u64,
+    s: &ContentSums,
+) -> u64 {
+    let mut pre = [0u8; 72];
+    for (slot, v) in [
+        instr_instances,
+        shadow_heap_bytes,
+        s.nodes,
+        s.edges,
+        s.node_sum,
+        s.edge_sum,
+        s.ref_sum,
+        s.eff_sum,
+        s.pts_sum,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        pre[slot * 8..slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&pre)
+}
+
+/// The content hash of a graph: identity-keyed per-record FNV hashes
+/// (nodes, edges, reference edges, effects, points-to) combined as
+/// order-independent multiset sums, folded with the meta scalars. Two
+/// graphs with the same abstract content hash identically regardless of
+/// construction order; the hash keys the analysis-result cache and ties
+/// a snapshot to its source graph. Because records are keyed by node
+/// *identity* rather than canonical index, the incremental view
+/// ([`crate::incr::IncrementalCsr`]) maintains this hash in O(delta)
+/// per absorb.
 pub fn content_hash(gcost: &CostGraph) -> u64 {
-    let mut buf = Vec::new();
-    write_cost_graph(gcost, &mut buf).expect("writing to a Vec cannot fail");
-    fnv1a64(&buf)
+    let g = gcost.graph();
+    let mut sums = ContentSums::default();
+    for (id, n) in g.iter() {
+        sums.nodes += 1;
+        sums.node_sum = sums
+            .node_sum
+            .wrapping_add(node_record_hash(n.instr, n.elem, n.kind, n.freq));
+        if let Some(e) = gcost.effect(id) {
+            sums.eff_sum = sums
+                .eff_sum
+                .wrapping_add(effect_record_hash((n.instr, n.elem), e));
+        }
+        for &s in g.succs(id) {
+            let t = g.node(s);
+            sums.edges += 1;
+            sums.edge_sum = sums
+                .edge_sum
+                .wrapping_add(edge_record_hash((n.instr, n.elem), (t.instr, t.elem)));
+        }
+    }
+    for (s, a) in gcost.ref_edges() {
+        let (ns, na) = (g.node(s), g.node(a));
+        sums.ref_sum = sums.ref_sum.wrapping_add(refedge_record_hash(
+            (ns.instr, ns.elem),
+            (na.instr, na.elem),
+        ));
+    }
+    for site in gcost.objects() {
+        for field in gcost.fields_of(site) {
+            for target in gcost.points_to(site, field) {
+                sums.pts_sum = sums
+                    .pts_sum
+                    .wrapping_add(pointsto_record_hash(site, field, target));
+            }
+        }
+    }
+    combine_content_hash(
+        gcost.instr_instances(),
+        gcost.shadow_heap_bytes() as u64,
+        &sums,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -334,7 +561,7 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn u32s_le(vals: &[u32]) -> Vec<u8> {
+pub(crate) fn u32s_le(vals: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * 4);
     for &v in vals {
         push_u32(&mut out, v);
@@ -342,12 +569,72 @@ fn u32s_le(vals: &[u32]) -> Vec<u8> {
     out
 }
 
-fn u64s_le(vals: &[u64]) -> Vec<u8> {
+pub(crate) fn u64s_le(vals: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * 8);
     for &v in vals {
         push_u64(&mut out, v);
     }
     out
+}
+
+/// The header scalars of a snapshot, for the from-parts writer.
+pub(crate) struct SnapshotMeta {
+    pub content_hash: u64,
+    pub nodes: u64,
+    pub edges: u64,
+    pub instr_instances: u64,
+    pub shadow_heap_bytes: u64,
+    pub total_instructions: u64,
+}
+
+/// Assembles a snapshot file from already-rendered section bodies (in
+/// [`SECTION_IDS`] order). This is the single place that knows the
+/// preamble/header/alignment layout; [`write_snapshot`] and the
+/// incremental writer ([`crate::incr::IncrementalCsr`]) both feed it, so
+/// their bytes can only differ if their section *contents* differ.
+/// `crcs`, when supplied, must be the per-section CRC32s of `sections`
+/// — the incremental writer caches them so an unchanged section is
+/// never re-checksummed; `None` computes them here.
+pub(crate) fn write_snapshot_sections<W: Write>(
+    meta: &SnapshotMeta,
+    sections: [&[u8]; 14],
+    crcs: Option<&[u32; 14]>,
+    mut w: W,
+) -> io::Result<()> {
+    let header_len = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * sections.len();
+    let mut offset = (PREAMBLE_LEN + header_len).next_multiple_of(8);
+    let mut header = Vec::with_capacity(header_len);
+    push_u32(&mut header, FORMAT_VERSION);
+    push_u32(&mut header, sections.len() as u32);
+    push_u64(&mut header, meta.content_hash);
+    push_u64(&mut header, meta.nodes);
+    push_u64(&mut header, meta.edges);
+    push_u64(&mut header, meta.instr_instances);
+    push_u64(&mut header, meta.shadow_heap_bytes);
+    push_u64(&mut header, meta.total_instructions);
+    for (i, (id, body)) in SECTION_IDS.iter().zip(sections).enumerate() {
+        push_u32(&mut header, *id);
+        push_u32(&mut header, 0);
+        push_u64(&mut header, offset as u64);
+        push_u64(&mut header, body.len() as u64);
+        push_u32(&mut header, crcs.map_or_else(|| crc32(body), |c| c[i]));
+        push_u32(&mut header, 0);
+        offset = (offset + body.len()).next_multiple_of(8);
+    }
+    debug_assert_eq!(header.len(), header_len);
+
+    w.write_all(&MAGIC)?;
+    w.write_all(&(header_len as u32).to_le_bytes())?;
+    w.write_all(&crc32(&header).to_le_bytes())?;
+    w.write_all(&header)?;
+    let mut written = PREAMBLE_LEN + header_len;
+    for body in sections {
+        let aligned = written.next_multiple_of(8);
+        w.write_all(&[0u8; 8][..aligned - written])?;
+        w.write_all(body)?;
+        written = aligned + body.len();
+    }
+    Ok(())
 }
 
 /// Serializes `gcost` (plus the run's total instruction count, needed to
@@ -362,7 +649,7 @@ fn u64s_le(vals: &[u64]) -> Vec<u8> {
 pub fn write_snapshot<W: Write>(
     gcost: &CostGraph,
     total_instructions: u64,
-    mut w: W,
+    w: W,
 ) -> io::Result<()> {
     let g = gcost.graph();
     let n = g.num_nodes();
@@ -385,17 +672,7 @@ pub fn write_snapshot<W: Write>(
     let mut effects = Vec::new();
     for (new, &old) in order.iter().enumerate() {
         if let Some(e) = gcost.effect(old) {
-            let (tag, a, b, c) = match *e {
-                HeapEffect::Alloc { site } => (EFFECT_ALLOC, site.site.0, site.slot, 0),
-                HeapEffect::Load { site, field } => {
-                    (EFFECT_LOAD, site.site.0, site.slot, field_code(field))
-                }
-                HeapEffect::Store { site, field } => {
-                    (EFFECT_STORE, site.site.0, site.slot, field_code(field))
-                }
-                HeapEffect::LoadStatic(s) => (EFFECT_LOAD_STATIC, s.0, 0, 0),
-                HeapEffect::StoreStatic(s) => (EFFECT_STORE_STATIC, s.0, 0, 0),
-            };
+            let (tag, a, b, c) = effect_code(e);
             effects.extend_from_slice(&[new as u32, tag, a, b, c]);
         }
     }
@@ -422,57 +699,36 @@ pub fn write_snapshot<W: Write>(
         }
     }
 
-    let sections: [(u32, Vec<u8>); 14] = [
-        (SEC_KIND, csr.kind_codes().to_vec()),
-        (SEC_FREQ, u64s_le(csr.freqs())),
-        (SEC_SUCC_OFF, u32s_le(csr.succ_offsets())),
-        (SEC_SUCC_ADJ, u32s_le(csr.succ_targets())),
-        (SEC_PRED_OFF, u32s_le(csr.pred_offsets())),
-        (SEC_PRED_ADJ, u32s_le(csr.pred_targets())),
-        (SEC_READS_HEAP, u64s_le(csr.reads_heap_words())),
-        (SEC_WRITES_HEAP, u64s_le(csr.writes_heap_words())),
-        (SEC_CONSUMER, u64s_le(csr.consumer_words())),
-        (SEC_NODE_INSTR, u32s_le(&node_instr)),
-        (SEC_NODE_ELEM, u64s_le(&node_elem)),
-        (SEC_EFFECTS, u32s_le(&effects)),
-        (SEC_REF_EDGES, u32s_le(&ref_edges)),
-        (SEC_POINTS_TO, u32s_le(&points_to)),
+    let sections: [Vec<u8>; 14] = [
+        csr.kind_codes().to_vec(),
+        u64s_le(csr.freqs()),
+        u32s_le(csr.succ_offsets()),
+        u32s_le(csr.succ_targets()),
+        u32s_le(csr.pred_offsets()),
+        u32s_le(csr.pred_targets()),
+        u64s_le(csr.reads_heap_words()),
+        u64s_le(csr.writes_heap_words()),
+        u64s_le(csr.consumer_words()),
+        u32s_le(&node_instr),
+        u64s_le(&node_elem),
+        u32s_le(&effects),
+        u32s_le(&ref_edges),
+        u32s_le(&points_to),
     ];
 
-    let header_len = HEADER_FIXED_LEN + SECTION_ENTRY_LEN * sections.len();
-    let mut offset = (PREAMBLE_LEN + header_len).next_multiple_of(8);
-    let mut header = Vec::with_capacity(header_len);
-    push_u32(&mut header, FORMAT_VERSION);
-    push_u32(&mut header, sections.len() as u32);
-    push_u64(&mut header, content_hash(gcost));
-    push_u64(&mut header, n as u64);
-    push_u64(&mut header, csr.num_edges() as u64);
-    push_u64(&mut header, gcost.instr_instances());
-    push_u64(&mut header, gcost.shadow_heap_bytes() as u64);
-    push_u64(&mut header, total_instructions);
-    for (id, body) in &sections {
-        push_u32(&mut header, *id);
-        push_u32(&mut header, 0);
-        push_u64(&mut header, offset as u64);
-        push_u64(&mut header, body.len() as u64);
-        push_u32(&mut header, crc32(body));
-        push_u32(&mut header, 0);
-        offset = (offset + body.len()).next_multiple_of(8);
-    }
-    debug_assert_eq!(header.len(), header_len);
-
-    w.write_all(&MAGIC)?;
-    w.write_all(&(header_len as u32).to_le_bytes())?;
-    w.write_all(&crc32(&header).to_le_bytes())?;
-    w.write_all(&header)?;
-    let mut written = PREAMBLE_LEN + header_len;
-    for (_, body) in &sections {
-        let aligned = written.next_multiple_of(8);
-        w.write_all(&[0u8; 8][..aligned - written])?;
-        w.write_all(body)?;
-        written = aligned + body.len();
-    }
-    Ok(())
+    write_snapshot_sections(
+        &SnapshotMeta {
+            content_hash: content_hash(gcost),
+            nodes: n as u64,
+            edges: csr.num_edges() as u64,
+            instr_instances: gcost.instr_instances(),
+            shadow_heap_bytes: gcost.shadow_heap_bytes() as u64,
+            total_instructions,
+        },
+        sections.each_ref().map(Vec::as_slice),
+        None,
+        w,
+    )
 }
 
 /// [`write_snapshot`] to a file.
@@ -978,6 +1234,7 @@ pub fn verify_snapshot(buf: &AlignedBuf) -> VerifyReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::export::write_cost_graph;
     use crate::gcost::{CostGraphConfig, CostProfiler};
     use lowutil_ir::parse_program;
     use lowutil_vm::Vm;

@@ -1,0 +1,218 @@
+//! Property tests for incremental CSR maintenance: over arbitrary
+//! final graphs, arbitrary base/delta splits of their nodes, edges, and
+//! frequencies, [`CsrGraph::apply_delta`] must land bit-identically on
+//! the canonical from-scratch build of the final graph — every offset,
+//! adjacency, side array, and boundary bitset word — and
+//! [`CsrGraph::affected_seeds`] must be a sound over-approximation: any
+//! seed it does *not* flag keeps its exact HRAC/HRAB sum across the
+//! delta.
+
+use lowutil_core::{Bitset, CostElem, CsrDelta, CsrGraph, DepGraph, NodeId, NodeKind};
+use lowutil_ir::{InstrId, MethodId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn at(pc: u32) -> InstrId {
+    InstrId::new(MethodId(0), pc)
+}
+
+fn kind_of(k: u8) -> NodeKind {
+    match k % 6 {
+        0 => NodeKind::Plain,
+        1 => NodeKind::Alloc,
+        2 => NodeKind::HeapLoad,
+        3 => NodeKind::HeapStore,
+        4 => NodeKind::Predicate,
+        _ => NodeKind::Native,
+    }
+}
+
+/// Interns nodes `0..kinds.len()` in id order (so `build_ordered` with
+/// the identity permutation is the canonical CSR) and adds `edges`.
+fn graph(kinds: &[NodeKind], freqs: &[u64], edges: &BTreeSet<(u32, u32)>) -> DepGraph<CostElem> {
+    let mut g: DepGraph<CostElem> = DepGraph::new();
+    for (i, &k) in kinds.iter().enumerate() {
+        let n = g.intern(at(i as u32), CostElem::NoCtx, k);
+        g.set_freq(n, freqs[i]);
+    }
+    for &(a, b) in edges {
+        g.add_edge(NodeId(a), NodeId(b));
+    }
+    g
+}
+
+fn identity_order(n: usize) -> Vec<NodeId> {
+    (0..n as u32).map(NodeId).collect()
+}
+
+fn csr_arrays(c: &CsrGraph<'_>) -> Vec<Vec<u64>> {
+    vec![
+        c.kind_codes().iter().map(|&k| k as u64).collect(),
+        c.freqs().to_vec(),
+        c.succ_offsets().iter().map(|&x| x as u64).collect(),
+        c.succ_targets().iter().map(|&x| x as u64).collect(),
+        c.pred_offsets().iter().map(|&x| x as u64).collect(),
+        c.pred_targets().iter().map(|&x| x as u64).collect(),
+        c.reads_heap_words().to_vec(),
+        c.writes_heap_words().to_vec(),
+        c.consumer_words().to_vec(),
+    ]
+}
+
+/// One generated scenario: a final graph plus a base/delta split.
+#[derive(Debug)]
+struct Scenario {
+    kinds: Vec<NodeKind>,
+    final_freq: Vec<u64>,
+    final_edges: BTreeSet<(u32, u32)>,
+    /// Per node: `None` = inserted by the delta; `Some(inc)` = in the
+    /// base with `final_freq - inc` and a delta increment of `inc`.
+    base: Vec<Option<u64>>,
+    /// Final edges present in the base (both endpoints must survive).
+    base_edges: BTreeSet<(u32, u32)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..40)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec((0u8..6, 0u64..500), n),
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), 0..80),
+                proptest::collection::vec(proptest::option::weighted(0.7, 0u64..200), n),
+            )
+        })
+        .prop_map(|(nodes, raw_edges, base)| {
+            let kinds: Vec<NodeKind> = nodes.iter().map(|&(k, _)| kind_of(k)).collect();
+            // Surviving nodes carry base + increment; keep the final
+            // frequency the sum so the split is exact.
+            let final_freq: Vec<u64> = nodes
+                .iter()
+                .zip(&base)
+                .map(|(&(_, f), b)| f + b.unwrap_or(0))
+                .collect();
+            let mut final_edges = BTreeSet::new();
+            let mut base_edges = BTreeSet::new();
+            for &(a, b, in_base) in &raw_edges {
+                if final_edges.insert((a, b))
+                    && in_base
+                    && base[a as usize].is_some()
+                    && base[b as usize].is_some()
+                {
+                    base_edges.insert((a, b));
+                }
+            }
+            Scenario {
+                kinds,
+                final_freq,
+                final_edges,
+                base,
+                base_edges,
+            }
+        })
+        // The base must be a real graph: at least one surviving node.
+        .prop_filter("base graph must be non-empty", |s| {
+            s.base.iter().any(Option::is_some)
+        })
+}
+
+/// Builds the base CSR and the delta in final numbering.
+fn build_split(s: &Scenario) -> (CsrGraph<'static>, CsrDelta, Vec<u32>) {
+    // remap: final id of each surviving base node, in base-id order.
+    let remap: Vec<u32> = (0..s.kinds.len() as u32)
+        .filter(|&i| s.base[i as usize].is_some())
+        .collect();
+    let to_base: std::collections::HashMap<u32, u32> = remap
+        .iter()
+        .enumerate()
+        .map(|(b, &f)| (f, b as u32))
+        .collect();
+    let base_kinds: Vec<NodeKind> = remap.iter().map(|&f| s.kinds[f as usize]).collect();
+    let base_freqs: Vec<u64> = remap
+        .iter()
+        .map(|&f| s.final_freq[f as usize] - s.base[f as usize].unwrap())
+        .collect();
+    let base_edges: BTreeSet<(u32, u32)> = s
+        .base_edges
+        .iter()
+        .map(|&(a, b)| (to_base[&a], to_base[&b]))
+        .collect();
+    let g = graph(&base_kinds, &base_freqs, &base_edges);
+    let csr = CsrGraph::build_ordered(&g, &identity_order(base_kinds.len()));
+    let delta = CsrDelta {
+        freq_adds: remap
+            .iter()
+            .filter_map(|&f| {
+                let inc = s.base[f as usize].unwrap();
+                (inc > 0).then_some((f, inc))
+            })
+            .collect(),
+        new_nodes: (0..s.kinds.len() as u32)
+            .filter(|&f| s.base[f as usize].is_none())
+            .map(|f| (f, s.kinds[f as usize], s.final_freq[f as usize]))
+            .collect(),
+        new_edges: s.final_edges.difference(&s.base_edges).copied().collect(),
+    };
+    (csr, delta, remap)
+}
+
+proptest! {
+    /// apply_delta == canonical from-scratch build, array for array.
+    #[test]
+    fn apply_delta_is_bit_identical_to_rebuild(s in scenario()) {
+        let (mut csr, delta, _) = build_split(&s);
+        csr.apply_delta(&delta);
+        let gf = graph(&s.kinds, &s.final_freq, &s.final_edges);
+        let want = CsrGraph::build_ordered(&gf, &identity_order(s.kinds.len()));
+        prop_assert_eq!(csr_arrays(&csr), csr_arrays(&want));
+    }
+
+    /// Seeds not flagged by affected_seeds keep their exact sums.
+    #[test]
+    fn unaffected_seeds_keep_exact_sums(s in scenario()) {
+        let (base_csr, delta, remap) = build_split(&s);
+        let mut scratch = lowutil_core::TraversalScratch::for_graph(&base_csr);
+        let before: Vec<(u64, u64)> = (0..base_csr.num_nodes() as u32)
+            .map(|i| {
+                (
+                    base_csr.heap_bounded_backward_sum(&mut scratch, NodeId(i)),
+                    base_csr.heap_bounded_forward_sum(&mut scratch, NodeId(i)),
+                )
+            })
+            .collect();
+
+        let mut csr = base_csr;
+        csr.apply_delta(&delta);
+        let n = csr.num_nodes();
+        let mut dirty = Bitset::new(n);
+        for &(i, _) in &delta.freq_adds {
+            dirty.insert(i as usize);
+        }
+        for &(i, _, _) in &delta.new_nodes {
+            dirty.insert(i as usize);
+        }
+        for &(a, b) in &delta.new_edges {
+            dirty.insert(a as usize);
+            dirty.insert(b as usize);
+        }
+        let back = csr.affected_seeds(&dirty, false);
+        let fwd = csr.affected_seeds(&dirty, true);
+
+        let mut scratch = lowutil_core::TraversalScratch::for_graph(&csr);
+        for (b, &f) in remap.iter().enumerate() {
+            if !back.contains(f as usize) {
+                prop_assert_eq!(
+                    csr.heap_bounded_backward_sum(&mut scratch, NodeId(f)),
+                    before[b].0,
+                    "hrac moved for unflagged seed {}", f
+                );
+            }
+            if !fwd.contains(f as usize) {
+                prop_assert_eq!(
+                    csr.heap_bounded_forward_sum(&mut scratch, NodeId(f)),
+                    before[b].1,
+                    "hrab moved for unflagged seed {}", f
+                );
+            }
+        }
+    }
+}

@@ -52,8 +52,12 @@
 //!                                    hash|stats|rank|report|diff ...`, or
 //!                                    the bare `stats` / `shutdown`)
 //! lowutil cache gc <dir> [--max-bytes N] [--max-age-secs N]
+//!                        [--tenants DIR] [--keep-latest N]
 //!                                    sweep a query-cache directory down
-//!                                    to its size/age budgets
+//!                                    to its size/age budgets; with
+//!                                    --tenants also sweep per-tenant
+//!                                    snapshot dirs, always keeping each
+//!                                    tenant's newest N snapshots
 //! lowutil diff <a.snap> <b.snap> [--min-imbalance X] [--worsen-factor X]
 //!                                    align structures across two snapshots
 //!                                    by (context, allocation-site) and
@@ -89,8 +93,8 @@ use lowutil::analyses::report::{
     describe_field, describe_site, low_utility_report, low_utility_report_batch, render_report,
 };
 use lowutil::analyses::{
-    diff_rankings, rank_structures_batch, rank_structures_with, ranked_keys, CacheKey, DiffConfig,
-    QueryCache, StructureCostBenefit,
+    diff_rankings, gc_snapshots, rank_structures_batch, rank_structures_with, ranked_keys,
+    CacheKey, DiffConfig, QueryCache, StructureCostBenefit,
 };
 use lowutil::core::{
     content_hash, read_snapshot, save_snapshot, AlignedBuf, CostGraph, CostGraphConfig,
@@ -107,7 +111,7 @@ fn usage() -> ExitCode {
         "usage: lowutil <run|report|dead|copies|methods|caches|alloc|disasm|export|dot|suite|record|replay|snapshot|diff|serve|push|query|cache> <file.lu|name|all> [trace|snap] [flags]"
     );
     eprintln!(
-        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N   --cache DIR   --min-imbalance X   --worsen-factor X   --fail-on-regression   --listen ADDR   --spool DIR   --programs DIR   --unix PATH   --idle-secs N   --max-bytes N   --max-age-secs N"
+        "flags: --top N   --slots S   --control   --traditional   --size small|default|large   --jobs N   --analysis batch|reference   --salvage   --segment-limit N   --pipeline   --pipeline-batch N   --sched-seed N   --cache DIR   --min-imbalance X   --worsen-factor X   --fail-on-regression   --listen ADDR   --spool DIR   --programs DIR   --unix PATH   --idle-secs N   --max-bytes N   --max-age-secs N   --tenants DIR   --keep-latest N"
     );
     ExitCode::from(2)
 }
@@ -151,6 +155,10 @@ struct Flags {
     max_bytes: Option<u64>,
     /// `cache gc` / `serve`: query-cache age budget (`--max-age-secs N`).
     max_age_secs: Option<u64>,
+    /// `cache gc`: per-tenant snapshot root to sweep (`--tenants DIR`).
+    tenants: Option<String>,
+    /// `cache gc`: per-tenant newest-snapshot floor (`--keep-latest N`).
+    keep_latest: usize,
 }
 
 /// Consumes the next argument as a flag value only when one is actually
@@ -191,6 +199,8 @@ fn parse_flags(args: &[String]) -> Flags {
         idle_secs: None,
         max_bytes: None,
         max_age_secs: None,
+        tenants: None,
+        keep_latest: 1,
     };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -307,6 +317,22 @@ fn parse_flags(args: &[String]) -> Flags {
                     f.max_age_secs = Some(v);
                 } else {
                     eprintln!("--max-age-secs needs a number; age budget stays off");
+                }
+            }
+            "--tenants" => {
+                if let Some(v) = take_value(&mut it) {
+                    f.tenants = Some(v.to_string());
+                } else {
+                    eprintln!("--tenants needs a directory; snapshot sweep stays off");
+                }
+            }
+            "--keep-latest" => {
+                if let Some(v) = take_value(&mut it).and_then(|s| s.parse::<usize>().ok()) {
+                    // An active tenant must never lose its newest
+                    // snapshot; 0 would defeat the floor.
+                    f.keep_latest = v.max(1);
+                } else {
+                    eprintln!("--keep-latest needs a number; keeping {}", f.keep_latest);
                 }
             }
             "--min-imbalance" => {
@@ -979,6 +1005,19 @@ fn main() -> ExitCode {
                     "scanned {}  removed {}  bytes_removed {}  bytes_kept {}",
                     stats.scanned, stats.removed, stats.bytes_removed, stats.bytes_kept
                 );
+                if let Some(tenants) = &flags.tenants {
+                    let s = gc_snapshots(
+                        std::path::Path::new(tenants),
+                        flags.max_bytes,
+                        flags.max_age_secs.map(std::time::Duration::from_secs),
+                        flags.keep_latest,
+                    )
+                    .map_err(|e| format!("cache gc --tenants {tenants}: {e}"))?;
+                    println!(
+                        "tenants scanned {}  removed {}  bytes_removed {}  bytes_kept {}",
+                        s.scanned, s.removed, s.bytes_removed, s.bytes_kept
+                    );
+                }
                 Ok(())
             }
             "diff" => {

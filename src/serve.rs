@@ -46,12 +46,12 @@
 //! warm rankings are served from the content-hash [`QueryCache`].
 
 use crate::analyses::{
-    dead_value_metrics, diff_rankings, rank_structures_batch, ranked_keys, render_report, CacheKey,
-    CostBenefitConfig, DiffConfig, EngineChoice, QueryCache, StructureCostBenefit,
+    dead_value_metrics, diff_rankings, gc_snapshots, rank_structures_with, ranked_keys,
+    render_report, CacheKey, CostBenefitConfig, DiffConfig, EngineChoice, IncrementalAnalyzer,
+    QueryCache, StructureCostBenefit,
 };
 use crate::core::{
-    content_hash, read_snapshot, save_snapshot, Aggregate, AlignedBuf, CostGraph, CostGraphConfig,
-    GraphBuilder,
+    read_snapshot, Aggregate, AlignedBuf, CostGraph, CostGraphConfig, GraphBuilder, IncrementalCsr,
 };
 use crate::ir::{parse_program, Program};
 use crate::vm::{StreamingReader, DEFAULT_STREAM_RECORD_LIMIT};
@@ -101,6 +101,16 @@ pub struct ServeConfig {
     pub cache_max_bytes: Option<u64>,
     /// Query-cache age budget swept at startup (`None` = unbounded).
     pub cache_max_age: Option<Duration>,
+    /// Tenant-snapshot size budget swept at startup (`None` =
+    /// unbounded); see [`gc_snapshots`].
+    pub snap_max_bytes: Option<u64>,
+    /// Tenant-snapshot age budget swept at startup (`None` =
+    /// unbounded).
+    pub snap_max_age: Option<Duration>,
+    /// Per-tenant newest-snapshot floor for the startup sweep: each
+    /// tenant's `snap_keep_latest` most recent snapshots are exempt
+    /// from both budgets (clamped to at least 1).
+    pub snap_keep_latest: usize,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +130,9 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             cache_max_bytes: Some(256 << 20),
             cache_max_age: None,
+            snap_max_bytes: None,
+            snap_max_age: None,
+            snap_keep_latest: 1,
         }
     }
 }
@@ -136,6 +149,57 @@ fn valid_name(s: &str) -> bool {
 
 struct Tenant {
     agg: Aggregate,
+    /// The incrementally-maintained view of `agg`, built lazily on the
+    /// first absorb or query and patched in O(delta) afterwards.
+    live: Option<Live>,
+}
+
+/// The live query/persist state of one aggregate: the canonical CSR
+/// view (arrays, cached export, content hash) plus the carried per-seed
+/// analysis results. The `Arc`s let queries take O(1) handles and rank
+/// outside the tenant lock; an absorb racing a long query pays one
+/// copy-on-write clone ([`Arc::make_mut`]) instead of blocking.
+struct Live {
+    inc: Arc<IncrementalCsr>,
+    rank: Arc<IncrementalAnalyzer>,
+    /// A materialized [`CostGraph`] of the current generation, built on
+    /// the first ranked query after an absorb and shared by every warm
+    /// query until the next absorb invalidates it.
+    view: Option<Arc<CostGraph>>,
+}
+
+impl Tenant {
+    /// Builds (or returns) the live view. The full canonical build runs
+    /// once per aggregate per daemon lifetime; every later absorb goes
+    /// through the delta path.
+    fn ensure_live(&mut self) -> &mut Live {
+        if self.live.is_none() {
+            let inc = IncrementalCsr::new(&self.agg);
+            let rank = IncrementalAnalyzer::new(&inc, 1);
+            self.live = Some(Live {
+                inc: Arc::new(inc),
+                rank: Arc::new(rank),
+                view: None,
+            });
+        }
+        self.live.as_mut().expect("just ensured")
+    }
+
+    /// Absorbs one session graph and folds the returned delta into the
+    /// live view — no fresh [`CostGraph`] is materialized.
+    fn absorb(&mut self, g: &CostGraph, instructions: u64) {
+        let delta = self.agg.absorb(g, instructions);
+        match &mut self.live {
+            None => {
+                self.ensure_live();
+            }
+            Some(live) => {
+                let dirty = Arc::make_mut(&mut live.inc).apply(&self.agg, &delta);
+                Arc::make_mut(&mut live.rank).refresh(&live.inc, &dirty, 1);
+                live.view = None;
+            }
+        }
+    }
 }
 
 /// Tenant aggregates keyed by `(tenant, program)`.
@@ -158,6 +222,7 @@ impl State {
             .or_insert_with(|| {
                 Arc::new(Mutex::new(Tenant {
                     agg: Aggregate::new(),
+                    live: None,
                 }))
             })
             .clone()
@@ -287,6 +352,15 @@ impl Server {
             absorbed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         });
+        // Sweep snapshots before restoring: an over-budget or expired
+        // snapshot should not be loaded just to be eligible for the
+        // next sweep.
+        let _ = gc_snapshots(
+            &state.cfg.data_dir.join("tenants"),
+            state.cfg.snap_max_bytes,
+            state.cfg.snap_max_age,
+            state.cfg.snap_keep_latest,
+        );
         restore_tenants(&state);
         let _ = state
             .query_cache()
@@ -777,16 +851,18 @@ fn finalize_session(
     let g = builder.finish();
     let slot = state.tenant(tenant, program_name);
     let mut t = slot.lock().unwrap();
-    t.agg.absorb(&g, trailer.instructions);
+    t.absorb(&g, trailer.instructions);
     let sessions = t.agg.sessions();
-    let merged = t.agg.to_cost_graph();
     let total = t.agg.total_instructions();
+    let live = t.ensure_live();
+    let hash = live.inc.content_hash();
     // Persist while still holding the aggregate lock: concurrent
     // sessions on the same aggregate would otherwise race on the temp
     // file and could overwrite a newer snapshot with a staler merge.
-    let persisted = persist_aggregate(state, tenant, program_name, &merged, total);
+    // The bytes come straight from the live view — byte-identical to
+    // `write_snapshot` of the offline sequential merge.
+    let persisted = persist_live(state, tenant, program_name, &live.inc, total);
     drop(t);
-    let hash = content_hash(&merged);
     if let Err(e) = persisted {
         eprintln!("-- serve: persisting {tenant}/{program_name} failed: {e}");
     }
@@ -797,13 +873,13 @@ fn finalize_session(
     )
 }
 
-/// Persists one tenant aggregate via temp-file + rename, so a crash
-/// mid-write leaves the previous snapshot intact.
-fn persist_aggregate(
+/// Persists one live view via temp-file + rename, so a crash mid-write
+/// leaves the previous snapshot intact.
+fn persist_live(
     state: &State,
     tenant: &str,
     program: &str,
-    merged: &CostGraph,
+    inc: &IncrementalCsr,
     total_instructions: u64,
 ) -> io::Result<()> {
     let path = state.snapshot_path(tenant, program);
@@ -811,7 +887,9 @@ fn persist_aggregate(
         fs::create_dir_all(dir)?;
     }
     let tmp = path.with_extension("snap.tmp");
-    save_snapshot(merged, total_instructions, &tmp)?;
+    let mut buf = Vec::new();
+    inc.write_snapshot(total_instructions, &mut buf)?;
+    fs::write(&tmp, buf)?;
     fs::rename(&tmp, &path)
 }
 
@@ -881,22 +959,27 @@ fn spool_scan(state: &Arc<State>) {
 // ---------------------------------------------------------------------------
 
 /// Serves `query <tenant> <program> hash|stats|rank|report|diff …`
-/// against a point-in-time copy of the aggregate. Rankings route through
-/// the content-hash query cache, so a warm query skips the engine.
+/// against the live incremental view. `hash`/`stats` answer from the
+/// view's maintained scalars without touching the graph; ranked queries
+/// route through the content-hash query cache and — on a miss — rank
+/// with the carried per-seed analysis state instead of a fresh engine.
 fn run_query(state: &Arc<State>, toks: &[&str]) -> Result<String, String> {
     let (&tenant, &program, op) = match toks {
         [t, p, rest @ ..] if !rest.is_empty() => (t, p, rest),
         _ => return Err("query needs <tenant> <program> <op>".to_string()),
     };
-    let (merged, total, sessions) = aggregate_view(state, tenant, program)?;
-    let hash = content_hash(&merged);
     match op {
-        ["hash"] => Ok(format!("hash {hash:016x} sessions={sessions}\n")),
-        ["stats"] => Ok(format!(
-            "stats sessions={sessions} nodes={} edges={} instructions={total} hash={hash:016x}\n",
-            merged.graph().num_nodes(),
-            merged.graph().num_edges(),
-        )),
+        ["hash"] => {
+            let s = live_scalars(state, tenant, program)?;
+            Ok(format!("hash {:016x} sessions={}\n", s.hash, s.sessions))
+        }
+        ["stats"] => {
+            let s = live_scalars(state, tenant, program)?;
+            Ok(format!(
+                "stats sessions={} nodes={} edges={} instructions={} hash={:016x}\n",
+                s.sessions, s.nodes, s.edges, s.total, s.hash,
+            ))
+        }
         ["rank"] | ["rank", _] => {
             let top = match op {
                 ["rank", n] => n
@@ -904,7 +987,8 @@ fn run_query(state: &Arc<State>, toks: &[&str]) -> Result<String, String> {
                     .map_err(|_| "bad top count".to_string())?,
                 _ => 10,
             };
-            let ranked = ranked_cached(state, &merged, hash);
+            let q = live_view(state, tenant, program)?;
+            let ranked = ranked_cached(state, &q);
             let mut out = String::new();
             for s in ranked.iter().take(top) {
                 let _ = writeln!(
@@ -928,17 +1012,18 @@ fn run_query(state: &Arc<State>, toks: &[&str]) -> Result<String, String> {
                 _ => 10,
             };
             let prog = state.resolve_program(program)?;
-            let ranked = ranked_cached(state, &merged, hash);
-            let dead = dead_value_metrics(&merged, total);
+            let q = live_view(state, tenant, program)?;
+            let ranked = ranked_cached(state, &q);
+            let dead = dead_value_metrics(&q.view, q.total);
             let mut out = render_report(&prog, &ranked, top, Some(&dead));
             out.push_str("end\n");
             Ok(out)
         }
         ["diff", other_tenant, other_program] => {
-            let (other, _, _) = aggregate_view(state, other_tenant, other_program)?;
-            let other_hash = content_hash(&other);
-            let ka = ranked_keys(&merged, &ranked_cached(state, &merged, hash));
-            let kb = ranked_keys(&other, &ranked_cached(state, &other, other_hash));
+            let qa = live_view(state, tenant, program)?;
+            let qb = live_view(state, other_tenant, other_program)?;
+            let ka = ranked_keys(&qa.view, &ranked_cached(state, &qa));
+            let kb = ranked_keys(&qb.view, &ranked_cached(state, &qb));
             let report = diff_rankings(&ka, &kb, &DiffConfig::default());
             let mut out = report.render();
             let _ = writeln!(
@@ -952,35 +1037,92 @@ fn run_query(state: &Arc<State>, toks: &[&str]) -> Result<String, String> {
     }
 }
 
-/// A point-in-time cost graph of one tenant aggregate — queries work on
-/// this copy, so ingestion never blocks behind an engine run.
-fn aggregate_view(
-    state: &Arc<State>,
-    tenant: &str,
-    program: &str,
-) -> Result<(CostGraph, u64, u64), String> {
+/// The O(1) scalars of one live aggregate — content hash, session and
+/// node/edge counts — read under the tenant lock without materializing
+/// or cloning any graph.
+struct LiveScalars {
+    hash: u64,
+    sessions: u64,
+    total: u64,
+    nodes: usize,
+    edges: usize,
+}
+
+fn live_scalars(state: &Arc<State>, tenant: &str, program: &str) -> Result<LiveScalars, String> {
     let slot = state
         .existing_tenant(tenant, program)
         .ok_or_else(|| format!("no aggregate for {tenant}/{program}"))?;
-    let t = slot.lock().unwrap();
+    let mut t = slot.lock().unwrap();
     if t.agg.is_empty() {
         return Err(format!("no aggregate for {tenant}/{program}"));
     }
-    Ok((
-        t.agg.to_cost_graph(),
-        t.agg.total_instructions(),
-        t.agg.sessions(),
-    ))
+    let sessions = t.agg.sessions();
+    let total = t.agg.total_instructions();
+    let live = t.ensure_live();
+    Ok(LiveScalars {
+        hash: live.inc.content_hash(),
+        sessions,
+        total,
+        nodes: live.inc.num_nodes(),
+        edges: live.inc.num_edges(),
+    })
 }
 
-fn ranked_cached(state: &Arc<State>, g: &CostGraph, hash: u64) -> Vec<StructureCostBenefit> {
+/// Shared handles for one ranked query: the materialized graph of the
+/// current generation plus the live CSR and analysis state. Taken under
+/// the tenant lock in O(1) once the generation's view exists — ranking
+/// then runs outside the lock, so ingestion never blocks behind an
+/// engine run.
+struct LiveQuery {
+    view: Arc<CostGraph>,
+    inc: Arc<IncrementalCsr>,
+    rank: Arc<IncrementalAnalyzer>,
+    hash: u64,
+    total: u64,
+}
+
+fn live_view(state: &Arc<State>, tenant: &str, program: &str) -> Result<LiveQuery, String> {
+    let slot = state
+        .existing_tenant(tenant, program)
+        .ok_or_else(|| format!("no aggregate for {tenant}/{program}"))?;
+    let mut t = slot.lock().unwrap();
+    if t.agg.is_empty() {
+        return Err(format!("no aggregate for {tenant}/{program}"));
+    }
+    let total = t.agg.total_instructions();
+    // Materialize once per generation: the first ranked query after an
+    // absorb pays `to_cost_graph`, every later one shares the Arc.
+    if t.ensure_live().view.is_none() {
+        let merged = Arc::new(t.agg.to_cost_graph());
+        let live = t.ensure_live();
+        debug_assert_eq!(
+            merged.graph().num_nodes(),
+            live.inc.num_nodes(),
+            "canonical interning and the live view must agree on node ids"
+        );
+        live.view = Some(merged);
+    }
+    let live = t.ensure_live();
+    Ok(LiveQuery {
+        view: live.view.clone().expect("just materialized"),
+        inc: live.inc.clone(),
+        rank: live.rank.clone(),
+        hash: live.inc.content_hash(),
+        total,
+    })
+}
+
+fn ranked_cached(state: &Arc<State>, q: &LiveQuery) -> Vec<StructureCostBenefit> {
     let config = CostBenefitConfig::default();
     let cache = state.query_cache();
-    let key = CacheKey::new(hash, EngineChoice::Batch, &config);
+    // Keyed as `Batch`: the incremental engine answers byte-identically
+    // to a cold batch engine (enforced by tests/incremental.rs), so
+    // entries stay interchangeable with offline `rank` runs.
+    let key = CacheKey::new(q.hash, EngineChoice::Batch, &config);
     if let Some(hit) = cache.load(&key) {
         return hit;
     }
-    let ranked = rank_structures_batch(g, &config, 1);
+    let ranked = rank_structures_with(&q.view, &config, &q.rank.engine(&q.inc), 1);
     if let Err(e) = cache.store(&key, &ranked) {
         eprintln!("-- serve: query cache store failed: {e}");
     }

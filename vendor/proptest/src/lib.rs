@@ -128,6 +128,34 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Derives a dependent strategy from each generated value and
+        /// draws from it — sized collections, index-into-length pairs.
+        fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`, regenerating in
+        /// place (no shrink machinery here, so rejection is just a
+        /// retry). `whence` labels the filter in the panic raised if
+        /// the predicate keeps rejecting.
+        fn prop_filter<P: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: P,
+        ) -> Filter<Self, P>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
         /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -163,6 +191,44 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `Strategy::prop_flat_map` adapter.
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// `Strategy::prop_filter` adapter.
+    #[derive(Clone)]
+    pub struct Filter<S, P> {
+        inner: S,
+        whence: &'static str,
+        pred: P,
+    }
+
+    impl<S: Strategy, P: Fn(&S::Value) -> bool> Strategy for Filter<S, P> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}) rejected 1000 consecutive values",
+                self.whence
+            )
         }
     }
 
@@ -301,9 +367,59 @@ pub mod collection {
         }
     }
 
-    /// `proptest::collection::vec(element, len_range)`.
-    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    /// Length specifications accepted by [`vec()`]: an exact length or a
+    /// half-open range (mirrors proptest's `SizeRange` conversions).
+    pub trait IntoSizeRange {
+        /// The equivalent half-open range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
+    }
+}
+
+pub mod option {
+    //! `proptest::option` — strategies over `Option<T>`.
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `Some(inner)` with probability `p`, else `None`.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Weighted { p, inner }
+    }
+
+    /// See [`weighted`].
+    #[derive(Clone)]
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 53 uniform mantissa bits — deterministic given the rng.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (u < self.p).then(|| self.inner.generate(rng))
+        }
     }
 }
 
@@ -345,6 +461,20 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
                 left,
                 right
             )));
